@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures by calling
+the corresponding experiment driver under ``pytest-benchmark`` (a single
+measured iteration — the drivers are full simulation sweeps, not
+micro-benchmarks), printing the resulting table, and writing it as JSON
+to ``benchmarks/results/`` so EXPERIMENTS.md can reference the artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_report(capsys):
+    """Return a callable that prints and persists an ExperimentReport."""
+
+    def _record(report):
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        report.to_json(RESULTS_DIR / f"{report.experiment_id}.json")
+        with capsys.disabled():
+            print()
+            print(report.render())
+        return report
+
+    return _record
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Ablation benchmark — the decision-guard structure of ``A_{T,E}``.
+
+DESIGN.md documents one implementation decision taken while transcribing
+Algorithm 1: the decision test (line 9) is evaluated *independently* of the
+``|HO| > T`` update guard (line 7), because the termination proof
+(Proposition 3) only relies on receiving more than ``E`` equal values.  This
+ablation quantifies the difference between the two readings:
+
+* for the symmetric thresholds (``E = T``) the two variants behave
+  identically — decisions require more than ``E = T`` receptions anyway;
+* for parameterisations with ``T > E`` the nested reading delays or prevents
+  decisions in exactly the situations the liveness predicate's last conjunct
+  (``|SHO| > E`` but not necessarily ``|HO| > T``) describes.
+"""
+
+from repro.adversary import BoundedOmissionAdversary, PeriodicGoodRoundAdversary
+from repro.algorithms import AteAlgorithm
+from repro.core.parameters import AteParameters
+from repro.simulation.engine import run_consensus
+from repro.verification.properties import aggregate
+from repro.workloads import generators
+
+
+def _run_variant(nested: bool, params: AteParameters, n: int, runs: int, max_omissions: int):
+    results = []
+    for seed in range(runs):
+        adversary = PeriodicGoodRoundAdversary(
+            inner=BoundedOmissionAdversary(
+                max_omissions_per_receiver=max_omissions, drop_probability=0.9, seed=seed
+            ),
+            period=5,
+        )
+        results.append(
+            run_consensus(
+                AteAlgorithm(params, nested_decision_guard=nested),
+                generators.split(n),
+                adversary,
+                max_rounds=60,
+            )
+        )
+    return aggregate(results)
+
+
+def test_bench_ablation_symmetric_thresholds_identical(benchmark):
+    """With E = T (Proposition 4 / OneThirdRule shape) the ablation is a no-op."""
+    n = 9
+    params = AteParameters.symmetric(n=n, alpha=1)
+
+    def run_both():
+        return (
+            _run_variant(False, params, n, runs=6, max_omissions=1),
+            _run_variant(True, params, n, runs=6, max_omissions=1),
+        )
+
+    independent, nested = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert independent.termination_rate == nested.termination_rate == 1.0
+    assert independent.mean_decision_round == nested.mean_decision_round
+    assert independent.all_safe and nested.all_safe
+
+
+def test_bench_ablation_t_greater_than_e(benchmark):
+    """With T > E the independent guard decides where the nested one stalls.
+
+    The environment keeps ``|HO| <= T`` for most rounds (heavy bounded
+    omissions) while still delivering more than ``E`` equal values, which is
+    precisely the situation Proposition 3's argument needs the independent
+    reading for.
+    """
+    n = 10
+    # E = 6, T = 2(n + 2a - E) = 8 > E; both variants are safe, only liveness differs.
+    params = AteParameters(n=n, alpha=0, threshold=8, enough=6)
+
+    def run_both():
+        return (
+            _run_variant(False, params, n, runs=6, max_omissions=3),
+            _run_variant(True, params, n, runs=6, max_omissions=3),
+        )
+
+    independent, nested = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert independent.all_safe and nested.all_safe
+    assert independent.termination_rate >= nested.termination_rate
+    if independent.mean_decision_round is not None and nested.mean_decision_round is not None:
+        assert independent.mean_decision_round <= nested.mean_decision_round

@@ -1,0 +1,40 @@
+"""Benchmark E12 — benign baselines and the alpha = 0 degeneration.
+
+Regenerates the baseline comparison the paper departs from: the literal
+equivalence of ``A_{2n/3,2n/3}`` with OneThirdRule, and the behaviour of all
+four algorithms (two baselines, two alpha = 0 instances) across benign
+omission rates.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import benign_baselines
+
+
+def test_bench_benign_baselines(benchmark, record_report):
+    report = run_once(
+        benchmark,
+        benign_baselines,
+        n=9,
+        runs=12,
+        seed=13,
+        max_rounds=60,
+        drop_probabilities=(0.0, 0.1, 0.3),
+    )
+    record_report(report)
+
+    equivalence = [row for row in report.rows if "OneThirdRule" in str(row.get("check", ""))]
+    assert equivalence and equivalence[0]["mismatches"] == 0
+
+    sweep = [row for row in report.rows if row.get("check") == "omission sweep"]
+    assert len(sweep) == 12  # 4 algorithms x 3 drop probabilities
+    assert all(row["agreement_rate"] == 1.0 for row in sweep)
+    assert all(row["integrity_rate"] == 1.0 for row in sweep)
+    assert all(row["termination_rate"] == 1.0 for row in sweep)
+
+    # Fault-free decision latency: OneThirdRule-style algorithms decide within
+    # two rounds, UniformVoting-style within two phases (four rounds).
+    clean = {row["algorithm"]: row for row in sweep if row["drop_probability"] == 0.0}
+    assert clean["OneThirdRule"]["mean_decision_round"] <= 2
+    assert clean["A_(T,E) alpha=0"]["mean_decision_round"] <= 2
+    assert clean["UniformVoting"]["mean_decision_round"] <= 4
+    assert clean["U_(T,E,alpha) alpha=0"]["mean_decision_round"] <= 4

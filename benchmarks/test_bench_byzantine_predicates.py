@@ -1,0 +1,27 @@
+"""Benchmark E11 — classical Byzantine assumptions as predicates (Section 5.2).
+
+Regenerates the comparison under a static, permanently corrupted set of ``f``
+senders: the generated runs satisfy both Section 5.2 encodings of the
+classical model (``|SK| >= n − f`` and ``|HO| >= n − f ∧ |AS| <= f``) as well
+as ``P^perm_f`` and ``P_f``; ``U_{T,E,alpha=f}`` both stays safe and
+terminates; ``A_{T,E}`` stays safe; phase-king needs its fixed latency.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import byzantine_predicates
+
+
+def test_bench_byzantine_predicates(benchmark, record_report):
+    report = run_once(benchmark, byzantine_predicates, n=10, f=2, runs=10, seed=12, max_rounds=60)
+    record_report(report)
+
+    rows = {row["algorithm"]: row for row in report.rows}
+    assert all(row["predicates_hold"] for row in report.rows)
+    assert all(row["agreement_rate"] == 1.0 for row in report.rows)
+    assert all(row["integrity_rate"] == 1.0 for row in report.rows)
+
+    assert rows["U_(T,E,alpha=f)"]["termination_rate"] == 1.0
+    assert rows["PhaseKing(f=2)"]["termination_rate"] == 1.0
+    assert rows["PhaseKing(f=2)"]["mean_decision_round"] == 6.0
+    # A_{T,E} is not expected to terminate under permanent corruption (F = 0).
+    assert rows["A_(T,E) with alpha=f"]["termination_rate"] < 1.0

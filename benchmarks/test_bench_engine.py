@@ -1,0 +1,74 @@
+"""Benchmark E13 — simulator throughput (the reproduction's own substrate).
+
+Unlike E1-E12 these are conventional micro/meso benchmarks: rounds-per-second
+of the lockstep engine as ``n`` grows, the per-round cost of the corruption
+adversary, and the overhead of the asyncio engine relative to the lockstep
+engine for the same workload.
+"""
+
+import pytest
+
+from repro.adversary import RandomCorruptionAdversary, ReliableAdversary
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.simulation.engine import SimulationConfig, run_algorithm
+from repro.simulation.async_engine import run_consensus_async
+from repro.workloads import generators
+
+
+def _run_fixed_rounds(algorithm, n, adversary, rounds):
+    config = SimulationConfig(max_rounds=rounds, min_rounds=rounds, record_states=False)
+    return run_algorithm(algorithm, generators.split(n), adversary, config=config)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_bench_lockstep_engine_scaling(benchmark, n):
+    """Lockstep engine: 20 rounds of A_{T,E} under reliable delivery, varying n."""
+    result = benchmark(
+        lambda: _run_fixed_rounds(AteAlgorithm.symmetric(n=n, alpha=0), n, ReliableAdversary(), 20)
+    )
+    assert result.rounds_executed == 20
+
+
+@pytest.mark.parametrize("alpha", [0, 2, 4])
+def test_bench_corruption_adversary_overhead(benchmark, alpha):
+    """Per-round cost of the alpha-bounded corruption adversary at n = 24."""
+    n = 24
+    result = benchmark(
+        lambda: _run_fixed_rounds(
+            AteAlgorithm.symmetric(n=n, alpha=alpha),
+            n,
+            RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=1),
+            10,
+        )
+    )
+    assert result.rounds_executed == 10
+
+
+def test_bench_ute_engine(benchmark):
+    """Phase-structured algorithm (U) under corruption at n = 16."""
+    n = 16
+    result = benchmark(
+        lambda: _run_fixed_rounds(
+            UteAlgorithm.minimal(n=n, alpha=2),
+            n,
+            RandomCorruptionAdversary(alpha=2, value_domain=(0, 1), seed=2),
+            10,
+        )
+    )
+    assert result.rounds_executed == 10
+
+
+def test_bench_async_engine_overhead(benchmark):
+    """Asyncio engine for the same consensus instance the lockstep engine runs in E13a."""
+    n = 8
+    result = benchmark.pedantic(
+        lambda: run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.split(n),
+            ReliableAdversary(),
+            max_rounds=20,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.all_satisfied

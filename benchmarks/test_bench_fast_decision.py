@@ -1,0 +1,37 @@
+"""Benchmark E9 — fast decision versus the Martin–Alvisi bound (Section 5.1).
+
+Regenerates the decision-latency comparison: ``A_{T,E}`` decides in one round
+from unanimous inputs and two rounds from split inputs in fault-free runs,
+recovers within a few rounds of the first clean round after a corruption
+burst, and does so while tolerating more per-round corrupting senders than
+the static fast-Byzantine bound allows; phase-king pays its fixed
+``2(f + 1)`` rounds.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.bounds import martin_alvisi_max_faulty
+from repro.analysis.feasibility import ate_max_alpha
+from repro.experiments import fast_decision
+
+
+def test_bench_fast_decision(benchmark, record_report):
+    n = 9
+    report = run_once(benchmark, fast_decision, n=n, runs=10, seed=10, max_rounds=30)
+    record_report(report)
+
+    rows = {(row["scenario"], row["algorithm"]): row for row in report.rows}
+    unanimous = rows[("fault-free, unanimous initial values", "A_(T,E)")]
+    split = rows[("fault-free, split initial values", "A_(T,E)")]
+    burst = rows[("alpha corruptions/round for 3 rounds, then clean", "A_(T,E)")]
+    phase_king = rows[("fault-free, split initial values", "PhaseKing(f=1)")]
+
+    # The paper's fast-decision claims.
+    assert unanimous["max_decision_round"] == 1
+    assert split["max_decision_round"] == 2
+    assert burst["termination_rate"] == 1.0
+    assert burst["max_decision_round"] <= 6
+    # Static baseline latency: 2(f+1) rounds, strictly slower than A_{T,E}.
+    assert phase_king["max_decision_round"] == 4
+    assert split["max_decision_round"] < phase_king["max_decision_round"]
+    # And the corruption level A tolerates per round exceeds the static bound.
+    assert ate_max_alpha(n) > martin_alvisi_max_faulty(n)

@@ -1,0 +1,23 @@
+"""Benchmark E4 — Figure 2 (``P^{U,live}``).
+
+Regenerates the liveness comparison for ``U_{T,E,alpha}``: the clean
+three-round phase window of Figure 2 versus environments without it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ulive_predicate_effect
+
+
+def test_bench_fig2_ulive_predicate(benchmark, record_report):
+    report = run_once(
+        benchmark, ulive_predicate_effect, n=9, alpha=2, runs=15, seed=4, max_rounds=60
+    )
+    record_report(report)
+
+    rows = {row["environment"]: row for row in report.rows}
+    assert all(row["agreement_rate"] == 1.0 for row in report.rows)
+    assert all(row["integrity_rate"] == 1.0 for row in report.rows)
+    assert rows["good-phases (P^U,live holds)"]["termination_rate"] == 1.0
+    # Starving every process below E receptions blocks termination entirely,
+    # yet safety is untouched.
+    assert rows["starved (|HO| never exceeds E)"]["termination_rate"] == 0.0

@@ -1,0 +1,36 @@
+"""Benchmark E5 — Figure 3 (corruption taxonomy).
+
+Runs both algorithms against each corruption class of Figure 3 (benign,
+symmetric/identical-Byzantine, dynamic transmission value faults, and
+permanent equivocating Byzantine), reproducing the qualitative picture:
+safety holds across the whole spectrum; termination of ``A_{T,E}`` needs
+rounds with enough *safe* receptions (so permanent corruption blocks it),
+while ``U_{T,E,alpha}`` rides out permanent corruption at ``alpha = f``.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import corruption_taxonomy
+
+
+def test_bench_fig3_taxonomy(benchmark, record_report):
+    report = run_once(benchmark, corruption_taxonomy, n=9, f=2, runs=12, seed=5, max_rounds=60)
+    record_report(report)
+
+    assert len(report.rows) == 8  # 2 algorithms x 4 fault classes
+    assert all(row["agreement_rate"] == 1.0 for row in report.rows)
+    assert all(row["integrity_rate"] == 1.0 for row in report.rows)
+
+    rows = {(row["algorithm"], row["fault_class"]): row for row in report.rows}
+    benign_label = "benign (omissions only)"
+    our_label = "our case (dynamic transmission value faults)"
+    byz_label = "Byzantine (fixed senders, equivocating)"
+
+    # Both algorithms terminate under benign faults and under dynamic value
+    # faults with sporadic good rounds.
+    assert rows[("A_(T,E)", benign_label)]["termination_rate"] == 1.0
+    assert rows[("A_(T,E)", our_label)]["termination_rate"] == 1.0
+    assert rows[("U_(T,E,alpha)", our_label)]["termination_rate"] == 1.0
+    # Permanent corruption: U (alpha = f) still terminates; A cannot be
+    # expected to (its liveness needs |SHO| > E rounds), mirroring F = 0.
+    assert rows[("U_(T,E,alpha)", byz_label)]["termination_rate"] == 1.0
+    assert rows[("A_(T,E)", byz_label)]["termination_rate"] < 1.0

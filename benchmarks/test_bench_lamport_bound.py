@@ -1,0 +1,22 @@
+"""Benchmark E10 — attainment of Lamport's ``N > 2Q + F + 2M`` bound (Section 5.1).
+
+For a sweep of system sizes, checks analytically that both algorithms attain
+the bound exactly (U: safe-only with M = (n-1)/2; A: safe-and-fast with
+M = Q = (n-1)/4; F = 0 for both) and validates the extreme configurations by
+simulation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import lamport_attainment
+
+
+def test_bench_lamport_bound(benchmark, record_report):
+    report = run_once(benchmark, lamport_attainment, ns=(5, 9, 13, 17, 21), runs=6, seed=11, max_rounds=40)
+    record_report(report)
+
+    assert len(report.rows) == 5
+    for row in report.rows:
+        assert row["ate_bound_satisfied"] and row["ate_tight"]
+        assert row["ute_bound_satisfied"] and row["ute_tight"]
+        assert row["ate_safety_rate_sim"] == 1.0
+        assert row["ute_safety_rate_sim"] == 1.0

@@ -1,0 +1,33 @@
+"""Benchmark E6 — Section 3.3 resilience boundary of ``A_{T,E}`` (alpha < n/4).
+
+Sweeps alpha across the n/4 boundary: analytically (do integer thresholds
+exist?) and by simulation (split-vote attacks with exactly the allowed
+per-receiver budget plus liveness-structured corruption runs).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.feasibility import ate_max_alpha
+from repro.experiments import ate_resilience_sweep
+
+
+def test_bench_resilience_ate(benchmark, record_report):
+    n = 12
+    report = run_once(benchmark, ate_resilience_sweep, n=n, runs=12, seed=7, max_rounds=60)
+    record_report(report)
+
+    feasible_rows = [row for row in report.rows if row["feasible"]]
+    infeasible_rows = [row for row in report.rows if not row["feasible"]]
+    assert feasible_rows and infeasible_rows
+
+    # The boundary sits exactly at n/4 (largest feasible integer alpha = 2 for n=12).
+    assert max(row["alpha"] for row in feasible_rows) == ate_max_alpha(n) == 2
+    assert min(row["alpha"] for row in infeasible_rows) == 3
+
+    for row in feasible_rows:
+        assert row["integer_threshold_pairs"] > 0
+        assert row["agreement_rate"] == 1.0
+        assert row["integrity_rate"] == 1.0
+        assert row["agreement_rate_under_attack"] == 1.0
+        assert row["termination_rate_live_env"] == 1.0
+    for row in infeasible_rows:
+        assert row["integer_threshold_pairs"] == 0

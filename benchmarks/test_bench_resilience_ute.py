@@ -1,0 +1,25 @@
+"""Benchmark E7 — Section 4.3 resilience boundary of ``U_{T,E,alpha}`` (alpha < n/2)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis.feasibility import ate_max_alpha, ute_max_alpha
+from repro.experiments import ute_resilience_sweep
+
+
+def test_bench_resilience_ute(benchmark, record_report):
+    n = 9
+    report = run_once(benchmark, ute_resilience_sweep, n=n, runs=12, seed=8, max_rounds=80)
+    record_report(report)
+
+    feasible_rows = [row for row in report.rows if row["feasible"]]
+    infeasible_rows = [row for row in report.rows if not row["feasible"]]
+    assert feasible_rows and infeasible_rows
+
+    # Boundary at n/2: largest feasible integer alpha = 4 for n=9, versus 2 for A.
+    assert max(row["alpha"] for row in feasible_rows) == ute_max_alpha(n) == 4
+    assert ute_max_alpha(n) == 2 * ate_max_alpha(n)
+    assert min(row["alpha"] for row in infeasible_rows) == 5
+
+    for row in feasible_rows:
+        assert row["agreement_rate"] == 1.0
+        assert row["integrity_rate"] == 1.0
+        assert row["agreement_rate_under_attack"] == 1.0

@@ -1,0 +1,34 @@
+"""Benchmark E8 — circumventing the Santoro–Widmayer bound (Section 5.1).
+
+Regenerates the block-fault comparison: ``⌊n/2⌋`` corrupted transmissions per
+round arranged as the outgoing links of a (rotating) victim never break
+safety of either algorithm; termination returns as soon as sporadic good
+rounds occur; and the per-round corruption absorbed in the heavy-corruption
+configuration exceeds the ``⌊n/2⌋`` impossibility threshold by a wide margin
+(the ~n²/4 capacity claim).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import santoro_widmayer_circumvention
+
+
+def test_bench_santoro_widmayer(benchmark, record_report):
+    n = 10
+    report = run_once(
+        benchmark, santoro_widmayer_circumvention, n=n, runs=12, seed=9, max_rounds=60
+    )
+    record_report(report)
+
+    # Safety in every configuration, including blocks with no good rounds.
+    assert all(row["agreement_rate"] == 1.0 for row in report.rows)
+    assert all(row["integrity_rate"] == 1.0 for row in report.rows)
+
+    rows = {row["configuration"]: row for row in report.rows}
+    with_good = rows["A_(T,E), blocks + sporadic good rounds"]
+    heavy = rows["A_(T,E), heavy rotating corruption (alpha per receiver each round)"]
+
+    assert with_good["termination_rate"] == 1.0
+    # The heavy configuration absorbs strictly more corrupted receptions per
+    # round than the floor(n/2) = 5 at which [18] proves impossibility.
+    assert heavy["max_corrupted_receptions_in_a_round"] > heavy["sw_bound_per_round"]
+    assert heavy["termination_rate"] == 1.0

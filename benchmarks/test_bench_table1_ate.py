@@ -1,0 +1,29 @@
+"""Benchmark E1 — Table 1, ``A_{T,E}`` row.
+
+Regenerates the ``A_{T,E}`` row of Table 1 by sweeping alpha from 0 to the
+feasibility limit (plus one value beyond it) under ``P_alpha``-bounded
+corruption with sporadic good rounds, and asserts the row's claim: every
+in-range parameterisation satisfies all three consensus clauses in every run.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import validate_ate_row
+
+
+def test_bench_table1_ate_row(benchmark, record_report):
+    report = run_once(benchmark, validate_ate_row, n=9, runs=20, seed=1, max_rounds=60)
+    record_report(report)
+
+    in_range = [row for row in report.rows if row["in_range"]]
+    assert in_range, "at least one feasible alpha expected"
+    for row in in_range:
+        assert row["agreement_rate"] == 1.0
+        assert row["integrity_rate"] == 1.0
+        assert row["termination_rate"] == 1.0
+        assert row["counterexamples"] == 0
+    # The sweep reaches the paper's alpha < n/4 limit: for n=9 that is alpha = 2.
+    assert max(row["alpha"] for row in in_range) == 2
+    # Decision latency grows with alpha (more corruption -> more rounds), the
+    # qualitative shape the paper's fast-decision discussion implies.
+    latencies = [row["mean_decision_round"] for row in in_range]
+    assert latencies[0] <= latencies[-1]

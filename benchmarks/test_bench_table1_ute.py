@@ -1,0 +1,25 @@
+"""Benchmark E2 — Table 1, ``U_{T,E,alpha}`` row.
+
+Regenerates the ``U_{T,E,alpha}`` row of Table 1 under the full predicate
+conjunction ``P_alpha ∧ P^{U,safe} ∧ P^{U,live}`` and asserts the row's
+claim, including that U tolerates strictly more corruption than A.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import validate_ute_row
+
+
+def test_bench_table1_ute_row(benchmark, record_report):
+    report = run_once(benchmark, validate_ute_row, n=9, runs=20, seed=2, max_rounds=80)
+    record_report(report)
+
+    in_range = [row for row in report.rows if row["in_range"]]
+    assert in_range
+    for row in in_range:
+        assert row["agreement_rate"] == 1.0
+        assert row["integrity_rate"] == 1.0
+        assert row["termination_rate"] == 1.0
+        assert row["theorem_2_satisfied"]
+    # The alpha < n/2 limit: for n=9 the largest in-range integer alpha is 4 —
+    # twice the A_{T,E} limit of 2 reproduced in E1.
+    assert max(row["alpha"] for row in in_range) == 4

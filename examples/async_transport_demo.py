@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Communication-closed rounds over an asynchronous transport.
+
+The HO model's rounds are a logical structure, not a synchrony assumption
+(Section 1).  This example runs the *same* consensus instance on
+
+* the lockstep engine (direct round execution), and
+* the asyncio engine, where every process is a task and every message
+  travels through a queue with a random per-message delay,
+
+and shows that the heard-of collections, decisions and decision rounds are
+identical — the asynchrony of the transport is invisible at the level at
+which the paper's guarantees are stated.
+
+Run it with::
+
+    python examples/async_transport_demo.py
+"""
+
+from repro.adversary import RandomCorruptionAdversary
+from repro.algorithms import UteAlgorithm
+from repro.simulation.async_engine import run_consensus_async
+from repro.simulation.engine import run_consensus
+from repro.simulation.network import UniformDelay
+from repro.workloads import generators
+
+
+def main() -> None:
+    n, alpha = 8, 2
+    workload = generators.uniform_random(n, seed=9)
+    algorithm = lambda: UteAlgorithm.minimal(n=n, alpha=alpha)  # noqa: E731
+    adversary = lambda: RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=31)  # noqa: E731
+
+    lockstep = run_consensus(algorithm(), workload, adversary(), max_rounds=40)
+    print("lockstep engine :", lockstep.summary())
+
+    asynchronous = run_consensus_async(
+        algorithm(),
+        workload,
+        adversary(),
+        max_rounds=40,
+        delay_model=UniformDelay(0.0, 0.002),
+        network_seed=5,
+    )
+    print("asyncio engine  :", asynchronous.summary())
+
+    same_decisions = lockstep.outcome.decision_values == asynchronous.outcome.decision_values
+    same_rounds = lockstep.outcome.decision_rounds == asynchronous.outcome.decision_rounds
+    same_corruption = (
+        lockstep.metrics.messages_corrupted == asynchronous.metrics.messages_corrupted
+    )
+    print()
+    print(f"identical decisions       : {same_decisions}")
+    print(f"identical decision rounds : {same_rounds}")
+    print(f"identical corruption count: {same_corruption}")
+    print()
+    print(
+        "=> the round structure is preserved over an asynchronous, randomly delayed transport;\n"
+        "   the paper's guarantees only depend on the HO/SHO collections, not on timing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of *Tolerating Corrupted Communication* (PODC 2007).
+
+This package implements the Heard-Of (HO) model extended to value
+(corruption) faults, the two consensus algorithms of the paper
+(``A_{T,E}`` and ``U_{T,E,alpha}``), the benign-case baselines they are
+derived from, adversarial fault environments, simulation engines,
+verification utilities, and the analysis code that regenerates the
+paper's evaluation (Table 1, Figures 1-3, and the quantitative claims of
+Sections 3-5).
+
+Quickstart
+----------
+>>> from repro import run_consensus, AteParameters
+>>> from repro.algorithms import AteAlgorithm
+>>> from repro.adversary import RandomCorruptionAdversary
+>>> params = AteParameters.symmetric(n=8, alpha=1)
+>>> outcome = run_consensus(
+...     algorithm=AteAlgorithm(params),
+...     initial_values={p: p % 2 for p in range(8)},
+...     adversary=RandomCorruptionAdversary(alpha=1, seed=7),
+...     max_rounds=30,
+... )
+>>> outcome.agreement
+True
+"""
+
+from repro.core.consensus import ConsensusOutcome, ConsensusSpec
+from repro.core.heardof import (
+    HeardOfCollection,
+    ReceptionVector,
+    RoundRecord,
+    altered_heard_of,
+    altered_span,
+    kernel,
+    safe_kernel,
+)
+from repro.core.machine import HOMachine
+from repro.core.parameters import AteParameters, UteParameters
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    ALivePredicate,
+    AndPredicate,
+    BenignPredicate,
+    CommunicationPredicate,
+    PermanentAlphaPredicate,
+    ULivePredicate,
+    USafePredicate,
+)
+from repro.simulation.engine import SimulationConfig, run_consensus, run_machine
+
+__all__ = [
+    "ALivePredicate",
+    "AlphaSafePredicate",
+    "AndPredicate",
+    "AteParameters",
+    "BenignPredicate",
+    "CommunicationPredicate",
+    "ConsensusOutcome",
+    "ConsensusSpec",
+    "HOMachine",
+    "HeardOfCollection",
+    "PermanentAlphaPredicate",
+    "ReceptionVector",
+    "RoundRecord",
+    "SimulationConfig",
+    "ULivePredicate",
+    "USafePredicate",
+    "UteParameters",
+    "altered_heard_of",
+    "altered_span",
+    "kernel",
+    "run_consensus",
+    "run_machine",
+    "safe_kernel",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,95 @@
+"""Adversaries: fault environments producing the HO/SHO collections.
+
+The adversary layer is the reproduction's substitute for the paper's
+abstract "discrepancy between what should be sent and what is actually
+received": every adversary consumes the matrix of intended messages of a
+round and returns the matrix of actually received messages, dropping
+(omission/benign faults) or altering (value faults/corruption) messages.
+Process state is never touched.
+
+Families
+--------
+* Fault-free / benign: :class:`ReliableAdversary`,
+  :class:`RandomOmissionAdversary`, :class:`CrashAdversary`,
+  :class:`SilentSendersAdversary`, :class:`PartitionAdversary`,
+  :class:`BoundedOmissionAdversary`.
+* Value faults bounded per receiver/round (``P_alpha`` by construction):
+  :class:`RandomCorruptionAdversary`,
+  :class:`RotatingSenderCorruptionAdversary`.
+* Unbounded / targeted value faults (for boundary experiments):
+  :class:`UnboundedCorruptionAdversary`, :class:`SplitVoteAdversary`.
+* Lower-bound scenarios: :class:`BlockFaultAdversary`
+  (Santoro–Widmayer blocks), :class:`StaticByzantineAdversary`
+  (classical permanent faults).
+* Liveness-structured wrappers: :class:`PeriodicGoodRoundAdversary`,
+  :class:`PartialGoodRoundAdversary`, :class:`PeriodicGoodPhaseAdversary`.
+* Combinators: :class:`AlphaCapAdversary`,
+  :class:`MinimumSafeDeliveryAdversary`, :class:`SequentialAdversary`,
+  :class:`RoundScheduleAdversary`.
+"""
+
+from repro.adversary.base import (
+    Adversary,
+    EdgeAdversary,
+    Fate,
+    FateKind,
+    ReliableAdversary,
+    perfect_delivery,
+)
+from repro.adversary.benign import (
+    BoundedOmissionAdversary,
+    CrashAdversary,
+    PartitionAdversary,
+    RandomOmissionAdversary,
+    SilentSendersAdversary,
+)
+from repro.adversary.byzantine import StaticByzantineAdversary
+from repro.adversary.compose import (
+    AlphaCapAdversary,
+    MinimumSafeDeliveryAdversary,
+    RoundScheduleAdversary,
+    SequentialAdversary,
+)
+from repro.adversary.corruption import (
+    RandomCorruptionAdversary,
+    RotatingSenderCorruptionAdversary,
+    SplitVoteAdversary,
+    UnboundedCorruptionAdversary,
+)
+from repro.adversary.liveness import (
+    PartialGoodRoundAdversary,
+    PeriodicGoodPhaseAdversary,
+    PeriodicGoodRoundAdversary,
+)
+from repro.adversary.santoro_widmayer import BlockFaultAdversary, santoro_widmayer_bound
+from repro.adversary.values import DEFAULT_POISON_VALUES, corrupt_value
+
+__all__ = [
+    "Adversary",
+    "AlphaCapAdversary",
+    "BlockFaultAdversary",
+    "BoundedOmissionAdversary",
+    "CrashAdversary",
+    "DEFAULT_POISON_VALUES",
+    "EdgeAdversary",
+    "Fate",
+    "FateKind",
+    "MinimumSafeDeliveryAdversary",
+    "PartialGoodRoundAdversary",
+    "PartitionAdversary",
+    "PeriodicGoodPhaseAdversary",
+    "PeriodicGoodRoundAdversary",
+    "RandomCorruptionAdversary",
+    "RandomOmissionAdversary",
+    "ReliableAdversary",
+    "RotatingSenderCorruptionAdversary",
+    "RoundScheduleAdversary",
+    "SequentialAdversary",
+    "SilentSendersAdversary",
+    "SplitVoteAdversary",
+    "StaticByzantineAdversary",
+    "UnboundedCorruptionAdversary",
+    "corrupt_value",
+    "perfect_delivery",
+    "santoro_widmayer_bound",
+]

@@ -1,0 +1,158 @@
+"""Adversary abstraction: the environment that produces transmission faults.
+
+In the paper, faults are *transmission* faults only: the discrepancy
+between what the sending functions prescribe and what is actually
+received.  In the simulation this discrepancy is produced by an
+*adversary* object which, at every round, receives the matrix of
+intended messages and returns the matrix of actually received messages
+— dropping messages (omissions, which shrink ``HO``) or altering them
+(corruptions, which populate ``AHO``).  The adversary never touches
+process state, mirroring the model's "no state corruption" stance.
+
+Two levels of API are offered:
+
+* :class:`Adversary` — the general, matrix-level interface
+  (:meth:`Adversary.deliver_round`), needed by adversaries with global
+  per-round structure (block faults, scheduled good rounds, ...).
+* :class:`EdgeAdversary` — a convenience base class for adversaries that
+  decide the fate of each (sender, receiver) edge independently via
+  :meth:`EdgeAdversary.fate`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Mapping, Optional
+
+from repro.core.process import Payload, ProcessId
+
+#: ``intended[sender][receiver]`` — what the sending functions prescribe.
+IntendedMatrix = Mapping[ProcessId, Mapping[ProcessId, Payload]]
+
+#: ``received[receiver][sender]`` — what is actually received; missing
+#: entries are omissions.
+ReceivedMatrix = Dict[ProcessId, Dict[ProcessId, Payload]]
+
+
+class FateKind(Enum):
+    """What happens to a single message in flight."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class Fate:
+    """The fate of one message: delivered as-is, dropped, or corrupted."""
+
+    kind: FateKind
+    corrupted_payload: Optional[Payload] = None
+
+    @classmethod
+    def deliver(cls) -> "Fate":
+        return cls(FateKind.DELIVER)
+
+    @classmethod
+    def drop(cls) -> "Fate":
+        return cls(FateKind.DROP)
+
+    @classmethod
+    def corrupt(cls, payload: Payload) -> "Fate":
+        return cls(FateKind.CORRUPT, corrupted_payload=payload)
+
+
+class Adversary(ABC):
+    """The environment controlling message delivery.
+
+    Subclasses implement :meth:`deliver_round`.  Adversaries own their
+    randomness: pass a ``seed`` for reproducible fault schedules.
+    """
+
+    #: Human-readable name used in experiment reports.
+    name: str = "adversary"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    @abstractmethod
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        """Turn the intended-message matrix into the received-message matrix.
+
+        Implementations must only *drop* or *replace* messages; they must
+        not invent receptions from processes that sent nothing (all
+        processes send at every round in this model, so every
+        ``(sender, receiver)`` pair is present in ``intended``).
+        """
+
+    def reset(self) -> None:
+        """Re-seed the adversary so the same instance can replay its schedule."""
+        self.rng = random.Random(self.seed)
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class EdgeAdversary(Adversary):
+    """Adversary deciding each (sender, receiver) edge independently."""
+
+    @abstractmethod
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        """Decide the fate of one message."""
+
+    def begin_round(self, round_num: int, intended: IntendedMatrix) -> None:
+        """Hook called once per round before any :meth:`fate` call.
+
+        Subclasses that need per-round planning (e.g. choosing which
+        edges to corrupt under a per-round budget) override this.
+        """
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        self.begin_round(round_num, intended)
+        received: ReceivedMatrix = {receiver: {} for receiver in _receivers(intended)}
+        for sender, per_receiver in intended.items():
+            for receiver, payload in per_receiver.items():
+                fate = self.fate(round_num, sender, receiver, payload)
+                if fate.kind is FateKind.DROP:
+                    continue
+                if fate.kind is FateKind.CORRUPT:
+                    received.setdefault(receiver, {})[sender] = fate.corrupted_payload
+                else:
+                    received.setdefault(receiver, {})[sender] = payload
+        return received
+
+
+class ReliableAdversary(EdgeAdversary):
+    """The fault-free environment: every message is delivered uncorrupted."""
+
+    name = "reliable"
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        return Fate.deliver()
+
+
+def _receivers(intended: IntendedMatrix) -> set:
+    receivers = set()
+    for per_receiver in intended.values():
+        receivers.update(per_receiver)
+    return receivers
+
+
+def perfect_delivery(intended: IntendedMatrix) -> ReceivedMatrix:
+    """Utility: the received matrix of a fully reliable round."""
+    received: ReceivedMatrix = {}
+    for sender, per_receiver in intended.items():
+        for receiver, payload in per_receiver.items():
+            received.setdefault(receiver, {})[sender] = payload
+    return received

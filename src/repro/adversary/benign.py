@@ -1,0 +1,144 @@
+"""Benign (omission-only) adversaries.
+
+Benign faults are the special case where a message is "corrupted into
+not being received": they shrink ``HO`` but never populate ``AHO``, so
+``P_benign`` (and hence ``P_alpha`` for every ``alpha``) always holds
+under these adversaries.  They are used for the baseline experiments
+(E12) and to exercise the claim that ``A_{T,E}`` stays safe under *any*
+number of omissions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.adversary.base import EdgeAdversary, Fate
+from repro.core.process import Payload, ProcessId
+
+
+class RandomOmissionAdversary(EdgeAdversary):
+    """Drops each message independently with probability ``drop_probability``."""
+
+    def __init__(self, drop_probability: float, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        if not 0 <= drop_probability <= 1:
+            raise ValueError(f"drop_probability must be in [0, 1], got {drop_probability}")
+        self.drop_probability = drop_probability
+        self.name = f"random-omission(p={drop_probability})"
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if self.rng.random() < self.drop_probability:
+            return Fate.drop()
+        return Fate.deliver()
+
+
+class CrashAdversary(EdgeAdversary):
+    """Simulates crash faults of the classical model as transmission faults.
+
+    A "crashed" process simply stops being heard of: all its outgoing
+    messages are dropped from its crash round on.  (The process object
+    itself keeps executing — there are no process faults in this model —
+    but nobody ever hears from it again, which is observationally the
+    same.)
+    """
+
+    def __init__(self, crash_rounds: dict, seed: Optional[int] = None) -> None:
+        """``crash_rounds`` maps process id -> first round at which it is silent."""
+        super().__init__(seed)
+        self.crash_rounds = dict(crash_rounds)
+        self.name = f"crash({sorted(self.crash_rounds)})"
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        crash_round = self.crash_rounds.get(sender)
+        if crash_round is not None and round_num >= crash_round:
+            return Fate.drop()
+        return Fate.deliver()
+
+
+class SilentSendersAdversary(EdgeAdversary):
+    """A fixed set of senders is never heard of (permanent omission faults)."""
+
+    def __init__(self, silent: Iterable[ProcessId], seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.silent: Set[ProcessId] = set(silent)
+        self.name = f"silent-senders({sorted(self.silent)})"
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if sender in self.silent:
+            return Fate.drop()
+        return Fate.deliver()
+
+
+class PartitionAdversary(EdgeAdversary):
+    """Splits ``Pi`` into groups; messages only cross within a group.
+
+    Useful for showing that ``A_{T,E}`` stays safe (but of course cannot
+    terminate) under arbitrary loss patterns, and for constructing runs
+    that violate the liveness predicates in a controlled way.
+    """
+
+    def __init__(self, groups: Iterable[Iterable[ProcessId]], seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self._group_of = {}
+        groups = [list(g) for g in groups]
+        for index, group in enumerate(groups):
+            for pid in group:
+                if pid in self._group_of:
+                    raise ValueError(f"process {pid} appears in more than one partition group")
+                self._group_of[pid] = index
+        self.groups = [frozenset(g) for g in groups]
+        self.name = f"partition({[sorted(g) for g in self.groups]})"
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        sender_group = self._group_of.get(sender)
+        receiver_group = self._group_of.get(receiver)
+        if sender_group is not None and sender_group == receiver_group:
+            return Fate.deliver()
+        return Fate.drop()
+
+
+class BoundedOmissionAdversary(EdgeAdversary):
+    """Drops at most ``max_omissions_per_receiver`` incoming messages per round.
+
+    Guarantees ``|HO(p, r)| >= n − max_omissions_per_receiver`` for every
+    process and round, which is how liveness-friendly lossy environments
+    are modelled.
+    """
+
+    def __init__(
+        self,
+        max_omissions_per_receiver: int,
+        drop_probability: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if max_omissions_per_receiver < 0:
+            raise ValueError("max_omissions_per_receiver must be non-negative")
+        if not 0 <= drop_probability <= 1:
+            raise ValueError(f"drop_probability must be in [0, 1], got {drop_probability}")
+        self.max_omissions_per_receiver = max_omissions_per_receiver
+        self.drop_probability = drop_probability
+        self.name = f"bounded-omission(k={max_omissions_per_receiver})"
+        self._dropped_this_round: dict = {}
+
+    def begin_round(self, round_num: int, intended) -> None:
+        self._dropped_this_round = {}
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        dropped = self._dropped_this_round.setdefault(receiver, 0)
+        if dropped >= self.max_omissions_per_receiver:
+            return Fate.deliver()
+        if self.rng.random() < self.drop_probability:
+            self._dropped_this_round[receiver] = dropped + 1
+            return Fate.drop()
+        return Fate.deliver()

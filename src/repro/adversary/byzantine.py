@@ -1,0 +1,90 @@
+"""Static Byzantine-process adversaries (Section 5.2).
+
+In the classical model, ``f`` processes are permanently Byzantine.  In
+the HO/value-fault encoding of that assumption, the *transmissions* of a
+fixed set ``B`` of processes may be arbitrarily corrupted in every round
+(``AS ⊆ B``, hence ``|AS| <= f``) while all other transmissions are
+reliable.  These adversaries generate exactly such runs; they satisfy
+
+* the synchronous predicate ``|SK| >= n − f``  (all non-``B`` senders are
+  always safely heard by everyone) and
+* the asynchronous predicate ``∀p, r: |HO(p, r)| >= n − f ∧ |AS| <= f``,
+
+and, trivially, ``P_alpha`` with ``alpha = f`` and ``P^perm_f``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.adversary.base import EdgeAdversary, Fate
+from repro.adversary.values import corrupt_value
+from repro.core.process import Payload, ProcessId, Value
+
+
+class StaticByzantineAdversary(EdgeAdversary):
+    """A fixed set of senders permanently emits corrupted values.
+
+    Parameters
+    ----------
+    byzantine:
+        The process ids whose outgoing transmissions are corrupted.
+    equivocate:
+        If True (default) each corrupted sender may send *different*
+        corrupted values to different receivers — the worst case of the
+        classical model.  If False, a corrupted sender sends the same
+        (corrupted) value to everyone in a round, which corresponds to
+        the "symmetrical"/"identical Byzantine" behaviour of Figure 3.
+    drop_probability:
+        Probability that a corrupted sender's message is omitted instead
+        of altered (Byzantine behaviour includes omissions).
+    """
+
+    def __init__(
+        self,
+        byzantine: Iterable[ProcessId],
+        equivocate: bool = True,
+        drop_probability: float = 0.0,
+        value_domain: Optional[Sequence[Value]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        self.byzantine: Set[ProcessId] = set(byzantine)
+        self.equivocate = equivocate
+        if not 0 <= drop_probability <= 1:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+        self.value_domain = list(value_domain) if value_domain is not None else None
+        self.name = (
+            f"static-byzantine(f={len(self.byzantine)}, "
+            f"{'equivocating' if equivocate else 'symmetric'})"
+        )
+        self._round_values: dict = {}
+
+    @property
+    def f(self) -> int:
+        return len(self.byzantine)
+
+    def begin_round(self, round_num: int, intended) -> None:
+        if not self.equivocate:
+            # Pre-draw one corrupted value per Byzantine sender for this
+            # round so that all receivers see the same (symmetric faults).
+            self._round_values = {}
+            for sender in sorted(self.byzantine):
+                original = None
+                if sender in intended:
+                    per_receiver = intended[sender]
+                    if per_receiver:
+                        original = next(iter(per_receiver.values()))
+                self._round_values[sender] = corrupt_value(self.rng, original, self.value_domain)
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if sender not in self.byzantine:
+            return Fate.deliver()
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            return Fate.drop()
+        if self.equivocate:
+            return Fate.corrupt(corrupt_value(self.rng, payload, self.value_domain))
+        return Fate.corrupt(self._round_values.get(sender, corrupt_value(self.rng, payload, self.value_domain)))

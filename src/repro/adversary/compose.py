@@ -1,0 +1,180 @@
+"""Adversary combinators: caps, constraints and schedules.
+
+The paper separates safety predicates (how much corruption) from
+liveness predicates (how much loss).  The combinators here let an
+experiment assemble an environment with precisely the guarantees a
+predicate demands, independently of which concrete "attack" the inner
+adversary mounts:
+
+* :class:`AlphaCapAdversary` enforces ``P_alpha`` on top of *any* inner
+  adversary by undoing excess corruptions (per receiver, per round).
+* :class:`MinimumSafeDeliveryAdversary` enforces a lower bound on
+  ``|SHO(p, r)|`` — the shape of ``P^{U,safe}`` — by restoring dropped
+  or corrupted messages when the inner adversary was too aggressive.
+* :class:`SequentialAdversary` switches between adversaries at given
+  round boundaries (transient "fault bursts").
+* :class:`RoundScheduleAdversary` picks an adversary per round from an
+  arbitrary schedule function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary, IntendedMatrix, ReceivedMatrix, perfect_delivery
+from repro.core.process import ProcessId
+
+
+class AlphaCapAdversary(Adversary):
+    """Enforce ``P_alpha`` on top of an arbitrary inner adversary.
+
+    After the inner adversary has produced its received matrix, every
+    receiver's corrupted entries beyond the first ``alpha`` (in
+    deterministic sender order) are restored to their intended values.
+    Omissions are left untouched — ``P_alpha`` does not restrict them.
+    """
+
+    def __init__(self, inner: Adversary, alpha: int, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.inner = inner
+        self.alpha = alpha
+        self.name = f"alpha-cap(alpha={alpha}, inner={inner.name})"
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        received = self.inner.deliver_round(round_num, intended)
+        for receiver, inbox in received.items():
+            corrupted: List[ProcessId] = []
+            for sender in sorted(inbox):
+                intended_payload = intended.get(sender, {}).get(receiver)
+                if intended_payload is not None and inbox[sender] != intended_payload:
+                    corrupted.append(sender)
+            for sender in corrupted[self.alpha:]:
+                inbox[sender] = intended[sender][receiver]
+        return received
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+
+class MinimumSafeDeliveryAdversary(Adversary):
+    """Guarantee ``|SHO(p, r)| >= minimum`` for every receiver and round.
+
+    This is the environment-side counterpart of ``P^{U,safe}``-style
+    predicates: whatever the inner adversary does, enough messages are
+    restored (uncorrupted, in deterministic sender order) that every
+    receiver safely hears of at least ``minimum`` senders.  Note that
+    ``P^{U,safe}`` uses a strict bound, so to satisfy
+    ``|SHO| > m`` pass ``minimum = m + 1`` (or use
+    :meth:`for_strict_bound`).
+    """
+
+    def __init__(self, inner: Adversary, minimum: int, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        if minimum < 0:
+            raise ValueError(f"minimum must be non-negative, got {minimum}")
+        self.inner = inner
+        self.minimum = minimum
+        self.name = f"min-safe-delivery(min={minimum}, inner={inner.name})"
+
+    @classmethod
+    def for_strict_bound(cls, inner: Adversary, strict_bound: float) -> "MinimumSafeDeliveryAdversary":
+        """Build a wrapper ensuring ``|SHO| > strict_bound``."""
+        import math
+
+        return cls(inner, minimum=int(math.floor(strict_bound)) + 1)
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        received = self.inner.deliver_round(round_num, intended)
+        senders = sorted(intended)
+        for receiver in {r for per in intended.values() for r in per}:
+            inbox = received.setdefault(receiver, {})
+            safe = [
+                s
+                for s in inbox
+                if intended.get(s, {}).get(receiver) is not None
+                and inbox[s] == intended[s][receiver]
+            ]
+            if len(safe) >= self.minimum:
+                continue
+            needed = self.minimum - len(safe)
+            for sender in senders:
+                if needed == 0:
+                    break
+                intended_payload = intended.get(sender, {}).get(receiver)
+                if intended_payload is None:
+                    continue
+                if sender in inbox and inbox[sender] == intended_payload:
+                    continue
+                inbox[sender] = intended_payload
+                needed -= 1
+        return received
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+
+class SequentialAdversary(Adversary):
+    """Switch adversaries at round boundaries.
+
+    ``phases`` is a sequence of ``(first_round, adversary)`` pairs sorted
+    by ``first_round``; the adversary whose ``first_round`` is the
+    largest one not exceeding the current round handles the round.  This
+    models transient fault bursts: e.g. corruption for rounds 1-10, then
+    a quiet network.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[Tuple[int, Adversary]],
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if not phases:
+            raise ValueError("SequentialAdversary requires at least one phase")
+        self.phases = sorted(phases, key=lambda pair: pair[0])
+        if self.phases[0][0] > 1:
+            raise ValueError("the first phase must start at round 1")
+        self.name = "sequential(" + ", ".join(
+            f"r>={start}:{adv.name}" for start, adv in self.phases
+        ) + ")"
+
+    def adversary_for_round(self, round_num: int) -> Adversary:
+        chosen = self.phases[0][1]
+        for start, adversary in self.phases:
+            if start <= round_num:
+                chosen = adversary
+            else:
+                break
+        return chosen
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        return self.adversary_for_round(round_num).deliver_round(round_num, intended)
+
+    def reset(self) -> None:
+        super().reset()
+        for _, adversary in self.phases:
+            adversary.reset()
+
+
+class RoundScheduleAdversary(Adversary):
+    """Pick the adversary for each round via an arbitrary callable."""
+
+    def __init__(
+        self,
+        schedule: Callable[[int], Optional[Adversary]],
+        name: str = "round-schedule",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        self.schedule = schedule
+        self.name = name
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        adversary = self.schedule(round_num)
+        if adversary is None:
+            return perfect_delivery(intended)
+        return adversary.deliver_round(round_num, intended)

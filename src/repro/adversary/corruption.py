@@ -1,0 +1,205 @@
+"""Value-fault (corruption) adversaries.
+
+These adversaries populate the altered heard-of sets ``AHO(p, r)``.
+Most of them keep the communication ``alpha``-safe *by construction*
+(at most ``alpha`` corrupted receptions per process per round), which is
+how runs satisfying ``P_alpha`` are generated for the correctness
+experiments; :class:`UnboundedCorruptionAdversary` and
+:class:`SplitVoteAdversary` deliberately exceed the bound to show where
+the algorithms' guarantees stop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.adversary.base import Adversary, EdgeAdversary, Fate, IntendedMatrix, ReceivedMatrix, perfect_delivery
+from repro.adversary.values import corrupt_value
+from repro.core.process import Payload, ProcessId, Value
+
+
+class RandomCorruptionAdversary(EdgeAdversary):
+    """Corrupts up to ``alpha`` incoming messages per receiver per round.
+
+    Each round, for each receiver, the adversary picks up to ``alpha``
+    random senders whose messages are corrupted; additionally each
+    message may independently be dropped with ``drop_probability``
+    (``P_alpha`` says nothing about omissions, so this stays within the
+    predicate).  The injected values are drawn from ``value_domain`` when
+    given (plausible corruptions) and from poison values otherwise.
+    """
+
+    def __init__(
+        self,
+        alpha: int,
+        corruption_probability: float = 1.0,
+        drop_probability: float = 0.0,
+        value_domain: Optional[Sequence[Value]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if not 0 <= corruption_probability <= 1:
+            raise ValueError("corruption_probability must be in [0, 1]")
+        if not 0 <= drop_probability <= 1:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.alpha = alpha
+        self.corruption_probability = corruption_probability
+        self.drop_probability = drop_probability
+        self.value_domain = list(value_domain) if value_domain is not None else None
+        self.name = f"random-corruption(alpha={alpha}, p_drop={drop_probability})"
+        self._targets: Dict[ProcessId, Set[ProcessId]] = {}
+
+    def begin_round(self, round_num: int, intended: IntendedMatrix) -> None:
+        """Pick, per receiver, the senders whose messages will be corrupted."""
+        self._targets = {}
+        senders = sorted(intended)
+        for receiver in senders:  # Pi is the same set of senders and receivers
+            if self.alpha == 0 or self.rng.random() >= self.corruption_probability:
+                self._targets[receiver] = set()
+                continue
+            budget = self.rng.randint(1, self.alpha)
+            chosen = self.rng.sample(senders, min(budget, len(senders)))
+            self._targets[receiver] = set(chosen)
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if sender in self._targets.get(receiver, ()):
+            return Fate.corrupt(corrupt_value(self.rng, payload, self.value_domain))
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            return Fate.drop()
+        return Fate.deliver()
+
+
+class RotatingSenderCorruptionAdversary(EdgeAdversary):
+    """``alpha`` *senders* per round emit corrupted values to everybody.
+
+    The corrupted senders change every round (dynamic, transient faults),
+    which is exactly the situation the paper contrasts with static
+    Byzantine processes: over ``r`` rounds as many as ``min(n, r·alpha)``
+    distinct processes emit corrupted information, yet every receiver
+    sees at most ``alpha`` corruptions per round, so ``P_alpha`` holds.
+    """
+
+    def __init__(
+        self,
+        alpha: int,
+        value_domain: Optional[Sequence[Value]] = None,
+        seed: Optional[int] = None,
+        equivocate: bool = True,
+    ) -> None:
+        super().__init__(seed)
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.value_domain = list(value_domain) if value_domain is not None else None
+        self.equivocate = equivocate
+        self.name = f"rotating-sender-corruption(alpha={alpha})"
+        self._corrupted_senders: List[ProcessId] = []
+
+    def begin_round(self, round_num: int, intended: IntendedMatrix) -> None:
+        senders = sorted(intended)
+        if not senders or self.alpha == 0:
+            self._corrupted_senders = []
+            return
+        count = min(self.alpha, len(senders))
+        # Deterministic rotation plus a shuffled offset keeps the choice
+        # both dynamic and reproducible.
+        start = ((round_num - 1) * count) % len(senders)
+        rotated = senders[start:] + senders[:start]
+        self._corrupted_senders = rotated[:count]
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if sender not in self._corrupted_senders:
+            return Fate.deliver()
+        if self.equivocate:
+            return Fate.corrupt(corrupt_value(self.rng, payload, self.value_domain))
+        # Non-equivocating: same corrupted value to everyone this round.
+        seeded = corrupt_value(self.rng_for(round_num, sender), payload, self.value_domain)
+        return Fate.corrupt(seeded)
+
+    def rng_for(self, round_num: int, sender: ProcessId):
+        import random as _random
+
+        return _random.Random((self.seed or 0, round_num, sender).__hash__())
+
+
+class UnboundedCorruptionAdversary(EdgeAdversary):
+    """Corrupts each message independently with a given probability.
+
+    There is no per-receiver budget, so for non-trivial probabilities the
+    run will violate ``P_alpha`` for small ``alpha`` — used to
+    demonstrate that the algorithms' guarantees are conditional on the
+    predicate.
+    """
+
+    def __init__(
+        self,
+        corruption_probability: float,
+        value_domain: Optional[Sequence[Value]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if not 0 <= corruption_probability <= 1:
+            raise ValueError("corruption_probability must be in [0, 1]")
+        self.corruption_probability = corruption_probability
+        self.value_domain = list(value_domain) if value_domain is not None else None
+        self.name = f"unbounded-corruption(p={corruption_probability})"
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if self.rng.random() < self.corruption_probability:
+            return Fate.corrupt(corrupt_value(self.rng, payload, self.value_domain))
+        return Fate.deliver()
+
+
+class SplitVoteAdversary(Adversary):
+    """Actively tries to break Agreement by splitting the vote.
+
+    The adversary partitions the receivers into two camps and, within a
+    per-receiver corruption budget, rewrites incoming messages so that
+    camp 0 sees as many ``value_a`` as possible and camp 1 as many
+    ``value_b`` as possible.  With a budget above the algorithm's
+    tolerance this drives the two camps towards different decisions —
+    the canonical safety-violation scenario used in the boundary
+    experiments (E6/E7).
+    """
+
+    def __init__(
+        self,
+        budget_per_receiver: int,
+        value_a: Value,
+        value_b: Value,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if budget_per_receiver < 0:
+            raise ValueError("budget_per_receiver must be non-negative")
+        self.budget_per_receiver = budget_per_receiver
+        self.value_a = value_a
+        self.value_b = value_b
+        self.name = (
+            f"split-vote(budget={budget_per_receiver}, "
+            f"a={value_a!r}, b={value_b!r})"
+        )
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        received = perfect_delivery(intended)
+        receivers = sorted(received)
+        for receiver in receivers:
+            target = self.value_a if receiver < len(receivers) / 2 else self.value_b
+            budget = self.budget_per_receiver
+            inbox = received[receiver]
+            # Corrupt messages that do not already carry the target value.
+            for sender in sorted(inbox):
+                if budget == 0:
+                    break
+                if inbox[sender] != target:
+                    inbox[sender] = target
+                    budget -= 1
+        return received

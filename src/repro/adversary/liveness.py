@@ -1,0 +1,175 @@
+"""Adversaries structured to satisfy the paper's liveness predicates.
+
+The correctness theorems are conditional: ``A_{T,E}`` terminates only in
+runs satisfying ``P^{A,live}`` (Figure 1) and ``U_{T,E,α}`` only in runs
+satisfying ``P^{U,live}`` (Figure 2) — predicates that require certain
+"good" rounds/phases to occur *sporadically* (not from some
+stabilisation time on).  The wrappers in this module take an arbitrary
+inner adversary (the "bad weather") and overlay the good-weather
+structure:
+
+* :class:`PeriodicGoodRoundAdversary` makes every ``period``-th round a
+  perfect round (everything delivered uncorrupted), which satisfies all
+  three conjuncts of ``P^{A,live}`` provided ``n > T`` and ``n > E``.
+* :class:`PartialGoodRoundAdversary` builds the *general* good round of
+  Figure 1: only a subset ``Π²`` (of size ``> T``) is heard — safely and
+  identically — by a subset ``Π¹`` (of size ``> E − α``), exercising the
+  predicate's full generality rather than the perfect-round special case.
+* :class:`PeriodicGoodPhaseAdversary` makes the three-round window
+  ``{2φ0, 2φ0+1, 2φ0+2}`` of every ``period``-th phase perfect, which
+  satisfies ``P^{U,live}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from repro.adversary.base import (
+    Adversary,
+    IntendedMatrix,
+    ReceivedMatrix,
+    ReliableAdversary,
+    perfect_delivery,
+)
+from repro.core.process import ProcessId
+
+
+class PeriodicGoodRoundAdversary(Adversary):
+    """Delegates to ``inner`` except on perfect rounds every ``period`` rounds.
+
+    Round ``r`` is perfect iff ``r % period == offset % period``.  With
+    ``period = 1`` this is the reliable environment.
+    """
+
+    def __init__(
+        self,
+        inner: Adversary,
+        period: int,
+        offset: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.inner = inner
+        self.period = period
+        self.offset = offset
+        self.name = f"periodic-good-round(period={period}, inner={inner.name})"
+
+    def is_good_round(self, round_num: int) -> bool:
+        return round_num % self.period == self.offset % self.period
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        if self.is_good_round(round_num):
+            return perfect_delivery(intended)
+        return self.inner.deliver_round(round_num, intended)
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+
+class PartialGoodRoundAdversary(Adversary):
+    """Good rounds in the *general* form of Figure 1.
+
+    On a good round, every process in ``pi1`` receives exactly the
+    messages of ``pi2``, uncorrupted (``HO = SHO = Π²``); processes
+    outside ``pi1`` are handled by the inner adversary.  On other rounds
+    the inner adversary is in full control.
+    """
+
+    def __init__(
+        self,
+        inner: Adversary,
+        pi1: Sequence[ProcessId],
+        pi2: Sequence[ProcessId],
+        period: int,
+        offset: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.inner = inner
+        self.pi1: Set[ProcessId] = set(pi1)
+        self.pi2: Set[ProcessId] = set(pi2)
+        self.period = period
+        self.offset = offset
+        self.name = (
+            f"partial-good-round(|pi1|={len(self.pi1)}, |pi2|={len(self.pi2)}, "
+            f"period={period}, inner={inner.name})"
+        )
+
+    def is_good_round(self, round_num: int) -> bool:
+        return round_num % self.period == self.offset % self.period
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        base = self.inner.deliver_round(round_num, intended)
+        if not self.is_good_round(round_num):
+            return base
+        # Overwrite the inboxes of pi1 members: they hear exactly pi2, safely.
+        for receiver in self.pi1:
+            inbox = {}
+            for sender in self.pi2:
+                if sender in intended and receiver in intended[sender]:
+                    inbox[sender] = intended[sender][receiver]
+            base[receiver] = inbox
+        return base
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+
+class PeriodicGoodPhaseAdversary(Adversary):
+    """Perfect three-round windows aligned with the phases of ``U_{T,E,α}``.
+
+    Phase ``φ`` consists of rounds ``2φ−1`` and ``2φ``.  ``P^{U,live}``
+    needs rounds ``2φ0``, ``2φ0+1`` and ``2φ0+2`` to be good for some
+    phase ``φ0``; this wrapper makes that window perfect for every
+    ``period``-th phase (``φ0 = offset, offset + period, ...``).
+    """
+
+    def __init__(
+        self,
+        inner: Adversary,
+        period: int,
+        offset: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if offset < 1:
+            raise ValueError(f"offset must be >= 1, got {offset}")
+        self.inner = inner
+        self.period = period
+        self.offset = offset
+        self.name = f"periodic-good-phase(period={period}, inner={inner.name})"
+
+    def good_phases(self, up_to_phase: int) -> Sequence[int]:
+        return [phi for phi in range(self.offset, up_to_phase + 1, self.period)]
+
+    def is_good_round(self, round_num: int) -> bool:
+        """True for rounds ``2φ0``, ``2φ0+1``, ``2φ0+2`` of any good phase ``φ0``."""
+        for phi0 in range(self.offset, round_num // 2 + 2, self.period):
+            window = (2 * phi0, 2 * phi0 + 1, 2 * phi0 + 2)
+            if round_num in window:
+                return True
+            if 2 * phi0 > round_num:
+                break
+        return False
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        if self.is_good_round(round_num):
+            return perfect_delivery(intended)
+        return self.inner.deliver_round(round_num, intended)
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+
+
+def reliable() -> ReliableAdversary:
+    """Convenience constructor for the fault-free environment."""
+    return ReliableAdversary()

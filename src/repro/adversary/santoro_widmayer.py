@@ -1,0 +1,100 @@
+"""Santoro–Widmayer block-fault adversaries (Section 5.1, [18, 19]).
+
+Santoro and Widmayer prove that agreement is impossible with as few as
+``⌊n/2⌋`` faulty transmissions per round when those faults can occur in
+*blocks*: in every round the outgoing links of (potentially a different)
+single process are affected.  The adversaries in this module realise
+exactly that scenario so the benchmark harness can (a) show that
+classic round-by-round algorithms stall or lose agreement under it and
+(b) show that the paper's algorithms stay *safe* throughout and
+terminate as soon as the sporadic good rounds demanded by the liveness
+predicates occur — which is the sense in which the paper "circumvents"
+the lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.adversary.base import EdgeAdversary, Fate, IntendedMatrix
+from repro.adversary.values import corrupt_value
+from repro.core.process import Payload, ProcessId, Value
+
+
+class BlockFaultAdversary(EdgeAdversary):
+    """Per round, the outgoing links of one victim process are hit.
+
+    Parameters
+    ----------
+    faults_per_round:
+        How many of the victim's outgoing links are affected each round
+        (the Santoro–Widmayer bound uses ``⌊n/2⌋``; ``None`` means *all*
+        outgoing links).
+    mode:
+        ``"corrupt"`` (value faults, the case discussed in Section 5.1)
+        or ``"drop"`` (benign block faults, the original send-omission
+        scenario of [18]).
+    victim_schedule:
+        Optional explicit sequence of victims (1-based round ``r`` uses
+        ``victim_schedule[(r − 1) % len]``); defaults to round-robin over
+        all processes, which makes the faults dynamic — a different
+        process is hit every round, so mapping faults onto "faulty
+        processes" would eventually blame everyone.
+    """
+
+    def __init__(
+        self,
+        faults_per_round: Optional[int] = None,
+        mode: str = "corrupt",
+        victim_schedule: Optional[Sequence[ProcessId]] = None,
+        value_domain: Optional[Sequence[Value]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed)
+        if mode not in {"corrupt", "drop"}:
+            raise ValueError(f"mode must be 'corrupt' or 'drop', got {mode!r}")
+        if faults_per_round is not None and faults_per_round < 0:
+            raise ValueError("faults_per_round must be non-negative")
+        self.faults_per_round = faults_per_round
+        self.mode = mode
+        self.victim_schedule = list(victim_schedule) if victim_schedule else None
+        self.value_domain = list(value_domain) if value_domain is not None else None
+        self.name = f"santoro-widmayer-block(mode={mode}, k={faults_per_round})"
+        self._victim: Optional[ProcessId] = None
+        self._affected_receivers: set = set()
+
+    def victim_of_round(self, round_num: int, senders: Sequence[ProcessId]) -> ProcessId:
+        if self.victim_schedule:
+            return self.victim_schedule[(round_num - 1) % len(self.victim_schedule)]
+        return senders[(round_num - 1) % len(senders)]
+
+    def begin_round(self, round_num: int, intended: IntendedMatrix) -> None:
+        senders = sorted(intended)
+        if not senders:
+            self._victim = None
+            self._affected_receivers = set()
+            return
+        self._victim = self.victim_of_round(round_num, senders)
+        receivers = sorted(intended[self._victim]) if self._victim in intended else []
+        if self.faults_per_round is None:
+            self._affected_receivers = set(receivers)
+        else:
+            count = min(self.faults_per_round, len(receivers))
+            # Rotate which receivers are affected so faults spread over links.
+            start = (round_num - 1) % max(len(receivers), 1)
+            rotated = receivers[start:] + receivers[:start]
+            self._affected_receivers = set(rotated[:count])
+
+    def fate(
+        self, round_num: int, sender: ProcessId, receiver: ProcessId, payload: Payload
+    ) -> Fate:
+        if sender != self._victim or receiver not in self._affected_receivers:
+            return Fate.deliver()
+        if self.mode == "drop":
+            return Fate.drop()
+        return Fate.corrupt(corrupt_value(self.rng, payload, self.value_domain))
+
+
+def santoro_widmayer_bound(n: int) -> int:
+    """The Santoro–Widmayer threshold: ``⌊n/2⌋`` faulty transmissions per round."""
+    return n // 2

@@ -1,0 +1,41 @@
+"""Helpers for picking the *corrupted* payload an adversary injects.
+
+A corruption must produce a payload different from the intended one
+(otherwise it is indistinguishable from correct delivery and does not
+populate ``AHO``).  The strategies here are used by all corrupting
+adversaries; they are deterministic given the adversary's RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.process import Payload, Value
+
+#: Default pool of adversarial values injected when no explicit domain is
+#: given.  Deliberately outside the typical initial-value domains used in
+#: tests/benchmarks so corrupted values are easy to spot in traces.
+DEFAULT_POISON_VALUES: Sequence[Value] = (10**9, 10**9 + 1, "corrupted", -1)
+
+
+def corrupt_value(
+    rng: random.Random,
+    original: Payload,
+    domain: Optional[Sequence[Value]] = None,
+) -> Payload:
+    """Return a payload different from ``original``.
+
+    If ``domain`` is given, the corrupted value is drawn from it (this is
+    how "plausible" corruptions — values other processes might also hold
+    — are injected, which is the hardest case for agreement).  If every
+    value of the domain equals ``original`` a poison value is used
+    instead, so the result is always a genuine corruption.
+    """
+    pool = list(domain) if domain else list(DEFAULT_POISON_VALUES)
+    candidates = [v for v in pool if v != original]
+    if not candidates:
+        candidates = [v for v in DEFAULT_POISON_VALUES if v != original]
+    if not candidates:  # pragma: no cover - poison values always differ from any single value
+        return ("corrupted", original)
+    return rng.choice(candidates)

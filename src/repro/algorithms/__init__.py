@@ -1,0 +1,35 @@
+"""Consensus algorithms.
+
+* :class:`AteAlgorithm` — the paper's ``A_{T,E}`` (Algorithm 1).
+* :class:`UteAlgorithm` — the paper's ``U_{T,E,alpha}`` (Algorithm 2).
+* :class:`OneThirdRuleAlgorithm` — the benign-case OneThirdRule of
+  Charron-Bost/Schiper, i.e. ``A_{2n/3, 2n/3}`` at ``alpha = 0``.
+* :class:`UniformVotingAlgorithm` — the benign-case UniformVoting-style
+  baseline, i.e. ``U`` at ``alpha = 0`` with the minimal thresholds.
+* :class:`PhaseKingAlgorithm` — a classical static-Byzantine baseline
+  (phase-king style) used in the Section 5 comparisons.
+
+All algorithms are :class:`repro.core.algorithm.HOAlgorithm` factories;
+their processes are :class:`repro.core.process.HOProcess` instances.
+"""
+
+from repro.algorithms.ate import AteAlgorithm, AteProcess
+from repro.algorithms.one_third_rule import OneThirdRuleAlgorithm
+from repro.algorithms.phase_king import PhaseKingAlgorithm, PhaseKingProcess
+from repro.algorithms.registry import available_algorithms, make_algorithm
+from repro.algorithms.uniform_voting import UniformVotingAlgorithm
+from repro.algorithms.ute import QUESTION_MARK, UteAlgorithm, UteProcess
+
+__all__ = [
+    "AteAlgorithm",
+    "AteProcess",
+    "OneThirdRuleAlgorithm",
+    "PhaseKingAlgorithm",
+    "PhaseKingProcess",
+    "QUESTION_MARK",
+    "UniformVotingAlgorithm",
+    "UteAlgorithm",
+    "UteProcess",
+    "available_algorithms",
+    "make_algorithm",
+]

@@ -1,0 +1,155 @@
+"""The ``A_{T,E}`` algorithm (Algorithm 1 of the paper).
+
+``A_{T,E}`` is a parametrisation of the OneThirdRule algorithm of
+Charron-Bost and Schiper.  Each process ``p`` maintains a single
+variable ``x_p`` initialised to its initial value.  At every round it
+broadcasts ``x_p``; on reception it
+
+* updates ``x_p`` to the *smallest most often received value* whenever
+  it heard of strictly more than ``T`` processes (the "Threshold"), and
+* decides ``v`` whenever strictly more than ``E`` of the received values
+  equal ``v`` (the "Enough" threshold).
+
+Correctness (Theorem 1): under ``P_alpha`` the algorithm is safe when
+``E >= n/2 + alpha`` and ``T >= 2(n + 2*alpha - E)``, and it terminates
+under the additional liveness predicate ``P^{A,live}`` when moreover
+``n > E`` and ``n > T``.  Solutions therefore exist iff ``alpha < n/4``;
+Proposition 4's symmetric choice is ``E = T = 2(n + 2*alpha)/3``, which
+at ``alpha = 0`` coincides exactly with OneThirdRule.
+
+Implementation note — guard structure.  The listing in the paper nests
+the decision test inside the ``|HO(p, r)| > T`` guard (inherited from
+the OneThirdRule listing), but the proof of Proposition 3 (Termination)
+only relies on a process receiving more than ``E`` equal values in
+order to decide — without requiring ``|HO| > T`` at that round (the
+liveness predicate's final conjunct only guarantees ``|SHO(p, r_p)| > E``).
+For parameter choices with ``T > E`` the nested reading would break that
+argument, so this implementation evaluates the two guards independently
+(decide whenever more than ``E`` equal values are received, update
+``x_p`` whenever more than ``T`` messages are received).  For ``E >= T``
+— in particular the symmetric choice and OneThirdRule — both readings
+coincide.  The nested behaviour is available via
+``AteAlgorithm(..., nested_decision_guard=True)`` for ablation
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.algorithms.voting import smallest_most_frequent, values_above
+from repro.core.algorithm import HOAlgorithm
+from repro.core.parameters import AteParameters
+from repro.core.predicates import AlphaSafePredicate, ALivePredicate
+from repro.core.process import HOProcess, Payload, ProcessId, Value
+
+
+class AteProcess(HOProcess):
+    """One process of ``A_{T,E}``."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        initial_value: Value,
+        params: AteParameters,
+        nested_decision_guard: bool = False,
+    ) -> None:
+        super().__init__(pid, n, initial_value)
+        if params.n != n:
+            raise ValueError(f"parameters are for n={params.n}, algorithm instantiated with n={n}")
+        self.params = params
+        self.nested_decision_guard = nested_decision_guard
+        #: The estimate ``x_p``, initially the process's initial value.
+        self.x: Value = initial_value
+
+    # -- S_p^r -------------------------------------------------------------------
+    def send(self, round_num: int) -> Payload:
+        """Broadcast the current estimate ``x_p`` (line 5)."""
+        return self.x
+
+    # -- T_p^r -------------------------------------------------------------------
+    def transition(self, round_num: int, reception: Mapping[ProcessId, Payload]) -> None:
+        """Apply lines 7-10 of Algorithm 1 to the reception vector."""
+        received = list(reception.values())
+        heard = len(reception)
+
+        updated = False
+        if heard > self.params.threshold:
+            candidate = smallest_most_frequent(received)
+            if candidate is not None:
+                self.x = candidate
+            updated = True
+
+        if self.nested_decision_guard and not updated:
+            return
+        if self.decided:
+            # Decisions are irrevocable; once made, later rounds only keep
+            # updating the estimate (the guard on line 9 has no further effect).
+            return
+
+        winners = values_above(received, self.params.enough)
+        if winners:
+            # Lemma 2: with E >= n/2 at most one value can clear the bar;
+            # the deterministic tie-break of `values_above` callers keeps
+            # behaviour well defined even outside the predicate.
+            decision = min(winners, key=lambda v: (type(v).__name__, repr(v)))
+            self._decide(decision, round_num)
+
+    # -- introspection -------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, object]:
+        snapshot = super().state_snapshot()
+        snapshot["x"] = self.x
+        return snapshot
+
+
+class AteAlgorithm(HOAlgorithm):
+    """Factory for ``A_{T,E}`` processes."""
+
+    rounds_per_phase = 1
+
+    def __init__(self, params: AteParameters, nested_decision_guard: bool = False) -> None:
+        self.params = params
+        self.nested_decision_guard = nested_decision_guard
+        self.name = (
+            f"A(T={_fmt(params.threshold)},E={_fmt(params.enough)})"
+            f"[n={params.n},alpha={_fmt(params.alpha)}]"
+        )
+
+    @classmethod
+    def symmetric(cls, n: int, alpha: float = 0) -> "AteAlgorithm":
+        """Proposition 4's instance ``E = T = 2(n + 2*alpha)/3``."""
+        return cls(AteParameters.symmetric(n=n, alpha=alpha))
+
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> AteProcess:
+        return AteProcess(
+            pid,
+            n,
+            initial_value,
+            self.params,
+            nested_decision_guard=self.nested_decision_guard,
+        )
+
+    # -- predicates from the paper --------------------------------------------------
+    def safety_predicate(self, n: Optional[int] = None) -> AlphaSafePredicate:
+        """``P_alpha`` with this instance's ``alpha``."""
+        return AlphaSafePredicate(self.params.alpha)
+
+    def liveness_predicate(self, n: Optional[int] = None) -> ALivePredicate:
+        """``P^{A,live}`` for this instance's thresholds."""
+        return ALivePredicate(
+            n=self.params.n,
+            alpha=self.params.alpha,
+            threshold=self.params.threshold,
+            enough=self.params.enough,
+        )
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _fmt(x) -> str:
+    try:
+        return f"{float(x):g}"
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return str(x)

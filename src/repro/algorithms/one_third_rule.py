@@ -1,0 +1,37 @@
+"""The OneThirdRule baseline (Charron-Bost & Schiper, benign HO model).
+
+OneThirdRule is the benign-fault algorithm that ``A_{T,E}`` generalises:
+a process updates its estimate to the smallest most frequent received
+value whenever it hears of more than ``2n/3`` processes, and decides a
+value received more than ``2n/3`` times.  The paper observes (end of
+Section 3.3) that ``A_{2n/3, 2n/3}`` at ``alpha = 0`` "exactly coincides
+with the OneThirdRule algorithm".
+
+The class below is therefore a thin wrapper around
+:class:`repro.algorithms.ate.AteAlgorithm` with the OneThirdRule
+thresholds pinned; keeping it as a named algorithm makes the baseline
+comparisons of the benchmark harness explicit and lets the equivalence
+be *tested* rather than asserted (see
+``tests/algorithms/test_one_third_rule.py``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algorithms.ate import AteAlgorithm, AteProcess
+from repro.core.parameters import AteParameters
+from repro.core.process import ProcessId, Value
+
+
+class OneThirdRuleAlgorithm(AteAlgorithm):
+    """OneThirdRule = ``A_{T,E}`` with ``T = E = 2n/3`` and ``alpha = 0``."""
+
+    def __init__(self, n: int) -> None:
+        two_thirds = Fraction(2, 3) * n
+        params = AteParameters(n=n, alpha=0, threshold=two_thirds, enough=two_thirds)
+        super().__init__(params)
+        self.name = f"OneThirdRule[n={n}]"
+
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> AteProcess:
+        return super().create_process(pid, n, initial_value)

@@ -1,0 +1,164 @@
+"""Phase-King: a classical static-Byzantine consensus baseline.
+
+Section 5 of the paper contrasts the HO/value-fault approach with the
+classical model of *static, permanent* Byzantine process faults.  To
+make those comparisons executable this module provides the phase-king
+algorithm of Berman and Garay: a deterministic synchronous consensus
+algorithm tolerating ``f`` Byzantine processes when ``n > 4f``,
+running ``f + 1`` phases of two rounds each.
+
+In the HO encoding of the classical setting (Section 5.2) a Byzantine
+process is a process whose *outgoing transmissions* may be permanently
+corrupted — i.e. the adversary corrupts the same ``f`` senders in every
+round (``|AS| <= f``) while everything else is synchronous and reliable
+(``|SK| >= n - f``).  Phase-king is the baseline used in experiment E11
+and in the fast-decision comparison (E9): it terminates in ``2(f + 1)``
+rounds regardless of the run, which is what the static model pays
+compared to the paper's fast ``A_{T,E}``.
+
+Phase structure (phase ``φ`` = rounds ``2φ−1`` and ``2φ``):
+
+* Round ``2φ−1`` — everyone broadcasts its current value; each process
+  records the majority value among received messages and its count.
+* Round ``2φ``  — the *king* of the phase (process ``φ − 1``) broadcasts
+  its majority value; a process keeps its own majority value if its
+  count exceeded ``n/2 + f``, otherwise it adopts the king's value.
+
+After phase ``f + 1`` every process decides its current value.  With at
+most ``f`` Byzantine senders and ``f + 1`` phases, at least one phase
+has a correct king, which makes all correct processes agree from that
+phase on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.algorithms.voting import smallest_most_frequent, value_counts
+from repro.core.algorithm import HOAlgorithm
+from repro.core.predicates import ByzantineSynchronousPredicate
+from repro.core.process import HOProcess, Payload, ProcessId, Value
+
+
+class PhaseKingProcess(HOProcess):
+    """One process of the phase-king algorithm."""
+
+    def __init__(self, pid: ProcessId, n: int, initial_value: Value, f: int) -> None:
+        super().__init__(pid, n, initial_value)
+        if f < 0:
+            raise ValueError(f"f must be non-negative, got {f}")
+        self.f = f
+        #: Current estimate.
+        self.x: Value = initial_value
+        #: Majority value observed in the current phase's first round.
+        self._majority: Optional[Value] = None
+        #: Count of the majority value.
+        self._majority_count: int = 0
+
+    # ------------------------------------------------------------------
+    # Phase / round bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_phases(self) -> int:
+        return self.f + 1
+
+    @property
+    def total_rounds(self) -> int:
+        return 2 * self.total_phases
+
+    @staticmethod
+    def phase_of(round_num: int) -> int:
+        return (round_num + 1) // 2
+
+    @staticmethod
+    def is_first_round(round_num: int) -> bool:
+        return round_num % 2 == 1
+
+    def king_of(self, phase: int) -> ProcessId:
+        """The king of ``phase`` (phases are 1-based, kings rotate from 0)."""
+        return (phase - 1) % self.n
+
+    # -- S_p^r -------------------------------------------------------------------
+    def send(self, round_num: int) -> Payload:
+        if self.is_first_round(round_num):
+            return self.x
+        # Second round: the king broadcasts its majority value.  Non-king
+        # processes still emit their majority value (everyone sends in the
+        # HO model) but receivers only consult the king's entry.
+        return self._majority if self._majority is not None else self.x
+
+    # -- T_p^r -------------------------------------------------------------------
+    def transition(self, round_num: int, reception: Mapping[ProcessId, Payload]) -> None:
+        phase = self.phase_of(round_num)
+        if phase > self.total_phases:
+            return
+        if self.is_first_round(round_num):
+            self._first_round(reception)
+        else:
+            self._second_round(phase, round_num, reception)
+
+    def _first_round(self, reception: Mapping[ProcessId, Payload]) -> None:
+        received = list(reception.values())
+        majority = smallest_most_frequent(received)
+        if majority is None:
+            self._majority = self.x
+            self._majority_count = 0
+            return
+        self._majority = majority
+        self._majority_count = value_counts(received)[majority]
+
+    def _second_round(
+        self, phase: int, round_num: int, reception: Mapping[ProcessId, Payload]
+    ) -> None:
+        king = self.king_of(phase)
+        king_value = reception.get(king)
+        if self._majority_count > self.n / 2 + self.f:
+            self.x = self._majority
+        elif king_value is not None:
+            self.x = king_value
+        elif self._majority is not None:
+            self.x = self._majority
+        if phase == self.total_phases:
+            self._decide(self.x, round_num)
+
+    # -- introspection -------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, object]:
+        snapshot = super().state_snapshot()
+        snapshot["x"] = self.x
+        snapshot["majority"] = self._majority
+        snapshot["majority_count"] = self._majority_count
+        return snapshot
+
+
+class PhaseKingAlgorithm(HOAlgorithm):
+    """Factory for phase-king processes (classical static-Byzantine baseline)."""
+
+    rounds_per_phase = 2
+
+    def __init__(self, n: int, f: int) -> None:
+        if n <= 4 * f:
+            # The classical requirement; we allow construction anyway for
+            # experiments that deliberately exceed the bound, but flag it.
+            self.within_resilience_bound = False
+        else:
+            self.within_resilience_bound = True
+        self.n = n
+        self.f = f
+        self.name = f"PhaseKing[n={n},f={f}]"
+
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> PhaseKingProcess:
+        if n != self.n:
+            raise ValueError(f"algorithm configured for n={self.n}, got n={n}")
+        return PhaseKingProcess(pid, n, initial_value, self.f)
+
+    @property
+    def rounds_to_decide(self) -> int:
+        """Phase-king always runs ``2(f + 1)`` rounds before deciding."""
+        return 2 * (self.f + 1)
+
+    def safety_predicate(self, n: Optional[int] = None) -> ByzantineSynchronousPredicate:
+        """The classical synchronous assumption ``|SK| >= n − f`` (Section 5.2)."""
+        return ByzantineSynchronousPredicate(self.n, self.f)
+
+    def liveness_predicate(self, n: Optional[int] = None) -> ByzantineSynchronousPredicate:
+        return ByzantineSynchronousPredicate(self.n, self.f)

@@ -1,0 +1,78 @@
+"""A small registry mapping algorithm names to constructors.
+
+Used by the CLI and the experiment drivers so that algorithms can be
+selected by name on the command line or in experiment configuration
+dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.algorithm import HOAlgorithm
+
+
+def _make_ate(n: int, alpha: float = 0, **kwargs) -> HOAlgorithm:
+    from repro.algorithms.ate import AteAlgorithm
+
+    return AteAlgorithm.symmetric(n=n, alpha=alpha)
+
+
+def _make_ute(n: int, alpha: float = 0, **kwargs) -> HOAlgorithm:
+    from repro.algorithms.ute import UteAlgorithm
+
+    return UteAlgorithm.minimal(n=n, alpha=alpha, default_value=kwargs.get("default_value", 0))
+
+
+def _make_one_third_rule(n: int, **kwargs) -> HOAlgorithm:
+    from repro.algorithms.one_third_rule import OneThirdRuleAlgorithm
+
+    return OneThirdRuleAlgorithm(n=n)
+
+
+def _make_uniform_voting(n: int, **kwargs) -> HOAlgorithm:
+    from repro.algorithms.uniform_voting import UniformVotingAlgorithm
+
+    return UniformVotingAlgorithm(n=n, default_value=kwargs.get("default_value", 0))
+
+
+def _make_phase_king(n: int, f: int = 0, **kwargs) -> HOAlgorithm:
+    from repro.algorithms.phase_king import PhaseKingAlgorithm
+
+    return PhaseKingAlgorithm(n=n, f=f)
+
+
+_REGISTRY: Dict[str, Callable[..., HOAlgorithm]] = {
+    "ate": _make_ate,
+    "a_te": _make_ate,
+    "ute": _make_ute,
+    "u_te_alpha": _make_ute,
+    "one-third-rule": _make_one_third_rule,
+    "onethirdrule": _make_one_third_rule,
+    "uniform-voting": _make_uniform_voting,
+    "uniformvoting": _make_uniform_voting,
+    "phase-king": _make_phase_king,
+    "phaseking": _make_phase_king,
+}
+
+
+def available_algorithms() -> List[str]:
+    """The canonical algorithm names accepted by :func:`make_algorithm`."""
+    return sorted({"ate", "ute", "one-third-rule", "uniform-voting", "phase-king"})
+
+
+def make_algorithm(name: str, n: int, **kwargs) -> HOAlgorithm:
+    """Construct an algorithm by (case-insensitive) name.
+
+    Supported keyword arguments depend on the algorithm: ``alpha`` for
+    ``ate``/``ute``, ``f`` for ``phase-king``, ``default_value`` for the
+    voting algorithms.
+    """
+    key = name.strip().lower().replace("_", "-")
+    key_compact = key.replace("-", "")
+    factory = _REGISTRY.get(key) or _REGISTRY.get(key_compact)
+    if factory is None:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    return factory(n=n, **kwargs)

@@ -1,0 +1,36 @@
+"""The UniformVoting-style benign baseline (Charron-Bost & Schiper).
+
+``U_{T,E,alpha}`` is described by the paper as a parametrisation of "the
+various thresholds that occur in the UniformVoting algorithm" of the
+benign HO model.  The benign baseline used in this reproduction is the
+corresponding instance at ``alpha = 0`` with the minimal thresholds
+``T = E = n/2``: votes are cast on a strict majority, a single ``(alpha
++ 1 = 1)`` vote is enough to adopt a value, and a decision requires a
+strict majority of identical votes.
+
+This is the natural ``alpha = 0`` degeneration of Algorithm 2 and plays
+the same role in the benchmarks that OneThirdRule plays for
+``A_{T,E}``: it shows what the paper's parametrisation buys once
+corruption is allowed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algorithms.ute import UteAlgorithm, UteProcess
+from repro.core.parameters import UteParameters
+from repro.core.process import ProcessId, Value
+
+
+class UniformVotingAlgorithm(UteAlgorithm):
+    """UniformVoting-style baseline = ``U`` with ``T = E = n/2`` and ``alpha = 0``."""
+
+    def __init__(self, n: int, default_value: Value = 0) -> None:
+        half = Fraction(n, 2)
+        params = UteParameters(n=n, alpha=0, threshold=half, enough=half)
+        super().__init__(params, default_value=default_value)
+        self.name = f"UniformVoting[n={n}]"
+
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> UteProcess:
+        return super().create_process(pid, n, initial_value)

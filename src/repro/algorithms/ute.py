@@ -1,0 +1,205 @@
+"""The ``U_{T,E,alpha}`` algorithm (Algorithm 2 of the paper).
+
+``U_{T,E,alpha}`` is a parametrisation of the UniformVoting algorithm of
+Charron-Bost and Schiper, organised in *phases* of two rounds each.
+Every process maintains an estimate ``x_p`` (initially its initial
+value) and a vote ``vote_p`` (initially the placeholder ``?``):
+
+* **Round 2φ−1** — every process broadcasts ``x_p``.  If strictly more
+  than ``T`` of the received values equal some proper value ``v ∈ V``,
+  the process *casts a true vote* ``vote_p := v``.
+* **Round 2φ** — every process broadcasts ``vote_p``.  If at least
+  ``alpha + 1`` received messages carry the same proper value ``v``,
+  the process can be sure (under ``P_alpha``) that at least one process
+  truly voted for ``v`` and sets ``x_p := v``; otherwise it adopts the
+  default value ``v0``.  If strictly more than ``E`` received messages
+  carry ``v``, the process decides ``v``.  Finally ``vote_p`` is reset
+  to ``?``.
+
+Correctness (Theorem 2): under ``P_alpha ∧ P^{U,safe}`` the algorithm is
+safe when ``E >= n/2 + alpha`` and ``T >= n/2 + alpha``; it terminates
+under the additional liveness predicate ``P^{U,live}`` when moreover
+``n > E``, ``n > T`` and ``n > alpha``.  Solutions therefore exist iff
+``alpha < n/2`` — twice the corruption tolerated by ``A_{T,E}``, at the
+price of the permanent predicate ``P^{U,safe}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.algorithms.voting import values_above, values_at_least
+from repro.core.algorithm import HOAlgorithm
+from repro.core.parameters import UteParameters
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    AndPredicate,
+    ULivePredicate,
+    USafePredicate,
+)
+from repro.core.process import HOProcess, Payload, ProcessId, Value
+
+
+class _QuestionMark:
+    """The ``?`` placeholder vote (a singleton, distinct from every value in V)."""
+
+    _instance: Optional["_QuestionMark"] = None
+
+    def __new__(cls) -> "_QuestionMark":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+    def __reduce__(self):  # keep the singleton property across deepcopy/pickle
+        return (_QuestionMark, ())
+
+
+#: The unique ``?`` vote placeholder.
+QUESTION_MARK = _QuestionMark()
+
+
+class UteProcess(HOProcess):
+    """One process of ``U_{T,E,alpha}``."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        initial_value: Value,
+        params: UteParameters,
+        default_value: Value = 0,
+    ) -> None:
+        super().__init__(pid, n, initial_value)
+        if params.n != n:
+            raise ValueError(f"parameters are for n={params.n}, algorithm instantiated with n={n}")
+        self.params = params
+        #: The estimate ``x_p``.
+        self.x: Value = initial_value
+        #: The current vote, ``?`` outside the second round of a phase.
+        self.vote: Payload = QUESTION_MARK
+        #: The default value ``v0`` adopted when no vote is trusted.
+        self.default_value: Value = default_value
+
+    # ------------------------------------------------------------------
+    # Round structure: odd rounds are the first round of a phase, even
+    # rounds the second.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_voting_round(round_num: int) -> bool:
+        """True for rounds ``2φ − 1`` (broadcast estimates, cast votes)."""
+        return round_num % 2 == 1
+
+    # -- S_p^r -------------------------------------------------------------------
+    def send(self, round_num: int) -> Payload:
+        """Broadcast ``x_p`` on odd rounds and ``vote_p`` on even rounds."""
+        if self.is_voting_round(round_num):
+            return self.x
+        return self.vote
+
+    # -- T_p^r -------------------------------------------------------------------
+    def transition(self, round_num: int, reception: Mapping[ProcessId, Payload]) -> None:
+        if self.is_voting_round(round_num):
+            self._first_round_transition(reception)
+        else:
+            self._second_round_transition(round_num, reception)
+
+    def _first_round_transition(self, reception: Mapping[ProcessId, Payload]) -> None:
+        """Lines 7-9: cast a true vote when > T received values agree."""
+        received = [v for v in reception.values() if not isinstance(v, _QuestionMark)]
+        winners = values_above(received, self.params.threshold)
+        if winners:
+            # Lemma 8: with T >= n/2 + alpha at most one value can clear the
+            # bar under P_alpha; deterministic tie-break otherwise.
+            self.vote = min(winners, key=lambda v: (type(v).__name__, repr(v)))
+
+    def _second_round_transition(
+        self, round_num: int, reception: Mapping[ProcessId, Payload]
+    ) -> None:
+        """Lines 13-20: adopt a safely-witnessed vote, possibly decide, reset vote."""
+        proper = [v for v in reception.values() if not isinstance(v, _QuestionMark)]
+
+        witnessed = values_at_least(proper, float(self.params.alpha) + 1)
+        if witnessed:
+            # Under P_alpha at least one process truly voted for any value
+            # received alpha+1 times; Lemma 8 makes the choice unique.
+            best = max(witnessed.values())
+            candidates = [v for v, c in witnessed.items() if c == best]
+            self.x = min(candidates, key=lambda v: (type(v).__name__, repr(v)))
+        else:
+            self.x = self.default_value
+
+        if not self.decided:
+            # Decisions are irrevocable; a decided process keeps participating
+            # (sending and updating x) but never re-decides.
+            winners = values_above(proper, self.params.enough)
+            if winners:
+                decision = min(winners, key=lambda v: (type(v).__name__, repr(v)))
+                self._decide(decision, round_num)
+
+        self.vote = QUESTION_MARK
+
+    # -- introspection -------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, object]:
+        snapshot = super().state_snapshot()
+        snapshot["x"] = self.x
+        snapshot["vote"] = None if isinstance(self.vote, _QuestionMark) else self.vote
+        return snapshot
+
+
+class UteAlgorithm(HOAlgorithm):
+    """Factory for ``U_{T,E,alpha}`` processes."""
+
+    rounds_per_phase = 2
+
+    def __init__(self, params: UteParameters, default_value: Value = 0) -> None:
+        self.params = params
+        self.default_value = default_value
+        self.name = (
+            f"U(T={_fmt(params.threshold)},E={_fmt(params.enough)},"
+            f"alpha={_fmt(params.alpha)})[n={params.n}]"
+        )
+
+    @classmethod
+    def minimal(cls, n: int, alpha: float = 0, default_value: Value = 0) -> "UteAlgorithm":
+        """Section 4.3's minimal instance ``E = T = n/2 + alpha``."""
+        return cls(UteParameters.minimal(n=n, alpha=alpha), default_value=default_value)
+
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> UteProcess:
+        return UteProcess(pid, n, initial_value, self.params, default_value=self.default_value)
+
+    # -- predicates from the paper --------------------------------------------------
+    def safety_predicate(self, n: Optional[int] = None) -> AndPredicate:
+        """``P_alpha ∧ P^{U,safe}`` for this instance."""
+        return AndPredicate(
+            [
+                AlphaSafePredicate(self.params.alpha),
+                USafePredicate(
+                    n=self.params.n,
+                    alpha=self.params.alpha,
+                    threshold=self.params.threshold,
+                    enough=self.params.enough,
+                ),
+            ]
+        )
+
+    def liveness_predicate(self, n: Optional[int] = None) -> ULivePredicate:
+        """``P^{U,live}`` for this instance."""
+        return ULivePredicate(
+            n=self.params.n,
+            alpha=self.params.alpha,
+            threshold=self.params.threshold,
+            enough=self.params.enough,
+        )
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _fmt(x) -> str:
+    try:
+        return f"{float(x):g}"
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return str(x)

@@ -1,0 +1,86 @@
+"""Shared vote-counting helpers used by the concrete algorithms.
+
+The algorithms in the paper repeatedly reason about the multiset of
+received values: how often each value occurs (the sets ``R_p^r(v)``),
+which value occurs most often (with ties broken towards the smallest
+value), and whether some value clears a threshold.  These helpers
+centralise that logic so every algorithm counts in exactly the same,
+well-tested way.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.process import Payload, Value
+
+
+def value_counts(values: Iterable[Payload]) -> Counter:
+    """Multiset of received values (``|R_p^r(v)|`` for every ``v``)."""
+    return Counter(values)
+
+
+def _sort_key(value: Value) -> Tuple[str, object]:
+    """Total order over possibly heterogeneous values.
+
+    Values of the same type compare natively (so "smallest" matches the
+    paper for a homogeneous value domain); across types we fall back to
+    ordering by type name then repr, which keeps the choice
+    deterministic even when an adversary injects a value of an
+    unexpected type.
+    """
+    try:
+        hash(value)
+    except TypeError:  # pragma: no cover - payloads are hashable by contract
+        raise
+    return (type(value).__name__, value if _is_self_comparable(value) else repr(value))
+
+
+def _is_self_comparable(value: Value) -> bool:
+    try:
+        value < value  # type: ignore[operator]
+        return True
+    except TypeError:
+        return False
+
+
+def smallest_most_frequent(values: Iterable[Payload]) -> Optional[Value]:
+    """Return "the smallest most often received value" (line 8 of Algorithm 1).
+
+    Among the values with the maximum multiplicity, return the smallest
+    one; return ``None`` when no value was received at all.
+    """
+    counts = value_counts(values)
+    if not counts:
+        return None
+    best = max(counts.values())
+    candidates: List[Value] = [v for v, c in counts.items() if c == best]
+    return min(candidates, key=_sort_key)
+
+
+def values_above(values: Iterable[Payload], threshold: float) -> Dict[Value, int]:
+    """Values received strictly more than ``threshold`` times, with their counts."""
+    counts = value_counts(values)
+    return {v: c for v, c in counts.items() if c > threshold}
+
+
+def values_at_least(values: Iterable[Payload], minimum: float) -> Dict[Value, int]:
+    """Values received at least ``minimum`` times, with their counts."""
+    counts = value_counts(values)
+    return {v: c for v, c in counts.items() if c >= minimum}
+
+
+def unique_value_above(values: Iterable[Payload], threshold: float) -> Optional[Value]:
+    """The unique value received strictly more than ``threshold`` times.
+
+    When more than one value clears the threshold (possible only when
+    the relevant predicate is violated, cf. Lemma 2 / Lemma 7), the
+    smallest such value is returned so the behaviour stays deterministic
+    — the surrounding run is then outside the machine's correctness
+    claim anyway.
+    """
+    winners = values_above(values, threshold)
+    if not winners:
+        return None
+    return min(winners, key=_sort_key)

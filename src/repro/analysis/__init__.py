@@ -1,0 +1,70 @@
+"""Analysis: feasibility regions, lower bounds and comparison tables.
+
+This package contains the *analytic* half of the paper's evaluation —
+the threshold feasibility results of Sections 3.3 and 4.3
+(:mod:`repro.analysis.feasibility`), the lower bounds from the related
+work and the paper's attainment of them (:mod:`repro.analysis.bounds`),
+and the structured reproduction of Table 1 plus the related-work
+comparison (:mod:`repro.analysis.comparison`).
+"""
+
+from repro.analysis.bounds import (
+    CorruptionCapacity,
+    LamportAttainment,
+    ate_lamport_attainment,
+    byzantine_resilience,
+    corruption_capacity,
+    fast_decision_comparison,
+    lamport_bound_holds,
+    martin_alvisi_max_faulty,
+    martin_alvisi_min_processes,
+    santoro_widmayer_bound,
+    schmid_value_fault_bound,
+    ute_lamport_attainment,
+)
+from repro.analysis.comparison import Table1Row, related_work_rows, render_table, table1_rows
+from repro.analysis.feasibility import (
+    ResilienceRow,
+    ate_feasible,
+    ate_integer_solutions,
+    ate_max_alpha,
+    ate_symmetric_parameters,
+    ate_threshold_region,
+    resilience_row,
+    resilience_table,
+    ute_feasible,
+    ute_integer_solutions,
+    ute_max_alpha,
+    ute_minimal_parameters,
+)
+
+__all__ = [
+    "CorruptionCapacity",
+    "LamportAttainment",
+    "ResilienceRow",
+    "Table1Row",
+    "ate_feasible",
+    "ate_integer_solutions",
+    "ate_lamport_attainment",
+    "ate_max_alpha",
+    "ate_symmetric_parameters",
+    "ate_threshold_region",
+    "byzantine_resilience",
+    "corruption_capacity",
+    "fast_decision_comparison",
+    "lamport_bound_holds",
+    "martin_alvisi_max_faulty",
+    "martin_alvisi_min_processes",
+    "related_work_rows",
+    "render_table",
+    "resilience_row",
+    "resilience_table",
+    "santoro_widmayer_bound",
+    "schmid_value_fault_bound",
+    "table1_rows",
+    "ute_feasible",
+    "ute_integer_solutions",
+    "ute_lamport_attainment",
+    "ute_max_alpha",
+    "ute_minimal_parameters",
+]

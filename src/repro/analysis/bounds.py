@@ -1,0 +1,182 @@
+"""Lower bounds from the literature and how the paper relates to them (Section 5.1).
+
+Implemented bounds:
+
+* **Santoro–Widmayer** [18, 19]: agreement is impossible with ``⌊n/2⌋``
+  dynamic transmission faults per round when they may occur in blocks.
+* **Schmid–Weiss–Rushby** [20]: with per-process send/receive fault
+  bounds, at most ``n/4`` value faults per round per sender and receiver
+  are tolerable in a synchronous system.
+* **Martin–Alvisi** [16]: fast Byzantine consensus (two communication
+  steps) requires ``n >= 5f + 1`` acceptors, i.e. fewer than ``n/5``
+  Byzantine processes.
+* **Lamport** [11]: the conjectured bound ``N > 2Q + F + 2M`` for
+  Byzantine consensus that is safe despite ``M`` faults, live despite
+  ``F`` and fast despite ``Q``.
+* Classical Byzantine resilience ``n > 3f`` (for context in the
+  comparison tables).
+
+The *attainment* helpers express the paper's claims: with dynamic,
+per-round faults, ``U_{T,E,α}`` is safe with ``α = (n−1)/2`` (Lamport
+bound with ``F = Q = 0``) and ``A_{T,E}`` is safe *and fast* with
+``α = (n−1)/4`` (Lamport bound with ``F = 0``), without contradicting
+the permanent-fault bounds because liveness relies on stronger, sporadic
+conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+
+# ----------------------------------------------------------------------
+# Classical bounds
+# ----------------------------------------------------------------------
+def santoro_widmayer_bound(n: int) -> int:
+    """``⌊n/2⌋`` transmission faults per round suffice for impossibility [18]."""
+    return n // 2
+
+
+def schmid_value_fault_bound(n: int) -> Fraction:
+    """Schmid et al.: at most ``n/4`` value faults per round per sender/receiver [20]."""
+    return Fraction(n, 4)
+
+
+def martin_alvisi_min_processes(f: int) -> int:
+    """Fast Byzantine consensus needs ``n >= 5f + 1`` processes [16]."""
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    return 5 * f + 1
+
+
+def martin_alvisi_max_faulty(n: int) -> int:
+    """The largest ``f`` with ``n >= 5f + 1``: ``⌊(n − 1)/5⌋``."""
+    if n < 1:
+        return 0
+    return (n - 1) // 5
+
+
+def byzantine_resilience(n: int) -> int:
+    """Classical (non-fast) Byzantine consensus tolerates ``f = ⌊(n − 1)/3⌋``."""
+    if n < 1:
+        return 0
+    return (n - 1) // 3
+
+
+def lamport_bound_holds(n: int, q: Fraction, f: Fraction, m: Fraction) -> bool:
+    """Lamport's conjectured requirement ``N > 2Q + F + 2M`` [11]."""
+    return Fraction(n) > 2 * Fraction(q) + Fraction(f) + 2 * Fraction(m)
+
+
+# ----------------------------------------------------------------------
+# The paper's attainment of those bounds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LamportAttainment:
+    """How one of the paper's algorithms sits against ``N > 2Q + F + 2M``."""
+
+    algorithm: str
+    n: int
+    #: Corruption bound per process per round the algorithm is safe under.
+    m: Fraction
+    #: Corruption bound under which the algorithm is additionally fast.
+    q: Fraction
+    #: Faults despite which liveness holds (0: liveness needs the stronger
+    #: sporadic predicates, i.e. the algorithms do not tolerate classical
+    #: Byzantine faults for termination).
+    f: Fraction
+    bound_satisfied: bool
+    tight: bool
+
+
+def ate_lamport_attainment(n: int) -> LamportAttainment:
+    """``A_{T,E}``: safe *and fast* with ``α = (n − 1)/4``, ``F = 0``.
+
+    ``N > 2Q + F + 2M`` becomes ``n > 4 * (n − 1)/4 = n − 1`` — satisfied
+    with no slack, i.e. the bound is attained.
+    """
+    alpha = Fraction(n - 1, 4)
+    return LamportAttainment(
+        algorithm="A_{T,E}",
+        n=n,
+        m=alpha,
+        q=alpha,
+        f=Fraction(0),
+        bound_satisfied=lamport_bound_holds(n, q=alpha, f=Fraction(0), m=alpha),
+        tight=(Fraction(n) - (2 * alpha + 0 + 2 * alpha)) == 1,
+    )
+
+
+def ute_lamport_attainment(n: int) -> LamportAttainment:
+    """``U_{T,E,α}``: safe (not fast) with ``α = (n − 1)/2``, ``F = Q = 0``.
+
+    ``N > 2Q + F + 2M`` becomes ``n > 2 * (n − 1)/2 = n − 1`` — again
+    attained exactly.
+    """
+    alpha = Fraction(n - 1, 2)
+    return LamportAttainment(
+        algorithm="U_{T,E,alpha}",
+        n=n,
+        m=alpha,
+        q=Fraction(0),
+        f=Fraction(0),
+        bound_satisfied=lamport_bound_holds(n, q=Fraction(0), f=Fraction(0), m=alpha),
+        tight=(Fraction(n) - 2 * alpha) == 1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-round corruption capacity (the n^2/4 and n^2/2 claims)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CorruptionCapacity:
+    """Total corrupted receptions per round each approach can absorb while staying safe."""
+
+    n: int
+    ate_per_receiver: Fraction
+    ute_per_receiver: Fraction
+    ate_total_per_round: Fraction
+    ute_total_per_round: Fraction
+    santoro_widmayer_total_per_round: int
+
+
+def corruption_capacity(n: int) -> CorruptionCapacity:
+    """Section 5.1: ``A_{T,E}`` tolerates up to ``n²/4`` and ``U`` up to ``n²/2``
+    corrupted transmissions per round (strict bounds), versus the
+    ``⌊n/2⌋`` faults per round at which [18] already proves impossibility
+    for permanent-fault-style algorithms.
+    """
+    ate_bound = Fraction(n, 4)
+    ute_bound = Fraction(n, 2)
+    return CorruptionCapacity(
+        n=n,
+        ate_per_receiver=ate_bound,
+        ute_per_receiver=ute_bound,
+        ate_total_per_round=ate_bound * n,
+        ute_total_per_round=ute_bound * n,
+        santoro_widmayer_total_per_round=santoro_widmayer_bound(n),
+    )
+
+
+def fast_decision_comparison(n: int) -> dict:
+    """E9: per-round corrupting senders tolerated by a *fast* algorithm.
+
+    Martin–Alvisi allow fewer than ``n/5`` (static, permanent) Byzantine
+    processes for a fast protocol; ``A_{T,E}`` is fast while tolerating
+    up to ``(n − 1)/4`` corrupted receptions per process per round
+    (dynamic, transient), but needs at least one clean round to decide.
+    """
+    from repro.analysis.feasibility import ate_max_alpha
+
+    static_f = martin_alvisi_max_faulty(n)
+    return {
+        "n": n,
+        "martin_alvisi_max_static_faulty": static_f,
+        "ate_max_alpha_per_round": Fraction(n - 1, 4),
+        "ate_integer_alpha": max(ate_max_alpha(n), 0),
+        "ate_fast_decision_rounds": 2,
+        "ate_unanimous_decision_rounds": 1,
+        "phase_king_decision_rounds": 2 * (byzantine_resilience(n) + 1),
+    }

@@ -1,0 +1,187 @@
+"""Threshold feasibility analysis (Sections 3.3 and 4.3).
+
+The paper asks: *for which ``alpha`` do thresholds ``T`` and ``E`` exist
+that make the machine solve consensus?*  For ``A_{T,E}`` the governing
+inequalities are (4)-(5):
+
+    n > E                and        n > T >= 2(n + 2*alpha - E)
+
+which are solvable iff ``alpha < n/4``; for ``U_{T,E,alpha}`` the
+inequalities (9)-(11) reduce to
+
+    n > T >= n/2 + alpha     and     n > E >= n/2 + alpha
+
+which are solvable iff ``alpha < n/2``.  This module computes feasible
+regions, maximal tolerable ``alpha`` values, and the canonical threshold
+choices used throughout the benchmark harness (Proposition 4's symmetric
+choice for ``A``, the minimal choice for ``U``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.core.parameters import AteParameters, UteParameters
+
+Number = Union[int, float, Fraction]
+
+
+def _frac(x: Number) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    return Fraction(x).limit_denominator(10**9)
+
+
+# ----------------------------------------------------------------------
+# A_{T,E}
+# ----------------------------------------------------------------------
+def ate_feasible(n: int, alpha: Number) -> bool:
+    """Do thresholds exist making ``⟨A_{T,E}, P_alpha ∧ P^{A,live}⟩`` solve consensus?
+
+    Section 3.3: inequalities (4) and (5) are solvable iff ``alpha < n/4``.
+    """
+    return _frac(alpha) < Fraction(n, 4)
+
+
+def ate_max_alpha(n: int) -> int:
+    """The largest *integer* ``alpha`` tolerated by ``A_{T,E}`` for given ``n``.
+
+    The strict bound is ``alpha < n/4``; the largest integer below it is
+    ``ceil(n/4) - 1``.
+    """
+    quarter = Fraction(n, 4)
+    candidate = int(quarter)
+    if Fraction(candidate) == quarter:
+        candidate -= 1
+    return max(candidate, -1) if n >= 1 else -1
+
+
+def ate_symmetric_parameters(n: int, alpha: Number) -> AteParameters:
+    """Proposition 4's symmetric choice ``E = T = 2(n + 2*alpha)/3``."""
+    return AteParameters.symmetric(n=n, alpha=alpha)
+
+
+def ate_threshold_region(n: int, alpha: Number) -> Optional[Tuple[Fraction, Fraction]]:
+    """The interval of admissible ``E`` values (with minimal matching ``T``).
+
+    Returns ``(E_low, E_high)`` with ``E_low`` exclusive at ``n`` side
+    handled by the caller (``E`` must satisfy ``n/2 + alpha <= E < n``
+    and additionally ``2(n + 2*alpha − E) < n`` i.e. ``E > n/2 + 2*alpha − ...``);
+    returns ``None`` when the region is empty.
+    """
+    a = _frac(alpha)
+    lower = max(Fraction(n, 2) + a, Fraction(n, 2) + 2 * a)
+    upper = Fraction(n)
+    if lower >= upper:
+        return None
+    return (lower, upper)
+
+
+def ate_integer_solutions(n: int, alpha: int) -> List[Tuple[int, int]]:
+    """All integer ``(T, E)`` pairs satisfying Theorem 1's conditions.
+
+    Integer thresholds are what an implementation would actually deploy;
+    the list is used by the resilience benchmarks to show how the
+    feasible region shrinks as ``alpha`` grows and empties at
+    ``alpha >= n/4``.
+    """
+    solutions = []
+    for enough in range(0, n):
+        for threshold in range(0, n):
+            params = AteParameters(n=n, alpha=alpha, threshold=threshold, enough=enough)
+            if params.satisfies_theorem_1 and params.satisfies_termination_condition:
+                solutions.append((threshold, enough))
+    return solutions
+
+
+# ----------------------------------------------------------------------
+# U_{T,E,alpha}
+# ----------------------------------------------------------------------
+def ute_feasible(n: int, alpha: Number) -> bool:
+    """Do thresholds exist making ``⟨U_{T,E,α}, P_α ∧ P^{U,safe} ∧ P^{U,live}⟩`` work?
+
+    Section 4.3: inequalities (9)-(11) are solvable iff ``alpha < n/2``.
+    """
+    return _frac(alpha) < Fraction(n, 2)
+
+
+def ute_max_alpha(n: int) -> int:
+    """The largest integer ``alpha`` tolerated by ``U_{T,E,alpha}``: ``ceil(n/2) − 1``."""
+    half = Fraction(n, 2)
+    candidate = int(half)
+    if Fraction(candidate) == half:
+        candidate -= 1
+    return max(candidate, -1) if n >= 1 else -1
+
+
+def ute_minimal_parameters(n: int, alpha: Number) -> UteParameters:
+    """Section 4.3's minimal choice ``E = T = n/2 + alpha``."""
+    return UteParameters.minimal(n=n, alpha=alpha)
+
+
+def ute_integer_solutions(n: int, alpha: int) -> List[Tuple[int, int]]:
+    """All integer ``(T, E)`` pairs satisfying Theorem 2's conditions."""
+    solutions = []
+    for enough in range(0, n):
+        for threshold in range(0, n):
+            params = UteParameters(n=n, alpha=alpha, threshold=threshold, enough=enough)
+            if params.satisfies_theorem_2:
+                solutions.append((threshold, enough))
+    return solutions
+
+
+# ----------------------------------------------------------------------
+# Resilience sweep rows (used by benchmarks and EXPERIMENTS.md)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One row of the resilience comparison: what each approach tolerates at ``n``."""
+
+    n: int
+    ate_max_alpha: int
+    ute_max_alpha: int
+    santoro_widmayer_per_round: int
+    ate_max_corrupted_receptions_per_round: int
+    ute_max_corrupted_receptions_per_round: int
+    byzantine_static_max_f: int
+    fast_byzantine_max_f: int
+
+
+def resilience_row(n: int) -> ResilienceRow:
+    """Compare per-``n`` corruption tolerance across models (Section 5.1).
+
+    ``A_{T,E}`` tolerates ``alpha < n/4`` corrupted receptions per
+    process per round, i.e. just under ``n^2/4`` in total per round;
+    ``U_{T,E,alpha}`` just under ``n^2/2``.  The classical comparisons:
+    Santoro–Widmayer's impossibility already at ``⌊n/2⌋`` transmission
+    faults per round (when they come in blocks), static Byzantine
+    consensus tolerates ``f < n/3`` and *fast* Byzantine consensus
+    (Martin–Alvisi) only ``f < n/5``.
+    """
+    from repro.analysis.bounds import (
+        byzantine_resilience,
+        martin_alvisi_max_faulty,
+        santoro_widmayer_bound,
+    )
+
+    ate_alpha = ate_max_alpha(n)
+    ute_alpha = ute_max_alpha(n)
+    return ResilienceRow(
+        n=n,
+        ate_max_alpha=ate_alpha,
+        ute_max_alpha=ute_alpha,
+        santoro_widmayer_per_round=santoro_widmayer_bound(n),
+        ate_max_corrupted_receptions_per_round=max(ate_alpha, 0) * n,
+        ute_max_corrupted_receptions_per_round=max(ute_alpha, 0) * n,
+        byzantine_static_max_f=byzantine_resilience(n),
+        fast_byzantine_max_f=martin_alvisi_max_faulty(n),
+    )
+
+
+def resilience_table(ns: Iterator[int]) -> List[ResilienceRow]:
+    """Resilience rows for a sweep over system sizes."""
+    return [resilience_row(n) for n in ns]

@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+``repro-ho`` (or ``python -m repro.cli``) exposes three subcommands:
+
+* ``run``        — run one consensus instance (algorithm, scenario or
+  custom fault environment) and print the outcome;
+* ``experiment`` — run one of the paper-reproduction experiments
+  (E1-E12) and print its report table;
+* ``table``      — print the analytic tables (Table 1, the related-work
+  comparison and the resilience table) without running simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary import (
+    BlockFaultAdversary,
+    PeriodicGoodRoundAdversary,
+    RandomCorruptionAdversary,
+    RandomOmissionAdversary,
+    ReliableAdversary,
+    StaticByzantineAdversary,
+)
+from repro.algorithms import available_algorithms, make_algorithm
+from repro.analysis.comparison import related_work_rows, render_table, table1_rows
+from repro.analysis.feasibility import resilience_table
+from repro.experiments import ALL_EXPERIMENTS
+from repro.simulation.engine import run_consensus
+from repro.workloads import generators
+
+
+def _build_adversary(args: argparse.Namespace):
+    if args.adversary == "reliable":
+        return ReliableAdversary()
+    if args.adversary == "omission":
+        return RandomOmissionAdversary(drop_probability=args.drop_probability, seed=args.seed)
+    if args.adversary == "corruption":
+        inner = RandomCorruptionAdversary(
+            alpha=args.alpha, value_domain=(0, 1), seed=args.seed
+        )
+        return PeriodicGoodRoundAdversary(inner=inner, period=args.good_round_period)
+    if args.adversary == "blocks":
+        inner = BlockFaultAdversary(
+            faults_per_round=args.n // 2, value_domain=(0, 1), seed=args.seed
+        )
+        return PeriodicGoodRoundAdversary(inner=inner, period=args.good_round_period)
+    if args.adversary == "byzantine":
+        return StaticByzantineAdversary(
+            byzantine=range(args.f), value_domain=(0, 1), seed=args.seed
+        )
+    raise ValueError(f"unknown adversary {args.adversary!r}")
+
+
+def _build_initial_values(args: argparse.Namespace):
+    if args.workload == "unanimous":
+        return generators.unanimous(args.n, value=0)
+    if args.workload == "split":
+        return generators.split(args.n)
+    if args.workload == "random":
+        return generators.uniform_random(args.n, seed=args.seed)
+    if args.workload == "distinct":
+        return generators.distinct(args.n)
+    raise ValueError(f"unknown workload {args.workload!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    algorithm = make_algorithm(args.algorithm, n=args.n, alpha=args.alpha, f=args.f)
+    adversary = _build_adversary(args)
+    initial_values = _build_initial_values(args)
+    result = run_consensus(
+        algorithm=algorithm,
+        initial_values=initial_values,
+        adversary=adversary,
+        max_rounds=args.max_rounds,
+    )
+    print(result.summary())
+    if args.verbose:
+        print(f"corruptions per round: {result.collection.corruption_profile()}")
+        print(f"metrics: {result.metrics.as_dict()}")
+        for violation in result.outcome.violations:
+            print(f"violation: {violation}")
+    return 0 if result.outcome.safe else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment_id = args.id.upper()
+    if experiment_id == "ALL":
+        for key in sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])):
+            print(ALL_EXPERIMENTS[key]().render())
+            print()
+        return 0
+    driver = ALL_EXPERIMENTS.get(experiment_id)
+    if driver is None:
+        print(
+            f"unknown experiment {args.id!r}; available: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])))} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    report = driver()
+    print(report.render())
+    if args.json:
+        report.to_json(args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which in ("table1", "all"):
+        print("Table 1 — summary of results")
+        print(render_table([row.as_dict() for row in table1_rows()]))
+        print()
+    if args.which in ("related-work", "all"):
+        print(f"Related-work comparison at n={args.n}")
+        print(render_table(related_work_rows(args.n)))
+        print()
+    if args.which in ("resilience", "all"):
+        rows = [
+            {
+                "n": row.n,
+                "A max alpha": row.ate_max_alpha,
+                "U max alpha": row.ute_max_alpha,
+                "SW faults/round": row.santoro_widmayer_per_round,
+                "Byzantine f": row.byzantine_static_max_f,
+                "fast Byzantine f": row.fast_byzantine_max_f,
+            }
+            for row in resilience_table(iter(args.ns))
+        ]
+        print("Resilience across system sizes")
+        print(render_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ho",
+        description="Reproduction of 'Tolerating Corrupted Communication' (PODC 2007).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one consensus instance")
+    run_parser.add_argument("--algorithm", choices=available_algorithms(), default="ate")
+    run_parser.add_argument("--n", type=int, default=9)
+    run_parser.add_argument("--alpha", type=int, default=1)
+    run_parser.add_argument("--f", type=int, default=1, help="Byzantine f (phase-king / byzantine adversary)")
+    run_parser.add_argument(
+        "--adversary",
+        choices=["reliable", "omission", "corruption", "blocks", "byzantine"],
+        default="corruption",
+    )
+    run_parser.add_argument("--workload", choices=["unanimous", "split", "random", "distinct"], default="random")
+    run_parser.add_argument("--drop-probability", type=float, default=0.1)
+    run_parser.add_argument("--good-round-period", type=int, default=4)
+    run_parser.add_argument("--max-rounds", type=int, default=60)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--verbose", action="store_true")
+    run_parser.set_defaults(func=_cmd_run)
+
+    exp_parser = subparsers.add_parser("experiment", help="run a paper-reproduction experiment")
+    exp_parser.add_argument("id", help="experiment id E1..E12, or 'all'")
+    exp_parser.add_argument("--json", help="also write the report to this JSON file")
+    exp_parser.set_defaults(func=_cmd_experiment)
+
+    table_parser = subparsers.add_parser("table", help="print the analytic tables")
+    table_parser.add_argument(
+        "which", choices=["table1", "related-work", "resilience", "all"], default="all", nargs="?"
+    )
+    table_parser.add_argument("--n", type=int, default=12)
+    table_parser.add_argument("--ns", type=int, nargs="*", default=[4, 8, 12, 16, 20, 40])
+    table_parser.set_defaults(func=_cmd_table)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

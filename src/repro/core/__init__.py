@@ -1,0 +1,67 @@
+"""Core HO-model abstractions (Section 2 of the paper).
+
+The subpackage contains the computational model itself: processes and
+their per-round sending/transition functions (:mod:`repro.core.process`),
+reception vectors and heard-of sets (:mod:`repro.core.heardof`),
+communication predicates (:mod:`repro.core.predicates`), the HO-machine
+pairing of an algorithm with a predicate (:mod:`repro.core.machine`), the
+consensus specification (:mod:`repro.core.consensus`) and threshold
+parameter containers (:mod:`repro.core.parameters`).
+"""
+
+from repro.core.consensus import ConsensusOutcome, ConsensusSpec, DecisionRecord
+from repro.core.heardof import (
+    HeardOfCollection,
+    ReceptionVector,
+    RoundRecord,
+    altered_heard_of,
+    altered_span,
+    kernel,
+    safe_kernel,
+)
+from repro.core.machine import HOMachine
+from repro.core.parameters import AteParameters, UteParameters
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    ALivePredicate,
+    AndPredicate,
+    BenignPredicate,
+    ByzantineAsynchronousPredicate,
+    ByzantineSynchronousPredicate,
+    CommunicationPredicate,
+    PermanentAlphaPredicate,
+    TruePredicate,
+    ULivePredicate,
+    USafePredicate,
+)
+from repro.core.process import HOProcess, ProcessId, Value
+
+__all__ = [
+    "ALivePredicate",
+    "AlphaSafePredicate",
+    "AndPredicate",
+    "AteParameters",
+    "BenignPredicate",
+    "ByzantineAsynchronousPredicate",
+    "ByzantineSynchronousPredicate",
+    "CommunicationPredicate",
+    "ConsensusOutcome",
+    "ConsensusSpec",
+    "DecisionRecord",
+    "HOMachine",
+    "HOProcess",
+    "HeardOfCollection",
+    "PermanentAlphaPredicate",
+    "ProcessId",
+    "ReceptionVector",
+    "RoundRecord",
+    "TruePredicate",
+    "ULivePredicate",
+    "USafePredicate",
+    "UteParameters",
+    "Value",
+    "altered_heard_of",
+    "altered_span",
+    "kernel",
+    "safe_kernel",
+]

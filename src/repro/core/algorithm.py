@@ -1,0 +1,92 @@
+"""Algorithm abstraction: a family of processes indexed by ``Pi``.
+
+The paper calls "the collection of processes" an *algorithm on Pi*.
+Concretely, an :class:`HOAlgorithm` is a factory that, given the number
+of processes and each process's initial value, instantiates the
+per-process objects (subclasses of :class:`repro.core.process.HOProcess`)
+that implement the sending and transition functions.
+
+Concrete algorithms live in :mod:`repro.algorithms`; this module only
+holds the abstraction so that the core model, the simulation engines and
+the verification layer do not depend on any particular algorithm.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.process import HOProcess, ProcessId, Value
+
+
+class HOAlgorithm(ABC):
+    """A factory for the ``n`` processes of one algorithm instance.
+
+    Subclasses define :meth:`create_process` and may advertise the
+    communication predicates under which the paper proves them safe and
+    live (used by experiment drivers to pair algorithms with matching
+    adversaries automatically).
+    """
+
+    #: Human readable algorithm name used in reports and benchmarks.
+    name: str = "HOAlgorithm"
+
+    #: Number of rounds per phase (1 for single-round algorithms such as
+    #: ``A_{T,E}``/OneThirdRule, 2 for ``U_{T,E,alpha}``/UniformVoting).
+    rounds_per_phase: int = 1
+
+    @abstractmethod
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> HOProcess:
+        """Instantiate the process object for ``pid``."""
+
+    def create_all(self, initial_values: Mapping[ProcessId, Value]) -> Dict[ProcessId, HOProcess]:
+        """Instantiate every process of ``Pi`` from its initial value.
+
+        ``initial_values`` must be keyed exactly by ``0 .. n-1``.
+        """
+        n = len(initial_values)
+        expected = set(range(n))
+        if set(initial_values) != expected:
+            raise ValueError(
+                f"initial_values must be keyed by 0..{n - 1}, got {sorted(initial_values)}"
+            )
+        return {
+            pid: self.create_process(pid, n, initial_values[pid]) for pid in range(n)
+        }
+
+    # -- optional metadata ------------------------------------------------------
+    def safety_predicate(self, n: int):  # pragma: no cover - overridden by subclasses
+        """The communication predicate under which the algorithm is proved safe.
+
+        Returns ``None`` when not applicable (e.g. baselines outside the
+        paper).  Concrete algorithms override this.
+        """
+        return None
+
+    def liveness_predicate(self, n: int):  # pragma: no cover - overridden by subclasses
+        """The communication predicate under which termination is proved."""
+        return None
+
+    def describe(self) -> str:
+        """One-line description used by the CLI and experiment reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class FunctionAlgorithm(HOAlgorithm):
+    """Adapter turning a plain process-constructor callable into an algorithm.
+
+    Useful in tests and for quick experiments::
+
+        algorithm = FunctionAlgorithm(lambda pid, n, v: MyProcess(pid, n, v), name="mine")
+    """
+
+    def __init__(self, factory, name: str = "function-algorithm", rounds_per_phase: int = 1):
+        self._factory = factory
+        self.name = name
+        self.rounds_per_phase = rounds_per_phase
+
+    def create_process(self, pid: ProcessId, n: int, initial_value: Value) -> HOProcess:
+        return self._factory(pid, n, initial_value)

@@ -1,0 +1,203 @@
+"""The consensus problem specification (Section 2.3).
+
+Every process starts with an initial value ``v_p`` from a totally
+ordered set ``V`` and must irrevocably decide, such that
+
+* **Integrity** — if all processes have the same initial value, it is
+  the only possible decision value;
+* **Agreement** — no two processes decide differently;
+* **Termination** — all processes eventually decide.
+
+Because processes are never "faulty" in this model (only transmissions
+are), the specification makes *no exemptions*: every process must
+decide, and Integrity/Agreement quantify over all processes.
+
+This module provides :class:`ConsensusSpec` (checks a finished run) and
+:class:`ConsensusOutcome` (the structured verdict used throughout the
+tests, benchmarks and reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.process import ProcessId, Value
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """A single decision event: who decided what, and when."""
+
+    process: ProcessId
+    value: Value
+    round_num: int
+
+
+@dataclass(frozen=True)
+class ConsensusOutcome:
+    """The verdict of a finished (finite-horizon) consensus run.
+
+    Termination over a finite horizon means "all processes decided
+    within the simulated number of rounds"; for runs whose communication
+    predicate does not guarantee liveness this may legitimately be
+    False without constituting an algorithm bug.
+    """
+
+    n: int
+    initial_values: Mapping[ProcessId, Value]
+    decisions: Tuple[DecisionRecord, ...]
+    rounds_executed: int
+    integrity: bool
+    agreement: bool
+    termination: bool
+    validity: bool
+    violations: Tuple[str, ...] = ()
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def all_satisfied(self) -> bool:
+        """True iff Integrity, Agreement and Termination all hold."""
+        return self.integrity and self.agreement and self.termination
+
+    @property
+    def safe(self) -> bool:
+        """True iff the safety clauses (Integrity and Agreement) hold."""
+        return self.integrity and self.agreement
+
+    @property
+    def decided_processes(self) -> Tuple[ProcessId, ...]:
+        return tuple(sorted(d.process for d in self.decisions))
+
+    @property
+    def decision_values(self) -> Tuple[Value, ...]:
+        """The distinct decided values (sorted by repr for determinism)."""
+        return tuple(sorted({d.value for d in self.decisions}, key=repr))
+
+    @property
+    def decision_rounds(self) -> Dict[ProcessId, int]:
+        return {d.process: d.round_num for d in self.decisions}
+
+    @property
+    def first_decision_round(self) -> Optional[int]:
+        """Earliest round at which some process decided, or None."""
+        if not self.decisions:
+            return None
+        return min(d.round_num for d in self.decisions)
+
+    @property
+    def last_decision_round(self) -> Optional[int]:
+        """Round by which the *last* decision happened (None if nobody decided)."""
+        if not self.decisions:
+            return None
+        return max(d.round_num for d in self.decisions)
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by the CLI and examples."""
+        decided = len(self.decisions)
+        parts = [
+            f"n={self.n}",
+            f"rounds={self.rounds_executed}",
+            f"decided={decided}/{self.n}",
+            f"integrity={'ok' if self.integrity else 'VIOLATED'}",
+            f"agreement={'ok' if self.agreement else 'VIOLATED'}",
+            f"termination={'ok' if self.termination else 'no'}",
+        ]
+        if self.decisions:
+            parts.append(f"values={list(self.decision_values)!r}")
+            parts.append(f"last_decision_round={self.last_decision_round}")
+        return " ".join(parts)
+
+
+class ConsensusSpec:
+    """Checker for the consensus specification over a finished run.
+
+    Besides the paper's three clauses it also evaluates *validity* (every
+    decision value is some process's initial value), which the paper's
+    algorithms ensure and which is a useful additional sanity check in
+    the presence of corruption (a corrupted value could otherwise leak
+    into decisions).  Validity is reported separately and does not
+    affect :attr:`ConsensusOutcome.all_satisfied`.
+    """
+
+    def __init__(self, require_validity: bool = False) -> None:
+        self.require_validity = require_validity
+
+    def evaluate(
+        self,
+        initial_values: Mapping[ProcessId, Value],
+        decisions: Sequence[DecisionRecord],
+        rounds_executed: int,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> ConsensusOutcome:
+        """Evaluate the three clauses and produce a :class:`ConsensusOutcome`."""
+        n = len(initial_values)
+        violations: List[str] = []
+
+        decided_values = {d.value for d in decisions}
+        initial_set = set(initial_values.values())
+
+        # Integrity: with a unanimous initial configuration, the common
+        # initial value is the only possible decision value.
+        integrity = True
+        if len(initial_set) == 1 and decided_values:
+            (only_value,) = initial_set
+            bad = decided_values - {only_value}
+            if bad:
+                integrity = False
+                violations.append(
+                    f"Integrity violated: initial values all {only_value!r} but "
+                    f"decisions include {sorted(bad, key=repr)!r}"
+                )
+
+        # Agreement: no two processes decide differently.
+        agreement = len(decided_values) <= 1
+        if not agreement:
+            violations.append(
+                f"Agreement violated: distinct decisions {sorted(decided_values, key=repr)!r}"
+            )
+
+        # A process deciding twice (differently) is prevented upstream by
+        # HOProcess._decide, but double-check single decision per process.
+        per_process: Dict[ProcessId, Value] = {}
+        for d in decisions:
+            if d.process in per_process and per_process[d.process] != d.value:
+                agreement = False
+                violations.append(
+                    f"process {d.process} decided twice with different values "
+                    f"({per_process[d.process]!r} then {d.value!r})"
+                )
+            per_process.setdefault(d.process, d.value)
+
+        # Termination (finite-horizon reading).
+        termination = len(per_process) == n
+        if not termination:
+            missing = sorted(set(initial_values) - set(per_process))
+            violations.append(
+                f"Termination not reached within {rounds_executed} rounds: "
+                f"{len(missing)} process(es) undecided ({missing[:10]}{'...' if len(missing) > 10 else ''})"
+            )
+
+        # Validity (stronger than Integrity; reported separately).
+        validity = decided_values <= initial_set
+        if not validity:
+            invented = decided_values - initial_set
+            message = (
+                f"Validity violated: decided values {sorted(invented, key=repr)!r} "
+                "are not initial values of any process"
+            )
+            if self.require_validity:
+                violations.append(message)
+
+        return ConsensusOutcome(
+            n=n,
+            initial_values=dict(initial_values),
+            decisions=tuple(decisions),
+            rounds_executed=rounds_executed,
+            integrity=integrity,
+            agreement=agreement,
+            termination=termination,
+            validity=validity,
+            violations=tuple(violations),
+            metadata=dict(metadata or {}),
+        )

@@ -1,0 +1,328 @@
+"""Heard-of sets, safe heard-of sets and derived quantities (Section 2.1).
+
+For each process ``p`` and round ``r`` the paper defines
+
+* the reception vector ``mu_p^r`` — the partial vector of messages that
+  ``p`` receives at round ``r``;
+* ``HO(p, r)``  — the support of ``mu_p^r`` (who was heard of);
+* ``SHO(p, r)`` — the senders whose message arrived *uncorrupted*, i.e.
+  equal to what their sending function prescribed;
+* ``AHO(p, r) = HO(p, r) \\ SHO(p, r)`` — the altered heard-of set;
+* the round kernel ``K(r)`` and safe kernel ``SK(r)`` (intersection over
+  all receivers), their global counterparts ``K`` and ``SK``;
+* the altered span ``AS(r)`` and ``AS`` (union of altered heard-of sets).
+
+This module provides small, immutable data containers for a single
+round (:class:`ReceptionVector`, :class:`RoundRecord`) and for an entire
+run (:class:`HeardOfCollection`), plus the free functions computing the
+derived sets.  Communication predicates (:mod:`repro.core.predicates`)
+are evaluated over :class:`HeardOfCollection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.core.process import Payload, ProcessId
+
+
+# ----------------------------------------------------------------------
+# Free functions on HO / SHO sets
+# ----------------------------------------------------------------------
+def altered_heard_of(ho: Iterable[ProcessId], sho: Iterable[ProcessId]) -> FrozenSet[ProcessId]:
+    """Return ``AHO = HO \\ SHO``.
+
+    Raises :class:`ValueError` if ``sho`` is not a subset of ``ho`` —
+    by definition a message can only be "safely heard" if it was heard
+    at all.
+    """
+    ho_set = frozenset(ho)
+    sho_set = frozenset(sho)
+    if not sho_set <= ho_set:
+        raise ValueError(f"SHO {sorted(sho_set)} is not a subset of HO {sorted(ho_set)}")
+    return ho_set - sho_set
+
+
+def kernel(ho_sets: Mapping[ProcessId, Iterable[ProcessId]]) -> FrozenSet[ProcessId]:
+    """Return the kernel of a round: processes heard by *all* receivers.
+
+    ``ho_sets`` maps each receiver ``p`` to ``HO(p, r)``.  An empty
+    mapping yields the empty kernel (there is no receiver to constrain,
+    but also no process set to take an intersection over, so we return
+    the empty set which is the conservative choice used by predicates).
+    """
+    sets = [frozenset(s) for s in ho_sets.values()]
+    if not sets:
+        return frozenset()
+    result = sets[0]
+    for s in sets[1:]:
+        result &= s
+    return result
+
+
+def safe_kernel(sho_sets: Mapping[ProcessId, Iterable[ProcessId]]) -> FrozenSet[ProcessId]:
+    """Return the safe kernel of a round: processes *safely* heard by all."""
+    return kernel(sho_sets)
+
+
+def altered_span(
+    ho_sets: Mapping[ProcessId, Iterable[ProcessId]],
+    sho_sets: Mapping[ProcessId, Iterable[ProcessId]],
+) -> FrozenSet[ProcessId]:
+    """Return ``AS(r)``: processes from which *some* receiver got a corrupted message."""
+    span: Set[ProcessId] = set()
+    for receiver, ho in ho_sets.items():
+        sho = sho_sets.get(receiver, frozenset())
+        span |= altered_heard_of(ho, sho)
+    return frozenset(span)
+
+
+# ----------------------------------------------------------------------
+# Per-round containers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReceptionVector:
+    """The partial reception vector ``mu_p^r`` of one receiver at one round.
+
+    Attributes
+    ----------
+    receiver:
+        The process this vector belongs to.
+    received:
+        Mapping from sender to the payload actually received (possibly
+        corrupted).  Senders not heard of are absent.
+    intended:
+        Mapping from sender to the payload the sender's sending function
+        prescribed for this receiver.  Present for *every* sender (all
+        processes send at every round in this model); used to compute
+        ``SHO``.
+    """
+
+    receiver: ProcessId
+    received: Mapping[ProcessId, Payload]
+    intended: Mapping[ProcessId, Payload]
+
+    @property
+    def heard_of(self) -> FrozenSet[ProcessId]:
+        """``HO(p, r)``: the support of the reception vector."""
+        return frozenset(self.received)
+
+    @property
+    def safe_heard_of(self) -> FrozenSet[ProcessId]:
+        """``SHO(p, r)``: senders whose message arrived uncorrupted."""
+        return frozenset(
+            sender
+            for sender, payload in self.received.items()
+            if sender in self.intended and payload == self.intended[sender]
+        )
+
+    @property
+    def altered_heard_of(self) -> FrozenSet[ProcessId]:
+        """``AHO(p, r) = HO(p, r) \\ SHO(p, r)``."""
+        return self.heard_of - self.safe_heard_of
+
+    def values_received(self) -> Tuple[Payload, ...]:
+        """All payloads received, in sender order (useful in tests)."""
+        return tuple(self.received[s] for s in sorted(self.received))
+
+    def count_of(self, value: Payload) -> int:
+        """Number of received messages equal to ``value`` (the set ``R_p^r(v)``)."""
+        return sum(1 for payload in self.received.values() if payload == value)
+
+    def senders_of(self, value: Payload) -> FrozenSet[ProcessId]:
+        """The set ``R_p^r(v)`` of senders from which ``value`` was received."""
+        return frozenset(s for s, payload in self.received.items() if payload == value)
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observable about a single round of a run.
+
+    Attributes
+    ----------
+    round_num:
+        The 1-based round number.
+    receptions:
+        Mapping from receiver to its :class:`ReceptionVector`.
+    states_before:
+        Optional per-process state snapshots taken before the round's
+        transitions (used by invariant monitors); may be empty.
+    states_after:
+        Optional per-process state snapshots after the transitions.
+    """
+
+    round_num: int
+    receptions: Mapping[ProcessId, ReceptionVector]
+    states_before: Mapping[ProcessId, Mapping[str, object]] = field(default_factory=dict)
+    states_after: Mapping[ProcessId, Mapping[str, object]] = field(default_factory=dict)
+
+    @property
+    def processes(self) -> FrozenSet[ProcessId]:
+        return frozenset(self.receptions)
+
+    def ho(self, receiver: ProcessId) -> FrozenSet[ProcessId]:
+        """``HO(receiver, round_num)``."""
+        return self.receptions[receiver].heard_of
+
+    def sho(self, receiver: ProcessId) -> FrozenSet[ProcessId]:
+        """``SHO(receiver, round_num)``."""
+        return self.receptions[receiver].safe_heard_of
+
+    def aho(self, receiver: ProcessId) -> FrozenSet[ProcessId]:
+        """``AHO(receiver, round_num)``."""
+        return self.receptions[receiver].altered_heard_of
+
+    def ho_sets(self) -> Dict[ProcessId, FrozenSet[ProcessId]]:
+        return {p: rv.heard_of for p, rv in self.receptions.items()}
+
+    def sho_sets(self) -> Dict[ProcessId, FrozenSet[ProcessId]]:
+        return {p: rv.safe_heard_of for p, rv in self.receptions.items()}
+
+    def kernel(self) -> FrozenSet[ProcessId]:
+        """``K(r)``: processes heard of by every receiver at this round."""
+        return kernel(self.ho_sets())
+
+    def safe_kernel(self) -> FrozenSet[ProcessId]:
+        """``SK(r)``: processes safely heard of by every receiver."""
+        return safe_kernel(self.sho_sets())
+
+    def altered_span(self) -> FrozenSet[ProcessId]:
+        """``AS(r)``: processes from which someone received a corrupted message."""
+        return altered_span(self.ho_sets(), self.sho_sets())
+
+    def total_corruptions(self) -> int:
+        """Total number of corrupted receptions at this round (summed over receivers)."""
+        return sum(len(rv.altered_heard_of) for rv in self.receptions.values())
+
+    def total_omissions(self) -> int:
+        """Total number of messages not received at this round."""
+        return sum(
+            len(rv.intended) - len(rv.received) for rv in self.receptions.values()
+        )
+
+    def max_aho(self) -> int:
+        """``max_p |AHO(p, r)|`` — the per-receiver corruption peak of this round."""
+        if not self.receptions:
+            return 0
+        return max(len(rv.altered_heard_of) for rv in self.receptions.values())
+
+
+# ----------------------------------------------------------------------
+# Whole-run container
+# ----------------------------------------------------------------------
+class HeardOfCollection:
+    """The collection of HO/SHO sets of a (finite prefix of a) run.
+
+    The paper's communication predicates are defined over the infinite
+    collection ``(HO(p, r); SHO(p, r))`` for all ``p`` and ``r``; a
+    simulation produces a finite prefix, which this class stores as a
+    list of :class:`RoundRecord`.  Predicates evaluated on a finite
+    prefix interpret "eventually" clauses as "within the recorded
+    horizon".
+    """
+
+    def __init__(self, n: int, rounds: Optional[Iterable[RoundRecord]] = None) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self._rounds: List[RoundRecord] = list(rounds) if rounds is not None else []
+        for expected, record in enumerate(self._rounds, start=1):
+            if record.round_num != expected:
+                raise ValueError(
+                    f"round records must be consecutive starting at 1; "
+                    f"expected {expected}, got {record.round_num}"
+                )
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __iter__(self) -> Iterator[RoundRecord]:
+        return iter(self._rounds)
+
+    def __getitem__(self, round_num: int) -> RoundRecord:
+        """Return the record of 1-based ``round_num``."""
+        if round_num < 1 or round_num > len(self._rounds):
+            raise KeyError(f"no record for round {round_num}")
+        return self._rounds[round_num - 1]
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    @property
+    def processes(self) -> FrozenSet[ProcessId]:
+        return frozenset(range(self.n))
+
+    def append(self, record: RoundRecord) -> None:
+        """Append the next round's record (round numbers must be consecutive)."""
+        expected = len(self._rounds) + 1
+        if record.round_num != expected:
+            raise ValueError(
+                f"expected round {expected}, got record for round {record.round_num}"
+            )
+        self._rounds.append(record)
+
+    # -- per-round accessors --------------------------------------------------
+    def ho(self, p: ProcessId, r: int) -> FrozenSet[ProcessId]:
+        return self[r].ho(p)
+
+    def sho(self, p: ProcessId, r: int) -> FrozenSet[ProcessId]:
+        return self[r].sho(p)
+
+    def aho(self, p: ProcessId, r: int) -> FrozenSet[ProcessId]:
+        return self[r].aho(p)
+
+    # -- global derived sets ---------------------------------------------------
+    def global_kernel(self) -> FrozenSet[ProcessId]:
+        """``K``: processes heard by everyone at every recorded round."""
+        result = self.processes
+        for record in self._rounds:
+            result &= record.kernel()
+        return result
+
+    def global_safe_kernel(self) -> FrozenSet[ProcessId]:
+        """``SK``: processes safely heard by everyone at every recorded round."""
+        result = self.processes
+        for record in self._rounds:
+            result &= record.safe_kernel()
+        return result
+
+    def global_altered_span(self) -> FrozenSet[ProcessId]:
+        """``AS``: processes that emitted at least one corrupted message, ever."""
+        span: Set[ProcessId] = set()
+        for record in self._rounds:
+            span |= record.altered_span()
+        return frozenset(span)
+
+    # -- aggregate statistics --------------------------------------------------
+    def max_aho(self) -> int:
+        """``max_{p,r} |AHO(p, r)|`` over the recorded prefix."""
+        if not self._rounds:
+            return 0
+        return max(record.max_aho() for record in self._rounds)
+
+    def total_corruptions(self) -> int:
+        return sum(record.total_corruptions() for record in self._rounds)
+
+    def total_omissions(self) -> int:
+        return sum(record.total_omissions() for record in self._rounds)
+
+    def corruption_profile(self) -> List[int]:
+        """Per-round total corruptions, useful for plots and reports."""
+        return [record.total_corruptions() for record in self._rounds]
+
+    def is_benign(self) -> bool:
+        """True iff ``SHO(p, r) = HO(p, r)`` everywhere (the benign special case)."""
+        return all(
+            rv.altered_heard_of == frozenset()
+            for record in self._rounds
+            for rv in record.receptions.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<HeardOfCollection n={self.n} rounds={len(self._rounds)} "
+            f"corruptions={self.total_corruptions()}>"
+        )

@@ -1,0 +1,78 @@
+"""HO machines: the pairing ``⟨A, P⟩`` of an algorithm and a predicate.
+
+An HO machine *solves consensus* if every run whose heard-of collections
+satisfy the communication predicate ``P`` satisfies Integrity, Agreement
+and Termination (Section 2.3).  In this reproduction, an
+:class:`HOMachine` bundles the algorithm with the predicate so that the
+simulation engine can (a) record the heard-of collection of the run it
+produces, (b) report whether the predicate actually held for that run,
+and (c) evaluate the consensus clauses — which is exactly the shape of
+the paper's correctness statements ("any run for which P holds satisfies
+...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.algorithm import HOAlgorithm
+from repro.core.consensus import ConsensusOutcome
+from repro.core.heardof import HeardOfCollection
+from repro.core.predicates import CommunicationPredicate, TruePredicate
+
+
+@dataclass
+class MachineVerdict:
+    """The result of checking one run of an HO machine.
+
+    ``predicate_held`` tells whether the run's communication satisfied
+    ``P``; ``outcome`` is the consensus verdict.  The machine's
+    correctness claim is only about runs where ``predicate_held`` is
+    True — a violated specification in a run where the predicate did
+    *not* hold is not a counterexample to the paper's theorems (though
+    it may still be interesting, e.g. when demonstrating which
+    assumption is load-bearing).
+    """
+
+    predicate_held: bool
+    outcome: ConsensusOutcome
+    predicate_violations: tuple
+
+    @property
+    def counterexample(self) -> bool:
+        """True iff this run refutes the machine's correctness claim."""
+        return self.predicate_held and not self.outcome.all_satisfied
+
+    @property
+    def safety_counterexample(self) -> bool:
+        """True iff safety (Agreement or Integrity) failed despite the predicate."""
+        return self.predicate_held and not self.outcome.safe
+
+
+class HOMachine:
+    """The pair ``⟨A, P⟩`` of Section 2.2."""
+
+    def __init__(
+        self,
+        algorithm: HOAlgorithm,
+        predicate: Optional[CommunicationPredicate] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.predicate = predicate if predicate is not None else TruePredicate()
+        self.name = name or f"⟨{algorithm.name}, {self.predicate.name}⟩"
+
+    def check(
+        self, collection: HeardOfCollection, outcome: ConsensusOutcome
+    ) -> MachineVerdict:
+        """Evaluate this machine's correctness claim against one finished run."""
+        violations = tuple(self.predicate.violations(collection))
+        return MachineVerdict(
+            predicate_held=not violations,
+            outcome=outcome,
+            predicate_violations=violations,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<HOMachine {self.name}>"

@@ -1,0 +1,205 @@
+"""Threshold parameter containers for the paper's two algorithms.
+
+The correctness of ``A_{T,E}`` and ``U_{T,E,alpha}`` hinges on
+inequalities between ``n`` (number of processes), ``alpha`` (per-round,
+per-receiver corruption bound of the predicate ``P_alpha``), and the two
+receive thresholds ``T`` ("Threshold", governs when the estimate ``x_p``
+is updated) and ``E`` ("Enough", governs when a decision is taken).
+
+* ``A_{T,E}`` (Theorem 1): consensus is solved under
+  ``P_alpha ∧ P^{A,live}`` when ``n > E`` and ``n > T >= 2(n + 2α − E)``.
+  Solutions exist iff ``α < n/4``; the symmetric choice of Proposition 4
+  is ``E = T = 2(n + 2α)/3`` (the OneThirdRule thresholds at ``α = 0``).
+
+* ``U_{T,E,α}`` (Theorem 2): consensus is solved under
+  ``P_alpha ∧ P^{U,safe} ∧ P^{U,live}`` when ``n > E >= n/2 + α`` and
+  ``n > T >= n/2 + α`` (and ``n > α``).  Solutions exist iff ``α < n/2``;
+  the minimal choice is ``E = T = n/2 + α``.
+
+These dataclasses validate nothing beyond basic sanity on construction;
+the `satisfies_*` properties expose each inequality separately so tests
+and benchmarks can deliberately construct out-of-range parameterisations
+to demonstrate where correctness breaks down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+Number = Union[int, float, Fraction]
+
+
+def _as_fraction(x: Number) -> Fraction:
+    """Convert a numeric threshold to an exact fraction for comparisons."""
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    return Fraction(x).limit_denominator(10**9)
+
+
+@dataclass(frozen=True)
+class AteParameters:
+    """Parameters of the ``A_{T,E}`` algorithm under ``P_alpha``.
+
+    Attributes
+    ----------
+    n:
+        Number of processes.
+    alpha:
+        The bound of the safety predicate ``P_alpha`` the machine is
+        expected to run under (``|AHO(p, r)| <= alpha`` for all p, r).
+    threshold:
+        The ``T`` parameter: ``x_p`` is updated only when strictly more
+        than ``T`` messages are received.
+    enough:
+        The ``E`` parameter: a decision is taken when strictly more than
+        ``E`` received messages carry the same value.
+    """
+
+    n: int
+    alpha: Number
+    threshold: Number
+    enough: Number
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if _as_fraction(self.alpha) < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if _as_fraction(self.alpha) > self.n:
+            raise ValueError(f"alpha must be at most n={self.n}, got {self.alpha}")
+        if _as_fraction(self.threshold) < 0 or _as_fraction(self.enough) < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def symmetric(cls, n: int, alpha: Number = 0) -> "AteParameters":
+        """Proposition 4's symmetric choice ``E = T = 2(n + 2α)/3``.
+
+        At ``alpha == 0`` this is exactly the OneThirdRule threshold
+        ``2n/3``.
+        """
+        value = Fraction(2, 3) * (n + 2 * _as_fraction(alpha))
+        return cls(n=n, alpha=alpha, threshold=value, enough=value)
+
+    @classmethod
+    def minimal_enough(cls, n: int, alpha: Number, enough: Number) -> "AteParameters":
+        """Given ``E``, pick the smallest ``T`` allowed by Theorem 1."""
+        threshold = 2 * (n + 2 * _as_fraction(alpha) - _as_fraction(enough))
+        return cls(n=n, alpha=alpha, threshold=max(threshold, Fraction(0)), enough=enough)
+
+    # -- Theorem 1 conditions --------------------------------------------------
+    @property
+    def satisfies_agreement_condition(self) -> bool:
+        """Proposition 1: ``E >= n/2 + alpha`` and ``T >= 2(n + 2α − E)``."""
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        return e >= Fraction(self.n, 2) + a and t >= 2 * (self.n + 2 * a - e)
+
+    @property
+    def satisfies_integrity_condition(self) -> bool:
+        """Proposition 2: ``E >= alpha`` and ``T >= 2*alpha``."""
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        return e >= a and t >= 2 * a
+
+    @property
+    def satisfies_termination_condition(self) -> bool:
+        """Proposition 3: ``n > E >= n/2 + α`` and ``n > T >= 2(n + 2α − E)``."""
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        return (
+            self.n > e >= Fraction(self.n, 2) + a
+            and self.n > t >= 2 * (self.n + 2 * a - e)
+        )
+
+    @property
+    def satisfies_theorem_1(self) -> bool:
+        """Theorem 1: ``n > E`` and ``n > T >= 2(n + 2α − E)``."""
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        return self.n > e and self.n > t >= 2 * (self.n + 2 * a - e)
+
+    @property
+    def is_safe(self) -> bool:
+        """Conditions for Agreement *and* Integrity (safety without liveness)."""
+        return self.satisfies_agreement_condition and self.satisfies_integrity_condition
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"A_(T={float(_as_fraction(self.threshold)):g}, "
+            f"E={float(_as_fraction(self.enough)):g}) "
+            f"[n={self.n}, alpha={float(_as_fraction(self.alpha)):g}]"
+        )
+
+
+@dataclass(frozen=True)
+class UteParameters:
+    """Parameters of the ``U_{T,E,alpha}`` algorithm.
+
+    ``alpha`` appears in the algorithm itself (the ``>= alpha + 1``
+    adoption rule at line 14 of Algorithm 2), not just in the predicate,
+    so it is an algorithm parameter here as well.
+    """
+
+    n: int
+    alpha: Number
+    threshold: Number
+    enough: Number
+    default_value_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if _as_fraction(self.alpha) < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if _as_fraction(self.threshold) < 0 or _as_fraction(self.enough) < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def minimal(cls, n: int, alpha: Number = 0) -> "UteParameters":
+        """Section 4.3's minimal choice ``E = T = n/2 + alpha``."""
+        value = Fraction(n, 2) + _as_fraction(alpha)
+        return cls(n=n, alpha=alpha, threshold=value, enough=value)
+
+    # -- Theorem 2 conditions --------------------------------------------------
+    @property
+    def satisfies_agreement_condition(self) -> bool:
+        """Proposition 5: ``E >= n/2 + alpha`` and ``T >= n/2 + alpha``."""
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        half_plus = Fraction(self.n, 2) + a
+        return e >= half_plus and t >= half_plus
+
+    @property
+    def satisfies_integrity_condition(self) -> bool:
+        """Proposition 6: ``E >= n/2 + alpha``."""
+        e, a = map(_as_fraction, (self.enough, self.alpha))
+        return e >= Fraction(self.n, 2) + a
+
+    @property
+    def satisfies_theorem_2(self) -> bool:
+        """Theorem 2: ``n > E >= n/2+α``, ``n > T >= n/2+α`` and ``n > α``."""
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        half_plus = Fraction(self.n, 2) + a
+        return self.n > e >= half_plus and self.n > t >= half_plus and self.n > a
+
+    @property
+    def is_safe(self) -> bool:
+        return self.satisfies_agreement_condition and self.satisfies_integrity_condition
+
+    @property
+    def u_safe_minimum(self) -> Fraction:
+        """The lower bound of ``P^{U,safe}``: ``max(n + 2α − E − 1, T, α)``.
+
+        Every process must *safely* hear of strictly more processes than
+        this number at every round for ``P^{U,safe}`` to hold.
+        """
+        e, t, a = map(_as_fraction, (self.enough, self.threshold, self.alpha))
+        return max(self.n + 2 * a - e - 1, t, a)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"U_(T={float(_as_fraction(self.threshold)):g}, "
+            f"E={float(_as_fraction(self.enough)):g}, "
+            f"alpha={float(_as_fraction(self.alpha)):g}) [n={self.n}]"
+        )

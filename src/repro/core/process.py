@@ -1,0 +1,163 @@
+"""Process abstraction of the Heard-Of model (Section 2.1 of the paper).
+
+A process consists of a set of states, a subset of initial states, and
+for each round ``r`` a message-sending function ``S_p^r`` and a
+state-transition function ``T_p^r``.  Here a process is modelled as an
+object whose attributes make up the state; the sending function is the
+:meth:`HOProcess.send` method and the transition function is the
+:meth:`HOProcess.transition` method.
+
+Crucially — and in contrast to classical Byzantine models — processes in
+this model *never* deviate from their transition functions.  All faults
+are transmission faults: the environment (an adversary in the
+simulation) may drop or corrupt messages *in flight*, which is reflected
+in the ``HO``/``SHO`` sets of the run, but process state is never
+touched by the environment.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Mapping, Optional
+
+#: Process identifier.  Processes are numbered ``0 .. n-1``.
+ProcessId = int
+
+#: Consensus values are arbitrary hashable, totally ordered objects
+#: (the paper requires a totally ordered set ``V``); in practice ints
+#: and strings are used throughout the test-suite and benchmarks.
+Value = Hashable
+
+#: Message payloads.  ``None`` is reserved for "no message received"
+#: inside reception vectors, so algorithms must not send ``None``.
+Payload = Hashable
+
+
+class HOProcess(ABC):
+    """One process of an HO algorithm.
+
+    Subclasses implement the per-round sending function
+    (:meth:`send`) and transition function (:meth:`transition`), and
+    expose their decision status through :attr:`decision`.
+
+    Parameters
+    ----------
+    pid:
+        The identifier of this process (``0 <= pid < n``).
+    n:
+        Total number of processes in ``Pi``.
+    initial_value:
+        The process's initial consensus value ``v_p``.
+    """
+
+    def __init__(self, pid: ProcessId, n: int, initial_value: Value) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not 0 <= pid < n:
+            raise ValueError(f"pid must be in [0, {n}), got {pid}")
+        self.pid = pid
+        self.n = n
+        self.initial_value = initial_value
+        self._decision: Optional[Value] = None
+        self._decision_round: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # The sending function S_p^r
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def send(self, round_num: int) -> Payload:
+        """Return the message this process broadcasts at ``round_num``.
+
+        The paper's sending function ``S_p^r`` maps (state, destination)
+        to a message; both algorithms in the paper broadcast the same
+        message to every destination, so the common case is captured by
+        this method.  Algorithms that need per-destination messages can
+        override :meth:`send_to` instead.
+        """
+
+    def send_to(self, round_num: int, destination: ProcessId) -> Payload:
+        """Return the message sent to ``destination`` at ``round_num``.
+
+        Defaults to the broadcast value returned by :meth:`send`.  The
+        simulation engine always calls this method so that
+        per-destination algorithms are supported uniformly.
+        """
+        return self.send(round_num)
+
+    # ------------------------------------------------------------------
+    # The transition function T_p^r
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def transition(self, round_num: int, reception: Mapping[ProcessId, Payload]) -> None:
+        """Apply the transition function to the reception vector.
+
+        ``reception`` maps each process ``q`` in ``HO(p, r)`` to the
+        payload received from ``q`` (possibly corrupted).  Processes not
+        heard of simply do not appear in the mapping.
+        """
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    @property
+    def decision(self) -> Optional[Value]:
+        """The decided value, or ``None`` if the process has not decided."""
+        return self._decision
+
+    @property
+    def decided(self) -> bool:
+        """Whether this process has decided."""
+        return self._decision is not None
+
+    @property
+    def decision_round(self) -> Optional[int]:
+        """The round at which the process decided (``None`` if undecided)."""
+        return self._decision_round
+
+    def _decide(self, value: Value, round_num: int) -> None:
+        """Record an irrevocable decision.
+
+        Decisions are irrevocable per the consensus specification: once
+        made, later calls with a *different* value raise
+        :class:`DecisionChangedError` so that specification violations
+        surface immediately during simulation rather than being silently
+        overwritten.
+        """
+        if self._decision is not None:
+            if self._decision != value:
+                raise DecisionChangedError(
+                    f"process {self.pid} attempted to change its decision from "
+                    f"{self._decision!r} (round {self._decision_round}) to {value!r} "
+                    f"(round {round_num})"
+                )
+            return
+        self._decision = value
+        self._decision_round = round_num
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by traces and invariant monitors
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Return a deep copy of the externally relevant state.
+
+        Subclasses should override to expose their algorithm variables
+        (e.g. ``x_p``, ``vote_p``).  The default exposes the decision
+        status only.
+        """
+        return {
+            "decision": self._decision,
+            "decision_round": self._decision_round,
+        }
+
+    def clone(self) -> "HOProcess":
+        """Return a deep copy of this process (used by the model checker)."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = f"decided={self._decision!r}" if self.decided else "undecided"
+        return f"<{type(self).__name__} pid={self.pid} {status}>"
+
+
+class DecisionChangedError(RuntimeError):
+    """Raised when a process attempts to revoke or change its decision."""

@@ -1,0 +1,69 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each driver returns an :class:`repro.experiments.common.ExperimentReport`
+and corresponds to one experiment id of DESIGN.md's index:
+
+========  =======================================================================
+E1, E2    Table 1 rows (``validate_ate_row``, ``validate_ute_row``)
+E3, E4    Figures 1 and 2 liveness predicates (``alive_predicate_effect``,
+          ``ulive_predicate_effect``)
+E5        Figure 3 corruption taxonomy (``corruption_taxonomy``)
+E6, E7    Resilience boundaries alpha < n/4 and alpha < n/2
+          (``ate_resilience_sweep``, ``ute_resilience_sweep``)
+E8        Santoro–Widmayer circumvention (``santoro_widmayer_circumvention``)
+E9        Fast decision vs Martin–Alvisi (``fast_decision``)
+E10       Lamport bound attainment (``lamport_attainment``)
+E11       Classical Byzantine assumptions as predicates (``byzantine_predicates``)
+E12       Benign baselines / alpha = 0 degeneration (``benign_baselines``)
+========  =======================================================================
+
+E13 (engine throughput) has no driver here — it is measured directly by
+``benchmarks/test_bench_engine.py``.
+"""
+
+from repro.experiments.benign import benign_baselines
+from repro.experiments.byzantine import byzantine_predicates
+from repro.experiments.common import ExperimentReport, run_batch, run_batch_results
+from repro.experiments.liveness import alive_predicate_effect, ulive_predicate_effect
+from repro.experiments.lower_bounds import (
+    fast_decision,
+    lamport_attainment,
+    santoro_widmayer_circumvention,
+)
+from repro.experiments.resilience import ate_resilience_sweep, ute_resilience_sweep
+from repro.experiments.table1 import validate_ate_row, validate_ute_row
+from repro.experiments.taxonomy import corruption_taxonomy
+
+ALL_EXPERIMENTS = {
+    "E1": validate_ate_row,
+    "E2": validate_ute_row,
+    "E3": alive_predicate_effect,
+    "E4": ulive_predicate_effect,
+    "E5": corruption_taxonomy,
+    "E6": ate_resilience_sweep,
+    "E7": ute_resilience_sweep,
+    "E8": santoro_widmayer_circumvention,
+    "E9": fast_decision,
+    "E10": lamport_attainment,
+    "E11": byzantine_predicates,
+    "E12": benign_baselines,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentReport",
+    "alive_predicate_effect",
+    "ate_resilience_sweep",
+    "benign_baselines",
+    "byzantine_predicates",
+    "corruption_taxonomy",
+    "fast_decision",
+    "lamport_attainment",
+    "run_batch",
+    "run_batch_results",
+    "santoro_widmayer_circumvention",
+    "ulive_predicate_effect",
+    "ute_resilience_sweep",
+    "validate_ate_row",
+    "validate_ute_row",
+]

@@ -1,0 +1,115 @@
+"""Experiment E12: benign baselines and the alpha = 0 degeneration.
+
+The paper's algorithms are parametrisations of the benign-case
+OneThirdRule and UniformVoting algorithms; at ``alpha = 0`` they must
+behave exactly like their ancestors.  This driver
+
+* checks the literal equivalence ``A_{2n/3, 2n/3} ≡ OneThirdRule`` by
+  running both on identical workloads and fault schedules and comparing
+  decisions and decision rounds, and
+* sweeps benign omission rates to show the baseline behaviour the paper
+  departs from (safety under any loss, termination under sporadic good
+  rounds).
+"""
+
+from __future__ import annotations
+
+from repro.adversary import PeriodicGoodRoundAdversary, RandomOmissionAdversary
+from repro.algorithms import (
+    AteAlgorithm,
+    OneThirdRuleAlgorithm,
+    UniformVotingAlgorithm,
+    UteAlgorithm,
+)
+from repro.core.parameters import AteParameters
+from repro.experiments.common import ExperimentReport, run_batch_results
+from repro.verification.properties import aggregate
+from repro.workloads import generators
+
+
+def benign_baselines(
+    n: int = 9,
+    runs: int = 12,
+    seed: int = 13,
+    max_rounds: int = 60,
+    drop_probabilities=(0.0, 0.1, 0.3),
+) -> ExperimentReport:
+    """E12 — benign-omission sweep for the baselines and the alpha = 0 instances."""
+    report = ExperimentReport(
+        experiment_id="E12",
+        title=f"Benign baselines (alpha = 0), n={n}",
+        paper_claim=(
+            "at alpha = 0, A_(2n/3,2n/3) coincides with OneThirdRule; both are safe under any "
+            "number of omissions and decide fast once good rounds occur."
+        ),
+    )
+
+    # -- literal equivalence check -------------------------------------------------
+    equivalence_mismatches = 0
+    for index in range(runs):
+        workload = generators.uniform_random(n, seed=seed + index)
+        adversary_a = PeriodicGoodRoundAdversary(
+            inner=RandomOmissionAdversary(drop_probability=0.2, seed=seed * 31 + index), period=3
+        )
+        adversary_b = PeriodicGoodRoundAdversary(
+            inner=RandomOmissionAdversary(drop_probability=0.2, seed=seed * 31 + index), period=3
+        )
+        ate = run_batch_results(
+            algorithm_factory=lambda i: AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)),
+            adversary_factory=lambda i, adv=adversary_a: adv,
+            initial_value_batches=[workload],
+            max_rounds=max_rounds,
+        )[0]
+        otr = run_batch_results(
+            algorithm_factory=lambda i: OneThirdRuleAlgorithm(n),
+            adversary_factory=lambda i, adv=adversary_b: adv,
+            initial_value_batches=[workload],
+            max_rounds=max_rounds,
+        )[0]
+        same_values = ate.outcome.decision_values == otr.outcome.decision_values
+        same_rounds = ate.outcome.decision_rounds == otr.outcome.decision_rounds
+        if not (same_values and same_rounds):
+            equivalence_mismatches += 1
+    report.add_row(
+        check="A_(2n/3,2n/3) == OneThirdRule (decisions and decision rounds)",
+        runs=runs,
+        mismatches=equivalence_mismatches,
+    )
+
+    # -- omission sweep --------------------------------------------------------------
+    algorithms = {
+        "OneThirdRule": lambda: OneThirdRuleAlgorithm(n),
+        "A_(T,E) alpha=0": lambda: AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)),
+        "UniformVoting": lambda: UniformVotingAlgorithm(n),
+        "U_(T,E,alpha) alpha=0": lambda: UteAlgorithm.minimal(n=n, alpha=0),
+    }
+    for drop_probability in drop_probabilities:
+        for label, algorithm_factory in algorithms.items():
+            results = run_batch_results(
+                algorithm_factory=lambda index, factory=algorithm_factory: factory(),
+                adversary_factory=lambda index, p=drop_probability: PeriodicGoodRoundAdversary(
+                    inner=RandomOmissionAdversary(drop_probability=p, seed=seed * 97 + index),
+                    period=4,
+                ),
+                initial_value_batches=generators.batch(n, runs, seed=seed),
+                max_rounds=max_rounds,
+            )
+            batch = aggregate(results)
+            report.add_row(
+                check="omission sweep",
+                algorithm=label,
+                drop_probability=drop_probability,
+                agreement_rate=round(batch.agreement_rate, 3),
+                integrity_rate=round(batch.integrity_rate, 3),
+                termination_rate=round(batch.termination_rate, 3),
+                mean_decision_round=(
+                    round(batch.mean_decision_round, 2)
+                    if batch.mean_decision_round is not None
+                    else None
+                ),
+            )
+    report.add_note(
+        "the equivalence check reuses identical workloads and identically seeded fault schedules "
+        "for both algorithms, so any behavioural difference would show up as a mismatch."
+    )
+    return report

@@ -1,0 +1,114 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every experiment of DESIGN.md's index (E1-E13) is implemented as a
+driver function returning an :class:`ExperimentReport`: a structured
+object with an id, a title, a list of result rows (plain dictionaries so
+they can be rendered, asserted on and serialised), and free-form notes.
+Benchmarks, the CLI and EXPERIMENTS.md are all generated from these
+drivers so the numbers they show cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.adversary.base import Adversary
+from repro.core.algorithm import HOAlgorithm
+from repro.core.predicates import CommunicationPredicate
+from repro.core.process import ProcessId, Value
+from repro.simulation.engine import SimulationResult, run_consensus
+from repro.verification.properties import BatchReport, aggregate
+
+
+@dataclass
+class ExperimentReport:
+    """Structured output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_claim: str = ""
+
+    def add_row(self, **fields: object) -> None:
+        self.rows.append(dict(fields))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Human-readable rendering used by the CLI and the bench harness."""
+        from repro.analysis.comparison import render_table
+
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_claim:
+            lines.append(f"paper claim: {self.paper_claim}")
+        if self.rows:
+            lines.append(render_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialise the report (optionally writing it to ``path``)."""
+        payload = json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "paper_claim": self.paper_claim,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+        if path is not None:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            Path(path).write_text(payload, encoding="utf-8")
+        return payload
+
+
+def run_batch(
+    algorithm_factory: Callable[[int], HOAlgorithm],
+    adversary_factory: Callable[[int], Adversary],
+    initial_value_batches: Sequence[Mapping[ProcessId, Value]],
+    max_rounds: int = 60,
+    predicate: Optional[CommunicationPredicate] = None,
+) -> BatchReport:
+    """Run one simulation per initial configuration and aggregate the outcomes.
+
+    The factories receive the run index so that every run gets fresh
+    algorithm and adversary state with run-specific seeds.
+    """
+    results: List[SimulationResult] = []
+    for index, initial_values in enumerate(initial_value_batches):
+        results.append(
+            run_consensus(
+                algorithm=algorithm_factory(index),
+                initial_values=initial_values,
+                adversary=adversary_factory(index),
+                max_rounds=max_rounds,
+            )
+        )
+    return aggregate(results, predicate=predicate)
+
+
+def run_batch_results(
+    algorithm_factory: Callable[[int], HOAlgorithm],
+    adversary_factory: Callable[[int], Adversary],
+    initial_value_batches: Sequence[Mapping[ProcessId, Value]],
+    max_rounds: int = 60,
+) -> List[SimulationResult]:
+    """Like :func:`run_batch` but returning the raw results for custom analysis."""
+    return [
+        run_consensus(
+            algorithm=algorithm_factory(index),
+            initial_values=initial_values,
+            adversary=adversary_factory(index),
+            max_rounds=max_rounds,
+        )
+        for index, initial_values in enumerate(initial_value_batches)
+    ]

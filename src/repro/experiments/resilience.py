@@ -1,0 +1,164 @@
+"""Experiments E6 and E7: resilience boundaries (Sections 3.3 and 4.3).
+
+``A_{T,E}`` admits valid thresholds iff ``alpha < n/4`` and
+``U_{T,E,alpha}`` iff ``alpha < n/2``.  These drivers sweep ``alpha``
+across each boundary and report, per value,
+
+* whether valid thresholds exist analytically (and how many integer
+  ``(T, E)`` pairs there are), and
+* what happens in simulation at (or as close as possible to) the
+  canonical threshold choice — including adversarial *split-vote* attacks
+  whose per-receiver corruption budget equals ``alpha``, which succeed in
+  breaking Agreement once the parameters leave the feasible region.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import (
+    PeriodicGoodPhaseAdversary,
+    PeriodicGoodRoundAdversary,
+    RandomCorruptionAdversary,
+    SplitVoteAdversary,
+)
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.analysis.feasibility import (
+    ate_feasible,
+    ate_integer_solutions,
+    ate_max_alpha,
+    ute_feasible,
+    ute_integer_solutions,
+    ute_max_alpha,
+)
+from repro.core.parameters import AteParameters, UteParameters
+from repro.experiments.common import ExperimentReport, run_batch_results
+from repro.verification.properties import aggregate
+from repro.workloads import generators
+
+
+def _ate_params_for(n: int, alpha: int) -> AteParameters:
+    """Symmetric thresholds when feasible, the closest in-range attempt otherwise."""
+    if ate_feasible(n, alpha):
+        return AteParameters.symmetric(n=n, alpha=alpha)
+    return AteParameters(n=n, alpha=alpha, threshold=n - 1, enough=n - 1)
+
+
+def _ute_params_for(n: int, alpha: int) -> UteParameters:
+    if ute_feasible(n, alpha):
+        return UteParameters.minimal(n=n, alpha=alpha)
+    return UteParameters(n=n, alpha=alpha, threshold=n - 1, enough=n - 1)
+
+
+def ate_resilience_sweep(
+    n: int = 12,
+    runs: int = 12,
+    seed: int = 7,
+    max_rounds: int = 60,
+) -> ExperimentReport:
+    """E6 — sweep ``alpha`` across the ``n/4`` boundary for ``A_{T,E}``."""
+    report = ExperimentReport(
+        experiment_id="E6",
+        title=f"A_(T,E) resilience boundary, n={n}",
+        paper_claim="valid (T, E) exist iff alpha < n/4; Proposition 4 chooses E = T = 2(n + 2a)/3.",
+    )
+    limit = ate_max_alpha(n)
+    alphas = list(range(0, limit + 1)) + [limit + 1, limit + 2]
+    for alpha in alphas:
+        params = _ate_params_for(n, alpha)
+        feasible = ate_feasible(n, alpha)
+        integer_solutions = len(ate_integer_solutions(n, alpha))
+
+        def adversary(index: int, alpha=alpha) -> object:
+            if index % 2 == 0:
+                # Split-vote attack with exactly the allowed per-receiver budget.
+                return SplitVoteAdversary(
+                    budget_per_receiver=alpha, value_a=0, value_b=1, seed=seed + index
+                )
+            return PeriodicGoodRoundAdversary(
+                inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed + index),
+                period=4,
+            )
+
+        results = run_batch_results(
+            algorithm_factory=lambda index, params=params: AteAlgorithm(params),
+            adversary_factory=adversary,
+            initial_value_batches=[generators.split(n) for _ in range(runs)],
+            max_rounds=max_rounds,
+        )
+        attack_runs = aggregate(results[0::2])
+        live_runs = aggregate(results[1::2])
+        overall = aggregate(results)
+        report.add_row(
+            alpha=alpha,
+            feasible=feasible,
+            integer_threshold_pairs=integer_solutions,
+            threshold=float(params.threshold),
+            enough=float(params.enough),
+            agreement_rate=round(overall.agreement_rate, 3),
+            integrity_rate=round(overall.integrity_rate, 3),
+            agreement_rate_under_attack=round(attack_runs.agreement_rate, 3),
+            termination_rate_live_env=round(live_runs.termination_rate, 3),
+        )
+    report.add_note(
+        "the split-vote attack rows measure safety only (that adversary provides no good rounds, "
+        "so termination is not owed); the live-environment column measures termination under "
+        "P^A,live-style good rounds.  Agreement stays at 1.0 for every feasible alpha; beyond "
+        "n/4 no threshold choice exists and the same per-receiver budget breaks the machine."
+    )
+    return report
+
+
+def ute_resilience_sweep(
+    n: int = 9,
+    runs: int = 12,
+    seed: int = 8,
+    max_rounds: int = 80,
+) -> ExperimentReport:
+    """E7 — sweep ``alpha`` across the ``n/2`` boundary for ``U_{T,E,alpha}``."""
+    report = ExperimentReport(
+        experiment_id="E7",
+        title=f"U_(T,E,alpha) resilience boundary, n={n}",
+        paper_claim="valid (T, E) exist iff alpha < n/2; the minimal choice is E = T = n/2 + a.",
+    )
+    limit = ute_max_alpha(n)
+    alphas = sorted(set([0, limit // 2, limit, limit + 1, limit + 2]))
+    for alpha in alphas:
+        params = _ute_params_for(n, alpha)
+        feasible = ute_feasible(n, alpha)
+        integer_solutions = len(ute_integer_solutions(n, alpha))
+
+        def adversary(index: int, alpha=alpha) -> object:
+            if index % 2 == 0:
+                return SplitVoteAdversary(
+                    budget_per_receiver=alpha, value_a=0, value_b=1, seed=seed + index
+                )
+            return PeriodicGoodPhaseAdversary(
+                inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed + index),
+                period=3,
+            )
+
+        results = run_batch_results(
+            algorithm_factory=lambda index, params=params: UteAlgorithm(params),
+            adversary_factory=adversary,
+            initial_value_batches=[generators.split(n) for _ in range(runs)],
+            max_rounds=max_rounds,
+        )
+        attack_runs = aggregate(results[0::2])
+        live_runs = aggregate(results[1::2])
+        overall = aggregate(results)
+        report.add_row(
+            alpha=alpha,
+            feasible=feasible,
+            integer_threshold_pairs=integer_solutions,
+            threshold=float(params.threshold),
+            enough=float(params.enough),
+            agreement_rate=round(overall.agreement_rate, 3),
+            integrity_rate=round(overall.integrity_rate, 3),
+            agreement_rate_under_attack=round(attack_runs.agreement_rate, 3),
+            termination_rate_live_env=round(live_runs.termination_rate, 3),
+        )
+    report.add_note(
+        "U tolerates alpha up to just below n/2 — twice A's bound — provided P^U,safe holds; "
+        "note that the split-vote attack with a budget above n/2 also violates P^U,safe, so "
+        "those rows are outside the machine's claim as well as outside the feasible region."
+    )
+    return report

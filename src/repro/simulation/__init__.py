@@ -1,0 +1,67 @@
+"""Simulation engines, network models, traces and metrics.
+
+Two execution substrates are provided:
+
+* the lockstep engine (:mod:`repro.simulation.engine`) — deterministic,
+  fast, used by the bulk of tests and benchmarks;
+* the asyncio engine (:mod:`repro.simulation.async_engine`) — the same
+  communication-closed round semantics layered over an asynchronous
+  message-passing network with randomised per-message delays.
+"""
+
+from repro.simulation.async_engine import (
+    AsyncSimulationConfig,
+    run_algorithm_async,
+    run_consensus_async,
+)
+from repro.simulation.engine import (
+    SimulationConfig,
+    SimulationResult,
+    execute_round,
+    run_algorithm,
+    run_consensus,
+    run_machine,
+    run_many,
+)
+from repro.simulation.metrics import RunMetrics, metrics_from_collection
+from repro.simulation.network import (
+    AsyncNetwork,
+    DelayModel,
+    ExponentialDelay,
+    NetworkMessage,
+    NoDelay,
+    UniformDelay,
+)
+from repro.simulation.trace import (
+    ReplayAdversary,
+    collection_from_dict,
+    collection_to_dict,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "AsyncNetwork",
+    "AsyncSimulationConfig",
+    "DelayModel",
+    "ExponentialDelay",
+    "NetworkMessage",
+    "NoDelay",
+    "ReplayAdversary",
+    "RunMetrics",
+    "SimulationConfig",
+    "SimulationResult",
+    "UniformDelay",
+    "collection_from_dict",
+    "collection_to_dict",
+    "execute_round",
+    "load_trace",
+    "metrics_from_collection",
+    "run_algorithm",
+    "run_algorithm_async",
+    "run_consensus",
+    "run_consensus_async",
+    "run_machine",
+    "run_many",
+    "save_trace",
+]

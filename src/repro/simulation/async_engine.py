@@ -1,0 +1,265 @@
+"""The asyncio engine: communication-closed rounds over an asynchronous network.
+
+The lockstep engine (:mod:`repro.simulation.engine`) executes rounds as
+a single loop.  This engine runs every process as its own asyncio task;
+processes communicate only through an :class:`~repro.simulation.network.AsyncNetwork`
+whose per-message delays interleave deliveries arbitrarily.  A round
+coordinator provides communication closedness: it gathers the intended
+messages of a round from all processes, lets the adversary decide each
+message's fate (exactly as in the lockstep engine, so HO/SHO bookkeeping
+is identical), hands the surviving messages to the network, and releases
+each process once its round is closed.
+
+The engine exists to demonstrate — executably — the paper's remark that
+the round structure does not constrain the asynchrony of the system: the
+two engines produce the same heard-of collections for the same
+algorithm, adversary and seeds (covered by
+``tests/simulation/test_async_engine.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.adversary.base import Adversary, ReliableAdversary
+from repro.core.algorithm import HOAlgorithm
+from repro.core.consensus import ConsensusSpec, DecisionRecord
+from repro.core.heardof import HeardOfCollection, ReceptionVector, RoundRecord
+from repro.core.process import HOProcess, Payload, ProcessId, Value
+from repro.simulation.engine import SimulationConfig, SimulationResult
+from repro.simulation.metrics import metrics_from_collection
+from repro.simulation.network import AsyncNetwork, DelayModel, NetworkMessage
+
+
+@dataclass
+class AsyncSimulationConfig(SimulationConfig):
+    """Configuration of the asyncio engine (extends the lockstep config)."""
+
+    delay_model: Optional[DelayModel] = None
+    network_seed: Optional[int] = None
+
+
+class _RoundCoordinator:
+    """Implements communication-closed rounds on top of the async network."""
+
+    def __init__(
+        self,
+        n: int,
+        adversary: Adversary,
+        network: AsyncNetwork,
+        record_states: bool,
+    ) -> None:
+        self.n = n
+        self.adversary = adversary
+        self.network = network
+        self.record_states = record_states
+        self.collection = HeardOfCollection(n)
+        self.stop = False
+        self._submissions: Dict[int, Dict[ProcessId, Dict[ProcessId, Payload]]] = {}
+        self._round_complete: Dict[int, asyncio.Event] = {}
+        self._reception: Dict[int, Dict[ProcessId, Dict[ProcessId, Payload]]] = {}
+        self._states_before: Dict[int, Dict[ProcessId, Dict[str, object]]] = {}
+        self._transitions_done: Dict[int, int] = {}
+        self._transition_events: Dict[int, asyncio.Event] = {}
+        self.processes: Mapping[ProcessId, HOProcess] = {}
+
+    def _event(self, round_num: int) -> asyncio.Event:
+        if round_num not in self._round_complete:
+            self._round_complete[round_num] = asyncio.Event()
+        return self._round_complete[round_num]
+
+    async def submit(
+        self,
+        round_num: int,
+        sender: ProcessId,
+        messages: Dict[ProcessId, Payload],
+        state_before: Dict[str, object],
+    ) -> None:
+        """A process hands in its round-``round_num`` messages."""
+        per_round = self._submissions.setdefault(round_num, {})
+        per_round[sender] = messages
+        self._states_before.setdefault(round_num, {})[sender] = state_before
+        if len(per_round) == self.n:
+            await self._close_round(round_num)
+
+    async def _close_round(self, round_num: int) -> None:
+        """All processes submitted: apply the adversary and deliver."""
+        intended = self._submissions[round_num]
+        received = self.adversary.deliver_round(round_num, intended)
+
+        # Ship the surviving messages through the asynchronous network.
+        send_tasks = []
+        for receiver, inbox in received.items():
+            for sender, payload in inbox.items():
+                send_tasks.append(
+                    self.network.send(
+                        NetworkMessage(
+                            sender=sender,
+                            receiver=receiver,
+                            round_num=round_num,
+                            payload=payload,
+                        )
+                    )
+                )
+        if send_tasks:
+            await asyncio.gather(*send_tasks)
+        for receiver in range(self.n):
+            await self.network.close_round(receiver, round_num)
+
+        # Collect what each receiver got, build the round record.
+        reception: Dict[ProcessId, Dict[ProcessId, Payload]] = {}
+        vectors: Dict[ProcessId, ReceptionVector] = {}
+        for receiver in range(self.n):
+            inbox = await self.network.collect_round(receiver, round_num)
+            reception[receiver] = inbox
+            intended_for_receiver = {
+                sender: intended[sender][receiver] for sender in intended
+            }
+            vectors[receiver] = ReceptionVector(
+                receiver=receiver,
+                received={s: v for s, v in inbox.items() if s in intended_for_receiver},
+                intended=intended_for_receiver,
+            )
+        self._reception[round_num] = reception
+
+        record = RoundRecord(
+            round_num=round_num,
+            receptions=vectors,
+            states_before=self._states_before.get(round_num, {}) if self.record_states else {},
+            states_after={},
+        )
+        self.collection.append(record)
+        self._event(round_num).set()
+
+    async def reception_for(self, round_num: int, receiver: ProcessId) -> Dict[ProcessId, Payload]:
+        await self._event(round_num).wait()
+        return self._reception[round_num].get(receiver, {})
+
+    async def finish_round(self, round_num: int, config: "AsyncSimulationConfig") -> bool:
+        """Barrier after the transitions of ``round_num``.
+
+        Every process calls this once its transition is done.  When the
+        last process arrives, the stop condition is evaluated exactly
+        once, so all processes observe the same verdict and stop at the
+        same round boundary (otherwise a fast process could run ahead
+        into a round that slower, already-decided processes never join,
+        deadlocking the coordinator).
+        """
+        done = self._transitions_done.setdefault(round_num, 0) + 1
+        self._transitions_done[round_num] = done
+        event = self._transition_events.setdefault(round_num, asyncio.Event())
+        if done == self.n:
+            if (
+                config.stop_when_all_decided
+                and round_num >= config.min_rounds
+                and all(p.decided for p in self.processes.values())
+            ):
+                self.stop = True
+            event.set()
+        else:
+            await event.wait()
+        return self.stop
+
+
+async def _process_loop(
+    pid: ProcessId,
+    proc: HOProcess,
+    coordinator: _RoundCoordinator,
+    config: AsyncSimulationConfig,
+) -> None:
+    for round_num in range(1, config.max_rounds + 1):
+        messages = {
+            receiver: proc.send_to(round_num, receiver) for receiver in range(coordinator.n)
+        }
+        state_before = proc.state_snapshot() if config.record_states else {}
+        await coordinator.submit(round_num, pid, messages, state_before)
+        reception = await coordinator.reception_for(round_num, pid)
+        proc.transition(round_num, reception)
+        # Barrier: all processes evaluate the stop condition at the same
+        # round boundary, so every round runs for everyone or for no one.
+        should_stop = await coordinator.finish_round(round_num, config)
+        if should_stop:
+            break
+
+
+async def run_algorithm_async(
+    algorithm: HOAlgorithm,
+    initial_values: Mapping[ProcessId, Value],
+    adversary: Optional[Adversary] = None,
+    config: Optional[AsyncSimulationConfig] = None,
+    spec: Optional[ConsensusSpec] = None,
+) -> SimulationResult:
+    """Asyncio counterpart of :func:`repro.simulation.engine.run_algorithm`."""
+    adversary = adversary if adversary is not None else ReliableAdversary()
+    config = config if config is not None else AsyncSimulationConfig()
+    spec = spec if spec is not None else ConsensusSpec()
+
+    processes = algorithm.create_all(initial_values)
+    n = len(processes)
+    network = AsyncNetwork(n, delay_model=config.delay_model, seed=config.network_seed)
+    coordinator = _RoundCoordinator(
+        n=n, adversary=adversary, network=network, record_states=config.record_states
+    )
+    coordinator.processes = processes
+
+    await asyncio.gather(
+        *(_process_loop(pid, proc, coordinator, config) for pid, proc in processes.items())
+    )
+
+    decisions: List[DecisionRecord] = [
+        DecisionRecord(process=pid, value=proc.decision, round_num=proc.decision_round)
+        for pid, proc in sorted(processes.items())
+        if proc.decided
+    ]
+    rounds_executed = coordinator.collection.num_rounds
+    outcome = spec.evaluate(
+        initial_values=initial_values,
+        decisions=decisions,
+        rounds_executed=rounds_executed,
+        metadata={
+            "algorithm": algorithm.describe(),
+            "adversary": adversary.describe(),
+            "engine": "asyncio",
+        },
+    )
+    metrics = metrics_from_collection(
+        coordinator.collection, {d.process: d.round_num for d in decisions}
+    )
+    return SimulationResult(
+        processes=processes,
+        collection=coordinator.collection,
+        outcome=outcome,
+        metrics=metrics,
+        config=config,
+        algorithm_name=algorithm.describe(),
+        adversary_name=adversary.describe(),
+        metadata={"engine": "asyncio"},
+    )
+
+
+def run_consensus_async(
+    algorithm: HOAlgorithm,
+    initial_values: Mapping[ProcessId, Value],
+    adversary: Optional[Adversary] = None,
+    max_rounds: int = 100,
+    delay_model: Optional[DelayModel] = None,
+    network_seed: Optional[int] = None,
+    record_states: bool = False,
+) -> SimulationResult:
+    """Blocking convenience wrapper around :func:`run_algorithm_async`."""
+    config = AsyncSimulationConfig(
+        max_rounds=max_rounds,
+        record_states=record_states,
+        delay_model=delay_model,
+        network_seed=network_seed,
+    )
+    return asyncio.run(
+        run_algorithm_async(
+            algorithm=algorithm,
+            initial_values=initial_values,
+            adversary=adversary,
+            config=config,
+        )
+    )

@@ -1,0 +1,342 @@
+"""The synchronous lockstep simulation engine.
+
+This is the primary execution substrate of the reproduction: it runs an
+HO algorithm round by round, letting an adversary decide the fate of
+every message, and records the complete heard-of collection of the run
+so that communication predicates and consensus properties can be checked
+afterwards (or online by observers).
+
+The model's rounds are *communication-closed*: a message sent at round
+``r`` can only be received at round ``r``.  The lockstep engine realises
+this directly; the asyncio engine
+(:mod:`repro.simulation.async_engine`) realises the same semantics on
+top of an asynchronous message-passing substrate, demonstrating that the
+round structure "does not imply limits on the asynchrony of the system"
+(Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
+
+from repro.adversary.base import Adversary, ReliableAdversary
+from repro.core.algorithm import HOAlgorithm
+from repro.core.consensus import ConsensusOutcome, ConsensusSpec, DecisionRecord
+from repro.core.heardof import HeardOfCollection, ReceptionVector, RoundRecord
+from repro.core.machine import HOMachine, MachineVerdict
+from repro.core.predicates import CommunicationPredicate
+from repro.core.process import HOProcess, ProcessId, Value
+from repro.simulation.metrics import RunMetrics, metrics_from_collection
+
+
+class RoundObserver(Protocol):
+    """Callback interface for online monitors (e.g. lemma invariant checks)."""
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        """Called after every simulated round."""
+        ...
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of a lockstep simulation.
+
+    Attributes
+    ----------
+    max_rounds:
+        Horizon of the run.  Liveness is judged within this horizon.
+    min_rounds:
+        Run at least this many rounds even if every process has decided
+        (useful when checking that decisions stay stable / that late
+        corruption cannot break Agreement).
+    stop_when_all_decided:
+        Stop as soon as every process has decided (after ``min_rounds``).
+    record_states:
+        Record per-process state snapshots before and after each round
+        (needed by the lemma-level invariant monitors; adds overhead).
+    """
+
+    max_rounds: int = 100
+    min_rounds: int = 0
+    stop_when_all_decided: bool = True
+    record_states: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.min_rounds < 0:
+            raise ValueError(f"min_rounds must be >= 0, got {self.min_rounds}")
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one simulated run."""
+
+    processes: Dict[ProcessId, HOProcess]
+    collection: HeardOfCollection
+    outcome: ConsensusOutcome
+    metrics: RunMetrics
+    config: SimulationConfig
+    algorithm_name: str = ""
+    adversary_name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- convenience proxies (what most callers want to read) ----------------------
+    @property
+    def agreement(self) -> bool:
+        return self.outcome.agreement
+
+    @property
+    def integrity(self) -> bool:
+        return self.outcome.integrity
+
+    @property
+    def termination(self) -> bool:
+        return self.outcome.termination
+
+    @property
+    def validity(self) -> bool:
+        return self.outcome.validity
+
+    @property
+    def all_satisfied(self) -> bool:
+        return self.outcome.all_satisfied
+
+    @property
+    def safe(self) -> bool:
+        return self.outcome.safe
+
+    @property
+    def decision_values(self):
+        return self.outcome.decision_values
+
+    @property
+    def rounds_executed(self) -> int:
+        return self.outcome.rounds_executed
+
+    @property
+    def last_decision_round(self) -> Optional[int]:
+        return self.outcome.last_decision_round
+
+    @property
+    def first_decision_round(self) -> Optional[int]:
+        return self.outcome.first_decision_round
+
+    def check_predicate(self, predicate: CommunicationPredicate) -> bool:
+        """Whether ``predicate`` held over this run's heard-of collection."""
+        return predicate.holds(self.collection)
+
+    def verdict(self, machine: HOMachine) -> MachineVerdict:
+        """Evaluate the correctness claim of ``machine`` against this run."""
+        return machine.check(self.collection, self.outcome)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.algorithm_name} vs {self.adversary_name}] " + self.outcome.summary()
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine proper
+# ----------------------------------------------------------------------
+def _snapshot_all(processes: Mapping[ProcessId, HOProcess]) -> Dict[ProcessId, Dict[str, object]]:
+    return {pid: proc.state_snapshot() for pid, proc in processes.items()}
+
+
+def execute_round(
+    processes: Mapping[ProcessId, HOProcess],
+    round_num: int,
+    adversary: Adversary,
+    record_states: bool = True,
+) -> RoundRecord:
+    """Execute one communication-closed round and return its record.
+
+    Steps (Section 2.1): every process applies its sending function; the
+    adversary (the "environment") determines the reception vectors; every
+    process applies its transition function.
+    """
+    pids = sorted(processes)
+
+    intended: Dict[ProcessId, Dict[ProcessId, object]] = {
+        sender: {receiver: processes[sender].send_to(round_num, receiver) for receiver in pids}
+        for sender in pids
+    }
+
+    states_before = _snapshot_all(processes) if record_states else {}
+
+    received = adversary.deliver_round(round_num, intended)
+
+    reception_vectors: Dict[ProcessId, ReceptionVector] = {}
+    for receiver in pids:
+        inbox = dict(received.get(receiver, {}))
+        intended_for_receiver = {sender: intended[sender][receiver] for sender in pids}
+        # An adversary may not invent receptions from non-existent senders.
+        inbox = {s: v for s, v in inbox.items() if s in intended_for_receiver}
+        reception_vectors[receiver] = ReceptionVector(
+            receiver=receiver,
+            received=inbox,
+            intended=intended_for_receiver,
+        )
+
+    for pid in pids:
+        processes[pid].transition(round_num, dict(reception_vectors[pid].received))
+
+    states_after = _snapshot_all(processes) if record_states else {}
+
+    return RoundRecord(
+        round_num=round_num,
+        receptions=reception_vectors,
+        states_before=states_before,
+        states_after=states_after,
+    )
+
+
+def run_algorithm(
+    algorithm: HOAlgorithm,
+    initial_values: Mapping[ProcessId, Value],
+    adversary: Optional[Adversary] = None,
+    config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[RoundObserver]] = None,
+    spec: Optional[ConsensusSpec] = None,
+) -> SimulationResult:
+    """Run ``algorithm`` against ``adversary`` from ``initial_values``.
+
+    Returns a :class:`SimulationResult` containing the process objects
+    (final states), the full heard-of collection, the consensus verdict
+    and the run metrics.
+    """
+    adversary = adversary if adversary is not None else ReliableAdversary()
+    config = config if config is not None else SimulationConfig()
+    spec = spec if spec is not None else ConsensusSpec()
+    observers = list(observers or [])
+
+    processes = algorithm.create_all(initial_values)
+    n = len(processes)
+    collection = HeardOfCollection(n)
+
+    rounds_executed = 0
+    for round_num in range(1, config.max_rounds + 1):
+        record = execute_round(processes, round_num, adversary, config.record_states)
+        collection.append(record)
+        rounds_executed = round_num
+
+        for observer in observers:
+            observer.on_round(record, processes)
+
+        if (
+            config.stop_when_all_decided
+            and round_num >= config.min_rounds
+            and all(proc.decided for proc in processes.values())
+        ):
+            break
+
+    decisions: List[DecisionRecord] = [
+        DecisionRecord(process=pid, value=proc.decision, round_num=proc.decision_round)
+        for pid, proc in sorted(processes.items())
+        if proc.decided
+    ]
+    outcome = spec.evaluate(
+        initial_values=initial_values,
+        decisions=decisions,
+        rounds_executed=rounds_executed,
+        metadata={
+            "algorithm": algorithm.describe(),
+            "adversary": adversary.describe(),
+        },
+    )
+    metrics = metrics_from_collection(collection, {d.process: d.round_num for d in decisions})
+
+    return SimulationResult(
+        processes=processes,
+        collection=collection,
+        outcome=outcome,
+        metrics=metrics,
+        config=config,
+        algorithm_name=algorithm.describe(),
+        adversary_name=adversary.describe(),
+    )
+
+
+def run_machine(
+    machine: HOMachine,
+    initial_values: Mapping[ProcessId, Value],
+    adversary: Optional[Adversary] = None,
+    config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[RoundObserver]] = None,
+) -> MachineVerdict:
+    """Run an HO machine ``⟨A, P⟩`` once and evaluate its correctness claim.
+
+    The returned :class:`~repro.core.machine.MachineVerdict` reports both
+    whether the predicate held for the generated run and whether the
+    consensus clauses were satisfied; the machine's claim is refuted only
+    when the predicate held but consensus failed
+    (:attr:`~repro.core.machine.MachineVerdict.counterexample`).
+    """
+    result = run_algorithm(
+        algorithm=machine.algorithm,
+        initial_values=initial_values,
+        adversary=adversary,
+        config=config,
+        observers=observers,
+    )
+    return result.verdict(machine)
+
+
+def run_consensus(
+    algorithm: HOAlgorithm,
+    initial_values: Mapping[ProcessId, Value],
+    adversary: Optional[Adversary] = None,
+    max_rounds: int = 100,
+    min_rounds: int = 0,
+    record_states: bool = False,
+    observers: Optional[Sequence[RoundObserver]] = None,
+) -> SimulationResult:
+    """Convenience wrapper: run once with the most common configuration.
+
+    State snapshots are off by default here (they are only needed by the
+    invariant monitors), which makes this the fastest entry point for
+    sweeps and benchmarks.
+    """
+    config = SimulationConfig(
+        max_rounds=max_rounds,
+        min_rounds=min_rounds,
+        stop_when_all_decided=True,
+        record_states=record_states,
+    )
+    return run_algorithm(
+        algorithm=algorithm,
+        initial_values=initial_values,
+        adversary=adversary,
+        config=config,
+        observers=observers,
+    )
+
+
+def run_many(
+    algorithm_factory,
+    initial_values_list: Iterable[Mapping[ProcessId, Value]],
+    adversary_factory,
+    max_rounds: int = 100,
+    record_states: bool = False,
+) -> List[SimulationResult]:
+    """Run a batch of independent simulations.
+
+    ``algorithm_factory`` and ``adversary_factory`` are callables taking
+    the run index, so each run gets fresh process and adversary state
+    (adversaries are stateful).
+    """
+    results = []
+    for index, initial_values in enumerate(initial_values_list):
+        algorithm = algorithm_factory(index)
+        adversary = adversary_factory(index)
+        results.append(
+            run_consensus(
+                algorithm=algorithm,
+                initial_values=initial_values,
+                adversary=adversary,
+                max_rounds=max_rounds,
+                record_states=record_states,
+            )
+        )
+    return results

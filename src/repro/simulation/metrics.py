@@ -1,0 +1,102 @@
+"""Run metrics: what the benchmark harness measures about each run.
+
+The paper's evaluation is about *which parameterisations solve consensus
+under which communication assumptions* and *how fast* (number of rounds
+to decision), so the metrics collected here centre on decision latency
+and on the amount of loss/corruption the environment injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.heardof import HeardOfCollection
+from repro.core.process import ProcessId
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate measurements of a single simulated run."""
+
+    n: int
+    rounds_executed: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_corrupted: int = 0
+    decision_rounds: Dict[ProcessId, int] = field(default_factory=dict)
+    corruption_per_round: List[int] = field(default_factory=list)
+    omission_per_round: List[int] = field(default_factory=list)
+
+    # -- derived -----------------------------------------------------------------
+    @property
+    def first_decision_round(self) -> Optional[int]:
+        if not self.decision_rounds:
+            return None
+        return min(self.decision_rounds.values())
+
+    @property
+    def last_decision_round(self) -> Optional[int]:
+        if not self.decision_rounds:
+            return None
+        return max(self.decision_rounds.values())
+
+    @property
+    def decided_count(self) -> int:
+        return len(self.decision_rounds)
+
+    @property
+    def all_decided(self) -> bool:
+        return self.decided_count == self.n
+
+    @property
+    def corruption_rate(self) -> float:
+        """Fraction of sent messages that were delivered corrupted."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_corrupted / self.messages_sent
+
+    @property
+    def omission_rate(self) -> float:
+        """Fraction of sent messages that were not delivered."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_dropped / self.messages_sent
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary used by the experiment reports and benchmarks."""
+        return {
+            "n": self.n,
+            "rounds_executed": self.rounds_executed,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_corrupted": self.messages_corrupted,
+            "decided_count": self.decided_count,
+            "first_decision_round": self.first_decision_round,
+            "last_decision_round": self.last_decision_round,
+            "corruption_rate": self.corruption_rate,
+            "omission_rate": self.omission_rate,
+        }
+
+
+def metrics_from_collection(collection: HeardOfCollection, decision_rounds: Dict[ProcessId, int]) -> RunMetrics:
+    """Build :class:`RunMetrics` from a recorded heard-of collection."""
+    n = collection.n
+    rounds = collection.num_rounds
+    sent = n * n * rounds
+    dropped = collection.total_omissions()
+    corrupted = collection.total_corruptions()
+    delivered = sent - dropped
+    return RunMetrics(
+        n=n,
+        rounds_executed=rounds,
+        messages_sent=sent,
+        messages_delivered=delivered,
+        messages_dropped=dropped,
+        messages_corrupted=corrupted,
+        decision_rounds=dict(decision_rounds),
+        corruption_per_round=collection.corruption_profile(),
+        omission_per_round=[record.total_omissions() for record in collection],
+    )

@@ -1,0 +1,161 @@
+"""An asynchronous message-passing network for the asyncio engine.
+
+The HO model's round structure "does not imply limits on the asynchrony
+of the system" (Section 1): rounds are a *logical* structure layered on
+top of whatever the transport does.  This module provides the transport
+for :mod:`repro.simulation.async_engine`: messages travel through
+per-receiver queues with randomised per-message delays, so deliveries
+within a round interleave arbitrarily across processes — yet the
+communication-closed-round semantics (and hence the HO/SHO bookkeeping)
+is exactly the same as in the lockstep engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.process import Payload, ProcessId
+
+
+# ----------------------------------------------------------------------
+# Delay models
+# ----------------------------------------------------------------------
+class DelayModel:
+    """Samples a per-message delivery delay (in seconds of simulated sleep)."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoDelay(DelayModel):
+    """Deliver immediately (still yields to the event loop)."""
+
+    def sample(self, rng: random.Random) -> float:
+        return 0.0
+
+
+@dataclass
+class UniformDelay(DelayModel):
+    """Delay drawn uniformly from ``[low, high]`` seconds."""
+
+    low: float = 0.0
+    high: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("require 0 <= low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform({self.low}, {self.high})"
+
+
+@dataclass
+class ExponentialDelay(DelayModel):
+    """Delay drawn from an exponential distribution with the given mean."""
+
+    mean: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def describe(self) -> str:
+        return f"exponential(mean={self.mean})"
+
+
+# ----------------------------------------------------------------------
+# Messages and the network
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NetworkMessage:
+    """A message in flight: sender, receiver, round tag and payload."""
+
+    sender: ProcessId
+    receiver: ProcessId
+    round_num: int
+    payload: Payload
+
+
+@dataclass(frozen=True)
+class EndOfRound:
+    """Marker telling a receiver that round ``round_num`` delivered everything it will."""
+
+    receiver: ProcessId
+    round_num: int
+
+
+class AsyncNetwork:
+    """Per-receiver queues with randomised delivery delays.
+
+    The network is *reliable by itself*: loss and corruption are decided
+    by the adversary before messages are handed to the network (the
+    adversary realises the HO model's transmission faults; the network
+    realises asynchrony).
+    """
+
+    def __init__(self, n: int, delay_model: Optional[DelayModel] = None, seed: Optional[int] = None) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self.delay_model = delay_model if delay_model is not None else NoDelay()
+        self.rng = random.Random(seed)
+        self._inboxes: Dict[ProcessId, asyncio.Queue] = {}
+        self.delivered_count = 0
+
+    def _inbox(self, receiver: ProcessId) -> asyncio.Queue:
+        if receiver not in self._inboxes:
+            self._inboxes[receiver] = asyncio.Queue()
+        return self._inboxes[receiver]
+
+    async def send(self, message: NetworkMessage) -> None:
+        """Deliver ``message`` to its receiver after a sampled delay."""
+        delay = self.delay_model.sample(self.rng)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            await asyncio.sleep(0)
+        await self._inbox(message.receiver).put(message)
+        self.delivered_count += 1
+
+    async def close_round(self, receiver: ProcessId, round_num: int) -> None:
+        """Tell ``receiver`` that no more round-``round_num`` messages will arrive."""
+        await self._inbox(receiver).put(EndOfRound(receiver=receiver, round_num=round_num))
+
+    async def collect_round(self, receiver: ProcessId, round_num: int) -> Dict[ProcessId, Payload]:
+        """Receive messages until the end-of-round marker for ``round_num``.
+
+        Messages tagged with a different round number would indicate a
+        violation of communication closedness and raise immediately —
+        they cannot occur with the coordinator in
+        :mod:`repro.simulation.async_engine`, but the check keeps the
+        transport honest.
+        """
+        inbox = self._inbox(receiver)
+        received: Dict[ProcessId, Payload] = {}
+        while True:
+            item = await inbox.get()
+            if isinstance(item, EndOfRound):
+                if item.round_num != round_num:
+                    raise RuntimeError(
+                        f"receiver {receiver} got end-of-round for {item.round_num} "
+                        f"while collecting round {round_num}"
+                    )
+                return received
+            if item.round_num != round_num:
+                raise RuntimeError(
+                    f"receiver {receiver} got a round-{item.round_num} message while "
+                    f"collecting round {round_num}: communication closedness violated"
+                )
+            received[item.sender] = item.payload

@@ -1,0 +1,149 @@
+"""Trace serialisation and replay.
+
+A run's heard-of collection fully determines its communication (who
+received what from whom at which round, and what should have been
+received).  This module serialises collections and results to plain
+dictionaries / JSON files (experiment artifacts), and provides a
+:class:`ReplayAdversary` that reproduces the exact delivery decisions of
+a recorded run — handy for regression tests and for re-examining a
+counterexample found by a randomised sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.adversary.base import Adversary, IntendedMatrix, ReceivedMatrix
+from repro.core.heardof import HeardOfCollection, ReceptionVector, RoundRecord
+from repro.core.process import Payload, ProcessId
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+def _payload_to_jsonable(payload: Payload) -> object:
+    """Encode a payload so it survives a JSON round-trip unambiguously."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return {"t": "v", "v": payload}
+    return {"t": "repr", "v": repr(payload)}
+
+
+def _payload_from_jsonable(obj: object) -> Payload:
+    if isinstance(obj, dict) and obj.get("t") == "v":
+        return obj["v"]
+    if isinstance(obj, dict) and obj.get("t") == "repr":
+        return obj["v"]
+    return obj
+
+
+def reception_vector_to_dict(rv: ReceptionVector) -> Dict[str, object]:
+    return {
+        "receiver": rv.receiver,
+        "received": {str(s): _payload_to_jsonable(v) for s, v in rv.received.items()},
+        "intended": {str(s): _payload_to_jsonable(v) for s, v in rv.intended.items()},
+    }
+
+
+def reception_vector_from_dict(data: Dict[str, object]) -> ReceptionVector:
+    return ReceptionVector(
+        receiver=int(data["receiver"]),
+        received={int(s): _payload_from_jsonable(v) for s, v in data["received"].items()},
+        intended={int(s): _payload_from_jsonable(v) for s, v in data["intended"].items()},
+    )
+
+
+def round_record_to_dict(record: RoundRecord) -> Dict[str, object]:
+    return {
+        "round_num": record.round_num,
+        "receptions": {
+            str(pid): reception_vector_to_dict(rv) for pid, rv in record.receptions.items()
+        },
+    }
+
+
+def round_record_from_dict(data: Dict[str, object]) -> RoundRecord:
+    return RoundRecord(
+        round_num=int(data["round_num"]),
+        receptions={
+            int(pid): reception_vector_from_dict(rv) for pid, rv in data["receptions"].items()
+        },
+    )
+
+
+def collection_to_dict(collection: HeardOfCollection) -> Dict[str, object]:
+    """Serialise a heard-of collection to a JSON-compatible dictionary."""
+    return {
+        "n": collection.n,
+        "rounds": [round_record_to_dict(record) for record in collection],
+    }
+
+
+def collection_from_dict(data: Dict[str, object]) -> HeardOfCollection:
+    """Rebuild a heard-of collection from :func:`collection_to_dict` output."""
+    return HeardOfCollection(
+        n=int(data["n"]),
+        rounds=[round_record_from_dict(record) for record in data["rounds"]],
+    )
+
+
+def save_trace(collection: HeardOfCollection, path: Union[str, Path]) -> Path:
+    """Write a collection to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(collection_to_dict(collection), handle, indent=2, default=repr)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> HeardOfCollection:
+    """Read a collection previously written by :func:`save_trace`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return collection_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+class ReplayAdversary(Adversary):
+    """Replays the delivery decisions of a recorded heard-of collection.
+
+    For every (round, sender, receiver) the adversary applies the same
+    *decision* as in the recorded run: drop if the message was dropped,
+    deliver the recorded (possibly corrupted) payload if the recorded
+    payload differed from what was intended, and deliver the current
+    intended payload otherwise.  Replaying a run of a deterministic
+    algorithm from the same initial values therefore reproduces the
+    original run exactly (asserted by ``tests/simulation/test_trace.py``).
+
+    Rounds beyond the recorded horizon are delivered reliably.
+    """
+
+    def __init__(self, collection: HeardOfCollection, seed: Optional[int] = None) -> None:
+        super().__init__(seed)
+        self.collection = collection
+        self.name = f"replay({collection.num_rounds} rounds)"
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        received: ReceivedMatrix = {}
+        recorded = None
+        if 1 <= round_num <= self.collection.num_rounds:
+            recorded = self.collection[round_num]
+        for sender, per_receiver in intended.items():
+            for receiver, payload in per_receiver.items():
+                if recorded is None:
+                    received.setdefault(receiver, {})[sender] = payload
+                    continue
+                rv = recorded.receptions.get(receiver)
+                if rv is None or sender not in rv.received:
+                    # dropped in the recorded run
+                    received.setdefault(receiver, {})
+                    continue
+                recorded_payload = rv.received[sender]
+                recorded_intended = rv.intended.get(sender)
+                if recorded_payload == recorded_intended:
+                    received.setdefault(receiver, {})[sender] = payload
+                else:
+                    received.setdefault(receiver, {})[sender] = recorded_payload
+        return received

@@ -1,0 +1,53 @@
+"""Verification: property checkers, invariant monitors and bounded model checking.
+
+The paper's correctness arguments are proofs; this package turns them
+into executable artefacts at three granularities:
+
+* whole-run and batch property checking (:mod:`repro.verification.properties`);
+* per-round invariant monitors named after the paper's lemmas
+  (:mod:`repro.verification.invariants`);
+* bounded exhaustive exploration for small systems
+  (:mod:`repro.verification.model_check`).
+"""
+
+from repro.verification.invariants import (
+    AgreementMonitor,
+    DecisionLockMonitor,
+    IntegrityMonitor,
+    InvariantMonitor,
+    InvariantViolation,
+    IrrevocabilityMonitor,
+    Lemma1Monitor,
+    SingleTrueVoteMonitor,
+    UniqueDecisionPerRoundMonitor,
+    standard_monitors,
+)
+from repro.verification.model_check import (
+    ModelCheckConfig,
+    ModelCheckResult,
+    PlannedAdversary,
+    enumerate_fault_plans,
+    model_check,
+)
+from repro.verification.properties import BatchReport, aggregate, safety_counterexamples
+
+__all__ = [
+    "AgreementMonitor",
+    "BatchReport",
+    "DecisionLockMonitor",
+    "IntegrityMonitor",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "IrrevocabilityMonitor",
+    "Lemma1Monitor",
+    "ModelCheckConfig",
+    "ModelCheckResult",
+    "PlannedAdversary",
+    "SingleTrueVoteMonitor",
+    "UniqueDecisionPerRoundMonitor",
+    "aggregate",
+    "enumerate_fault_plans",
+    "model_check",
+    "safety_counterexamples",
+    "standard_monitors",
+]

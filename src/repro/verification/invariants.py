@@ -1,0 +1,249 @@
+"""Runtime invariant monitors — the paper's lemmas as executable checks.
+
+Each monitor implements the :class:`repro.simulation.engine.RoundObserver`
+protocol and watches a run round by round, recording (or raising on)
+violations of one of the paper's lemmas.  They serve two purposes:
+
+* in tests, they check that the lemmas hold on every simulated run whose
+  parameters and communication satisfy the lemma's hypotheses;
+* in exploratory experiments, they localise *where* a run outside the
+  hypotheses starts to go wrong.
+
+Monitors that compare process state across a round (e.g. Lemma 4/5's
+"every update adopts the decided value") require the engine to be run
+with ``record_states=True``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.core.heardof import RoundRecord
+from repro.core.process import HOProcess, ProcessId, Value
+
+
+class InvariantViolation(AssertionError):
+    """Raised by a monitor in ``raise_on_violation`` mode."""
+
+
+class InvariantMonitor:
+    """Base class: collects violation messages, optionally raising immediately."""
+
+    name = "invariant"
+
+    def __init__(self, raise_on_violation: bool = False) -> None:
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[str] = []
+
+    def _record(self, message: str) -> None:
+        full = f"[{self.name}] {message}"
+        self.violations.append(full)
+        if self.raise_on_violation:
+            raise InvariantViolation(full)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        raise NotImplementedError
+
+
+class Lemma1Monitor(InvariantMonitor):
+    """Lemma 1: ``|R_p^r(v)| <= |Q_p^r(v)| + |AHO(p, r)|`` for every p, v, r.
+
+    This is a fact about the *model* (not about any algorithm): a value
+    can only be received from a process that was supposed to send it or
+    from a corrupted transmission.  It must hold for every adversary.
+    """
+
+    name = "lemma-1"
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        for pid, rv in record.receptions.items():
+            received_counts = Counter(rv.received.values())
+            intended_counts = Counter(rv.intended.values())
+            aho = len(rv.altered_heard_of)
+            for value, r_count in received_counts.items():
+                q_count = intended_counts.get(value, 0)
+                if r_count > q_count + aho:
+                    self._record(
+                        f"round {record.round_num}, receiver {pid}, value {value!r}: "
+                        f"|R(v)| = {r_count} > |Q(v)| + |AHO| = {q_count} + {aho}"
+                    )
+
+
+class UniqueDecisionPerRoundMonitor(InvariantMonitor):
+    """Lemmas 2, 3 and 7: at most one decision value per round.
+
+    Under ``E >= n/2`` (Lemma 2/7) a single process cannot decide two
+    values in one round; under ``E >= n/2 + alpha`` and ``P_alpha``
+    (Lemma 3) no two processes can decide *different* values at the same
+    round.  The monitor checks the stronger, two-process form.
+    """
+
+    name = "unique-decision-per-round"
+
+    def __init__(self, raise_on_violation: bool = False) -> None:
+        super().__init__(raise_on_violation)
+        self._already_decided: Set[ProcessId] = set()
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        new_values: Dict[Value, List[ProcessId]] = {}
+        for pid, proc in processes.items():
+            if proc.decided and pid not in self._already_decided:
+                new_values.setdefault(proc.decision, []).append(pid)
+                self._already_decided.add(pid)
+        if len(new_values) > 1:
+            self._record(
+                f"round {record.round_num}: processes decided different values "
+                f"{ {repr(v): pids for v, pids in new_values.items()} }"
+            )
+
+
+class AgreementMonitor(InvariantMonitor):
+    """Proposition 1/5 consequence: all decisions across the whole run agree."""
+
+    name = "agreement"
+
+    def __init__(self, raise_on_violation: bool = False) -> None:
+        super().__init__(raise_on_violation)
+        self._decided_value: Optional[Value] = None
+        self._decided_by: Optional[ProcessId] = None
+        self._reported: Set[ProcessId] = set()
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        for pid, proc in processes.items():
+            if not proc.decided or pid in self._reported:
+                continue
+            self._reported.add(pid)
+            if self._decided_value is None:
+                self._decided_value = proc.decision
+                self._decided_by = pid
+            elif proc.decision != self._decided_value:
+                self._record(
+                    f"round {record.round_num}: process {pid} decided {proc.decision!r} "
+                    f"but process {self._decided_by} had decided {self._decided_value!r}"
+                )
+
+
+class IntegrityMonitor(InvariantMonitor):
+    """Proposition 2/6: with unanimous initial values, only that value is decided."""
+
+    name = "integrity"
+
+    def __init__(
+        self, initial_values: Mapping[ProcessId, Value], raise_on_violation: bool = False
+    ) -> None:
+        super().__init__(raise_on_violation)
+        values = set(initial_values.values())
+        self._unanimous_value: Optional[Value] = values.pop() if len(values) == 1 else None
+        self._reported: Set[ProcessId] = set()
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        if self._unanimous_value is None:
+            return
+        for pid, proc in processes.items():
+            if proc.decided and pid not in self._reported:
+                self._reported.add(pid)
+                if proc.decision != self._unanimous_value:
+                    self._record(
+                        f"round {record.round_num}: process {pid} decided {proc.decision!r} "
+                        f"despite unanimous initial value {self._unanimous_value!r}"
+                    )
+
+
+class DecisionLockMonitor(InvariantMonitor):
+    """Lemmas 4 and 5 (for ``A_{T,E}``): after a decision on ``v``, every
+    estimate update adopts ``v``.
+
+    Requires ``record_states=True`` so the round record carries the
+    ``x`` values before and after the round.
+    """
+
+    name = "decision-lock"
+
+    def __init__(self, raise_on_violation: bool = False) -> None:
+        super().__init__(raise_on_violation)
+        self._locked_value: Optional[Value] = None
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        if self._locked_value is not None and record.states_before and record.states_after:
+            for pid in record.states_after:
+                before = record.states_before.get(pid, {}).get("x")
+                after = record.states_after.get(pid, {}).get("x")
+                if before != after and after != self._locked_value:
+                    self._record(
+                        f"round {record.round_num}: process {pid} updated x from "
+                        f"{before!r} to {after!r} although {self._locked_value!r} was "
+                        "already decided"
+                    )
+        if self._locked_value is None:
+            for proc in processes.values():
+                if proc.decided:
+                    self._locked_value = proc.decision
+                    break
+
+
+class SingleTrueVoteMonitor(InvariantMonitor):
+    """Lemma 8 (for ``U_{T,E,alpha}``): at most one true-vote value per round.
+
+    After the first round of every phase (odd rounds), all processes with
+    a proper (non-``?``) vote must hold the *same* vote value.  Requires
+    ``record_states=True`` (votes are read from the state snapshots).
+    """
+
+    name = "single-true-vote"
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        if record.round_num % 2 == 0 or not record.states_after:
+            return
+        votes = {
+            pid: state.get("vote")
+            for pid, state in record.states_after.items()
+            if state.get("vote") is not None
+        }
+        distinct = set(votes.values())
+        if len(distinct) > 1:
+            self._record(
+                f"round {record.round_num}: multiple true votes {sorted(distinct, key=repr)!r} "
+                f"({votes})"
+            )
+
+
+class IrrevocabilityMonitor(InvariantMonitor):
+    """Decisions are irrevocable: a decided process never changes its value."""
+
+    name = "irrevocability"
+
+    def __init__(self, raise_on_violation: bool = False) -> None:
+        super().__init__(raise_on_violation)
+        self._decisions: Dict[ProcessId, Value] = {}
+
+    def on_round(self, record: RoundRecord, processes: Mapping[ProcessId, HOProcess]) -> None:
+        for pid, proc in processes.items():
+            if not proc.decided:
+                if pid in self._decisions:
+                    self._record(
+                        f"round {record.round_num}: process {pid} reverted to undecided"
+                    )
+                continue
+            previous = self._decisions.get(pid)
+            if previous is not None and previous != proc.decision:
+                self._record(
+                    f"round {record.round_num}: process {pid} changed its decision from "
+                    f"{previous!r} to {proc.decision!r}"
+                )
+            self._decisions[pid] = proc.decision
+
+
+def standard_monitors(initial_values: Mapping[ProcessId, Value]) -> List[InvariantMonitor]:
+    """The monitor set used by the integration tests: model + consensus invariants."""
+    return [
+        Lemma1Monitor(),
+        UniqueDecisionPerRoundMonitor(),
+        AgreementMonitor(),
+        IntegrityMonitor(initial_values),
+        IrrevocabilityMonitor(),
+    ]

@@ -1,0 +1,207 @@
+"""Bounded exhaustive exploration of adversary behaviours for small systems.
+
+Randomised adversaries (as used in the sweeps) can miss rare corner
+cases.  For very small systems this module explores *every* adversarial
+choice within a bounded fault budget for a bounded number of rounds,
+running the remaining rounds fault-free, and checks the consensus safety
+clauses on each explored run.  This is the executable stand-in for the
+paper's proofs: for small ``n`` and short horizons there is simply no
+``P_alpha``-compatible behaviour that breaks Agreement or Integrity of a
+correctly parameterised machine — and the checker *does* find violations
+once the parameters leave the feasible region (see
+``tests/verification/test_model_check.py``).
+
+The state space grows extremely quickly; keep ``n <= 4``,
+``horizon <= 2`` and small value domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary, IntendedMatrix, ReceivedMatrix
+from repro.core.algorithm import HOAlgorithm
+from repro.core.process import Payload, ProcessId, Value
+from repro.simulation.engine import SimulationConfig, SimulationResult, run_algorithm
+
+# A per-receiver plan maps sender -> ("drop", None) | ("corrupt", value).
+# Senders not mentioned are delivered faithfully.
+ReceiverPlan = Dict[ProcessId, Tuple[str, Optional[Value]]]
+# A round plan maps receiver -> its receiver plan.
+RoundPlan = Dict[ProcessId, ReceiverPlan]
+
+
+class PlannedAdversary(Adversary):
+    """Adversary that replays an explicit per-round fault plan.
+
+    Rounds beyond the plan are delivered reliably, which realises the
+    "transient faults followed by good weather" structure the liveness
+    predicates describe.
+    """
+
+    def __init__(self, plans: Sequence[RoundPlan]) -> None:
+        super().__init__(seed=None)
+        self.plans = list(plans)
+        self.name = f"planned({len(self.plans)} rounds)"
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        plan: RoundPlan = {}
+        if 1 <= round_num <= len(self.plans):
+            plan = self.plans[round_num - 1]
+        received: ReceivedMatrix = {}
+        for sender, per_receiver in intended.items():
+            for receiver, payload in per_receiver.items():
+                action, value = plan.get(receiver, {}).get(sender, ("deliver", None))
+                if action == "drop":
+                    received.setdefault(receiver, {})
+                    continue
+                if action == "corrupt":
+                    received.setdefault(receiver, {})[sender] = value
+                else:
+                    received.setdefault(receiver, {})[sender] = payload
+        return received
+
+
+@dataclass
+class ModelCheckConfig:
+    """Bounds of the exploration."""
+
+    n: int
+    horizon: int = 1
+    max_corruptions_per_receiver: int = 1
+    max_omissions_per_receiver: int = 0
+    corruption_values: Tuple[Value, ...] = (0, 1)
+    tail_rounds: int = 6
+    max_runs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if self.horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if self.max_corruptions_per_receiver < 0 or self.max_omissions_per_receiver < 0:
+            raise ValueError("fault budgets must be non-negative")
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of an exploration."""
+
+    explored: int = 0
+    truncated: bool = False
+    safety_violations: List[Tuple[Tuple[RoundPlan, ...], SimulationResult]] = field(
+        default_factory=list
+    )
+    termination_failures: List[Tuple[Tuple[RoundPlan, ...], SimulationResult]] = field(
+        default_factory=list
+    )
+
+    @property
+    def safe(self) -> bool:
+        return not self.safety_violations
+
+    @property
+    def live(self) -> bool:
+        return not self.termination_failures
+
+    def summary(self) -> str:
+        return (
+            f"explored={self.explored}{'+' if self.truncated else ''} "
+            f"safety_violations={len(self.safety_violations)} "
+            f"termination_failures={len(self.termination_failures)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Enumeration of adversarial choices
+# ----------------------------------------------------------------------
+def _receiver_plans(
+    senders: Sequence[ProcessId], config: ModelCheckConfig
+) -> Iterator[ReceiverPlan]:
+    """All fault patterns one receiver can suffer in one round.
+
+    Corruption targets are chosen as subsets of at most
+    ``max_corruptions_per_receiver`` senders, each assigned one of the
+    configured corruption values; omission targets are disjoint subsets
+    of at most ``max_omissions_per_receiver`` senders.
+    """
+    max_corrupt = min(config.max_corruptions_per_receiver, len(senders))
+    max_omit = min(config.max_omissions_per_receiver, len(senders))
+    for corrupt_count in range(max_corrupt + 1):
+        for corrupt_targets in itertools.combinations(senders, corrupt_count):
+            value_choices = itertools.product(config.corruption_values, repeat=corrupt_count)
+            for values in value_choices:
+                base: ReceiverPlan = {
+                    target: ("corrupt", value)
+                    for target, value in zip(corrupt_targets, values)
+                }
+                remaining = [s for s in senders if s not in corrupt_targets]
+                for omit_count in range(max_omit + 1):
+                    for omit_targets in itertools.combinations(remaining, omit_count):
+                        plan = dict(base)
+                        for target in omit_targets:
+                            plan[target] = ("drop", None)
+                        yield plan
+
+
+def _round_plans(config: ModelCheckConfig) -> Iterator[RoundPlan]:
+    """All combinations of per-receiver plans for one round."""
+    senders = list(range(config.n))
+    per_receiver = [list(_receiver_plans(senders, config)) for _ in range(config.n)]
+    for combination in itertools.product(*per_receiver):
+        yield {receiver: plan for receiver, plan in enumerate(combination) if plan}
+
+
+def enumerate_fault_plans(config: ModelCheckConfig) -> Iterator[Tuple[RoundPlan, ...]]:
+    """All fault plans over the exploration horizon."""
+    if config.horizon == 0:
+        yield ()
+        return
+    round_plans = list(_round_plans(config))
+    for combination in itertools.product(round_plans, repeat=config.horizon):
+        yield tuple(combination)
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+def model_check(
+    algorithm_factory,
+    initial_values: Mapping[ProcessId, Value],
+    config: ModelCheckConfig,
+    check_termination: bool = True,
+) -> ModelCheckResult:
+    """Run the algorithm against every fault plan within the bounds.
+
+    ``algorithm_factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.core.algorithm.HOAlgorithm` (process state is not
+    reusable across runs).  Safety (Agreement + Integrity) is checked on
+    every explored run; Termination is checked over the horizon plus
+    ``config.tail_rounds`` fault-free rounds.
+    """
+    result = ModelCheckResult()
+    sim_config = SimulationConfig(
+        max_rounds=config.horizon + config.tail_rounds,
+        stop_when_all_decided=True,
+        record_states=False,
+    )
+    for plans in enumerate_fault_plans(config):
+        if config.max_runs is not None and result.explored >= config.max_runs:
+            result.truncated = True
+            break
+        algorithm: HOAlgorithm = algorithm_factory()
+        adversary = PlannedAdversary(plans)
+        run = run_algorithm(
+            algorithm=algorithm,
+            initial_values=initial_values,
+            adversary=adversary,
+            config=sim_config,
+        )
+        result.explored += 1
+        if not run.outcome.safe:
+            result.safety_violations.append((plans, run))
+        if check_termination and not run.outcome.termination:
+            result.termination_failures.append((plans, run))
+    return result

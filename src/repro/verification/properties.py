@@ -1,0 +1,149 @@
+"""Aggregate property checking over batches of runs.
+
+Single runs are judged by :class:`repro.core.consensus.ConsensusSpec`
+(already wired into the simulation engine).  The experiment harness,
+however, reasons about *batches*: "out of 200 adversarial runs
+satisfying ``P_alpha``, how many satisfied Agreement?", "what was the
+distribution of decision rounds?".  This module provides the batch
+aggregation used by the benchmarks and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.machine import HOMachine
+from repro.core.predicates import CommunicationPredicate
+from repro.simulation.engine import SimulationResult
+
+
+@dataclass
+class BatchReport:
+    """Summary of a batch of simulation results."""
+
+    total: int = 0
+    agreement_ok: int = 0
+    integrity_ok: int = 0
+    termination_ok: int = 0
+    validity_ok: int = 0
+    predicate_held: Optional[int] = None
+    counterexamples: int = 0
+    decision_rounds: List[int] = field(default_factory=list)
+    corruption_totals: List[int] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    # -- rates ----------------------------------------------------------------
+    def _rate(self, count: int) -> float:
+        return count / self.total if self.total else 0.0
+
+    @property
+    def agreement_rate(self) -> float:
+        return self._rate(self.agreement_ok)
+
+    @property
+    def integrity_rate(self) -> float:
+        return self._rate(self.integrity_ok)
+
+    @property
+    def termination_rate(self) -> float:
+        return self._rate(self.termination_ok)
+
+    @property
+    def validity_rate(self) -> float:
+        return self._rate(self.validity_ok)
+
+    @property
+    def all_safe(self) -> bool:
+        return self.agreement_ok == self.total and self.integrity_ok == self.total
+
+    @property
+    def all_live(self) -> bool:
+        return self.termination_ok == self.total
+
+    @property
+    def mean_decision_round(self) -> Optional[float]:
+        if not self.decision_rounds:
+            return None
+        return sum(self.decision_rounds) / len(self.decision_rounds)
+
+    @property
+    def max_decision_round(self) -> Optional[int]:
+        return max(self.decision_rounds) if self.decision_rounds else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "agreement_rate": self.agreement_rate,
+            "integrity_rate": self.integrity_rate,
+            "termination_rate": self.termination_rate,
+            "validity_rate": self.validity_rate,
+            "predicate_held": self.predicate_held,
+            "counterexamples": self.counterexamples,
+            "mean_decision_round": self.mean_decision_round,
+            "max_decision_round": self.max_decision_round,
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"runs={self.total}",
+            f"agreement={self.agreement_ok}/{self.total}",
+            f"integrity={self.integrity_ok}/{self.total}",
+            f"termination={self.termination_ok}/{self.total}",
+        ]
+        if self.predicate_held is not None:
+            parts.append(f"predicate_held={self.predicate_held}/{self.total}")
+        if self.counterexamples:
+            parts.append(f"COUNTEREXAMPLES={self.counterexamples}")
+        if self.mean_decision_round is not None:
+            parts.append(f"mean_decision_round={self.mean_decision_round:.2f}")
+        return " ".join(parts)
+
+
+def aggregate(
+    results: Iterable[SimulationResult],
+    predicate: Optional[CommunicationPredicate] = None,
+    machine: Optional[HOMachine] = None,
+) -> BatchReport:
+    """Aggregate a batch of results into a :class:`BatchReport`.
+
+    When ``predicate`` (or ``machine``) is given, the report also counts
+    how often the predicate actually held and how many runs are genuine
+    counterexamples (predicate held but consensus failed).
+    """
+    if machine is not None and predicate is None:
+        predicate = machine.predicate
+    report = BatchReport(predicate_held=0 if predicate is not None else None)
+    for result in results:
+        report.total += 1
+        outcome = result.outcome
+        report.agreement_ok += int(outcome.agreement)
+        report.integrity_ok += int(outcome.integrity)
+        report.termination_ok += int(outcome.termination)
+        report.validity_ok += int(outcome.validity)
+        if outcome.last_decision_round is not None:
+            report.decision_rounds.append(outcome.last_decision_round)
+        report.corruption_totals.append(result.metrics.messages_corrupted)
+        report.violations.extend(outcome.violations)
+        if predicate is not None:
+            held = predicate.holds(result.collection)
+            report.predicate_held += int(held)
+            if held and not outcome.all_satisfied:
+                report.counterexamples += 1
+    return report
+
+
+def safety_counterexamples(
+    results: Sequence[SimulationResult], predicate: CommunicationPredicate
+) -> List[SimulationResult]:
+    """Runs where the predicate held yet Agreement or Integrity failed.
+
+    These are the runs that would refute the paper's safety theorems —
+    the tests assert this list is empty for in-range parameters and
+    non-empty scenarios are only reachable with out-of-range parameters.
+    """
+    return [
+        result
+        for result in results
+        if predicate.holds(result.collection) and not result.outcome.safe
+    ]

@@ -1,0 +1,18 @@
+"""Workloads: initial-value generators and named end-to-end scenarios."""
+
+from repro.workloads import generators
+from repro.workloads.generators import batch, distinct, skewed, split, unanimous, uniform_random
+from repro.workloads.scenarios import Scenario, by_name, catalogue
+
+__all__ = [
+    "Scenario",
+    "batch",
+    "by_name",
+    "catalogue",
+    "distinct",
+    "generators",
+    "skewed",
+    "split",
+    "unanimous",
+    "uniform_random",
+]

@@ -1,0 +1,79 @@
+"""Initial-value workload generators.
+
+Consensus behaviour depends heavily on the initial configuration:
+unanimous configurations exercise Integrity and one-round decisions,
+near-split configurations are the hardest for Agreement, and random
+configurations are what the randomised sweeps use.  All generators are
+deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.process import ProcessId, Value
+
+
+def unanimous(n: int, value: Value = 0) -> Dict[ProcessId, Value]:
+    """Every process starts with the same value (Integrity scenario)."""
+    return {pid: value for pid in range(n)}
+
+
+def split(n: int, value_a: Value = 0, value_b: Value = 1, count_a: Optional[int] = None) -> Dict[ProcessId, Value]:
+    """``count_a`` processes start with ``value_a``, the rest with ``value_b``.
+
+    The default is the hardest near-even split (``ceil(n/2)`` vs
+    ``floor(n/2)``).
+    """
+    if count_a is None:
+        count_a = (n + 1) // 2
+    if not 0 <= count_a <= n:
+        raise ValueError(f"count_a must be in [0, {n}], got {count_a}")
+    return {pid: (value_a if pid < count_a else value_b) for pid in range(n)}
+
+
+def uniform_random(
+    n: int, domain: Sequence[Value] = (0, 1), seed: Optional[int] = None
+) -> Dict[ProcessId, Value]:
+    """Each process draws its initial value uniformly from ``domain``."""
+    if not domain:
+        raise ValueError("domain must be non-empty")
+    rng = random.Random(seed)
+    return {pid: rng.choice(list(domain)) for pid in range(n)}
+
+
+def skewed(
+    n: int,
+    majority_value: Value = 0,
+    minority_value: Value = 1,
+    minority_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> Dict[ProcessId, Value]:
+    """A clear majority holds ``majority_value``; a random minority disagrees."""
+    if not 0 <= minority_fraction <= 1:
+        raise ValueError("minority_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    minority_count = int(round(minority_fraction * n))
+    minority = set(rng.sample(range(n), minority_count))
+    return {
+        pid: (minority_value if pid in minority else majority_value) for pid in range(n)
+    }
+
+
+def distinct(n: int) -> Dict[ProcessId, Value]:
+    """Every process starts with a distinct value (worst case for convergence)."""
+    return {pid: pid for pid in range(n)}
+
+
+def batch(
+    n: int,
+    runs: int,
+    domain: Sequence[Value] = (0, 1),
+    seed: Optional[int] = None,
+) -> List[Dict[ProcessId, Value]]:
+    """A reproducible batch of random initial configurations for sweeps."""
+    rng = random.Random(seed)
+    return [
+        uniform_random(n, domain=domain, seed=rng.randrange(2**31)) for _ in range(runs)
+    ]

@@ -1,0 +1,179 @@
+"""Named end-to-end scenarios pairing workloads with fault environments.
+
+A :class:`Scenario` bundles everything one experiment run needs — system
+size, initial values, algorithm factory and adversary factory — under a
+name, so examples, tests and benchmarks can share identical setups.  The
+catalogue below covers the situations the paper's introduction and
+evaluation discuss: fault-free fast paths, transient per-round
+corruption, Santoro–Widmayer block faults, static Byzantine senders and
+lossy-but-uncorrupted networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.adversary import (
+    Adversary,
+    BlockFaultAdversary,
+    PeriodicGoodPhaseAdversary,
+    PeriodicGoodRoundAdversary,
+    RandomCorruptionAdversary,
+    RandomOmissionAdversary,
+    ReliableAdversary,
+    StaticByzantineAdversary,
+)
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.core.algorithm import HOAlgorithm
+from repro.core.process import ProcessId, Value
+from repro.workloads import generators
+
+
+@dataclass
+class Scenario:
+    """A reusable experiment setup."""
+
+    name: str
+    description: str
+    n: int
+    initial_values: Mapping[ProcessId, Value]
+    algorithm_factory: Callable[[], HOAlgorithm]
+    adversary_factory: Callable[[int], Adversary]
+    max_rounds: int = 60
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def algorithm(self) -> HOAlgorithm:
+        return self.algorithm_factory()
+
+    def adversary(self, seed: int = 0) -> Adversary:
+        return self.adversary_factory(seed)
+
+
+def fault_free_fast_path(n: int = 9) -> Scenario:
+    """Fault-free run of ``A_{T,E}``: decides in two rounds (one if unanimous)."""
+    return Scenario(
+        name="fault-free-fast-path",
+        description="A_{T,E} with reliable communication; the fast-decision scenario of Section 3.3.",
+        n=n,
+        initial_values=generators.split(n),
+        algorithm_factory=lambda: AteAlgorithm.symmetric(n=n, alpha=0),
+        adversary_factory=lambda seed: ReliableAdversary(),
+        max_rounds=10,
+    )
+
+
+def transient_corruption(n: int = 12, alpha: int = 2, good_round_period: int = 4) -> Scenario:
+    """``A_{T,E}`` under per-round bounded corruption with sporadic good rounds."""
+    return Scenario(
+        name="transient-corruption",
+        description=(
+            "A_{T,E} under P_alpha-bounded random corruption with a perfect round "
+            f"every {good_round_period} rounds (satisfies P^A,live)."
+        ),
+        n=n,
+        initial_values=generators.uniform_random(n, seed=11),
+        algorithm_factory=lambda: AteAlgorithm.symmetric(n=n, alpha=alpha),
+        adversary_factory=lambda seed: PeriodicGoodRoundAdversary(
+            inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+            period=good_round_period,
+        ),
+        max_rounds=60,
+        metadata={"alpha": alpha},
+    )
+
+
+def heavy_corruption_ute(n: int = 11, alpha: int = 4, good_phase_period: int = 3) -> Scenario:
+    """``U_{T,E,α}`` under close-to-``n/2`` corruption with sporadic good phases."""
+    return Scenario(
+        name="heavy-corruption-ute",
+        description=(
+            "U_{T,E,alpha} tolerating alpha close to n/2 corrupted receptions per round, "
+            "with a clean phase window every few phases (satisfies P^U,live)."
+        ),
+        n=n,
+        initial_values=generators.uniform_random(n, seed=5),
+        algorithm_factory=lambda: UteAlgorithm.minimal(n=n, alpha=alpha),
+        adversary_factory=lambda seed: PeriodicGoodPhaseAdversary(
+            inner=RandomCorruptionAdversary(
+                alpha=alpha, value_domain=(0, 1), drop_probability=0.0, seed=seed
+            ),
+            period=good_phase_period,
+        ),
+        max_rounds=80,
+        metadata={"alpha": alpha},
+    )
+
+
+def santoro_widmayer_blocks(n: int = 10, good_round_period: int = 5) -> Scenario:
+    """Block faults of [18]: every round one process's outgoing links are corrupted."""
+    return Scenario(
+        name="santoro-widmayer-blocks",
+        description=(
+            "The Santoro-Widmayer impossibility scenario (block transmission faults) "
+            "with sporadic clean rounds; A_{T,E} stays safe and terminates."
+        ),
+        n=n,
+        initial_values=generators.split(n),
+        algorithm_factory=lambda: AteAlgorithm.symmetric(n=n, alpha=max((n - 1) // 4, 1)),
+        adversary_factory=lambda seed: PeriodicGoodRoundAdversary(
+            inner=BlockFaultAdversary(faults_per_round=n // 2, value_domain=(0, 1), seed=seed),
+            period=good_round_period,
+        ),
+        max_rounds=60,
+    )
+
+
+def static_byzantine(n: int = 10, f: int = 2) -> Scenario:
+    """Classical permanent faults: ``f`` fixed senders always corrupted."""
+    return Scenario(
+        name="static-byzantine",
+        description=(
+            "The classical static-Byzantine environment encoded as transmission faults "
+            "(Section 5.2); U_{T,E,alpha} with alpha = f stays safe and terminates."
+        ),
+        n=n,
+        initial_values=generators.skewed(n, seed=3),
+        algorithm_factory=lambda: UteAlgorithm.minimal(n=n, alpha=f),
+        adversary_factory=lambda seed: StaticByzantineAdversary(
+            byzantine=range(f), value_domain=(0, 1), seed=seed
+        ),
+        max_rounds=40,
+        metadata={"f": f},
+    )
+
+
+def lossy_network(n: int = 12, drop_probability: float = 0.2, good_round_period: int = 4) -> Scenario:
+    """Benign omissions only — the environment of the original HO model."""
+    return Scenario(
+        name="lossy-network",
+        description="Benign message loss (no corruption); OneThirdRule-style behaviour of A_{T,E} at alpha = 0.",
+        n=n,
+        initial_values=generators.uniform_random(n, seed=23),
+        algorithm_factory=lambda: AteAlgorithm.symmetric(n=n, alpha=0),
+        adversary_factory=lambda seed: PeriodicGoodRoundAdversary(
+            inner=RandomOmissionAdversary(drop_probability=drop_probability, seed=seed),
+            period=good_round_period,
+        ),
+        max_rounds=60,
+    )
+
+
+def catalogue() -> List[Scenario]:
+    """All named scenarios with their default sizes."""
+    return [
+        fault_free_fast_path(),
+        transient_corruption(),
+        heavy_corruption_ute(),
+        santoro_widmayer_blocks(),
+        static_byzantine(),
+        lossy_network(),
+    ]
+
+
+def by_name(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    for scenario in catalogue():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}; available: {[s.name for s in catalogue()]}")

@@ -1,0 +1,66 @@
+"""Tests for the adversary abstractions (edge fates, reliable delivery)."""
+
+from repro.adversary.base import (
+    Fate,
+    FateKind,
+    ReliableAdversary,
+    perfect_delivery,
+)
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+class TestFate:
+    def test_constructors(self):
+        assert Fate.deliver().kind is FateKind.DELIVER
+        assert Fate.drop().kind is FateKind.DROP
+        corrupt = Fate.corrupt(42)
+        assert corrupt.kind is FateKind.CORRUPT and corrupt.corrupted_payload == 42
+
+
+class TestPerfectDelivery:
+    def test_transposes_matrix(self):
+        intended = {0: {0: "a", 1: "b"}, 1: {0: "c", 1: "d"}}
+        received = perfect_delivery(intended)
+        assert received == {0: {0: "a", 1: "c"}, 1: {0: "b", 1: "d"}}
+
+
+class TestReliableAdversary:
+    def test_everything_delivered_unchanged(self):
+        adversary = ReliableAdversary()
+        intended = intended_matrix(4, value=9)
+        received = adversary.deliver_round(1, intended)
+        assert set(received) == set(range(4))
+        for receiver in range(4):
+            assert received[receiver] == {sender: 9 for sender in range(4)}
+
+    def test_reset_is_idempotent(self):
+        adversary = ReliableAdversary(seed=3)
+        adversary.reset()
+        assert adversary.seed == 3
+
+
+class TestEdgeAdversaryContract:
+    def test_drop_removes_entry_but_keeps_receiver(self):
+        from repro.adversary.benign import SilentSendersAdversary
+
+        adversary = SilentSendersAdversary(silent=[0])
+        received = adversary.deliver_round(1, intended_matrix(3))
+        # Receivers still appear (possibly with empty inboxes), dropped senders do not.
+        assert set(received) == {0, 1, 2}
+        for inbox in received.values():
+            assert 0 not in inbox
+            assert set(inbox) == {1, 2}
+
+    def test_corrupt_replaces_payload(self):
+        from repro.adversary.byzantine import StaticByzantineAdversary
+
+        adversary = StaticByzantineAdversary(byzantine=[1], seed=0)
+        intended = intended_matrix(3, value=5)
+        received = adversary.deliver_round(1, intended)
+        for receiver in range(3):
+            assert received[receiver][1] != 5
+            assert received[receiver][0] == 5
+            assert received[receiver][2] == 5

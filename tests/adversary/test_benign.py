@@ -1,0 +1,116 @@
+"""Tests for the benign (omission-only) adversaries."""
+
+import pytest
+
+from repro.adversary.benign import (
+    BoundedOmissionAdversary,
+    CrashAdversary,
+    PartitionAdversary,
+    RandomOmissionAdversary,
+    SilentSendersAdversary,
+)
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+def corruption_count(intended, received):
+    count = 0
+    for receiver, inbox in received.items():
+        for sender, payload in inbox.items():
+            if payload != intended[sender][receiver]:
+                count += 1
+    return count
+
+
+class TestRandomOmission:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomOmissionAdversary(drop_probability=1.5)
+
+    def test_zero_probability_is_reliable(self):
+        adversary = RandomOmissionAdversary(drop_probability=0.0, seed=1)
+        received = adversary.deliver_round(1, intended_matrix(4))
+        assert all(len(inbox) == 4 for inbox in received.values())
+
+    def test_one_probability_drops_everything(self):
+        adversary = RandomOmissionAdversary(drop_probability=1.0, seed=1)
+        received = adversary.deliver_round(1, intended_matrix(4))
+        assert all(len(inbox) == 0 for inbox in received.values())
+
+    def test_never_corrupts(self):
+        adversary = RandomOmissionAdversary(drop_probability=0.5, seed=3)
+        intended = intended_matrix(6, value=7)
+        received = adversary.deliver_round(1, intended)
+        assert corruption_count(intended, received) == 0
+
+    def test_deterministic_given_seed(self):
+        a = RandomOmissionAdversary(drop_probability=0.5, seed=42)
+        b = RandomOmissionAdversary(drop_probability=0.5, seed=42)
+        assert a.deliver_round(1, intended_matrix(5)) == b.deliver_round(1, intended_matrix(5))
+
+    def test_reset_replays_schedule(self):
+        adversary = RandomOmissionAdversary(drop_probability=0.5, seed=42)
+        first = adversary.deliver_round(1, intended_matrix(5))
+        adversary.reset()
+        second = adversary.deliver_round(1, intended_matrix(5))
+        assert first == second
+
+
+class TestCrashAdversary:
+    def test_silent_from_crash_round_on(self):
+        adversary = CrashAdversary({1: 3})
+        for round_num in (1, 2):
+            received = adversary.deliver_round(round_num, intended_matrix(3))
+            assert all(1 in inbox for inbox in received.values())
+        for round_num in (3, 4):
+            received = adversary.deliver_round(round_num, intended_matrix(3))
+            assert all(1 not in inbox for inbox in received.values())
+
+
+class TestSilentSenders:
+    def test_silent_set_never_heard(self):
+        adversary = SilentSendersAdversary(silent=[0, 2])
+        received = adversary.deliver_round(5, intended_matrix(4))
+        for inbox in received.values():
+            assert set(inbox) == {1, 3}
+
+
+class TestPartitionAdversary:
+    def test_messages_stay_within_groups(self):
+        adversary = PartitionAdversary([[0, 1], [2, 3]])
+        received = adversary.deliver_round(1, intended_matrix(4))
+        assert set(received[0]) == {0, 1}
+        assert set(received[3]) == {2, 3}
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionAdversary([[0, 1], [1, 2]])
+
+    def test_unlisted_processes_are_isolated(self):
+        adversary = PartitionAdversary([[0, 1]])
+        received = adversary.deliver_round(1, intended_matrix(3))
+        assert set(received[2]) == set()
+
+
+class TestBoundedOmission:
+    def test_per_receiver_budget_respected(self):
+        adversary = BoundedOmissionAdversary(max_omissions_per_receiver=2, seed=1)
+        intended = intended_matrix(6)
+        received = adversary.deliver_round(1, intended)
+        for inbox in received.values():
+            assert len(inbox) >= 6 - 2
+
+    def test_budget_resets_every_round(self):
+        adversary = BoundedOmissionAdversary(max_omissions_per_receiver=1, seed=1)
+        for round_num in (1, 2, 3):
+            received = adversary.deliver_round(round_num, intended_matrix(4))
+            for inbox in received.values():
+                assert len(inbox) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedOmissionAdversary(max_omissions_per_receiver=-1)
+        with pytest.raises(ValueError):
+            BoundedOmissionAdversary(max_omissions_per_receiver=1, drop_probability=2.0)

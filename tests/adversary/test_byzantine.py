@@ -1,0 +1,80 @@
+"""Tests for the static Byzantine-process adversary (Section 5.2 encoding)."""
+
+import pytest
+
+from repro.adversary.byzantine import StaticByzantineAdversary
+from repro.core.heardof import HeardOfCollection, ReceptionVector, RoundRecord
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    ByzantineAsynchronousPredicate,
+    ByzantineSynchronousPredicate,
+    PermanentAlphaPredicate,
+)
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+def to_collection(n, received_rounds, intended_value=0):
+    records = []
+    for round_num, received in enumerate(received_rounds, start=1):
+        receptions = {
+            receiver: ReceptionVector(
+                receiver=receiver,
+                received=received.get(receiver, {}),
+                intended={sender: intended_value for sender in range(n)},
+            )
+            for receiver in range(n)
+        }
+        records.append(RoundRecord(round_num=round_num, receptions=receptions))
+    return HeardOfCollection(n, records)
+
+
+class TestStaticByzantine:
+    def test_only_byzantine_senders_corrupted(self):
+        n = 5
+        adversary = StaticByzantineAdversary(byzantine=[0, 1], seed=2)
+        intended = intended_matrix(n, value=4)
+        received = adversary.deliver_round(1, intended)
+        for receiver, inbox in received.items():
+            assert inbox[0] != 4 and inbox[1] != 4
+            for good in (2, 3, 4):
+                assert inbox[good] == 4
+
+    def test_symmetric_mode_sends_same_corruption_to_all(self):
+        n = 5
+        adversary = StaticByzantineAdversary(byzantine=[0], equivocate=False, seed=2)
+        intended = intended_matrix(n, value=4)
+        received = adversary.deliver_round(1, intended)
+        values = {received[receiver][0] for receiver in range(n)}
+        assert len(values) == 1
+        assert values != {4}
+
+    def test_equivocation_can_differ_across_receivers(self):
+        n = 8
+        adversary = StaticByzantineAdversary(byzantine=[0], equivocate=True, value_domain=(1, 2, 3), seed=5)
+        intended = intended_matrix(n, value=0)
+        received = adversary.deliver_round(1, intended)
+        values = {received[receiver][0] for receiver in range(n)}
+        assert len(values) >= 2  # with 8 receivers and 3 candidate values this is overwhelmingly likely
+
+    def test_generated_runs_satisfy_classical_predicates(self):
+        n = 6
+        f = 2
+        adversary = StaticByzantineAdversary(byzantine=[0, 1], seed=3)
+        intended = intended_matrix(n, value=4)
+        rounds = [adversary.deliver_round(r, intended) for r in range(1, 5)]
+        collection = to_collection(n, rounds, intended_value=4)
+        assert ByzantineSynchronousPredicate(n, f).holds(collection)
+        assert ByzantineAsynchronousPredicate(n, f).holds(collection)
+        assert PermanentAlphaPredicate(f).holds(collection)
+        assert AlphaSafePredicate(f).holds(collection)
+        assert not AlphaSafePredicate(f - 1).holds(collection)
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            StaticByzantineAdversary(byzantine=[0], drop_probability=1.5)
+
+    def test_f_property(self):
+        assert StaticByzantineAdversary(byzantine=[0, 3, 4]).f == 3

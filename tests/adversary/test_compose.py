@@ -1,0 +1,136 @@
+"""Tests for the adversary combinators (caps, minimum safe delivery, schedules)."""
+
+import pytest
+
+from repro.adversary.base import ReliableAdversary
+from repro.adversary.benign import RandomOmissionAdversary
+from repro.adversary.compose import (
+    AlphaCapAdversary,
+    MinimumSafeDeliveryAdversary,
+    RoundScheduleAdversary,
+    SequentialAdversary,
+)
+from repro.adversary.corruption import UnboundedCorruptionAdversary
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+def per_receiver_corruptions(intended, received):
+    return {
+        receiver: sum(
+            1 for sender, payload in inbox.items() if payload != intended[sender][receiver]
+        )
+        for receiver, inbox in received.items()
+    }
+
+
+def per_receiver_safe(intended, received):
+    return {
+        receiver: sum(
+            1 for sender, payload in inbox.items() if payload == intended[sender][receiver]
+        )
+        for receiver, inbox in received.items()
+    }
+
+
+class TestAlphaCap:
+    def test_cap_enforced_on_aggressive_inner(self):
+        n = 6
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        for alpha in (0, 1, 3):
+            adversary = AlphaCapAdversary(inner=inner, alpha=alpha)
+            intended = intended_matrix(n, value=2)
+            received = adversary.deliver_round(1, intended)
+            counts = per_receiver_corruptions(intended, received)
+            assert max(counts.values()) <= alpha
+
+    def test_restored_messages_carry_intended_value(self):
+        n = 4
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = AlphaCapAdversary(inner=inner, alpha=1)
+        intended = intended_matrix(n, value=7)
+        received = adversary.deliver_round(1, intended)
+        for receiver, inbox in received.items():
+            clean = [payload for payload in inbox.values() if payload == 7]
+            assert len(clean) == n - 1
+
+    def test_omissions_left_untouched(self):
+        n = 5
+        inner = RandomOmissionAdversary(drop_probability=0.5, seed=4)
+        adversary = AlphaCapAdversary(inner=inner, alpha=0)
+        intended = intended_matrix(n, value=7)
+        received = adversary.deliver_round(1, intended)
+        reference = RandomOmissionAdversary(drop_probability=0.5, seed=4).deliver_round(
+            1, intended
+        )
+        assert received == reference
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaCapAdversary(inner=ReliableAdversary(), alpha=-1)
+
+
+class TestMinimumSafeDelivery:
+    def test_minimum_safe_receptions_guaranteed(self):
+        n = 6
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = MinimumSafeDeliveryAdversary(inner=inner, minimum=4)
+        intended = intended_matrix(n, value=2)
+        received = adversary.deliver_round(1, intended)
+        safe = per_receiver_safe(intended, received)
+        assert min(safe.values()) >= 4
+
+    def test_for_strict_bound_constructor(self):
+        inner = ReliableAdversary()
+        adversary = MinimumSafeDeliveryAdversary.for_strict_bound(inner, 4.5)
+        assert adversary.minimum == 5
+        adversary = MinimumSafeDeliveryAdversary.for_strict_bound(inner, 4.0)
+        assert adversary.minimum == 5
+
+    def test_restores_omissions_when_needed(self):
+        n = 5
+        inner = RandomOmissionAdversary(drop_probability=1.0, seed=1)
+        adversary = MinimumSafeDeliveryAdversary(inner=inner, minimum=3)
+        intended = intended_matrix(n, value=2)
+        received = adversary.deliver_round(1, intended)
+        assert all(len(inbox) >= 3 for inbox in received.values())
+
+
+class TestSequentialAdversary:
+    def test_switches_at_round_boundaries(self):
+        n = 4
+        phases = [
+            (1, UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)),
+            (3, ReliableAdversary()),
+        ]
+        adversary = SequentialAdversary(phases)
+        intended = intended_matrix(n, value=2)
+        assert max(per_receiver_corruptions(intended, adversary.deliver_round(1, intended)).values()) > 0
+        assert max(per_receiver_corruptions(intended, adversary.deliver_round(2, intended)).values()) > 0
+        assert max(per_receiver_corruptions(intended, adversary.deliver_round(3, intended)).values()) == 0
+        assert max(per_receiver_corruptions(intended, adversary.deliver_round(9, intended)).values()) == 0
+
+    def test_requires_phase_starting_at_one(self):
+        with pytest.raises(ValueError):
+            SequentialAdversary([(2, ReliableAdversary())])
+        with pytest.raises(ValueError):
+            SequentialAdversary([])
+
+    def test_adversary_for_round_selection(self):
+        reliable = ReliableAdversary()
+        noisy = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = SequentialAdversary([(1, noisy), (5, reliable)])
+        assert adversary.adversary_for_round(4) is noisy
+        assert adversary.adversary_for_round(5) is reliable
+
+
+class TestRoundScheduleAdversary:
+    def test_schedule_function_picks_adversary(self):
+        n = 4
+        noisy = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = RoundScheduleAdversary(lambda r: noisy if r % 2 else None)
+        intended = intended_matrix(n, value=2)
+        assert max(per_receiver_corruptions(intended, adversary.deliver_round(1, intended)).values()) > 0
+        assert max(per_receiver_corruptions(intended, adversary.deliver_round(2, intended)).values()) == 0

@@ -1,0 +1,156 @@
+"""Tests for the value-fault (corruption) adversaries."""
+
+import pytest
+
+from repro.adversary.corruption import (
+    RandomCorruptionAdversary,
+    RotatingSenderCorruptionAdversary,
+    SplitVoteAdversary,
+    UnboundedCorruptionAdversary,
+)
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+def per_receiver_corruptions(intended, received):
+    result = {}
+    for receiver, inbox in received.items():
+        result[receiver] = sum(
+            1 for sender, payload in inbox.items() if payload != intended[sender][receiver]
+        )
+    return result
+
+
+class TestRandomCorruption:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomCorruptionAdversary(alpha=-1)
+        with pytest.raises(ValueError):
+            RandomCorruptionAdversary(alpha=1, corruption_probability=2)
+        with pytest.raises(ValueError):
+            RandomCorruptionAdversary(alpha=1, drop_probability=-0.5)
+
+    def test_alpha_zero_never_corrupts(self):
+        adversary = RandomCorruptionAdversary(alpha=0, seed=1)
+        intended = intended_matrix(5, value=3)
+        for round_num in range(1, 6):
+            received = adversary.deliver_round(round_num, intended)
+            assert all(c == 0 for c in per_receiver_corruptions(intended, received).values())
+
+    def test_respects_alpha_bound_per_receiver_per_round(self):
+        for alpha in (1, 2, 3):
+            adversary = RandomCorruptionAdversary(alpha=alpha, seed=7)
+            intended = intended_matrix(8, value=1)
+            for round_num in range(1, 20):
+                received = adversary.deliver_round(round_num, intended)
+                counts = per_receiver_corruptions(intended, received)
+                assert max(counts.values()) <= alpha
+
+    def test_corrupted_values_come_from_domain(self):
+        adversary = RandomCorruptionAdversary(alpha=2, value_domain=(5, 6), seed=3)
+        intended = intended_matrix(6, value=5)
+        received = adversary.deliver_round(1, intended)
+        for receiver, inbox in received.items():
+            for sender, payload in inbox.items():
+                assert payload in (5, 6)
+
+    def test_corruption_is_a_real_change(self):
+        # Even with a domain equal to the intended value, corrupted entries differ.
+        adversary = RandomCorruptionAdversary(alpha=3, value_domain=(0,), seed=3)
+        intended = intended_matrix(6, value=0)
+        received = adversary.deliver_round(1, intended)
+        counts = per_receiver_corruptions(intended, received)
+        # Some corruption happened (poison fallback) and none equals the original.
+        assert sum(counts.values()) > 0
+
+    def test_drop_probability_produces_omissions_not_corruptions(self):
+        adversary = RandomCorruptionAdversary(alpha=0, drop_probability=0.5, seed=9)
+        intended = intended_matrix(8, value=2)
+        received = adversary.deliver_round(1, intended)
+        total_received = sum(len(inbox) for inbox in received.values())
+        assert total_received < 64
+        assert all(c == 0 for c in per_receiver_corruptions(intended, received).values())
+
+    def test_deterministic_given_seed(self):
+        a = RandomCorruptionAdversary(alpha=2, seed=13)
+        b = RandomCorruptionAdversary(alpha=2, seed=13)
+        assert a.deliver_round(1, intended_matrix(6)) == b.deliver_round(1, intended_matrix(6))
+
+
+class TestRotatingSenderCorruption:
+    def test_alpha_senders_corrupted_per_round(self):
+        alpha = 2
+        adversary = RotatingSenderCorruptionAdversary(alpha=alpha, seed=1)
+        intended = intended_matrix(6, value=1)
+        received = adversary.deliver_round(1, intended)
+        corrupted_senders = set()
+        for receiver, inbox in received.items():
+            for sender, payload in inbox.items():
+                if payload != 1:
+                    corrupted_senders.add(sender)
+        assert len(corrupted_senders) <= alpha
+        counts = per_receiver_corruptions(intended, received)
+        assert max(counts.values()) <= alpha
+
+    def test_victims_rotate_across_rounds(self):
+        adversary = RotatingSenderCorruptionAdversary(alpha=1, seed=1)
+        intended = intended_matrix(4, value=1)
+        victims = []
+        for round_num in range(1, 5):
+            received = adversary.deliver_round(round_num, intended)
+            for receiver, inbox in received.items():
+                for sender, payload in inbox.items():
+                    if payload != 1:
+                        victims.append(sender)
+                        break
+                break
+        assert len(set(victims)) > 1  # dynamic faults: different senders over time
+
+    def test_alpha_zero_is_reliable(self):
+        adversary = RotatingSenderCorruptionAdversary(alpha=0, seed=1)
+        intended = intended_matrix(4, value=1)
+        received = adversary.deliver_round(1, intended)
+        assert per_receiver_corruptions(intended, received) == {p: 0 for p in range(4)}
+
+
+class TestUnboundedCorruption:
+    def test_probability_one_corrupts_everything(self):
+        adversary = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=2)
+        intended = intended_matrix(4, value=1)
+        received = adversary.deliver_round(1, intended)
+        counts = per_receiver_corruptions(intended, received)
+        assert all(count == 4 for count in counts.values())
+
+    def test_probability_zero_is_reliable(self):
+        adversary = UnboundedCorruptionAdversary(corruption_probability=0.0, seed=2)
+        intended = intended_matrix(4, value=1)
+        received = adversary.deliver_round(1, intended)
+        assert all(count == 0 for count in per_receiver_corruptions(intended, received).values())
+
+
+class TestSplitVote:
+    def test_two_camps_receive_different_values(self):
+        adversary = SplitVoteAdversary(budget_per_receiver=4, value_a="A", value_b="B", seed=1)
+        intended = intended_matrix(4, value="A")
+        received = adversary.deliver_round(1, intended)
+        # Camp 0 (receivers 0, 1) wants A: already unanimous, nothing to corrupt.
+        assert all(payload == "A" for payload in received[0].values())
+        # Camp 1 (receivers 2, 3) is pushed towards B within the budget.
+        assert sum(1 for payload in received[2].values() if payload == "B") == 4
+
+    def test_budget_limits_rewrites(self):
+        adversary = SplitVoteAdversary(budget_per_receiver=1, value_a="A", value_b="B", seed=1)
+        intended = intended_matrix(4, value="A")
+        received = adversary.deliver_round(1, intended)
+        assert sum(1 for payload in received[3].values() if payload == "B") == 1
+
+    def test_no_omissions(self):
+        adversary = SplitVoteAdversary(budget_per_receiver=2, value_a=0, value_b=1, seed=1)
+        received = adversary.deliver_round(1, intended_matrix(6, value=0))
+        assert all(len(inbox) == 6 for inbox in received.values())
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SplitVoteAdversary(budget_per_receiver=-1, value_a=0, value_b=1)

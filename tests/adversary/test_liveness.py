@@ -1,0 +1,102 @@
+"""Tests for the liveness-structured adversary wrappers (Figures 1 and 2)."""
+
+from repro.adversary.base import ReliableAdversary
+from repro.adversary.corruption import UnboundedCorruptionAdversary
+from repro.adversary.liveness import (
+    PartialGoodRoundAdversary,
+    PeriodicGoodPhaseAdversary,
+    PeriodicGoodRoundAdversary,
+)
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+def corruption_count(intended, received):
+    return sum(
+        1
+        for receiver, inbox in received.items()
+        for sender, payload in inbox.items()
+        if payload != intended[sender][receiver]
+    )
+
+
+class TestPeriodicGoodRound:
+    def test_good_rounds_are_perfect(self):
+        n = 5
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = PeriodicGoodRoundAdversary(inner=inner, period=3)
+        intended = intended_matrix(n, value=2)
+        for round_num in range(1, 10):
+            received = adversary.deliver_round(round_num, intended)
+            corruptions = corruption_count(intended, received)
+            if round_num % 3 == 0:
+                assert corruptions == 0
+                assert all(len(inbox) == n for inbox in received.values())
+            else:
+                assert corruptions > 0
+
+    def test_period_one_is_always_good(self):
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = PeriodicGoodRoundAdversary(inner=inner, period=1)
+        intended = intended_matrix(4, value=2)
+        for round_num in range(1, 5):
+            assert corruption_count(intended, adversary.deliver_round(round_num, intended)) == 0
+
+    def test_offset_moves_good_rounds(self):
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = PeriodicGoodRoundAdversary(inner=inner, period=4, offset=2)
+        assert adversary.is_good_round(2)
+        assert adversary.is_good_round(6)
+        assert not adversary.is_good_round(4)
+
+
+class TestPartialGoodRound:
+    def test_pi1_hears_exactly_pi2_on_good_rounds(self):
+        n = 6
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        pi1 = [0, 1, 2, 3]
+        pi2 = [0, 1, 2, 3, 4]
+        adversary = PartialGoodRoundAdversary(inner=inner, pi1=pi1, pi2=pi2, period=2)
+        intended = intended_matrix(n, value=9)
+        received = adversary.deliver_round(2, intended)
+        for receiver in pi1:
+            assert set(received[receiver]) == set(pi2)
+            assert all(payload == 9 for payload in received[receiver].values())
+        # Processes outside pi1 remain at the inner adversary's mercy.
+        assert corruption_count(intended, {5: received[5]}) > 0
+
+    def test_non_good_rounds_delegate_to_inner(self):
+        n = 4
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = PartialGoodRoundAdversary(inner=inner, pi1=[0], pi2=[0, 1, 2], period=5)
+        intended = intended_matrix(n, value=9)
+        received = adversary.deliver_round(1, intended)
+        assert corruption_count(intended, received) > 0
+
+
+class TestPeriodicGoodPhase:
+    def test_good_window_covers_three_rounds(self):
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = PeriodicGoodPhaseAdversary(inner=inner, period=2, offset=1)
+        # phi0 = 1 -> rounds 2, 3, 4 are good; phi0 = 3 -> rounds 6, 7, 8.
+        assert adversary.is_good_round(2)
+        assert adversary.is_good_round(3)
+        assert adversary.is_good_round(4)
+        assert not adversary.is_good_round(5)
+        assert adversary.is_good_round(6)
+
+    def test_good_rounds_are_perfect_and_bad_rounds_are_not(self):
+        n = 4
+        inner = UnboundedCorruptionAdversary(corruption_probability=1.0, seed=1)
+        adversary = PeriodicGoodPhaseAdversary(inner=inner, period=3, offset=1)
+        intended = intended_matrix(n, value=2)
+        assert corruption_count(intended, adversary.deliver_round(2, intended)) == 0
+        assert corruption_count(intended, adversary.deliver_round(5, intended)) > 0
+
+    def test_wrapping_reliable_inner_stays_reliable(self):
+        adversary = PeriodicGoodPhaseAdversary(inner=ReliableAdversary(), period=2)
+        intended = intended_matrix(3, value=1)
+        for round_num in range(1, 8):
+            assert corruption_count(intended, adversary.deliver_round(round_num, intended)) == 0

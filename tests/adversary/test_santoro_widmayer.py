@@ -1,0 +1,105 @@
+"""Tests for the Santoro–Widmayer block-fault adversary."""
+
+import pytest
+
+from repro.adversary.santoro_widmayer import BlockFaultAdversary, santoro_widmayer_bound
+
+
+def intended_matrix(n, value=0):
+    return {sender: {receiver: value for receiver in range(n)} for sender in range(n)}
+
+
+def faulty_edges(intended, received):
+    """(sender, receiver) pairs whose message was dropped or corrupted."""
+    edges = []
+    for sender, per_receiver in intended.items():
+        for receiver, payload in per_receiver.items():
+            got = received.get(receiver, {}).get(sender)
+            if got is None or got != payload:
+                edges.append((sender, receiver))
+    return edges
+
+
+class TestBound:
+    def test_floor_n_over_two(self):
+        assert santoro_widmayer_bound(10) == 5
+        assert santoro_widmayer_bound(9) == 4
+        assert santoro_widmayer_bound(3) == 1
+
+
+class TestBlockFaultAdversary:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockFaultAdversary(mode="explode")
+        with pytest.raises(ValueError):
+            BlockFaultAdversary(faults_per_round=-1)
+
+    def test_all_faults_from_single_victim_per_round(self):
+        n = 8
+        adversary = BlockFaultAdversary(faults_per_round=n // 2, seed=1)
+        intended = intended_matrix(n, value=3)
+        for round_num in range(1, 10):
+            received = adversary.deliver_round(round_num, intended)
+            edges = faulty_edges(intended, received)
+            senders = {sender for sender, _ in edges}
+            assert len(senders) <= 1  # block structure: one victim per round
+            assert len(edges) <= n // 2
+
+    def test_victim_rotates_round_robin_by_default(self):
+        n = 4
+        adversary = BlockFaultAdversary(faults_per_round=2, seed=1)
+        intended = intended_matrix(n, value=3)
+        victims = []
+        for round_num in range(1, 5):
+            received = adversary.deliver_round(round_num, intended)
+            edges = faulty_edges(intended, received)
+            victims.append(edges[0][0] if edges else None)
+        assert victims == [0, 1, 2, 3]
+
+    def test_explicit_victim_schedule(self):
+        n = 4
+        adversary = BlockFaultAdversary(faults_per_round=1, victim_schedule=[2, 2, 3], seed=1)
+        intended = intended_matrix(n, value=3)
+        observed = []
+        for round_num in range(1, 4):
+            received = adversary.deliver_round(round_num, intended)
+            edges = faulty_edges(intended, received)
+            observed.append(edges[0][0])
+        assert observed == [2, 2, 3]
+
+    def test_drop_mode_produces_omissions(self):
+        n = 6
+        adversary = BlockFaultAdversary(faults_per_round=3, mode="drop", seed=1)
+        intended = intended_matrix(n, value=3)
+        received = adversary.deliver_round(1, intended)
+        corrupted = sum(
+            1
+            for receiver, inbox in received.items()
+            for sender, payload in inbox.items()
+            if payload != 3
+        )
+        dropped = sum(6 - len(inbox) for inbox in received.values())
+        assert corrupted == 0
+        assert dropped == 3
+
+    def test_corrupt_mode_produces_value_faults(self):
+        n = 6
+        adversary = BlockFaultAdversary(faults_per_round=3, mode="corrupt", value_domain=(0, 1), seed=1)
+        intended = intended_matrix(n, value=0)
+        received = adversary.deliver_round(1, intended)
+        corrupted = sum(
+            1
+            for receiver, inbox in received.items()
+            for sender, payload in inbox.items()
+            if payload != 0
+        )
+        assert corrupted == 3
+        assert all(len(inbox) == n for inbox in received.values())
+
+    def test_none_faults_per_round_hits_all_outgoing_links(self):
+        n = 5
+        adversary = BlockFaultAdversary(faults_per_round=None, mode="drop", seed=1)
+        intended = intended_matrix(n, value=3)
+        received = adversary.deliver_round(1, intended)
+        # Victim of round 1 is process 0: nobody hears from it.
+        assert all(0 not in inbox for inbox in received.values())

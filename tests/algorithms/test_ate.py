@@ -1,0 +1,108 @@
+"""Unit tests for the ``A_{T,E}`` algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.algorithms.ate import AteAlgorithm, AteProcess
+from repro.core.parameters import AteParameters
+from repro.core.predicates import AlphaSafePredicate, ALivePredicate
+
+
+def make_process(n=6, alpha=0, pid=0, initial=0, **kwargs):
+    params = AteParameters.symmetric(n=n, alpha=alpha)
+    return AteProcess(pid, n, initial, params, **kwargs), params
+
+
+class TestAteProcess:
+    def test_sends_current_estimate(self):
+        proc, _ = make_process(initial=7)
+        assert proc.send(1) == 7
+        assert proc.send_to(1, 3) == 7
+
+    def test_rejects_mismatched_n(self):
+        params = AteParameters.symmetric(n=5, alpha=0)
+        with pytest.raises(ValueError):
+            AteProcess(0, 6, 0, params)
+
+    def test_no_update_below_threshold(self):
+        proc, params = make_process(n=6, initial=5)
+        # T = 4: hearing of exactly 4 processes is NOT enough (strict >).
+        proc.transition(1, {0: 1, 1: 1, 2: 1, 3: 1})
+        assert proc.x == 5
+        assert not proc.decided
+
+    def test_update_to_smallest_most_frequent(self):
+        proc, _ = make_process(n=6, initial=5)
+        proc.transition(1, {0: 2, 1: 2, 2: 1, 3: 1, 4: 3})
+        assert proc.x == 1  # tie between 1 and 2 broken towards the smallest
+
+    def test_decides_when_enough_equal_values(self):
+        proc, params = make_process(n=6, initial=0)
+        reception = {q: 1 for q in range(5)}  # 5 > E = 4
+        proc.transition(1, reception)
+        assert proc.decided and proc.decision == 1
+        assert proc.decision_round == 1
+        assert proc.x == 1
+
+    def test_does_not_decide_on_mixed_values(self):
+        proc, _ = make_process(n=6, initial=0)
+        proc.transition(1, {0: 1, 1: 1, 2: 0, 3: 0, 4: 1})
+        assert not proc.decided
+
+    def test_decision_guard_independent_of_update_guard(self):
+        # With T > E (allowed by Theorem 1 for large E... here constructed
+        # explicitly), a process must still decide when > E equal values
+        # arrive even if |HO| <= T.  This mirrors the termination proof.
+        params = AteParameters(n=10, alpha=0, threshold=9, enough=6)
+        proc = AteProcess(0, 10, 0, params)
+        proc.transition(1, {q: 4 for q in range(7)})  # 7 > E = 6 but 7 <= T = 9
+        assert proc.decided and proc.decision == 4
+        assert proc.x == 0  # estimate untouched because |HO| <= T
+
+    def test_nested_guard_variant_defers_decision(self):
+        params = AteParameters(n=10, alpha=0, threshold=9, enough=6)
+        proc = AteProcess(0, 10, 0, params, nested_decision_guard=True)
+        proc.transition(1, {q: 4 for q in range(7)})
+        assert not proc.decided
+
+    def test_state_snapshot_exposes_estimate(self):
+        proc, _ = make_process(initial=3)
+        assert proc.state_snapshot()["x"] == 3
+
+    def test_decision_is_stable_across_rounds(self):
+        proc, _ = make_process(n=6, initial=0)
+        proc.transition(1, {q: 1 for q in range(6)})
+        assert proc.decision == 1
+        # Later rounds with a different (corrupted) majority re-derive the
+        # same decision or none, but never a different one under P_alpha-
+        # compatible receptions; here a full flip would raise.
+        proc.transition(2, {q: 1 for q in range(6)})
+        assert proc.decision == 1
+
+
+class TestAteAlgorithm:
+    def test_factory_creates_processes_with_initial_values(self):
+        algorithm = AteAlgorithm.symmetric(n=4, alpha=0)
+        processes = algorithm.create_all({0: 3, 1: 1, 2: 4, 3: 1})
+        assert len(processes) == 4
+        assert processes[2].x == 4
+
+    def test_create_all_requires_contiguous_pids(self):
+        algorithm = AteAlgorithm.symmetric(n=3, alpha=0)
+        with pytest.raises(ValueError):
+            algorithm.create_all({0: 1, 2: 2, 5: 3})
+
+    def test_predicates_match_parameters(self):
+        algorithm = AteAlgorithm.symmetric(n=9, alpha=2)
+        safety = algorithm.safety_predicate()
+        liveness = algorithm.liveness_predicate()
+        assert isinstance(safety, AlphaSafePredicate) and safety.alpha == 2
+        assert isinstance(liveness, ALivePredicate)
+        assert liveness.threshold == algorithm.params.threshold
+        assert liveness.enough == algorithm.params.enough
+
+    def test_name_mentions_thresholds(self):
+        algorithm = AteAlgorithm.symmetric(n=9, alpha=1)
+        assert "A(" in algorithm.name and "alpha=1" in algorithm.name
+
+    def test_rounds_per_phase(self):
+        assert AteAlgorithm.symmetric(n=4, alpha=0).rounds_per_phase == 1

@@ -1,0 +1,72 @@
+"""OneThirdRule baseline and its equivalence with ``A_{2n/3, 2n/3}``."""
+
+from fractions import Fraction
+
+from repro.adversary import PeriodicGoodRoundAdversary, RandomOmissionAdversary
+from repro.algorithms import AteAlgorithm, OneThirdRuleAlgorithm
+from repro.core.parameters import AteParameters
+from repro.simulation.engine import run_consensus
+from repro.workloads import generators
+
+
+class TestOneThirdRule:
+    def test_thresholds_are_two_thirds(self):
+        algorithm = OneThirdRuleAlgorithm(9)
+        assert algorithm.params.threshold == Fraction(6)
+        assert algorithm.params.enough == Fraction(6)
+        assert algorithm.params.alpha == 0
+
+    def test_is_an_ate_instance(self):
+        algorithm = OneThirdRuleAlgorithm(9)
+        assert isinstance(algorithm, AteAlgorithm)
+
+    def test_fault_free_decides_in_two_rounds(self):
+        n = 9
+        result = run_consensus(
+            OneThirdRuleAlgorithm(n), generators.split(n), max_rounds=10
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round <= 2
+
+    def test_unanimous_decides_in_one_round(self):
+        n = 9
+        result = run_consensus(
+            OneThirdRuleAlgorithm(n), generators.unanimous(n, value=4), max_rounds=10
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round == 1
+        assert result.decision_values == (4,)
+
+    def test_equivalence_with_symmetric_ate_at_alpha_zero(self):
+        """The paper: A_{2n/3,2n/3} at alpha=0 coincides exactly with OneThirdRule."""
+        n = 9
+        for seed in range(5):
+            workload = generators.uniform_random(n, seed=seed)
+            results = []
+            for algorithm in (
+                OneThirdRuleAlgorithm(n),
+                AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)),
+            ):
+                adversary = PeriodicGoodRoundAdversary(
+                    inner=RandomOmissionAdversary(drop_probability=0.25, seed=1000 + seed),
+                    period=3,
+                )
+                results.append(
+                    run_consensus(algorithm, workload, adversary, max_rounds=40)
+                )
+            first, second = results
+            assert first.outcome.decision_values == second.outcome.decision_values
+            assert first.outcome.decision_rounds == second.outcome.decision_rounds
+            assert first.rounds_executed == second.rounds_executed
+
+    def test_safe_under_arbitrary_omissions(self):
+        """OneThirdRule is always safe, whatever the number of benign faults."""
+        n = 9
+        for drop in (0.3, 0.6, 0.9):
+            result = run_consensus(
+                OneThirdRuleAlgorithm(n),
+                generators.split(n),
+                RandomOmissionAdversary(drop_probability=drop, seed=7),
+                max_rounds=30,
+            )
+            assert result.safe

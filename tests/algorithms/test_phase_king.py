@@ -1,0 +1,95 @@
+"""Unit and behaviour tests for the phase-king static-Byzantine baseline."""
+
+import pytest
+
+from repro.adversary import ReliableAdversary, StaticByzantineAdversary
+from repro.algorithms import PhaseKingAlgorithm
+from repro.algorithms.phase_king import PhaseKingProcess
+from repro.core.predicates import ByzantineSynchronousPredicate
+from repro.simulation.engine import run_consensus
+from repro.workloads import generators
+
+
+class TestPhaseKingProcess:
+    def test_round_bookkeeping(self):
+        proc = PhaseKingProcess(0, 5, 0, f=1)
+        assert proc.total_phases == 2
+        assert proc.total_rounds == 4
+        assert PhaseKingProcess.phase_of(1) == 1
+        assert PhaseKingProcess.phase_of(2) == 1
+        assert PhaseKingProcess.phase_of(3) == 2
+        assert PhaseKingProcess.is_first_round(1)
+        assert not PhaseKingProcess.is_first_round(2)
+        assert proc.king_of(1) == 0
+        assert proc.king_of(2) == 1
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseKingProcess(0, 5, 0, f=-1)
+
+    def test_majority_tracking_and_king_adoption(self):
+        n = 5
+        proc = PhaseKingProcess(2, n, 1, f=1)
+        # First round: majority of zeros but not overwhelming (not > n/2 + f).
+        proc.transition(1, {0: 0, 1: 0, 2: 1, 3: 1, 4: 0})
+        assert proc._majority == 0
+        # Second round: the king (process 0) says 1; the local count (3) is
+        # not > n/2 + f = 3.5, so the king's value is adopted.
+        proc.transition(2, {0: 1})
+        assert proc.x == 1
+
+    def test_strong_majority_overrides_king(self):
+        n = 5
+        proc = PhaseKingProcess(2, n, 1, f=1)
+        proc.transition(1, {q: 0 for q in range(n)})  # count 5 > 3.5
+        proc.transition(2, {0: 1})
+        assert proc.x == 0
+
+    def test_decides_after_last_phase(self):
+        n = 5
+        proc = PhaseKingProcess(0, n, 0, f=1)
+        for round_num in range(1, proc.total_rounds + 1):
+            proc.transition(round_num, {q: 0 for q in range(n)})
+        assert proc.decided and proc.decision == 0
+
+
+class TestPhaseKingAlgorithm:
+    def test_resilience_flag(self):
+        assert PhaseKingAlgorithm(9, 2).within_resilience_bound
+        assert not PhaseKingAlgorithm(8, 2).within_resilience_bound
+
+    def test_rounds_to_decide(self):
+        assert PhaseKingAlgorithm(9, 2).rounds_to_decide == 6
+
+    def test_safety_predicate_is_classical_synchronous(self):
+        predicate = PhaseKingAlgorithm(9, 2).safety_predicate()
+        assert isinstance(predicate, ByzantineSynchronousPredicate)
+        assert predicate.f == 2
+
+    def test_fault_free_consensus(self):
+        n = 9
+        result = run_consensus(
+            PhaseKingAlgorithm(n, f=2), generators.split(n), ReliableAdversary(), max_rounds=10
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round == 6
+
+    def test_consensus_under_static_byzantine_senders(self):
+        n = 9
+        f = 2
+        for seed in range(3):
+            result = run_consensus(
+                PhaseKingAlgorithm(n, f=f),
+                generators.skewed(n, seed=seed),
+                StaticByzantineAdversary(byzantine=range(f), value_domain=(0, 1), seed=seed),
+                max_rounds=12,
+            )
+            # The non-Byzantine majority must agree; the adversary only
+            # corrupts transmissions of the two Byzantine senders.
+            assert result.safe
+            assert result.termination
+
+    def test_mismatched_n_rejected(self):
+        algorithm = PhaseKingAlgorithm(5, 1)
+        with pytest.raises(ValueError):
+            algorithm.create_process(0, 6, 0)

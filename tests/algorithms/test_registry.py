@@ -1,0 +1,47 @@
+"""Tests for the algorithm name registry."""
+
+import pytest
+
+from repro.algorithms import (
+    AteAlgorithm,
+    OneThirdRuleAlgorithm,
+    PhaseKingAlgorithm,
+    UniformVotingAlgorithm,
+    UteAlgorithm,
+    available_algorithms,
+    make_algorithm,
+)
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available_algorithms()
+        assert "ate" in names and "ute" in names and "phase-king" in names
+        assert names == sorted(names)
+
+    def test_make_ate(self):
+        algorithm = make_algorithm("ate", n=8, alpha=1)
+        assert isinstance(algorithm, AteAlgorithm)
+        assert algorithm.params.n == 8 and algorithm.params.alpha == 1
+
+    def test_make_ute(self):
+        algorithm = make_algorithm("ute", n=9, alpha=2)
+        assert isinstance(algorithm, UteAlgorithm)
+        assert algorithm.params.alpha == 2
+
+    def test_make_baselines(self):
+        assert isinstance(make_algorithm("one-third-rule", n=9), OneThirdRuleAlgorithm)
+        assert isinstance(make_algorithm("uniform-voting", n=9), UniformVotingAlgorithm)
+
+    def test_make_phase_king(self):
+        algorithm = make_algorithm("phase-king", n=9, f=2)
+        assert isinstance(algorithm, PhaseKingAlgorithm)
+        assert algorithm.f == 2
+
+    def test_name_normalisation(self):
+        assert isinstance(make_algorithm("OneThirdRule", n=9), OneThirdRuleAlgorithm)
+        assert isinstance(make_algorithm("A_TE", n=8, alpha=1), AteAlgorithm)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_algorithm("paxos", n=5)

@@ -1,0 +1,57 @@
+"""UniformVoting-style baseline and its relation to ``U_{T,E,alpha}``."""
+
+from fractions import Fraction
+
+from repro.adversary import PeriodicGoodPhaseAdversary, RandomOmissionAdversary, ReliableAdversary
+from repro.algorithms import UniformVotingAlgorithm, UteAlgorithm
+from repro.simulation.engine import run_consensus
+from repro.workloads import generators
+
+
+class TestUniformVoting:
+    def test_thresholds_are_half(self):
+        algorithm = UniformVotingAlgorithm(8)
+        assert algorithm.params.threshold == Fraction(4)
+        assert algorithm.params.enough == Fraction(4)
+        assert algorithm.params.alpha == 0
+
+    def test_is_a_ute_instance(self):
+        assert isinstance(UniformVotingAlgorithm(8), UteAlgorithm)
+
+    def test_fault_free_run_decides_within_two_phases(self):
+        n = 8
+        result = run_consensus(
+            UniformVotingAlgorithm(n), generators.split(n), ReliableAdversary(), max_rounds=12
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round <= 4
+
+    def test_unanimous_fault_free_decides_in_first_phase(self):
+        n = 8
+        result = run_consensus(
+            UniformVotingAlgorithm(n), generators.unanimous(n, value=3), max_rounds=12
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round == 2
+        assert result.decision_values == (3,)
+
+    def test_safe_under_omissions(self):
+        n = 8
+        for drop in (0.2, 0.5):
+            result = run_consensus(
+                UniformVotingAlgorithm(n),
+                generators.split(n),
+                RandomOmissionAdversary(drop_probability=drop, seed=11),
+                max_rounds=40,
+            )
+            assert result.safe
+
+    def test_terminates_with_good_phases_despite_loss(self):
+        n = 8
+        adversary = PeriodicGoodPhaseAdversary(
+            inner=RandomOmissionAdversary(drop_probability=0.4, seed=5), period=2
+        )
+        result = run_consensus(
+            UniformVotingAlgorithm(n), generators.split(n), adversary, max_rounds=60
+        )
+        assert result.all_satisfied

@@ -1,0 +1,136 @@
+"""Unit tests for the ``U_{T,E,alpha}`` algorithm (Algorithm 2)."""
+
+import pytest
+
+from repro.algorithms.ute import QUESTION_MARK, UteAlgorithm, UteProcess
+from repro.core.parameters import UteParameters
+from repro.core.predicates import AndPredicate, ULivePredicate
+
+
+def make_process(n=8, alpha=1, pid=0, initial=0, default=0):
+    params = UteParameters.minimal(n=n, alpha=alpha)
+    return UteProcess(pid, n, initial, params, default_value=default), params
+
+
+class TestQuestionMark:
+    def test_singleton(self):
+        from repro.algorithms.ute import _QuestionMark
+
+        assert _QuestionMark() is QUESTION_MARK
+
+    def test_repr(self):
+        assert repr(QUESTION_MARK) == "?"
+
+    def test_survives_deepcopy(self):
+        import copy
+
+        assert copy.deepcopy(QUESTION_MARK) is QUESTION_MARK
+
+
+class TestUteProcessFirstRound:
+    def test_sends_estimate_on_odd_rounds(self):
+        proc, _ = make_process(initial=5)
+        assert proc.send(1) == 5
+        assert proc.send(3) == 5
+
+    def test_votes_when_enough_agree(self):
+        proc, params = make_process(n=8, alpha=1, initial=0)
+        # T = 5: six identical values are strictly more than T.
+        proc.transition(1, {q: 7 for q in range(6)})
+        assert proc.vote == 7
+
+    def test_no_vote_when_below_threshold(self):
+        proc, _ = make_process(n=8, alpha=1, initial=0)
+        proc.transition(1, {q: 7 for q in range(5)})  # exactly T = 5, not strict
+        assert proc.vote is QUESTION_MARK
+
+    def test_question_marks_are_not_votable_values(self):
+        proc, _ = make_process(n=8, alpha=1, initial=0)
+        proc.transition(1, {q: QUESTION_MARK for q in range(8)})
+        assert proc.vote is QUESTION_MARK
+
+    def test_rejects_mismatched_n(self):
+        params = UteParameters.minimal(n=5, alpha=0)
+        with pytest.raises(ValueError):
+            UteProcess(0, 6, 0, params)
+
+
+class TestUteProcessSecondRound:
+    def test_sends_vote_on_even_rounds(self):
+        proc, _ = make_process(initial=5)
+        proc.transition(1, {q: 9 for q in range(7)})
+        assert proc.send(2) == 9
+
+    def test_adopts_witnessed_vote(self):
+        proc, params = make_process(n=8, alpha=1, initial=0)
+        # alpha + 1 = 2 identical proper votes suffice to adopt.
+        proc.transition(2, {0: 9, 1: 9, 2: QUESTION_MARK})
+        assert proc.x == 9
+        assert proc.vote is QUESTION_MARK  # reset at the end of the phase
+
+    def test_adopts_default_without_witness(self):
+        proc, _ = make_process(n=8, alpha=1, initial=5, default=42)
+        proc.transition(2, {0: 9, 1: QUESTION_MARK, 2: QUESTION_MARK})
+        assert proc.x == 42
+
+    def test_single_vote_insufficient_when_alpha_positive(self):
+        # With alpha = 1, one vote could be a corruption: the default is used.
+        proc, _ = make_process(n=8, alpha=1, initial=5, default=0)
+        proc.transition(2, {0: 9})
+        assert proc.x == 0
+
+    def test_alpha_zero_adopts_single_vote(self):
+        proc, _ = make_process(n=8, alpha=0, initial=5, default=0)
+        proc.transition(2, {0: 9})
+        assert proc.x == 9
+
+    def test_decides_on_enough_votes(self):
+        proc, params = make_process(n=8, alpha=1, initial=0)
+        # E = 5.5: six identical proper votes decide.
+        proc.transition(2, {q: 3 for q in range(6)})
+        assert proc.decided and proc.decision == 3
+        assert proc.decision_round == 2
+
+    def test_question_marks_do_not_count_towards_decision(self):
+        proc, _ = make_process(n=8, alpha=1, initial=0)
+        reception = {q: QUESTION_MARK for q in range(6)}
+        reception.update({6: 3, 7: 3})
+        proc.transition(2, reception)
+        assert not proc.decided
+
+    def test_vote_reset_after_every_phase(self):
+        proc, _ = make_process(n=8, alpha=1, initial=0)
+        proc.transition(1, {q: 7 for q in range(6)})
+        assert proc.vote == 7
+        proc.transition(2, {q: 7 for q in range(6)})
+        assert proc.vote is QUESTION_MARK
+
+    def test_state_snapshot(self):
+        proc, _ = make_process(initial=4)
+        snapshot = proc.state_snapshot()
+        assert snapshot["x"] == 4
+        assert snapshot["vote"] is None  # '?' is reported as None
+
+
+class TestUteAlgorithm:
+    def test_minimal_constructor(self):
+        algorithm = UteAlgorithm.minimal(n=9, alpha=2, default_value=1)
+        assert float(algorithm.params.threshold) == 6.5
+        proc = algorithm.create_process(0, 9, 5)
+        assert proc.default_value == 1
+
+    def test_predicates(self):
+        algorithm = UteAlgorithm.minimal(n=9, alpha=2)
+        safety = algorithm.safety_predicate()
+        assert isinstance(safety, AndPredicate)
+        assert len(safety.parts) == 2
+        liveness = algorithm.liveness_predicate()
+        assert isinstance(liveness, ULivePredicate)
+
+    def test_rounds_per_phase(self):
+        assert UteAlgorithm.minimal(n=4, alpha=0).rounds_per_phase == 2
+
+    def test_voting_round_classification(self):
+        assert UteProcess.is_voting_round(1)
+        assert not UteProcess.is_voting_round(2)
+        assert UteProcess.is_voting_round(17)

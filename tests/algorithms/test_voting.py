@@ -1,0 +1,62 @@
+"""Unit tests for the shared vote-counting helpers."""
+
+from repro.algorithms.voting import (
+    smallest_most_frequent,
+    unique_value_above,
+    value_counts,
+    values_above,
+    values_at_least,
+)
+
+
+class TestValueCounts:
+    def test_empty(self):
+        assert value_counts([]) == {}
+
+    def test_multiset(self):
+        counts = value_counts([1, 1, 2, 3, 3, 3])
+        assert counts[1] == 2 and counts[2] == 1 and counts[3] == 3
+
+
+class TestSmallestMostFrequent:
+    def test_none_when_empty(self):
+        assert smallest_most_frequent([]) is None
+
+    def test_single_winner(self):
+        assert smallest_most_frequent([1, 2, 2, 3]) == 2
+
+    def test_tie_broken_towards_smallest(self):
+        assert smallest_most_frequent([3, 3, 1, 1, 2]) == 1
+
+    def test_all_distinct_returns_smallest(self):
+        assert smallest_most_frequent([4, 2, 9]) == 2
+
+    def test_strings(self):
+        assert smallest_most_frequent(["b", "a", "a", "b", "c"]) == "a"
+
+    def test_mixed_types_are_deterministic(self):
+        # An adversary may inject values of unexpected types; the helper
+        # must still return a deterministic answer rather than raising.
+        first = smallest_most_frequent([1, "x", 1, "x"])
+        second = smallest_most_frequent(["x", 1, "x", 1])
+        assert first == second
+
+
+class TestThresholdHelpers:
+    def test_values_above_strict(self):
+        assert values_above([1, 1, 2], 1) == {1: 2}
+        assert values_above([1, 1, 2], 2) == {}
+        assert values_above([1, 1, 2], 1.5) == {1: 2}
+
+    def test_values_at_least_inclusive(self):
+        assert values_at_least([1, 1, 2], 2) == {1: 2}
+        assert values_at_least([1, 1, 2], 1) == {1: 2, 2: 1}
+
+    def test_unique_value_above(self):
+        assert unique_value_above([5, 5, 5, 7], 2) == 5
+        assert unique_value_above([5, 7], 1) is None
+
+    def test_unique_value_above_tie_break(self):
+        # Two values above the bar can only happen when the relevant lemma's
+        # hypothesis is violated; the helper still answers deterministically.
+        assert unique_value_above([1, 1, 2, 2], 1) == 1

@@ -1,0 +1,102 @@
+"""Tests for the lower-bound analysis (Section 5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import (
+    ate_lamport_attainment,
+    byzantine_resilience,
+    corruption_capacity,
+    fast_decision_comparison,
+    lamport_bound_holds,
+    martin_alvisi_max_faulty,
+    martin_alvisi_min_processes,
+    santoro_widmayer_bound,
+    schmid_value_fault_bound,
+    ute_lamport_attainment,
+)
+
+
+class TestClassicalBounds:
+    def test_santoro_widmayer(self):
+        assert santoro_widmayer_bound(10) == 5
+        assert santoro_widmayer_bound(7) == 3
+
+    def test_schmid_bound(self):
+        assert schmid_value_fault_bound(8) == 2
+        assert schmid_value_fault_bound(10) == Fraction(10, 4)
+
+    def test_martin_alvisi(self):
+        assert martin_alvisi_min_processes(0) == 1
+        assert martin_alvisi_min_processes(1) == 6
+        assert martin_alvisi_min_processes(2) == 11
+        assert martin_alvisi_max_faulty(5) == 0
+        assert martin_alvisi_max_faulty(6) == 1
+        assert martin_alvisi_max_faulty(11) == 2
+        with pytest.raises(ValueError):
+            martin_alvisi_min_processes(-1)
+
+    def test_byzantine_resilience(self):
+        assert byzantine_resilience(3) == 0
+        assert byzantine_resilience(4) == 1
+        assert byzantine_resilience(10) == 3
+
+    def test_lamport_bound(self):
+        assert lamport_bound_holds(4, q=0, f=1, m=1)       # 4 > 0 + 1 + 2
+        assert not lamport_bound_holds(3, q=0, f=1, m=1)   # 3 > 3 is false
+
+
+class TestLamportAttainment:
+    def test_ate_attains_bound_tightly(self):
+        for n in (5, 9, 13, 21):
+            attainment = ate_lamport_attainment(n)
+            assert attainment.bound_satisfied
+            assert attainment.tight
+            assert attainment.m == Fraction(n - 1, 4)
+            assert attainment.q == attainment.m
+            assert attainment.f == 0
+
+    def test_ute_attains_bound_tightly(self):
+        for n in (5, 9, 13, 21):
+            attainment = ute_lamport_attainment(n)
+            assert attainment.bound_satisfied
+            assert attainment.tight
+            assert attainment.m == Fraction(n - 1, 2)
+            assert attainment.q == 0
+
+    def test_ute_tolerates_double_the_corruption_of_ate(self):
+        for n in (9, 17, 33):
+            assert ute_lamport_attainment(n).m == 2 * ate_lamport_attainment(n).m
+
+
+class TestCorruptionCapacity:
+    def test_headline_numbers(self):
+        capacity = corruption_capacity(10)
+        assert capacity.ate_per_receiver == Fraction(10, 4)
+        assert capacity.ute_per_receiver == 5
+        assert capacity.ate_total_per_round == 25
+        assert capacity.ute_total_per_round == 50
+        assert capacity.santoro_widmayer_total_per_round == 5
+
+    def test_capacity_exceeds_sw_bound_for_all_n(self):
+        for n in range(5, 60):
+            capacity = corruption_capacity(n)
+            assert capacity.ate_total_per_round > capacity.santoro_widmayer_total_per_round
+            assert capacity.ute_total_per_round == 2 * capacity.ate_total_per_round
+
+
+class TestFastDecisionComparison:
+    def test_fields(self):
+        comparison = fast_decision_comparison(9)
+        assert comparison["martin_alvisi_max_static_faulty"] == 1
+        assert comparison["ate_integer_alpha"] == 2
+        assert comparison["ate_fast_decision_rounds"] == 2
+        assert comparison["ate_unanimous_decision_rounds"] == 1
+        assert comparison["phase_king_decision_rounds"] == 2 * (byzantine_resilience(9) + 1)
+
+    def test_ate_tolerates_more_than_martin_alvisi(self):
+        """The paper: (n-1)/4 per-round corrupting senders versus n/5 static ones."""
+        for n in (9, 13, 21, 41):
+            comparison = fast_decision_comparison(n)
+            assert comparison["ate_integer_alpha"] >= comparison["martin_alvisi_max_static_faulty"]

@@ -1,0 +1,72 @@
+"""Tests for the Table 1 reproduction and rendering helpers."""
+
+from repro.analysis.comparison import related_work_rows, render_table, table1_rows
+from repro.core.parameters import AteParameters, UteParameters
+
+
+class TestTable1:
+    def test_two_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 2
+        assert rows[0].algorithm == "A_{T,E}"
+        assert rows[1].algorithm == "U_{T,E,alpha}"
+
+    def test_row_texts_mention_key_predicates(self):
+        ate_row, ute_row = table1_rows()
+        assert "AHO" in ate_row.safety_predicate
+        assert "P^{A,live}" in ate_row.liveness_predicate
+        assert "alpha < n/4" in ate_row.max_alpha_description
+        assert "P^{U,safe}" in ute_row.safety_predicate
+        assert "alpha < n/2" in ute_row.max_alpha_description
+
+    def test_condition_checks_are_executable(self):
+        ate_row, ute_row = table1_rows()
+        good_ate = AteParameters.symmetric(n=9, alpha=1)
+        assert ate_row.condition_check(9, 1, float(good_ate.threshold), float(good_ate.enough))
+        assert not ate_row.condition_check(9, 1, 2, 2)
+        good_ute = UteParameters.minimal(n=9, alpha=2)
+        assert ute_row.condition_check(9, 2, float(good_ute.threshold), float(good_ute.enough))
+        assert not ute_row.condition_check(9, 2, 3, 3)
+
+    def test_as_dict(self):
+        data = table1_rows()[0].as_dict()
+        assert set(data) == {
+            "algorithm",
+            "safety_predicate",
+            "liveness_predicate",
+            "conditions",
+            "max_alpha",
+        }
+
+
+class TestRelatedWork:
+    def test_rows_cover_all_compared_approaches(self):
+        rows = related_work_rows(12)
+        approaches = " ".join(str(row["approach"]) for row in rows)
+        assert "Santoro" in approaches
+        assert "A_{T,E}" in approaches
+        assert "U_{T,E,alpha}" in approaches
+        assert "Martin-Alvisi" in approaches
+        assert "Byzantine" in approaches
+
+    def test_bounds_are_consistent_with_analysis(self):
+        rows = {row["approach"]: row for row in related_work_rows(12)}
+        assert rows["A_{T,E} (this paper)"]["bound"] == 2
+        assert rows["U_{T,E,alpha} (this paper)"]["bound"] == 5
+        assert rows["Martin-Alvisi fast Byzantine consensus"]["bound"] == 2
+
+
+class TestRenderTable:
+    def test_renders_columns_and_rows(self):
+        text = render_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "22" in lines[3]
+
+    def test_empty_table(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_explicit_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]

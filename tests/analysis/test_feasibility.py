@@ -1,0 +1,135 @@
+"""Tests for the threshold feasibility analysis (Sections 3.3 and 4.3)."""
+
+from fractions import Fraction
+
+from repro.analysis.feasibility import (
+    ate_feasible,
+    ate_integer_solutions,
+    ate_max_alpha,
+    ate_symmetric_parameters,
+    ate_threshold_region,
+    resilience_row,
+    resilience_table,
+    ute_feasible,
+    ute_integer_solutions,
+    ute_max_alpha,
+    ute_minimal_parameters,
+)
+
+
+class TestAteFeasibility:
+    def test_quarter_bound(self):
+        assert ate_feasible(8, 1)
+        assert ate_feasible(9, 2)
+        assert not ate_feasible(8, 2)   # 2 == n/4
+        assert not ate_feasible(9, 3)   # 3 > 9/4
+        assert ate_feasible(100, 24)
+        assert not ate_feasible(100, 25)
+
+    def test_max_alpha_values(self):
+        assert ate_max_alpha(4) == 0
+        assert ate_max_alpha(8) == 1
+        assert ate_max_alpha(9) == 2
+        assert ate_max_alpha(12) == 2
+        assert ate_max_alpha(13) == 3
+        assert ate_max_alpha(16) == 3
+        assert ate_max_alpha(17) == 4
+
+    def test_max_alpha_is_largest_feasible_integer(self):
+        for n in range(4, 40):
+            alpha = ate_max_alpha(n)
+            assert ate_feasible(n, alpha)
+            assert not ate_feasible(n, alpha + 1)
+
+    def test_symmetric_parameters_match_proposition_4(self):
+        params = ate_symmetric_parameters(10, 2)
+        assert params.threshold == Fraction(2, 3) * 14
+        assert params.enough == params.threshold
+
+    def test_threshold_region(self):
+        region = ate_threshold_region(12, 2)
+        assert region is not None
+        low, high = region
+        assert low == Fraction(12, 2) + 4   # n/2 + 2*alpha dominates here
+        assert high == 12
+        assert ate_threshold_region(8, 2) is None
+
+    def test_integer_solutions_exist_exactly_when_feasible(self):
+        for n in (8, 9, 12, 13):
+            for alpha in range(0, n // 2):
+                solutions = ate_integer_solutions(n, alpha)
+                if solutions:
+                    assert ate_feasible(n, alpha)
+                if not ate_feasible(n, alpha):
+                    assert solutions == []
+
+    def test_integer_solutions_satisfy_theorem(self):
+        from repro.core.parameters import AteParameters
+
+        for threshold, enough in ate_integer_solutions(12, 2):
+            params = AteParameters(n=12, alpha=2, threshold=threshold, enough=enough)
+            assert params.satisfies_theorem_1
+
+
+class TestUteFeasibility:
+    def test_half_bound(self):
+        assert ute_feasible(8, 3)
+        assert not ute_feasible(8, 4)
+        assert ute_feasible(9, 4)
+        assert not ute_feasible(9, 5)
+
+    def test_max_alpha_values(self):
+        assert ute_max_alpha(4) == 1
+        assert ute_max_alpha(8) == 3
+        assert ute_max_alpha(9) == 4
+        assert ute_max_alpha(10) == 4
+        assert ute_max_alpha(11) == 5
+
+    def test_max_alpha_is_largest_feasible_integer(self):
+        for n in range(3, 40):
+            alpha = ute_max_alpha(n)
+            assert ute_feasible(n, alpha)
+            assert not ute_feasible(n, alpha + 1)
+
+    def test_ute_tolerates_roughly_twice_ate(self):
+        for n in range(8, 60):
+            assert ute_max_alpha(n) >= 2 * ate_max_alpha(n) - 1
+
+    def test_minimal_parameters(self):
+        params = ute_minimal_parameters(9, 2)
+        assert params.threshold == Fraction(9, 2) + 2
+
+    def test_integer_solutions(self):
+        assert ute_integer_solutions(9, 3)          # feasible with integer thresholds (T = E = 8)
+        # At the extreme alpha = 4 the real-valued region (8.5 <= E < 9) contains
+        # no integer, so a deployment needs fractional (comparison-only) thresholds.
+        assert ute_integer_solutions(9, 4) == []
+        assert ute_integer_solutions(9, 5) == []    # infeasible outright
+        from repro.core.parameters import UteParameters
+
+        for threshold, enough in ute_integer_solutions(9, 3):
+            assert UteParameters(n=9, alpha=3, threshold=threshold, enough=enough).satisfies_theorem_2
+
+
+class TestResilienceRows:
+    def test_row_fields_are_consistent(self):
+        row = resilience_row(12)
+        assert row.n == 12
+        assert row.ate_max_alpha == 2
+        assert row.ute_max_alpha == 5
+        assert row.santoro_widmayer_per_round == 6
+        assert row.ate_max_corrupted_receptions_per_round == 2 * 12
+        assert row.ute_max_corrupted_receptions_per_round == 5 * 12
+        assert row.byzantine_static_max_f == 3
+        assert row.fast_byzantine_max_f == 2
+
+    def test_table_covers_requested_sizes(self):
+        rows = resilience_table(iter([4, 8, 16]))
+        assert [row.n for row in rows] == [4, 8, 16]
+
+    def test_paper_headline_comparison(self):
+        """The paper's headline: per-round corruption capacity far exceeds floor(n/2)."""
+        for n in (20, 40, 80):
+            row = resilience_row(n)
+            assert row.ate_max_corrupted_receptions_per_round > row.santoro_widmayer_per_round
+            assert row.ute_max_corrupted_receptions_per_round > row.ate_max_corrupted_receptions_per_round

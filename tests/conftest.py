@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heardof import HeardOfCollection, ReceptionVector, RoundRecord
+
+
+def make_reception_vector(receiver, intended, received):
+    """Build a ReceptionVector from plain dicts (helper used across tests)."""
+    return ReceptionVector(receiver=receiver, received=received, intended=intended)
+
+
+def make_round(round_num, n, received_by, intended_value=0, intended_by=None):
+    """Build a RoundRecord for ``n`` processes.
+
+    ``received_by`` maps receiver -> {sender: payload}.  ``intended_by``
+    (optional) maps sender -> payload; defaults to every sender intending
+    ``intended_value`` for every receiver.
+    """
+    receptions = {}
+    for receiver in range(n):
+        intended = {
+            sender: (intended_by[sender] if intended_by is not None else intended_value)
+            for sender in range(n)
+        }
+        receptions[receiver] = ReceptionVector(
+            receiver=receiver,
+            received=dict(received_by.get(receiver, {})),
+            intended=intended,
+        )
+    return RoundRecord(round_num=round_num, receptions=receptions)
+
+
+def perfect_round(round_num, n, value=0):
+    """A round where everyone receives ``value`` from everyone, uncorrupted."""
+    received_by = {receiver: {sender: value for sender in range(n)} for receiver in range(n)}
+    return make_round(round_num, n, received_by, intended_value=value)
+
+
+def collection_of(n, rounds):
+    return HeardOfCollection(n, rounds)
+
+
+@pytest.fixture
+def small_n():
+    return 6
+
+
+@pytest.fixture
+def perfect_collection():
+    """Three perfect rounds for n = 4."""
+    n = 4
+    return HeardOfCollection(n, [perfect_round(r, n) for r in (1, 2, 3)])

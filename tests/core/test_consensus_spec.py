@@ -1,0 +1,117 @@
+"""Unit tests for the consensus specification checker (Section 2.3)."""
+
+from repro.core.consensus import ConsensusSpec, DecisionRecord
+
+
+def _decisions(mapping):
+    return [DecisionRecord(process=p, value=v, round_num=r) for p, (v, r) in mapping.items()]
+
+
+class TestConsensusSpec:
+    def test_all_clauses_satisfied(self):
+        spec = ConsensusSpec()
+        outcome = spec.evaluate(
+            initial_values={0: 1, 1: 1, 2: 0},
+            decisions=_decisions({0: (1, 2), 1: (1, 2), 2: (1, 3)}),
+            rounds_executed=3,
+        )
+        assert outcome.agreement and outcome.integrity and outcome.termination
+        assert outcome.all_satisfied and outcome.safe and outcome.validity
+        assert outcome.decision_values == (1,)
+        assert outcome.first_decision_round == 2
+        assert outcome.last_decision_round == 3
+        assert not outcome.violations
+
+    def test_agreement_violation(self):
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 0, 1: 1},
+            decisions=_decisions({0: (0, 1), 1: (1, 1)}),
+            rounds_executed=1,
+        )
+        assert not outcome.agreement
+        assert not outcome.all_satisfied
+        assert any("Agreement" in v for v in outcome.violations)
+
+    def test_integrity_violation_requires_unanimity(self):
+        # Mixed initial values: deciding either one is fine for Integrity.
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 0, 1: 1},
+            decisions=_decisions({0: (1, 1), 1: (1, 1)}),
+            rounds_executed=1,
+        )
+        assert outcome.integrity
+        # Unanimous initial values: deciding something else violates Integrity.
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 5, 1: 5},
+            decisions=_decisions({0: (7, 1), 1: (7, 1)}),
+            rounds_executed=1,
+        )
+        assert not outcome.integrity
+        assert any("Integrity" in v for v in outcome.violations)
+
+    def test_termination_requires_all_processes(self):
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 0, 1: 0, 2: 0},
+            decisions=_decisions({0: (0, 1)}),
+            rounds_executed=10,
+        )
+        assert not outcome.termination
+        assert outcome.safe
+        assert any("Termination" in v for v in outcome.violations)
+
+    def test_no_decisions_is_safe_but_not_live(self):
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 0, 1: 1}, decisions=[], rounds_executed=5
+        )
+        assert outcome.safe
+        assert not outcome.termination
+        assert outcome.first_decision_round is None
+        assert outcome.last_decision_round is None
+        assert outcome.decision_values == ()
+
+    def test_validity_detects_invented_values(self):
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 0, 1: 1},
+            decisions=_decisions({0: (99, 1), 1: (99, 1)}),
+            rounds_executed=1,
+        )
+        assert not outcome.validity
+        # Validity is not part of all_satisfied by default.
+        assert outcome.agreement and outcome.integrity and outcome.termination
+        # But can be promoted to a violation.
+        strict = ConsensusSpec(require_validity=True).evaluate(
+            initial_values={0: 0, 1: 1},
+            decisions=_decisions({0: (99, 1), 1: (99, 1)}),
+            rounds_executed=1,
+        )
+        assert any("Validity" in v for v in strict.violations)
+
+    def test_conflicting_double_decision_breaks_agreement(self):
+        decisions = [
+            DecisionRecord(process=0, value=0, round_num=1),
+            DecisionRecord(process=0, value=1, round_num=2),
+            DecisionRecord(process=1, value=0, round_num=1),
+        ]
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 0, 1: 0}, decisions=decisions, rounds_executed=2
+        )
+        assert not outcome.agreement
+
+    def test_summary_mentions_key_facts(self):
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 1, 1: 1},
+            decisions=_decisions({0: (1, 2), 1: (1, 2)}),
+            rounds_executed=2,
+        )
+        summary = outcome.summary()
+        assert "decided=2/2" in summary
+        assert "agreement=ok" in summary
+
+    def test_decision_rounds_property(self):
+        outcome = ConsensusSpec().evaluate(
+            initial_values={0: 1, 1: 1},
+            decisions=_decisions({0: (1, 2), 1: (1, 4)}),
+            rounds_executed=4,
+        )
+        assert outcome.decision_rounds == {0: 2, 1: 4}
+        assert outcome.decided_processes == (0, 1)

@@ -1,0 +1,180 @@
+"""Unit tests for heard-of sets, kernels and altered spans (Section 2.1)."""
+
+import pytest
+
+from repro.core.heardof import (
+    HeardOfCollection,
+    ReceptionVector,
+    altered_heard_of,
+    altered_span,
+    kernel,
+    safe_kernel,
+)
+from tests.conftest import make_round, perfect_round
+
+
+class TestAlteredHeardOf:
+    def test_empty_sets(self):
+        assert altered_heard_of([], []) == frozenset()
+
+    def test_no_corruption(self):
+        assert altered_heard_of([0, 1, 2], [0, 1, 2]) == frozenset()
+
+    def test_some_corruption(self):
+        assert altered_heard_of([0, 1, 2], [0, 2]) == frozenset({1})
+
+    def test_all_corrupted(self):
+        assert altered_heard_of([0, 1], []) == frozenset({0, 1})
+
+    def test_sho_not_subset_raises(self):
+        with pytest.raises(ValueError):
+            altered_heard_of([0, 1], [2])
+
+
+class TestKernels:
+    def test_kernel_of_identical_sets(self):
+        ho = {0: {0, 1, 2}, 1: {0, 1, 2}, 2: {0, 1, 2}}
+        assert kernel(ho) == frozenset({0, 1, 2})
+
+    def test_kernel_is_intersection(self):
+        ho = {0: {0, 1, 2}, 1: {1, 2}, 2: {2}}
+        assert kernel(ho) == frozenset({2})
+
+    def test_kernel_empty_when_disjoint(self):
+        ho = {0: {0}, 1: {1}}
+        assert kernel(ho) == frozenset()
+
+    def test_kernel_of_empty_mapping(self):
+        assert kernel({}) == frozenset()
+
+    def test_safe_kernel_same_semantics(self):
+        sho = {0: {0, 1}, 1: {1, 2}}
+        assert safe_kernel(sho) == frozenset({1})
+
+
+class TestAlteredSpan:
+    def test_no_corruption_anywhere(self):
+        ho = {0: {0, 1}, 1: {0, 1}}
+        sho = {0: {0, 1}, 1: {0, 1}}
+        assert altered_span(ho, sho) == frozenset()
+
+    def test_union_of_corrupted_senders(self):
+        ho = {0: {0, 1, 2}, 1: {0, 1, 2}}
+        sho = {0: {0, 2}, 1: {0, 1}}
+        assert altered_span(ho, sho) == frozenset({1, 2})
+
+
+class TestReceptionVector:
+    def test_heard_of_is_support(self):
+        rv = ReceptionVector(receiver=0, received={1: "a", 2: "b"}, intended={1: "a", 2: "b", 3: "c"})
+        assert rv.heard_of == frozenset({1, 2})
+
+    def test_safe_heard_of_requires_matching_payload(self):
+        rv = ReceptionVector(receiver=0, received={1: "a", 2: "X"}, intended={1: "a", 2: "b"})
+        assert rv.safe_heard_of == frozenset({1})
+        assert rv.altered_heard_of == frozenset({2})
+
+    def test_count_of_and_senders_of(self):
+        rv = ReceptionVector(
+            receiver=0,
+            received={1: 5, 2: 5, 3: 7},
+            intended={1: 5, 2: 5, 3: 7},
+        )
+        assert rv.count_of(5) == 2
+        assert rv.count_of(7) == 1
+        assert rv.count_of(42) == 0
+        assert rv.senders_of(5) == frozenset({1, 2})
+
+    def test_sender_missing_from_intended_is_not_safe(self):
+        # A reception from a sender with no intended entry cannot be "safe".
+        rv = ReceptionVector(receiver=0, received={9: 1}, intended={})
+        assert rv.safe_heard_of == frozenset()
+        assert rv.altered_heard_of == frozenset({9})
+
+
+class TestRoundRecord:
+    def test_perfect_round_has_full_kernels(self):
+        record = perfect_round(1, 4)
+        assert record.kernel() == frozenset(range(4))
+        assert record.safe_kernel() == frozenset(range(4))
+        assert record.altered_span() == frozenset()
+        assert record.total_corruptions() == 0
+        assert record.total_omissions() == 0
+        assert record.max_aho() == 0
+
+    def test_corrupted_round_statistics(self):
+        n = 3
+        received_by = {
+            0: {0: 0, 1: 99, 2: 0},   # one corruption (from 1)
+            1: {0: 0, 1: 0},           # one omission (from 2)
+            2: {0: 0, 1: 0, 2: 0},
+        }
+        record = make_round(1, n, received_by, intended_value=0)
+        assert record.aho(0) == frozenset({1})
+        assert record.total_corruptions() == 1
+        assert record.total_omissions() == 1
+        assert record.max_aho() == 1
+        assert record.altered_span() == frozenset({1})
+        assert record.kernel() == frozenset({0, 1})
+        assert record.safe_kernel() == frozenset({0})
+
+
+class TestHeardOfCollection:
+    def test_rounds_must_be_consecutive(self):
+        with pytest.raises(ValueError):
+            HeardOfCollection(3, [perfect_round(2, 3)])
+
+    def test_append_enforces_order(self):
+        collection = HeardOfCollection(3, [perfect_round(1, 3)])
+        with pytest.raises(ValueError):
+            collection.append(perfect_round(3, 3))
+        collection.append(perfect_round(2, 3))
+        assert collection.num_rounds == 2
+
+    def test_getitem_is_one_based(self, perfect_collection):
+        assert perfect_collection[1].round_num == 1
+        assert perfect_collection[3].round_num == 3
+        with pytest.raises(KeyError):
+            _ = perfect_collection[4]
+        with pytest.raises(KeyError):
+            _ = perfect_collection[0]
+
+    def test_global_kernels_on_perfect_collection(self, perfect_collection):
+        everyone = frozenset(range(4))
+        assert perfect_collection.global_kernel() == everyone
+        assert perfect_collection.global_safe_kernel() == everyone
+        assert perfect_collection.global_altered_span() == frozenset()
+        assert perfect_collection.is_benign()
+
+    def test_global_sets_shrink_with_faults(self):
+        n = 3
+        clean = perfect_round(1, n)
+        received_by = {
+            0: {0: 0, 1: 99, 2: 0},
+            1: {0: 0, 1: 0, 2: 5},
+            2: {0: 0, 2: 0},
+        }
+        faulty = make_round(2, n, received_by, intended_value=0)
+        collection = HeardOfCollection(n, [clean, faulty])
+        assert collection.global_kernel() == frozenset({0, 2})
+        assert collection.global_safe_kernel() == frozenset({0})
+        assert collection.global_altered_span() == frozenset({1, 2})
+        assert not collection.is_benign()
+        assert collection.max_aho() == 1
+        assert collection.total_corruptions() == 2
+        assert collection.total_omissions() == 1
+        assert collection.corruption_profile() == [0, 2]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            HeardOfCollection(0)
+
+    def test_ho_sho_aho_accessors(self):
+        n = 3
+        received_by = {0: {0: 0, 1: 7}, 1: {0: 0, 1: 0, 2: 0}, 2: {}}
+        record = make_round(1, n, received_by, intended_value=0)
+        collection = HeardOfCollection(n, [record])
+        assert collection.ho(0, 1) == frozenset({0, 1})
+        assert collection.sho(0, 1) == frozenset({0})
+        assert collection.aho(0, 1) == frozenset({1})
+        assert collection.ho(2, 1) == frozenset()

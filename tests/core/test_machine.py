@@ -1,0 +1,70 @@
+"""Unit tests for HO machines and their correctness verdicts."""
+
+from repro.algorithms import AteAlgorithm
+from repro.core.consensus import ConsensusSpec, DecisionRecord
+from repro.core.heardof import HeardOfCollection
+from repro.core.machine import HOMachine
+from repro.core.parameters import AteParameters
+from repro.core.predicates import AlphaSafePredicate, TruePredicate
+from tests.conftest import make_round, perfect_round
+
+
+def _outcome(initial_values, decisions, rounds=3):
+    return ConsensusSpec().evaluate(initial_values, decisions, rounds_executed=rounds)
+
+
+class TestHOMachine:
+    def test_default_predicate_is_true(self):
+        machine = HOMachine(AteAlgorithm(AteParameters.symmetric(n=4, alpha=0)))
+        assert isinstance(machine.predicate, TruePredicate)
+        assert "A(" in machine.name
+
+    def test_verdict_predicate_held_and_satisfied(self):
+        n = 4
+        machine = HOMachine(
+            AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)), AlphaSafePredicate(0)
+        )
+        collection = HeardOfCollection(n, [perfect_round(1, n)])
+        outcome = _outcome(
+            {p: 0 for p in range(n)},
+            [DecisionRecord(process=p, value=0, round_num=1) for p in range(n)],
+            rounds=1,
+        )
+        verdict = machine.check(collection, outcome)
+        assert verdict.predicate_held
+        assert not verdict.counterexample
+        assert not verdict.safety_counterexample
+
+    def test_verdict_counterexample_requires_predicate(self):
+        n = 4
+        machine = HOMachine(
+            AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)), AlphaSafePredicate(0)
+        )
+        # Corrupted collection: the predicate does not hold, so a failed
+        # outcome is NOT a counterexample to the machine's claim.
+        received_by = {p: {q: (99 if q == 1 else 0) for q in range(n)} for p in range(n)}
+        collection = HeardOfCollection(n, [make_round(1, n, received_by, intended_value=0)])
+        bad_outcome = _outcome({p: 0 for p in range(n)}, [], rounds=1)
+        verdict = machine.check(collection, bad_outcome)
+        assert not verdict.predicate_held
+        assert verdict.predicate_violations
+        assert not verdict.counterexample
+
+    def test_verdict_flags_genuine_counterexample(self):
+        n = 4
+        machine = HOMachine(
+            AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)), AlphaSafePredicate(0)
+        )
+        collection = HeardOfCollection(n, [perfect_round(1, n)])
+        disagreeing = _outcome(
+            {p: p % 2 for p in range(n)},
+            [
+                DecisionRecord(process=0, value=0, round_num=1),
+                DecisionRecord(process=1, value=1, round_num=1),
+            ],
+            rounds=1,
+        )
+        verdict = machine.check(collection, disagreeing)
+        assert verdict.predicate_held
+        assert verdict.counterexample
+        assert verdict.safety_counterexample

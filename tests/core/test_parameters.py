@@ -1,0 +1,113 @@
+"""Unit tests for the threshold parameter containers (Theorems 1 and 2 conditions)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.parameters import AteParameters, UteParameters
+
+
+class TestAteParameters:
+    def test_symmetric_choice_formula(self):
+        params = AteParameters.symmetric(n=9, alpha=0)
+        assert params.threshold == Fraction(6)
+        assert params.enough == Fraction(6)
+        params = AteParameters.symmetric(n=9, alpha=2)
+        assert params.threshold == Fraction(2, 3) * 13
+        assert params.enough == params.threshold
+
+    def test_symmetric_choice_is_one_third_rule_at_alpha_zero(self):
+        params = AteParameters.symmetric(n=12, alpha=0)
+        assert params.threshold == Fraction(2, 3) * 12 == 8
+
+    def test_symmetric_choice_satisfies_theorem_1_within_bound(self):
+        for n in range(4, 30):
+            for alpha in range(0, (n - 1) // 4 + 1):
+                if alpha < n / 4:
+                    params = AteParameters.symmetric(n=n, alpha=alpha)
+                    assert params.satisfies_theorem_1, (n, alpha)
+                    assert params.satisfies_agreement_condition
+                    assert params.satisfies_integrity_condition
+                    assert params.satisfies_termination_condition
+
+    def test_theorem_1_fails_beyond_quarter(self):
+        n = 8
+        alpha = 2  # alpha == n/4: infeasible
+        # With the symmetric formula E = 2(n + 2a)/3 = 8 = n, n > E fails.
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        assert not params.satisfies_theorem_1
+
+    def test_minimal_enough_constructor(self):
+        params = AteParameters.minimal_enough(n=10, alpha=1, enough=8)
+        assert params.threshold == 2 * (10 + 2 - 8)
+        assert params.enough == 8
+
+    def test_agreement_condition_boundaries(self):
+        # E >= n/2 + alpha and T >= 2(n + 2a - E)
+        ok = AteParameters(n=10, alpha=1, threshold=12, enough=6)
+        assert ok.satisfies_agreement_condition
+        bad_e = AteParameters(n=10, alpha=1, threshold=14, enough=5.5)
+        assert not bad_e.satisfies_agreement_condition
+        bad_t = AteParameters(n=10, alpha=1, threshold=11.9, enough=6)
+        assert not bad_t.satisfies_agreement_condition
+
+    def test_integrity_condition(self):
+        assert AteParameters(n=10, alpha=2, threshold=4, enough=2).satisfies_integrity_condition
+        assert not AteParameters(n=10, alpha=2, threshold=3, enough=2).satisfies_integrity_condition
+        assert not AteParameters(n=10, alpha=2, threshold=4, enough=1).satisfies_integrity_condition
+
+    def test_is_safe(self):
+        params = AteParameters.symmetric(n=9, alpha=1)
+        assert params.is_safe
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AteParameters(n=0, alpha=0, threshold=1, enough=1)
+        with pytest.raises(ValueError):
+            AteParameters(n=5, alpha=-1, threshold=1, enough=1)
+        with pytest.raises(ValueError):
+            AteParameters(n=5, alpha=6, threshold=1, enough=1)
+        with pytest.raises(ValueError):
+            AteParameters(n=5, alpha=0, threshold=-1, enough=1)
+
+    def test_str_is_informative(self):
+        text = str(AteParameters.symmetric(n=9, alpha=1))
+        assert "n=9" in text and "alpha=1" in text
+
+
+class TestUteParameters:
+    def test_minimal_choice_formula(self):
+        params = UteParameters.minimal(n=9, alpha=2)
+        assert params.threshold == Fraction(9, 2) + 2
+        assert params.enough == params.threshold
+
+    def test_minimal_choice_satisfies_theorem_2_within_bound(self):
+        for n in range(3, 30):
+            for alpha in range(0, n // 2 + 1):
+                if alpha < n / 2:
+                    params = UteParameters.minimal(n=n, alpha=alpha)
+                    assert params.satisfies_theorem_2, (n, alpha)
+
+    def test_theorem_2_fails_at_half(self):
+        n = 8
+        params = UteParameters.minimal(n=n, alpha=4)  # E = T = 8 = n
+        assert not params.satisfies_theorem_2
+
+    def test_agreement_and_integrity_conditions(self):
+        ok = UteParameters(n=10, alpha=2, threshold=7, enough=7)
+        assert ok.satisfies_agreement_condition
+        assert ok.satisfies_integrity_condition
+        assert not UteParameters(n=10, alpha=2, threshold=6.9, enough=7).satisfies_agreement_condition
+        assert not UteParameters(n=10, alpha=2, threshold=7, enough=6.9).satisfies_integrity_condition
+
+    def test_u_safe_minimum(self):
+        params = UteParameters(n=9, alpha=2, threshold=6.5, enough=6.5)
+        assert params.u_safe_minimum == max(Fraction(9) + 4 - Fraction(13, 2) - 1, Fraction(13, 2), 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UteParameters(n=0, alpha=0, threshold=1, enough=1)
+        with pytest.raises(ValueError):
+            UteParameters(n=5, alpha=-1, threshold=1, enough=1)
+        with pytest.raises(ValueError):
+            UteParameters(n=5, alpha=0, threshold=1, enough=-2)

@@ -1,0 +1,256 @@
+"""Unit tests for the communication predicates (Section 2.2, Figures 1-2, Section 5.2)."""
+
+import pytest
+
+from repro.core.heardof import HeardOfCollection
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    ALivePredicate,
+    AndPredicate,
+    BenignPredicate,
+    ByzantineAsynchronousPredicate,
+    ByzantineSynchronousPredicate,
+    OrPredicate,
+    PermanentAlphaPredicate,
+    TruePredicate,
+    ULivePredicate,
+    USafePredicate,
+)
+from tests.conftest import make_round, perfect_round
+
+
+def _collection_with_corruption(n=4, corrupt_receiver=0, corrupt_senders=(1,), rounds=2):
+    """A collection where one receiver gets corrupted messages from given senders each round."""
+    records = []
+    for r in range(1, rounds + 1):
+        received_by = {
+            receiver: {sender: 0 for sender in range(n)} for receiver in range(n)
+        }
+        for sender in corrupt_senders:
+            received_by[corrupt_receiver][sender] = 99
+        records.append(make_round(r, n, received_by, intended_value=0))
+    return HeardOfCollection(n, records)
+
+
+class TestAlphaSafePredicate:
+    def test_holds_on_benign_collection(self, perfect_collection):
+        assert AlphaSafePredicate(0).holds(perfect_collection)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaSafePredicate(-1)
+
+    def test_bound_is_per_receiver_per_round(self):
+        collection = _collection_with_corruption(corrupt_senders=(1, 2))
+        assert not AlphaSafePredicate(1).holds(collection)
+        assert AlphaSafePredicate(2).holds(collection)
+        assert AlphaSafePredicate(3).holds(collection)
+
+    def test_violations_are_descriptive(self):
+        collection = _collection_with_corruption(corrupt_senders=(1, 2), rounds=1)
+        violations = AlphaSafePredicate(1).violations(collection)
+        assert len(violations) == 1
+        assert "AHO" in violations[0]
+
+    def test_check_round(self):
+        collection = _collection_with_corruption(corrupt_senders=(1,), rounds=1)
+        assert AlphaSafePredicate(1).check_round(collection[1]) is True
+        assert AlphaSafePredicate(0).check_round(collection[1]) is False
+
+
+class TestPermanentAlphaPredicate:
+    def test_counts_distinct_corrupting_senders(self):
+        collection = _collection_with_corruption(corrupt_senders=(1, 2))
+        assert PermanentAlphaPredicate(2).holds(collection)
+        assert not PermanentAlphaPredicate(1).holds(collection)
+
+    def test_perm_alpha_implies_alpha(self):
+        # The paper: P^perm_alpha implies P_alpha.  With |AS| <= alpha, no
+        # receiver can see more than alpha corrupted senders in a round.
+        collection = _collection_with_corruption(corrupt_senders=(1,))
+        alpha = 1
+        assert PermanentAlphaPredicate(alpha).holds(collection)
+        assert AlphaSafePredicate(alpha).holds(collection)
+
+
+class TestBenignPredicate:
+    def test_holds_iff_no_corruption(self, perfect_collection):
+        assert BenignPredicate().holds(perfect_collection)
+        corrupted = _collection_with_corruption()
+        assert not BenignPredicate().holds(corrupted)
+        assert BenignPredicate().violations(corrupted)
+
+    def test_omissions_are_still_benign(self):
+        n = 3
+        received_by = {0: {0: 0}, 1: {0: 0, 1: 0, 2: 0}, 2: {}}
+        record = make_round(1, n, received_by, intended_value=0)
+        collection = HeardOfCollection(n, [record])
+        assert BenignPredicate().holds(collection)
+
+
+class TestCombinators:
+    def test_and_requires_all(self, perfect_collection):
+        both = AndPredicate([BenignPredicate(), AlphaSafePredicate(0)])
+        assert both.holds(perfect_collection)
+        corrupted = _collection_with_corruption()
+        assert not both.holds(corrupted)
+        assert both.violations(corrupted)
+
+    def test_and_flattens_nested(self):
+        nested = AndPredicate([AndPredicate([TruePredicate(), TruePredicate()]), TruePredicate()])
+        assert len(nested.parts) == 3
+
+    def test_and_operator(self, perfect_collection):
+        combined = BenignPredicate() & AlphaSafePredicate(0)
+        assert isinstance(combined, AndPredicate)
+        assert combined.holds(perfect_collection)
+
+    def test_or_any(self, perfect_collection):
+        either = OrPredicate([AlphaSafePredicate(0), PermanentAlphaPredicate(0)])
+        assert either.holds(perfect_collection)
+        corrupted = _collection_with_corruption(corrupt_senders=(1, 2))
+        assert not OrPredicate([AlphaSafePredicate(0), AlphaSafePredicate(1)]).holds(corrupted)
+        assert OrPredicate([AlphaSafePredicate(0), AlphaSafePredicate(5)]).holds(corrupted)
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            AndPredicate([])
+        with pytest.raises(ValueError):
+            OrPredicate([])
+
+    def test_true_predicate(self, perfect_collection):
+        assert TruePredicate().holds(perfect_collection)
+        assert TruePredicate().check_round(perfect_collection[1]) is True
+
+
+class TestALivePredicate:
+    def test_holds_on_perfect_collection(self):
+        n = 6
+        collection = HeardOfCollection(n, [perfect_round(r, n) for r in (1, 2, 3)])
+        predicate = ALivePredicate(n=n, alpha=1, threshold=4, enough=4)
+        assert predicate.holds(collection)
+        witnesses = predicate.good_rounds(collection)
+        assert witnesses and witnesses[0].round_num == 1
+        assert witnesses[0].pi2 == frozenset(range(n))
+
+    def test_fails_without_uniformisation_round(self):
+        n = 4
+        # Everyone only ever hears of themselves: no round has |Pi2| > T.
+        received_by = {p: {p: 0} for p in range(n)}
+        records = [make_round(r, n, received_by, intended_value=0) for r in (1, 2, 3)]
+        collection = HeardOfCollection(n, records)
+        predicate = ALivePredicate(n=n, alpha=0, threshold=2, enough=2)
+        assert not predicate.holds(collection)
+        assert any("uniformisation" in v for v in predicate.violations(collection))
+
+    def test_corrupted_good_round_does_not_count(self):
+        n = 4
+        received_by = {p: {q: (99 if p == 0 and q == 1 else 0) for q in range(n)} for p in range(n)}
+        records = [make_round(1, n, received_by, intended_value=0)]
+        collection = HeardOfCollection(n, records)
+        # Process 0's HO != SHO, so it cannot be in Pi1; the others still form
+        # a big enough Pi1 only if |Pi1| > E - alpha.
+        strict = ALivePredicate(n=n, alpha=0, threshold=3, enough=3.5)
+        assert strict.good_round_witness(records[0]) is None
+
+    def test_requires_ho_and_sho_recurrence_after_good_round(self):
+        n = 4
+        good = perfect_round(1, n)
+        # After the good round, process 3 is isolated (hears of nobody).
+        received_by = {p: {q: 0 for q in range(n)} for p in range(3)}
+        received_by[3] = {}
+        starving = make_round(2, n, received_by, intended_value=0)
+        collection = HeardOfCollection(n, [good, starving])
+        predicate = ALivePredicate(n=n, alpha=0, threshold=2, enough=2)
+        violations = predicate.violations(collection)
+        assert violations, "process 3 never hears of > T processes after the good round"
+
+
+class TestUSafePredicate:
+    def test_minimum_formula(self):
+        predicate = USafePredicate(n=9, alpha=2, threshold=6.5, enough=6.5)
+        assert predicate.minimum == max(9 + 4 - 6.5 - 1, 6.5, 2)
+
+    def test_holds_and_fails(self):
+        n = 4
+        collection = HeardOfCollection(n, [perfect_round(1, n)])
+        assert USafePredicate(n=n, alpha=0, threshold=2, enough=3).holds(collection)
+        # A receiver with only 2 safe receptions fails a minimum of 2.
+        received_by = {0: {0: 0, 1: 0}, 1: {q: 0 for q in range(n)}, 2: {q: 0 for q in range(n)}, 3: {q: 0 for q in range(n)}}
+        weak = HeardOfCollection(n, [make_round(1, n, received_by, intended_value=0)])
+        assert not USafePredicate(n=n, alpha=0, threshold=2, enough=3).holds(weak)
+        assert USafePredicate(n=n, alpha=0, threshold=2, enough=3).violations(weak)
+
+    def test_check_round(self):
+        n = 4
+        record = perfect_round(1, n)
+        assert USafePredicate(n=n, alpha=0, threshold=2, enough=3).check_round(record) is True
+
+
+class TestULivePredicate:
+    def test_holds_with_three_clean_rounds_after_even_round(self):
+        n = 4
+        collection = HeardOfCollection(n, [perfect_round(r, n) for r in range(1, 5)])
+        predicate = ULivePredicate(n=n, alpha=0, threshold=2, enough=2)
+        assert predicate.holds(collection)
+        phases = predicate.good_phases(collection)
+        assert phases and phases[0].phase == 1
+        assert phases[0].pi0 == frozenset(range(n))
+
+    def test_needs_enough_recorded_rounds(self):
+        n = 4
+        collection = HeardOfCollection(n, [perfect_round(r, n) for r in (1, 2, 3)])
+        predicate = ULivePredicate(n=n, alpha=0, threshold=2, enough=2)
+        # Rounds 2*phi0 + 2 = 4 not recorded yet -> no witness.
+        assert not predicate.holds(collection)
+
+    def test_corruption_at_round_2phi_blocks_witness(self):
+        n = 4
+        rounds = [perfect_round(1, n)]
+        received_by = {p: {q: (99 if p == 0 and q == 1 else 0) for q in range(n)} for p in range(n)}
+        rounds.append(make_round(2, n, received_by, intended_value=0))
+        rounds.extend(perfect_round(r, n) for r in (3, 4))
+        collection = HeardOfCollection(n, rounds)
+        predicate = ULivePredicate(n=n, alpha=0, threshold=2, enough=2)
+        assert predicate.good_phase_witness(collection, 1) is None
+
+    def test_different_ho_sets_block_witness(self):
+        n = 4
+        rounds = [perfect_round(1, n)]
+        # Round 2: process 0 hears of a strict subset (but uncorrupted).
+        received_by = {p: {q: 0 for q in range(n)} for p in range(n)}
+        received_by[0] = {0: 0, 1: 0, 2: 0}
+        rounds.append(make_round(2, n, received_by, intended_value=0))
+        rounds.extend(perfect_round(r, n) for r in (3, 4))
+        collection = HeardOfCollection(n, rounds)
+        predicate = ULivePredicate(n=n, alpha=0, threshold=2, enough=2)
+        assert predicate.good_phase_witness(collection, 1) is None
+
+
+class TestByzantinePredicates:
+    def test_sync_predicate(self):
+        n = 4
+        collection = HeardOfCollection(n, [perfect_round(1, n)])
+        assert ByzantineSynchronousPredicate(n, 0).holds(collection)
+        corrupted = _collection_with_corruption(n=n, corrupt_senders=(1,))
+        assert ByzantineSynchronousPredicate(n, 1).holds(corrupted)
+        assert not ByzantineSynchronousPredicate(n, 0).holds(corrupted)
+
+    def test_async_predicate(self):
+        n = 4
+        corrupted = _collection_with_corruption(n=n, corrupt_senders=(1,))
+        assert ByzantineAsynchronousPredicate(n, 1).holds(corrupted)
+        assert not ByzantineAsynchronousPredicate(n, 0).holds(corrupted)
+
+    def test_async_predicate_ho_requirement(self):
+        n = 3
+        received_by = {0: {0: 0}, 1: {q: 0 for q in range(n)}, 2: {q: 0 for q in range(n)}}
+        collection = HeardOfCollection(n, [make_round(1, n, received_by, intended_value=0)])
+        assert not ByzantineAsynchronousPredicate(n, 0).holds(collection)
+        assert ByzantineAsynchronousPredicate(n, 2).holds(collection)
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            ByzantineSynchronousPredicate(4, 5)
+        with pytest.raises(ValueError):
+            ByzantineAsynchronousPredicate(4, -1)

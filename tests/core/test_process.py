@@ -1,0 +1,63 @@
+"""Unit tests for the HOProcess abstraction."""
+
+import pytest
+
+from repro.core.process import DecisionChangedError, HOProcess
+
+
+class EchoProcess(HOProcess):
+    """Minimal concrete process used to exercise the base class."""
+
+    def send(self, round_num):
+        return self.initial_value
+
+    def transition(self, round_num, reception):
+        if len(reception) == self.n:
+            self._decide(self.initial_value, round_num)
+
+
+class TestHOProcess:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            EchoProcess(pid=0, n=0, initial_value=1)
+        with pytest.raises(ValueError):
+            EchoProcess(pid=5, n=3, initial_value=1)
+        with pytest.raises(ValueError):
+            EchoProcess(pid=-1, n=3, initial_value=1)
+
+    def test_initially_undecided(self):
+        proc = EchoProcess(pid=0, n=3, initial_value=7)
+        assert not proc.decided
+        assert proc.decision is None
+        assert proc.decision_round is None
+
+    def test_send_to_defaults_to_broadcast(self):
+        proc = EchoProcess(pid=1, n=3, initial_value="x")
+        assert proc.send_to(1, 0) == proc.send(1) == "x"
+
+    def test_decide_records_round_and_value(self):
+        proc = EchoProcess(pid=0, n=2, initial_value=3)
+        proc.transition(4, {0: 3, 1: 3})
+        assert proc.decided and proc.decision == 3 and proc.decision_round == 4
+
+    def test_decision_is_irrevocable(self):
+        proc = EchoProcess(pid=0, n=2, initial_value=3)
+        proc._decide(3, 1)
+        proc._decide(3, 5)  # same value is a no-op
+        assert proc.decision_round == 1
+        with pytest.raises(DecisionChangedError):
+            proc._decide(4, 6)
+
+    def test_state_snapshot_default(self):
+        proc = EchoProcess(pid=0, n=2, initial_value=3)
+        snapshot = proc.state_snapshot()
+        assert snapshot == {"decision": None, "decision_round": None}
+        proc._decide(3, 2)
+        assert proc.state_snapshot() == {"decision": 3, "decision_round": 2}
+
+    def test_clone_is_independent(self):
+        proc = EchoProcess(pid=0, n=2, initial_value=3)
+        copy = proc.clone()
+        copy._decide(3, 1)
+        assert not proc.decided
+        assert copy.decided

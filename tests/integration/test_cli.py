@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "ate"
+        assert args.n == 9
+
+    def test_experiment_parsing(self):
+        args = build_parser().parse_args(["experiment", "E3", "--json", "out.json"])
+        assert args.id == "E3" and args.json == "out.json"
+
+
+class TestRunCommand:
+    def test_run_reliable(self, capsys):
+        code = main(["run", "--algorithm", "ate", "--n", "6", "--alpha", "0",
+                     "--adversary", "reliable", "--workload", "split", "--max-rounds", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decided=6/6" in out
+
+    def test_run_verbose_corruption(self, capsys):
+        code = main(["run", "--algorithm", "ute", "--n", "8", "--alpha", "1",
+                     "--adversary", "corruption", "--workload", "random",
+                     "--max-rounds", "40", "--seed", "3", "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corruptions per round" in out
+
+    def test_run_phase_king_byzantine(self, capsys):
+        code = main(["run", "--algorithm", "phase-king", "--n", "9", "--f", "2",
+                     "--adversary", "byzantine", "--workload", "split", "--max-rounds", "10"])
+        assert code == 0
+
+    def test_unknown_algorithm_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "paxos"])
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment_returns_error(self, capsys):
+        code = main(["experiment", "E99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_e9_runs_and_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "e9.json"
+        code = main(["experiment", "E9", "--json", str(target)])
+        assert code == 0
+        assert "E9" in capsys.readouterr().out
+        data = json.loads(target.read_text())
+        assert data["experiment_id"] == "E9"
+        assert data["rows"]
+
+
+class TestTableCommand:
+    def test_table_all(self, capsys):
+        code = main(["table", "all", "--n", "12", "--ns", "8", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Related-work comparison" in out
+        assert "Resilience across system sizes" in out
+
+    def test_table_table1_only(self, capsys):
+        code = main(["table", "table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A_{T,E}" in out and "Resilience" not in out

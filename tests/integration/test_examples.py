@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example runs to completion and reports success."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=[e.stem for e in EXAMPLES])
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples are expected to print their findings"
+
+
+def test_expected_examples_are_present():
+    names = {example.stem for example in EXAMPLES}
+    assert {
+        "quickstart",
+        "block_faults_santoro_widmayer",
+        "byzantine_vs_dynamic_faults",
+        "threshold_explorer",
+        "async_transport_demo",
+    } <= names
+
+
+def test_quickstart_reports_consensus(capsys):
+    """The quickstart's main() is importable and reports a satisfied run."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import quickstart  # type: ignore
+
+        quickstart.main()
+    finally:
+        sys.path.pop(0)
+    out = capsys.readouterr().out
+    assert "consensus satisfied    : True" in out
+    assert "counterexample to paper: False" in out

@@ -1,0 +1,139 @@
+"""Integration tests for the Section 5.1 lower-bound comparisons (E8-E10 claims)."""
+
+from repro.adversary import (
+    BlockFaultAdversary,
+    PeriodicGoodRoundAdversary,
+    ReliableAdversary,
+    RotatingSenderCorruptionAdversary,
+    SequentialAdversary,
+)
+from repro.algorithms import AteAlgorithm, PhaseKingAlgorithm, UteAlgorithm
+from repro.analysis.bounds import martin_alvisi_max_faulty, santoro_widmayer_bound
+from repro.analysis.feasibility import ate_max_alpha
+from repro.core.parameters import AteParameters, UteParameters
+from repro.simulation.engine import run_consensus
+from repro.workloads import generators
+
+
+class TestSantoroWidmayerCircumvention:
+    def test_block_faults_at_the_impossibility_threshold_keep_safety(self):
+        """floor(n/2) corrupted transmissions per round, arranged in blocks —
+        the exact pattern behind the impossibility of [18] — never violates
+        safety of A_{T,E} or U_{T,E,alpha}."""
+        n = 10
+        block = santoro_widmayer_bound(n)
+        for seed in range(4):
+            for algorithm in (
+                AteAlgorithm.symmetric(n=n, alpha=ate_max_alpha(n)),
+                UteAlgorithm.minimal(n=n, alpha=2),
+            ):
+                result = run_consensus(
+                    algorithm,
+                    generators.split(n),
+                    BlockFaultAdversary(faults_per_round=block, value_domain=(0, 1), seed=seed),
+                    max_rounds=40,
+                )
+                assert result.safe
+
+    def test_block_faults_plus_good_rounds_terminate(self):
+        n = 10
+        block = santoro_widmayer_bound(n)
+        adversary = PeriodicGoodRoundAdversary(
+            inner=BlockFaultAdversary(faults_per_round=block, value_domain=(0, 1), seed=5),
+            period=5,
+        )
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=ate_max_alpha(n)),
+            generators.split(n),
+            adversary,
+            max_rounds=60,
+        )
+        assert result.all_satisfied
+
+    def test_per_round_corruption_far_beyond_sw_bound_is_absorbed(self):
+        """alpha corrupted receptions per receiver = alpha*n per round in total,
+        well above floor(n/2), and safety still holds (the n^2/4 capacity claim)."""
+        n = 12
+        alpha = ate_max_alpha(n)
+        adversary = PeriodicGoodRoundAdversary(
+            inner=RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=3),
+            period=4,
+        )
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=alpha), generators.split(n), adversary, max_rounds=60
+        )
+        assert result.all_satisfied
+        peak = max(result.collection.corruption_profile())
+        assert peak > santoro_widmayer_bound(n)
+
+
+class TestFastDecisionVsMartinAlvisi:
+    def test_ate_is_fast_with_more_per_round_corruption_than_the_static_bound(self):
+        n = 9
+        alpha = ate_max_alpha(n)
+        assert alpha > martin_alvisi_max_faulty(n)
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        # Fault-free run: two rounds.
+        clean = run_consensus(
+            AteAlgorithm(params), generators.split(n), ReliableAdversary(), max_rounds=6
+        )
+        assert clean.last_decision_round == 2
+        # Corruption in the first rounds, then a clean round: decision follows quickly.
+        burst = SequentialAdversary(
+            [
+                (1, RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=2)),
+                (4, ReliableAdversary()),
+            ]
+        )
+        recovered = run_consensus(
+            AteAlgorithm(params), generators.split(n), burst, max_rounds=20
+        )
+        assert recovered.all_satisfied
+        assert recovered.last_decision_round <= 6
+
+    def test_phase_king_pays_static_fault_latency(self):
+        n = 9
+        f = 2
+        result = run_consensus(
+            PhaseKingAlgorithm(n, f=f), generators.split(n), ReliableAdversary(), max_rounds=12
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round == 2 * (f + 1)
+        # A_{T,E} decides in 2 rounds in the same environment.
+        fast = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=2), generators.split(n), ReliableAdversary(), max_rounds=12
+        )
+        assert fast.last_decision_round == 2
+
+
+class TestLamportBoundConfigurations:
+    def test_u_safe_only_configuration_never_violates_safety(self):
+        """U at alpha = (n-1)/2 (the Lamport M value): safety under P_alpha-bounded corruption."""
+        n = 9
+        alpha = (n - 1) // 2
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        for seed in range(4):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.split(n),
+                RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+                max_rounds=30,
+            )
+            assert result.safe
+
+    def test_a_safe_and_fast_configuration(self):
+        """A at alpha = (n-1)/4: still fast in clean runs, safe under that corruption level."""
+        n = 9
+        alpha = (n - 1) // 4
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        clean = run_consensus(
+            AteAlgorithm(params), generators.split(n), ReliableAdversary(), max_rounds=6
+        )
+        assert clean.last_decision_round == 2
+        corrupted = run_consensus(
+            AteAlgorithm(params),
+            generators.split(n),
+            RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=1),
+            max_rounds=30,
+        )
+        assert corrupted.safe

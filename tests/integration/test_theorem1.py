@@ -1,0 +1,220 @@
+"""Integration tests for Theorem 1: ``⟨A_{T,E}, P_alpha ∧ P^{A,live}⟩`` solves consensus.
+
+Each test runs full HO machines end to end — algorithm, adversary,
+predicate check, consensus check — across seeds, initial configurations
+and parameter choices, asserting that no run satisfying the predicates
+violates any consensus clause, and that the fast-decision claims hold.
+"""
+
+import pytest
+
+from repro.adversary import (
+    PartialGoodRoundAdversary,
+    PeriodicGoodRoundAdversary,
+    RandomCorruptionAdversary,
+    RandomOmissionAdversary,
+    ReliableAdversary,
+    RotatingSenderCorruptionAdversary,
+    SplitVoteAdversary,
+)
+from repro.algorithms import AteAlgorithm
+from repro.core.machine import HOMachine
+from repro.core.parameters import AteParameters
+from repro.core.predicates import AlphaSafePredicate
+from repro.simulation.engine import SimulationConfig, run_algorithm, run_consensus
+from repro.verification.invariants import standard_monitors
+from repro.workloads import generators
+
+
+class TestTheorem1Safety:
+    @pytest.mark.parametrize("n,alpha", [(5, 1), (9, 2), (12, 2), (13, 3)])
+    def test_safety_under_alpha_bounded_corruption(self, n, alpha):
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        machine = HOMachine(AteAlgorithm(params), AlphaSafePredicate(alpha))
+        for seed in range(4):
+            initial = generators.uniform_random(n, seed=seed)
+            monitors = standard_monitors(initial)
+            result = run_algorithm(
+                AteAlgorithm(params),
+                initial,
+                RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+                config=SimulationConfig(max_rounds=40, record_states=True),
+                observers=monitors,
+            )
+            verdict = result.verdict(machine)
+            assert verdict.predicate_held
+            assert not verdict.safety_counterexample
+            assert all(monitor.ok for monitor in monitors)
+
+    def test_safety_under_rotating_sender_corruption(self):
+        """Dynamic faults: a different set of senders is corrupted every round."""
+        n, alpha = 9, 2
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        for seed in range(4):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.split(n),
+                RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+                max_rounds=30,
+            )
+            assert result.check_predicate(AlphaSafePredicate(alpha))
+            assert result.safe
+
+    def test_safety_under_split_vote_attack_within_budget(self):
+        n, alpha = 12, 2
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        result = run_consensus(
+            AteAlgorithm(params),
+            generators.split(n),
+            SplitVoteAdversary(budget_per_receiver=alpha, value_a=0, value_b=1, seed=1),
+            max_rounds=30,
+        )
+        assert result.safe
+
+    def test_safety_under_unbounded_omissions(self):
+        """Like OneThirdRule, A_{T,E} stays safe under any number of benign faults."""
+        n = 9
+        params = AteParameters.symmetric(n=n, alpha=1)
+        for drop in (0.4, 0.8, 1.0):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.split(n),
+                RandomOmissionAdversary(drop_probability=drop, seed=int(drop * 10)),
+                max_rounds=25,
+            )
+            assert result.safe
+
+    def test_integrity_with_unanimous_inputs_despite_corruption(self):
+        n, alpha = 9, 2
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        for seed in range(4):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.unanimous(n, value=7),
+                PeriodicGoodRoundAdversary(
+                    inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1, 7), seed=seed),
+                    period=3,
+                ),
+                max_rounds=30,
+            )
+            assert result.integrity
+            if result.decision_values:
+                assert result.decision_values == (7,)
+
+
+class TestTheorem1Liveness:
+    def test_termination_under_sporadic_good_rounds(self):
+        n, alpha = 9, 2
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        for seed in range(4):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.uniform_random(n, seed=seed),
+                PeriodicGoodRoundAdversary(
+                    inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+                    period=4,
+                ),
+                max_rounds=60,
+            )
+            assert result.all_satisfied
+            # Every decision happens no later than shortly after a perfect round.
+            assert result.last_decision_round <= 8
+
+    def test_liveness_predicate_holds_when_run_continues_past_good_rounds(self):
+        """On a prefix long enough to contain good rounds *and* later activity,
+        the finite-trace reading of P^A,live holds for this environment."""
+        n, alpha = 9, 2
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        algorithm = AteAlgorithm(params)
+        liveness = algorithm.liveness_predicate()
+        from repro.simulation.engine import SimulationConfig, run_algorithm
+
+        result = run_algorithm(
+            AteAlgorithm(params),
+            generators.uniform_random(n, seed=1),
+            PeriodicGoodRoundAdversary(
+                inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=1),
+                period=4,
+            ),
+            config=SimulationConfig(max_rounds=20, min_rounds=20, record_states=False),
+        )
+        assert liveness.holds(result.collection)
+        assert result.all_satisfied
+
+    def test_termination_with_partial_good_rounds(self):
+        """The general Figure 1 structure: only Π¹ hears (exactly) Π², yet consensus completes."""
+        n, alpha = 9, 1
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        pi2 = list(range(8))            # |Π²| = 8 > T ≈ 7.33
+        pi1 = list(range(9))            # everyone
+        adversary = PartialGoodRoundAdversary(
+            inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=3),
+            pi1=pi1,
+            pi2=pi2,
+            period=3,
+        )
+        result = run_consensus(
+            AteAlgorithm(params), generators.split(n), adversary, max_rounds=60
+        )
+        assert result.all_satisfied
+
+    def test_fast_decision_fault_free(self):
+        n = 9
+        params = AteParameters.symmetric(n=n, alpha=2)
+        split_result = run_consensus(
+            AteAlgorithm(params), generators.split(n), ReliableAdversary(), max_rounds=10
+        )
+        assert split_result.all_satisfied and split_result.last_decision_round == 2
+        unanimous_result = run_consensus(
+            AteAlgorithm(params), generators.unanimous(n, value=1), ReliableAdversary(), max_rounds=10
+        )
+        assert unanimous_result.all_satisfied and unanimous_result.last_decision_round == 1
+
+    def test_decision_values_are_always_initial_values(self):
+        """Validity: corrupted values never leak into decisions under P_alpha
+        with in-range parameters (corruption domain includes poison values)."""
+        n, alpha = 9, 2
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        for seed in range(4):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.split(n),
+                PeriodicGoodRoundAdversary(
+                    inner=RandomCorruptionAdversary(alpha=alpha, seed=seed),  # poison values
+                    period=3,
+                ),
+                max_rounds=60,
+            )
+            assert result.all_satisfied
+            assert result.validity
+
+
+class TestTheorem1Boundary:
+    def test_agreement_breaks_when_corruption_exceeds_assumed_alpha(self):
+        """Outside P_alpha the machine makes no promise — and a targeted attack
+        with a larger budget does break Agreement for small thresholds."""
+        n = 4
+        params = AteParameters(n=n, alpha=1, threshold=2, enough=2)
+        broken = 0
+        for seed in range(6):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.split(n),
+                SplitVoteAdversary(budget_per_receiver=2, value_a=0, value_b=1, seed=seed),
+                max_rounds=10,
+            )
+            if not result.agreement:
+                broken += 1
+        assert broken > 0
+
+    def test_same_attack_is_harmless_with_theorem_1_thresholds(self):
+        n = 4
+        params = AteParameters.symmetric(n=n, alpha=0)
+        for seed in range(6):
+            result = run_consensus(
+                AteAlgorithm(params),
+                generators.split(n),
+                SplitVoteAdversary(budget_per_receiver=0, value_a=0, value_b=1, seed=seed),
+                max_rounds=10,
+            )
+            assert result.safe

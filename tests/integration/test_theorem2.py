@@ -1,0 +1,185 @@
+"""Integration tests for Theorem 2: ``⟨U_{T,E,α}, P_α ∧ P^{U,safe} ∧ P^{U,live}⟩`` solves consensus."""
+
+import pytest
+
+from repro.adversary import (
+    MinimumSafeDeliveryAdversary,
+    PeriodicGoodPhaseAdversary,
+    RandomCorruptionAdversary,
+    ReliableAdversary,
+    SplitVoteAdversary,
+    StaticByzantineAdversary,
+)
+from repro.algorithms import UteAlgorithm
+from repro.core.machine import HOMachine
+from repro.core.parameters import UteParameters
+from repro.core.predicates import AlphaSafePredicate, AndPredicate, USafePredicate
+from repro.simulation.engine import SimulationConfig, run_algorithm, run_consensus
+from repro.verification.invariants import SingleTrueVoteMonitor, standard_monitors
+from repro.workloads import generators
+
+
+def _theorem2_adversary(params: UteParameters, seed: int, period: int = 3):
+    """An environment satisfying the full predicate conjunction of Theorem 2."""
+    inner = RandomCorruptionAdversary(
+        alpha=int(params.alpha), value_domain=(0, 1), seed=seed
+    )
+    constrained = MinimumSafeDeliveryAdversary.for_strict_bound(
+        inner, float(params.u_safe_minimum)
+    )
+    return PeriodicGoodPhaseAdversary(inner=constrained, period=period)
+
+
+class TestTheorem2Safety:
+    @pytest.mark.parametrize("n,alpha", [(6, 1), (8, 2), (9, 3), (11, 4)])
+    def test_safety_and_liveness_under_full_predicate(self, n, alpha):
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        machine = HOMachine(UteAlgorithm(params), UteAlgorithm(params).safety_predicate())
+        for seed in range(3):
+            initial = generators.uniform_random(n, seed=seed)
+            monitors = standard_monitors(initial) + [SingleTrueVoteMonitor()]
+            result = run_algorithm(
+                UteAlgorithm(params),
+                initial,
+                _theorem2_adversary(params, seed),
+                config=SimulationConfig(max_rounds=60, record_states=True),
+                observers=monitors,
+            )
+            verdict = result.verdict(machine)
+            assert verdict.predicate_held, verdict.predicate_violations[:2]
+            assert not verdict.counterexample
+            assert result.all_satisfied
+            assert all(monitor.ok for monitor in monitors)
+
+    def test_safety_under_corruption_only_p_alpha(self):
+        """P_alpha-bounded corruption without omissions also satisfies P^U,safe
+        for moderate alpha, so safety is owed and must hold."""
+        n, alpha = 9, 2
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        safety = AndPredicate(
+            [AlphaSafePredicate(alpha), USafePredicate(n, alpha, params.threshold, params.enough)]
+        )
+        for seed in range(4):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.split(n),
+                RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+                max_rounds=50,
+            )
+            assert safety.holds(result.collection)
+            assert result.safe
+
+    def test_integrity_with_unanimous_inputs(self):
+        n, alpha = 9, 3
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        for seed in range(3):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.unanimous(n, value=5),
+                _theorem2_adversary(params, seed),
+                max_rounds=60,
+            )
+            assert result.integrity
+            assert result.decision_values in ((), (5,))
+
+    def test_safety_under_static_byzantine_senders(self):
+        """Section 5.2: the classical setting with f = alpha permanent corrupted senders.
+
+        With ``E = n/2 + f`` strictly below ``n − f`` (here f=2, n=10) the
+        clean majority alone can drive decisions, so the machine both stays
+        safe and terminates despite never seeing a corruption-free round.
+        """
+        n, f = 10, 2
+        params = UteParameters.minimal(n=n, alpha=f)
+        for seed in range(3):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.skewed(n, seed=seed),
+                StaticByzantineAdversary(byzantine=range(f), value_domain=(0, 1), seed=seed),
+                max_rounds=60,
+            )
+            assert result.safe
+            assert result.termination
+
+    def test_safety_only_at_extreme_alpha_under_permanent_corruption(self):
+        """At alpha close to n/2, permanent corruption leaves termination out of
+        reach (no clean phase ever occurs) but safety still holds."""
+        n, f = 10, 4
+        params = UteParameters.minimal(n=n, alpha=f)
+        for seed in range(3):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.skewed(n, seed=seed),
+                StaticByzantineAdversary(byzantine=range(f), value_domain=(0, 1), seed=seed),
+                max_rounds=40,
+            )
+            assert result.safe
+
+
+class TestTheorem2Liveness:
+    def test_termination_exactly_after_good_phase_window(self):
+        n, alpha = 8, 2
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        algorithm = UteAlgorithm(params)
+        liveness = algorithm.liveness_predicate()
+        result = run_consensus(
+            UteAlgorithm(params),
+            generators.split(n),
+            _theorem2_adversary(params, seed=9, period=3),
+            max_rounds=80,
+        )
+        assert result.all_satisfied
+        assert liveness.holds(result.collection)
+
+    def test_fault_free_unanimous_decides_in_one_phase(self):
+        n = 8
+        params = UteParameters.minimal(n=n, alpha=2)
+        result = run_consensus(
+            UteAlgorithm(params), generators.unanimous(n, value=1), ReliableAdversary(), max_rounds=10
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round == 2
+
+    def test_higher_alpha_than_ate_is_supported(self):
+        """U tolerates alpha up to just below n/2 — e.g. alpha=4 at n=9, where A is limited to 2."""
+        n, alpha = 9, 4
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        result = run_consensus(
+            UteAlgorithm(params),
+            generators.split(n),
+            _theorem2_adversary(params, seed=2),
+            max_rounds=80,
+        )
+        assert result.safe
+        assert result.termination
+
+
+class TestTheorem2Boundary:
+    def test_agreement_can_break_beyond_the_predicates(self):
+        """With corruption above the tolerated budget and too-small thresholds,
+        the vote mechanism can be split — demonstrating the conditions matter."""
+        n = 6
+        params = UteParameters(n=n, alpha=0, threshold=2, enough=2)
+        broken = 0
+        for seed in range(8):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.split(n),
+                SplitVoteAdversary(budget_per_receiver=3, value_a=0, value_b=1, seed=seed),
+                max_rounds=20,
+            )
+            if not result.safe:
+                broken += 1
+        assert broken > 0
+
+    def test_same_attack_is_harmless_with_theorem_2_thresholds(self):
+        n = 6
+        params = UteParameters.minimal(n=n, alpha=2)
+        for seed in range(6):
+            result = run_consensus(
+                UteAlgorithm(params),
+                generators.split(n),
+                SplitVoteAdversary(budget_per_receiver=2, value_a=0, value_b=1, seed=seed),
+                max_rounds=20,
+            )
+            assert result.safe

@@ -1,0 +1,170 @@
+"""Property-based end-to-end tests: randomly generated P_alpha-compatible
+environments never break the safety of correctly parameterised machines.
+
+These are the "adversarial fuzzing" counterparts of the proofs: hypothesis
+generates system sizes, alpha values, initial configurations and fault
+schedules; the machines' safety clauses must hold whenever the relevant
+predicate holds (which the generated adversaries guarantee by construction).
+Run counts are kept moderate because every example is a full simulation.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    AlphaCapAdversary,
+    RandomCorruptionAdversary,
+    RandomOmissionAdversary,
+    RotatingSenderCorruptionAdversary,
+    UnboundedCorruptionAdversary,
+)
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.analysis.feasibility import ate_max_alpha, ute_max_alpha
+from repro.core.parameters import AteParameters, UteParameters
+from repro.core.predicates import AlphaSafePredicate
+from repro.simulation.engine import run_consensus
+
+SIM_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def ate_configurations(draw):
+    n = draw(st.integers(min_value=5, max_value=12))
+    alpha = draw(st.integers(min_value=0, max_value=max(ate_max_alpha(n), 0)))
+    initial_values = {pid: draw(st.integers(min_value=0, max_value=2)) for pid in range(n)}
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return n, alpha, initial_values, seed
+
+
+@st.composite
+def ute_configurations(draw):
+    n = draw(st.integers(min_value=5, max_value=11))
+    alpha = draw(st.integers(min_value=0, max_value=max(ute_max_alpha(n) - 1, 0)))
+    initial_values = {pid: draw(st.integers(min_value=0, max_value=2)) for pid in range(n)}
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return n, alpha, initial_values, seed
+
+
+class TestAteSafetyProperties:
+    @given(ate_configurations())
+    @SIM_SETTINGS
+    def test_safety_under_random_alpha_bounded_corruption(self, configuration):
+        n, alpha, initial_values, seed = configuration
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        result = run_consensus(
+            AteAlgorithm(params),
+            initial_values,
+            RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1, 2), seed=seed),
+            max_rounds=25,
+        )
+        assert result.check_predicate(AlphaSafePredicate(alpha))
+        assert result.safe
+        assert result.validity or not result.decision_values
+
+    @given(ate_configurations())
+    @SIM_SETTINGS
+    def test_safety_under_capped_unbounded_corruption(self, configuration):
+        """An arbitrary aggressive adversary capped to P_alpha is still harmless."""
+        n, alpha, initial_values, seed = configuration
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        adversary = AlphaCapAdversary(
+            inner=UnboundedCorruptionAdversary(corruption_probability=0.5, value_domain=(0, 1, 2), seed=seed),
+            alpha=alpha,
+        )
+        result = run_consensus(AteAlgorithm(params), initial_values, adversary, max_rounds=25)
+        assert result.check_predicate(AlphaSafePredicate(alpha))
+        assert result.safe
+
+    @given(ate_configurations(), st.floats(min_value=0.0, max_value=1.0))
+    @SIM_SETTINGS
+    def test_safety_under_omissions_and_corruption(self, configuration, drop_probability):
+        n, alpha, initial_values, seed = configuration
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        result = run_consensus(
+            AteAlgorithm(params),
+            initial_values,
+            RandomCorruptionAdversary(
+                alpha=alpha,
+                drop_probability=drop_probability,
+                value_domain=(0, 1, 2),
+                seed=seed,
+            ),
+            max_rounds=20,
+        )
+        assert result.safe
+
+    @given(ate_configurations())
+    @SIM_SETTINGS
+    def test_integrity_from_unanimous_configurations(self, configuration):
+        n, alpha, _, seed = configuration
+        params = AteParameters.symmetric(n=n, alpha=alpha)
+        result = run_consensus(
+            AteAlgorithm(params),
+            {pid: 1 for pid in range(n)},
+            RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1, 2), seed=seed),
+            max_rounds=20,
+        )
+        assert result.integrity
+        assert result.decision_values in ((), (1,))
+
+
+def _ute_safety_adversary(params: UteParameters, alpha: int, seed: int):
+    """P_alpha-bounded corruption constrained to also satisfy P^U,safe."""
+    from repro.adversary import MinimumSafeDeliveryAdversary
+
+    inner = RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1, 2), seed=seed)
+    return MinimumSafeDeliveryAdversary.for_strict_bound(inner, float(params.u_safe_minimum))
+
+
+class TestUteSafetyProperties:
+    @given(ute_configurations())
+    @SIM_SETTINGS
+    def test_safety_under_full_safety_predicate(self, configuration):
+        n, alpha, initial_values, seed = configuration
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        algorithm = UteAlgorithm(params)
+        result = run_consensus(
+            algorithm,
+            initial_values,
+            _ute_safety_adversary(params, alpha, seed),
+            max_rounds=30,
+        )
+        assert result.check_predicate(algorithm.safety_predicate())
+        assert result.safe
+
+    @given(ute_configurations())
+    @SIM_SETTINGS
+    def test_integrity_from_unanimous_configurations(self, configuration):
+        n, alpha, _, seed = configuration
+        params = UteParameters.minimal(n=n, alpha=alpha)
+        result = run_consensus(
+            UteAlgorithm(params),
+            {pid: 2 for pid in range(n)},
+            _ute_safety_adversary(params, alpha, seed),
+            max_rounds=30,
+        )
+        assert result.integrity
+        assert result.decision_values in ((), (2,))
+
+
+class TestBaselineSafetyProperties:
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SIM_SETTINGS
+    def test_one_third_rule_safe_under_any_omission_rate(self, n, drop_probability, seed):
+        from repro.algorithms import OneThirdRuleAlgorithm
+
+        result = run_consensus(
+            OneThirdRuleAlgorithm(n),
+            {pid: pid % 2 for pid in range(n)},
+            RandomOmissionAdversary(drop_probability=drop_probability, seed=seed),
+            max_rounds=15,
+        )
+        assert result.safe

@@ -1,0 +1,146 @@
+"""Property-based tests for the heard-of set machinery (model-level invariants)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heardof import (
+    HeardOfCollection,
+    ReceptionVector,
+    RoundRecord,
+    altered_heard_of,
+    altered_span,
+    kernel,
+    safe_kernel,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+process_ids = st.integers(min_value=0, max_value=7)
+payloads = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def reception_vectors(draw, n=None):
+    n = n if n is not None else draw(st.integers(min_value=1, max_value=6))
+    receiver = draw(st.integers(min_value=0, max_value=n - 1))
+    intended = {sender: draw(payloads) for sender in range(n)}
+    received = {}
+    for sender in range(n):
+        fate = draw(st.sampled_from(["drop", "deliver", "corrupt"]))
+        if fate == "deliver":
+            received[sender] = intended[sender]
+        elif fate == "corrupt":
+            received[sender] = intended[sender] + 10  # guaranteed different
+    return ReceptionVector(receiver=receiver, received=received, intended=intended)
+
+
+@st.composite
+def round_records(draw, n=None, round_num=1):
+    n = n if n is not None else draw(st.integers(min_value=1, max_value=5))
+    receptions = {}
+    for receiver in range(n):
+        intended = {sender: draw(payloads) for sender in range(n)}
+        received = {}
+        for sender in range(n):
+            fate = draw(st.sampled_from(["drop", "deliver", "corrupt"]))
+            if fate == "deliver":
+                received[sender] = intended[sender]
+            elif fate == "corrupt":
+                received[sender] = intended[sender] + 10
+        receptions[receiver] = ReceptionVector(
+            receiver=receiver, received=received, intended=intended
+        )
+    return RoundRecord(round_num=round_num, receptions=receptions)
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestReceptionVectorProperties:
+    @given(reception_vectors())
+    @settings(max_examples=200)
+    def test_sho_subset_of_ho(self, rv):
+        assert rv.safe_heard_of <= rv.heard_of
+
+    @given(reception_vectors())
+    @settings(max_examples=200)
+    def test_aho_is_difference(self, rv):
+        assert rv.altered_heard_of == rv.heard_of - rv.safe_heard_of
+        assert rv.altered_heard_of == altered_heard_of(rv.heard_of, rv.safe_heard_of)
+
+    @given(reception_vectors())
+    @settings(max_examples=200)
+    def test_counts_sum_to_heard_of_size(self, rv):
+        total = sum(rv.count_of(value) for value in set(rv.received.values()))
+        assert total == len(rv.heard_of)
+
+    @given(reception_vectors())
+    @settings(max_examples=200)
+    def test_lemma_1_model_invariant(self, rv):
+        """|R_p(v)| <= |Q_p(v)| + |AHO(p)| for every value v (Lemma 1)."""
+        from collections import Counter
+
+        intended_counts = Counter(rv.intended.values())
+        received_counts = Counter(rv.received.values())
+        aho = len(rv.altered_heard_of)
+        for value, count in received_counts.items():
+            assert count <= intended_counts.get(value, 0) + aho
+
+
+class TestRoundRecordProperties:
+    @given(round_records())
+    @settings(max_examples=100)
+    def test_kernel_is_subset_of_every_ho(self, record):
+        k = record.kernel()
+        for receiver in record.processes:
+            assert k <= record.ho(receiver)
+
+    @given(round_records())
+    @settings(max_examples=100)
+    def test_safe_kernel_subset_of_kernel(self, record):
+        assert record.safe_kernel() <= record.kernel()
+
+    @given(round_records())
+    @settings(max_examples=100)
+    def test_altered_span_is_union_of_ahos(self, record):
+        expected = frozenset().union(*(record.aho(p) for p in record.processes)) if record.processes else frozenset()
+        assert record.altered_span() == expected
+
+    @given(round_records())
+    @settings(max_examples=100)
+    def test_corruptions_bounded_by_max_aho_times_n(self, record):
+        n = len(record.processes)
+        assert record.total_corruptions() <= record.max_aho() * n
+
+    @given(round_records())
+    @settings(max_examples=100)
+    def test_free_function_consistency(self, record):
+        assert kernel(record.ho_sets()) == record.kernel()
+        assert safe_kernel(record.sho_sets()) == record.safe_kernel()
+        assert altered_span(record.ho_sets(), record.sho_sets()) == record.altered_span()
+
+
+class TestCollectionProperties:
+    @given(st.lists(round_records(n=4), min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_global_sets_monotone_under_extension(self, records):
+        records = [
+            RoundRecord(round_num=i + 1, receptions=r.receptions) for i, r in enumerate(records)
+        ]
+        collection = HeardOfCollection(4, records)
+        prefix = HeardOfCollection(4, records[:1])
+        # Kernels can only shrink, altered spans can only grow, as rounds are added.
+        assert collection.global_kernel() <= prefix.global_kernel()
+        assert collection.global_safe_kernel() <= prefix.global_safe_kernel()
+        assert collection.global_altered_span() >= prefix.global_altered_span()
+
+    @given(st.lists(round_records(n=3), min_size=1, max_size=3))
+    @settings(max_examples=50)
+    def test_benign_iff_no_corruption_counted(self, records):
+        records = [
+            RoundRecord(round_num=i + 1, receptions=r.receptions) for i, r in enumerate(records)
+        ]
+        collection = HeardOfCollection(3, records)
+        assert collection.is_benign() == (collection.total_corruptions() == 0)
+        assert collection.is_benign() == (collection.max_aho() == 0)

@@ -1,0 +1,114 @@
+"""Property-based tests relating predicates, adversaries and each other.
+
+The key relationships asserted here come straight from Section 2.2:
+
+* ``P^perm_alpha`` implies ``P_alpha``;
+* ``P_benign`` is exactly ``P_0`` on corruption counts;
+* adversaries advertised as alpha-bounded really produce alpha-safe runs;
+* the AlphaCap combinator turns *any* adversary into an alpha-safe one.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    AlphaCapAdversary,
+    RandomCorruptionAdversary,
+    StaticByzantineAdversary,
+    UnboundedCorruptionAdversary,
+)
+from repro.algorithms import AteAlgorithm
+from repro.core.parameters import AteParameters
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    BenignPredicate,
+    PermanentAlphaPredicate,
+)
+from repro.simulation.engine import run_consensus
+
+SIM_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _collection(n, adversary, seed, rounds=6):
+    """Run a simple algorithm just to generate a heard-of collection."""
+    params = AteParameters.symmetric(n=n, alpha=0)
+    result = run_consensus(
+        AteAlgorithm(params),
+        {pid: pid % 3 for pid in range(n)},
+        adversary,
+        max_rounds=rounds,
+        min_rounds=rounds,
+    )
+    return result.collection
+
+
+class TestPredicateImplications:
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SIM_SETTINGS
+    def test_perm_alpha_implies_alpha(self, n, f, seed):
+        f = min(f, n - 1)
+        adversary = StaticByzantineAdversary(byzantine=range(f), value_domain=(0, 1), seed=seed)
+        collection = _collection(n, adversary, seed)
+        assert PermanentAlphaPredicate(f).holds(collection)
+        assert AlphaSafePredicate(f).holds(collection)
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SIM_SETTINGS
+    def test_benign_equals_alpha_zero(self, n, seed):
+        adversary = RandomCorruptionAdversary(alpha=0, drop_probability=0.3, seed=seed)
+        collection = _collection(n, adversary, seed)
+        assert BenignPredicate().holds(collection) == AlphaSafePredicate(0).holds(collection)
+        assert BenignPredicate().holds(collection)
+
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SIM_SETTINGS
+    def test_alpha_monotonicity(self, n, alpha, seed):
+        adversary = RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed)
+        collection = _collection(n, adversary, seed)
+        assert AlphaSafePredicate(alpha).holds(collection)
+        # Larger alpha is weaker: it must also hold.
+        assert AlphaSafePredicate(alpha + 1).holds(collection)
+        assert AlphaSafePredicate(n).holds(collection)
+
+
+class TestAdversaryPredicateContracts:
+    @given(
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SIM_SETTINGS
+    def test_alpha_cap_enforces_predicate_for_any_inner(self, n, alpha, probability, seed):
+        inner = UnboundedCorruptionAdversary(
+            corruption_probability=probability, value_domain=(0, 1), seed=seed
+        )
+        adversary = AlphaCapAdversary(inner=inner, alpha=alpha)
+        collection = _collection(n, adversary, seed)
+        assert AlphaSafePredicate(alpha).holds(collection)
+
+    @given(
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @SIM_SETTINGS
+    def test_random_corruption_advertises_its_bound(self, n, alpha, seed):
+        adversary = RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed)
+        collection = _collection(n, adversary, seed)
+        assert AlphaSafePredicate(alpha).holds(collection)

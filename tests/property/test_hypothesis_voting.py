@@ -1,0 +1,66 @@
+"""Property-based tests for the vote-counting helpers."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.voting import (
+    smallest_most_frequent,
+    unique_value_above,
+    value_counts,
+    values_above,
+    values_at_least,
+)
+
+value_lists = st.lists(st.integers(min_value=-5, max_value=5), max_size=30)
+
+
+class TestVotingProperties:
+    @given(value_lists)
+    @settings(max_examples=200)
+    def test_value_counts_matches_counter(self, values):
+        assert value_counts(values) == Counter(values)
+
+    @given(value_lists)
+    @settings(max_examples=200)
+    def test_smallest_most_frequent_is_a_maximiser(self, values):
+        winner = smallest_most_frequent(values)
+        if not values:
+            assert winner is None
+            return
+        counts = Counter(values)
+        best = max(counts.values())
+        assert counts[winner] == best
+        # And it is the smallest among the maximisers.
+        assert winner == min(v for v, c in counts.items() if c == best)
+
+    @given(value_lists, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=200)
+    def test_values_above_strictness(self, values, threshold):
+        winners = values_above(values, threshold)
+        counts = Counter(values)
+        for value, count in counts.items():
+            assert (value in winners) == (count > threshold)
+
+    @given(value_lists, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=200)
+    def test_values_at_least_inclusiveness(self, values, minimum):
+        winners = values_at_least(values, minimum)
+        counts = Counter(values)
+        for value, count in counts.items():
+            assert (value in winners) == (count >= minimum)
+
+    @given(value_lists)
+    @settings(max_examples=200)
+    def test_majority_threshold_yields_at_most_one_winner(self, values):
+        """Lemma 2 / Lemma 7 in miniature: a strict-majority threshold cannot
+        be cleared by two distinct values."""
+        threshold = len(values) / 2
+        winners = values_above(values, threshold)
+        assert len(winners) <= 1
+        unique = unique_value_above(values, threshold)
+        if winners:
+            assert unique in winners
+        else:
+            assert unique is None

@@ -1,0 +1,114 @@
+"""Tests for the asyncio engine: same HO semantics over an asynchronous transport."""
+
+import asyncio
+
+import pytest
+
+from repro.adversary import RandomCorruptionAdversary, RandomOmissionAdversary, ReliableAdversary
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.simulation.async_engine import (
+    AsyncSimulationConfig,
+    run_algorithm_async,
+    run_consensus_async,
+)
+from repro.simulation.engine import run_consensus
+from repro.simulation.network import UniformDelay
+from repro.workloads import generators
+
+
+class TestAsyncEngine:
+    def test_fault_free_consensus(self):
+        n = 6
+        result = run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.split(n),
+            ReliableAdversary(),
+            max_rounds=10,
+        )
+        assert result.all_satisfied
+        assert result.metadata["engine"] == "asyncio"
+
+    def test_matches_lockstep_engine_given_same_seeds(self):
+        """Both engines produce identical decisions, rounds and heard-of statistics."""
+        n = 7
+        workload = generators.uniform_random(n, seed=3)
+        sync_result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            workload,
+            RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=21),
+            max_rounds=30,
+        )
+        async_result = run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            workload,
+            RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=21),
+            max_rounds=30,
+        )
+        assert sync_result.outcome.decision_values == async_result.outcome.decision_values
+        assert sync_result.outcome.decision_rounds == async_result.outcome.decision_rounds
+        assert sync_result.rounds_executed == async_result.rounds_executed
+        assert (
+            sync_result.metrics.messages_corrupted == async_result.metrics.messages_corrupted
+        )
+        assert sync_result.metrics.messages_dropped == async_result.metrics.messages_dropped
+
+    def test_network_delays_do_not_change_outcomes(self):
+        n = 6
+        workload = generators.split(n)
+        no_delay = run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0), workload, max_rounds=10
+        )
+        delayed = run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            workload,
+            max_rounds=10,
+            delay_model=UniformDelay(0.0, 0.002),
+            network_seed=4,
+        )
+        assert no_delay.outcome.decision_values == delayed.outcome.decision_values
+        assert no_delay.outcome.decision_rounds == delayed.outcome.decision_rounds
+
+    def test_phase_based_algorithm(self):
+        n = 8
+        result = run_consensus_async(
+            UteAlgorithm.minimal(n=n, alpha=1),
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=6),
+            max_rounds=30,
+            delay_model=UniformDelay(0.0, 0.001),
+            network_seed=2,
+        )
+        assert result.safe
+
+    def test_stops_at_max_rounds_without_termination(self):
+        n = 6
+        result = run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.split(n),
+            RandomOmissionAdversary(drop_probability=1.0, seed=1),
+            max_rounds=5,
+        )
+        assert result.rounds_executed == 5
+        assert not result.termination
+
+    def test_run_algorithm_async_inside_event_loop(self):
+        n = 5
+
+        async def driver():
+            return await run_algorithm_async(
+                AteAlgorithm.symmetric(n=n, alpha=0),
+                generators.unanimous(n, value=2),
+                ReliableAdversary(),
+                config=AsyncSimulationConfig(max_rounds=5),
+            )
+
+        result = asyncio.run(driver())
+        assert result.all_satisfied
+        assert result.outcome.decision_values == (2,)
+
+    def test_collection_round_count_matches(self):
+        n = 5
+        result = run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0), generators.split(n), max_rounds=8
+        )
+        assert result.collection.num_rounds == result.rounds_executed

@@ -1,0 +1,203 @@
+"""Tests for the lockstep simulation engine."""
+
+import pytest
+
+from repro.adversary import (
+    RandomCorruptionAdversary,
+    RandomOmissionAdversary,
+    ReliableAdversary,
+)
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.core.machine import HOMachine
+from repro.core.parameters import AteParameters
+from repro.core.predicates import AlphaSafePredicate
+from repro.simulation.engine import (
+    SimulationConfig,
+    execute_round,
+    run_algorithm,
+    run_consensus,
+    run_machine,
+    run_many,
+)
+from repro.workloads import generators
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_rounds=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(min_rounds=-1)
+
+
+class TestExecuteRound:
+    def test_round_record_contains_reception_vectors(self):
+        n = 4
+        algorithm = AteAlgorithm.symmetric(n=n, alpha=0)
+        processes = algorithm.create_all({p: p for p in range(n)})
+        record = execute_round(processes, 1, ReliableAdversary())
+        assert record.round_num == 1
+        assert set(record.receptions) == set(range(n))
+        # Everyone intended their own initial value to everyone.
+        assert record.receptions[0].intended == {p: p for p in range(n)}
+        assert record.receptions[0].received == {p: p for p in range(n)}
+
+    def test_adversary_cannot_invent_senders(self):
+        n = 3
+
+        class InventingAdversary(ReliableAdversary):
+            def deliver_round(self, round_num, intended):
+                received = super().deliver_round(round_num, intended)
+                received[0][99] = "ghost"
+                return received
+
+        algorithm = AteAlgorithm.symmetric(n=n, alpha=0)
+        processes = algorithm.create_all({p: 0 for p in range(n)})
+        record = execute_round(processes, 1, InventingAdversary())
+        assert 99 not in record.receptions[0].received
+
+    def test_states_recorded_when_requested(self):
+        n = 3
+        algorithm = AteAlgorithm.symmetric(n=n, alpha=0)
+        processes = algorithm.create_all({p: p for p in range(n)})
+        record = execute_round(processes, 1, ReliableAdversary(), record_states=True)
+        assert record.states_before[0]["x"] == 0
+        assert record.states_after[0]["x"] == 0  # smallest most frequent of {0,1,2}
+        record = execute_round(processes, 2, ReliableAdversary(), record_states=False)
+        assert record.states_before == {}
+
+
+class TestRunConsensus:
+    def test_fault_free_run_satisfies_everything(self):
+        n = 6
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=0), generators.split(n), max_rounds=10
+        )
+        assert result.all_satisfied
+        assert result.agreement and result.integrity and result.termination and result.validity
+        assert result.rounds_executed <= 3
+        assert result.metrics.messages_sent == n * n * result.rounds_executed
+        assert result.metrics.messages_corrupted == 0
+
+    def test_stops_when_all_decided(self):
+        n = 6
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=0), generators.unanimous(n), max_rounds=50
+        )
+        assert result.rounds_executed == 1
+
+    def test_min_rounds_keeps_running(self):
+        n = 6
+        config = SimulationConfig(max_rounds=10, min_rounds=5)
+        result = run_algorithm(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.unanimous(n),
+            ReliableAdversary(),
+            config=config,
+        )
+        assert result.rounds_executed == 5
+        # Decisions from round 1 are unaffected by the extra rounds.
+        assert result.outcome.last_decision_round == 1
+        assert result.all_satisfied
+
+    def test_max_rounds_bounds_execution(self):
+        n = 6
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.split(n),
+            RandomOmissionAdversary(drop_probability=1.0, seed=1),
+            max_rounds=7,
+        )
+        assert result.rounds_executed == 7
+        assert not result.termination
+        assert result.safe
+
+    def test_collection_matches_rounds_executed(self):
+        n = 5
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=1, seed=3),
+            max_rounds=20,
+        )
+        assert result.collection.num_rounds == result.rounds_executed
+
+    def test_check_predicate_helper(self):
+        n = 5
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=1, seed=3),
+            max_rounds=20,
+        )
+        assert result.check_predicate(AlphaSafePredicate(1))
+        assert not result.check_predicate(AlphaSafePredicate(0)) or result.metrics.messages_corrupted == 0
+
+    def test_summary_mentions_algorithm_and_adversary(self):
+        n = 4
+        result = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=0), generators.unanimous(n), max_rounds=5
+        )
+        assert "A(" in result.summary()
+        assert "reliable" in result.summary()
+
+
+class TestRunMachine:
+    def test_verdict_for_in_range_machine(self):
+        n = 6
+        params = AteParameters.symmetric(n=n, alpha=1)
+        machine = HOMachine(AteAlgorithm(params), AlphaSafePredicate(1))
+        verdict = run_machine(
+            machine,
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=1, seed=5),
+            config=SimulationConfig(max_rounds=30),
+        )
+        assert verdict.predicate_held
+        assert not verdict.safety_counterexample
+
+    def test_predicate_violation_is_not_counterexample(self):
+        n = 6
+        params = AteParameters.symmetric(n=n, alpha=0)
+        machine = HOMachine(AteAlgorithm(params), AlphaSafePredicate(0))
+        verdict = run_machine(
+            machine,
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=2, seed=5),
+            config=SimulationConfig(max_rounds=10),
+        )
+        assert not verdict.predicate_held
+        assert not verdict.counterexample
+
+
+class TestRunMany:
+    def test_batch_execution(self):
+        n = 5
+        results = run_many(
+            algorithm_factory=lambda index: AteAlgorithm.symmetric(n=n, alpha=0),
+            initial_values_list=[generators.split(n) for _ in range(4)],
+            adversary_factory=lambda index: ReliableAdversary(),
+            max_rounds=10,
+        )
+        assert len(results) == 4
+        assert all(result.all_satisfied for result in results)
+
+
+class TestUteEndToEnd:
+    def test_fault_free_split_decides_by_second_phase(self):
+        n = 8
+        result = run_consensus(
+            UteAlgorithm.minimal(n=n, alpha=0), generators.split(n), max_rounds=12
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round <= 4
+
+    def test_under_alpha_bounded_corruption(self):
+        n = 9
+        result = run_consensus(
+            UteAlgorithm.minimal(n=n, alpha=2),
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=2, value_domain=(0, 1), seed=8),
+            max_rounds=40,
+        )
+        assert result.safe

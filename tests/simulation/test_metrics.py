@@ -1,0 +1,64 @@
+"""Tests for run metrics."""
+
+from repro.core.heardof import HeardOfCollection
+from repro.simulation.metrics import RunMetrics, metrics_from_collection
+from tests.conftest import make_round, perfect_round
+
+
+class TestRunMetrics:
+    def test_rates_with_no_messages(self):
+        metrics = RunMetrics(n=4)
+        assert metrics.corruption_rate == 0.0
+        assert metrics.omission_rate == 0.0
+        assert metrics.first_decision_round is None
+        assert not metrics.all_decided
+
+    def test_derived_properties(self):
+        metrics = RunMetrics(
+            n=3,
+            rounds_executed=4,
+            messages_sent=36,
+            messages_delivered=30,
+            messages_dropped=6,
+            messages_corrupted=9,
+            decision_rounds={0: 2, 1: 3, 2: 4},
+        )
+        assert metrics.first_decision_round == 2
+        assert metrics.last_decision_round == 4
+        assert metrics.decided_count == 3
+        assert metrics.all_decided
+        assert metrics.corruption_rate == 0.25
+        assert abs(metrics.omission_rate - 6 / 36) < 1e-12
+
+    def test_as_dict_round_trips_key_fields(self):
+        metrics = RunMetrics(n=2, rounds_executed=1, messages_sent=4)
+        data = metrics.as_dict()
+        assert data["n"] == 2 and data["messages_sent"] == 4
+
+
+class TestMetricsFromCollection:
+    def test_counts_from_perfect_collection(self):
+        n = 4
+        collection = HeardOfCollection(n, [perfect_round(r, n) for r in (1, 2)])
+        metrics = metrics_from_collection(collection, {0: 2, 1: 2, 2: 2, 3: 2})
+        assert metrics.messages_sent == n * n * 2
+        assert metrics.messages_dropped == 0
+        assert metrics.messages_corrupted == 0
+        assert metrics.all_decided
+
+    def test_counts_faults(self):
+        n = 3
+        received_by = {
+            0: {0: 0, 1: 99, 2: 0},  # 1 corruption
+            1: {0: 0, 1: 0},          # 1 omission
+            2: {0: 0, 1: 0, 2: 0},
+        }
+        collection = HeardOfCollection(n, [make_round(1, n, received_by, intended_value=0)])
+        metrics = metrics_from_collection(collection, {})
+        assert metrics.messages_sent == 9
+        assert metrics.messages_corrupted == 1
+        assert metrics.messages_dropped == 1
+        assert metrics.messages_delivered == 8
+        assert metrics.corruption_per_round == [1]
+        assert metrics.omission_per_round == [1]
+        assert not metrics.all_decided

@@ -1,0 +1,87 @@
+"""Tests for the asynchronous network transport and delay models."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.simulation.network import (
+    AsyncNetwork,
+    ExponentialDelay,
+    NetworkMessage,
+    NoDelay,
+    UniformDelay,
+)
+
+
+class TestDelayModels:
+    def test_no_delay(self):
+        assert NoDelay().sample(random.Random(0)) == 0.0
+
+    def test_uniform_delay_bounds(self):
+        model = UniformDelay(0.001, 0.002)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert 0.001 <= model.sample(rng) <= 0.002
+
+    def test_uniform_delay_validation(self):
+        with pytest.raises(ValueError):
+            UniformDelay(0.5, 0.1)
+        with pytest.raises(ValueError):
+            UniformDelay(-0.1, 0.1)
+
+    def test_exponential_delay_positive(self):
+        model = ExponentialDelay(mean=0.001)
+        rng = random.Random(1)
+        assert all(model.sample(rng) >= 0 for _ in range(20))
+        with pytest.raises(ValueError):
+            ExponentialDelay(mean=0)
+
+    def test_describe(self):
+        assert "uniform" in UniformDelay(0, 1).describe()
+        assert "exponential" in ExponentialDelay(1).describe()
+
+
+class TestAsyncNetwork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncNetwork(0)
+
+    def test_collect_round_returns_messages_until_marker(self):
+        async def scenario():
+            network = AsyncNetwork(3)
+            await network.send(NetworkMessage(sender=1, receiver=0, round_num=1, payload="a"))
+            await network.send(NetworkMessage(sender=2, receiver=0, round_num=1, payload="b"))
+            await network.close_round(0, 1)
+            return await network.collect_round(0, 1)
+
+        received = asyncio.run(scenario())
+        assert received == {1: "a", 2: "b"}
+
+    def test_wrong_round_message_raises(self):
+        async def scenario():
+            network = AsyncNetwork(2)
+            await network.send(NetworkMessage(sender=1, receiver=0, round_num=2, payload="x"))
+            await network.close_round(0, 1)
+            return await network.collect_round(0, 1)
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(scenario())
+
+    def test_wrong_end_of_round_marker_raises(self):
+        async def scenario():
+            network = AsyncNetwork(2)
+            await network.close_round(0, 7)
+            return await network.collect_round(0, 1)
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(scenario())
+
+    def test_delivered_count_increments(self):
+        async def scenario():
+            network = AsyncNetwork(2, delay_model=UniformDelay(0, 0.0005), seed=1)
+            await network.send(NetworkMessage(sender=0, receiver=1, round_num=1, payload="x"))
+            await network.send(NetworkMessage(sender=1, receiver=1, round_num=1, payload="y"))
+            return network.delivered_count
+
+        assert asyncio.run(scenario()) == 2

@@ -1,0 +1,81 @@
+"""Tests for trace serialisation and replay."""
+
+from repro.adversary import RandomCorruptionAdversary
+from repro.algorithms import AteAlgorithm
+from repro.simulation.engine import run_consensus
+from repro.simulation.trace import (
+    ReplayAdversary,
+    collection_from_dict,
+    collection_to_dict,
+    load_trace,
+    save_trace,
+)
+from repro.workloads import generators
+
+
+def _sample_run(n=6, alpha=1, seed=17):
+    return run_consensus(
+        AteAlgorithm.symmetric(n=n, alpha=alpha),
+        generators.uniform_random(n, seed=seed),
+        RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+        max_rounds=25,
+    )
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_heard_of_structure(self):
+        result = _sample_run()
+        data = collection_to_dict(result.collection)
+        rebuilt = collection_from_dict(data)
+        assert rebuilt.n == result.collection.n
+        assert rebuilt.num_rounds == result.collection.num_rounds
+        for r in range(1, rebuilt.num_rounds + 1):
+            for p in range(rebuilt.n):
+                assert rebuilt.ho(p, r) == result.collection.ho(p, r)
+                assert rebuilt.sho(p, r) == result.collection.sho(p, r)
+
+    def test_save_and_load(self, tmp_path):
+        result = _sample_run()
+        path = save_trace(result.collection, tmp_path / "traces" / "run.json")
+        assert path.exists()
+        loaded = load_trace(path)
+        assert loaded.num_rounds == result.collection.num_rounds
+        assert loaded.total_corruptions() == result.collection.total_corruptions()
+
+
+class TestReplayAdversary:
+    def test_replay_reproduces_run_exactly(self):
+        n = 6
+        workload = generators.uniform_random(n, seed=5)
+        original = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            workload,
+            RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=11),
+            max_rounds=25,
+        )
+        replayed = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            workload,
+            ReplayAdversary(original.collection),
+            max_rounds=25,
+        )
+        assert replayed.outcome.decision_values == original.outcome.decision_values
+        assert replayed.outcome.decision_rounds == original.outcome.decision_rounds
+        assert replayed.rounds_executed == original.rounds_executed
+        assert (
+            replayed.metrics.messages_corrupted == original.metrics.messages_corrupted
+        )
+
+    def test_rounds_beyond_recording_are_reliable(self):
+        n = 4
+        workload = generators.split(n)
+        short = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            workload,
+            max_rounds=2,
+        )
+        replay = ReplayAdversary(short.collection)
+        intended = {s: {r: 1 for r in range(n)} for s in range(n)}
+        received = replay.deliver_round(99, intended)
+        assert all(len(inbox) == n for inbox in received.values())
+        assert all(payload == 1 for inbox in received.values() for payload in inbox.values())

@@ -1,0 +1,186 @@
+"""Tests for the lemma-level invariant monitors."""
+
+import pytest
+
+from repro.adversary import (
+    RandomCorruptionAdversary,
+    ReliableAdversary,
+    UnboundedCorruptionAdversary,
+)
+from repro.algorithms import AteAlgorithm, UteAlgorithm
+from repro.simulation.engine import SimulationConfig, run_algorithm
+from repro.verification.invariants import (
+    AgreementMonitor,
+    DecisionLockMonitor,
+    IntegrityMonitor,
+    InvariantViolation,
+    IrrevocabilityMonitor,
+    Lemma1Monitor,
+    SingleTrueVoteMonitor,
+    UniqueDecisionPerRoundMonitor,
+    standard_monitors,
+)
+from repro.workloads import generators
+
+
+def run_with_monitors(algorithm, initial_values, adversary, monitors, max_rounds=30):
+    config = SimulationConfig(max_rounds=max_rounds, record_states=True)
+    return run_algorithm(algorithm, initial_values, adversary, config=config, observers=monitors)
+
+
+class TestLemma1Monitor:
+    def test_holds_for_any_adversary(self):
+        # Lemma 1 is a fact about the model, so even an unbounded corruption
+        # adversary cannot violate it.
+        n = 6
+        monitor = Lemma1Monitor()
+        run_with_monitors(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.split(n),
+            UnboundedCorruptionAdversary(corruption_probability=0.6, seed=1),
+            [monitor],
+            max_rounds=10,
+        )
+        assert monitor.ok
+
+    def test_detects_impossible_reception_vector(self):
+        # Construct a synthetic round where a value is received more often
+        # than |Q(v)| + |AHO| would allow — only possible if bookkeeping is
+        # broken, which is exactly what the monitor guards against.
+        from repro.core.heardof import ReceptionVector, RoundRecord
+
+        monitor = Lemma1Monitor()
+        rv = ReceptionVector(receiver=0, received={0: 1, 1: 1, 2: 1}, intended={0: 1, 1: 0, 2: 0})
+        # AHO = {1, 2}, Q(1) = 1, R(1) = 3 <= 1 + 2 : still fine.
+        monitor.on_round(RoundRecord(round_num=1, receptions={0: rv}), {})
+        assert monitor.ok
+        # Now shrink AHO artificially by making intended match, but received
+        # over-count a value that nobody intended: impossible in the engine.
+        broken = ReceptionVector(receiver=0, received={0: 5, 1: 5}, intended={0: 5, 1: 5, 2: 5})
+        # R(5) = 2 <= Q(5) + 0 = 3: fine -> monitor stays ok.
+        monitor.on_round(RoundRecord(round_num=2, receptions={0: broken}), {})
+        assert monitor.ok
+
+
+class TestConsensusMonitors:
+    def test_all_green_on_fault_free_run(self):
+        n = 6
+        initial = generators.split(n)
+        monitors = standard_monitors(initial)
+        run_with_monitors(
+            AteAlgorithm.symmetric(n=n, alpha=0), initial, ReliableAdversary(), monitors
+        )
+        assert all(monitor.ok for monitor in monitors)
+
+    def test_all_green_under_alpha_bounded_corruption(self):
+        n = 9
+        initial = generators.uniform_random(n, seed=2)
+        monitors = standard_monitors(initial)
+        run_with_monitors(
+            AteAlgorithm.symmetric(n=n, alpha=2),
+            initial,
+            RandomCorruptionAdversary(alpha=2, value_domain=(0, 1), seed=2),
+            monitors,
+            max_rounds=40,
+        )
+        assert all(monitor.ok for monitor in monitors)
+
+    def test_decision_lock_monitor_on_ate(self):
+        n = 9
+        monitor = DecisionLockMonitor()
+        run_with_monitors(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            generators.uniform_random(n, seed=3),
+            RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=3),
+            [monitor],
+            max_rounds=40,
+        )
+        assert monitor.ok
+
+    def test_single_true_vote_monitor_on_ute(self):
+        n = 9
+        monitor = SingleTrueVoteMonitor()
+        run_with_monitors(
+            UteAlgorithm.minimal(n=n, alpha=2),
+            generators.uniform_random(n, seed=4),
+            RandomCorruptionAdversary(alpha=2, value_domain=(0, 1), seed=4),
+            [monitor],
+            max_rounds=40,
+        )
+        assert monitor.ok
+
+
+class TestMonitorMechanics:
+    def test_agreement_monitor_flags_disagreement(self):
+        monitor = AgreementMonitor()
+
+        class FakeProc:
+            def __init__(self, decided, decision):
+                self.decided = decided
+                self.decision = decision
+
+        from repro.core.heardof import RoundRecord
+
+        record = RoundRecord(round_num=1, receptions={})
+        monitor.on_round(record, {0: FakeProc(True, "a"), 1: FakeProc(True, "b")})
+        assert not monitor.ok
+        assert "decided" in monitor.violations[0]
+
+    def test_unique_decision_per_round_flags_conflict(self):
+        monitor = UniqueDecisionPerRoundMonitor()
+
+        class FakeProc:
+            def __init__(self, decided, decision):
+                self.decided = decided
+                self.decision = decision
+
+        from repro.core.heardof import RoundRecord
+
+        record = RoundRecord(round_num=3, receptions={})
+        monitor.on_round(record, {0: FakeProc(True, 0), 1: FakeProc(True, 1)})
+        assert not monitor.ok
+
+    def test_integrity_monitor_only_active_for_unanimous_start(self):
+        from repro.core.heardof import RoundRecord
+
+        class FakeProc:
+            def __init__(self, decided, decision):
+                self.decided = decided
+                self.decision = decision
+
+        mixed = IntegrityMonitor({0: 0, 1: 1})
+        mixed.on_round(RoundRecord(round_num=1, receptions={}), {0: FakeProc(True, 7)})
+        assert mixed.ok
+        unanimous = IntegrityMonitor({0: 5, 1: 5})
+        unanimous.on_round(RoundRecord(round_num=1, receptions={}), {0: FakeProc(True, 7)})
+        assert not unanimous.ok
+
+    def test_irrevocability_monitor_flags_changes(self):
+        from repro.core.heardof import RoundRecord
+
+        class MutableProc:
+            def __init__(self):
+                self.decided = True
+                self.decision = 1
+
+        monitor = IrrevocabilityMonitor()
+        proc = MutableProc()
+        monitor.on_round(RoundRecord(round_num=1, receptions={}), {0: proc})
+        proc.decision = 2
+        monitor.on_round(RoundRecord(round_num=2, receptions={}), {0: proc})
+        assert not monitor.ok
+
+    def test_raise_on_violation_mode(self):
+        from repro.core.heardof import RoundRecord
+
+        class FakeProc:
+            def __init__(self, decision):
+                self.decided = True
+                self.decision = decision
+
+        monitor = AgreementMonitor(raise_on_violation=True)
+        with pytest.raises(InvariantViolation):
+            monitor.on_round(
+                RoundRecord(round_num=1, receptions={}),
+                {0: FakeProc("a"), 1: FakeProc("b")},
+            )

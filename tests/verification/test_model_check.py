@@ -1,0 +1,145 @@
+"""Tests for the bounded exhaustive model checker."""
+
+import pytest
+
+from repro.core.parameters import AteParameters
+from repro.algorithms import AteAlgorithm
+from repro.verification.model_check import (
+    ModelCheckConfig,
+    PlannedAdversary,
+    enumerate_fault_plans,
+    model_check,
+)
+
+
+class TestPlannedAdversary:
+    def test_applies_plan_and_defaults_to_reliable(self):
+        plan = {0: {1: ("corrupt", 9), 2: ("drop", None)}}
+        adversary = PlannedAdversary([plan])
+        intended = {s: {r: 0 for r in range(3)} for s in range(3)}
+        received = adversary.deliver_round(1, intended)
+        assert received[0][1] == 9
+        assert 2 not in received[0]
+        assert received[1] == {0: 0, 1: 0, 2: 0}
+        # Beyond the plan, everything is delivered reliably.
+        later = adversary.deliver_round(2, intended)
+        assert all(len(inbox) == 3 for inbox in later.values())
+
+
+class TestEnumeration:
+    def test_zero_horizon_has_single_empty_plan(self):
+        config = ModelCheckConfig(n=3, horizon=0)
+        assert list(enumerate_fault_plans(config)) == [()]
+
+    def test_plan_count_grows_with_budget(self):
+        small = ModelCheckConfig(
+            n=2, horizon=1, max_corruptions_per_receiver=1, corruption_values=(1,)
+        )
+        large = ModelCheckConfig(
+            n=2, horizon=1, max_corruptions_per_receiver=1, corruption_values=(1, 2)
+        )
+        assert len(list(enumerate_fault_plans(small))) < len(list(enumerate_fault_plans(large)))
+
+    def test_omission_budget_enumerated(self):
+        config = ModelCheckConfig(
+            n=2,
+            horizon=1,
+            max_corruptions_per_receiver=0,
+            max_omissions_per_receiver=1,
+            corruption_values=(),
+        )
+        plans = list(enumerate_fault_plans(config))
+        # Each of the two receivers independently drops nothing or one of two
+        # senders: 3 * 3 = 9 combinations.
+        assert len(plans) == 9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ModelCheckConfig(n=0)
+        with pytest.raises(ValueError):
+            ModelCheckConfig(n=2, horizon=-1)
+        with pytest.raises(ValueError):
+            ModelCheckConfig(n=2, max_corruptions_per_receiver=-1)
+
+
+class TestModelCheck:
+    def test_in_range_parameters_are_safe_for_all_plans(self):
+        """Exhaustive check: no alpha=1-compatible corruption of the first round
+        breaks safety or (with a fault-free tail) termination of A_{T,E} at n=5."""
+        n = 5
+        params = AteParameters.symmetric(n=n, alpha=1)
+        config = ModelCheckConfig(
+            n=n,
+            horizon=1,
+            max_corruptions_per_receiver=1,
+            max_omissions_per_receiver=0,
+            corruption_values=(1,),
+            tail_rounds=4,
+        )
+        result = model_check(
+            algorithm_factory=lambda: AteAlgorithm(params),
+            initial_values={0: 0, 1: 0, 2: 0, 3: 1, 4: 1},
+            config=config,
+        )
+        assert result.explored == 6 ** n  # (no-fault + 5 targets) per receiver
+        assert result.safe, result.safety_violations[:1]
+        # Tail rounds are fault-free, so every explored run terminates.
+        assert result.live
+
+    def test_unanimous_initial_values_preserve_integrity(self):
+        n = 3
+        params = AteParameters.symmetric(n=n, alpha=0)
+        config = ModelCheckConfig(
+            n=n,
+            horizon=1,
+            max_corruptions_per_receiver=0,
+            max_omissions_per_receiver=1,
+            corruption_values=(),
+            tail_rounds=4,
+        )
+        result = model_check(
+            algorithm_factory=lambda: AteAlgorithm(params),
+            initial_values={p: 7 for p in range(n)},
+            config=config,
+        )
+        assert result.safe and result.live
+
+    def test_out_of_range_thresholds_are_refuted(self):
+        """With thresholds far below Theorem 1's requirement the checker finds violations."""
+        n = 4
+        # E = 2 < n/2 + alpha and T = 2: a single corrupted reception can
+        # push two processes to decide differently.
+        params = AteParameters(n=n, alpha=1, threshold=2, enough=2)
+        config = ModelCheckConfig(
+            n=n,
+            horizon=1,
+            max_corruptions_per_receiver=1,
+            max_omissions_per_receiver=0,
+            corruption_values=(0, 1),
+            tail_rounds=3,
+        )
+        result = model_check(
+            algorithm_factory=lambda: AteAlgorithm(params),
+            initial_values={0: 0, 1: 0, 2: 1, 3: 1},
+            config=config,
+        )
+        assert not result.safe
+
+    def test_max_runs_truncation(self):
+        n = 3
+        params = AteParameters.symmetric(n=n, alpha=1)
+        config = ModelCheckConfig(
+            n=n,
+            horizon=1,
+            max_corruptions_per_receiver=1,
+            corruption_values=(0, 1),
+            max_runs=10,
+        )
+        result = model_check(
+            algorithm_factory=lambda: AteAlgorithm(params),
+            initial_values={0: 0, 1: 1, 2: 0},
+            config=config,
+        )
+        assert result.explored == 10
+        assert result.truncated
+        assert "10" in result.summary()

@@ -1,0 +1,82 @@
+"""Tests for batch property aggregation."""
+
+from repro.adversary import RandomCorruptionAdversary, RandomOmissionAdversary, ReliableAdversary
+from repro.algorithms import AteAlgorithm
+from repro.core.predicates import AlphaSafePredicate
+from repro.simulation.engine import run_consensus
+from repro.verification.properties import aggregate, safety_counterexamples
+from repro.workloads import generators
+
+
+def _runs(n=6, alpha=0, count=5, adversary_factory=None, max_rounds=15):
+    adversary_factory = adversary_factory or (lambda index: ReliableAdversary())
+    return [
+        run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=alpha),
+            generators.uniform_random(n, seed=index),
+            adversary_factory(index),
+            max_rounds=max_rounds,
+        )
+        for index in range(count)
+    ]
+
+
+class TestAggregate:
+    def test_perfect_batch(self):
+        report = aggregate(_runs())
+        assert report.total == 5
+        assert report.agreement_rate == 1.0
+        assert report.integrity_rate == 1.0
+        assert report.termination_rate == 1.0
+        assert report.all_safe and report.all_live
+        assert report.mean_decision_round is not None
+        assert report.max_decision_round <= 2
+        assert "runs=5" in report.summary()
+
+    def test_with_predicate_counts_holds_and_counterexamples(self):
+        from repro.adversary import PeriodicGoodRoundAdversary
+
+        results = _runs(
+            alpha=1,
+            adversary_factory=lambda i: PeriodicGoodRoundAdversary(
+                inner=RandomCorruptionAdversary(alpha=1, seed=i), period=3
+            ),
+            max_rounds=40,
+        )
+        report = aggregate(results, predicate=AlphaSafePredicate(1))
+        assert report.predicate_held == report.total
+        assert report.counterexamples == 0
+
+    def test_non_terminating_batch(self):
+        results = _runs(
+            adversary_factory=lambda i: RandomOmissionAdversary(drop_probability=1.0, seed=i),
+            max_rounds=5,
+        )
+        report = aggregate(results)
+        assert report.termination_rate == 0.0
+        assert report.all_safe
+        assert not report.all_live
+        assert report.mean_decision_round is None
+        assert report.violations  # termination violations recorded
+
+    def test_as_dict(self):
+        data = aggregate(_runs(count=2)).as_dict()
+        assert data["total"] == 2
+        assert data["agreement_rate"] == 1.0
+
+    def test_empty_batch(self):
+        report = aggregate([])
+        assert report.total == 0
+        assert report.agreement_rate == 0.0
+
+
+class TestSafetyCounterexamples:
+    def test_none_for_in_range_runs(self):
+        results = _runs(alpha=1, adversary_factory=lambda i: RandomCorruptionAdversary(alpha=1, seed=i))
+        assert safety_counterexamples(results, AlphaSafePredicate(1)) == []
+
+    def test_excludes_runs_where_predicate_fails(self):
+        # Corruption above the predicate's bound: whatever happens, these runs
+        # are not counterexamples to the alpha=0 claim.
+        results = _runs(alpha=0, adversary_factory=lambda i: RandomCorruptionAdversary(alpha=2, seed=i))
+        assert safety_counterexamples(results, AlphaSafePredicate(0)) == []

@@ -1,0 +1,66 @@
+"""Tests for the initial-value workload generators."""
+
+import pytest
+
+from repro.workloads import generators
+
+
+class TestUnanimous:
+    def test_all_equal(self):
+        values = generators.unanimous(5, value=3)
+        assert set(values.values()) == {3}
+        assert set(values) == set(range(5))
+
+
+class TestSplit:
+    def test_default_near_even(self):
+        values = generators.split(9)
+        assert sum(1 for v in values.values() if v == 0) == 5
+        assert sum(1 for v in values.values() if v == 1) == 4
+
+    def test_explicit_count(self):
+        values = generators.split(6, value_a="a", value_b="b", count_a=2)
+        assert sum(1 for v in values.values() if v == "a") == 2
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            generators.split(4, count_a=5)
+
+
+class TestUniformRandom:
+    def test_deterministic_given_seed(self):
+        assert generators.uniform_random(8, seed=1) == generators.uniform_random(8, seed=1)
+        assert generators.uniform_random(8, seed=1) != generators.uniform_random(8, seed=2) or True
+
+    def test_values_from_domain(self):
+        values = generators.uniform_random(20, domain=("x", "y"), seed=3)
+        assert set(values.values()) <= {"x", "y"}
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generators.uniform_random(3, domain=())
+
+
+class TestSkewed:
+    def test_minority_size(self):
+        values = generators.skewed(20, minority_fraction=0.25, seed=4)
+        assert sum(1 for v in values.values() if v == 1) == 5
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            generators.skewed(10, minority_fraction=1.5)
+
+
+class TestDistinct:
+    def test_all_different(self):
+        values = generators.distinct(7)
+        assert len(set(values.values())) == 7
+
+
+class TestBatch:
+    def test_batch_shape_and_determinism(self):
+        first = generators.batch(6, runs=4, seed=9)
+        second = generators.batch(6, runs=4, seed=9)
+        assert len(first) == 4
+        assert first == second
+        assert all(set(run) == set(range(6)) for run in first)

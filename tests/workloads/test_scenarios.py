@@ -1,0 +1,73 @@
+"""Tests for the named end-to-end scenarios."""
+
+import pytest
+
+from repro.simulation.engine import run_consensus
+from repro.workloads.scenarios import by_name, catalogue
+
+
+class TestCatalogue:
+    def test_expected_scenarios_present(self):
+        names = {scenario.name for scenario in catalogue()}
+        assert {
+            "fault-free-fast-path",
+            "transient-corruption",
+            "heavy-corruption-ute",
+            "santoro-widmayer-blocks",
+            "static-byzantine",
+            "lossy-network",
+        } <= names
+
+    def test_by_name_lookup(self):
+        scenario = by_name("transient-corruption")
+        assert scenario.n > 0
+        with pytest.raises(KeyError):
+            by_name("does-not-exist")
+
+    def test_scenarios_are_well_formed(self):
+        for scenario in catalogue():
+            assert set(scenario.initial_values) == set(range(scenario.n))
+            algorithm = scenario.algorithm()
+            adversary = scenario.adversary(seed=1)
+            assert algorithm is not None and adversary is not None
+
+
+class TestScenarioExecution:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "fault-free-fast-path",
+            "transient-corruption",
+            "heavy-corruption-ute",
+            "santoro-widmayer-blocks",
+            "static-byzantine",
+            "lossy-network",
+        ],
+    )
+    def test_every_scenario_runs_safely(self, name):
+        scenario = by_name(name)
+        result = run_consensus(
+            algorithm=scenario.algorithm(),
+            initial_values=scenario.initial_values,
+            adversary=scenario.adversary(seed=3),
+            max_rounds=scenario.max_rounds,
+        )
+        assert result.safe, f"{name}: {result.outcome.violations}"
+
+    def test_fast_path_decides_in_two_rounds(self):
+        scenario = by_name("fault-free-fast-path")
+        result = run_consensus(
+            scenario.algorithm(), scenario.initial_values, scenario.adversary(), max_rounds=5
+        )
+        assert result.all_satisfied
+        assert result.last_decision_round <= 2
+
+    def test_transient_corruption_terminates(self):
+        scenario = by_name("transient-corruption")
+        result = run_consensus(
+            scenario.algorithm(),
+            scenario.initial_values,
+            scenario.adversary(seed=2),
+            max_rounds=scenario.max_rounds,
+        )
+        assert result.all_satisfied
