@@ -16,6 +16,18 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so CI can (de)select it by marker.
+
+    The hook receives the whole session's items, so filter by location —
+    only the files next to this conftest get the marker.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if Path(str(item.fspath)).parent == here:
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def record_report(capsys):
     """Return a callable that prints and persists an ExperimentReport."""

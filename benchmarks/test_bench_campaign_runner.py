@@ -1,0 +1,78 @@
+"""Benchmarks for the campaign runner: executor overhead, fast path, cache.
+
+Measures (a) the runner's dispatch overhead relative to calling the
+engine in a plain loop, (b) the engine fast path (``record_states=False``
+plus trimmed metrics) against the snapshot-recording slow path, and
+(c) how much a fully warmed result cache shortens a campaign re-run.
+Parallel speedups are deliberately not benchmarked here — CI runners
+have unpredictable core counts; serial equivalence is what the tests
+pin down.
+"""
+
+import pytest
+
+from repro.adversary import RandomCorruptionAdversary
+from repro.algorithms import AteAlgorithm
+from repro.runner import (
+    AdversarySpec,
+    AlgorithmSpec,
+    CampaignRunner,
+    CampaignSpec,
+    PredicateSpec,
+    ResultCache,
+    WorkloadSpec,
+)
+from repro.simulation.engine import SimulationConfig, run_algorithm
+from repro.workloads import generators
+
+
+def _bench_spec(runs: int = 10) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id="bench",
+        algorithms=[AlgorithmSpec("ate", {"alpha": 1})],
+        adversaries=[AdversarySpec("corruption-good-rounds", {"alpha": 1, "period": 4})],
+        predicates=[PredicateSpec("alpha-safe", {"alpha": 1})],
+        ns=[9],
+        runs=runs,
+        base_seed=17,
+        max_rounds=30,
+        workload=WorkloadSpec("random"),
+    )
+
+
+def test_bench_campaign_serial_dispatch(benchmark):
+    """Campaign of 10 runs through the single-process runner."""
+    result = benchmark(lambda: CampaignRunner(jobs=1).run_campaign(_bench_spec()))
+    assert len(result.records) == 10
+    assert all(record.ok for record in result.records)
+
+
+def test_bench_campaign_cache_hit_replay(benchmark, tmp_path):
+    """Re-running a fully cached campaign: pure cache-read throughput."""
+    spec = _bench_spec()
+    CampaignRunner(cache=ResultCache(tmp_path)).run_campaign(spec)  # warm
+
+    def replay():
+        runner = CampaignRunner(cache=ResultCache(tmp_path))
+        return runner.run_campaign(spec), runner
+
+    result, runner = benchmark(replay)
+    assert runner.stats.cache_hits >= 10 and runner.stats.executed == 0
+    assert all(record.ok for record in result.records)
+
+
+@pytest.mark.parametrize("record_states", [False, True])
+def test_bench_engine_fast_path(benchmark, record_states):
+    """Fast path (no snapshots, trimmed metrics) vs the recording slow path."""
+    n = 16
+    config = SimulationConfig(max_rounds=15, min_rounds=15, record_states=record_states)
+    result = benchmark(
+        lambda: run_algorithm(
+            AteAlgorithm.symmetric(n=n, alpha=2),
+            generators.split(n),
+            RandomCorruptionAdversary(alpha=2, value_domain=(0, 1), seed=5),
+            config=config,
+        )
+    )
+    assert result.rounds_executed == 15
+    assert bool(result.metrics.corruption_per_round) == record_states

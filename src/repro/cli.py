@@ -1,11 +1,15 @@
 """Command-line interface.
 
-``repro-ho`` (or ``python -m repro.cli``) exposes three subcommands:
+``repro-ho`` (or ``python -m repro.cli``) exposes four subcommands:
 
 * ``run``        — run one consensus instance (algorithm, scenario or
   custom fault environment) and print the outcome;
 * ``experiment`` — run one of the paper-reproduction experiments
   (E1-E12) and print its report table;
+* ``campaign``   — run experiments (or a declarative ``--spec`` grid)
+  through the parallel campaign runner, with worker processes
+  (``--jobs``), per-run timeouts and an incremental on-disk result
+  cache;
 * ``table``      — print the analytic tables (Table 1, the related-work
   comparison and the resilience table) without running simulations.
 """
@@ -13,6 +17,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -28,6 +33,7 @@ from repro.algorithms import available_algorithms, make_algorithm
 from repro.analysis.comparison import related_work_rows, render_table, table1_rows
 from repro.analysis.feasibility import resilience_table
 from repro.experiments import ALL_EXPERIMENTS
+from repro.runner import CampaignRunner, CampaignSpec, ResultCache, campaign_report
 from repro.simulation.engine import run_consensus
 from repro.workloads import generators
 
@@ -108,6 +114,93 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_ids(requested: List[str]) -> List[str]:
+    """Normalise/validate experiment ids, expanding the 'all' keyword."""
+    ordered = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    if any(token.lower() == "all" for token in requested):
+        return ordered
+    ids = []
+    for token in requested:
+        experiment_id = token.upper()
+        if experiment_id not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {token!r}; available: {', '.join(ordered)} or 'all'"
+            )
+        ids.append(experiment_id)
+    return ids
+
+
+def _driver_overrides(driver, args: argparse.Namespace) -> dict:
+    """CLI overrides (runs/seed/n/max_rounds) the driver actually accepts."""
+    accepted = inspect.signature(driver).parameters
+    candidates = {
+        "runs": args.runs,
+        "seed": args.seed,
+        "n": args.n,
+        "max_rounds": args.max_rounds,
+    }
+    return {
+        name: value
+        for name, value in candidates.items()
+        if value is not None and name in accepted
+    }
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    if args.spec:
+        try:
+            spec = CampaignSpec.from_json(args.spec)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load campaign spec {args.spec!r}: {exc}", file=sys.stderr)
+            return 2
+        with CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache) as runner:
+            result = runner.run_campaign(spec)
+        report = campaign_report(spec, result.records)
+        print(report.render())
+        if args.json:
+            report.to_json(args.json)
+            print(f"wrote {args.json}")
+        print(f"runner[{spec.campaign_id}]: jobs={args.jobs} {runner.stats.summary()}")
+        failed = sum(1 for record in result.records if not record.ok)
+        return 1 if failed else 0
+
+    if not args.ids:
+        print("campaign needs experiment ids (or 'all'), or --spec FILE", file=sys.stderr)
+        return 2
+
+    for experiment_id in _experiment_ids(args.ids):
+        driver = ALL_EXPERIMENTS[experiment_id]
+        # One runner per experiment so the printed stats are per-experiment;
+        # the cache is shared across all of them.
+        runner = CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache)
+        try:
+            report = driver(runner=runner, **_driver_overrides(driver, args))
+        except RuntimeError as exc:
+            # Timed-out/failed runs cannot be folded into rate tables on
+            # the experiment-driver path.
+            print(f"experiment {experiment_id} failed: {exc}", file=sys.stderr)
+            if args.timeout is not None:
+                print("hint: raise or drop --timeout", file=sys.stderr)
+            return 1
+        finally:
+            runner.close()
+        print(report.render())
+        if args.json:
+            from pathlib import Path
+
+            json_path = Path(args.json) / f"{experiment_id}.json"
+            report.to_json(json_path)
+            print(f"wrote {json_path}")
+        print(f"runner[{experiment_id}]: jobs={args.jobs} {runner.stats.summary()}")
+        print()
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.which in ("table1", "all"):
         print("Table 1 — summary of results")
@@ -163,6 +256,39 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("id", help="experiment id E1..E12, or 'all'")
     exp_parser.add_argument("--json", help="also write the report to this JSON file")
     exp_parser.set_defaults(func=_cmd_experiment)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run experiments through the parallel campaign runner",
+        description=(
+            "Run paper experiments (E1..E12, or 'all'), or a declarative --spec grid, "
+            "through the campaign runner: worker processes, per-run timeouts and an "
+            "incremental on-disk result cache keyed by stable config hashes."
+        ),
+    )
+    campaign_parser.add_argument(
+        "ids", nargs="*", help="experiment ids E1..E12, or 'all' (omit when using --spec)"
+    )
+    campaign_parser.add_argument("--spec", help="JSON CampaignSpec file to run instead of ids")
+    campaign_parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    campaign_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-run timeout in seconds"
+    )
+    campaign_parser.add_argument(
+        "--cache-dir", default=".repro_cache", help="result cache directory (default .repro_cache)"
+    )
+    campaign_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    campaign_parser.add_argument(
+        "--json",
+        help="with --spec: report JSON path; with ids: directory for per-experiment JSON",
+    )
+    campaign_parser.add_argument("--runs", type=int, help="override runs per cell")
+    campaign_parser.add_argument("--seed", type=int, help="override the base seed")
+    campaign_parser.add_argument("--n", type=int, help="override the system size n")
+    campaign_parser.add_argument("--max-rounds", type=int, help="override the round horizon")
+    campaign_parser.set_defaults(func=_cmd_campaign)
 
     table_parser = subparsers.add_parser("table", help="print the analytic tables")
     table_parser.add_argument(

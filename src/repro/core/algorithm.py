@@ -14,7 +14,7 @@ the verification layer do not depend on any particular algorithm.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping
 
 from repro.core.process import HOProcess, ProcessId, Value
 

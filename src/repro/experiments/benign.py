@@ -14,6 +14,8 @@ behave exactly like their ancestors.  This driver
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.adversary import PeriodicGoodRoundAdversary, RandomOmissionAdversary
 from repro.algorithms import (
     AteAlgorithm,
@@ -26,6 +28,9 @@ from repro.experiments.common import ExperimentReport, run_batch_results
 from repro.verification.properties import aggregate
 from repro.workloads import generators
 
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
+
 
 def benign_baselines(
     n: int = 9,
@@ -33,6 +38,7 @@ def benign_baselines(
     seed: int = 13,
     max_rounds: int = 60,
     drop_probabilities=(0.0, 0.1, 0.3),
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E12 — benign-omission sweep for the baselines and the alpha = 0 instances."""
     report = ExperimentReport(
@@ -59,12 +65,14 @@ def benign_baselines(
             adversary_factory=lambda i, adv=adversary_a: adv,
             initial_value_batches=[workload],
             max_rounds=max_rounds,
+            runner=runner,
         )[0]
         otr = run_batch_results(
             algorithm_factory=lambda i: OneThirdRuleAlgorithm(n),
             adversary_factory=lambda i, adv=adversary_b: adv,
             initial_value_batches=[workload],
             max_rounds=max_rounds,
+            runner=runner,
         )[0]
         same_values = ate.outcome.decision_values == otr.outcome.decision_values
         same_rounds = ate.outcome.decision_rounds == otr.outcome.decision_rounds
@@ -93,6 +101,7 @@ def benign_baselines(
                 ),
                 initial_value_batches=generators.batch(n, runs, seed=seed),
                 max_rounds=max_rounds,
+                runner=runner,
             )
             batch = aggregate(results)
             report.add_row(

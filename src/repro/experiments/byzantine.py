@@ -18,6 +18,8 @@ environment.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.adversary import StaticByzantineAdversary
 from repro.algorithms import AteAlgorithm, PhaseKingAlgorithm, UteAlgorithm
 from repro.core.predicates import (
@@ -30,6 +32,9 @@ from repro.experiments.common import ExperimentReport, run_batch_results
 from repro.verification.properties import aggregate
 from repro.workloads import generators
 
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
+
 
 def byzantine_predicates(
     n: int = 10,
@@ -37,6 +42,7 @@ def byzantine_predicates(
     runs: int = 10,
     seed: int = 12,
     max_rounds: int = 60,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E11 — static Byzantine senders, checked against the Section 5.2 predicates."""
     report = ExperimentReport(
@@ -68,6 +74,7 @@ def byzantine_predicates(
             ),
             initial_value_batches=[generators.skewed(n, seed=seed + index) for index in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         batch = aggregate(results)
         predicate_checks = {

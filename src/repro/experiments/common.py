@@ -13,14 +13,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.adversary.base import Adversary
 from repro.core.algorithm import HOAlgorithm
 from repro.core.predicates import CommunicationPredicate
 from repro.core.process import ProcessId, Value
-from repro.simulation.engine import SimulationResult, run_consensus
-from repro.verification.properties import BatchReport, aggregate
+from repro.simulation.engine import SimulationResult
+from repro.verification.properties import BatchReport
 
 
 @dataclass
@@ -71,29 +71,65 @@ class ExperimentReport:
         return payload
 
 
+def _build_tasks(
+    algorithm_factory: Callable[[int], HOAlgorithm],
+    adversary_factory: Callable[[int], Adversary],
+    initial_value_batches: Sequence[Mapping[ProcessId, Value]],
+    max_rounds: int,
+    predicate: Optional[CommunicationPredicate] = None,
+    cache_key: Optional[str] = None,
+) -> List["RunTask"]:
+    from repro.runner.executor import RunTask
+
+    return [
+        RunTask(
+            algorithm=algorithm_factory(index),
+            adversary=adversary_factory(index),
+            initial_values=initial_values,
+            max_rounds=max_rounds,
+            predicate=predicate,
+            key=f"{cache_key}/{index:04d}" if cache_key else None,
+            run_index=index,
+        )
+        for index, initial_values in enumerate(initial_value_batches)
+    ]
+
+
 def run_batch(
     algorithm_factory: Callable[[int], HOAlgorithm],
     adversary_factory: Callable[[int], Adversary],
     initial_value_batches: Sequence[Mapping[ProcessId, Value]],
     max_rounds: int = 60,
     predicate: Optional[CommunicationPredicate] = None,
+    runner: Optional["CampaignRunner"] = None,
+    cache_key: Optional[str] = None,
 ) -> BatchReport:
     """Run one simulation per initial configuration and aggregate the outcomes.
 
     The factories receive the run index so that every run gets fresh
     algorithm and adversary state with run-specific seeds.
+
+    Execution is routed through a :class:`repro.runner.CampaignRunner`;
+    pass one to fan the batch out over worker processes (``jobs > 1``)
+    and/or reuse cached results (``cache_key`` must then identify every
+    input that determines this batch's results — see
+    :func:`repro.runner.spec.cell_cache_key`).  The default is an
+    uncached in-process runner, which executes exactly as the historical
+    serial loop did.
     """
-    results: List[SimulationResult] = []
-    for index, initial_values in enumerate(initial_value_batches):
-        results.append(
-            run_consensus(
-                algorithm=algorithm_factory(index),
-                initial_values=initial_values,
-                adversary=adversary_factory(index),
-                max_rounds=max_rounds,
-            )
-        )
-    return aggregate(results, predicate=predicate)
+    from repro.runner.aggregate import batch_report_from_records
+    from repro.runner.executor import CampaignRunner
+
+    runner = runner if runner is not None else CampaignRunner()
+    tasks = _build_tasks(
+        algorithm_factory,
+        adversary_factory,
+        initial_value_batches,
+        max_rounds,
+        predicate=predicate,
+        cache_key=cache_key if runner.cache is not None else None,
+    )
+    return batch_report_from_records(runner.run_tasks(tasks))
 
 
 def run_batch_results(
@@ -101,14 +137,18 @@ def run_batch_results(
     adversary_factory: Callable[[int], Adversary],
     initial_value_batches: Sequence[Mapping[ProcessId, Value]],
     max_rounds: int = 60,
+    runner: Optional["CampaignRunner"] = None,
 ) -> List[SimulationResult]:
-    """Like :func:`run_batch` but returning the raw results for custom analysis."""
-    return [
-        run_consensus(
-            algorithm=algorithm_factory(index),
-            initial_values=initial_values,
-            adversary=adversary_factory(index),
-            max_rounds=max_rounds,
-        )
-        for index, initial_values in enumerate(initial_value_batches)
-    ]
+    """Like :func:`run_batch` but returning the raw results for custom analysis.
+
+    Full :class:`SimulationResult`s (heard-of collections included) are
+    returned, so this path is never cached; a parallel runner still
+    speeds it up.
+    """
+    from repro.runner.executor import CampaignRunner
+
+    runner = runner if runner is not None else CampaignRunner()
+    tasks = _build_tasks(
+        algorithm_factory, adversary_factory, initial_value_batches, max_rounds
+    )
+    return runner.run_simulations(tasks)

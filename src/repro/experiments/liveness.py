@@ -10,6 +10,8 @@ exactly when the corresponding predicate holds on the generated run.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.adversary import (
     PartitionAdversary,
     PeriodicGoodPhaseAdversary,
@@ -22,6 +24,9 @@ from repro.core.parameters import AteParameters, UteParameters
 from repro.experiments.common import ExperimentReport, run_batch_results
 from repro.verification.properties import aggregate
 from repro.workloads import generators
+
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
 
 
 def _starved_adversary(n: int, threshold: float, seed: int) -> PartitionAdversary:
@@ -44,6 +49,7 @@ def alive_predicate_effect(
     seed: int = 3,
     max_rounds: int = 50,
     good_round_period: int = 4,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E3 — Figure 1: termination of ``A_{T,E}`` tracks ``P^{A,live}``."""
     params = AteParameters.symmetric(n=n, alpha=alpha)
@@ -89,6 +95,7 @@ def alive_predicate_effect(
             adversary_factory=adversary_factory,
             initial_value_batches=batches,
             max_rounds=max_rounds,
+            runner=runner,
         )
         batch_report = aggregate(results)
         predicate_held = sum(1 for r in results if predicate.holds(r.collection))
@@ -118,6 +125,7 @@ def ulive_predicate_effect(
     seed: int = 4,
     max_rounds: int = 60,
     good_phase_period: int = 3,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E4 — Figure 2: termination of ``U_{T,E,α}`` tracks ``P^{U,live}``."""
     params = UteParameters.minimal(n=n, alpha=alpha)
@@ -158,6 +166,7 @@ def ulive_predicate_effect(
             adversary_factory=adversary_factory,
             initial_value_batches=batches,
             max_rounds=max_rounds,
+            runner=runner,
         )
         batch_report = aggregate(results)
         predicate_held = sum(1 for r in results if predicate.holds(r.collection))

@@ -18,6 +18,7 @@
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import TYPE_CHECKING, Optional
 
 from repro.adversary import (
     BlockFaultAdversary,
@@ -41,6 +42,9 @@ from repro.experiments.common import ExperimentReport, run_batch_results
 from repro.verification.properties import aggregate
 from repro.workloads import generators
 
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
+
 
 # ----------------------------------------------------------------------
 # E8 — Santoro–Widmayer block faults
@@ -51,6 +55,7 @@ def santoro_widmayer_circumvention(
     seed: int = 9,
     max_rounds: int = 60,
     good_round_period: int = 5,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E8 — block faults of [18] versus ``A_{T,E}`` and ``U_{T,E,α}``."""
     faults_per_round = santoro_widmayer_bound(n)
@@ -107,6 +112,7 @@ def santoro_widmayer_circumvention(
             adversary_factory=adversary_factory,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         batch = aggregate(results)
         max_corruptions_per_round = max(
@@ -137,6 +143,7 @@ def fast_decision(
     runs: int = 10,
     seed: int = 10,
     max_rounds: int = 30,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E9 — decision latency of ``A_{T,E}`` versus the static fast-consensus bound."""
     alpha = max(ate_max_alpha(n), 1)
@@ -185,6 +192,7 @@ def fast_decision(
             adversary_factory=adversary_factory,
             initial_value_batches=[workload() for _ in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         batch = aggregate(results)
         report.add_row(
@@ -207,6 +215,7 @@ def fast_decision(
         adversary_factory=lambda index: ReliableAdversary(),
         initial_value_batches=[generators.split(n) for _ in range(runs)],
         max_rounds=max_rounds,
+        runner=runner,
     )
     pk_batch = aggregate(pk_results)
     report.add_row(
@@ -237,6 +246,7 @@ def lamport_attainment(
     runs: int = 6,
     seed: int = 11,
     max_rounds: int = 40,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E10 — attainment of ``N > 2Q + F + 2M`` by both algorithms.
 
@@ -284,6 +294,7 @@ def lamport_attainment(
             adversary_factory=u_adversary,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         u_batch = aggregate(u_results)
 
@@ -300,6 +311,7 @@ def lamport_attainment(
             ),
             initial_value_batches=[generators.split(n) for _ in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         a_batch = aggregate(a_results)
 

@@ -14,6 +14,8 @@ across each boundary and report, per value,
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.adversary import (
     PeriodicGoodPhaseAdversary,
     PeriodicGoodRoundAdversary,
@@ -34,6 +36,9 @@ from repro.experiments.common import ExperimentReport, run_batch_results
 from repro.verification.properties import aggregate
 from repro.workloads import generators
 
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
+
 
 def _ate_params_for(n: int, alpha: int) -> AteParameters:
     """Symmetric thresholds when feasible, the closest in-range attempt otherwise."""
@@ -53,6 +58,7 @@ def ate_resilience_sweep(
     runs: int = 12,
     seed: int = 7,
     max_rounds: int = 60,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E6 — sweep ``alpha`` across the ``n/4`` boundary for ``A_{T,E}``."""
     report = ExperimentReport(
@@ -83,6 +89,7 @@ def ate_resilience_sweep(
             adversary_factory=adversary,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         attack_runs = aggregate(results[0::2])
         live_runs = aggregate(results[1::2])
@@ -112,6 +119,7 @@ def ute_resilience_sweep(
     runs: int = 12,
     seed: int = 8,
     max_rounds: int = 80,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E7 — sweep ``alpha`` across the ``n/2`` boundary for ``U_{T,E,alpha}``."""
     report = ExperimentReport(
@@ -141,6 +149,7 @@ def ute_resilience_sweep(
             adversary_factory=adversary,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
             max_rounds=max_rounds,
+            runner=runner,
         )
         attack_runs = aggregate(results[0::2])
         live_runs = aggregate(results[1::2])

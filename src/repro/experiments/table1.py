@@ -15,7 +15,7 @@ drivers here validate each row by simulation:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.adversary import (
     MinimumSafeDeliveryAdversary,
@@ -28,7 +28,11 @@ from repro.analysis.feasibility import ate_max_alpha, ute_max_alpha
 from repro.core.parameters import AteParameters, UteParameters
 from repro.core.predicates import AlphaSafePredicate
 from repro.experiments.common import ExperimentReport, run_batch
+from repro.runner.spec import cell_cache_key
 from repro.workloads import generators
+
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
 
 
 def _corruption_with_good_rounds(alpha: int, seed: int, period: int = 4):
@@ -45,6 +49,7 @@ def validate_ate_row(
     seed: int = 1,
     max_rounds: int = 60,
     extra_alpha: Optional[int] = None,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E1 — the ``A_{T,E}`` row of Table 1.
 
@@ -82,6 +87,18 @@ def validate_ate_row(
             initial_value_batches=batches,
             max_rounds=max_rounds,
             predicate=AlphaSafePredicate(alpha),
+            runner=runner,
+            cache_key=cell_cache_key(
+                experiment="E1",
+                n=n,
+                alpha=alpha,
+                runs=runs,
+                seed=seed,
+                max_rounds=max_rounds,
+                threshold=str(params.threshold),
+                enough=str(params.enough),
+                adversary="corruption+good-rounds/period=4",
+            ),
         )
         report.add_row(
             alpha=alpha,
@@ -112,6 +129,7 @@ def validate_ute_row(
     seed: int = 2,
     max_rounds: int = 80,
     extra_alpha: Optional[int] = None,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E2 — the ``U_{T,E,alpha}`` row of Table 1.
 
@@ -155,6 +173,18 @@ def validate_ute_row(
             initial_value_batches=batches,
             max_rounds=max_rounds,
             predicate=AlphaSafePredicate(alpha),
+            runner=runner,
+            cache_key=cell_cache_key(
+                experiment="E2",
+                n=n,
+                alpha=alpha,
+                runs=runs,
+                seed=seed,
+                max_rounds=max_rounds,
+                threshold=str(params.threshold),
+                enough=str(params.enough),
+                adversary="corruption+u-safe+good-phases/period=3",
+            ),
         )
         report.add_row(
             alpha=alpha,

@@ -23,6 +23,8 @@ such a process has a corrupted state or not").
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.adversary import (
     PeriodicGoodRoundAdversary,
     RandomCorruptionAdversary,
@@ -33,6 +35,9 @@ from repro.algorithms import AteAlgorithm, UteAlgorithm
 from repro.experiments.common import ExperimentReport, run_batch
 from repro.workloads import generators
 
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner
+
 
 def corruption_taxonomy(
     n: int = 9,
@@ -40,6 +45,7 @@ def corruption_taxonomy(
     runs: int = 12,
     seed: int = 5,
     max_rounds: int = 60,
+    runner: Optional["CampaignRunner"] = None,
 ) -> ExperimentReport:
     """E5 — run both algorithms against each corruption class of Figure 3."""
     report = ExperimentReport(
@@ -84,6 +90,7 @@ def corruption_taxonomy(
                 adversary_factory=lambda index: environments(index)[label],
                 initial_value_batches=batches,
                 max_rounds=max_rounds,
+                runner=runner,
             )
             report.add_row(
                 algorithm=algorithm_name,

@@ -1,0 +1,79 @@
+"""Parallel campaign runner.
+
+Scales the lockstep engine from single sweeps to declarative campaigns:
+grids of (algorithm × adversary × predicate × n × seeds) executed
+serially or across worker processes, with per-run timeouts,
+deterministic seed derivation and an on-disk result cache keyed by
+stable configuration hashes (re-running a campaign is incremental).
+
+Entry points
+------------
+* :class:`CampaignRunner` — the executor; plug one into
+  :func:`repro.experiments.common.run_batch` or any experiment driver
+  (``driver(runner=CampaignRunner(jobs=4))``) to parallelise its sweep.
+* :class:`CampaignSpec` — declarative grid; run with
+  :meth:`CampaignRunner.run_campaign` and fold into a report with
+  :func:`campaign_report`.
+* ``repro-ho campaign`` — the CLI surface over both.
+"""
+
+from repro.runner.aggregate import (
+    batch_report_from_records,
+    campaign_report,
+    group_by_cell,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.executor import (
+    CampaignResult,
+    CampaignRunner,
+    RunTask,
+    RunTimeoutError,
+)
+from repro.runner.factories import (
+    available_adversaries,
+    build_adversary,
+    build_algorithm,
+    build_predicate,
+    build_workload,
+)
+from repro.runner.records import RunRecord, RunnerStats
+from repro.runner.spec import (
+    CACHE_SCHEMA_VERSION,
+    AdversarySpec,
+    AlgorithmSpec,
+    CampaignSpec,
+    PredicateSpec,
+    RunSpec,
+    WorkloadSpec,
+    cell_cache_key,
+    derive_seed,
+    stable_hash,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "AdversarySpec",
+    "AlgorithmSpec",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "PredicateSpec",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "RunTask",
+    "RunTimeoutError",
+    "RunnerStats",
+    "WorkloadSpec",
+    "available_adversaries",
+    "batch_report_from_records",
+    "build_adversary",
+    "build_algorithm",
+    "build_predicate",
+    "build_workload",
+    "campaign_report",
+    "cell_cache_key",
+    "derive_seed",
+    "group_by_cell",
+    "stable_hash",
+]

@@ -1,0 +1,107 @@
+"""Folding runner records back into the existing reporting types.
+
+The experiment layer reasons in :class:`BatchReport`s and
+:class:`ExperimentReport`s; this module rebuilds them from the compact
+:class:`RunRecord`s the executor produces, so routing a sweep through
+the runner changes *where* runs execute but not what any report says.
+``batch_report_from_records`` mirrors
+:func:`repro.verification.properties.aggregate` field for field.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.runner.records import RunRecord
+from repro.runner.spec import CampaignSpec, stable_hash
+from repro.verification.properties import BatchReport
+
+
+def batch_report_from_records(records: Iterable[RunRecord]) -> BatchReport:
+    """Build a :class:`BatchReport` equivalent to aggregating the raw results."""
+    records = list(records)
+    has_predicate = any(record.predicate_held is not None for record in records)
+    report = BatchReport(predicate_held=0 if has_predicate else None)
+    for record in records:
+        if not record.ok:
+            raise RuntimeError(
+                f"cannot aggregate failed run (run_index={record.run_index}): {record.error}"
+            )
+        report.total += 1
+        report.agreement_ok += int(record.agreement)
+        report.integrity_ok += int(record.integrity)
+        report.termination_ok += int(record.termination)
+        report.validity_ok += int(record.validity)
+        if record.last_decision_round is not None:
+            report.decision_rounds.append(record.last_decision_round)
+        report.corruption_totals.append(record.messages_corrupted)
+        report.violations.extend(record.violations)
+        if record.predicate_held is not None:
+            report.predicate_held += int(record.predicate_held)
+            if record.predicate_held and not record.all_satisfied:
+                report.counterexamples += 1
+    return report
+
+
+def group_by_cell(
+    records: Sequence[RunRecord],
+) -> List[Tuple[Dict[str, object], List[RunRecord]]]:
+    """Group records by their grid cell, preserving first-seen order."""
+    groups: Dict[str, Tuple[Dict[str, object], List[RunRecord]]] = {}
+    order: List[str] = []
+    for record in records:
+        key = stable_hash(record.cell)
+        if key not in groups:
+            groups[key] = (dict(record.cell), [])
+            order.append(key)
+        groups[key][1].append(record)
+    return [groups[key] for key in order]
+
+
+def campaign_report(spec: CampaignSpec, records: Sequence[RunRecord]) -> "ExperimentReport":
+    """Fold campaign records into an :class:`ExperimentReport`, one row per cell."""
+    # Imported here: experiments.common itself routes batches through the
+    # runner, so a module-level import would be circular.
+    from repro.experiments.common import ExperimentReport
+
+    report = ExperimentReport(
+        experiment_id=spec.campaign_id,
+        title=f"campaign {spec.campaign_id} ({spec.runs} runs/cell, seed {spec.base_seed})",
+    )
+    for cell, cell_records in group_by_cell(records):
+        failed = [record for record in cell_records if not record.ok]
+        succeeded = [record for record in cell_records if record.ok]
+        row: Dict[str, object] = {
+            "algorithm": cell.get("algorithm"),
+            "adversary": cell.get("adversary"),
+            "n": cell.get("n"),
+        }
+        for params_field in ("algorithm_params", "adversary_params"):
+            params = cell.get(params_field) or {}
+            for name, value in sorted(params.items()):
+                row[name] = value
+        if succeeded:
+            batch = batch_report_from_records(succeeded)
+            row.update(
+                runs=batch.total,
+                agreement_rate=round(batch.agreement_rate, 3),
+                integrity_rate=round(batch.integrity_rate, 3),
+                termination_rate=round(batch.termination_rate, 3),
+                mean_decision_round=(
+                    round(batch.mean_decision_round, 2)
+                    if batch.mean_decision_round is not None
+                    else None
+                ),
+            )
+            if batch.predicate_held is not None:
+                row["predicate_held"] = batch.predicate_held
+                row["counterexamples"] = batch.counterexamples
+        if failed:
+            row["errors"] = len(failed)
+        report.add_row(**row)
+    if any(not record.ok for record in records):
+        report.add_note(
+            "cells with an 'errors' column had runs that failed or timed out; "
+            "their rates cover the successful runs only."
+        )
+    return report

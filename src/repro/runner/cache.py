@@ -1,0 +1,78 @@
+"""On-disk result cache for campaign runs.
+
+Each run record is stored as one small JSON file whose name is the
+SHA-256 digest of the run's stable cache key (the key already includes
+:data:`repro.runner.spec.CACHE_SCHEMA_VERSION`, so format changes
+invalidate old entries automatically).  Files are sharded into 256
+two-hex-digit subdirectories to keep directories small for large
+campaigns.
+
+Writes are atomic (write to a temp file in the same directory, then
+``os.replace``), so concurrent campaigns sharing a cache directory never
+observe half-written entries; a corrupt or unreadable entry is treated
+as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runner.records import RunRecord
+
+
+class ResultCache:
+    """A content-addressed store of :class:`RunRecord`s."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunRecord.from_dict(payload)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record.as_dict(), handle, default=str)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,358 @@
+"""The campaign executor: serial or multiprocessing-backed run execution.
+
+Two execution surfaces are offered:
+
+* :meth:`CampaignRunner.run_tasks` — execute concrete
+  :class:`RunTask`s (constructed algorithm/adversary objects) and
+  return compact :class:`RunRecord`s.  This is what
+  :func:`repro.experiments.common.run_batch` routes through, and the
+  only path with result caching (tasks carry stable keys).
+* :meth:`CampaignRunner.run_simulations` — like ``run_tasks`` but
+  returning full :class:`SimulationResult`s for drivers that inspect
+  heard-of collections directly.  No caching (full results are too
+  heavy to persist per run).
+* :meth:`CampaignRunner.run_campaign` — expand a declarative
+  :class:`CampaignSpec` into tasks and execute them with caching.
+
+Parallel execution uses :class:`concurrent.futures.ProcessPoolExecutor`;
+tasks are pickled to workers, so they must be built from picklable
+objects (every algorithm/adversary in this repository is).  Results are
+re-ordered by task index, which makes ``--jobs N`` output byte-identical
+to serial output.  Per-run timeouts are enforced *inside* the worker via
+``SIGALRM`` (POSIX), so a hung run cannot wedge the whole campaign; on
+platforms without ``SIGALRM`` the timeout is a no-op.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.adversary.base import Adversary
+from repro.core.algorithm import HOAlgorithm
+from repro.core.predicates import CommunicationPredicate
+from repro.core.process import ProcessId, Value
+from repro.runner.cache import ResultCache
+from repro.runner.factories import (
+    build_adversary,
+    build_algorithm,
+    build_predicate,
+    build_workload,
+)
+from repro.runner.records import RunRecord, RunnerStats
+from repro.runner.spec import CampaignSpec, RunSpec
+from repro.simulation.engine import SimulationResult, run_consensus
+
+
+class RunTimeoutError(RuntimeError):
+    """A single simulated run exceeded its wall-clock budget."""
+
+
+@dataclass
+class RunTask:
+    """One concrete run: live objects plus execution parameters.
+
+    ``key`` is the stable cache key (``None`` disables caching for this
+    task); ``cell``/``run_index``/``seed`` are carried through into the
+    resulting :class:`RunRecord` for aggregation and reporting.
+    """
+
+    algorithm: HOAlgorithm
+    adversary: Adversary
+    initial_values: Mapping[ProcessId, Value]
+    max_rounds: int = 60
+    min_rounds: int = 0
+    record_states: bool = False
+    predicate: Optional[CommunicationPredicate] = None
+    key: Optional[str] = None
+    cell: Dict[str, object] = field(default_factory=dict)
+    run_index: int = 0
+    seed: Optional[int] = None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run_campaign` invocation."""
+
+    spec: CampaignSpec
+    records: List[RunRecord]
+    stats: RunnerStats
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`RunTimeoutError` if the body runs longer than ``seconds``.
+
+    Uses ``SIGALRM``, which is only available on POSIX and only from the
+    main thread of the process; anywhere else the timeout silently
+    degrades to "no limit" rather than failing the run.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded timeout of {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_task(task: RunTask, timeout: Optional[float]) -> SimulationResult:
+    with _deadline(timeout):
+        return run_consensus(
+            algorithm=task.algorithm,
+            initial_values=task.initial_values,
+            adversary=task.adversary,
+            max_rounds=task.max_rounds,
+            min_rounds=task.min_rounds,
+            record_states=task.record_states,
+        )
+
+
+def _record_worker(
+    payload: Tuple[int, RunTask, Optional[float], bool]
+) -> Tuple[int, RunRecord]:
+    """Worker: run one task and reduce it to a :class:`RunRecord`."""
+    index, task, timeout, capture_errors = payload
+    try:
+        result = _execute_task(task, timeout)
+    except RunTimeoutError as exc:
+        return index, RunRecord.failure(
+            str(exc), timed_out=True, key=task.key, cell=task.cell,
+            run_index=task.run_index, seed=task.seed,
+        )
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        return index, RunRecord.failure(
+            f"{type(exc).__name__}: {exc}", key=task.key, cell=task.cell,
+            run_index=task.run_index, seed=task.seed,
+        )
+    return index, RunRecord.from_result(
+        result,
+        predicate=task.predicate,
+        key=task.key,
+        cell=task.cell,
+        run_index=task.run_index,
+        seed=task.seed,
+    )
+
+
+def _simulation_worker(
+    payload: Tuple[int, RunTask, Optional[float]]
+) -> Tuple[int, SimulationResult]:
+    """Worker: run one task and return the full simulation result."""
+    index, task, timeout = payload
+    return index, _execute_task(task, timeout)
+
+
+def _task_from_spec(spec: RunSpec) -> RunTask:
+    """Materialise a declarative :class:`RunSpec` into a live task."""
+    return RunTask(
+        algorithm=build_algorithm(spec.algorithm, spec.n),
+        adversary=build_adversary(spec.adversary, spec.n, spec.seed),
+        initial_values=build_workload(spec.workload, spec.n, spec.seed),
+        max_rounds=spec.max_rounds,
+        min_rounds=spec.min_rounds,
+        predicate=build_predicate(spec.predicate, spec.n),
+        key=spec.config_hash(),
+        cell=spec.cell(),
+        run_index=spec.run_index,
+        seed=spec.seed,
+    )
+
+
+class CampaignRunner:
+    """Executes batches of runs serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` (the default) executes
+        in-process, which is what the experiment drivers use when no
+        runner is supplied — behaviour and results are identical either
+        way, only wall-clock time differs.
+    timeout:
+        Per-run wall-clock budget in seconds (``None`` = unlimited).
+    cache:
+        Optional :class:`ResultCache` (or a directory path, which is
+        wrapped in one).  Only tasks carrying a ``key`` participate.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        cache: Optional[Union[ResultCache, str]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.cache = (
+            cache if cache is None or isinstance(cache, ResultCache) else ResultCache(cache)
+        )
+        self.stats = RunnerStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> ProcessPoolExecutor:
+        # One pool per runner, reused across run_tasks/run_simulations
+        # calls: drivers invoke the runner once per sweep cell, and
+        # respawning workers per call would dominate small batches on
+        # spawn-start platforms.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (a later call lazily recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Record-producing execution (cacheable)
+    # ------------------------------------------------------------------
+    def run_tasks(
+        self, tasks: Sequence[RunTask], capture_errors: bool = False
+    ) -> List[RunRecord]:
+        """Execute ``tasks`` and return one :class:`RunRecord` each, in order.
+
+        Cached tasks (``task.key`` present in the cache) are not
+        re-executed.  With ``capture_errors`` worker exceptions become
+        failure records instead of propagating — campaigns over
+        user-supplied grids use this so one infeasible cell cannot sink
+        the whole sweep.
+        """
+        started = time.perf_counter()
+        records: List[Optional[RunRecord]] = [None] * len(tasks)
+        pending: List[Tuple[int, RunTask]] = []
+
+        for index, task in enumerate(tasks):
+            cached = (
+                self.cache.get(task.key) if self.cache is not None and task.key else None
+            )
+            if cached is not None:
+                self.stats.cache_hits += 1
+                records[index] = cached
+            else:
+                if self.cache is not None and task.key:
+                    self.stats.cache_misses += 1
+                pending.append((index, task))
+
+        for index, record in self._execute_pending(pending, capture_errors):
+            records[index] = record
+            task = tasks[index]
+            if record.ok and self.cache is not None and task.key:
+                self.cache.put(task.key, record)
+
+        self.stats.total += len(tasks)
+        self.stats.executed += len(pending)
+        self.stats.failures += sum(1 for r in records if r is not None and r.error and not r.timed_out)
+        self.stats.timeouts += sum(1 for r in records if r is not None and r.timed_out)
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        return [record for record in records if record is not None]
+
+    def _execute_pending(
+        self, pending: Sequence[Tuple[int, RunTask]], capture_errors: bool
+    ):
+        if not pending:
+            return
+        if self.jobs == 1:
+            for index, task in pending:
+                yield _record_worker((index, task, self.timeout, capture_errors))
+            return
+        payloads = [
+            (index, task, self.timeout, capture_errors) for index, task in pending
+        ]
+        try:
+            pool = self._get_pool()
+            futures = {pool.submit(_record_worker, payload) for payload in payloads}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+        except BrokenProcessPool:
+            # A dead worker poisons the pool; drop it so the next call
+            # starts from a fresh one.
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Full-result execution (uncached; for collection-inspecting drivers)
+    # ------------------------------------------------------------------
+    def run_simulations(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
+        """Execute ``tasks`` and return full results in task order."""
+        started = time.perf_counter()
+        results: List[Optional[SimulationResult]] = [None] * len(tasks)
+        if self.jobs == 1:
+            for index, task in enumerate(tasks):
+                results[index] = _execute_task(task, self.timeout)
+        else:
+            payloads = [(index, task, self.timeout) for index, task in enumerate(tasks)]
+            try:
+                for index, result in self._get_pool().map(_simulation_worker, payloads):
+                    results[index] = result
+            except BrokenProcessPool:
+                self.close()
+                raise
+        self.stats.total += len(tasks)
+        self.stats.executed += len(tasks)
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Declarative campaigns
+    # ------------------------------------------------------------------
+    def run_campaign(self, spec: CampaignSpec) -> CampaignResult:
+        """Expand ``spec`` into tasks, execute (with caching), aggregate."""
+        run_specs = spec.expand()
+        tasks: List[RunTask] = []
+        records_by_index: Dict[int, RunRecord] = {}
+        task_positions: List[int] = []
+        for position, run_spec in enumerate(run_specs):
+            try:
+                tasks.append(_task_from_spec(run_spec))
+                task_positions.append(position)
+            except Exception as exc:  # infeasible cell (bad name/params)
+                records_by_index[position] = RunRecord.failure(
+                    f"{type(exc).__name__}: {exc}",
+                    key=run_spec.config_hash(),
+                    cell=run_spec.cell(),
+                    run_index=run_spec.run_index,
+                    seed=run_spec.seed,
+                )
+                self.stats.total += 1
+                self.stats.failures += 1
+        executed = self.run_tasks(tasks, capture_errors=True)
+        for position, record in zip(task_positions, executed):
+            records_by_index[position] = record
+        records = [records_by_index[position] for position in range(len(run_specs))]
+        return CampaignResult(spec=spec, records=records, stats=self.stats)

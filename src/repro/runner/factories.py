@@ -1,0 +1,198 @@
+"""Factories turning declarative specs into live simulation objects.
+
+The campaign runner executes runs in worker processes, so runs are
+described by plain-data specs (:mod:`repro.runner.spec`) and the
+objects — algorithm, adversary, workload, predicate — are built from
+small registries keyed by name.  Each adversary builder receives the
+system size and the run's derived seed so fault schedules are
+reproducible per run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.adversary import (
+    BlockFaultAdversary,
+    MinimumSafeDeliveryAdversary,
+    PeriodicGoodPhaseAdversary,
+    PeriodicGoodRoundAdversary,
+    RandomCorruptionAdversary,
+    RandomOmissionAdversary,
+    ReliableAdversary,
+    RotatingSenderCorruptionAdversary,
+    SplitVoteAdversary,
+    StaticByzantineAdversary,
+)
+from repro.adversary.base import Adversary
+from repro.algorithms import make_algorithm
+from repro.core.algorithm import HOAlgorithm
+from repro.core.predicates import (
+    AlphaSafePredicate,
+    BenignPredicate,
+    CommunicationPredicate,
+    PermanentAlphaPredicate,
+    TruePredicate,
+)
+from repro.core.process import ProcessId, Value
+from repro.runner.spec import AdversarySpec, AlgorithmSpec, PredicateSpec, WorkloadSpec
+from repro.workloads import generators
+
+
+# ----------------------------------------------------------------------
+# Algorithms
+# ----------------------------------------------------------------------
+def build_algorithm(spec: AlgorithmSpec, n: int) -> HOAlgorithm:
+    """Construct the algorithm named by ``spec`` for ``n`` processes."""
+    return make_algorithm(spec.name, n=n, **dict(spec.params))
+
+
+# ----------------------------------------------------------------------
+# Adversaries
+# ----------------------------------------------------------------------
+def _adv_reliable(n: int, seed: int, **params: object) -> Adversary:
+    return ReliableAdversary()
+
+
+def _adv_random_omission(n: int, seed: int, drop_probability: float = 0.1, **params) -> Adversary:
+    return RandomOmissionAdversary(drop_probability=drop_probability, seed=seed)
+
+
+def _adv_omission_good_rounds(
+    n: int, seed: int, drop_probability: float = 0.2, period: int = 4, **params
+) -> Adversary:
+    return PeriodicGoodRoundAdversary(
+        inner=RandomOmissionAdversary(drop_probability=drop_probability, seed=seed),
+        period=period,
+    )
+
+
+def _adv_random_corruption(n: int, seed: int, alpha: int = 1, **params) -> Adversary:
+    return RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed)
+
+
+def _adv_rotating_corruption(n: int, seed: int, alpha: int = 1, **params) -> Adversary:
+    return RotatingSenderCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed)
+
+
+def _adv_corruption_good_rounds(
+    n: int, seed: int, alpha: int = 1, period: int = 4, **params
+) -> Adversary:
+    return PeriodicGoodRoundAdversary(
+        inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+        period=period,
+    )
+
+
+def _adv_corruption_good_phases(
+    n: int, seed: int, alpha: int = 1, period: int = 3, **params
+) -> Adversary:
+    return PeriodicGoodPhaseAdversary(
+        inner=RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed),
+        period=period,
+    )
+
+
+def _adv_ute_safe_env(
+    n: int,
+    seed: int,
+    alpha: int = 1,
+    minimum: Optional[float] = None,
+    period: int = 3,
+    **params,
+) -> Adversary:
+    """Corruption bounded by alpha, with the P^U,safe floor and good phases."""
+    inner = RandomCorruptionAdversary(alpha=alpha, value_domain=(0, 1), seed=seed)
+    if minimum is not None:
+        inner = MinimumSafeDeliveryAdversary.for_strict_bound(inner, float(minimum))
+    return PeriodicGoodPhaseAdversary(inner=inner, period=period)
+
+
+def _adv_split_vote(n: int, seed: int, budget: int = 1, **params) -> Adversary:
+    return SplitVoteAdversary(budget_per_receiver=budget, value_a=0, value_b=1, seed=seed)
+
+
+def _adv_block_faults(
+    n: int, seed: int, faults_per_round: Optional[int] = None, **params
+) -> Adversary:
+    per_round = faults_per_round if faults_per_round is not None else n // 2
+    return BlockFaultAdversary(faults_per_round=per_round, value_domain=(0, 1), seed=seed)
+
+
+def _adv_static_byzantine(
+    n: int, seed: int, f: int = 1, equivocate: bool = True, **params
+) -> Adversary:
+    return StaticByzantineAdversary(
+        byzantine=range(f), equivocate=equivocate, value_domain=(0, 1), seed=seed
+    )
+
+
+_ADVERSARIES: Dict[str, Callable[..., Adversary]] = {
+    "reliable": _adv_reliable,
+    "random-omission": _adv_random_omission,
+    "omission-good-rounds": _adv_omission_good_rounds,
+    "random-corruption": _adv_random_corruption,
+    "rotating-corruption": _adv_rotating_corruption,
+    "corruption-good-rounds": _adv_corruption_good_rounds,
+    "corruption-good-phases": _adv_corruption_good_phases,
+    "ute-safe-env": _adv_ute_safe_env,
+    "split-vote": _adv_split_vote,
+    "block-faults": _adv_block_faults,
+    "static-byzantine": _adv_static_byzantine,
+}
+
+
+def available_adversaries() -> List[str]:
+    """Names accepted by :func:`build_adversary` (for CLI help/errors)."""
+    return sorted(_ADVERSARIES)
+
+
+def build_adversary(spec: AdversarySpec, n: int, seed: int) -> Adversary:
+    builder = _ADVERSARIES.get(spec.name)
+    if builder is None:
+        raise KeyError(
+            f"unknown adversary {spec.name!r}; available: {', '.join(available_adversaries())}"
+        )
+    return builder(n=n, seed=seed, **dict(spec.params))
+
+
+# ----------------------------------------------------------------------
+# Workloads (initial values)
+# ----------------------------------------------------------------------
+def build_workload(spec: WorkloadSpec, n: int, seed: int) -> Mapping[ProcessId, Value]:
+    params = dict(spec.params)
+    if spec.name == "unanimous":
+        return generators.unanimous(n, value=params.get("value", 0))
+    if spec.name == "split":
+        return generators.split(n, count_a=params.get("count_a"))
+    if spec.name == "random":
+        return generators.uniform_random(n, seed=seed)
+    if spec.name == "skewed":
+        return generators.skewed(
+            n, minority_fraction=params.get("minority_fraction", 0.25), seed=seed
+        )
+    if spec.name == "distinct":
+        return generators.distinct(n)
+    raise KeyError(
+        f"unknown workload {spec.name!r}; available: distinct, random, skewed, split, unanimous"
+    )
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+def build_predicate(spec: Optional[PredicateSpec], n: int) -> Optional[CommunicationPredicate]:
+    if spec is None:
+        return None
+    params = dict(spec.params)
+    if spec.name == "alpha-safe":
+        return AlphaSafePredicate(int(params.get("alpha", 0)))
+    if spec.name == "permanent-alpha":
+        return PermanentAlphaPredicate(int(params.get("alpha", 0)))
+    if spec.name == "benign":
+        return BenignPredicate()
+    if spec.name == "true":
+        return TruePredicate()
+    raise KeyError(
+        f"unknown predicate {spec.name!r}; available: alpha-safe, benign, permanent-alpha, true"
+    )

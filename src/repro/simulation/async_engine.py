@@ -20,7 +20,7 @@ algorithm, adversary and seeds (covered by
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.adversary.base import Adversary, ReliableAdversary

@@ -67,6 +67,11 @@ class SimulationConfig:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
         if self.min_rounds < 0:
             raise ValueError(f"min_rounds must be >= 0, got {self.min_rounds}")
+        if self.min_rounds > self.max_rounds:
+            raise ValueError(
+                f"min_rounds ({self.min_rounds}) must not exceed max_rounds "
+                f"({self.max_rounds}); the run can never satisfy both bounds"
+            )
 
 
 @dataclass
@@ -149,14 +154,23 @@ def execute_round(
     round_num: int,
     adversary: Adversary,
     record_states: bool = True,
+    pids: Optional[Sequence[ProcessId]] = None,
 ) -> RoundRecord:
     """Execute one communication-closed round and return its record.
 
     Steps (Section 2.1): every process applies its sending function; the
     adversary (the "environment") determines the reception vectors; every
     process applies its transition function.
+
+    ``pids`` lets callers that execute many rounds (the run loop, the
+    campaign runner) pass the sorted process ids once instead of
+    re-sorting every round; ``record_states=False`` skips the two full
+    state-snapshot passes — together these make up the engine fast path
+    used by sweeps.
     """
-    pids = sorted(processes)
+    if pids is None:
+        pids = sorted(processes)
+    pid_set = frozenset(pids)
 
     intended: Dict[ProcessId, Dict[ProcessId, object]] = {
         sender: {receiver: processes[sender].send_to(round_num, receiver) for receiver in pids}
@@ -169,14 +183,13 @@ def execute_round(
 
     reception_vectors: Dict[ProcessId, ReceptionVector] = {}
     for receiver in pids:
-        inbox = dict(received.get(receiver, {}))
-        intended_for_receiver = {sender: intended[sender][receiver] for sender in pids}
-        # An adversary may not invent receptions from non-existent senders.
-        inbox = {s: v for s, v in inbox.items() if s in intended_for_receiver}
+        # Copy the adversary's inbox, refusing receptions invented for
+        # non-existent senders (one fused pass instead of copy + filter).
+        inbox = {s: v for s, v in received.get(receiver, {}).items() if s in pid_set}
         reception_vectors[receiver] = ReceptionVector(
             receiver=receiver,
             received=inbox,
-            intended=intended_for_receiver,
+            intended={sender: intended[sender][receiver] for sender in pids},
         )
 
     for pid in pids:
@@ -213,11 +226,13 @@ def run_algorithm(
 
     processes = algorithm.create_all(initial_values)
     n = len(processes)
+    pids = sorted(processes)
+    process_list = [processes[pid] for pid in pids]
     collection = HeardOfCollection(n)
 
     rounds_executed = 0
     for round_num in range(1, config.max_rounds + 1):
-        record = execute_round(processes, round_num, adversary, config.record_states)
+        record = execute_round(processes, round_num, adversary, config.record_states, pids=pids)
         collection.append(record)
         rounds_executed = round_num
 
@@ -227,7 +242,7 @@ def run_algorithm(
         if (
             config.stop_when_all_decided
             and round_num >= config.min_rounds
-            and all(proc.decided for proc in processes.values())
+            and all(proc.decided for proc in process_list)
         ):
             break
 
@@ -245,7 +260,14 @@ def run_algorithm(
             "adversary": adversary.describe(),
         },
     )
-    metrics = metrics_from_collection(collection, {d.process: d.round_num for d in decisions})
+    # Fast path: sweeps run with record_states=False and do not consume the
+    # per-round fault profiles, so skip building them (the scalar totals in
+    # RunMetrics are kept either way).
+    metrics = metrics_from_collection(
+        collection,
+        {d.process: d.round_num for d in decisions},
+        include_profiles=config.record_states,
+    )
 
     return SimulationResult(
         processes=processes,

@@ -81,8 +81,18 @@ class RunMetrics:
         }
 
 
-def metrics_from_collection(collection: HeardOfCollection, decision_rounds: Dict[ProcessId, int]) -> RunMetrics:
-    """Build :class:`RunMetrics` from a recorded heard-of collection."""
+def metrics_from_collection(
+    collection: HeardOfCollection,
+    decision_rounds: Dict[ProcessId, int],
+    include_profiles: bool = True,
+) -> RunMetrics:
+    """Build :class:`RunMetrics` from a recorded heard-of collection.
+
+    ``include_profiles=False`` is the fast path used by campaign sweeps:
+    the per-round corruption/omission profile lists are left empty (the
+    scalar totals are always populated), saving one full pass over the
+    collection per run.
+    """
     n = collection.n
     rounds = collection.num_rounds
     sent = n * n * rounds
@@ -97,6 +107,8 @@ def metrics_from_collection(collection: HeardOfCollection, decision_rounds: Dict
         messages_dropped=dropped,
         messages_corrupted=corrupted,
         decision_rounds=dict(decision_rounds),
-        corruption_per_round=collection.corruption_profile(),
-        omission_per_round=[record.total_omissions() for record in collection],
+        corruption_per_round=collection.corruption_profile() if include_profiles else [],
+        omission_per_round=(
+            [record.total_omissions() for record in collection] if include_profiles else []
+        ),
     )

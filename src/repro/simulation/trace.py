@@ -17,7 +17,7 @@ from typing import Dict, Optional, Union
 
 from repro.adversary.base import Adversary, IntendedMatrix, ReceivedMatrix
 from repro.core.heardof import HeardOfCollection, ReceptionVector, RoundRecord
-from repro.core.process import Payload, ProcessId
+from repro.core.process import Payload
 
 
 # ----------------------------------------------------------------------

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.adversary.base import Adversary, IntendedMatrix, ReceivedMatrix
 from repro.core.algorithm import HOAlgorithm
-from repro.core.process import Payload, ProcessId, Value
+from repro.core.process import ProcessId, Value
 from repro.simulation.engine import SimulationConfig, SimulationResult, run_algorithm
 
 # A per-receiver plan maps sender -> ("drop", None) | ("corrupt", value).

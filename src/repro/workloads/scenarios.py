@@ -12,7 +12,7 @@ lossy-but-uncorrupted networks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping
 
 from repro.adversary import (
     Adversary,

@@ -147,7 +147,6 @@ class TestALivePredicate:
         n = 4
         received_by = {p: {q: (99 if p == 0 and q == 1 else 0) for q in range(n)} for p in range(n)}
         records = [make_round(1, n, received_by, intended_value=0)]
-        collection = HeardOfCollection(n, records)
         # Process 0's HO != SHO, so it cannot be in Pi1; the others still form
         # a big enough Pi1 only if |Pi1| > E - alpha.
         strict = ALivePredicate(n=n, alpha=0, threshold=3, enough=3.5)

@@ -6,8 +6,6 @@ rows are fully safe), using smaller run counts than the benchmark
 defaults so the whole module stays fast.
 """
 
-import pytest
-
 from repro.experiments import (
     ALL_EXPERIMENTS,
     alive_predicate_effect,

@@ -78,3 +78,66 @@ class TestTableCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "A_{T,E}" in out and "Resilience" not in out
+
+
+class TestCampaignCommand:
+    def test_campaign_parsing(self):
+        args = build_parser().parse_args(
+            ["campaign", "E1", "--jobs", "4", "--no-cache", "--runs", "3"]
+        )
+        assert args.ids == ["E1"] and args.jobs == 4 and args.no_cache and args.runs == 3
+
+    def test_campaign_runs_e1_and_prints_stats(self, tmp_path, capsys):
+        code = main([
+            "campaign", "E1", "--runs", "2", "--n", "6", "--max-rounds", "20",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "runner[E1]" in out and "cache_misses" in out
+
+    def test_campaign_second_invocation_hits_cache(self, tmp_path, capsys):
+        argv = [
+            "campaign", "E1", "--runs", "2", "--n", "6", "--max-rounds", "20",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "executed=0" in second and "cache_hits=" in second
+        # Everything except the runner stats line is byte-identical.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if not line.startswith("runner[")
+        ]
+        assert strip(first) == strip(second)
+
+    def test_campaign_requires_ids_or_spec(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "experiment ids" in capsys.readouterr().err
+
+    def test_campaign_spec_file(self, tmp_path, capsys):
+        import json as json_module
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json_module.dumps({
+            "campaign_id": "cli-spec-test",
+            "algorithms": [{"name": "ate", "params": {"alpha": 1}}],
+            "adversaries": [
+                {"name": "corruption-good-rounds", "params": {"alpha": 1, "period": 4}}
+            ],
+            "predicates": [{"name": "alpha-safe", "params": {"alpha": 1}}],
+            "ns": [6],
+            "runs": 2,
+            "base_seed": 3,
+            "max_rounds": 20,
+        }))
+        report_path = tmp_path / "report.json"
+        code = main([
+            "campaign", "--spec", str(spec_path), "--no-cache", "--json", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-spec-test" in out
+        data = json_module.loads(report_path.read_text())
+        assert data["rows"] and data["rows"][0]["agreement_rate"] == 1.0

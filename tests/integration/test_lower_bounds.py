@@ -14,6 +14,11 @@ from repro.core.parameters import AteParameters, UteParameters
 from repro.simulation.engine import run_consensus
 from repro.workloads import generators
 
+import pytest
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 
 class TestSantoroWidmayerCircumvention:
     def test_block_faults_at_the_impossibility_threshold_keep_safety(self):

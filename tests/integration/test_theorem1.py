@@ -25,6 +25,9 @@ from repro.simulation.engine import SimulationConfig, run_algorithm, run_consens
 from repro.verification.invariants import standard_monitors
 from repro.workloads import generators
 
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 
 class TestTheorem1Safety:
     @pytest.mark.parametrize("n,alpha", [(5, 1), (9, 2), (12, 2), (13, 3)])

@@ -18,6 +18,9 @@ from repro.simulation.engine import SimulationConfig, run_algorithm, run_consens
 from repro.verification.invariants import SingleTrueVoteMonitor, standard_monitors
 from repro.workloads import generators
 
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 
 def _theorem2_adversary(params: UteParameters, seed: int, period: int = 3):
     """An environment satisfying the full predicate conjunction of Theorem 2."""

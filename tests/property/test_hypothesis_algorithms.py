@@ -24,6 +24,11 @@ from repro.core.parameters import AteParameters, UteParameters
 from repro.core.predicates import AlphaSafePredicate
 from repro.simulation.engine import run_consensus
 
+import pytest
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 SIM_SETTINGS = settings(
     max_examples=30,
     deadline=None,

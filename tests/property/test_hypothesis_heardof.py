@@ -13,6 +13,11 @@ from repro.core.heardof import (
     safe_kernel,
 )
 
+import pytest
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 # ----------------------------------------------------------------------
 # Strategies
 # ----------------------------------------------------------------------

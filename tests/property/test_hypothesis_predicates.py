@@ -26,6 +26,11 @@ from repro.core.predicates import (
 )
 from repro.simulation.engine import run_consensus
 
+import pytest
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 SIM_SETTINGS = settings(
     max_examples=25,
     deadline=None,

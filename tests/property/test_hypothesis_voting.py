@@ -13,6 +13,11 @@ from repro.algorithms.voting import (
     values_at_least,
 )
 
+import pytest
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 value_lists = st.lists(st.integers(min_value=-5, max_value=5), max_size=30)
 
 

@@ -1,0 +1,91 @@
+"""Tests for campaign specs: expansion, hashing and seed derivation."""
+
+import json
+
+from repro.runner import (
+    AdversarySpec,
+    AlgorithmSpec,
+    CampaignSpec,
+    PredicateSpec,
+    WorkloadSpec,
+    cell_cache_key,
+    derive_seed,
+    stable_hash,
+)
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        campaign_id="spec-test",
+        algorithms=[AlgorithmSpec("ate", {"alpha": 1}), AlgorithmSpec("ute", {"alpha": 1})],
+        adversaries=[AdversarySpec("corruption-good-rounds", {"alpha": 1, "period": 4})],
+        predicates=[PredicateSpec("alpha-safe", {"alpha": 1})],
+        ns=[5, 7],
+        runs=3,
+        base_seed=11,
+        max_rounds=30,
+        workload=WorkloadSpec("random"),
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestStableHash:
+    def test_independent_of_key_order(self):
+        assert stable_hash({"a": 1, "b": [2, 3]}) == stable_hash({"b": [2, 3], "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+    def test_cell_cache_key_sensitive_to_every_field(self):
+        base = cell_cache_key(experiment="E1", n=8, alpha=1, seed=3)
+        assert cell_cache_key(experiment="E1", n=8, alpha=1, seed=4) != base
+        assert cell_cache_key(experiment="E2", n=8, alpha=1, seed=3) != base
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(1, "cell", 0) == derive_seed(1, "cell", 0)
+
+    def test_distinct_across_runs_and_cells(self):
+        seeds = {derive_seed(1, cell, index) for cell in ("a", "b") for index in range(50)}
+        assert len(seeds) == 100
+
+    def test_base_seed_changes_everything(self):
+        assert derive_seed(1, "cell", 0) != derive_seed(2, "cell", 0)
+
+
+class TestCampaignExpansion:
+    def test_expansion_size_is_grid_times_runs(self):
+        spec = small_spec()
+        # 2 algorithms x 1 adversary x 1 predicate x 2 ns x 3 runs
+        assert len(spec.expand()) == 12
+
+    def test_expansion_is_deterministic(self):
+        first = [run.as_dict() for run in small_spec().expand()]
+        second = [run.as_dict() for run in small_spec().expand()]
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_config_hashes_unique_per_run(self):
+        hashes = [run.config_hash() for run in small_spec().expand()]
+        assert len(set(hashes)) == len(hashes)
+
+    def test_base_seed_changes_run_hashes(self):
+        baseline = {run.config_hash() for run in small_spec().expand()}
+        reseeded = {run.config_hash() for run in small_spec(base_seed=12).expand()}
+        assert baseline.isdisjoint(reseeded)
+
+    def test_round_trips_through_dict_and_json(self, tmp_path):
+        spec = small_spec()
+        assert CampaignSpec.from_dict(spec.as_dict()).config_hash() == spec.config_hash()
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        assert CampaignSpec.from_json(path).config_hash() == spec.config_hash()
+
+    def test_rejects_empty_grid_and_bad_runs(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            small_spec(runs=0)
+        with pytest.raises(ValueError):
+            small_spec(algorithms=[])

@@ -2,8 +2,6 @@
 
 import asyncio
 
-import pytest
-
 from repro.adversary import RandomCorruptionAdversary, RandomOmissionAdversary, ReliableAdversary
 from repro.algorithms import AteAlgorithm, UteAlgorithm
 from repro.simulation.async_engine import (

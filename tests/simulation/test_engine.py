@@ -29,6 +29,12 @@ class TestSimulationConfig:
         with pytest.raises(ValueError):
             SimulationConfig(min_rounds=-1)
 
+    def test_min_rounds_must_not_exceed_max_rounds(self):
+        with pytest.raises(ValueError, match="min_rounds"):
+            SimulationConfig(max_rounds=5, min_rounds=6)
+        # Equality is fine: run exactly max_rounds rounds.
+        assert SimulationConfig(max_rounds=5, min_rounds=5).min_rounds == 5
+
 
 class TestExecuteRound:
     def test_round_record_contains_reception_vectors(self):
@@ -201,3 +207,40 @@ class TestUteEndToEnd:
             max_rounds=40,
         )
         assert result.safe
+
+
+class TestFastPath:
+    """record_states=False is the sweep fast path: no snapshots, no profiles."""
+
+    def test_fast_path_trims_metric_profiles_but_keeps_totals(self):
+        n = 6
+        adversary = RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=4)
+        fast = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1),
+            generators.split(n),
+            adversary,
+            max_rounds=10,
+            record_states=False,
+        )
+        assert fast.metrics.corruption_per_round == []
+        assert fast.metrics.omission_per_round == []
+        assert fast.metrics.messages_sent == n * n * fast.rounds_executed
+        # The collection still carries the full per-round fault information.
+        assert sum(fast.collection.corruption_profile()) == fast.metrics.messages_corrupted
+
+    def test_fast_path_and_slow_path_agree_on_outcome(self):
+        n = 6
+        make_adversary = lambda: RandomCorruptionAdversary(  # noqa: E731
+            alpha=1, value_domain=(0, 1), seed=4
+        )
+        fast = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1), generators.split(n),
+            make_adversary(), max_rounds=10, record_states=False,
+        )
+        slow = run_consensus(
+            AteAlgorithm.symmetric(n=n, alpha=1), generators.split(n),
+            make_adversary(), max_rounds=10, record_states=True,
+        )
+        assert fast.outcome.decision_values == slow.outcome.decision_values
+        assert fast.outcome.decision_rounds == slow.outcome.decision_rounds
+        assert slow.metrics.corruption_per_round == slow.collection.corruption_profile()

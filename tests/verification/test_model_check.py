@@ -11,6 +11,9 @@ from repro.verification.model_check import (
     model_check,
 )
 
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
 
 class TestPlannedAdversary:
     def test_applies_plan_and_defaults_to_reliable(self):
