@@ -33,7 +33,15 @@ from repro.algorithms import available_algorithms, make_algorithm
 from repro.analysis.comparison import related_work_rows, render_table, table1_rows
 from repro.analysis.feasibility import resilience_table
 from repro.experiments import ALL_EXPERIMENTS
-from repro.runner import CampaignRunner, CampaignSpec, ResultCache, campaign_report
+from repro.runner import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultCache,
+    campaign_report,
+    make_reducer,
+    reduced_campaign_report,
+)
+from repro.runner.factories import build_predicate
 from repro.simulation.engine import run_consensus
 from repro.workloads import generators
 
@@ -146,6 +154,29 @@ def _driver_overrides(driver, args: argparse.Namespace) -> dict:
     }
 
 
+def _spec_reducer(name: str, spec: CampaignSpec):
+    """Build the in-worker reducer requested by ``--reduce``.
+
+    ``predicate`` evaluates every (non-null) predicate of the spec's
+    grid inside the worker; ``decision`` and ``fault-profile`` take no
+    configuration.
+    """
+    if name != "predicate":
+        return make_reducer(name)
+    predicates = {}
+    for predicate_spec in spec.predicates or ():
+        if predicate_spec is None:
+            continue
+        # The registry predicates are n-independent, so n=0 is fine here.
+        predicate = build_predicate(predicate_spec, n=0)
+        predicates[predicate.name] = predicate
+    if not predicates:
+        raise ValueError(
+            "--reduce predicate needs at least one non-null predicate in the spec"
+        )
+    return make_reducer("predicate", predicates)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -158,16 +189,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot load campaign spec {args.spec!r}: {exc}", file=sys.stderr)
             return 2
-        with CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache) as runner:
-            result = runner.run_campaign(spec)
-        report = campaign_report(spec, result.records)
+        if args.reduce:
+            try:
+                reducer = _spec_reducer(args.reduce, spec)
+            except (KeyError, ValueError) as exc:
+                print(f"cannot build reducer {args.reduce!r}: {exc}", file=sys.stderr)
+                return 2
+            with CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache) as runner:
+                result = runner.run_reduced_campaign(spec, reducer)
+            report = reduced_campaign_report(spec, reducer, result.records)
+        else:
+            with CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache) as runner:
+                result = runner.run_campaign(spec)
+            report = campaign_report(spec, result.records)
         print(report.render())
         if args.json:
             report.to_json(args.json)
             print(f"wrote {args.json}")
-        print(f"runner[{spec.campaign_id}]: jobs={args.jobs} {runner.stats.summary()}")
+        print(f"runner[{spec.campaign_id}]: jobs={args.jobs} {result.stats.summary()}")
         failed = sum(1 for record in result.records if not record.ok)
         return 1 if failed else 0
+
+    if args.reduce:
+        print("--reduce requires --spec (experiment drivers pick their own reducers)", file=sys.stderr)
+        return 2
 
     if not args.ids:
         print("campaign needs experiment ids (or 'all'), or --spec FILE", file=sys.stderr)
@@ -270,6 +315,17 @@ def build_parser() -> argparse.ArgumentParser:
         "ids", nargs="*", help="experiment ids E1..E12, or 'all' (omit when using --spec)"
     )
     campaign_parser.add_argument("--spec", help="JSON CampaignSpec file to run instead of ids")
+    campaign_parser.add_argument(
+        "--reduce",
+        choices=["decision", "predicate", "fault-profile"],
+        help=(
+            "with --spec: apply this reducer inside the workers and ship back "
+            "only compact reduced records (cacheable under reducer-fingerprinted "
+            "keys). 'predicate' evaluates every spec predicate on every run, so "
+            "keep the spec's predicate grid to a single entry to avoid redundant "
+            "cells"
+        ),
+    )
     campaign_parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     campaign_parser.add_argument(
         "--timeout", type=float, default=None, help="per-run timeout in seconds"

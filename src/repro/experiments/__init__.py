@@ -23,7 +23,12 @@ E13 (engine throughput) has no driver here — it is measured directly by
 
 from repro.experiments.benign import benign_baselines
 from repro.experiments.byzantine import byzantine_predicates
-from repro.experiments.common import ExperimentReport, run_batch, run_batch_results
+from repro.experiments.common import (
+    ExperimentReport,
+    run_batch,
+    run_batch_results,
+    run_reduced_batch,
+)
 from repro.experiments.liveness import alive_predicate_effect, ulive_predicate_effect
 from repro.experiments.lower_bounds import (
     fast_decision,
@@ -61,6 +66,7 @@ __all__ = [
     "lamport_attainment",
     "run_batch",
     "run_batch_results",
+    "run_reduced_batch",
     "santoro_widmayer_circumvention",
     "ulive_predicate_effect",
     "ute_resilience_sweep",

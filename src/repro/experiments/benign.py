@@ -24,8 +24,8 @@ from repro.algorithms import (
     UteAlgorithm,
 )
 from repro.core.parameters import AteParameters
-from repro.experiments.common import ExperimentReport, run_batch_results
-from repro.verification.properties import aggregate
+from repro.experiments.common import ExperimentReport, run_reduced_batch
+from repro.runner.reduce import DecisionReducer, batch_report_from_reduced
 from repro.workloads import generators
 
 if TYPE_CHECKING:
@@ -60,22 +60,24 @@ def benign_baselines(
         adversary_b = PeriodicGoodRoundAdversary(
             inner=RandomOmissionAdversary(drop_probability=0.2, seed=seed * 31 + index), period=3
         )
-        ate = run_batch_results(
+        ate = run_reduced_batch(
             algorithm_factory=lambda i: AteAlgorithm(AteParameters.symmetric(n=n, alpha=0)),
             adversary_factory=lambda i, adv=adversary_a: adv,
             initial_value_batches=[workload],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )[0]
-        otr = run_batch_results(
+        otr = run_reduced_batch(
             algorithm_factory=lambda i: OneThirdRuleAlgorithm(n),
             adversary_factory=lambda i, adv=adversary_b: adv,
             initial_value_batches=[workload],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )[0]
-        same_values = ate.outcome.decision_values == otr.outcome.decision_values
-        same_rounds = ate.outcome.decision_rounds == otr.outcome.decision_rounds
+        same_values = ate["decision_values"] == otr["decision_values"]
+        same_rounds = ate["decision_rounds"] == otr["decision_rounds"]
         if not (same_values and same_rounds):
             equivalence_mismatches += 1
     report.add_row(
@@ -93,17 +95,18 @@ def benign_baselines(
     }
     for drop_probability in drop_probabilities:
         for label, algorithm_factory in algorithms.items():
-            results = run_batch_results(
+            rows = run_reduced_batch(
                 algorithm_factory=lambda index, factory=algorithm_factory: factory(),
                 adversary_factory=lambda index, p=drop_probability: PeriodicGoodRoundAdversary(
                     inner=RandomOmissionAdversary(drop_probability=p, seed=seed * 97 + index),
                     period=4,
                 ),
                 initial_value_batches=generators.batch(n, runs, seed=seed),
+                reducer=DecisionReducer(),
                 max_rounds=max_rounds,
                 runner=runner,
             )
-            batch = aggregate(results)
+            batch = batch_report_from_reduced(rows)
             report.add_row(
                 check="omission sweep",
                 algorithm=label,

@@ -28,8 +28,8 @@ from repro.core.predicates import (
     ByzantineSynchronousPredicate,
     PermanentAlphaPredicate,
 )
-from repro.experiments.common import ExperimentReport, run_batch_results
-from repro.verification.properties import aggregate
+from repro.experiments.common import ExperimentReport, run_reduced_batch
+from repro.runner.reduce import PredicateReducer, batch_report_from_reduced
 from repro.workloads import generators
 
 if TYPE_CHECKING:
@@ -66,24 +66,30 @@ def byzantine_predicates(
         f"PhaseKing(f={f})": lambda: PhaseKingAlgorithm(n=n, f=f),
     }
 
+    reducer = PredicateReducer(
+        {
+            "sync (|SK|>=n-f)": sync_predicate,
+            "async (|HO|>=n-f, |AS|<=f)": async_predicate,
+            "P^perm_f": perm_predicate,
+            "P_f": alpha_predicate,
+        }
+    )
+
     for label, algorithm_factory in algorithms.items():
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=lambda index, factory=algorithm_factory: factory(),
             adversary_factory=lambda index: StaticByzantineAdversary(
                 byzantine=range(f), value_domain=(0, 1), seed=seed * 7 + index
             ),
             initial_value_batches=[generators.skewed(n, seed=seed + index) for index in range(runs)],
+            reducer=reducer,
             max_rounds=max_rounds,
             runner=runner,
         )
-        batch = aggregate(results)
+        batch = batch_report_from_reduced(rows)
         predicate_checks = {
-            "sync (|SK|>=n-f)": all(sync_predicate.holds(r.collection) for r in results),
-            "async (|HO|>=n-f, |AS|<=f)": all(
-                async_predicate.holds(r.collection) for r in results
-            ),
-            "P^perm_f": all(perm_predicate.holds(r.collection) for r in results),
-            "P_f": all(alpha_predicate.holds(r.collection) for r in results),
+            label: all(row["predicates"][label] for row in rows)
+            for label in reducer.predicates
         }
         report.add_row(
             algorithm=label,

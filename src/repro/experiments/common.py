@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.adversary.base import Adversary
 from repro.core.algorithm import HOAlgorithm
@@ -21,6 +21,10 @@ from repro.core.predicates import CommunicationPredicate
 from repro.core.process import ProcessId, Value
 from repro.simulation.engine import SimulationResult
 from repro.verification.properties import BatchReport
+
+if TYPE_CHECKING:
+    from repro.runner.executor import CampaignRunner, RunTask
+    from repro.runner.reduce import Reducer
 
 
 @dataclass
@@ -142,8 +146,10 @@ def run_batch_results(
     """Like :func:`run_batch` but returning the raw results for custom analysis.
 
     Full :class:`SimulationResult`s (heard-of collections included) are
-    returned, so this path is never cached; a parallel runner still
-    speeds it up.
+    returned, so this path is never cached and every parallel run ships
+    its whole heard-of collection back through pickle.  Prefer
+    :func:`run_reduced_batch` unless the analysis genuinely needs whole
+    collections in the parent process.
     """
     from repro.runner.executor import CampaignRunner
 
@@ -152,3 +158,37 @@ def run_batch_results(
         algorithm_factory, adversary_factory, initial_value_batches, max_rounds
     )
     return runner.run_simulations(tasks)
+
+
+def run_reduced_batch(
+    algorithm_factory: Callable[[int], HOAlgorithm],
+    adversary_factory: Callable[[int], Adversary],
+    initial_value_batches: Sequence[Mapping[ProcessId, Value]],
+    reducer: "Reducer",
+    max_rounds: int = 60,
+    runner: Optional["CampaignRunner"] = None,
+    cache_key: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run one simulation per configuration, reducing inside the worker.
+
+    Returns ``reducer.reduce(result)`` for every run, in input order —
+    only these compact dicts ever cross the process boundary, so a
+    parallel runner's IPC volume stays flat in ``n`` instead of growing
+    with the full heard-of collection.  With ``runner=None`` this
+    executes serially in-process with byte-identical results.  Failed
+    runs raise rather than being dropped (callers zip rows with their
+    inputs).  With ``cache_key`` (and a caching runner) results are
+    cached under reducer-fingerprinted keys.
+    """
+    from repro.runner.executor import CampaignRunner
+    from repro.runner.reduce import reduced_data
+
+    runner = runner if runner is not None else CampaignRunner()
+    tasks = _build_tasks(
+        algorithm_factory,
+        adversary_factory,
+        initial_value_batches,
+        max_rounds,
+        cache_key=cache_key if runner.cache is not None else None,
+    )
+    return reduced_data(runner.run_reduced(tasks, reducer))

@@ -21,8 +21,8 @@ from repro.adversary import (
 )
 from repro.algorithms import AteAlgorithm, UteAlgorithm
 from repro.core.parameters import AteParameters, UteParameters
-from repro.experiments.common import ExperimentReport, run_batch_results
-from repro.verification.properties import aggregate
+from repro.experiments.common import ExperimentReport, run_reduced_batch
+from repro.runner.reduce import PredicateReducer, batch_report_from_reduced
 from repro.workloads import generators
 
 if TYPE_CHECKING:
@@ -88,20 +88,22 @@ def alive_predicate_effect(
         ),
     }
 
+    reducer = PredicateReducer({"live": predicate})
     for label, adversary_factory in environments.items():
         batches = [generators.split(n) for _ in range(runs)]
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=algorithm,
             adversary_factory=adversary_factory,
             initial_value_batches=batches,
+            reducer=reducer,
             max_rounds=max_rounds,
             runner=runner,
         )
-        batch_report = aggregate(results)
-        predicate_held = sum(1 for r in results if predicate.holds(r.collection))
+        batch_report = batch_report_from_reduced(rows)
+        predicate_held = sum(1 for row in rows if row["predicates"]["live"])
         report.add_row(
             environment=label,
-            predicate_held=f"{predicate_held}/{len(results)}",
+            predicate_held=f"{predicate_held}/{len(rows)}",
             agreement_rate=round(batch_report.agreement_rate, 3),
             integrity_rate=round(batch_report.integrity_rate, 3),
             termination_rate=round(batch_report.termination_rate, 3),
@@ -159,20 +161,22 @@ def ulive_predicate_effect(
         ),
     }
 
+    reducer = PredicateReducer({"live": predicate})
     for label, adversary_factory in environments.items():
         batches = [generators.split(n) for _ in range(runs)]
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=algorithm,
             adversary_factory=adversary_factory,
             initial_value_batches=batches,
+            reducer=reducer,
             max_rounds=max_rounds,
             runner=runner,
         )
-        batch_report = aggregate(results)
-        predicate_held = sum(1 for r in results if predicate.holds(r.collection))
+        batch_report = batch_report_from_reduced(rows)
+        predicate_held = sum(1 for row in rows if row["predicates"]["live"])
         report.add_row(
             environment=label,
-            predicate_held=f"{predicate_held}/{len(results)}",
+            predicate_held=f"{predicate_held}/{len(rows)}",
             agreement_rate=round(batch_report.agreement_rate, 3),
             integrity_rate=round(batch_report.integrity_rate, 3),
             termination_rate=round(batch_report.termination_rate, 3),

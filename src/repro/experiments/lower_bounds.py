@@ -38,8 +38,12 @@ from repro.analysis.bounds import (
 )
 from repro.analysis.feasibility import ate_max_alpha, ute_max_alpha
 from repro.core.parameters import AteParameters, UteParameters
-from repro.experiments.common import ExperimentReport, run_batch_results
-from repro.verification.properties import aggregate
+from repro.experiments.common import ExperimentReport, run_reduced_batch
+from repro.runner.reduce import (
+    DecisionReducer,
+    FaultProfileReducer,
+    batch_report_from_reduced,
+)
 from repro.workloads import generators
 
 if TYPE_CHECKING:
@@ -107,17 +111,17 @@ def santoro_widmayer_circumvention(
     }
 
     for label, (algorithm_factory, adversary_factory) in configurations.items():
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=lambda index, factory=algorithm_factory: factory(),
             adversary_factory=adversary_factory,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
+            reducer=FaultProfileReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )
-        batch = aggregate(results)
+        batch = batch_report_from_reduced(rows)
         max_corruptions_per_round = max(
-            (max(result.collection.corruption_profile() or [0]) for result in results),
-            default=0,
+            (row["max_corruptions_in_a_round"] for row in rows), default=0
         )
         report.add_row(
             configuration=label,
@@ -187,14 +191,15 @@ def fast_decision(
     }
 
     for label, (adversary_factory, workload) in scenarios.items():
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=lambda index: AteAlgorithm(params),
             adversary_factory=adversary_factory,
             initial_value_batches=[workload() for _ in range(runs)],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )
-        batch = aggregate(results)
+        batch = batch_report_from_reduced(rows)
         report.add_row(
             scenario=label,
             algorithm="A_(T,E)",
@@ -210,14 +215,15 @@ def fast_decision(
     # Baseline: phase-king under the same fault-free conditions always needs
     # 2(f+1) rounds — the price of static-fault quorums.
     phase_king = PhaseKingAlgorithm(n=n, f=phase_king_f)
-    pk_results = run_batch_results(
+    pk_rows = run_reduced_batch(
         algorithm_factory=lambda index: PhaseKingAlgorithm(n=n, f=phase_king_f),
         adversary_factory=lambda index: ReliableAdversary(),
         initial_value_batches=[generators.split(n) for _ in range(runs)],
+        reducer=DecisionReducer(),
         max_rounds=max_rounds,
         runner=runner,
     )
-    pk_batch = aggregate(pk_results)
+    pk_batch = batch_report_from_reduced(pk_rows)
     report.add_row(
         scenario="fault-free, split initial values",
         algorithm=f"PhaseKing(f={phase_king_f})",
@@ -289,19 +295,20 @@ def lamport_attainment(
                 inner, float(u_params.u_safe_minimum)
             )
 
-        u_results = run_batch_results(
+        u_rows = run_reduced_batch(
             algorithm_factory=lambda index, p=u_params: UteAlgorithm(p),
             adversary_factory=u_adversary,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )
-        u_batch = aggregate(u_results)
+        u_batch = batch_report_from_reduced(u_rows)
 
         # Simulation check of the safe-and-fast A configuration.
         a_alpha = int(Fraction(n - 1, 4))
         a_params = AteParameters.symmetric(n=n, alpha=a_alpha)
-        a_results = run_batch_results(
+        a_rows = run_reduced_batch(
             algorithm_factory=lambda index, p=a_params: AteAlgorithm(p),
             adversary_factory=lambda index: PeriodicGoodRoundAdversary(
                 inner=RandomCorruptionAdversary(
@@ -310,10 +317,11 @@ def lamport_attainment(
                 period=3,
             ),
             initial_value_batches=[generators.split(n) for _ in range(runs)],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )
-        a_batch = aggregate(a_results)
+        a_batch = batch_report_from_reduced(a_rows)
 
         report.add_row(
             n=n,

@@ -32,8 +32,8 @@ from repro.analysis.feasibility import (
     ute_max_alpha,
 )
 from repro.core.parameters import AteParameters, UteParameters
-from repro.experiments.common import ExperimentReport, run_batch_results
-from repro.verification.properties import aggregate
+from repro.experiments.common import ExperimentReport, run_reduced_batch
+from repro.runner.reduce import DecisionReducer, batch_report_from_reduced
 from repro.workloads import generators
 
 if TYPE_CHECKING:
@@ -84,16 +84,17 @@ def ate_resilience_sweep(
                 period=4,
             )
 
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=lambda index, params=params: AteAlgorithm(params),
             adversary_factory=adversary,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )
-        attack_runs = aggregate(results[0::2])
-        live_runs = aggregate(results[1::2])
-        overall = aggregate(results)
+        attack_runs = batch_report_from_reduced(rows[0::2])
+        live_runs = batch_report_from_reduced(rows[1::2])
+        overall = batch_report_from_reduced(rows)
         report.add_row(
             alpha=alpha,
             feasible=feasible,
@@ -144,16 +145,17 @@ def ute_resilience_sweep(
                 period=3,
             )
 
-        results = run_batch_results(
+        rows = run_reduced_batch(
             algorithm_factory=lambda index, params=params: UteAlgorithm(params),
             adversary_factory=adversary,
             initial_value_batches=[generators.split(n) for _ in range(runs)],
+            reducer=DecisionReducer(),
             max_rounds=max_rounds,
             runner=runner,
         )
-        attack_runs = aggregate(results[0::2])
-        live_runs = aggregate(results[1::2])
-        overall = aggregate(results)
+        attack_runs = batch_report_from_reduced(rows[0::2])
+        live_runs = batch_report_from_reduced(rows[1::2])
+        overall = batch_report_from_reduced(rows)
         report.add_row(
             alpha=alpha,
             feasible=feasible,

@@ -11,21 +11,28 @@ Entry points
 * :class:`CampaignRunner` — the executor; plug one into
   :func:`repro.experiments.common.run_batch` or any experiment driver
   (``driver(runner=CampaignRunner(jobs=4))``) to parallelise its sweep.
+* :meth:`CampaignRunner.run_reduced` — in-worker reduction: apply a
+  :class:`Reducer` inside the worker process and ship back only compact
+  :class:`ReducedRecord`s (what the E3-E12 drivers route through).
 * :class:`CampaignSpec` — declarative grid; run with
-  :meth:`CampaignRunner.run_campaign` and fold into a report with
-  :func:`campaign_report`.
-* ``repro-ho campaign`` — the CLI surface over both.
+  :meth:`CampaignRunner.run_campaign` (or ``run_reduced_campaign``) and
+  fold into a report with :func:`campaign_report`
+  (:func:`reduced_campaign_report`).
+* ``repro-ho campaign`` — the CLI surface over both (``--reduce`` picks
+  the in-worker reducer for ``--spec`` campaigns).
 """
 
 from repro.runner.aggregate import (
     batch_report_from_records,
     campaign_report,
     group_by_cell,
+    reduced_campaign_report,
 )
 from repro.runner.cache import ResultCache
 from repro.runner.executor import (
     CampaignResult,
     CampaignRunner,
+    ReducedCampaignResult,
     RunTask,
     RunTimeoutError,
 )
@@ -37,6 +44,18 @@ from repro.runner.factories import (
     build_workload,
 )
 from repro.runner.records import RunRecord, RunnerStats
+from repro.runner.reduce import (
+    DecisionReducer,
+    FaultProfileReducer,
+    PredicateReducer,
+    ReducedRecord,
+    Reducer,
+    batch_report_from_reduced,
+    make_reducer,
+    outcome_fields,
+    reduced_cache_key,
+    reduced_data,
+)
 from repro.runner.spec import (
     CACHE_SCHEMA_VERSION,
     AdversarySpec,
@@ -57,7 +76,13 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "DecisionReducer",
+    "FaultProfileReducer",
+    "PredicateReducer",
     "PredicateSpec",
+    "ReducedCampaignResult",
+    "ReducedRecord",
+    "Reducer",
     "ResultCache",
     "RunRecord",
     "RunSpec",
@@ -67,6 +92,7 @@ __all__ = [
     "WorkloadSpec",
     "available_adversaries",
     "batch_report_from_records",
+    "batch_report_from_reduced",
     "build_adversary",
     "build_algorithm",
     "build_predicate",
@@ -75,5 +101,10 @@ __all__ = [
     "cell_cache_key",
     "derive_seed",
     "group_by_cell",
+    "make_reducer",
+    "outcome_fields",
+    "reduced_cache_key",
+    "reduced_campaign_report",
+    "reduced_data",
     "stable_hash",
 ]

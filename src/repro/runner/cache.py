@@ -1,11 +1,20 @@
 """On-disk result cache for campaign runs.
 
-Each run record is stored as one small JSON file whose name is the
-SHA-256 digest of the run's stable cache key (the key already includes
+Each record is stored as one small JSON file whose name is the SHA-256
+digest of the run's stable cache key (the key already includes
 :data:`repro.runner.spec.CACHE_SCHEMA_VERSION`, so format changes
-invalidate old entries automatically).  Files are sharded into 256
-two-hex-digit subdirectories to keep directories small for large
-campaigns.
+invalidate old entries automatically).  Two record kinds share the
+store: full :class:`RunRecord`s (``get``/``put``) and
+:class:`ReducedRecord`s (``get_reduced``/``put_reduced``), whose keys
+mix in the reducer fingerprint so the two spaces cannot collide.  Files
+are sharded into 256 two-hex-digit subdirectories to keep directories
+small for large campaigns.
+
+Serialisation is *strict*: a record whose payload is not exactly
+representable in JSON (sets, Fractions, NaN, non-string dict keys, ...)
+is rejected at ``put`` time with :class:`TypeError` rather than silently
+stringified — a lossy write would make a cache round-trip change value
+types and break the serial-vs-cached byte-identity guarantee.
 
 Writes are atomic (write to a temp file in the same directory, then
 ``os.replace``), so concurrent campaigns sharing a cache directory never
@@ -20,13 +29,53 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.runner.records import RunRecord
+from repro.runner.reduce import ReducedRecord
+
+
+def encode_record_payload(key: str, payload: Dict[str, object]) -> str:
+    """Strictly JSON-encode ``payload``, refusing anything lossy.
+
+    ``json.dumps`` with ``default=str`` would silently stringify
+    non-JSON cell values; instead we fail loudly at write time and also
+    reject non-string dict keys (which JSON would coerce to strings,
+    changing the type on the way back out).
+    """
+    _reject_non_string_keys(key, payload)
+    try:
+        return json.dumps(payload, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"cache refuses non-JSON-able record under key {key!r}: {exc}"
+        ) from None
+
+
+def _reject_non_string_keys(key: str, value: object) -> None:
+    if isinstance(value, dict):
+        for sub_key, sub_value in value.items():
+            if not isinstance(sub_key, str):
+                raise TypeError(
+                    f"cache refuses non-JSON-able record under key {key!r}: "
+                    f"dict key {sub_key!r} is not a string (JSON would "
+                    f"stringify it, changing its type on read-back)"
+                )
+            _reject_non_string_keys(key, sub_value)
+    elif isinstance(value, tuple):
+        # json.dumps would serialise a tuple as an array, which reads
+        # back as a list — a type change the strict mode must refuse.
+        raise TypeError(
+            f"cache refuses non-JSON-able record under key {key!r}: "
+            f"tuple {value!r} would read back as a list"
+        )
+    elif isinstance(value, list):
+        for item in value:
+            _reject_non_string_keys(key, item)
 
 
 class ResultCache:
-    """A content-addressed store of :class:`RunRecord`s."""
+    """A content-addressed store of run records."""
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -38,23 +87,30 @@ class ResultCache:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return self.root / digest[:2] / f"{digest}.json"
 
-    def get(self, key: str) -> Optional[RunRecord]:
+    # -- raw payload plumbing --------------------------------------------------
+    def _read(self, key: str) -> Optional[Dict[str, object]]:
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             self.misses += 1
             return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
         self.hits += 1
-        return RunRecord.from_dict(payload)
+        return payload
 
-    def put(self, key: str, record: RunRecord) -> None:
+    def _write(self, key: str, payload: Dict[str, object]) -> None:
+        # Encode before touching the filesystem: a rejected record must
+        # leave no trace (not even a temp file).
+        encoded = encode_record_payload(key, payload)
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record.as_dict(), handle, default=str)
+                handle.write(encoded)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -62,6 +118,22 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    # -- full run records ------------------------------------------------------
+    def get(self, key: str) -> Optional[RunRecord]:
+        payload = self._read(key)
+        return None if payload is None else RunRecord.from_dict(payload)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        self._write(key, record.as_dict())
+
+    # -- reduced records -------------------------------------------------------
+    def get_reduced(self, key: str) -> Optional[ReducedRecord]:
+        payload = self._read(key)
+        return None if payload is None else ReducedRecord.from_dict(payload)
+
+    def put_reduced(self, key: str, record: ReducedRecord) -> None:
+        self._write(key, record.as_dict())
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -7,11 +7,19 @@ Two execution surfaces are offered:
   return compact :class:`RunRecord`s.  This is what
   :func:`repro.experiments.common.run_batch` routes through, and the
   only path with result caching (tasks carry stable keys).
+* :meth:`CampaignRunner.run_reduced` — execute tasks and apply a
+  picklable :class:`repro.runner.reduce.Reducer` *inside* the worker
+  process, shipping back only compact JSON-able
+  :class:`ReducedRecord`s.  Cached under reducer-fingerprinted keys.
+  This is what the collection-inspecting experiment drivers (E3-E12)
+  route through: IPC volume stays flat in ``n`` instead of growing
+  with the n² × rounds heard-of collection.
 * :meth:`CampaignRunner.run_simulations` — like ``run_tasks`` but
-  returning full :class:`SimulationResult`s for drivers that inspect
-  heard-of collections directly.  No caching (full results are too
-  heavy to persist per run).
-* :meth:`CampaignRunner.run_campaign` — expand a declarative
+  returning full :class:`SimulationResult`s for callers that genuinely
+  need whole collections in the parent.  No caching (full results are
+  too heavy to persist per run).
+* :meth:`CampaignRunner.run_campaign` /
+  :meth:`CampaignRunner.run_reduced_campaign` — expand a declarative
   :class:`CampaignSpec` into tasks and execute them with caching.
 
 Parallel execution uses :class:`concurrent.futures.ProcessPoolExecutor`;
@@ -26,6 +34,7 @@ platforms without ``SIGALRM`` the timeout is a no-op.
 from __future__ import annotations
 
 import signal
+import sys
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -46,6 +55,7 @@ from repro.runner.factories import (
     build_workload,
 )
 from repro.runner.records import RunRecord, RunnerStats
+from repro.runner.reduce import Reducer, ReducedRecord, reduced_cache_key
 from repro.runner.spec import CampaignSpec, RunSpec
 from repro.simulation.engine import SimulationResult, run_consensus
 
@@ -78,10 +88,25 @@ class RunTask:
 
 @dataclass
 class CampaignResult:
-    """Outcome of one :meth:`CampaignRunner.run_campaign` invocation."""
+    """Outcome of one :meth:`CampaignRunner.run_campaign` invocation.
+
+    ``stats`` is a per-campaign snapshot (the delta accrued by this
+    invocation), not the runner's lifetime counters — a reused runner's
+    second campaign reports only its own totals.
+    """
 
     spec: CampaignSpec
     records: List[RunRecord]
+    stats: RunnerStats
+
+
+@dataclass
+class ReducedCampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run_reduced_campaign` invocation."""
+
+    spec: CampaignSpec
+    reducer: Reducer
+    records: List[ReducedRecord]
     stats: RunnerStats
 
 
@@ -103,16 +128,35 @@ def _deadline(seconds: Optional[float]):
         yield
         return
 
-    def _on_alarm(signum, frame):
-        raise RunTimeoutError(f"run exceeded timeout of {seconds}s")
+    # An outer deadline (or any other caller-armed ITIMER_REAL) must not
+    # be silently cancelled: we arm whichever budget expires first and
+    # re-arm the outer timer's remainder on exit.
+    prior_remaining, prior_interval = signal.getitimer(signal.ITIMER_REAL)
+    effective = (
+        min(float(seconds), prior_remaining) if prior_remaining > 0.0 else float(seconds)
+    )
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded timeout of {effective}s")
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    started = time.monotonic()
+    signal.setitimer(signal.ITIMER_REAL, effective)
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if prior_remaining > 0.0:
+            remaining = prior_remaining - (time.monotonic() - started)
+            timed_out = isinstance(sys.exc_info()[1], RunTimeoutError)
+            if remaining > 0.0:
+                signal.setitimer(signal.ITIMER_REAL, remaining, prior_interval)
+            elif not timed_out:
+                # The outer deadline expired while we held the timer and
+                # nothing has fired yet: deliver it as soon as possible
+                # (setitimer(0) would cancel it instead).
+                signal.setitimer(signal.ITIMER_REAL, 1e-6, prior_interval)
 
 
 def _execute_task(task: RunTask, timeout: Optional[float]) -> SimulationResult:
@@ -162,6 +206,49 @@ def _simulation_worker(
     """Worker: run one task and return the full simulation result."""
     index, task, timeout = payload
     return index, _execute_task(task, timeout)
+
+
+def _reduced_worker(
+    payload: Tuple[int, RunTask, Optional[float], Reducer, Optional[str], bool]
+) -> Tuple[int, ReducedRecord]:
+    """Worker: run one task and reduce it in-process, shipping back only
+    the compact :class:`ReducedRecord` (never the full result)."""
+    index, task, timeout, reducer, key, capture_errors = payload
+    try:
+        result = _execute_task(task, timeout)
+        data = reducer.reduce(result)
+    except RunTimeoutError as exc:
+        return index, ReducedRecord.failure(
+            str(exc), timed_out=True, reducer_name=reducer.name, key=key,
+            cell=task.cell, run_index=task.run_index, seed=task.seed,
+        )
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        return index, ReducedRecord.failure(
+            f"{type(exc).__name__}: {exc}", reducer_name=reducer.name, key=key,
+            cell=task.cell, run_index=task.run_index, seed=task.seed,
+        )
+    return index, ReducedRecord.from_data(
+        data,
+        reducer_name=reducer.name,
+        key=key,
+        cell=task.cell,
+        run_index=task.run_index,
+        seed=task.seed,
+    )
+
+
+def _require_complete(results: List, surface: str) -> List:
+    """Every task must produce a result; a silent gap would desynchronise
+    drivers that zip results with their inputs."""
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:
+        raise RuntimeError(
+            f"{surface} produced no result for task indices {missing}; "
+            f"refusing to return a desynchronised result list"
+        )
+    return results
 
 
 def _task_from_spec(spec: RunSpec) -> RunTask:
@@ -267,7 +354,10 @@ class CampaignRunner:
                     self.stats.cache_misses += 1
                 pending.append((index, task))
 
-        for index, record in self._execute_pending(pending, capture_errors):
+        payloads = [
+            (index, task, self.timeout, capture_errors) for index, task in pending
+        ]
+        for index, record in self._run_payloads(_record_worker, payloads):
             records[index] = record
             task = tasks[index]
             if record.ok and self.cache is not None and task.key:
@@ -278,23 +368,23 @@ class CampaignRunner:
         self.stats.failures += sum(1 for r in records if r is not None and r.error and not r.timed_out)
         self.stats.timeouts += sum(1 for r in records if r is not None and r.timed_out)
         self.stats.elapsed_seconds += time.perf_counter() - started
-        return [record for record in records if record is not None]
+        return _require_complete(records, "run_tasks")
 
-    def _execute_pending(
-        self, pending: Sequence[Tuple[int, RunTask]], capture_errors: bool
-    ):
-        if not pending:
+    def _run_payloads(self, worker, payloads: Sequence[tuple]):
+        """Run indexed payloads through ``worker``, in-process or pooled.
+
+        Yields ``(index, result)`` pairs as they complete (unordered in
+        the pooled case; callers re-order by index).
+        """
+        if not payloads:
             return
         if self.jobs == 1:
-            for index, task in pending:
-                yield _record_worker((index, task, self.timeout, capture_errors))
+            for payload in payloads:
+                yield worker(payload)
             return
-        payloads = [
-            (index, task, self.timeout, capture_errors) for index, task in pending
-        ]
         try:
             pool = self._get_pool()
-            futures = {pool.submit(_record_worker, payload) for payload in payloads}
+            futures = {pool.submit(worker, payload) for payload in payloads}
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -304,6 +394,59 @@ class CampaignRunner:
             # starts from a fresh one.
             self.close()
             raise
+
+    # ------------------------------------------------------------------
+    # In-worker reduction (cacheable; the E3-E12 driver path)
+    # ------------------------------------------------------------------
+    def run_reduced(
+        self,
+        tasks: Sequence[RunTask],
+        reducer: Reducer,
+        capture_errors: bool = False,
+    ) -> List[ReducedRecord]:
+        """Execute ``tasks``, applying ``reducer`` inside the worker.
+
+        Returns one :class:`ReducedRecord` per task, in task order.
+        Only the reduced data crosses the process boundary — the full
+        :class:`SimulationResult` (process objects plus the n² × rounds
+        heard-of collection) never leaves the worker.  Records are
+        cached under keys that mix the task's stable key with the
+        reducer's fingerprint, so different reducers (or differently
+        parametrised ones) never share entries with each other or with
+        plain :class:`RunRecord`s.
+        """
+        started = time.perf_counter()
+        records: List[Optional[ReducedRecord]] = [None] * len(tasks)
+        pending: List[Tuple[int, RunTask, Optional[str]]] = []
+
+        for index, task in enumerate(tasks):
+            key = reduced_cache_key(task.key, reducer) if task.key else None
+            cached = (
+                self.cache.get_reduced(key) if self.cache is not None and key else None
+            )
+            if cached is not None:
+                self.stats.cache_hits += 1
+                records[index] = cached
+            else:
+                if self.cache is not None and key:
+                    self.stats.cache_misses += 1
+                pending.append((index, task, key))
+
+        payloads = [
+            (index, task, self.timeout, reducer, key, capture_errors)
+            for index, task, key in pending
+        ]
+        for index, record in self._run_payloads(_reduced_worker, payloads):
+            records[index] = record
+            if record.ok and self.cache is not None and record.key:
+                self.cache.put_reduced(record.key, record)
+
+        self.stats.total += len(tasks)
+        self.stats.executed += len(pending)
+        self.stats.failures += sum(1 for r in records if r is not None and r.error and not r.timed_out)
+        self.stats.timeouts += sum(1 for r in records if r is not None and r.timed_out)
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        return _require_complete(records, "run_reduced")
 
     # ------------------------------------------------------------------
     # Full-result execution (uncached; for collection-inspecting drivers)
@@ -326,33 +469,79 @@ class CampaignRunner:
         self.stats.total += len(tasks)
         self.stats.executed += len(tasks)
         self.stats.elapsed_seconds += time.perf_counter() - started
-        return [result for result in results if result is not None]
+        return _require_complete(results, "run_simulations")
 
     # ------------------------------------------------------------------
     # Declarative campaigns
     # ------------------------------------------------------------------
-    def run_campaign(self, spec: CampaignSpec) -> CampaignResult:
-        """Expand ``spec`` into tasks, execute (with caching), aggregate."""
-        run_specs = spec.expand()
+    def _materialise_specs(self, run_specs: Sequence[RunSpec]):
+        """Build live tasks from specs, collecting infeasible cells.
+
+        Returns ``(tasks, task_positions, failures)`` where ``failures``
+        maps spec positions to ``(message, run_spec)`` for cells whose
+        objects could not be constructed (bad name/params).
+        """
         tasks: List[RunTask] = []
-        records_by_index: Dict[int, RunRecord] = {}
         task_positions: List[int] = []
+        failures: Dict[int, Tuple[str, RunSpec]] = {}
         for position, run_spec in enumerate(run_specs):
             try:
                 tasks.append(_task_from_spec(run_spec))
                 task_positions.append(position)
             except Exception as exc:  # infeasible cell (bad name/params)
-                records_by_index[position] = RunRecord.failure(
-                    f"{type(exc).__name__}: {exc}",
-                    key=run_spec.config_hash(),
-                    cell=run_spec.cell(),
-                    run_index=run_spec.run_index,
-                    seed=run_spec.seed,
-                )
+                failures[position] = (f"{type(exc).__name__}: {exc}", run_spec)
                 self.stats.total += 1
                 self.stats.failures += 1
+        return tasks, task_positions, failures
+
+    def run_campaign(self, spec: CampaignSpec) -> CampaignResult:
+        """Expand ``spec`` into tasks, execute (with caching), aggregate.
+
+        The returned ``stats`` cover this campaign only (a snapshot
+        delta), so reusing one runner across campaigns never leaks the
+        first campaign's counters into the second's report.
+        """
+        before = self.stats.snapshot()
+        run_specs = spec.expand()
+        tasks, task_positions, failures = self._materialise_specs(run_specs)
+        records_by_index: Dict[int, RunRecord] = {
+            position: RunRecord.failure(
+                message,
+                key=run_spec.config_hash(),
+                cell=run_spec.cell(),
+                run_index=run_spec.run_index,
+                seed=run_spec.seed,
+            )
+            for position, (message, run_spec) in failures.items()
+        }
         executed = self.run_tasks(tasks, capture_errors=True)
         for position, record in zip(task_positions, executed):
             records_by_index[position] = record
         records = [records_by_index[position] for position in range(len(run_specs))]
-        return CampaignResult(spec=spec, records=records, stats=self.stats)
+        return CampaignResult(spec=spec, records=records, stats=self.stats.since(before))
+
+    def run_reduced_campaign(
+        self, spec: CampaignSpec, reducer: Reducer
+    ) -> ReducedCampaignResult:
+        """Like :meth:`run_campaign`, but reducing inside the workers."""
+        before = self.stats.snapshot()
+        run_specs = spec.expand()
+        tasks, task_positions, failures = self._materialise_specs(run_specs)
+        records_by_index: Dict[int, ReducedRecord] = {
+            position: ReducedRecord.failure(
+                message,
+                reducer_name=reducer.name,
+                key=reduced_cache_key(run_spec.config_hash(), reducer),
+                cell=run_spec.cell(),
+                run_index=run_spec.run_index,
+                seed=run_spec.seed,
+            )
+            for position, (message, run_spec) in failures.items()
+        }
+        executed = self.run_reduced(tasks, reducer, capture_errors=True)
+        for position, record in zip(task_positions, executed):
+            records_by_index[position] = record
+        records = [records_by_index[position] for position in range(len(run_specs))]
+        return ReducedCampaignResult(
+            spec=spec, reducer=reducer, records=records, stats=self.stats.since(before)
+        )

@@ -171,6 +171,30 @@ class RunnerStats:
     timeouts: int = 0
     elapsed_seconds: float = 0.0
 
+    def snapshot(self) -> "RunnerStats":
+        """A copy of the current counters (for per-campaign deltas)."""
+        return RunnerStats(
+            total=self.total,
+            executed=self.executed,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            failures=self.failures,
+            timeouts=self.timeouts,
+            elapsed_seconds=self.elapsed_seconds,
+        )
+
+    def since(self, earlier: "RunnerStats") -> "RunnerStats":
+        """The counters accrued since ``earlier`` was snapshotted."""
+        return RunnerStats(
+            total=self.total - earlier.total,
+            executed=self.executed - earlier.executed,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            failures=self.failures - earlier.failures,
+            timeouts=self.timeouts - earlier.timeouts,
+            elapsed_seconds=self.elapsed_seconds - earlier.elapsed_seconds,
+        )
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "total": self.total,

@@ -25,7 +25,9 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 #: Bump when the cached record layout (or run semantics) changes in a
 #: way that invalidates previously cached results.
-CACHE_SCHEMA_VERSION = 1
+#: 2: strict (non-lossy) cache serialisation + reduced records with
+#:    reducer-fingerprinted keys.
+CACHE_SCHEMA_VERSION = 2
 
 
 def stable_hash(payload: object) -> str:
