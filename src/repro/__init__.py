@@ -46,6 +46,7 @@ from repro.core.predicates import (
     ULivePredicate,
     USafePredicate,
 )
+from repro.simulation.backends import available_backends, run_simulation
 from repro.simulation.engine import SimulationConfig, run_consensus, run_machine
 
 __all__ = [
@@ -68,9 +69,11 @@ __all__ = [
     "UteParameters",
     "altered_heard_of",
     "altered_span",
+    "available_backends",
     "kernel",
     "run_consensus",
     "run_machine",
+    "run_simulation",
     "safe_kernel",
 ]
 

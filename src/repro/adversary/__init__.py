@@ -26,6 +26,9 @@ Families
 * Combinators: :class:`AlphaCapAdversary`,
   :class:`MinimumSafeDeliveryAdversary`, :class:`SequentialAdversary`,
   :class:`RoundScheduleAdversary`.
+* Mask-level planning (the fast backend's adversary API):
+  :class:`MaskPlanner`, :class:`RoundPlan`, :class:`MatrixPlanAdapter`
+  and the native planners (:mod:`repro.adversary.plan`).
 """
 
 from repro.adversary.base import (
@@ -61,12 +64,28 @@ from repro.adversary.liveness import (
     PeriodicGoodPhaseAdversary,
     PeriodicGoodRoundAdversary,
 )
+from repro.adversary.plan import (
+    MaskPlanner,
+    MatrixPlanAdapter,
+    RandomOmissionPlanner,
+    ReliablePlanner,
+    RoundPlan,
+    planner_for,
+    register_planner,
+)
 from repro.adversary.santoro_widmayer import BlockFaultAdversary, santoro_widmayer_bound
 from repro.adversary.values import DEFAULT_POISON_VALUES, corrupt_value
 
 __all__ = [
     "Adversary",
     "AlphaCapAdversary",
+    "MaskPlanner",
+    "MatrixPlanAdapter",
+    "RandomOmissionPlanner",
+    "ReliablePlanner",
+    "RoundPlan",
+    "planner_for",
+    "register_planner",
     "BlockFaultAdversary",
     "BoundedOmissionAdversary",
     "CrashAdversary",

@@ -1,0 +1,276 @@
+"""Mask-level round planning: the adversary API of the fast backend.
+
+The matrix-level :class:`~repro.adversary.base.Adversary` interface
+turns an ``n × n`` intended-message matrix into an ``n × n`` received
+matrix — inherently ``O(n²)`` dict traffic per round.  The fast engine
+(:mod:`repro.simulation.fast_engine`) instead asks a
+:class:`MaskPlanner` for a :class:`RoundPlan`: per receiver, a *drop
+mask* (senders whose message is omitted), a *corrupt mask* (senders
+whose payload is replaced) and the replacement payloads.
+
+Two kinds of planner exist:
+
+* **Native planners** reproduce a concrete adversary's fault schedule
+  directly at the mask level, consuming the adversary's RNG in exactly
+  the same order as its matrix-level ``deliver_round`` would, so the
+  produced ``HO``/``SHO`` collections are bit-for-bit identical.  They
+  are registered per *exact* adversary class (subclasses may override
+  behaviour, so they fall back to the adapter).
+* :class:`MatrixPlanAdapter` wraps **any** matrix-level adversary
+  unchanged: it materialises the broadcast intended matrix in the same
+  iteration order as the lockstep engine, calls ``deliver_round``, and
+  diffs the result into masks.  Semantics (including RNG consumption)
+  are therefore identical by construction, at the cost of keeping the
+  ``O(n²)`` delivery work.
+
+Use :func:`planner_for` to get the best available planner for an
+adversary; :func:`register_planner` extends the native registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+
+from repro.adversary.base import Adversary, ReliableAdversary
+from repro.adversary.benign import RandomOmissionAdversary
+from repro.adversary.corruption import RandomCorruptionAdversary
+from repro.adversary.values import corrupt_value
+from repro.core.process import Payload, ProcessId
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """The fate of every message of one round, in mask form.
+
+    All three tuples are indexed by *receiver*.  ``drop_masks[p]`` has
+    bit ``s`` set iff the message from ``s`` to ``p`` is omitted;
+    ``corrupt_masks[p]`` iff it is delivered with a payload different
+    from the intended one; ``corrupt_values[p]`` maps each corrupted
+    sender to the replacement payload (``None`` when nothing is
+    corrupted for ``p``).  Drop and corrupt masks are disjoint — a
+    dropped message has no payload to corrupt.
+    """
+
+    drop_masks: Tuple[int, ...]
+    corrupt_masks: Tuple[int, ...]
+    corrupt_values: Tuple[Optional[Dict[ProcessId, Payload]], ...]
+
+    @classmethod
+    def perfect(cls, n: int) -> "RoundPlan":
+        """The plan of a fully reliable round."""
+        zeros = (0,) * n
+        return cls(drop_masks=zeros, corrupt_masks=zeros, corrupt_values=(None,) * n)
+
+
+class MaskPlanner(ABC):
+    """Plans the transmission faults of whole rounds at the mask level."""
+
+    def __init__(self, adversary: Adversary, n: int) -> None:
+        self.adversary = adversary
+        self.n = n
+
+    @abstractmethod
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        """Return the fault plan for ``round_num``.
+
+        ``sent`` holds the broadcast payload of every sender (index =
+        process id), i.e. the whole intended matrix of a broadcast
+        algorithm in ``O(n)`` space.
+        """
+
+    def reset(self) -> None:
+        """Re-seed the underlying adversary (replaying the schedule)."""
+        self.adversary.reset()
+
+    def describe(self) -> str:
+        return self.adversary.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} over {self.adversary.describe()}>"
+
+
+class MatrixPlanAdapter(MaskPlanner):
+    """Adapter running an arbitrary matrix-level adversary underneath.
+
+    The intended matrix is built with senders and receivers in sorted
+    order — exactly how :func:`repro.simulation.engine.execute_round`
+    builds it — so stateful/seeded adversaries consume their RNG in the
+    same order and produce the same fault schedule on either engine.
+    """
+
+    def __init__(self, adversary: Adversary, n: int) -> None:
+        super().__init__(adversary, n)
+        self._pids = list(range(n))
+
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        n = self.n
+        pids = self._pids
+        intended = {s: dict.fromkeys(pids, sent[s]) for s in pids}
+        received = self.adversary.deliver_round(round_num, intended)
+
+        full = (1 << n) - 1
+        drop_masks = []
+        corrupt_masks = []
+        corrupt_values: list = []
+        for receiver in pids:
+            inbox = received.get(receiver, {})
+            ho = 0
+            cmask = 0
+            cvals: Optional[Dict[ProcessId, Payload]] = None
+            for sender, payload in inbox.items():
+                # Refuse receptions invented for non-existent senders,
+                # mirroring the lockstep engine's inbox filter.
+                if not 0 <= sender < n:
+                    continue
+                ho |= 1 << sender
+                if not payload == sent[sender]:
+                    cmask |= 1 << sender
+                    if cvals is None:
+                        cvals = {}
+                    cvals[sender] = payload
+            drop_masks.append(full & ~ho)
+            corrupt_masks.append(cmask)
+            corrupt_values.append(cvals)
+        return RoundPlan(tuple(drop_masks), tuple(corrupt_masks), tuple(corrupt_values))
+
+
+class ReliablePlanner(MaskPlanner):
+    """Native planner of the fault-free environment: everything arrives."""
+
+    def __init__(self, adversary: Adversary, n: int) -> None:
+        super().__init__(adversary, n)
+        self._plan = RoundPlan.perfect(n)
+
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        return self._plan
+
+
+class RandomOmissionPlanner(MaskPlanner):
+    """Native planner for :class:`RandomOmissionAdversary`.
+
+    Draws one uniform variate per (sender, receiver) edge in the same
+    sender-major order as ``EdgeAdversary.deliver_round`` iterates the
+    intended matrix, so the adversary's RNG stream — and therefore the
+    fault schedule — is identical to the matrix-level execution.
+    """
+
+    def __init__(self, adversary: RandomOmissionAdversary, n: int) -> None:
+        super().__init__(adversary, n)
+        self._nones: Tuple[None, ...] = (None,) * n
+        self._zeros: Tuple[int, ...] = (0,) * n
+
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        n = self.n
+        rand = self.adversary.rng.random
+        p = self.adversary.drop_probability
+        drops = [0] * n
+        for sender in range(n):
+            bit = 1 << sender
+            for receiver in range(n):
+                if rand() < p:
+                    drops[receiver] |= bit
+        return RoundPlan(tuple(drops), self._zeros, self._nones)
+
+
+class RandomCorruptionPlanner(MaskPlanner):
+    """Native planner for :class:`RandomCorruptionAdversary`.
+
+    Replays the adversary's two RNG phases in their matrix-path order:
+    the per-receiver target selection of ``begin_round`` (one uniform
+    variate, one randint and one sample per corrupting receiver), then
+    the per-edge fate draws in sender-major order (a ``corrupt_value``
+    choice for targeted edges, a drop variate otherwise when
+    ``drop_probability`` is non-zero).  The RNG stream — and therefore
+    the fault schedule — is identical to matrix-level execution.
+    """
+
+    def __init__(self, adversary: RandomCorruptionAdversary, n: int) -> None:
+        super().__init__(adversary, n)
+        self._senders = list(range(n))
+
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        adversary = self.adversary
+        rng = adversary.rng
+        n = self.n
+        senders = self._senders
+
+        # begin_round: pick, per receiver, the senders to corrupt.
+        targets: list = []
+        alpha = adversary.alpha
+        p_corrupt = adversary.corruption_probability
+        for _receiver in range(n):
+            if alpha == 0 or rng.random() >= p_corrupt:
+                targets.append(())
+                continue
+            budget = rng.randint(1, alpha)
+            targets.append(frozenset(rng.sample(senders, min(budget, n))))
+
+        # fate, edge by edge in the matrix iteration order.
+        drops = [0] * n
+        cmasks = [0] * n
+        cvals: list = [None] * n
+        p_drop = adversary.drop_probability
+        domain = adversary.value_domain
+        if p_drop:
+            for sender in range(n):
+                bit = 1 << sender
+                payload = sent[sender]
+                for receiver in range(n):
+                    if sender in targets[receiver]:
+                        cmasks[receiver] |= bit
+                        per_receiver = cvals[receiver]
+                        if per_receiver is None:
+                            per_receiver = cvals[receiver] = {}
+                        per_receiver[sender] = corrupt_value(rng, payload, domain)
+                    elif rng.random() < p_drop:
+                        drops[receiver] |= bit
+        else:
+            # Without drops the only per-edge RNG draws are the corrupt
+            # values of the (at most alpha·n) targeted edges, so skip
+            # the n² edge scan and visit them in the same sender-major
+            # order the matrix path would.
+            pairs = sorted(
+                (sender, receiver)
+                for receiver, chosen in enumerate(targets)
+                for sender in chosen
+            )
+            for sender, receiver in pairs:
+                cmasks[receiver] |= 1 << sender
+                per_receiver = cvals[receiver]
+                if per_receiver is None:
+                    per_receiver = cvals[receiver] = {}
+                per_receiver[sender] = corrupt_value(rng, sent[sender], domain)
+        return RoundPlan(tuple(drops), tuple(cmasks), tuple(cvals))
+
+
+#: Native planners, keyed by *exact* adversary class (subclasses may
+#: change delivery semantics, so they take the adapter path).
+_NATIVE_PLANNERS: Dict[Type[Adversary], Callable[[Adversary, int], MaskPlanner]] = {
+    ReliableAdversary: ReliablePlanner,
+    RandomOmissionAdversary: RandomOmissionPlanner,
+    RandomCorruptionAdversary: RandomCorruptionPlanner,
+}
+
+
+def register_planner(
+    adversary_type: Type[Adversary],
+    factory: Callable[[Adversary, int], MaskPlanner],
+) -> None:
+    """Register a native mask planner for ``adversary_type`` (exact class).
+
+    Per-process registry: parallel campaign workers only see
+    registrations performed at import time (register at module level in
+    a module the workers import, or their runs take the
+    :class:`MatrixPlanAdapter` path instead).
+    """
+    _NATIVE_PLANNERS[adversary_type] = factory
+
+
+def planner_for(adversary: Adversary, n: int) -> MaskPlanner:
+    """The best planner for ``adversary``: native if registered, else adapter."""
+    factory = _NATIVE_PLANNERS.get(type(adversary))
+    if factory is not None:
+        return factory(adversary, n)
+    return MatrixPlanAdapter(adversary, n)

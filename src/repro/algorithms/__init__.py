@@ -14,22 +14,43 @@ their processes are :class:`repro.core.process.HOProcess` instances.
 """
 
 from repro.algorithms.ate import AteAlgorithm, AteProcess
+from repro.algorithms.kernels import (
+    AteKernel,
+    StepKernel,
+    UteKernel,
+    has_kernel,
+    make_kernel,
+    register_kernel,
+)
 from repro.algorithms.one_third_rule import OneThirdRuleAlgorithm
 from repro.algorithms.phase_king import PhaseKingAlgorithm, PhaseKingProcess
-from repro.algorithms.registry import available_algorithms, make_algorithm
+from repro.algorithms.registry import (
+    accepted_kwargs,
+    available_algorithms,
+    make_algorithm,
+    supports_fast,
+)
 from repro.algorithms.uniform_voting import UniformVotingAlgorithm
 from repro.algorithms.ute import QUESTION_MARK, UteAlgorithm, UteProcess
 
 __all__ = [
     "AteAlgorithm",
+    "AteKernel",
     "AteProcess",
     "OneThirdRuleAlgorithm",
     "PhaseKingAlgorithm",
     "PhaseKingProcess",
     "QUESTION_MARK",
+    "StepKernel",
     "UniformVotingAlgorithm",
     "UteAlgorithm",
+    "UteKernel",
     "UteProcess",
+    "accepted_kwargs",
     "available_algorithms",
+    "has_kernel",
     "make_algorithm",
+    "make_kernel",
+    "register_kernel",
+    "supports_fast",
 ]

@@ -2,63 +2,120 @@
 
 Used by the CLI and the experiment drivers so that algorithms can be
 selected by name on the command line or in experiment configuration
-dictionaries.
+dictionaries.  Each entry declares the keyword arguments its factory
+accepts — :func:`make_algorithm` rejects unknown kwargs with a
+:class:`ValueError` listing the accepted ones (a typoed ``aplha=`` must
+fail loudly, not silently fall back to the default), and unknown
+algorithm names get a did-you-mean suggestion.  Entries also advertise
+whether the algorithm has a fast-backend step kernel
+(:func:`supports_fast`, see :mod:`repro.algorithms.kernels`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List
 
 from repro.core.algorithm import HOAlgorithm
 
 
-def _make_ate(n: int, alpha: float = 0, **kwargs) -> HOAlgorithm:
+def _make_ate(n: int, alpha: float = 0) -> HOAlgorithm:
     from repro.algorithms.ate import AteAlgorithm
 
     return AteAlgorithm.symmetric(n=n, alpha=alpha)
 
 
-def _make_ute(n: int, alpha: float = 0, **kwargs) -> HOAlgorithm:
+def _make_ute(n: int, alpha: float = 0, default_value=0) -> HOAlgorithm:
     from repro.algorithms.ute import UteAlgorithm
 
-    return UteAlgorithm.minimal(n=n, alpha=alpha, default_value=kwargs.get("default_value", 0))
+    return UteAlgorithm.minimal(n=n, alpha=alpha, default_value=default_value)
 
 
-def _make_one_third_rule(n: int, **kwargs) -> HOAlgorithm:
+def _make_one_third_rule(n: int) -> HOAlgorithm:
     from repro.algorithms.one_third_rule import OneThirdRuleAlgorithm
 
     return OneThirdRuleAlgorithm(n=n)
 
 
-def _make_uniform_voting(n: int, **kwargs) -> HOAlgorithm:
+def _make_uniform_voting(n: int, default_value=0) -> HOAlgorithm:
     from repro.algorithms.uniform_voting import UniformVotingAlgorithm
 
-    return UniformVotingAlgorithm(n=n, default_value=kwargs.get("default_value", 0))
+    return UniformVotingAlgorithm(n=n, default_value=default_value)
 
 
-def _make_phase_king(n: int, f: int = 0, **kwargs) -> HOAlgorithm:
+def _make_phase_king(n: int, f: int = 0) -> HOAlgorithm:
     from repro.algorithms.phase_king import PhaseKingAlgorithm
 
     return PhaseKingAlgorithm(n=n, f=f)
 
 
-_REGISTRY: Dict[str, Callable[..., HOAlgorithm]] = {
-    "ate": _make_ate,
-    "a_te": _make_ate,
-    "ute": _make_ute,
-    "u_te_alpha": _make_ute,
-    "one-third-rule": _make_one_third_rule,
-    "onethirdrule": _make_one_third_rule,
-    "uniform-voting": _make_uniform_voting,
-    "uniformvoting": _make_uniform_voting,
-    "phase-king": _make_phase_king,
-    "phaseking": _make_phase_king,
+@dataclass(frozen=True)
+class _Entry:
+    """One registry entry: factory plus the kwargs it accepts."""
+
+    factory: Callable[..., HOAlgorithm]
+    accepted: FrozenSet[str]
+
+
+_REGISTRY: Dict[str, _Entry] = {
+    "ate": _Entry(_make_ate, frozenset({"alpha"})),
+    "ute": _Entry(_make_ute, frozenset({"alpha", "default_value"})),
+    "one-third-rule": _Entry(_make_one_third_rule, frozenset()),
+    "uniform-voting": _Entry(_make_uniform_voting, frozenset({"default_value"})),
+    "phase-king": _Entry(_make_phase_king, frozenset({"f"})),
 }
+
+#: Accepted spellings that normalise to a canonical entry.
+_ALIASES: Dict[str, str] = {
+    "a-te": "ate",
+    "u-te-alpha": "ute",
+    "onethirdrule": "one-third-rule",
+    "uniformvoting": "uniform-voting",
+    "phaseking": "phase-king",
+}
+
+
+def _resolve(name: str) -> str:
+    """Normalise ``name`` to a canonical registry key, or raise KeyError."""
+    key = name.strip().lower().replace("_", "-")
+    key = _ALIASES.get(key, key)
+    if key in _REGISTRY:
+        return key
+    compact = key.replace("-", "")
+    compact = _ALIASES.get(compact, compact)
+    if compact in _REGISTRY:
+        return compact
+    candidates = sorted(set(_REGISTRY) | set(_ALIASES))
+    suggestion = difflib.get_close_matches(key, candidates, n=1)
+    hint = f"; did you mean {_ALIASES.get(suggestion[0], suggestion[0])!r}?" if suggestion else ""
+    raise KeyError(
+        f"unknown algorithm {name!r}{hint} "
+        f"(available: {', '.join(available_algorithms())})"
+    )
 
 
 def available_algorithms() -> List[str]:
     """The canonical algorithm names accepted by :func:`make_algorithm`."""
-    return sorted({"ate", "ute", "one-third-rule", "uniform-voting", "phase-king"})
+    return sorted(_REGISTRY)
+
+
+def accepted_kwargs(name: str) -> FrozenSet[str]:
+    """The keyword arguments (besides ``n``) the named factory accepts."""
+    return _REGISTRY[_resolve(name)].accepted
+
+
+def supports_fast(name: str) -> bool:
+    """Whether the named algorithm has a fast-backend step kernel.
+
+    Consults the kernel registry itself (via a probe instance), so a
+    kernel registered at runtime with
+    :func:`repro.algorithms.kernels.register_kernel` is advertised
+    immediately — there is no second table to drift.
+    """
+    from repro.algorithms.kernels import has_kernel
+
+    return has_kernel(_REGISTRY[_resolve(name)].factory(n=4))
 
 
 def make_algorithm(name: str, n: int, **kwargs) -> HOAlgorithm:
@@ -66,13 +123,16 @@ def make_algorithm(name: str, n: int, **kwargs) -> HOAlgorithm:
 
     Supported keyword arguments depend on the algorithm: ``alpha`` for
     ``ate``/``ute``, ``f`` for ``phase-king``, ``default_value`` for the
-    voting algorithms.
+    voting algorithms.  Unknown names raise :class:`KeyError` (with a
+    did-you-mean suggestion); unknown keyword arguments raise
+    :class:`ValueError` listing the accepted ones.
     """
-    key = name.strip().lower().replace("_", "-")
-    key_compact = key.replace("-", "")
-    factory = _REGISTRY.get(key) or _REGISTRY.get(key_compact)
-    if factory is None:
-        raise KeyError(
-            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+    entry = _REGISTRY[_resolve(name)]
+    unknown = sorted(set(kwargs) - entry.accepted)
+    if unknown:
+        accepted = ", ".join(sorted(entry.accepted)) or "none (besides n)"
+        raise ValueError(
+            f"unknown keyword argument(s) {', '.join(map(repr, unknown))} for "
+            f"algorithm {name!r}; accepted keyword argument(s): {accepted}"
         )
-    return factory(n=n, **kwargs)
+    return entry.factory(n=n, **kwargs)

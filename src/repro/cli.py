@@ -29,7 +29,7 @@ from repro.adversary import (
     ReliableAdversary,
     StaticByzantineAdversary,
 )
-from repro.algorithms import available_algorithms, make_algorithm
+from repro.algorithms import accepted_kwargs, available_algorithms, make_algorithm
 from repro.analysis.comparison import related_work_rows, render_table, table1_rows
 from repro.analysis.feasibility import resilience_table
 from repro.experiments import ALL_EXPERIMENTS
@@ -42,7 +42,8 @@ from repro.runner import (
     reduced_campaign_report,
 )
 from repro.runner.factories import build_predicate
-from repro.simulation.engine import run_consensus
+from repro.simulation.backends import available_backends, run_simulation
+from repro.simulation.engine import SimulationConfig
 from repro.workloads import generators
 
 
@@ -81,14 +82,19 @@ def _build_initial_values(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    algorithm = make_algorithm(args.algorithm, n=args.n, alpha=args.alpha, f=args.f)
+    # Only forward the kwargs the chosen algorithm's factory accepts
+    # (the registry rejects unknown ones instead of swallowing them).
+    candidates = {"alpha": args.alpha, "f": args.f}
+    kwargs = {k: v for k, v in candidates.items() if k in accepted_kwargs(args.algorithm)}
+    algorithm = make_algorithm(args.algorithm, n=args.n, **kwargs)
     adversary = _build_adversary(args)
     initial_values = _build_initial_values(args)
-    result = run_consensus(
+    result = run_simulation(
         algorithm=algorithm,
         initial_values=initial_values,
         adversary=adversary,
-        max_rounds=args.max_rounds,
+        config=SimulationConfig(max_rounds=args.max_rounds, record_states=False),
+        backend=args.backend,
     )
     print(result.summary())
     if args.verbose:
@@ -182,6 +188,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    backend = args.backend or "reference"
 
     if args.spec:
         try:
@@ -189,17 +196,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot load campaign spec {args.spec!r}: {exc}", file=sys.stderr)
             return 2
+        if args.backend:
+            # The CLI flag overrides the spec's backend field.
+            spec.backend = args.backend
         if args.reduce:
             try:
                 reducer = _spec_reducer(args.reduce, spec)
             except (KeyError, ValueError) as exc:
                 print(f"cannot build reducer {args.reduce!r}: {exc}", file=sys.stderr)
                 return 2
-            with CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache) as runner:
+            with CampaignRunner(
+                jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend
+            ) as runner:
                 result = runner.run_reduced_campaign(spec, reducer)
             report = reduced_campaign_report(spec, reducer, result.records)
         else:
-            with CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache) as runner:
+            with CampaignRunner(
+                jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend
+            ) as runner:
                 result = runner.run_campaign(spec)
             report = campaign_report(spec, result.records)
         print(report.render())
@@ -222,7 +236,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         driver = ALL_EXPERIMENTS[experiment_id]
         # One runner per experiment so the printed stats are per-experiment;
         # the cache is shared across all of them.
-        runner = CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache)
+        runner = CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend)
         try:
             report = driver(runner=runner, **_driver_overrides(driver, args))
         except RuntimeError as exc:
@@ -282,8 +296,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one consensus instance")
     run_parser.add_argument("--algorithm", choices=available_algorithms(), default="ate")
     run_parser.add_argument("--n", type=int, default=9)
-    run_parser.add_argument("--alpha", type=int, default=1)
-    run_parser.add_argument("--f", type=int, default=1, help="Byzantine f (phase-king / byzantine adversary)")
+    run_parser.add_argument(
+        "--alpha",
+        type=int,
+        default=1,
+        help=(
+            "corruption bound: configures the ate/ute thresholds (ignored by "
+            "algorithms without an alpha, e.g. one-third-rule) and the "
+            "corruption adversary's per-receiver budget"
+        ),
+    )
+    run_parser.add_argument(
+        "--f",
+        type=int,
+        default=1,
+        help=(
+            "Byzantine f: configures phase-king (ignored by other algorithms) "
+            "and the byzantine adversary"
+        ),
+    )
     run_parser.add_argument(
         "--adversary",
         choices=["reliable", "omission", "corruption", "blocks", "byzantine"],
@@ -294,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--good-round-period", type=int, default=4)
     run_parser.add_argument("--max-rounds", type=int, default=60)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="reference",
+        help="engine backend (fast falls back to reference when unsupported)",
+    )
     run_parser.add_argument("--verbose", action="store_true")
     run_parser.set_defaults(func=_cmd_run)
 
@@ -324,6 +361,17 @@ def build_parser() -> argparse.ArgumentParser:
             "keys). 'predicate' evaluates every spec predicate on every run, so "
             "keep the spec's predicate grid to a single entry to avoid redundant "
             "cells"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help=(
+            "engine backend for every run (default: the spec's backend, or "
+            "reference); reference and fast produce identical results and share "
+            "the cache, async runs the asyncio engine (never cached: its fault "
+            "schedules can differ)"
         ),
     )
     campaign_parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")

@@ -17,6 +17,20 @@ round (:class:`ReceptionVector`, :class:`RoundRecord`) and for an entire
 run (:class:`HeardOfCollection`), plus the free functions computing the
 derived sets.  Communication predicates (:mod:`repro.core.predicates`)
 are evaluated over :class:`HeardOfCollection`.
+
+Bitmask representation
+----------------------
+Process ids are the integers ``0 .. n-1``, so every subset of ``Pi`` is
+an ``n``-bit integer: bit ``p`` is set iff process ``p`` is a member.
+``HO``/``SHO``/``AHO`` sets and all the derived quantities (kernels,
+spans, cardinalities) become single-word integer operations in this
+representation, which is what the fast simulation backend
+(:mod:`repro.simulation.fast_engine`) computes with.
+:class:`MaskReception` and :class:`MaskRoundRecord` are the mask-level
+counterparts of :class:`ReceptionVector` and :class:`RoundRecord`; the
+round-trips are lossless, and :class:`MaskRoundRecord` exposes the same
+read API as :class:`RoundRecord` so collections, predicates and metrics
+work identically over either record type.
 """
 
 from __future__ import annotations
@@ -25,6 +39,46 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.process import Payload, ProcessId
+
+
+# ----------------------------------------------------------------------
+# Bitmask helpers
+# ----------------------------------------------------------------------
+def full_mask(n: int) -> int:
+    """The mask of the whole process set ``Pi = {0, .., n-1}``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def mask_from_ids(ids: Iterable[ProcessId]) -> int:
+    """Encode a set of process ids as a bitmask."""
+    mask = 0
+    for pid in ids:
+        if pid < 0:
+            raise ValueError(f"process ids must be non-negative, got {pid}")
+        mask |= 1 << pid
+    return mask
+
+
+def ids_from_mask(mask: int) -> FrozenSet[ProcessId]:
+    """Decode a bitmask back into the frozenset of process ids."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    ids = []
+    while mask:
+        low = mask & -mask
+        ids.append(low.bit_length() - 1)
+        mask ^= low
+    return frozenset(ids)
+
+
+def iter_mask(mask: int) -> Iterator[ProcessId]:
+    """Iterate the set bits of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 # ----------------------------------------------------------------------
@@ -209,6 +263,274 @@ class RoundRecord:
 
 
 # ----------------------------------------------------------------------
+# Bitmask counterparts of ReceptionVector / RoundRecord
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MaskReception:
+    """Bitmask encoding of one :class:`ReceptionVector`.
+
+    Attributes
+    ----------
+    receiver:
+        The process this reception belongs to.
+    n:
+        System size (masks are ``n``-bit integers).
+    ho_mask:
+        ``HO(p, r)`` as a bitmask.
+    sho_mask:
+        ``SHO(p, r)`` as a bitmask (subset of ``ho_mask``).
+    received:
+        The payloads actually received, one per set bit of ``ho_mask``
+        in ascending sender order.
+    intended:
+        The payload each sender's sending function prescribed for this
+        receiver, for *every* sender ``0 .. n-1``.
+    """
+
+    receiver: ProcessId
+    n: int
+    ho_mask: int
+    sho_mask: int
+    received: Tuple[Payload, ...]
+    intended: Tuple[Payload, ...]
+
+    def __post_init__(self) -> None:
+        full = full_mask(self.n)
+        if not 0 <= self.ho_mask <= full:
+            raise ValueError(f"ho_mask {self.ho_mask:#x} out of range for n={self.n}")
+        if self.sho_mask & ~self.ho_mask:
+            raise ValueError(
+                f"SHO mask {self.sho_mask:#x} is not a subset of HO mask {self.ho_mask:#x}"
+            )
+        if len(self.received) != self.ho_mask.bit_count():
+            raise ValueError(
+                f"expected {self.ho_mask.bit_count()} received payloads, got {len(self.received)}"
+            )
+        if len(self.intended) != self.n:
+            raise ValueError(f"expected {self.n} intended payloads, got {len(self.intended)}")
+
+    @classmethod
+    def from_vector(cls, vector: ReceptionVector, n: int) -> "MaskReception":
+        """Lossless encoding of a :class:`ReceptionVector` (ids must be ``0..n-1``)."""
+        ho_mask = mask_from_ids(vector.received)
+        if ho_mask >= (1 << n):
+            raise ValueError(f"sender ids exceed n={n}")
+        return cls(
+            receiver=vector.receiver,
+            n=n,
+            ho_mask=ho_mask,
+            sho_mask=mask_from_ids(vector.safe_heard_of),
+            received=tuple(vector.received[s] for s in iter_mask(ho_mask)),
+            intended=tuple(vector.intended[s] for s in range(n)),
+        )
+
+    def to_vector(self) -> ReceptionVector:
+        """Materialise the equivalent :class:`ReceptionVector`."""
+        received = dict(zip(iter_mask(self.ho_mask), self.received))
+        return ReceptionVector(
+            receiver=self.receiver,
+            received=received,
+            intended={s: self.intended[s] for s in range(self.n)},
+        )
+
+    @property
+    def heard_of(self) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.ho_mask)
+
+    @property
+    def safe_heard_of(self) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.sho_mask)
+
+    @property
+    def altered_heard_of(self) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.ho_mask & ~self.sho_mask)
+
+
+class MaskRoundRecord:
+    """Bitmask counterpart of :class:`RoundRecord` for broadcast rounds.
+
+    The fast backend executes algorithms whose sending function
+    broadcasts one payload per sender and round, so a whole round is
+    captured by the per-sender broadcast payloads plus, per receiver,
+    the ``HO``/``SHO`` masks and the corrupted payloads (senders in
+    ``AHO`` only).  The class exposes the same read API as
+    :class:`RoundRecord` — every set accessor, kernel/span computation
+    and fault count — so :class:`HeardOfCollection`, the communication
+    predicates and the metrics work identically over either record
+    type; :attr:`receptions` materialises full
+    :class:`ReceptionVector` objects lazily (and caches them) for
+    consumers that need actual payload maps.
+
+    State snapshots are never recorded by the fast backend, so
+    ``states_before``/``states_after`` are always empty.
+    """
+
+    __slots__ = ("round_num", "n", "sent", "ho_masks", "sho_masks", "corrupt", "_receptions")
+
+    def __init__(
+        self,
+        round_num: int,
+        n: int,
+        sent: Tuple[Payload, ...],
+        ho_masks: Tuple[int, ...],
+        sho_masks: Tuple[int, ...],
+        corrupt: Tuple[Optional[Mapping[ProcessId, Payload]], ...],
+    ) -> None:
+        if not (len(sent) == len(ho_masks) == len(sho_masks) == len(corrupt) == n):
+            raise ValueError(f"per-sender/per-receiver tuples must all have length n={n}")
+        self.round_num = round_num
+        self.n = n
+        self.sent = sent
+        self.ho_masks = ho_masks
+        self.sho_masks = sho_masks
+        self.corrupt = corrupt
+        self._receptions: Optional[Dict[ProcessId, ReceptionVector]] = None
+
+    # -- conversions ---------------------------------------------------------
+    @classmethod
+    def from_round_record(cls, record: RoundRecord, n: int) -> "MaskRoundRecord":
+        """Encode a broadcast :class:`RoundRecord` (receivers ``0..n-1``).
+
+        Raises :class:`ValueError` when the record is not a broadcast
+        round (some sender prescribed different payloads for different
+        receivers) — such rounds have no single per-sender payload and
+        must stay in matrix form.
+        """
+        if set(record.receptions) != set(range(n)):
+            raise ValueError(f"receivers must be exactly 0..{n - 1}")
+        sent: List[Payload] = [None] * n
+        seen = [False] * n
+        for rv in record.receptions.values():
+            for sender in range(n):
+                payload = rv.intended[sender]
+                if not seen[sender]:
+                    sent[sender] = payload
+                    seen[sender] = True
+                elif payload != sent[sender]:
+                    raise ValueError(
+                        f"sender {sender} is not broadcasting at round {record.round_num}; "
+                        f"cannot encode as MaskRoundRecord"
+                    )
+        ho_masks: List[int] = []
+        sho_masks: List[int] = []
+        corrupt: List[Optional[Dict[ProcessId, Payload]]] = []
+        for receiver in range(n):
+            rv = record.receptions[receiver]
+            ho = mask_from_ids(rv.received)
+            sho = mask_from_ids(rv.safe_heard_of)
+            altered = ho & ~sho
+            ho_masks.append(ho)
+            sho_masks.append(sho)
+            corrupt.append(
+                {s: rv.received[s] for s in iter_mask(altered)} if altered else None
+            )
+        return cls(
+            round_num=record.round_num,
+            n=n,
+            sent=tuple(sent),
+            ho_masks=tuple(ho_masks),
+            sho_masks=tuple(sho_masks),
+            corrupt=tuple(corrupt),
+        )
+
+    def to_round_record(self) -> RoundRecord:
+        """Materialise the equivalent frozen :class:`RoundRecord`."""
+        return RoundRecord(round_num=self.round_num, receptions=dict(self.receptions))
+
+    def received_payload(self, receiver: ProcessId, sender: ProcessId) -> Payload:
+        """The payload ``receiver`` got from ``sender`` (must be in ``HO``)."""
+        corrupted = self.corrupt[receiver]
+        if corrupted is not None and sender in corrupted:
+            return corrupted[sender]
+        return self.sent[sender]
+
+    # -- RoundRecord read API -------------------------------------------------
+    @property
+    def receptions(self) -> Mapping[ProcessId, ReceptionVector]:
+        if self._receptions is None:
+            intended = {s: self.sent[s] for s in range(self.n)}
+            vectors: Dict[ProcessId, ReceptionVector] = {}
+            for receiver in range(self.n):
+                corrupted = self.corrupt[receiver] or {}
+                received = {
+                    s: corrupted.get(s, self.sent[s]) for s in iter_mask(self.ho_masks[receiver])
+                }
+                vectors[receiver] = ReceptionVector(
+                    receiver=receiver, received=received, intended=intended
+                )
+            self._receptions = vectors
+        return self._receptions
+
+    @property
+    def states_before(self) -> Mapping[ProcessId, Mapping[str, object]]:
+        return {}
+
+    @property
+    def states_after(self) -> Mapping[ProcessId, Mapping[str, object]]:
+        return {}
+
+    @property
+    def processes(self) -> FrozenSet[ProcessId]:
+        return frozenset(range(self.n))
+
+    def ho(self, receiver: ProcessId) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.ho_masks[receiver])
+
+    def sho(self, receiver: ProcessId) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.sho_masks[receiver])
+
+    def aho(self, receiver: ProcessId) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.ho_masks[receiver] & ~self.sho_masks[receiver])
+
+    def ho_sets(self) -> Dict[ProcessId, FrozenSet[ProcessId]]:
+        return {p: self.ho(p) for p in range(self.n)}
+
+    def sho_sets(self) -> Dict[ProcessId, FrozenSet[ProcessId]]:
+        return {p: self.sho(p) for p in range(self.n)}
+
+    def kernel_mask(self) -> int:
+        result = full_mask(self.n) if self.n else 0
+        for mask in self.ho_masks:
+            result &= mask
+        return result
+
+    def safe_kernel_mask(self) -> int:
+        result = full_mask(self.n) if self.n else 0
+        for mask in self.sho_masks:
+            result &= mask
+        return result
+
+    def altered_span_mask(self) -> int:
+        span = 0
+        for ho, sho in zip(self.ho_masks, self.sho_masks):
+            span |= ho & ~sho
+        return span
+
+    def kernel(self) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.kernel_mask())
+
+    def safe_kernel(self) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.safe_kernel_mask())
+
+    def altered_span(self) -> FrozenSet[ProcessId]:
+        return ids_from_mask(self.altered_span_mask())
+
+    def total_corruptions(self) -> int:
+        return sum((ho & ~sho).bit_count() for ho, sho in zip(self.ho_masks, self.sho_masks))
+
+    def total_omissions(self) -> int:
+        return sum(self.n - ho.bit_count() for ho in self.ho_masks)
+
+    def max_aho(self) -> int:
+        if not self.n:
+            return 0
+        return max((ho & ~sho).bit_count() for ho, sho in zip(self.ho_masks, self.sho_masks))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MaskRoundRecord r={self.round_num} n={self.n}>"
+
+
+# ----------------------------------------------------------------------
 # Whole-run container
 # ----------------------------------------------------------------------
 class HeardOfCollection:
@@ -314,12 +636,12 @@ class HeardOfCollection:
         return [record.total_corruptions() for record in self._rounds]
 
     def is_benign(self) -> bool:
-        """True iff ``SHO(p, r) = HO(p, r)`` everywhere (the benign special case)."""
-        return all(
-            rv.altered_heard_of == frozenset()
-            for record in self._rounds
-            for rv in record.receptions.values()
-        )
+        """True iff ``SHO(p, r) = HO(p, r)`` everywhere (the benign special case).
+
+        Evaluated via ``max_aho`` so mask-backed records (fast backend)
+        never have to materialise full reception vectors.
+        """
+        return all(record.max_aho() == 0 for record in self._rounds)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

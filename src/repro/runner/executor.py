@@ -40,7 +40,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.adversary.base import Adversary
@@ -57,7 +57,8 @@ from repro.runner.factories import (
 from repro.runner.records import RunRecord, RunnerStats
 from repro.runner.reduce import Reducer, ReducedRecord, reduced_cache_key
 from repro.runner.spec import CampaignSpec, RunSpec
-from repro.simulation.engine import SimulationResult, run_consensus
+from repro.simulation.backends import get_backend, run_simulation
+from repro.simulation.engine import SimulationConfig, SimulationResult
 
 
 class RunTimeoutError(RuntimeError):
@@ -84,6 +85,16 @@ class RunTask:
     cell: Dict[str, object] = field(default_factory=dict)
     run_index: int = 0
     seed: Optional[int] = None
+    #: Engine backend for this task (``None`` = the runner's default).
+    #: Never part of the cache key; non-result-identical backends are
+    #: excluded from caching instead (see :meth:`CampaignRunner._cacheable_key`).
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Same fail-fast as CampaignSpec: a typoed backend should raise
+        # here, with a did-you-mean, not once per run inside a worker.
+        if self.backend is not None:
+            get_backend(self.backend)
 
 
 @dataclass
@@ -160,14 +171,19 @@ def _deadline(seconds: Optional[float]):
 
 
 def _execute_task(task: RunTask, timeout: Optional[float]) -> SimulationResult:
+    config = SimulationConfig(
+        max_rounds=task.max_rounds,
+        min_rounds=task.min_rounds,
+        stop_when_all_decided=True,
+        record_states=task.record_states,
+    )
     with _deadline(timeout):
-        return run_consensus(
+        return run_simulation(
             algorithm=task.algorithm,
             initial_values=task.initial_values,
             adversary=task.adversary,
-            max_rounds=task.max_rounds,
-            min_rounds=task.min_rounds,
-            record_states=task.record_states,
+            config=config,
+            backend=task.backend or "reference",
         )
 
 
@@ -264,6 +280,7 @@ def _task_from_spec(spec: RunSpec) -> RunTask:
         cell=spec.cell(),
         run_index=spec.run_index,
         seed=spec.seed,
+        backend=spec.backend,
     )
 
 
@@ -282,6 +299,11 @@ class CampaignRunner:
     cache:
         Optional :class:`ResultCache` (or a directory path, which is
         wrapped in one).  Only tasks carrying a ``key`` participate.
+    backend:
+        Default engine backend for tasks that do not pin one
+        (:attr:`RunTask.backend`).  Backends are semantically invisible
+        (see :mod:`repro.simulation.backends`), so cached records are
+        shared across backends and ``backend="fast"`` is always safe.
     """
 
     def __init__(
@@ -289,6 +311,7 @@ class CampaignRunner:
         jobs: int = 1,
         timeout: Optional[float] = None,
         cache: Optional[Union[ResultCache, str]] = None,
+        backend: str = "reference",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -297,8 +320,40 @@ class CampaignRunner:
         self.cache = (
             cache if cache is None or isinstance(cache, ResultCache) else ResultCache(cache)
         )
+        get_backend(backend)  # fail fast on typos, before any run executes
+        self.backend = backend
         self.stats = RunnerStats()
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _with_backend(self, tasks: Sequence[RunTask]) -> List[RunTask]:
+        """Tasks with the runner's default backend filled in where unset.
+
+        Returns copies rather than mutating the caller's tasks, so the
+        same task list can be run through differently configured
+        runners (e.g. to compare backends).
+        """
+        if self.backend == "reference":
+            return list(tasks)
+        return [
+            replace(task, backend=self.backend) if task.backend is None else task
+            for task in tasks
+        ]
+
+    @staticmethod
+    def _cacheable_key(task: RunTask) -> Optional[str]:
+        """The task's cache key, or None when it must not be cached.
+
+        Cache keys are backend-independent because backends are
+        result-identical — which the ``async`` engine is *not* (its
+        adversary sees submissions in event-loop order, so seeded fault
+        schedules can diverge).  Tasks on a non-equivalent backend
+        therefore never read from or write to the shared cache.
+        """
+        if not task.key:
+            return None
+        if not get_backend(task.backend or "reference").equivalent_to_reference:
+            return None
+        return task.key
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -339,18 +394,18 @@ class CampaignRunner:
         the whole sweep.
         """
         started = time.perf_counter()
+        tasks = self._with_backend(tasks)
         records: List[Optional[RunRecord]] = [None] * len(tasks)
         pending: List[Tuple[int, RunTask]] = []
 
         for index, task in enumerate(tasks):
-            cached = (
-                self.cache.get(task.key) if self.cache is not None and task.key else None
-            )
+            key = self._cacheable_key(task)
+            cached = self.cache.get(key) if self.cache is not None and key else None
             if cached is not None:
                 self.stats.cache_hits += 1
                 records[index] = cached
             else:
-                if self.cache is not None and task.key:
+                if self.cache is not None and key:
                     self.stats.cache_misses += 1
                 pending.append((index, task))
 
@@ -359,9 +414,9 @@ class CampaignRunner:
         ]
         for index, record in self._run_payloads(_record_worker, payloads):
             records[index] = record
-            task = tasks[index]
-            if record.ok and self.cache is not None and task.key:
-                self.cache.put(task.key, record)
+            key = self._cacheable_key(tasks[index])
+            if record.ok and self.cache is not None and key:
+                self.cache.put(key, record)
 
         self.stats.total += len(tasks)
         self.stats.executed += len(pending)
@@ -416,11 +471,13 @@ class CampaignRunner:
         plain :class:`RunRecord`s.
         """
         started = time.perf_counter()
+        tasks = self._with_backend(tasks)
         records: List[Optional[ReducedRecord]] = [None] * len(tasks)
         pending: List[Tuple[int, RunTask, Optional[str]]] = []
 
         for index, task in enumerate(tasks):
-            key = reduced_cache_key(task.key, reducer) if task.key else None
+            base_key = self._cacheable_key(task)
+            key = reduced_cache_key(base_key, reducer) if base_key else None
             cached = (
                 self.cache.get_reduced(key) if self.cache is not None and key else None
             )
@@ -454,6 +511,7 @@ class CampaignRunner:
     def run_simulations(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
         """Execute ``tasks`` and return full results in task order."""
         started = time.perf_counter()
+        tasks = self._with_backend(tasks)
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         if self.jobs == 1:
             for index, task in enumerate(tasks):

@@ -47,6 +47,16 @@ def derive_seed(base_seed: int, cell_key: str, run_index: int) -> int:
     return int.from_bytes(hashlib.sha256(material).digest()[:8], "big") >> 1
 
 
+def _validate_backend(backend: Optional[str]) -> None:
+    """Fail at spec-construction time (with the registry's did-you-mean)
+    instead of once per run inside the workers.  Imported lazily: this
+    module is otherwise dependency-free."""
+    if backend is not None:
+        from repro.simulation.backends import get_backend
+
+        get_backend(backend)
+
+
 def cell_cache_key(**fields: object) -> str:
     """Stable cache-key prefix for one experiment cell.
 
@@ -141,6 +151,15 @@ class RunSpec:
     max_rounds: int = 60
     min_rounds: int = 0
     predicate: Optional[PredicateSpec] = None
+    #: Engine backend for this run (``None`` = the runner's default).
+    #: Result-identical backends never change a run's result, so the
+    #: backend is deliberately *excluded* from
+    #: :meth:`as_dict`/:meth:`config_hash`; the runner additionally
+    #: refuses to cache runs on backends that are not result-identical.
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _validate_backend(self.backend)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -189,12 +208,17 @@ class CampaignSpec:
     min_rounds: int = 0
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     predicates: Sequence[Optional[PredicateSpec]] = (None,)
+    #: Engine backend for every run of the grid (``None`` = the
+    #: runner's default).  Semantically invisible, so it participates
+    #: in the JSON round-trip but never in run cache keys.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
             raise ValueError(f"runs must be >= 1, got {self.runs}")
         if not self.algorithms or not self.adversaries or not self.ns:
             raise ValueError("campaign needs at least one algorithm, adversary and n")
+        _validate_backend(self.backend)
 
     # -- expansion ---------------------------------------------------------------
     def cells(self) -> Iterator[Dict[str, object]]:
@@ -235,13 +259,14 @@ class CampaignSpec:
                         run_index=run_index,
                         max_rounds=self.max_rounds,
                         min_rounds=self.min_rounds,
+                        backend=self.backend,
                     )
                 )
         return specs
 
     # -- serialisation -----------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "campaign_id": self.campaign_id,
             "algorithms": [a.as_dict() for a in self.algorithms],
             "adversaries": [a.as_dict() for a in self.adversaries],
@@ -253,6 +278,11 @@ class CampaignSpec:
             "workload": self.workload.as_dict(),
             "predicates": [p.as_dict() if p else None for p in self.predicates],
         }
+        # Only emitted when set: keeps the config hash of existing specs
+        # stable, and the backend never affects results anyway.
+        if self.backend is not None:
+            data["backend"] = self.backend
+        return data
 
     def config_hash(self) -> str:
         return stable_hash({"schema": CACHE_SCHEMA_VERSION, **self.as_dict()})
@@ -273,6 +303,7 @@ class CampaignSpec:
                 PredicateSpec.from_dict(p) if p else None
                 for p in data.get("predicates", [None])
             ],
+            backend=data.get("backend"),
         )
 
     @classmethod

@@ -1,19 +1,37 @@
 """Simulation engines, network models, traces and metrics.
 
-Two execution substrates are provided:
+Three execution substrates are provided behind one pluggable
+:class:`~repro.simulation.backends.EngineBackend` protocol
+(:func:`~repro.simulation.backends.run_simulation` selects by name):
 
-* the lockstep engine (:mod:`repro.simulation.engine`) — deterministic,
-  fast, used by the bulk of tests and benchmarks;
-* the asyncio engine (:mod:`repro.simulation.async_engine`) — the same
-  communication-closed round semantics layered over an asynchronous
-  message-passing network with randomised per-message delays.
+* the ``reference`` lockstep engine (:mod:`repro.simulation.engine`) —
+  deterministic, supports everything, the semantic baseline;
+* the ``fast`` engine (:mod:`repro.simulation.fast_engine`) — whole
+  rounds on bitmask kernels and mask-level adversary plans, falling
+  back to the reference engine for runs it cannot take;
+* the ``async`` engine (:mod:`repro.simulation.async_engine`) — the
+  same communication-closed round semantics layered over an
+  asynchronous message-passing network with randomised per-message
+  delays.
 """
 
 from repro.simulation.async_engine import (
     AsyncSimulationConfig,
+    derive_network_seed,
     run_algorithm_async,
     run_consensus_async,
 )
+from repro.simulation.backends import (
+    AsyncBackend,
+    EngineBackend,
+    FastBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_simulation,
+)
+from repro.simulation.fast_engine import fast_supported, run_algorithm_fast
 from repro.simulation.engine import (
     SimulationConfig,
     SimulationResult,
@@ -41,27 +59,38 @@ from repro.simulation.trace import (
 )
 
 __all__ = [
+    "AsyncBackend",
     "AsyncNetwork",
     "AsyncSimulationConfig",
     "DelayModel",
+    "EngineBackend",
     "ExponentialDelay",
+    "FastBackend",
     "NetworkMessage",
     "NoDelay",
+    "ReferenceBackend",
     "ReplayAdversary",
     "RunMetrics",
     "SimulationConfig",
     "SimulationResult",
     "UniformDelay",
+    "available_backends",
     "collection_from_dict",
     "collection_to_dict",
+    "derive_network_seed",
     "execute_round",
+    "fast_supported",
+    "get_backend",
     "load_trace",
     "metrics_from_collection",
+    "register_backend",
     "run_algorithm",
     "run_algorithm_async",
+    "run_algorithm_fast",
     "run_consensus",
     "run_consensus_async",
     "run_machine",
     "run_many",
+    "run_simulation",
     "save_trace",
 ]

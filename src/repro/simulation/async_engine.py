@@ -35,10 +35,32 @@ from repro.simulation.network import AsyncNetwork, DelayModel, NetworkMessage
 
 @dataclass
 class AsyncSimulationConfig(SimulationConfig):
-    """Configuration of the asyncio engine (extends the lockstep config)."""
+    """Configuration of the asyncio engine (extends the lockstep config).
+
+    ``network_seed`` seeds the network's per-message delay RNG; when
+    ``None`` it is derived deterministically from the run's adversary
+    seed (see :func:`derive_network_seed`), so async runs are
+    reproducible by default.
+    """
 
     delay_model: Optional[DelayModel] = None
     network_seed: Optional[int] = None
+
+
+def derive_network_seed(run_seed: Optional[int]) -> int:
+    """Deterministic default network seed for a run seeded with ``run_seed``.
+
+    Uses the campaign runner's SHA-256 seed-derivation scheme
+    (:func:`repro.runner.spec.derive_seed`) with a fixed cell label, so
+    the network RNG is statistically independent of the adversary's RNG
+    while remaining a pure function of the run seed.  An unseeded run
+    (``run_seed is None``) maps to base seed 0 — still deterministic.
+    """
+    # Imported lazily: repro.runner imports the simulation package, so a
+    # module-level import here would be circular at package-init time.
+    from repro.runner.spec import derive_seed
+
+    return derive_seed(run_seed if run_seed is not None else 0, "async-network", 0)
 
 
 class _RoundCoordinator:
@@ -198,7 +220,12 @@ async def run_algorithm_async(
 
     processes = algorithm.create_all(initial_values)
     n = len(processes)
-    network = AsyncNetwork(n, delay_model=config.delay_model, seed=config.network_seed)
+    network_seed = (
+        config.network_seed
+        if config.network_seed is not None
+        else derive_network_seed(adversary.seed)
+    )
+    network = AsyncNetwork(n, delay_model=config.delay_model, seed=network_seed)
     coordinator = _RoundCoordinator(
         n=n, adversary=adversary, network=network, record_states=config.record_states
     )

@@ -1,0 +1,250 @@
+"""Pluggable engine backends behind one :class:`EngineBackend` protocol.
+
+The simulation stack has three execution substrates with identical
+round semantics:
+
+* ``reference`` — the lockstep loop of :mod:`repro.simulation.engine`;
+  deterministic, supports everything (observers, state snapshots), the
+  semantic baseline every other backend is tested against.
+* ``fast`` — :mod:`repro.simulation.fast_engine`; whole rounds on
+  bitmask kernels and mask-level adversary plans.  Only algorithms
+  with a registered step kernel, no observers, no state snapshots;
+  unsupported runs **fall back to the reference backend
+  automatically**, so ``backend="fast"`` is always safe to request.
+* ``async`` — :mod:`repro.simulation.async_engine`; the same rounds
+  over an asyncio message-passing network.
+
+:func:`run_simulation` is the single entry point that selects a backend
+by name (or accepts an :class:`EngineBackend` instance); the campaign
+runner (``CampaignRunner(backend=...)``, ``CampaignSpec.backend``) and
+the CLI (``repro-ho run/campaign --backend``) route through it.  The
+protocol is also the seam for future *distributed* execution: a remote
+backend only has to implement ``supports``/``run``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Mapping, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.adversary.base import Adversary
+from repro.core.algorithm import HOAlgorithm
+from repro.core.consensus import ConsensusSpec
+from repro.core.process import ProcessId, Value
+from repro.simulation.engine import (
+    RoundObserver,
+    SimulationConfig,
+    SimulationResult,
+    run_algorithm,
+)
+from repro.simulation.fast_engine import fast_supported, run_algorithm_fast
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """One execution substrate for communication-closed HO rounds.
+
+    Implementations realise the same round semantics; those that are
+    also *result-identical* to the reference engine for every supported
+    run (same decisions, decision rounds and per-round
+    ``HO``/``SHO``/``AHO`` sets) declare it via
+    :attr:`equivalent_to_reference`, which gates participation in the
+    backend-independent result cache.
+    """
+
+    #: Registry name (``backend=`` argument value).
+    name: str
+
+    #: Name of the backend to fall back to when :meth:`supports` says
+    #: no, or ``None`` to raise instead.
+    fallback: Optional[str]
+
+    #: True iff the backend is *result-identical* to the reference
+    #: engine for every supported run (same decisions, rounds and
+    #: HO/SHO/AHO sets).  Only such backends may share the
+    #: backend-independent result cache: the campaign runner refuses to
+    #: cache records produced by (or serve cached records to) backends
+    #: where this is False.  The ``async`` engine is the canonical
+    #: False case — its adversary sees submissions in event-loop
+    #: arrival order, so seeded fault schedules can diverge from the
+    #: lockstep engines.
+    equivalent_to_reference: bool
+
+    def supports(
+        self,
+        algorithm: HOAlgorithm,
+        adversary: Optional[Adversary],
+        config: Optional[SimulationConfig],
+        observers: Optional[Sequence[RoundObserver]],
+    ) -> bool:
+        """Whether this backend can execute the run natively."""
+        ...
+
+    def run(
+        self,
+        algorithm: HOAlgorithm,
+        initial_values: Mapping[ProcessId, Value],
+        adversary: Optional[Adversary],
+        config: Optional[SimulationConfig],
+        observers: Optional[Sequence[RoundObserver]],
+        spec: Optional[ConsensusSpec],
+    ) -> SimulationResult:
+        """Execute the run and return its full result."""
+        ...
+
+
+class ReferenceBackend:
+    """The lockstep loop: supports every algorithm, adversary and option."""
+
+    name = "reference"
+    fallback: Optional[str] = None
+    equivalent_to_reference = True
+
+    def supports(self, algorithm, adversary, config, observers) -> bool:
+        return True
+
+    def run(self, algorithm, initial_values, adversary, config, observers, spec):
+        return run_algorithm(
+            algorithm=algorithm,
+            initial_values=initial_values,
+            adversary=adversary,
+            config=config,
+            observers=observers,
+            spec=spec,
+        )
+
+
+class FastBackend:
+    """Bitmask kernel rounds; falls back to ``reference`` when unsupported."""
+
+    name = "fast"
+    fallback: Optional[str] = "reference"
+    equivalent_to_reference = True
+
+    def supports(self, algorithm, adversary, config, observers) -> bool:
+        return fast_supported(algorithm, adversary, config, observers)
+
+    def run(self, algorithm, initial_values, adversary, config, observers, spec):
+        return run_algorithm_fast(
+            algorithm=algorithm,
+            initial_values=initial_values,
+            adversary=adversary,
+            config=config,
+            observers=observers,
+            spec=spec,
+        )
+
+
+class AsyncBackend:
+    """The asyncio engine driven to completion from synchronous code."""
+
+    name = "async"
+    fallback: Optional[str] = None
+    equivalent_to_reference = False
+
+    def supports(self, algorithm, adversary, config, observers) -> bool:
+        # The coordinator has no observer hook (processes run as tasks),
+        # and it never records post-transition snapshots, so a
+        # record_states run would silently return empty states_after —
+        # refuse it instead (config=None means the record_states default).
+        if observers:
+            return False
+        return config is not None and not config.record_states
+
+    def run(self, algorithm, initial_values, adversary, config, observers, spec):
+        import asyncio
+
+        from repro.simulation.async_engine import AsyncSimulationConfig, run_algorithm_async
+
+        if config is None:
+            async_config = AsyncSimulationConfig()
+        elif isinstance(config, AsyncSimulationConfig):
+            async_config = config
+        else:
+            async_config = AsyncSimulationConfig(
+                max_rounds=config.max_rounds,
+                min_rounds=config.min_rounds,
+                stop_when_all_decided=config.stop_when_all_decided,
+                record_states=config.record_states,
+            )
+        return asyncio.run(
+            run_algorithm_async(
+                algorithm=algorithm,
+                initial_values=initial_values,
+                adversary=adversary,
+                config=async_config,
+                spec=spec,
+            )
+        )
+
+
+_BACKENDS: Dict[str, EngineBackend] = {
+    backend.name: backend for backend in (ReferenceBackend(), FastBackend(), AsyncBackend())
+}
+
+
+def available_backends() -> list:
+    """The backend names accepted by :func:`run_simulation`."""
+    return sorted(_BACKENDS)
+
+
+def register_backend(backend: EngineBackend) -> None:
+    """Register (or replace) a backend under ``backend.name``.
+
+    The registry is *per process*: worker processes of a parallel
+    :class:`~repro.runner.executor.CampaignRunner` re-import this module
+    and only see registrations performed at import time.  To use a
+    custom backend with ``jobs > 1``, register it at module level in a
+    module that the workers import (e.g. next to the backend class),
+    not from ``if __name__ == "__main__"`` code.
+    """
+    _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up a backend by name, with a did-you-mean on typos."""
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        suggestion = difflib.get_close_matches(name, _BACKENDS, n=1)
+        hint = f" (did you mean {suggestion[0]!r}?)" if suggestion else ""
+        raise ValueError(
+            f"unknown engine backend {name!r}{hint}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def run_simulation(
+    algorithm: HOAlgorithm,
+    initial_values: Mapping[ProcessId, Value],
+    adversary: Optional[Adversary] = None,
+    config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[RoundObserver]] = None,
+    spec: Optional[ConsensusSpec] = None,
+    backend: Union[str, EngineBackend] = "reference",
+) -> SimulationResult:
+    """Run one simulation on the selected engine backend.
+
+    ``backend`` is a registry name (``"reference"``, ``"fast"``,
+    ``"async"``) or an :class:`EngineBackend` instance.  A backend that
+    does not support the run either falls back (``fast`` →
+    ``reference``) or raises :class:`ValueError`.
+    """
+    chosen = get_backend(backend) if isinstance(backend, str) else backend
+    visited = set()
+    while not chosen.supports(algorithm, adversary, config, observers):
+        visited.add(chosen.name)
+        if chosen.fallback is None:
+            raise ValueError(
+                f"backend {chosen.name!r} does not support this run "
+                f"(algorithm={algorithm.describe()}, observers={bool(observers)}, "
+                f"record_states={config.record_states if config else 'default'}) "
+                f"and has no fallback"
+            )
+        if chosen.fallback in visited:
+            raise ValueError(
+                f"backend fallback cycle: {' -> '.join(sorted(visited))} "
+                f"-> {chosen.fallback}; no registered backend supports this run"
+            )
+        chosen = get_backend(chosen.fallback)
+    return chosen.run(algorithm, initial_values, adversary, config, observers, spec)

@@ -8,8 +8,10 @@ from repro.algorithms import (
     PhaseKingAlgorithm,
     UniformVotingAlgorithm,
     UteAlgorithm,
+    accepted_kwargs,
     available_algorithms,
     make_algorithm,
+    supports_fast,
 )
 
 
@@ -45,3 +47,49 @@ class TestRegistry:
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):
             make_algorithm("paxos", n=5)
+
+
+class TestKwargValidation:
+    def test_unknown_kwarg_raises_listing_accepted(self):
+        with pytest.raises(ValueError, match="aplha") as excinfo:
+            make_algorithm("ate", n=8, aplha=1)  # the classic typo
+        assert "alpha" in str(excinfo.value)
+
+    def test_unknown_kwarg_for_kwargless_algorithm(self):
+        with pytest.raises(ValueError, match="none"):
+            make_algorithm("one-third-rule", n=8, alpha=1)
+
+    def test_valid_kwargs_still_accepted(self):
+        algorithm = make_algorithm("ute", n=9, alpha=1, default_value=5)
+        assert algorithm.default_value == 5
+        assert make_algorithm("phase-king", n=9, f=2).f == 2
+
+    def test_accepted_kwargs(self):
+        assert accepted_kwargs("ate") == frozenset({"alpha"})
+        assert accepted_kwargs("ute") == frozenset({"alpha", "default_value"})
+        assert accepted_kwargs("one-third-rule") == frozenset()
+        assert accepted_kwargs("phase-king") == frozenset({"f"})
+
+
+class TestDidYouMean:
+    def test_typo_gets_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'ate'"):
+            make_algorithm("aet", n=5)
+        with pytest.raises(KeyError, match="did you mean 'phase-king'"):
+            make_algorithm("phase-kign", n=5)
+
+    def test_unrelated_name_lists_available(self):
+        with pytest.raises(KeyError, match="available:"):
+            make_algorithm("zzzzzz", n=5)
+
+
+class TestSupportsFast:
+    def test_fast_kernel_advertisement(self):
+        assert supports_fast("ate")
+        assert supports_fast("A_TE")  # aliases resolve too
+        assert supports_fast("uniform-voting")
+        assert not supports_fast("phase-king")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            supports_fast("paxos")

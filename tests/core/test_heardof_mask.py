@@ -1,0 +1,156 @@
+"""Tests for the bitmask reception representation in core.heardof."""
+
+import pytest
+
+from repro.core.heardof import (
+    MaskReception,
+    MaskRoundRecord,
+    ReceptionVector,
+    RoundRecord,
+    full_mask,
+    ids_from_mask,
+    iter_mask,
+    mask_from_ids,
+)
+
+
+class TestMaskHelpers:
+    def test_full_mask(self):
+        assert full_mask(0) == 0
+        assert full_mask(1) == 0b1
+        assert full_mask(4) == 0b1111
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+    def test_mask_ids_roundtrip(self):
+        for ids in (set(), {0}, {3}, {0, 1, 2}, {1, 5, 63}):
+            assert ids_from_mask(mask_from_ids(ids)) == frozenset(ids)
+
+    def test_iter_mask_ascending(self):
+        assert list(iter_mask(0b101001)) == [0, 3, 5]
+        assert list(iter_mask(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_from_ids([-1])
+        with pytest.raises(ValueError):
+            ids_from_mask(-1)
+
+
+def _vector(n=5):
+    intended = {s: s * 10 for s in range(n)}
+    # 0 dropped, 2 corrupted, rest delivered.
+    received = {1: 10, 2: 999, 3: 30, 4: 40}
+    return ReceptionVector(receiver=2, received=received, intended=intended)
+
+
+class TestMaskReception:
+    def test_roundtrip_is_lossless(self):
+        vector = _vector()
+        mask = MaskReception.from_vector(vector, n=5)
+        back = mask.to_vector()
+        assert back.receiver == vector.receiver
+        assert dict(back.received) == dict(vector.received)
+        assert dict(back.intended) == dict(vector.intended)
+        assert back.heard_of == vector.heard_of
+        assert back.safe_heard_of == vector.safe_heard_of
+        assert back.altered_heard_of == vector.altered_heard_of
+
+    def test_mask_sets_match_vector_sets(self):
+        vector = _vector()
+        mask = MaskReception.from_vector(vector, n=5)
+        assert mask.heard_of == vector.heard_of
+        assert mask.safe_heard_of == vector.safe_heard_of
+        assert mask.altered_heard_of == vector.altered_heard_of
+
+    def test_sho_must_be_subset_of_ho(self):
+        with pytest.raises(ValueError, match="subset"):
+            MaskReception(
+                receiver=0, n=2, ho_mask=0b01, sho_mask=0b10,
+                received=(7,), intended=(7, 8),
+            )
+
+    def test_payload_counts_validated(self):
+        with pytest.raises(ValueError, match="received payloads"):
+            MaskReception(
+                receiver=0, n=2, ho_mask=0b11, sho_mask=0b11,
+                received=(7,), intended=(7, 8),
+            )
+
+
+def _broadcast_round(n=4, round_num=1):
+    sent = tuple(s + 100 for s in range(n))
+    receptions = {}
+    for receiver in range(n):
+        received = {s: sent[s] for s in range(n)}
+        if receiver == 0:
+            del received[1]            # omission
+        if receiver == 2:
+            received[3] = "corrupted"  # corruption
+        receptions[receiver] = ReceptionVector(
+            receiver=receiver,
+            received=received,
+            intended={s: sent[s] for s in range(n)},
+        )
+    return RoundRecord(round_num=round_num, receptions=receptions)
+
+
+class TestMaskRoundRecord:
+    def test_roundtrip_is_lossless(self):
+        record = _broadcast_round()
+        mask = MaskRoundRecord.from_round_record(record, n=4)
+        back = mask.to_round_record()
+        assert back.round_num == record.round_num
+        for receiver in range(4):
+            assert dict(back.receptions[receiver].received) == dict(
+                record.receptions[receiver].received
+            )
+            assert dict(back.receptions[receiver].intended) == dict(
+                record.receptions[receiver].intended
+            )
+
+    def test_read_api_matches_round_record(self):
+        record = _broadcast_round()
+        mask = MaskRoundRecord.from_round_record(record, n=4)
+        assert mask.processes == record.processes
+        for receiver in range(4):
+            assert mask.ho(receiver) == record.ho(receiver)
+            assert mask.sho(receiver) == record.sho(receiver)
+            assert mask.aho(receiver) == record.aho(receiver)
+        assert mask.ho_sets() == record.ho_sets()
+        assert mask.sho_sets() == record.sho_sets()
+        assert mask.kernel() == record.kernel()
+        assert mask.safe_kernel() == record.safe_kernel()
+        assert mask.altered_span() == record.altered_span()
+        assert mask.total_corruptions() == record.total_corruptions()
+        assert mask.total_omissions() == record.total_omissions()
+        assert mask.max_aho() == record.max_aho()
+        assert dict(mask.states_before) == {}
+        assert dict(mask.states_after) == {}
+
+    def test_received_payload(self):
+        mask = MaskRoundRecord.from_round_record(_broadcast_round(), n=4)
+        assert mask.received_payload(1, 0) == 100
+        assert mask.received_payload(2, 3) == "corrupted"
+
+    def test_non_broadcast_round_rejected(self):
+        n = 2
+        receptions = {
+            receiver: ReceptionVector(
+                receiver=receiver,
+                received={},
+                # sender 0 prescribes a different payload per receiver.
+                intended={0: receiver, 1: 5},
+            )
+            for receiver in range(n)
+        }
+        record = RoundRecord(round_num=1, receptions=receptions)
+        with pytest.raises(ValueError, match="broadcast"):
+            MaskRoundRecord.from_round_record(record, n=n)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            MaskRoundRecord(
+                round_num=1, n=2, sent=(1,), ho_masks=(0, 0),
+                sho_masks=(0, 0), corrupt=(None, None),
+            )

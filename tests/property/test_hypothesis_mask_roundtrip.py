@@ -1,0 +1,110 @@
+"""Property tests: the bitmask reception representation is lossless.
+
+The fast backend stores rounds as bitmasks
+(:class:`repro.core.heardof.MaskReception` /
+:class:`repro.core.heardof.MaskRoundRecord`); these properties assert
+that arbitrary reception vectors and broadcast rounds survive the
+mask round-trip bit-for-bit, and that every derived set computed from
+masks equals its matrix-path counterpart.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heardof import (
+    MaskReception,
+    MaskRoundRecord,
+    ReceptionVector,
+    RoundRecord,
+    ids_from_mask,
+    mask_from_ids,
+)
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
+payloads = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.sampled_from(["a", "b", "corrupted"]),
+)
+
+
+@st.composite
+def broadcast_vectors(draw, n=None):
+    """A reception vector of a broadcast round (ids 0..n-1)."""
+    n = n if n is not None else draw(st.integers(min_value=1, max_value=8))
+    receiver = draw(st.integers(min_value=0, max_value=n - 1))
+    intended = {sender: draw(payloads) for sender in range(n)}
+    received = {}
+    for sender in range(n):
+        fate = draw(st.sampled_from(["drop", "deliver", "corrupt"]))
+        if fate == "deliver":
+            received[sender] = intended[sender]
+        elif fate == "corrupt":
+            received[sender] = ("corrupt", intended[sender])  # always differs
+    return n, ReceptionVector(receiver=receiver, received=received, intended=intended)
+
+
+@given(data=broadcast_vectors())
+@settings(max_examples=200, deadline=None)
+def test_mask_reception_roundtrip_lossless(data):
+    n, vector = data
+    mask = MaskReception.from_vector(vector, n=n)
+    back = mask.to_vector()
+    assert back.receiver == vector.receiver
+    assert dict(back.received) == dict(vector.received)
+    assert dict(back.intended) == dict(vector.intended)
+    # Derived sets agree between representations.
+    assert mask.heard_of == vector.heard_of == back.heard_of
+    assert mask.safe_heard_of == vector.safe_heard_of == back.safe_heard_of
+    assert mask.altered_heard_of == vector.altered_heard_of == back.altered_heard_of
+
+
+@st.composite
+def broadcast_rounds(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    sent = {sender: draw(payloads) for sender in range(n)}
+    receptions = {}
+    for receiver in range(n):
+        received = {}
+        for sender in range(n):
+            fate = draw(st.sampled_from(["drop", "deliver", "corrupt"]))
+            if fate == "deliver":
+                received[sender] = sent[sender]
+            elif fate == "corrupt":
+                received[sender] = ("corrupt", sent[sender])
+        receptions[receiver] = ReceptionVector(
+            receiver=receiver, received=received, intended=dict(sent)
+        )
+    return n, RoundRecord(round_num=1, receptions=receptions)
+
+
+@given(data=broadcast_rounds())
+@settings(max_examples=200, deadline=None)
+def test_mask_round_record_roundtrip_and_api_parity(data):
+    n, record = data
+    mask = MaskRoundRecord.from_round_record(record, n=n)
+    back = mask.to_round_record()
+    for receiver in range(n):
+        assert dict(back.receptions[receiver].received) == dict(
+            record.receptions[receiver].received
+        )
+        assert dict(back.receptions[receiver].intended) == dict(
+            record.receptions[receiver].intended
+        )
+        assert mask.ho(receiver) == record.ho(receiver)
+        assert mask.sho(receiver) == record.sho(receiver)
+        assert mask.aho(receiver) == record.aho(receiver)
+    assert mask.kernel() == record.kernel()
+    assert mask.safe_kernel() == record.safe_kernel()
+    assert mask.altered_span() == record.altered_span()
+    assert mask.total_corruptions() == record.total_corruptions()
+    assert mask.total_omissions() == record.total_omissions()
+    assert mask.max_aho() == record.max_aho()
+
+
+@given(ids=st.frozensets(st.integers(min_value=0, max_value=62), max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_mask_ids_roundtrip(ids):
+    assert ids_from_mask(mask_from_ids(ids)) == ids

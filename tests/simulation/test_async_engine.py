@@ -110,3 +110,54 @@ class TestAsyncEngine:
             AteAlgorithm.symmetric(n=n, alpha=0), generators.split(n), max_rounds=8
         )
         assert result.collection.num_rounds == result.rounds_executed
+
+
+class TestDefaultNetworkSeed:
+    """With network_seed=None the seed is derived from the run's adversary
+    seed (same SHA-256 scheme as the runner's per-run seeds), so async
+    runs are reproducible by default."""
+
+    def test_derivation_matches_runner_scheme(self):
+        from repro.runner.spec import derive_seed
+        from repro.simulation.async_engine import derive_network_seed
+
+        assert derive_network_seed(21) == derive_seed(21, "async-network", 0)
+        assert derive_network_seed(None) == derive_seed(0, "async-network", 0)
+        # Different run seeds give different network seeds.
+        assert derive_network_seed(1) != derive_network_seed(2)
+
+    def _run(self, seed):
+        n = 6
+        return run_consensus_async(
+            AteAlgorithm.symmetric(n=n, alpha=0),
+            generators.uniform_random(n, seed=4),
+            RandomOmissionAdversary(0.2, seed=seed),
+            max_rounds=20,
+            delay_model=UniformDelay(0.0, 0.001),
+            network_seed=None,
+        )
+
+    def test_async_runs_reproducible_by_default(self):
+        first = self._run(seed=9)
+        second = self._run(seed=9)
+        assert first.outcome.decision_rounds == second.outcome.decision_rounds
+        assert first.rounds_executed == second.rounds_executed
+        for round_first, round_second in zip(first.collection, second.collection):
+            for pid in range(first.collection.n):
+                assert round_first.ho(pid) == round_second.ho(pid)
+                assert round_first.sho(pid) == round_second.sho(pid)
+
+    def test_explicit_network_seed_still_wins(self):
+        n = 5
+        config = AsyncSimulationConfig(
+            max_rounds=10, record_states=False, network_seed=123
+        )
+        result = asyncio.run(
+            run_algorithm_async(
+                AteAlgorithm.symmetric(n=n, alpha=0),
+                generators.split(n),
+                ReliableAdversary(),
+                config=config,
+            )
+        )
+        assert result.all_satisfied

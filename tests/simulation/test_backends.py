@@ -1,0 +1,330 @@
+"""Tests for the pluggable engine-backend protocol and its plumbing."""
+
+import pytest
+
+from repro.adversary import ReliableAdversary
+from repro.algorithms import AteAlgorithm, PhaseKingAlgorithm, supports_fast
+from repro.runner import AdversarySpec, AlgorithmSpec, CampaignRunner, CampaignSpec
+from repro.simulation import (
+    SimulationConfig,
+    available_backends,
+    fast_supported,
+    get_backend,
+    run_algorithm_fast,
+    run_simulation,
+)
+from repro.workloads import generators
+
+
+def _config(**kwargs):
+    kwargs.setdefault("max_rounds", 20)
+    kwargs.setdefault("record_states", False)
+    return SimulationConfig(**kwargs)
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ["async", "fast", "reference"]
+
+    def test_get_backend(self):
+        assert get_backend("fast").name == "fast"
+        assert get_backend("reference").fallback is None
+        assert get_backend("fast").fallback == "reference"
+
+    def test_unknown_backend_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'fast'"):
+            get_backend("fsat")
+        with pytest.raises(ValueError, match="available: async, fast, reference"):
+            get_backend("gpu")
+
+
+class TestRunSimulationDispatch:
+    def test_reference_is_default(self):
+        result = run_simulation(
+            AteAlgorithm.symmetric(n=5, alpha=0),
+            generators.split(5),
+            ReliableAdversary(),
+            _config(),
+        )
+        assert result.metadata.get("engine") is None
+        assert result.agreement
+
+    def test_fast_backend_engages(self):
+        result = run_simulation(
+            AteAlgorithm.symmetric(n=5, alpha=0),
+            generators.split(5),
+            ReliableAdversary(),
+            _config(),
+            backend="fast",
+        )
+        assert result.metadata.get("engine") == "fast"
+        assert result.agreement
+
+    def test_fast_falls_back_without_kernel(self):
+        result = run_simulation(
+            PhaseKingAlgorithm(n=5, f=1),
+            generators.split(5),
+            ReliableAdversary(),
+            _config(),
+            backend="fast",
+        )
+        assert result.metadata.get("engine") is None  # reference executed it
+
+    def test_fast_falls_back_with_record_states(self):
+        result = run_simulation(
+            AteAlgorithm.symmetric(n=5, alpha=0),
+            generators.split(5),
+            ReliableAdversary(),
+            _config(record_states=True),
+            backend="fast",
+        )
+        assert result.metadata.get("engine") is None
+        # The reference engine recorded snapshots, as requested.
+        assert result.collection[1].states_after
+
+    def test_fast_falls_back_with_observers(self):
+        seen = []
+
+        class Observer:
+            def on_round(self, record, processes):
+                seen.append(record.round_num)
+
+        result = run_simulation(
+            AteAlgorithm.symmetric(n=5, alpha=0),
+            generators.split(5),
+            ReliableAdversary(),
+            _config(),
+            observers=[Observer()],
+            backend="fast",
+        )
+        assert result.metadata.get("engine") is None
+        assert seen  # observers ran on the reference engine
+
+    def test_async_backend(self):
+        result = run_simulation(
+            AteAlgorithm.symmetric(n=4, alpha=0),
+            generators.split(4),
+            ReliableAdversary(),
+            _config(),
+            backend="async",
+        )
+        assert result.metadata.get("engine") == "asyncio"
+        assert result.agreement
+
+    def test_async_backend_rejects_record_states(self):
+        # The async coordinator never records states_after, so claiming
+        # a record_states run would silently return incomplete records.
+        with pytest.raises(ValueError, match="does not support"):
+            run_simulation(
+                AteAlgorithm.symmetric(n=4, alpha=0),
+                generators.split(4),
+                ReliableAdversary(),
+                _config(record_states=True),
+                backend="async",
+            )
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            run_simulation(
+                AteAlgorithm.symmetric(n=4, alpha=0),
+                generators.split(4),
+                backend="quantum",
+            )
+
+
+class TestFastSupported:
+    def test_supported(self):
+        assert fast_supported(AteAlgorithm.symmetric(n=4), config=_config())
+
+    def test_unsupported_cases(self):
+        assert not fast_supported(PhaseKingAlgorithm(n=4, f=1), config=_config())
+        assert not fast_supported(AteAlgorithm.symmetric(n=4), config=None)
+        assert not fast_supported(
+            AteAlgorithm.symmetric(n=4), config=_config(record_states=True)
+        )
+        assert not fast_supported(
+            AteAlgorithm.symmetric(n=4), config=_config(), observers=[object()]
+        )
+
+    def test_run_algorithm_fast_rejects_unsupported(self):
+        with pytest.raises(ValueError, match="not fast-capable"):
+            run_algorithm_fast(
+                PhaseKingAlgorithm(n=4, f=1),
+                generators.split(4),
+                config=_config(),
+            )
+
+    def test_registry_advertises_kernels(self):
+        assert supports_fast("ate")
+        assert supports_fast("ute")
+        assert supports_fast("one-third-rule")
+        assert supports_fast("uniform-voting")
+        assert not supports_fast("phase-king")
+
+
+class TestRunnerBackendPlumbing:
+    def _spec(self, backend=None):
+        return CampaignSpec(
+            campaign_id="backend-test",
+            algorithms=[AlgorithmSpec("ate", {"alpha": 1})],
+            adversaries=[AdversarySpec("random-corruption", {"alpha": 1})],
+            ns=[6],
+            runs=3,
+            base_seed=5,
+            max_rounds=20,
+            backend=backend,
+        )
+
+    def test_runner_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            CampaignRunner(backend="warp")
+
+    def test_campaign_results_identical_across_backends(self):
+        rows = {}
+        for backend in ("reference", "fast"):
+            result = CampaignRunner(backend=backend).run_campaign(self._spec())
+            rows[backend] = [record.as_dict() for record in result.records]
+        assert rows["reference"] == rows["fast"]
+
+    def test_spec_rejects_unknown_backend_at_load_time(self, tmp_path):
+        spec = self._spec()
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        import json
+
+        data = json.loads(path.read_text())
+        data["backend"] = "fsat"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="did you mean 'fast'"):
+            CampaignSpec.from_json(path)
+
+    def test_run_spec_and_task_reject_unknown_backend(self):
+        from repro.runner import RunTask
+        from repro.runner.spec import WorkloadSpec
+
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            CampaignSpec(
+                campaign_id="x",
+                algorithms=[AlgorithmSpec("ate")],
+                adversaries=[AdversarySpec("reliable")],
+                ns=[4],
+                backend="fsat",
+            )
+        from repro.runner.spec import RunSpec
+
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            RunSpec(
+                algorithm=AlgorithmSpec("ate"),
+                adversary=AdversarySpec("reliable"),
+                workload=WorkloadSpec(),
+                n=4,
+                seed=0,
+                run_index=0,
+                backend="fsat",
+            )
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            RunTask(
+                algorithm=AteAlgorithm.symmetric(n=4),
+                adversary=ReliableAdversary(),
+                initial_values=generators.split(4),
+                backend="fsat",
+            )
+
+    def test_supports_fast_tracks_kernel_registrations(self):
+        from repro.algorithms import PhaseKingAlgorithm
+        from repro.algorithms.kernels import _KERNELS, register_kernel
+
+        assert not supports_fast("phase-king")
+        register_kernel(PhaseKingAlgorithm, lambda algorithm, values: None)
+        try:
+            # No second table to drift: the registration is advertised.
+            assert supports_fast("phase-king")
+        finally:
+            del _KERNELS[PhaseKingAlgorithm]
+        assert not supports_fast("phase-king")
+
+    def test_fallback_cycle_raises_instead_of_hanging(self):
+        from repro.simulation.backends import _BACKENDS, register_backend
+
+        class Stubborn:
+            name = "stubborn"
+            fallback = "stubborn"
+            equivalent_to_reference = False
+
+            def supports(self, algorithm, adversary, config, observers):
+                return False
+
+            def run(self, *args):  # pragma: no cover - never reached
+                raise AssertionError
+
+        register_backend(Stubborn())
+        try:
+            with pytest.raises(ValueError, match="fallback cycle"):
+                run_simulation(
+                    AteAlgorithm.symmetric(n=4, alpha=0),
+                    generators.split(4),
+                    backend="stubborn",
+                )
+        finally:
+            del _BACKENDS["stubborn"]
+
+    def test_spec_backend_field_round_trips(self, tmp_path):
+        spec = self._spec(backend="fast")
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        loaded = CampaignSpec.from_json(path)
+        assert loaded.backend == "fast"
+        assert loaded.expand()[0].backend == "fast"
+
+    def test_backend_never_changes_cache_keys(self):
+        """Backends are semantically invisible, so run cache keys (and
+        the default campaign hash) are shared across backends."""
+        reference_runs = self._spec(backend=None).expand()
+        fast_runs = self._spec(backend="fast").expand()
+        assert [r.config_hash() for r in reference_runs] == [
+            r.config_hash() for r in fast_runs
+        ]
+
+    def test_default_spec_dict_has_no_backend_key(self):
+        assert "backend" not in self._spec().as_dict()
+        assert self._spec(backend="fast").as_dict()["backend"] == "fast"
+
+    def test_runner_does_not_mutate_caller_tasks(self):
+        from repro.runner import RunTask
+
+        task = RunTask(
+            algorithm=AteAlgorithm.symmetric(n=5, alpha=0),
+            adversary=ReliableAdversary(),
+            initial_values=generators.split(5),
+            max_rounds=10,
+        )
+        CampaignRunner(backend="fast").run_tasks([task])
+        # The caller's task is untouched: a second runner with a
+        # different default backend still applies its own default.
+        assert task.backend is None
+
+    def test_async_tasks_are_never_cached(self, tmp_path):
+        """Async results can diverge from reference, so they must not
+        populate (or be served from) the backend-independent cache."""
+        from repro.runner import RunTask
+
+        def task():
+            return RunTask(
+                algorithm=AteAlgorithm.symmetric(n=5, alpha=0),
+                adversary=ReliableAdversary(),
+                initial_values=generators.split(5),
+                max_rounds=10,
+                key="async-cache-probe/0000",
+            )
+
+        async_runner = CampaignRunner(cache=str(tmp_path), backend="async")
+        record = async_runner.run_tasks([task()])[0]
+        assert record.ok
+        assert async_runner.stats.cache_hits == 0
+        assert async_runner.stats.cache_misses == 0
+        # Nothing was written: a reference runner gets a miss, not the
+        # async row.
+        reference_runner = CampaignRunner(cache=str(tmp_path), backend="reference")
+        reference_runner.run_tasks([task()])
+        assert reference_runner.stats.cache_hits == 0
+        assert reference_runner.stats.cache_misses == 1
