@@ -1,0 +1,122 @@
+"""Benchmark: distributed fleet scaling vs serial campaign execution.
+
+Times one latency-bound campaign (the ``latency`` adversary sleeps a
+fixed wall-clock delay per round, modelling the network round-trip a
+real deployment pays — rounds are I/O-bound, not CPU-bound, so a worker
+fleet parallelises even on a single-core runner) executed two ways:
+
+* serially through a plain :class:`CampaignRunner`, and
+* by a fleet of **4 worker processes** claiming batches from a shared
+  queue directory through the lease-based work queue.
+
+Rows are checked byte-identical first (the distributed path is
+semantically invisible), then the wall-clock speedup is recorded to
+``benchmarks/results/distributed.json``.  The acceptance bar is
+**≥ 2.5×** at 4 workers — the remaining gap to the ideal 4× is the
+fleet's scheduling overhead (queue polling, lease traffic, result
+deposits), which this benchmark exists to keep bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.runner import (
+    AdversarySpec,
+    AlgorithmSpec,
+    CampaignRunner,
+    CampaignSpec,
+    DistributedCampaignRunner,
+    run_worker,
+)
+
+mp = multiprocessing.get_context("fork")
+
+WORKERS = 4
+RUNS = 32
+DELAY_PER_ROUND = 0.15
+BATCH_SIZE = 2
+SPEEDUP_FLOOR = 2.5
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id="bench-distributed",
+        algorithms=[AlgorithmSpec("ate", {"alpha": 0})],
+        adversaries=[AdversarySpec("latency", {"delay_per_round": DELAY_PER_ROUND})],
+        ns=[6],
+        runs=RUNS,
+        base_seed=17,
+        max_rounds=12,
+    )
+
+
+def test_bench_distributed_scaling(tmp_path):
+    spec = _spec()
+
+    started = time.perf_counter()
+    serial_result = CampaignRunner().run_campaign(spec)
+    serial_seconds = time.perf_counter() - started
+
+    queue_dir = tmp_path / "queue"
+    workers = [
+        mp.Process(
+            target=run_worker,
+            kwargs=dict(
+                queue_dir=str(queue_dir),
+                worker_id=f"bench-w{index}",
+                ttl=30.0,
+                poll_interval=0.02,
+                max_idle=10.0,
+            ),
+            daemon=True,
+        )
+        for index in range(WORKERS)
+    ]
+    for worker in workers:
+        worker.start()
+    try:
+        started = time.perf_counter()
+        runner = DistributedCampaignRunner(queue_dir, batch_size=BATCH_SIZE, wait_timeout=300)
+        distributed_result = runner.run_campaign(spec)
+        distributed_seconds = time.perf_counter() - started
+    finally:
+        for worker in workers:
+            worker.join(timeout=60)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)
+
+    # Semantic invisibility first: byte-identical records, then timing.
+    assert [record.as_dict() for record in serial_result.records] == [
+        record.as_dict() for record in distributed_result.records
+    ]
+
+    speedup = serial_seconds / distributed_seconds
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "latency-bound campaign, serial vs 4-worker distributed fleet",
+        "workers": WORKERS,
+        "runs": RUNS,
+        "delay_per_round": DELAY_PER_ROUND,
+        "batch_size": BATCH_SIZE,
+        "serial_seconds": round(serial_seconds, 3),
+        "distributed_seconds": round(distributed_seconds, 3),
+        "speedup": round(speedup, 2),
+        "workers_executed": {
+            worker: stats.executed for worker, stats in sorted(runner.worker_stats.items())
+        },
+    }
+    (RESULTS_DIR / "distributed.json").write_text(json.dumps(payload, indent=2))
+    print(
+        f"\nserial={serial_seconds:.2f}s distributed[{WORKERS} workers]="
+        f"{distributed_seconds:.2f}s ({speedup:.2f}x)"
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"4-worker fleet only reached {speedup:.2f}x over serial "
+        f"(floor {SPEEDUP_FLOOR}x); scheduling overhead regressed"
+    )

@@ -49,6 +49,7 @@ from repro.adversary.benign import (
 from repro.adversary.byzantine import StaticByzantineAdversary
 from repro.adversary.compose import (
     AlphaCapAdversary,
+    LatencyAdversary,
     MinimumSafeDeliveryAdversary,
     RoundScheduleAdversary,
     SequentialAdversary,
@@ -65,10 +66,12 @@ from repro.adversary.liveness import (
     PeriodicGoodRoundAdversary,
 )
 from repro.adversary.plan import (
+    BlockFaultPlanner,
     MaskPlanner,
     MatrixPlanAdapter,
     RandomOmissionPlanner,
     ReliablePlanner,
+    RotatingCorruptionPlanner,
     RoundPlan,
     planner_for,
     register_planner,
@@ -79,10 +82,13 @@ from repro.adversary.values import DEFAULT_POISON_VALUES, corrupt_value
 __all__ = [
     "Adversary",
     "AlphaCapAdversary",
+    "LatencyAdversary",
+    "BlockFaultPlanner",
     "MaskPlanner",
     "MatrixPlanAdapter",
     "RandomOmissionPlanner",
     "ReliablePlanner",
+    "RotatingCorruptionPlanner",
     "RoundPlan",
     "planner_for",
     "register_planner",

@@ -19,6 +19,7 @@ adversary mounts:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.adversary.base import Adversary, IntendedMatrix, ReceivedMatrix, perfect_delivery
@@ -158,6 +159,37 @@ class SequentialAdversary(Adversary):
         super().reset()
         for _, adversary in self.phases:
             adversary.reset()
+
+
+class LatencyAdversary(Adversary):
+    """Add fixed wall-clock transmission latency to every round.
+
+    Delivery semantics (and RNG consumption) are exactly the inner
+    adversary's; the wrapper only sleeps ``delay_per_round`` seconds
+    before handing the round over, modelling the network round-trip a
+    real deployment would pay.  Rounds become I/O-bound rather than
+    CPU-bound, which is what the distributed scaling benchmarks use to
+    measure fleet scheduling overhead independently of per-core
+    simulation throughput.
+    """
+
+    def __init__(
+        self, inner: Adversary, delay_per_round: float, seed: Optional[int] = None
+    ) -> None:
+        super().__init__(seed)
+        if delay_per_round < 0:
+            raise ValueError(f"delay_per_round must be non-negative, got {delay_per_round}")
+        self.inner = inner
+        self.delay_per_round = delay_per_round
+        self.name = f"latency(delay={delay_per_round}, inner={inner.name})"
+
+    def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
+        time.sleep(self.delay_per_round)
+        return self.inner.deliver_round(round_num, intended)
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
 
 
 class RoundScheduleAdversary(Adversary):

@@ -35,7 +35,11 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, Type
 
 from repro.adversary.base import Adversary, ReliableAdversary
 from repro.adversary.benign import RandomOmissionAdversary
-from repro.adversary.corruption import RandomCorruptionAdversary
+from repro.adversary.corruption import (
+    RandomCorruptionAdversary,
+    RotatingSenderCorruptionAdversary,
+)
+from repro.adversary.santoro_widmayer import BlockFaultAdversary
 from repro.adversary.values import corrupt_value
 from repro.core.process import Payload, ProcessId
 
@@ -245,12 +249,118 @@ class RandomCorruptionPlanner(MaskPlanner):
         return RoundPlan(tuple(drops), tuple(cmasks), tuple(cvals))
 
 
+class RotatingCorruptionPlanner(MaskPlanner):
+    """Native planner for :class:`RotatingSenderCorruptionAdversary`.
+
+    The corrupted-sender rotation of ``begin_round`` is deterministic
+    (no RNG), so only the injected payloads consume randomness.  In
+    equivocating mode the matrix path draws one ``corrupt_value`` per
+    (corrupted sender, receiver) edge in sender-major order — replayed
+    here identically.  In non-equivocating mode each edge's value comes
+    from a *fresh* per-(round, sender) RNG, so every receiver sees the
+    same draw and the adversary's own stream is untouched; the planner
+    computes that value once per corrupted sender.
+    """
+
+    def __init__(self, adversary: RotatingSenderCorruptionAdversary, n: int) -> None:
+        super().__init__(adversary, n)
+        self._zeros: Tuple[int, ...] = (0,) * n
+
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        adversary = self.adversary
+        n = self.n
+        alpha = adversary.alpha
+        if n == 0 or alpha == 0:
+            return RoundPlan(self._zeros, self._zeros, (None,) * n)
+
+        # begin_round's deterministic rotation (RNG-free).
+        count = min(alpha, n)
+        start = ((round_num - 1) * count) % n
+        corrupted = sorted(((start + offset) % n) for offset in range(count))
+
+        cmasks = [0] * n
+        cvals: list = [dict() for _ in range(n)]
+        domain = adversary.value_domain
+        if adversary.equivocate:
+            # Matrix-path edge order: sender-major, receivers ascending.
+            for sender in corrupted:
+                bit = 1 << sender
+                payload = sent[sender]
+                for receiver in range(n):
+                    cmasks[receiver] |= bit
+                    cvals[receiver][sender] = corrupt_value(adversary.rng, payload, domain)
+        else:
+            # One fresh seeded RNG per (round, sender): identical for
+            # every receiver, and adversary.rng is never consumed.
+            for sender in corrupted:
+                bit = 1 << sender
+                value = corrupt_value(
+                    adversary.rng_for(round_num, sender), sent[sender], domain
+                )
+                for receiver in range(n):
+                    cmasks[receiver] |= bit
+                    cvals[receiver][sender] = value
+        return RoundPlan(self._zeros, tuple(cmasks), tuple(cvals))
+
+
+class BlockFaultPlanner(MaskPlanner):
+    """Native planner for the Santoro–Widmayer :class:`BlockFaultAdversary`.
+
+    Victim selection and the affected-receiver rotation are both
+    deterministic; the only RNG draws are the ``corrupt_value`` calls of
+    ``mode="corrupt"``, which the matrix path performs once per affected
+    receiver in ascending receiver order (the victim is a single sender,
+    so all its edges are visited consecutively) — replayed here in the
+    same order.  ``mode="drop"`` consumes no randomness at all.
+    """
+
+    def __init__(self, adversary: BlockFaultAdversary, n: int) -> None:
+        super().__init__(adversary, n)
+        self._zeros: Tuple[int, ...] = (0,) * n
+        self._nones: Tuple[None, ...] = (None,) * n
+
+    def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
+        adversary = self.adversary
+        n = self.n
+        if n == 0:
+            return RoundPlan((), (), ())
+        victim = adversary.victim_of_round(round_num, range(n))
+        # A scheduled victim outside Pi has no outgoing links to hit —
+        # the matrix path's `intended[victim]` lookup comes up empty.
+        if not 0 <= victim < n:
+            return RoundPlan(self._zeros, self._zeros, self._nones)
+
+        if adversary.faults_per_round is None:
+            affected: Sequence[ProcessId] = range(n)
+        else:
+            count = min(adversary.faults_per_round, n)
+            start = (round_num - 1) % n
+            affected = sorted(((start + offset) % n) for offset in range(count))
+
+        bit = 1 << victim
+        if adversary.mode == "drop":
+            drops = [0] * n
+            for receiver in affected:
+                drops[receiver] |= bit
+            return RoundPlan(tuple(drops), self._zeros, self._nones)
+
+        cmasks = [0] * n
+        cvals: list = [None] * n
+        payload = sent[victim]
+        for receiver in affected:  # ascending: the fate-call order
+            cmasks[receiver] |= bit
+            cvals[receiver] = {victim: corrupt_value(adversary.rng, payload, adversary.value_domain)}
+        return RoundPlan(self._zeros, tuple(cmasks), tuple(cvals))
+
+
 #: Native planners, keyed by *exact* adversary class (subclasses may
 #: change delivery semantics, so they take the adapter path).
 _NATIVE_PLANNERS: Dict[Type[Adversary], Callable[[Adversary, int], MaskPlanner]] = {
     ReliableAdversary: ReliablePlanner,
     RandomOmissionAdversary: RandomOmissionPlanner,
     RandomCorruptionAdversary: RandomCorruptionPlanner,
+    RotatingSenderCorruptionAdversary: RotatingCorruptionPlanner,
+    BlockFaultAdversary: BlockFaultPlanner,
 }
 
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-``repro-ho`` (or ``python -m repro.cli``) exposes four subcommands:
+``repro-ho`` (or ``python -m repro.cli``) exposes five subcommands:
 
 * ``run``        — run one consensus instance (algorithm, scenario or
   custom fault environment) and print the outcome;
@@ -9,9 +9,16 @@
 * ``campaign``   — run experiments (or a declarative ``--spec`` grid)
   through the parallel campaign runner, with worker processes
   (``--jobs``), per-run timeouts and an incremental on-disk result
-  cache;
+  cache; with ``--distributed --queue-dir`` the campaign is submitted
+  to a shared-store work queue and executed by a worker fleet instead;
+* ``worker``     — join a worker fleet: claim batches from a shared
+  queue directory (lease-based, crash-safe) and execute them;
 * ``table``      — print the analytic tables (Table 1, the related-work
   comparison and the resilience table) without running simulations.
+
+``campaign`` exits non-zero when any run of the campaign failed or
+timed out, printing the failure counts and (for distributed campaigns)
+the per-worker stats summary.
 """
 
 from __future__ import annotations
@@ -36,13 +43,16 @@ from repro.experiments import ALL_EXPERIMENTS
 from repro.runner import (
     CampaignRunner,
     CampaignSpec,
+    DistributedCampaignRunner,
     ResultCache,
+    RunTimeoutError,
     campaign_report,
     make_reducer,
     reduced_campaign_report,
+    run_worker,
 )
 from repro.runner.factories import build_predicate
-from repro.simulation.backends import available_backends, run_simulation
+from repro.simulation.backends import available_backends, get_backend, run_simulation
 from repro.simulation.engine import SimulationConfig
 from repro.workloads import generators
 
@@ -183,12 +193,77 @@ def _spec_reducer(name: str, spec: CampaignSpec):
     return make_reducer("predicate", predicates)
 
 
+def _print_worker_stats(runner) -> None:
+    """Per-worker stats lines for distributed runners (fleet summary)."""
+    for worker_id in sorted(getattr(runner, "worker_stats", {})):
+        print(f"worker[{worker_id}]: {runner.worker_stats[worker_id].summary()}")
+
+
+def _failure_summary(label: str, records) -> int:
+    """Print the failure/timeout summary; returns the exit code (0/1).
+
+    A campaign with any failed or timed-out run must exit non-zero so
+    CI and fleet submitters cannot mistake a partial sweep for a green
+    one.
+    """
+    failed = [record for record in records if not record.ok]
+    if not failed:
+        return 0
+    timeouts = sum(1 for record in failed if record.timed_out)
+    print(
+        f"campaign[{label}]: {len(failed)} of {len(records)} runs failed "
+        f"({timeouts} timed out)",
+        file=sys.stderr,
+    )
+    for record in failed[:10]:
+        print(
+            f"  run_index={record.run_index} seed={record.seed}: {record.error}",
+            file=sys.stderr,
+        )
+    if len(failed) > 10:
+        print(f"  ... and {len(failed) - 10} more", file=sys.stderr)
+    return 1
+
+
+def _make_campaign_runner(args: argparse.Namespace, backend: str):
+    """The runner the campaign command drives: local pool or fleet submitter."""
+    if args.distributed:
+        return DistributedCampaignRunner(
+            queue_dir=args.queue_dir,
+            batch_size=args.batch_size,
+            backend=backend,
+            wait_timeout=args.wait_timeout,
+        )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.batch_size < 1:
+        print(f"--batch-size must be >= 1, got {args.batch_size}", file=sys.stderr)
+        return 2
+    if args.submit_only and not (args.distributed and args.spec):
+        print("--submit-only requires --distributed and --spec", file=sys.stderr)
+        return 2
+    if args.distributed and (args.no_cache or args.cache_dir != ".repro_cache"):
+        print(
+            "--distributed ignores --no-cache/--cache-dir: the fleet "
+            "coordinates through the shared cache inside the queue dir "
+            f"({args.queue_dir}/cache)",
+            file=sys.stderr,
+        )
     backend = args.backend or "reference"
+    if args.distributed and not get_backend(backend).equivalent_to_reference:
+        print(
+            f"--distributed requires a backend that is result-identical to the "
+            f"reference engine; {backend!r} is not (its records would depend on "
+            f"which worker ran them)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.spec:
         try:
@@ -199,30 +274,45 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if args.backend:
             # The CLI flag overrides the spec's backend field.
             spec.backend = args.backend
+        reducer = None
         if args.reduce:
             try:
                 reducer = _spec_reducer(args.reduce, spec)
             except (KeyError, ValueError) as exc:
                 print(f"cannot build reducer {args.reduce!r}: {exc}", file=sys.stderr)
                 return 2
-            with CampaignRunner(
-                jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend
-            ) as runner:
-                result = runner.run_reduced_campaign(spec, reducer)
-            report = reduced_campaign_report(spec, reducer, result.records)
-        else:
-            with CampaignRunner(
-                jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend
-            ) as runner:
-                result = runner.run_campaign(spec)
-            report = campaign_report(spec, result.records)
+        if args.submit_only:
+            runner = _make_campaign_runner(args, backend)
+            campaign_id = runner.submit_campaign(spec, reducer)
+            if campaign_id is None:
+                print(f"campaign[{spec.campaign_id}]: every run already cached")
+            else:
+                print(
+                    f"campaign[{spec.campaign_id}]: submitted as {campaign_id} "
+                    f"to {args.queue_dir} (run 'repro-ho worker --queue-dir "
+                    f"{args.queue_dir}' on the fleet)"
+                )
+            return 0
+        try:
+            with _make_campaign_runner(args, backend) as runner:
+                if reducer is not None:
+                    result = runner.run_reduced_campaign(spec, reducer)
+                    report = reduced_campaign_report(spec, reducer, result.records)
+                else:
+                    result = runner.run_campaign(spec)
+                    report = campaign_report(spec, result.records)
+        except RunTimeoutError as exc:
+            # --distributed --wait-timeout expired before the fleet
+            # finished; the campaign stays queued for late workers.
+            print(f"campaign {spec.campaign_id} timed out: {exc}", file=sys.stderr)
+            return 1
         print(report.render())
         if args.json:
             report.to_json(args.json)
             print(f"wrote {args.json}")
         print(f"runner[{spec.campaign_id}]: jobs={args.jobs} {result.stats.summary()}")
-        failed = sum(1 for record in result.records if not record.ok)
-        return 1 if failed else 0
+        _print_worker_stats(runner)
+        return _failure_summary(spec.campaign_id, result.records)
 
     if args.reduce:
         print("--reduce requires --spec (experiment drivers pick their own reducers)", file=sys.stderr)
@@ -232,11 +322,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("campaign needs experiment ids (or 'all'), or --spec FILE", file=sys.stderr)
         return 2
 
+    # One experiment failing must not skip the remaining ones: finish
+    # the whole list, then report failure through the exit code.
+    exit_code = 0
     for experiment_id in _experiment_ids(args.ids):
         driver = ALL_EXPERIMENTS[experiment_id]
         # One runner per experiment so the printed stats are per-experiment;
         # the cache is shared across all of them.
-        runner = CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend)
+        runner = _make_campaign_runner(args, backend)
         try:
             report = driver(runner=runner, **_driver_overrides(driver, args))
         except RuntimeError as exc:
@@ -245,7 +338,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"experiment {experiment_id} failed: {exc}", file=sys.stderr)
             if args.timeout is not None:
                 print("hint: raise or drop --timeout", file=sys.stderr)
-            return 1
+            exit_code = 1
+            continue
         finally:
             runner.close()
         print(report.render())
@@ -256,8 +350,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             report.to_json(json_path)
             print(f"wrote {json_path}")
         print(f"runner[{experiment_id}]: jobs={args.jobs} {runner.stats.summary()}")
+        _print_worker_stats(runner)
+        if runner.stats.failures or runner.stats.timeouts:
+            print(
+                f"campaign[{experiment_id}]: {runner.stats.failures} failures, "
+                f"{runner.stats.timeouts} timeouts",
+                file=sys.stderr,
+            )
+            exit_code = 1
         print()
+    return exit_code
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        executed = _run_worker_loop(args)
+    except ValueError as exc:  # e.g. a non-result-identical backend
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"worker: executed {executed} batch(es) from {args.queue_dir}")
     return 0
+
+
+def _run_worker_loop(args: argparse.Namespace) -> int:
+    return run_worker(
+        queue_dir=args.queue_dir,
+        worker_id=args.worker_id,
+        jobs=args.jobs,
+        backend=args.backend or "reference",
+        timeout=args.timeout,
+        ttl=args.ttl,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+    )
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -392,7 +520,90 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--seed", type=int, help="override the base seed")
     campaign_parser.add_argument("--n", type=int, help="override the system size n")
     campaign_parser.add_argument("--max-rounds", type=int, help="override the round horizon")
+    campaign_parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "submit the campaign to a shared-store work queue and wait for a "
+            "worker fleet ('repro-ho worker') to execute it; results are "
+            "byte-identical to serial runs and land in the fleet-shared cache"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--queue-dir",
+        default=".repro_queue",
+        help="shared queue directory for --distributed (default .repro_queue)",
+    )
+    campaign_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="runs per claimable batch for --distributed (default 8)",
+    )
+    campaign_parser.add_argument(
+        "--submit-only",
+        action="store_true",
+        help="with --distributed --spec: enqueue the campaign and exit without waiting",
+    )
+    campaign_parser.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        help="with --distributed: give up waiting for the fleet after this many seconds",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="join a distributed campaign worker fleet",
+        description=(
+            "Claim batches from a shared queue directory (lease files with TTL + "
+            "heartbeat; a crashed worker's leases expire and its batches are "
+            "re-claimed) and execute them through the campaign runner. Results "
+            "land in the fleet-shared cache, byte-identical to serial runs."
+        ),
+    )
+    worker_parser.add_argument(
+        "--queue-dir",
+        default=".repro_queue",
+        help="shared queue directory to poll (default .repro_queue)",
+    )
+    worker_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for batch execution (default 1)"
+    )
+    worker_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="engine backend for claimed runs (default reference)",
+    )
+    worker_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-run timeout in seconds"
+    )
+    worker_parser.add_argument(
+        "--ttl",
+        type=float,
+        default=60.0,
+        help="lease time-to-live in seconds; peers may re-claim a batch whose "
+        "lease heartbeat is older than this (default 60)",
+    )
+    worker_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between queue scans when idle (default 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many consecutive idle seconds (default: run forever; "
+        "set it above --ttl so crashed peers' batches can still be reclaimed)",
+    )
+    worker_parser.add_argument(
+        "--worker-id", default=None, help="fleet-unique id (default host-pid)"
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
 
     table_parser = subparsers.add_parser("table", help="print the analytic tables")
     table_parser.add_argument(

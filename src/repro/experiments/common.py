@@ -117,9 +117,11 @@ def run_batch(
     pass one to fan the batch out over worker processes (``jobs > 1``)
     and/or reuse cached results (``cache_key`` must then identify every
     input that determines this batch's results — see
-    :func:`repro.runner.spec.cell_cache_key`).  The default is an
-    uncached in-process runner, which executes exactly as the historical
-    serial loop did.
+    :func:`repro.runner.spec.cell_cache_key`).  A
+    :class:`repro.runner.DistributedCampaignRunner` is accepted through
+    the same kwarg, which runs the sweep on a worker fleet with
+    byte-identical results.  The default is an uncached in-process
+    runner, which executes exactly as the historical serial loop did.
     """
     from repro.runner.aggregate import batch_report_from_records
     from repro.runner.executor import CampaignRunner

@@ -29,12 +29,23 @@ from repro.runner.aggregate import (
     reduced_campaign_report,
 )
 from repro.runner.cache import ResultCache
+from repro.runner.distributed import (
+    DistributedCampaignResult,
+    DistributedCampaignRunner,
+    DistributedReducedCampaignResult,
+    Lease,
+    Worker,
+    WorkQueue,
+    run_worker,
+)
 from repro.runner.executor import (
     CampaignResult,
     CampaignRunner,
     ReducedCampaignResult,
     RunTask,
     RunTimeoutError,
+    cacheable_key,
+    task_from_spec,
 )
 from repro.runner.factories import (
     available_adversaries,
@@ -56,6 +67,7 @@ from repro.runner.reduce import (
     reduced_cache_key,
     reduced_data,
 )
+from repro.runner.store import CacheStore, LocalDirStore, PrefixStore, SharedStore
 from repro.runner.spec import (
     CACHE_SCHEMA_VERSION,
     AdversarySpec,
@@ -73,10 +85,17 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "AdversarySpec",
     "AlgorithmSpec",
+    "CacheStore",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "DecisionReducer",
+    "DistributedCampaignResult",
+    "DistributedCampaignRunner",
+    "DistributedReducedCampaignResult",
+    "Lease",
+    "LocalDirStore",
+    "PrefixStore",
     "FaultProfileReducer",
     "PredicateReducer",
     "PredicateSpec",
@@ -89,6 +108,9 @@ __all__ = [
     "RunTask",
     "RunTimeoutError",
     "RunnerStats",
+    "SharedStore",
+    "WorkQueue",
+    "Worker",
     "WorkloadSpec",
     "available_adversaries",
     "batch_report_from_records",
@@ -97,6 +119,7 @@ __all__ = [
     "build_algorithm",
     "build_predicate",
     "build_workload",
+    "cacheable_key",
     "campaign_report",
     "cell_cache_key",
     "derive_seed",
@@ -106,5 +129,7 @@ __all__ = [
     "reduced_cache_key",
     "reduced_campaign_report",
     "reduced_data",
+    "run_worker",
     "stable_hash",
+    "task_from_spec",
 ]

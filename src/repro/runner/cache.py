@@ -16,23 +16,35 @@ is rejected at ``put`` time with :class:`TypeError` rather than silently
 stringified — a lossy write would make a cache round-trip change value
 types and break the serial-vs-cached byte-identity guarantee.
 
-Writes are atomic (write to a temp file in the same directory, then
-``os.replace``), so concurrent campaigns sharing a cache directory never
-observe half-written entries; a corrupt or unreadable entry is treated
-as a miss.
+Storage is pluggable (:mod:`repro.runner.store`): the default
+:class:`~repro.runner.store.LocalDirStore` keeps today's single-machine
+layout and write behaviour; pass a
+:class:`~repro.runner.store.SharedStore` to put the cache on a
+filesystem shared by a distributed worker fleet.  Writes are atomic
+either way, so concurrent campaigns (or workers on other machines)
+never observe half-written entries.
+
+Reads are *crash-safe*: any entry that cannot be read back — truncated
+file, invalid JSON, a payload the record classes reject — is treated as
+a cache miss (with a warning naming the entry) so the run is simply
+re-executed and the entry rewritten.  Raising instead would let one
+corrupted shard entry sink a whole campaign, and a distributed fleet
+must tolerate entries half-destroyed by a crashed writer's filesystem.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
+import logging
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.runner.records import RunRecord
 from repro.runner.reduce import ReducedRecord
+from repro.runner.store import CacheStore, LocalDirStore
+
+logger = logging.getLogger(__name__)
 
 
 def encode_record_payload(key: str, payload: Dict[str, object]) -> str:
@@ -75,76 +87,106 @@ def _reject_non_string_keys(key: str, value: object) -> None:
 
 
 class ResultCache:
-    """A content-addressed store of run records."""
+    """A content-addressed store of run records.
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    ``root`` wraps a plain directory in the historical
+    :class:`LocalDirStore`; pass ``store=`` instead to run the cache on
+    any other :class:`CacheStore` (e.g. a :class:`SharedStore` for a
+    distributed fleet).
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        store: Optional[CacheStore] = None,
+    ) -> None:
+        if (root is None) == (store is None):
+            raise ValueError("ResultCache needs exactly one of root= or store=")
+        self.store: CacheStore = store if store is not None else LocalDirStore(root)
         self.hits = 0
         self.misses = 0
 
-    def path_for(self, key: str) -> Path:
+    @property
+    def root(self) -> Optional[Path]:
+        """The backing directory, for filesystem-backed stores."""
+        return getattr(self.store, "root", None)
+
+    @staticmethod
+    def relpath_for(key: str) -> str:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
-        return self.root / digest[:2] / f"{digest}.json"
+        return f"{digest[:2]}/{digest}.json"
+
+    def path_for(self, key: str) -> Path:
+        """Absolute entry path (filesystem-backed stores only)."""
+        root = self.root
+        if root is None:
+            raise TypeError(f"store {self.store!r} has no filesystem paths")
+        return root / Path(self.relpath_for(key))
 
     # -- raw payload plumbing --------------------------------------------------
     def _read(self, key: str) -> Optional[Dict[str, object]]:
-        path = self.path_for(key)
+        text = self.store.read_text(self.relpath_for(key))
+        if text is None:
+            return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            self.misses += 1
+            payload = json.loads(text)
+        except ValueError:
+            self._warn_corrupt(key, "invalid JSON")
             return None
         if not isinstance(payload, dict):
-            self.misses += 1
+            self._warn_corrupt(key, f"expected a JSON object, got {type(payload).__name__}")
             return None
-        self.hits += 1
         return payload
 
-    def _write(self, key: str, payload: Dict[str, object]) -> None:
-        # Encode before touching the filesystem: a rejected record must
-        # leave no trace (not even a temp file).
-        encoded = encode_record_payload(key, payload)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(encoded)
-            os.replace(tmp_name, path)
-        except BaseException:
+    def _decode(self, key: str, payload: Optional[Dict[str, object]], decoder):
+        """Decode a payload, demoting any malformed entry to a miss."""
+        if payload is not None:
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                record = decoder(payload)
+            except Exception as exc:
+                self._warn_corrupt(key, f"{type(exc).__name__}: {exc}")
+            else:
+                self.hits += 1
+                return record
+        self.misses += 1
+        return None
+
+    def _warn_corrupt(self, key: str, reason: str) -> None:
+        """A corrupted/truncated entry is a miss, not an error: warn, drop
+        the entry so it cannot mask future writes, and let the caller
+        requeue the run."""
+        logger.warning(
+            "cache entry for key %s is corrupt (%s); treating as a miss and "
+            "requeuing the run", key, reason,
+        )
+        self.store.delete(self.relpath_for(key))
+
+    def _write(self, key: str, payload: Dict[str, object]) -> None:
+        # Encode before touching the store: a rejected record must
+        # leave no trace (not even a temp file).
+        self.store.write_text(self.relpath_for(key), encode_record_payload(key, payload))
 
     # -- full run records ------------------------------------------------------
     def get(self, key: str) -> Optional[RunRecord]:
-        payload = self._read(key)
-        return None if payload is None else RunRecord.from_dict(payload)
+        return self._decode(key, self._read(key), RunRecord.from_dict)
 
     def put(self, key: str, record: RunRecord) -> None:
         self._write(key, record.as_dict())
 
     # -- reduced records -------------------------------------------------------
     def get_reduced(self, key: str) -> Optional[ReducedRecord]:
-        payload = self._read(key)
-        return None if payload is None else ReducedRecord.from_dict(payload)
+        return self._decode(key, self._read(key), ReducedRecord.from_dict)
 
     def put_reduced(self, key: str, record: ReducedRecord) -> None:
         self._write(key, record.as_dict())
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.store.list("*/*.json"))
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
+        for relpath in self.store.list("*/*.json"):
+            if self.store.delete(relpath):
                 removed += 1
-            except OSError:
-                pass
         return removed

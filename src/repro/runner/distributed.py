@@ -1,0 +1,996 @@
+"""Broker-less distributed campaign execution over a shared store.
+
+A campaign can be executed by a fleet of independent worker processes —
+on one machine or many — coordinated **only** through a directory on a
+shared filesystem (the *queue dir*, backed by
+:class:`~repro.runner.store.SharedStore`).  There is no broker, no
+server and no network protocol: every coordination primitive is an
+atomic filesystem operation (exclusive create, atomic replace, fsync'd
+rename), so any host that can mount the directory can join the fleet.
+
+Layout of a queue dir::
+
+    <queue-dir>/
+      cache/                      # the fleet-shared ResultCache
+        <aa>/<sha256>.json        #   (same sharded layout as local caches)
+      campaigns/<campaign-id>/
+        manifest.json             # kind, batch count, pickled reducer
+        batches/<NNNNN>.json      # pickled RunTask payloads, in order
+        leases/<NNNNN>.json       # live claims: worker, heartbeat, TTL
+        results/<NNNNN>.json      # per-batch records + worker stats
+
+Scheduling is *lease-based*: a worker claims a batch by exclusively
+creating its lease file and keeps the claim alive by heartbeating it; a
+lease whose heartbeat is older than its TTL is considered abandoned
+(crashed or partitioned worker) and any other worker may break it and
+re-claim the batch.  Leases are purely an efficiency device — runs are
+deterministic and records are content-addressed, so duplicate execution
+after a lease race produces byte-identical results and the
+first-writer-wins result file keeps aggregation consistent.
+
+Execution is **byte-identical to serial runs**: batches enumerate tasks
+in submission order, workers execute them through the ordinary
+:class:`~repro.runner.executor.CampaignRunner`, results ship as the
+same JSON encoding the result cache uses, and the submitter reassembles
+records in task order before aggregating through the existing
+``batch_report_from_records`` / ``batch_report_from_reduced`` paths.
+Completed runs land in the shared cache under their usual
+reducer-fingerprinted keys, so serial, ``--jobs N`` and distributed
+executions of one campaign all hit each other's cache entries.
+
+Entry points
+------------
+* :class:`DistributedCampaignRunner` — the submitter.  Implements the
+  same execution surface as :class:`CampaignRunner`
+  (``run_tasks``/``run_reduced``/``run_campaign``/
+  ``run_reduced_campaign``), so every experiment driver accepts it via
+  the existing ``runner=`` kwarg.
+* :class:`Worker` / :func:`run_worker` — the claiming loop
+  (``repro-ho worker --queue-dir ...``).
+* :class:`WorkQueue` — the shared-store protocol both sides speak.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import os
+import pickle
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import (
+    CampaignResult,
+    CampaignRunner,
+    ReducedCampaignResult,
+    RunTask,
+    RunTimeoutError,
+    _require_complete,
+    cacheable_key,
+    materialise_specs,
+)
+from repro.runner.records import RunRecord, RunnerStats
+from repro.runner.reduce import ReducedRecord, Reducer, reduced_cache_key
+from repro.runner.spec import CampaignSpec, stable_hash
+from repro.runner.store import CacheStore, PrefixStore, SharedStore
+from repro.simulation.backends import get_backend
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the queue file formats change incompatibly.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Default lease time-to-live: a lease whose heartbeat is older than
+#: this is treated as abandoned and may be re-claimed by another worker.
+DEFAULT_LEASE_TTL = 60.0
+
+
+class IncompleteCampaignError(RuntimeError):
+    """A campaign's results were incomplete at collect time.
+
+    Raised when a batch result is missing (or was an unreadable deposit,
+    now discarded) — e.g. a concurrent submitter requeued a failed batch
+    between our ``wait`` and ``collect``.  The submitter reacts by
+    waiting again; the batch re-executes and a later collect succeeds.
+    """
+
+
+def _require_equivalent_backend(backend: str) -> str:
+    """Distributed execution is only defined for backends that are
+    result-identical to the reference engine: the whole contract is
+    byte-identical records regardless of which fleet member ran a batch
+    (and completed runs feed the backend-independent shared cache)."""
+    if not get_backend(backend).equivalent_to_reference:
+        raise ValueError(
+            f"backend {backend!r} is not result-identical to the reference "
+            f"engine, so it cannot take part in distributed execution "
+            f"(its records would depend on which worker ran them)"
+        )
+    return backend
+
+
+def _encode_pickle(obj: object) -> str:
+    # Protocol pinned so every fleet member (3.10-3.12) reads every
+    # other member's payloads.
+    return base64.b64encode(pickle.dumps(obj, protocol=4)).decode("ascii")
+
+
+def _decode_pickle(text: str) -> object:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def _manifest_path(campaign_id: str) -> str:
+    return f"campaigns/{campaign_id}/manifest.json"
+
+
+def _batch_path(campaign_id: str, index: int) -> str:
+    return f"campaigns/{campaign_id}/batches/{index:05d}.json"
+
+
+def _lease_path(campaign_id: str, index: int) -> str:
+    return f"campaigns/{campaign_id}/leases/{index:05d}.json"
+
+
+def _result_path(campaign_id: str, index: int) -> str:
+    return f"campaigns/{campaign_id}/results/{index:05d}.json"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A worker's live claim on one batch."""
+
+    campaign_id: str
+    batch_index: int
+    worker_id: str
+    ttl: float
+
+
+class WorkQueue:
+    """The shared-store coordination protocol of a worker fleet.
+
+    One instance wraps one queue directory.  Submitters enqueue batches
+    of pickled :class:`RunTask`s under a campaign manifest; workers
+    claim batches via TTL'd lease files and deposit per-batch result
+    files; either side reads completion state by listing the store.
+    All clock comparisons use wall-clock timestamps *written into* the
+    lease files (never filesystem mtimes, which shared filesystems skew).
+    """
+
+    def __init__(
+        self, queue_dir: Union[str, Path], store: Optional[CacheStore] = None
+    ) -> None:
+        self.queue_dir = Path(queue_dir)
+        self.store: CacheStore = store if store is not None else SharedStore(self.queue_dir)
+        self._cache: Optional[ResultCache] = None
+
+    @property
+    def cache(self) -> ResultCache:
+        """The fleet-shared result cache: the queue store's ``cache/``
+        namespace, so a custom injected store carries the cache too."""
+        if self._cache is None:
+            self._cache = ResultCache(store=PrefixStore(self.store, "cache"))
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tasks: Sequence[RunTask],
+        kind: str = "records",
+        reducer: Optional[Reducer] = None,
+        batch_size: int = 8,
+        campaign_id: Optional[str] = None,
+    ) -> str:
+        """Enqueue ``tasks`` as one campaign; returns its campaign id.
+
+        Submission is idempotent: when every task carries a cacheable
+        key, the campaign id is derived from those keys (plus kind,
+        reducer fingerprint and batch size), so re-submitting the same
+        work attaches to the existing campaign — including one that
+        already completed — instead of re-enqueuing it.  Tasks without
+        cacheable keys get a one-off campaign id.
+        """
+        if kind not in ("records", "reduced"):
+            raise ValueError(f"kind must be 'records' or 'reduced', got {kind!r}")
+        if kind == "reduced" and reducer is None:
+            raise ValueError("kind='reduced' requires a reducer")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not tasks:
+            raise ValueError("cannot submit an empty campaign")
+
+        if campaign_id is None:
+            keys = [cacheable_key(task) for task in tasks]
+            if all(keys):
+                campaign_id = stable_hash(
+                    {
+                        "schema": QUEUE_SCHEMA_VERSION,
+                        "kind": kind,
+                        "keys": keys,
+                        "reducer": reducer.fingerprint() if reducer else None,
+                        "batch_size": batch_size,
+                    }
+                )[:32]
+            else:
+                campaign_id = f"adhoc-{uuid.uuid4().hex}"
+
+        if self.store.exists(_manifest_path(campaign_id)):
+            return campaign_id
+
+        batches = [tasks[start : start + batch_size] for start in range(0, len(tasks), batch_size)]
+        for index, batch in enumerate(batches):
+            self.store.write_text(
+                _batch_path(campaign_id, index),
+                json.dumps(
+                    {
+                        "schema": QUEUE_SCHEMA_VERSION,
+                        "campaign_id": campaign_id,
+                        "index": index,
+                        "tasks": [_encode_pickle(task) for task in batch],
+                    }
+                ),
+            )
+        # The manifest goes in *last*: its presence is what makes the
+        # campaign visible to workers, so they never observe a campaign
+        # whose batches are still being written.  Concurrent submitters
+        # of the same campaign write byte-identical batch files, so the
+        # manifest race is harmless.
+        self.store.write_text(
+            _manifest_path(campaign_id),
+            json.dumps(
+                {
+                    "schema": QUEUE_SCHEMA_VERSION,
+                    "campaign_id": campaign_id,
+                    "kind": kind,
+                    "num_tasks": len(tasks),
+                    "num_batches": len(batches),
+                    "batch_size": batch_size,
+                    "reducer_name": reducer.name if reducer else None,
+                    "reducer": _encode_pickle(reducer) if reducer else None,
+                    "created_at": time.time(),
+                }
+            ),
+        )
+        return campaign_id
+
+    # ------------------------------------------------------------------
+    # Discovery and state
+    # ------------------------------------------------------------------
+    def campaigns(self) -> List[str]:
+        """Campaign ids currently visible in the queue (manifest present)."""
+        return sorted(
+            {Path(relpath).parent.name for relpath in self.store.list("campaigns/*/manifest.json")}
+        )
+
+    def manifest(self, campaign_id: str) -> Optional[Dict[str, object]]:
+        return self._read_json(_manifest_path(campaign_id))
+
+    def reducer_for(self, manifest: Dict[str, object]) -> Optional[Reducer]:
+        encoded = manifest.get("reducer")
+        return None if encoded is None else _decode_pickle(str(encoded))
+
+    def load_batch(self, campaign_id: str, index: int) -> Optional[List[RunTask]]:
+        payload = self._read_json(_batch_path(campaign_id, index))
+        if payload is None:
+            return None
+        try:
+            return [_decode_pickle(str(blob)) for blob in payload["tasks"]]
+        except Exception as exc:
+            logger.warning(
+                "queue batch %s/%05d is unreadable (%s: %s); skipping",
+                campaign_id, index, type(exc).__name__, exc,
+            )
+            return None
+
+    def pending(
+        self, campaign_id: str, manifest: Optional[Dict[str, object]] = None
+    ) -> List[int]:
+        """Batch indices that do not have a result yet, in order.
+
+        Pass an already-loaded ``manifest`` to skip re-reading it (the
+        worker scan and the submitter's wait loop poll this frequently).
+        """
+        manifest = manifest if manifest is not None else self.manifest(campaign_id)
+        if manifest is None:
+            return []
+        return [
+            index
+            for index in range(int(manifest["num_batches"]))
+            if not self.store.exists(_result_path(campaign_id, index))
+        ]
+
+    def batch_done(self, campaign_id: str, index: int) -> bool:
+        return self.store.exists(_result_path(campaign_id, index))
+
+    def discard_result(self, campaign_id: str, index: int) -> bool:
+        """Drop a batch's result so the next submission re-executes it."""
+        return self.store.delete(_result_path(campaign_id, index))
+
+    def complete(self, campaign_id: str) -> bool:
+        return self.manifest(campaign_id) is not None and not self.pending(campaign_id)
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def try_acquire(
+        self, campaign_id: str, index: int, worker_id: str, ttl: float = DEFAULT_LEASE_TTL
+    ) -> Optional[Lease]:
+        """Claim a batch; None when another worker holds a live lease.
+
+        An expired lease (heartbeat older than its TTL) is broken —
+        deleted and re-raced through exclusive creation.  Two workers
+        breaking the same expired lease can, in a narrow window, both
+        believe they won; that only costs duplicate execution of a
+        deterministic batch (results are byte-identical and the result
+        file is first-writer-wins), never correctness.
+
+        Expiry compares this host's wall clock against the heartbeat
+        timestamp *written by the lease holder*, so fleet machines need
+        roughly synchronised clocks (NTP): skew eats into the TTL, and
+        skew beyond the TTL makes peers break live leases.  Misjudged
+        expiry degrades throughput (duplicate execution) but never
+        results — size the TTL well above the fleet's worst-case skew.
+        """
+        lease = Lease(campaign_id=campaign_id, batch_index=index, worker_id=worker_id, ttl=ttl)
+        path = _lease_path(campaign_id, index)
+        if self.store.try_create(path, self._lease_payload(lease)):
+            return lease
+        existing = self._read_json(path)
+        if existing is None:
+            # Released between our create and read, or an unreadable
+            # lease (foreign torn write): drop whatever is there so a
+            # corrupt file can never make the batch unclaimable, then
+            # re-race.
+            self.store.delete(path)
+            return lease if self.store.try_create(path, self._lease_payload(lease)) else None
+        heartbeat_at = float(existing.get("heartbeat_at", 0.0))
+        existing_ttl = float(existing.get("ttl", ttl))
+        if time.time() - heartbeat_at <= existing_ttl:
+            return None
+        logger.warning(
+            "breaking expired lease on %s/%05d (worker %s, heartbeat %.1fs ago)",
+            campaign_id, index, existing.get("worker"), time.time() - heartbeat_at,
+        )
+        self.store.delete(path)
+        return lease if self.store.try_create(path, self._lease_payload(lease)) else None
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Refresh a lease; False when it was lost to another worker."""
+        path = _lease_path(lease.campaign_id, lease.batch_index)
+        existing = self._read_json(path)
+        if existing is None or existing.get("worker") != lease.worker_id:
+            return False
+        self.store.write_text(path, self._lease_payload(lease))
+        return True
+
+    def release(self, lease: Lease) -> None:
+        path = _lease_path(lease.campaign_id, lease.batch_index)
+        existing = self._read_json(path)
+        if existing is not None and existing.get("worker") == lease.worker_id:
+            self.store.delete(path)
+
+    def _lease_payload(self, lease: Lease) -> str:
+        now = time.time()
+        return json.dumps(
+            {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "worker": lease.worker_id,
+                "acquired_at": now,
+                "heartbeat_at": now,
+                "ttl": lease.ttl,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def write_result(
+        self,
+        campaign_id: str,
+        index: int,
+        records: Sequence[Union[RunRecord, ReducedRecord]],
+        worker_id: str,
+        stats: RunnerStats,
+    ) -> bool:
+        """Deposit a batch's records; False when another worker won."""
+        payload = json.dumps(
+            {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "worker": worker_id,
+                "stats": stats.as_dict(),
+                "records": [record.as_dict() for record in records],
+                "completed_at": time.time(),
+            },
+            allow_nan=False,
+        )
+        return self.store.try_create(_result_path(campaign_id, index), payload)
+
+    def poison(self, campaign_id: str, index: int, worker_id: str, reason: str) -> bool:
+        """Mark a batch permanently unexecutable (unreadable payload).
+
+        Deposits a poison marker in the batch's result slot so the
+        campaign completes and :meth:`collect` can raise a hard error,
+        instead of the submitter waiting forever while workers cycle on
+        the batch's lease.
+        """
+        payload = json.dumps(
+            {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "worker": worker_id,
+                "poisoned": reason,
+                "records": [],
+                "completed_at": time.time(),
+            }
+        )
+        return self.store.try_create(_result_path(campaign_id, index), payload)
+
+    def collect(
+        self, campaign_id: str
+    ) -> Tuple[List[Union[RunRecord, ReducedRecord]], Dict[str, RunnerStats]]:
+        """All records of a completed campaign, in task order, plus
+        per-worker stats accumulated over the batches each one executed."""
+        manifest = self.manifest(campaign_id)
+        if manifest is None:
+            raise KeyError(f"no campaign {campaign_id!r} in queue {self.queue_dir}")
+        decode = ReducedRecord.from_dict if manifest["kind"] == "reduced" else RunRecord.from_dict
+        records: List[Union[RunRecord, ReducedRecord]] = []
+        worker_stats: Dict[str, RunnerStats] = {}
+        for index in range(int(manifest["num_batches"])):
+            payload = self._read_json(_result_path(campaign_id, index))
+            if payload is None:
+                # Either genuinely missing, or an unreadable result file
+                # (foreign torn write).  Drop the latter so the batch
+                # counts as pending again and re-executes instead of
+                # wedging the campaign forever.
+                discarded = self.store.delete(_result_path(campaign_id, index))
+                raise IncompleteCampaignError(
+                    f"campaign {campaign_id!r}: batch {index:05d} has no "
+                    + (
+                        "readable result (corrupt deposit discarded; "
+                        "the batch will re-execute)"
+                        if discarded
+                        else "result (campaign incomplete?)"
+                    )
+                )
+            if payload.get("poisoned"):
+                # Poison markers are not sticky either: drop the marker
+                # so the batch requeues once the broken fleet member is
+                # fixed, and surface a hard error for this collect.
+                self.store.delete(_result_path(campaign_id, index))
+                raise RuntimeError(
+                    f"campaign {campaign_id!r}: batch {index:05d} was poisoned "
+                    f"by worker {payload.get('worker')}: {payload['poisoned']} "
+                    f"(marker discarded — fix the fleet and resubmit to retry)"
+                )
+            records.extend(decode(entry) for entry in payload["records"])
+            worker = str(payload.get("worker", "?"))
+            worker_stats.setdefault(worker, RunnerStats()).merge(
+                RunnerStats.from_dict(payload.get("stats", {}))
+            )
+        return records, worker_stats
+
+    def _read_json(self, relpath: str) -> Optional[Dict[str, object]]:
+        text = self.store.read_text(relpath)
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            logger.warning("queue entry %s is not valid JSON; ignoring", relpath)
+            return None
+        return payload if isinstance(payload, dict) else None
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Keeps one lease alive while its batch executes.
+
+    If the lease is lost (broken by a peer after a stall longer than the
+    TTL), the thread stops refreshing and flags it; the worker still
+    finishes the batch — duplicate execution is safe — but logs that the
+    result may be discarded in favour of the thief's.
+    """
+
+    def __init__(self, queue: WorkQueue, lease: Lease) -> None:
+        super().__init__(daemon=True, name=f"lease-{lease.campaign_id[:8]}-{lease.batch_index}")
+        self.queue = queue
+        self.lease = lease
+        self.interval = max(lease.ttl / 3.0, 0.05)
+        self.lost = False
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            try:
+                alive = self.queue.heartbeat(self.lease)
+            except OSError as exc:  # pragma: no cover - transient fs hiccup
+                logger.warning("heartbeat failed transiently: %s", exc)
+                continue
+            if not alive:
+                self.lost = True
+                logger.warning(
+                    "lost lease on %s/%05d while executing it",
+                    self.lease.campaign_id, self.lease.batch_index,
+                )
+                return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=10.0)
+
+
+class Worker:
+    """One member of the fleet: a claim-execute-deposit loop.
+
+    Scans every campaign in the queue, claims pending batches through
+    leases, executes them with an ordinary :class:`CampaignRunner`
+    (``jobs`` worker processes, the fleet-shared cache, the configured
+    engine backend) and deposits per-batch results.  Completely
+    stateless between batches — killing a worker at any point loses at
+    most the lease TTL of progress.
+    """
+
+    def __init__(
+        self,
+        queue: Union[WorkQueue, str, Path],
+        worker_id: Optional[str] = None,
+        jobs: int = 1,
+        backend: str = "reference",
+        timeout: Optional[float] = None,
+        ttl: float = DEFAULT_LEASE_TTL,
+        poll_interval: float = 0.5,
+    ) -> None:
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.ttl = ttl
+        self.poll_interval = poll_interval
+        self.runner = CampaignRunner(
+            jobs=jobs,
+            timeout=timeout,
+            cache=self.queue.cache,
+            backend=_require_equivalent_backend(backend),
+        )
+        self.batches_executed = 0
+        self._load_failures: Dict[Tuple[str, int], int] = {}
+
+    def run_once(self) -> int:
+        """One scan over the queue; returns how many batches were executed."""
+        executed = 0
+        for campaign_id in self.queue.campaigns():
+            manifest = self.queue.manifest(campaign_id)
+            if manifest is None:
+                continue
+            for index in self.queue.pending(campaign_id, manifest=manifest):
+                lease = self.queue.try_acquire(campaign_id, index, self.worker_id, ttl=self.ttl)
+                if lease is None:
+                    continue
+                if self.queue.batch_done(campaign_id, index):
+                    # A peer deposited the result between our pending
+                    # scan and the claim; don't execute it twice.
+                    self.queue.release(lease)
+                    continue
+                try:
+                    if self._execute_batch(manifest, lease):
+                        executed += 1
+                except Exception as exc:
+                    # Infra failure (not a run failure: those become
+                    # failure records).  Leave the batch for a retry.
+                    logger.warning(
+                        "batch %s/%05d failed in worker %s (%s: %s); releasing for retry",
+                        campaign_id, index, self.worker_id, type(exc).__name__, exc,
+                    )
+                finally:
+                    self.queue.release(lease)
+        self.batches_executed += executed
+        return executed
+
+    def _execute_batch(self, manifest: Dict[str, object], lease: Lease) -> bool:
+        reducer = None
+        try:
+            tasks = self.queue.load_batch(lease.campaign_id, lease.batch_index)
+            if manifest["kind"] == "reduced":
+                reducer = self.queue.reducer_for(manifest)
+        except Exception as exc:
+            tasks = None
+            logger.warning(
+                "batch %s/%05d payload is unusable (%s: %s)",
+                lease.campaign_id, lease.batch_index, type(exc).__name__, exc,
+            )
+        if tasks is None:
+            # Unreadable/undecodable payload (version-skewed fleet
+            # member, torn copy, ...).  Retrying locally is pointless
+            # after a few attempts, and leaving the batch pending would
+            # hang the submitter while workers churn on the lease —
+            # poison it so collect() surfaces a hard error instead.
+            key = (lease.campaign_id, lease.batch_index)
+            self._load_failures[key] = self._load_failures.get(key, 0) + 1
+            if self._load_failures[key] >= 3:
+                self.queue.poison(
+                    lease.campaign_id,
+                    lease.batch_index,
+                    self.worker_id,
+                    "batch payload unreadable (corrupt file or incompatible "
+                    "repro version on this worker)",
+                )
+            return False
+        heartbeat = _LeaseHeartbeat(self.queue, lease)
+        heartbeat.start()
+        before = self.runner.stats.snapshot()
+        try:
+            if reducer is not None:
+                records = self.runner.run_reduced(tasks, reducer, capture_errors=True)
+            else:
+                records = self.runner.run_tasks(tasks, capture_errors=True)
+        finally:
+            heartbeat.stop()
+        deposited = self.queue.write_result(
+            lease.campaign_id,
+            lease.batch_index,
+            records,
+            self.worker_id,
+            self.runner.stats.since(before),
+        )
+        if not deposited:
+            logger.info(
+                "batch %s/%05d already had a result (lease race); discarding duplicate",
+                lease.campaign_id, lease.batch_index,
+            )
+        return True
+
+    def run(self, max_idle: Optional[float] = None) -> int:
+        """Poll until stopped; returns total batches executed.
+
+        With ``max_idle`` the worker exits after that many consecutive
+        seconds without finding claimable work (set it above the lease
+        TTL so a crashed peer's batches can still expire and be
+        reclaimed before giving up).  Without it the loop runs forever —
+        the long-lived fleet-member mode.
+        """
+        idle_since: Optional[float] = None
+        while True:
+            executed = self.run_once()
+            if executed:
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if max_idle is not None and now - idle_since >= max_idle:
+                return self.batches_executed
+            time.sleep(self.poll_interval)
+
+    def close(self) -> None:
+        self.runner.close()
+
+
+def run_worker(
+    queue_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    jobs: int = 1,
+    backend: str = "reference",
+    timeout: Optional[float] = None,
+    ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: float = 0.5,
+    max_idle: Optional[float] = None,
+) -> int:
+    """Run one worker loop to completion (the ``repro-ho worker`` body)."""
+    worker = Worker(
+        queue_dir,
+        worker_id=worker_id,
+        jobs=jobs,
+        backend=backend,
+        timeout=timeout,
+        ttl=ttl,
+        poll_interval=poll_interval,
+    )
+    try:
+        return worker.run(max_idle=max_idle)
+    finally:
+        worker.close()
+
+
+@dataclass
+class DistributedCampaignResult(CampaignResult):
+    """A campaign result annotated with per-worker execution stats."""
+
+    worker_stats: Dict[str, RunnerStats] = field(default_factory=dict)
+
+
+@dataclass
+class DistributedReducedCampaignResult(ReducedCampaignResult):
+    """A reduced campaign result annotated with per-worker stats."""
+
+    worker_stats: Dict[str, RunnerStats] = field(default_factory=dict)
+
+
+class DistributedCampaignRunner:
+    """Submit campaigns to a worker fleet and wait for their results.
+
+    Implements the :class:`CampaignRunner` execution surface
+    (``run_tasks``/``run_reduced``/``run_campaign``/
+    ``run_reduced_campaign``), so experiment drivers accept it through
+    the existing ``runner=`` kwarg and every E1-E12 sweep can run
+    fleet-wide with no driver changes.  The runner itself executes
+    nothing: cacheable results are served from the fleet-shared cache,
+    everything else is enqueued and awaited.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared queue directory workers poll
+        (``repro-ho worker --queue-dir ...``).
+    batch_size:
+        Tasks per claimable batch: the unit of scheduling (and of loss
+        when a worker crashes).
+    wait_timeout:
+        Upper bound in seconds on waiting for the fleet (``None`` =
+        wait forever); on expiry a :class:`RunTimeoutError` names the
+        still-pending batches.
+    backend:
+        Default engine backend stamped onto submitted tasks that do not
+        pin one, exactly like :class:`CampaignRunner`'s.
+    """
+
+    def __init__(
+        self,
+        queue_dir: Union[str, Path],
+        batch_size: int = 8,
+        backend: str = "reference",
+        poll_interval: float = 0.2,
+        wait_timeout: Optional[float] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.queue = queue_dir if isinstance(queue_dir, WorkQueue) else WorkQueue(queue_dir)
+        self.batch_size = batch_size
+        # Fails fast on typos and on backends (e.g. async) that are not
+        # result-identical: those cannot honour the fleet's
+        # byte-identity contract.
+        self.backend = _require_equivalent_backend(backend)
+        self.poll_interval = poll_interval
+        self.wait_timeout = wait_timeout
+        self.cache = self.queue.cache
+        self.stats = RunnerStats()
+        #: Per-worker stats accumulated over every campaign this runner
+        #: submitted (worker id → summed batch deltas).
+        self.worker_stats: Dict[str, RunnerStats] = {}
+
+    # -- CampaignRunner surface -------------------------------------------------
+    def run_tasks(
+        self, tasks: Sequence[RunTask], capture_errors: bool = False
+    ) -> List[RunRecord]:
+        """Execute ``tasks`` fleet-wide; one :class:`RunRecord` each, in order."""
+        return self._run(tasks, kind="records", reducer=None, capture_errors=capture_errors)
+
+    def run_reduced(
+        self, tasks: Sequence[RunTask], reducer: Reducer, capture_errors: bool = False
+    ) -> List[ReducedRecord]:
+        """Execute ``tasks`` fleet-wide with in-worker reduction."""
+        return self._run(tasks, kind="reduced", reducer=reducer, capture_errors=capture_errors)
+
+    def run_simulations(self, tasks: Sequence[RunTask]):
+        raise NotImplementedError(
+            "full SimulationResults (n² × rounds heard-of collections) are too "
+            "heavy for the shared store; use run_tasks or run_reduced, whose "
+            "records are the distributed wire format"
+        )
+
+    def run_campaign(self, spec: CampaignSpec) -> DistributedCampaignResult:
+        """Expand ``spec``, execute it fleet-wide, reassemble in order."""
+        before = self.stats.snapshot()
+        workers_before = {name: stats.snapshot() for name, stats in self.worker_stats.items()}
+        run_specs = spec.expand()
+        tasks, task_positions, failures = materialise_specs(run_specs, self.stats)
+        records_by_index: Dict[int, RunRecord] = {
+            position: RunRecord.failure(
+                message,
+                key=run_spec.config_hash(),
+                cell=run_spec.cell(),
+                run_index=run_spec.run_index,
+                seed=run_spec.seed,
+            )
+            for position, (message, run_spec) in failures.items()
+        }
+        executed = self.run_tasks(tasks, capture_errors=True)
+        for position, record in zip(task_positions, executed):
+            records_by_index[position] = record
+        return DistributedCampaignResult(
+            spec=spec,
+            records=[records_by_index[position] for position in range(len(run_specs))],
+            stats=self.stats.since(before),
+            worker_stats=self._worker_stats_since(workers_before),
+        )
+
+    def run_reduced_campaign(
+        self, spec: CampaignSpec, reducer: Reducer
+    ) -> DistributedReducedCampaignResult:
+        """Like :meth:`run_campaign`, with in-worker reduction."""
+        before = self.stats.snapshot()
+        workers_before = {name: stats.snapshot() for name, stats in self.worker_stats.items()}
+        run_specs = spec.expand()
+        tasks, task_positions, failures = materialise_specs(run_specs, self.stats)
+        records_by_index: Dict[int, ReducedRecord] = {
+            position: ReducedRecord.failure(
+                message,
+                reducer_name=reducer.name,
+                key=reduced_cache_key(run_spec.config_hash(), reducer),
+                cell=run_spec.cell(),
+                run_index=run_spec.run_index,
+                seed=run_spec.seed,
+            )
+            for position, (message, run_spec) in failures.items()
+        }
+        executed = self.run_reduced(tasks, reducer, capture_errors=True)
+        for position, record in zip(task_positions, executed):
+            records_by_index[position] = record
+        return DistributedReducedCampaignResult(
+            spec=spec,
+            reducer=reducer,
+            records=[records_by_index[position] for position in range(len(run_specs))],
+            stats=self.stats.since(before),
+            worker_stats=self._worker_stats_since(workers_before),
+        )
+
+    # -- submission without waiting --------------------------------------------
+    def submit_campaign(
+        self, spec: CampaignSpec, reducer: Optional[Reducer] = None
+    ) -> Optional[str]:
+        """Enqueue a campaign and return immediately with its id.
+
+        Materialisation failures are *not* persisted — a later
+        ``run_campaign`` of the same spec recomputes them
+        deterministically.  Returns ``None`` when nothing needed
+        enqueuing (every run already cached).
+        """
+        tasks, _, _ = materialise_specs(spec.expand(), RunnerStats())
+        tasks = self._with_backend(tasks)
+        pending = [task for task in tasks if self._cached(task, reducer) is None]
+        if not pending:
+            return None
+        kind = "records" if reducer is None else "reduced"
+        return self.queue.submit(
+            pending, kind=kind, reducer=reducer, batch_size=self.batch_size
+        )
+
+    def wait(self, campaign_id: str, timeout: Optional[float] = None) -> None:
+        """Block until every batch of ``campaign_id`` has a result."""
+        timeout = timeout if timeout is not None else self.wait_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # One manifest read per poll, shared with the pending scan.
+            manifest = self.queue.manifest(campaign_id)
+            pending = self.queue.pending(campaign_id, manifest=manifest)
+            if manifest is not None and not pending:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise RunTimeoutError(
+                    f"campaign {campaign_id!r}: {len(pending)} batch(es) still pending "
+                    f"after {timeout}s — is a worker fleet running? "
+                    f"(repro-ho worker --queue-dir {self.queue.queue_dir})"
+                )
+            time.sleep(self.poll_interval)
+
+    # -- internals -------------------------------------------------------------
+    def _with_backend(self, tasks: Sequence[RunTask]) -> List[RunTask]:
+        from dataclasses import replace
+
+        if self.backend == "reference":
+            return list(tasks)
+        return [
+            replace(task, backend=self.backend) if task.backend is None else task
+            for task in tasks
+        ]
+
+    def _cache_key(self, task: RunTask, reducer: Optional[Reducer]) -> Optional[str]:
+        base = cacheable_key(task)
+        if base is None:
+            return None
+        return base if reducer is None else reduced_cache_key(base, reducer)
+
+    def _cached(self, task: RunTask, reducer: Optional[Reducer]):
+        key = self._cache_key(task, reducer)
+        if key is None:
+            return None
+        return self.cache.get(key) if reducer is None else self.cache.get_reduced(key)
+
+    def _run(
+        self,
+        tasks: Sequence[RunTask],
+        kind: str,
+        reducer: Optional[Reducer],
+        capture_errors: bool,
+    ) -> List:
+        started = time.perf_counter()
+        tasks = self._with_backend(tasks)
+        records: List[Optional[object]] = [None] * len(tasks)
+        pending: List[Tuple[int, RunTask]] = []
+
+        for index, task in enumerate(tasks):
+            cached = self._cached(task, reducer)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                records[index] = cached
+            else:
+                if self._cache_key(task, reducer) is not None:
+                    self.stats.cache_misses += 1
+                pending.append((index, task))
+
+        if pending:
+            campaign_id = self.queue.submit(
+                [task for _, task in pending],
+                kind=kind,
+                reducer=reducer,
+                batch_size=self.batch_size,
+            )
+            while True:
+                self.wait(campaign_id)
+                try:
+                    fetched, batch_worker_stats = self.queue.collect(campaign_id)
+                    break
+                except IncompleteCampaignError as exc:
+                    # A concurrent submitter requeued a failed batch (or
+                    # a corrupt deposit was just discarded) between our
+                    # wait and collect: wait for its re-execution.
+                    logger.info("collect raced a requeue (%s); waiting again", exc)
+            if len(fetched) != len(pending):
+                raise RuntimeError(
+                    f"campaign {campaign_id!r} returned {len(fetched)} records "
+                    f"for {len(pending)} submitted tasks"
+                )
+            for (index, _), record in zip(pending, fetched):
+                records[index] = record
+            for worker, delta in batch_worker_stats.items():
+                self.worker_stats.setdefault(worker, RunnerStats()).merge(delta)
+                self.stats.executed += delta.executed
+            # Failures are reported to this submitter but never sticky:
+            # drop the results of batches containing failed/timed-out
+            # runs so a later re-submission re-executes them (the
+            # successful runs are in the shared cache already, so the
+            # retry only redoes the failures).  Mirrors the local
+            # runner, which caches only ok records.
+            for batch_index in range(0, len(fetched), self.batch_size):
+                chunk = fetched[batch_index : batch_index + self.batch_size]
+                if any(not record.ok for record in chunk):
+                    self.queue.discard_result(campaign_id, batch_index // self.batch_size)
+
+        self.stats.total += len(tasks)
+        self.stats.failures += sum(
+            1 for r in records if r is not None and r.error and not r.timed_out
+        )
+        self.stats.timeouts += sum(1 for r in records if r is not None and r.timed_out)
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        records = _require_complete(records, f"distributed {kind}")
+        if not capture_errors:
+            failed = [record for record in records if not record.ok]
+            if failed:
+                first = failed[0]
+                raise RuntimeError(
+                    f"{len(failed)} of {len(records)} distributed runs failed; "
+                    f"first failure (run_index={first.run_index}): {first.error}"
+                )
+        return records
+
+    def _worker_stats_since(
+        self, before: Dict[str, RunnerStats]
+    ) -> Dict[str, RunnerStats]:
+        return {
+            name: stats.since(before[name]) if name in before else stats.snapshot()
+            for name, stats in self.worker_stats.items()
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Nothing to tear down (the fleet outlives submitters)."""
+
+    def __enter__(self) -> "DistributedCampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -267,7 +267,45 @@ def _require_complete(results: List, surface: str) -> List:
     return results
 
 
-def _task_from_spec(spec: RunSpec) -> RunTask:
+def materialise_specs(run_specs: Sequence[RunSpec], stats: RunnerStats):
+    """Build live tasks from specs, collecting infeasible cells.
+
+    Returns ``(tasks, task_positions, failures)`` where ``failures``
+    maps spec positions to ``(message, run_spec)`` for cells whose
+    objects could not be constructed (bad name/params); each failure is
+    counted into ``stats``.
+    """
+    tasks: List[RunTask] = []
+    task_positions: List[int] = []
+    failures: Dict[int, Tuple[str, RunSpec]] = {}
+    for position, run_spec in enumerate(run_specs):
+        try:
+            tasks.append(task_from_spec(run_spec))
+            task_positions.append(position)
+        except Exception as exc:  # infeasible cell (bad name/params)
+            failures[position] = (f"{type(exc).__name__}: {exc}", run_spec)
+            stats.total += 1
+            stats.failures += 1
+    return tasks, task_positions, failures
+
+
+def cacheable_key(task: RunTask) -> Optional[str]:
+    """The task's cache key, or None when it must not be cached.
+
+    Cache keys are backend-independent because backends are
+    result-identical — which the ``async`` engine is *not* (its
+    adversary sees submissions in event-loop order, so seeded fault
+    schedules can diverge).  Tasks on a non-equivalent backend
+    therefore never read from or write to the shared cache.
+    """
+    if not task.key:
+        return None
+    if not get_backend(task.backend or "reference").equivalent_to_reference:
+        return None
+    return task.key
+
+
+def task_from_spec(spec: RunSpec) -> RunTask:
     """Materialise a declarative :class:`RunSpec` into a live task."""
     return RunTask(
         algorithm=build_algorithm(spec.algorithm, spec.n),
@@ -339,21 +377,7 @@ class CampaignRunner:
             for task in tasks
         ]
 
-    @staticmethod
-    def _cacheable_key(task: RunTask) -> Optional[str]:
-        """The task's cache key, or None when it must not be cached.
-
-        Cache keys are backend-independent because backends are
-        result-identical — which the ``async`` engine is *not* (its
-        adversary sees submissions in event-loop order, so seeded fault
-        schedules can diverge).  Tasks on a non-equivalent backend
-        therefore never read from or write to the shared cache.
-        """
-        if not task.key:
-            return None
-        if not get_backend(task.backend or "reference").equivalent_to_reference:
-            return None
-        return task.key
+    _cacheable_key = staticmethod(cacheable_key)
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -533,24 +557,8 @@ class CampaignRunner:
     # Declarative campaigns
     # ------------------------------------------------------------------
     def _materialise_specs(self, run_specs: Sequence[RunSpec]):
-        """Build live tasks from specs, collecting infeasible cells.
-
-        Returns ``(tasks, task_positions, failures)`` where ``failures``
-        maps spec positions to ``(message, run_spec)`` for cells whose
-        objects could not be constructed (bad name/params).
-        """
-        tasks: List[RunTask] = []
-        task_positions: List[int] = []
-        failures: Dict[int, Tuple[str, RunSpec]] = {}
-        for position, run_spec in enumerate(run_specs):
-            try:
-                tasks.append(_task_from_spec(run_spec))
-                task_positions.append(position)
-            except Exception as exc:  # infeasible cell (bad name/params)
-                failures[position] = (f"{type(exc).__name__}: {exc}", run_spec)
-                self.stats.total += 1
-                self.stats.failures += 1
-        return tasks, task_positions, failures
+        """Build live tasks from specs, collecting infeasible cells."""
+        return materialise_specs(run_specs, self.stats)
 
     def run_campaign(self, spec: CampaignSpec) -> CampaignResult:
         """Expand ``spec`` into tasks, execute (with caching), aggregate.

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.adversary import (
     BlockFaultAdversary,
+    LatencyAdversary,
     MinimumSafeDeliveryAdversary,
     PeriodicGoodPhaseAdversary,
     PeriodicGoodRoundAdversary,
@@ -119,6 +120,22 @@ def _adv_block_faults(
     return BlockFaultAdversary(faults_per_round=per_round, value_domain=(0, 1), seed=seed)
 
 
+def _adv_latency(
+    n: int, seed: int, delay_per_round: float = 0.05, drop_probability: float = 0.0, **params
+) -> Adversary:
+    """Reliable (or lossy) delivery plus fixed per-round wall-clock latency.
+
+    I/O-bound rounds: what the distributed scaling benchmarks use to
+    measure fleet scheduling overhead independently of CPU throughput.
+    """
+    inner: Adversary = (
+        RandomOmissionAdversary(drop_probability=drop_probability, seed=seed)
+        if drop_probability
+        else ReliableAdversary()
+    )
+    return LatencyAdversary(inner=inner, delay_per_round=float(delay_per_round))
+
+
 def _adv_static_byzantine(
     n: int, seed: int, f: int = 1, equivocate: bool = True, **params
 ) -> Adversary:
@@ -139,6 +156,7 @@ _ADVERSARIES: Dict[str, Callable[..., Adversary]] = {
     "split-vote": _adv_split_vote,
     "block-faults": _adv_block_faults,
     "static-byzantine": _adv_static_byzantine,
+    "latency": _adv_latency,
 }
 
 

@@ -206,6 +206,29 @@ class RunnerStats:
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunnerStats":
+        """Rebuild stats shipped as JSON (distributed batch results)."""
+        return cls(
+            total=int(data.get("total", 0)),
+            executed=int(data.get("executed", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            failures=int(data.get("failures", 0)),
+            timeouts=int(data.get("timeouts", 0)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    def merge(self, other: "RunnerStats") -> None:
+        """Fold another stats delta into this one, in place."""
+        self.total += other.total
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.failures += other.failures
+        self.timeouts += other.timeouts
+        self.elapsed_seconds += other.elapsed_seconds
+
     def summary(self) -> str:
         parts = [
             f"runs={self.total}",

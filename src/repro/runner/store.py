@@ -1,0 +1,239 @@
+"""Pluggable cache stores: the storage seam under :class:`ResultCache`.
+
+The result cache and the distributed work queue both persist small text
+blobs (JSON records, manifests, lease files) under stable relative
+paths.  This module factors that storage surface into a
+:class:`CacheStore` protocol with two filesystem implementations:
+
+* :class:`LocalDirStore` — a plain directory; atomic writes (temp file
+  in the target directory + ``os.replace``) but no durability calls.
+  This is exactly the behaviour :class:`repro.runner.cache.ResultCache`
+  has always had, and stays the default for single-machine campaigns.
+* :class:`SharedStore` — a directory on a filesystem shared by
+  *concurrent writers on independent machines* (NFS, a bind-mounted
+  volume, ...).  Writes are atomic **and durable**: the temp file is
+  fsync'd before the rename and the parent directory is fsync'd after
+  it, so a manifest or lease observed by one worker cannot vanish when
+  another worker's kernel crashes.  It also offers
+  :meth:`~LocalDirStore.try_create` (exclusive create), the primitive
+  the lease-based :class:`repro.runner.distributed.WorkQueue` is built
+  on.
+
+Entries are content-addressed by their callers — cache keys are SHA-256
+config hashes and queue paths embed campaign/batch digests — so
+concurrent writers for the *same* path always carry byte-identical
+payloads and last-writer-wins replacement is safe.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Protocol, Union, runtime_checkable
+
+
+@runtime_checkable
+class CacheStore(Protocol):
+    """Keyed text-blob storage used by the cache and the work queue.
+
+    Paths are relative, ``/``-separated, and never escape the store
+    root.  ``write_text`` must be atomic: a reader never observes a
+    half-written entry.  Implementations other than the two filesystem
+    stores here (an object store, a key-value service, ...) only need
+    these six methods to plug into :class:`ResultCache` and
+    :class:`~repro.runner.distributed.WorkQueue`.
+    """
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        """The entry's text, or ``None`` when absent/unreadable."""
+        ...
+
+    def write_text(self, relpath: str, text: str) -> None:
+        """Atomically create or replace the entry."""
+        ...
+
+    def try_create(self, relpath: str, text: str) -> bool:
+        """Atomically create the entry iff absent; True when this call won."""
+        ...
+
+    def delete(self, relpath: str) -> bool:
+        """Remove the entry; True when it existed."""
+        ...
+
+    def exists(self, relpath: str) -> bool:
+        """Whether the entry is currently present."""
+        ...
+
+    def list(self, pattern: str) -> List[str]:
+        """Sorted relative paths matching a glob ``pattern``."""
+        ...
+
+
+class LocalDirStore:
+    """A directory of text blobs with atomic (but not durable) writes."""
+
+    #: Whether writes are flushed through to stable storage (fsync).
+    durable = False
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, relpath: str) -> Path:
+        # Paths are internally generated (hash digests, zero-padded batch
+        # indices), so a cheap segment check suffices — no per-call
+        # resolve() on the cache hot path.
+        parts = Path(relpath).parts
+        if Path(relpath).is_absolute() or ".." in parts or not parts:
+            raise ValueError(f"store path {relpath!r} escapes the store root")
+        return self.root / relpath
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        try:
+            return self.path_for(relpath).read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def write_text(self, relpath: str, text: str) -> None:
+        path = self.path_for(relpath)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+            if self.durable:
+                self._fsync_dir(path.parent)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def try_create(self, relpath: str, text: str) -> bool:
+        # Write the full content to a temp file first and publish it
+        # with an exclusive hard link: creation is atomic *and*
+        # crash-atomic — a writer killed at any point leaves either no
+        # entry or the complete entry, never a torn one (leases and
+        # result deposits rely on this).
+        path = self.path_for(relpath)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                if self.durable:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            try:
+                os.link(tmp_name, path)
+            except FileExistsError:
+                return False
+            if self.durable:
+                self._fsync_dir(path.parent)
+            return True
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:  # pragma: no cover - tmp already gone
+                pass
+
+    def delete(self, relpath: str) -> bool:
+        try:
+            self.path_for(relpath).unlink()
+            return True
+        except OSError:
+            return False
+
+    def exists(self, relpath: str) -> bool:
+        return self.path_for(relpath).exists()
+
+    def list(self, pattern: str) -> List[str]:
+        return sorted(
+            str(path.relative_to(self.root))
+            for path in self.root.glob(pattern)
+            if path.is_file()
+        )
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        # Persist the rename itself: without the directory fsync a crash
+        # can forget the entry even though its bytes reached the disk.
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. O_RDONLY dirs on odd fs
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync unsupported on this fs
+            pass
+        finally:
+            os.close(fd)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.root}>"
+
+
+class SharedStore(LocalDirStore):
+    """A :class:`LocalDirStore` hardened for concurrent multi-machine writers.
+
+    Every write is fsync'd (file *and* parent directory), so manifests,
+    leases and result records survive a writer's machine crashing right
+    after another worker observed them.  Reads, atomic replacement and
+    exclusive creation are inherited — POSIX rename/``O_EXCL`` semantics
+    are what the lease queue relies on.
+    """
+
+    durable = True
+
+
+class PrefixStore:
+    """A view of another store under a fixed path prefix.
+
+    Lets one backing store carve out namespaces (the work queue keeps
+    its fleet-shared result cache under ``cache/`` of the queue store,
+    whatever that store is) without the sub-user knowing the prefix.
+    """
+
+    def __init__(self, inner: CacheStore, prefix: str) -> None:
+        prefix = prefix.strip("/")
+        if not prefix:
+            raise ValueError("PrefixStore needs a non-empty prefix")
+        self.inner = inner
+        self.prefix = prefix
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The prefixed directory, for filesystem-backed inner stores."""
+        inner_root = getattr(self.inner, "root", None)
+        return None if inner_root is None else inner_root / self.prefix
+
+    def _prefixed(self, relpath: str) -> str:
+        return f"{self.prefix}/{relpath}"
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        return self.inner.read_text(self._prefixed(relpath))
+
+    def write_text(self, relpath: str, text: str) -> None:
+        self.inner.write_text(self._prefixed(relpath), text)
+
+    def try_create(self, relpath: str, text: str) -> bool:
+        return self.inner.try_create(self._prefixed(relpath), text)
+
+    def delete(self, relpath: str) -> bool:
+        return self.inner.delete(self._prefixed(relpath))
+
+    def exists(self, relpath: str) -> bool:
+        return self.inner.exists(self._prefixed(relpath))
+
+    def list(self, pattern: str) -> List[str]:
+        skip = len(self.prefix) + 1
+        return [entry[skip:] for entry in self.inner.list(self._prefixed(pattern))]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PrefixStore {self.prefix}/ over {self.inner!r}>"

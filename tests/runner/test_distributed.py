@@ -1,0 +1,522 @@
+"""Tests for distributed campaign execution: queue, leases, workers.
+
+The heart of the suite is the differential guarantee: serial,
+``jobs=4`` and 3-worker distributed executions of one
+:class:`CampaignSpec` must produce byte-identical records (and
+therefore byte-identical report rows) and share cache entries across
+modes.  Worker processes are real OS processes (``multiprocessing``
+with the fork start method) coordinating purely through the shared
+queue directory, exactly as a multi-machine fleet would.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.runner import (
+    AdversarySpec,
+    AlgorithmSpec,
+    CampaignRunner,
+    CampaignSpec,
+    DecisionReducer,
+    DistributedCampaignRunner,
+    PredicateSpec,
+    ResultCache,
+    SharedStore,
+    Worker,
+    WorkQueue,
+    campaign_report,
+    run_worker,
+    task_from_spec,
+)
+from repro.runner.distributed import Lease
+
+mp = multiprocessing.get_context("fork")
+
+WAIT = 120.0  # generous fleet wait; loaded CI boxes are slow
+
+
+def demo_spec(runs=3, campaign_id="dist-test") -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        algorithms=[AlgorithmSpec("ate", {"alpha": 1}), AlgorithmSpec("ute", {"alpha": 1})],
+        adversaries=[AdversarySpec("corruption-good-rounds", {"alpha": 1, "period": 4})],
+        predicates=[PredicateSpec("alpha-safe", {"alpha": 1})],
+        ns=[5, 7],
+        runs=runs,
+        base_seed=11,
+        max_rounds=25,
+    )
+
+
+def slow_spec(runs=4, delay=0.15, campaign_id="dist-slow") -> CampaignSpec:
+    """Latency-bound runs: long enough to kill a worker mid-batch."""
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        algorithms=[AlgorithmSpec("ate", {"alpha": 0})],
+        adversaries=[AdversarySpec("latency", {"delay_per_round": delay})],
+        ns=[4],
+        runs=runs,
+        base_seed=5,
+        max_rounds=12,
+    )
+
+
+def fleet(queue_dir, count, ttl=30.0, max_idle=15.0, jobs=1):
+    """Spawn ``count`` worker processes against ``queue_dir``."""
+    workers = [
+        mp.Process(
+            target=run_worker,
+            kwargs=dict(
+                queue_dir=str(queue_dir),
+                worker_id=f"w{index}",
+                jobs=jobs,
+                ttl=ttl,
+                poll_interval=0.05,
+                max_idle=max_idle,
+            ),
+            daemon=True,
+        )
+        for index in range(count)
+    ]
+    for worker in workers:
+        worker.start()
+    return workers
+
+
+def reap(workers, timeout=60.0):
+    for worker in workers:
+        worker.join(timeout=timeout)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+
+
+class TestWorkQueue:
+    def test_submit_is_idempotent_for_keyed_tasks(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec().expand()]
+        first = queue.submit(tasks, batch_size=4)
+        second = queue.submit(tasks, batch_size=4)
+        assert first == second
+        manifest = queue.manifest(first)
+        assert manifest["num_tasks"] == len(tasks)
+        assert manifest["num_batches"] == -(-len(tasks) // 4)
+        assert queue.pending(first) == list(range(manifest["num_batches"]))
+
+    def test_batches_preserve_task_order(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec().expand()]
+        campaign_id = queue.submit(tasks, batch_size=5)
+        reloaded = []
+        for index in range(queue.manifest(campaign_id)["num_batches"]):
+            reloaded.extend(queue.load_batch(campaign_id, index))
+        assert [task.key for task in reloaded] == [task.key for task in tasks]
+        assert [task.seed for task in reloaded] == [task.seed for task in tasks]
+
+    def test_lease_lifecycle(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        lease = queue.try_acquire("c", 0, "alice", ttl=30)
+        assert isinstance(lease, Lease)
+        # A live lease blocks other workers ...
+        assert queue.try_acquire("c", 0, "bob", ttl=30) is None
+        # ... heartbeats confirm ownership ...
+        assert queue.heartbeat(lease)
+        # ... and release frees the batch.
+        queue.release(lease)
+        assert queue.try_acquire("c", 0, "bob", ttl=30) is not None
+
+    def test_expired_lease_is_broken_and_reclaimed(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        dead = queue.try_acquire("c", 0, "crashed", ttl=0.05)
+        assert dead is not None
+        time.sleep(0.1)  # let the crashed worker's lease expire
+        stolen = queue.try_acquire("c", 0, "rescuer", ttl=30)
+        assert stolen is not None and stolen.worker_id == "rescuer"
+        # The crashed worker's heartbeat now reports the loss.
+        assert not queue.heartbeat(dead)
+        # ... and its release must not clobber the rescuer's lease.
+        queue.release(dead)
+        assert queue.try_acquire("c", 0, "third", ttl=30) is None
+
+    def test_corrupt_lease_file_is_broken_and_reclaimed(self, tmp_path):
+        """A torn/unreadable lease (foreign non-atomic writer, disk
+        mishap) must never make a batch permanently unclaimable."""
+        queue = WorkQueue(tmp_path)
+        queue.store.write_text("campaigns/c/leases/00000.json", "{torn")
+        lease = queue.try_acquire("c", 0, "rescuer", ttl=30)
+        assert lease is not None and lease.worker_id == "rescuer"
+
+    def test_corrupt_result_file_is_discarded_and_requeued(self, tmp_path):
+        """An unreadable result deposit must not wedge the campaign:
+        collect() discards it with a clear error and the batch counts
+        as pending again."""
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=1).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        queue.store.write_text(f"campaigns/{campaign_id}/results/00000.json", "")
+        assert queue.pending(campaign_id) == []  # looks complete ...
+        with pytest.raises(RuntimeError, match="corrupt deposit discarded"):
+            queue.collect(campaign_id)
+        assert queue.pending(campaign_id) == [0]  # ... requeued now
+
+    def test_result_files_are_first_writer_wins(self, tmp_path):
+        from repro.runner.records import RunnerStats, RunRecord
+
+        queue = WorkQueue(tmp_path)
+        record = RunRecord(agreement=True)
+        assert queue.write_result("c", 0, [record], "alice", RunnerStats())
+        assert not queue.write_result("c", 0, [record], "bob", RunnerStats())
+        assert queue.batch_done("c", 0)
+
+
+class TestDifferentialModes:
+    """Serial == --jobs 4 == 3-worker distributed, byte for byte."""
+
+    @pytest.mark.slow
+    def test_three_modes_byte_identical_and_cache_shared(self, tmp_path):
+        spec = demo_spec()
+
+        serial = CampaignRunner(cache=ResultCache(tmp_path / "serial-cache"))
+        serial_result = serial.run_campaign(spec)
+
+        with CampaignRunner(jobs=4, cache=ResultCache(tmp_path / "jobs-cache")) as parallel:
+            parallel_result = parallel.run_campaign(spec)
+
+        queue_dir = tmp_path / "queue"
+        workers = fleet(queue_dir, 3)
+        try:
+            runner = DistributedCampaignRunner(queue_dir, batch_size=3, wait_timeout=WAIT)
+            distributed_result = runner.run_campaign(spec)
+        finally:
+            reap(workers)
+
+        rows_serial = [record.as_dict() for record in serial_result.records]
+        assert rows_serial == [record.as_dict() for record in parallel_result.records]
+        assert rows_serial == [record.as_dict() for record in distributed_result.records]
+        # All three distributed workers are real processes with their
+        # own stats; at least one actually executed something.
+        assert sum(s.executed for s in runner.worker_stats.values()) == len(rows_serial)
+
+        # Cross-mode cache hits: a serial runner pointed at the fleet's
+        # shared cache re-runs nothing and reads identical records.
+        cross = CampaignRunner(cache=ResultCache(store=SharedStore(queue_dir / "cache")))
+        cross_result = cross.run_campaign(spec)
+        assert cross.stats.cache_hits == len(rows_serial) and cross.stats.executed == 0
+        assert rows_serial == [record.as_dict() for record in cross_result.records]
+
+        # ... and a re-submission to the fleet is a full cache hit that
+        # needs no workers at all (none are running anymore).
+        resubmit = DistributedCampaignRunner(queue_dir, batch_size=3, wait_timeout=5)
+        resubmit_result = resubmit.run_campaign(spec)
+        assert resubmit.stats.cache_hits == len(rows_serial)
+        assert rows_serial == [record.as_dict() for record in resubmit_result.records]
+
+        # Identical records imply identical report rows.
+        assert (
+            campaign_report(spec, serial_result.records).render()
+            == campaign_report(spec, distributed_result.records).render()
+        )
+
+    @pytest.mark.slow
+    def test_reduced_campaign_distributed_matches_serial(self, tmp_path):
+        spec = demo_spec(campaign_id="dist-reduced")
+        reducer = DecisionReducer()
+        serial = CampaignRunner().run_reduced_campaign(spec, reducer)
+
+        queue_dir = tmp_path / "queue"
+        workers = fleet(queue_dir, 2)
+        try:
+            runner = DistributedCampaignRunner(queue_dir, batch_size=4, wait_timeout=WAIT)
+            distributed = runner.run_reduced_campaign(spec, reducer)
+        finally:
+            reap(workers)
+
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in distributed.records
+        ]
+
+    @pytest.mark.slow
+    def test_driver_runner_kwarg_accepts_distributed_runner(self, tmp_path):
+        """E1-E12 sweeps run fleet-wide with no driver changes: the
+        distributed runner rides the existing ``runner=`` kwarg."""
+        from repro.experiments.table1 import validate_ate_row
+
+        serial_report = validate_ate_row(n=6, runs=3, seed=2, max_rounds=25)
+
+        queue_dir = tmp_path / "queue"
+        workers = fleet(queue_dir, 2)
+        try:
+            runner = DistributedCampaignRunner(queue_dir, batch_size=2, wait_timeout=WAIT)
+            distributed_report = validate_ate_row(n=6, runs=3, seed=2, max_rounds=25, runner=runner)
+        finally:
+            reap(workers)
+        assert json.dumps(serial_report.rows, default=str) == json.dumps(
+            distributed_report.rows, default=str
+        )
+
+
+class TestCrashRecovery:
+    @pytest.mark.slow
+    def test_killed_worker_loses_lease_and_batch_is_requeued(self, tmp_path):
+        """A worker killed mid-batch must not wedge the campaign: after
+        its lease TTL expires another worker re-claims the batch and the
+        final report is identical to an uninterrupted run."""
+        spec = slow_spec()
+        expected = CampaignRunner().run_campaign(spec)
+
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=4, wait_timeout=WAIT)
+        campaign_id = runner.submit_campaign(spec)
+        assert campaign_id is not None
+
+        victim = mp.Process(
+            target=run_worker,
+            kwargs=dict(
+                queue_dir=str(queue_dir), worker_id="victim", ttl=1.0, poll_interval=0.05
+            ),
+            daemon=True,
+        )
+        victim.start()
+        # Wait until the victim holds the batch lease, then SIGKILL it
+        # mid-execution (each batch takes ~runs × rounds × delay
+        # seconds, far longer than this poll loop).
+        queue = WorkQueue(queue_dir)
+        deadline = time.monotonic() + 30
+        while not queue.store.list("campaigns/*/leases/*.json"):
+            assert time.monotonic() < deadline, "victim never claimed the batch"
+            time.sleep(0.02)
+        victim.kill()
+        victim.join(timeout=10)
+        assert queue.pending(campaign_id), "victim should have died before completing"
+
+        rescuer = mp.Process(
+            target=run_worker,
+            kwargs=dict(
+                queue_dir=str(queue_dir),
+                worker_id="rescuer",
+                ttl=1.0,
+                poll_interval=0.05,
+                max_idle=10.0,
+            ),
+            daemon=True,
+        )
+        rescuer.start()
+        try:
+            runner.wait(campaign_id)
+        finally:
+            reap([rescuer])
+
+        recovered = runner.run_campaign(spec)  # collects, all work done
+        assert [record.as_dict() for record in expected.records] == [
+            record.as_dict() for record in recovered.records
+        ]
+        # The deposited results are authored by the rescuer, not the victim.
+        _, worker_stats = queue.collect(campaign_id)
+        assert set(worker_stats) == {"rescuer"}
+
+
+class TestSubmitterSemantics:
+    def test_run_simulations_is_refused(self, tmp_path):
+        runner = DistributedCampaignRunner(tmp_path)
+        with pytest.raises(NotImplementedError):
+            runner.run_simulations([])
+
+    def test_non_equivalent_backends_are_rejected_on_both_sides(self, tmp_path):
+        """The async engine is not result-identical, so neither a
+        submitter nor a fleet worker may run on it — its records would
+        depend on which worker executed a batch."""
+        with pytest.raises(ValueError, match="not result-identical"):
+            DistributedCampaignRunner(tmp_path / "queue", backend="async")
+        with pytest.raises(ValueError, match="not result-identical"):
+            Worker(WorkQueue(tmp_path / "queue"), backend="async")
+
+    def test_failed_runs_are_not_sticky_across_submissions(self, tmp_path):
+        """A campaign whose runs failed must be retryable: the failed
+        batches' results are dropped, so the next submission re-executes
+        them instead of replaying stale failure records forever."""
+        spec = demo_spec(runs=2, campaign_id="dist-retry")
+        queue = WorkQueue(tmp_path / "queue")
+        runner = DistributedCampaignRunner(queue.queue_dir, batch_size=4, wait_timeout=30)
+
+        campaign_id = runner.submit_campaign(spec)
+        # A worker with an absurd per-run timeout: every run times out.
+        broken = Worker(queue, worker_id="broken", timeout=1e-9, ttl=30)
+        while broken.run_once():
+            pass
+        broken.close()
+        first = runner.run_campaign(spec)
+        assert all(record.timed_out for record in first.records)
+        assert first.stats.timeouts == len(first.records)
+        # The failure reports were collected, then dropped from the queue.
+        assert queue.pending(campaign_id) != []
+
+        healthy = Worker(queue, worker_id="healthy", ttl=30)
+        while healthy.run_once():
+            pass
+        healthy.close()
+        second = runner.run_campaign(spec)
+        expected = CampaignRunner().run_campaign(spec)
+        assert [record.as_dict() for record in expected.records] == [
+            record.as_dict() for record in second.records
+        ]
+
+    def test_unreadable_batch_is_poisoned_not_hung(self, tmp_path):
+        """A batch whose payload cannot be decoded (version-skewed fleet
+        member, torn copy) must surface a hard error at the submitter
+        instead of leaving the campaign pending forever."""
+        spec = demo_spec(runs=2, campaign_id="dist-poison")
+        queue = WorkQueue(tmp_path / "queue")
+        runner = DistributedCampaignRunner(queue.queue_dir, batch_size=16, wait_timeout=30)
+        campaign_id = runner.submit_campaign(spec)
+        queue.store.write_text(
+            f"campaigns/{campaign_id}/batches/00000.json", '{"tasks": ["not-base64!"]}'
+        )
+        worker = Worker(queue, worker_id="skewed", ttl=30)
+        for _ in range(3):  # poisoned after three local load failures
+            worker.run_once()
+        worker.close()
+        assert queue.complete(campaign_id)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            queue.collect(campaign_id)
+        # The poison marker is not sticky: the batch requeues, so fixing
+        # the fleet and resubmitting retries it.
+        assert queue.pending(campaign_id) == [0]
+
+    def test_injected_store_carries_the_cache_too(self, tmp_path):
+        """WorkQueue(store=...) must route the fleet cache through the
+        injected store, not silently fall back to the filesystem."""
+        from repro.runner import LocalDirStore
+        from repro.runner.records import RunRecord
+
+        store = LocalDirStore(tmp_path / "custom")
+        queue = WorkQueue(tmp_path / "ignored-dir", store=store)
+        queue.cache.put("key", RunRecord(agreement=True))
+        assert store.list("cache/*/*.json")  # lives inside the injected store
+        assert not (tmp_path / "ignored-dir").exists() or not list(
+            (tmp_path / "ignored-dir").rglob("*.json")
+        )
+        assert queue.cache.get("key").agreement
+
+    def test_capture_errors_false_raises_on_failures(self, tmp_path):
+        """Infeasible cells become failure records with capture_errors
+        (campaign path) but raise without it (driver batch path)."""
+        bad = CampaignSpec(
+            campaign_id="dist-bad",
+            algorithms=[AlgorithmSpec("no-such-algorithm")],
+            adversaries=[AdversarySpec("reliable")],
+            ns=[4],
+            runs=2,
+            max_rounds=5,
+        )
+        runner = DistributedCampaignRunner(tmp_path / "queue", wait_timeout=5)
+        result = runner.run_campaign(bad)
+        assert all(not record.ok for record in result.records)
+        assert result.stats.failures == len(result.records)
+
+    def test_inline_worker_drains_reduced_submission(self, tmp_path):
+        """The queue protocol round-trips reducers: a submitted reduced
+        campaign drained by an in-process Worker equals the serial run."""
+        spec = demo_spec(runs=2, campaign_id="dist-inline")
+        reducer = DecisionReducer()
+        serial = CampaignRunner().run_reduced_campaign(spec, reducer)
+
+        runner = DistributedCampaignRunner(tmp_path / "queue", batch_size=4, wait_timeout=30)
+        campaign_id = runner.submit_campaign(spec, reducer)
+        worker = Worker(WorkQueue(tmp_path / "queue"), worker_id="inline", ttl=30)
+        assert worker.run_once() > 0
+        worker.close()
+        assert runner.queue.complete(campaign_id)
+
+        distributed = runner.run_reduced_campaign(spec, reducer)
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in distributed.records
+        ]
+
+
+class TestCampaignCliExitCodes:
+    def _spec_file(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        return str(path)
+
+    def test_failed_campaign_exits_nonzero_with_summary(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = CampaignSpec(
+            campaign_id="cli-bad",
+            algorithms=[AlgorithmSpec("no-such-algorithm")],
+            adversaries=[AdversarySpec("reliable")],
+            ns=[4],
+            runs=2,
+            max_rounds=5,
+        )
+        code = main(
+            ["campaign", "--spec", self._spec_file(tmp_path, bad), "--no-cache", "--jobs", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "2 of 2 runs failed" in captured.err
+        assert "no-such-algorithm" in captured.err
+
+    def test_invalid_batch_size_exits_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "E1", "--distributed", "--batch-size", "0"]) == 2
+        assert "--batch-size must be >= 1" in capsys.readouterr().err
+
+    def test_green_campaign_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "--spec",
+                self._spec_file(tmp_path, demo_spec(runs=1, campaign_id="cli-ok")),
+                "--no-cache",
+                "--jobs",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "runs failed" not in captured.err
+
+    @pytest.mark.slow
+    def test_submit_worker_wait_cli_flow(self, tmp_path, capsys):
+        """submit-only → worker --max-idle → submit+wait: the distributed
+        CLI quickstart, entirely through ``main()``."""
+        from repro.cli import main
+
+        spec_file = self._spec_file(tmp_path, demo_spec(runs=2, campaign_id="cli-dist"))
+        queue_dir = str(tmp_path / "queue")
+
+        assert main(["campaign", "--spec", spec_file, "--jobs", "1", "--cache-dir",
+                     str(tmp_path / "serial-cache")]) == 0
+        serial_rows = [
+            line for line in capsys.readouterr().out.splitlines()
+            if not line.startswith(("runner[", "worker["))
+        ]
+
+        assert main(["campaign", "--spec", spec_file, "--distributed",
+                     "--queue-dir", queue_dir, "--submit-only"]) == 0
+        assert "submitted" in capsys.readouterr().out
+
+        assert main(["worker", "--queue-dir", queue_dir, "--max-idle", "0.5",
+                     "--poll-interval", "0.05", "--ttl", "5"]) == 0
+        assert "executed" in capsys.readouterr().out
+
+        assert main(["campaign", "--spec", spec_file, "--distributed",
+                     "--queue-dir", queue_dir, "--wait-timeout", "30"]) == 0
+        distributed_out = capsys.readouterr().out
+        distributed_rows = [
+            line for line in distributed_out.splitlines()
+            if not line.startswith(("runner[", "worker["))
+        ]
+        assert serial_rows == distributed_rows
+        # The fleet already executed everything: the submit+wait step is
+        # a full cache hit (the per-worker summary only appears on
+        # invocations whose runs the fleet executed live).
+        assert "cache_hits=8" in distributed_out

@@ -1,0 +1,180 @@
+"""Tests for the pluggable cache stores and crash-safe cache reads."""
+
+import logging
+import threading
+
+import pytest
+
+from repro.adversary import ReliableAdversary
+from repro.algorithms import AteAlgorithm
+from repro.runner import CampaignRunner, ResultCache, RunTask
+from repro.runner.records import RunRecord
+from repro.runner.reduce import ReducedRecord
+from repro.runner.store import CacheStore, LocalDirStore, SharedStore
+from repro.workloads import generators
+
+
+@pytest.fixture(params=[LocalDirStore, SharedStore], ids=["local", "shared"])
+def store(request, tmp_path):
+    return request.param(tmp_path / "store")
+
+
+class TestStores:
+    def test_read_absent_returns_none(self, store):
+        assert store.read_text("aa/missing.json") is None
+        assert not store.exists("aa/missing.json")
+
+    def test_write_read_roundtrip(self, store):
+        store.write_text("aa/entry.json", '{"x": 1}')
+        assert store.read_text("aa/entry.json") == '{"x": 1}'
+        assert store.exists("aa/entry.json")
+
+    def test_write_replaces_atomically(self, store):
+        store.write_text("e.json", "first")
+        store.write_text("e.json", "second")
+        assert store.read_text("e.json") == "second"
+        # No temp-file droppings left next to the entry.
+        assert store.list("*") == ["e.json"]
+
+    def test_try_create_is_exclusive(self, store):
+        assert store.try_create("lease.json", "winner")
+        assert not store.try_create("lease.json", "loser")
+        assert store.read_text("lease.json") == "winner"
+
+    def test_try_create_racers_have_exactly_one_winner(self, store):
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def racer(tag):
+            barrier.wait()
+            if store.try_create("contended.json", tag):
+                wins.append(tag)
+
+        threads = [threading.Thread(target=racer, args=(f"w{i}",)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(wins) == 1
+        assert store.read_text("contended.json") == wins[0]
+
+    def test_try_create_leaves_no_droppings_and_full_content(self, store):
+        """try_create is crash-atomic: the entry appears with its full
+        content in one step and no temp files survive either outcome."""
+        store.try_create("a.json", "x" * 4096)
+        store.try_create("a.json", "loser")
+        assert store.list("*") == ["a.json"]
+        assert store.read_text("a.json") == "x" * 4096
+
+    def test_delete(self, store):
+        store.write_text("gone.json", "x")
+        assert store.delete("gone.json")
+        assert not store.delete("gone.json")
+        assert store.read_text("gone.json") is None
+
+    def test_list_is_sorted_and_relative(self, store):
+        store.write_text("b/2.json", "x")
+        store.write_text("a/1.json", "x")
+        assert store.list("*/*.json") == ["a/1.json", "b/2.json"]
+
+    def test_paths_cannot_escape_the_root(self, store):
+        with pytest.raises(ValueError):
+            store.read_text("../outside.json")
+
+    def test_protocol_conformance(self, store):
+        assert isinstance(store, CacheStore)
+
+    def test_durability_flag(self, tmp_path):
+        assert not LocalDirStore(tmp_path / "a").durable
+        assert SharedStore(tmp_path / "b").durable
+
+
+def _task(key="store-test/0000", n=4):
+    return RunTask(
+        algorithm=AteAlgorithm.symmetric(n=n, alpha=0),
+        adversary=ReliableAdversary(),
+        initial_values=generators.split(n),
+        max_rounds=10,
+        key=key,
+        seed=3,
+    )
+
+
+class TestCacheOnStores:
+    def test_requires_exactly_one_of_root_and_store(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache()
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, store=LocalDirStore(tmp_path))
+
+    def test_shared_store_cache_interoperates_with_local_layout(self, tmp_path):
+        """A record written through SharedStore is read back by a plain
+        root-based cache on the same directory (same shard layout)."""
+        shared = ResultCache(store=SharedStore(tmp_path))
+        shared.put("key", RunRecord(agreement=True))
+        local = ResultCache(tmp_path)
+        hit = local.get("key")
+        assert hit is not None and hit.agreement
+
+    def test_len_and_clear_via_store(self, tmp_path):
+        cache = ResultCache(store=SharedStore(tmp_path))
+        cache.put("a", RunRecord())
+        cache.put_reduced("b", ReducedRecord(data={"x": 1}, reducer_name="r"))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestCorruptEntriesAreMisses:
+    """A corrupted/truncated shard entry must requeue the run, not raise."""
+
+    def _corrupt(self, cache, key, text):
+        cache.path_for(key).write_text(text, encoding="utf-8")
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "",  # truncated to nothing (crashed writer on a non-atomic fs)
+            '{"agreement": true',  # truncated JSON
+            "[1, 2, 3]",  # valid JSON, wrong shape
+            '{"rounds_executed": "NaN-ish"}',  # schema-corrupt field types
+        ],
+        ids=["empty", "truncated", "non-object", "bad-field-types"],
+    )
+    def test_garbage_entry_is_a_miss_and_warns(self, tmp_path, caplog, garbage):
+        cache = ResultCache(tmp_path)
+        cache.put("key", RunRecord(agreement=True))
+        self._corrupt(cache, "key", garbage)
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            assert cache.get("key") is None
+        assert cache.misses == 1 and cache.hits == 0
+        assert any("treating as a miss" in message for message in caplog.messages)
+        # The bad entry is dropped so it cannot mask the rewrite.
+        assert not cache.path_for("key").exists()
+
+    def test_corrupt_reduced_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_reduced("key", ReducedRecord(data={"x": 1}, reducer_name="r"))
+        self._corrupt(cache, "key", '{"data": "not-a-dict"}')
+        assert cache.get_reduced("key") is None
+        assert cache.misses == 1
+
+    def test_runner_requeues_runs_with_corrupt_entries(self, tmp_path):
+        """End to end: a corrupted entry re-executes the run and rewrites
+        a good entry — crash-safe distributed writers depend on this."""
+        first = CampaignRunner(cache=ResultCache(tmp_path))
+        original = first.run_tasks([_task()])[0]
+        assert first.stats.cache_misses == 1
+
+        cache = ResultCache(tmp_path)
+        cache.path_for(_task().key).write_text('{"agreement"', encoding="utf-8")
+        second = CampaignRunner(cache=cache)
+        requeued = second.run_tasks([_task()])[0]
+        assert second.stats.cache_misses == 1 and second.stats.executed == 1
+        assert requeued.as_dict() == original.as_dict()
+
+        # ... and the rewrite healed the entry: third run is a clean hit.
+        third = CampaignRunner(cache=ResultCache(tmp_path))
+        healed = third.run_tasks([_task()])[0]
+        assert third.stats.cache_hits == 1
+        assert healed.as_dict() == original.as_dict()

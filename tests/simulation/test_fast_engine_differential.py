@@ -73,6 +73,12 @@ ADVERSARIES = {
     "rotating-corruption": lambda n: RotatingSenderCorruptionAdversary(
         alpha=1, value_domain=(0, 1), seed=7
     ),
+    "rotating-corruption-wide": lambda n: RotatingSenderCorruptionAdversary(
+        alpha=max(2, n // 3), value_domain=(0, 1), seed=7
+    ),
+    "rotating-corruption-stable": lambda n: RotatingSenderCorruptionAdversary(
+        alpha=1, value_domain=(0, 1), seed=7, equivocate=False
+    ),
     "unbounded-corruption": lambda n: UnboundedCorruptionAdversary(
         0.25, value_domain=(0, 1), seed=7
     ),
@@ -82,6 +88,15 @@ ADVERSARIES = {
     # lower-bound scenarios
     "block-faults": lambda n: BlockFaultAdversary(
         faults_per_round=n // 2, value_domain=(0, 1), seed=7
+    ),
+    "block-faults-all-links": lambda n: BlockFaultAdversary(
+        faults_per_round=None, value_domain=(0, 1), seed=7
+    ),
+    "block-faults-drop": lambda n: BlockFaultAdversary(
+        faults_per_round=n // 2, mode="drop", seed=7
+    ),
+    "block-faults-scheduled": lambda n: BlockFaultAdversary(
+        faults_per_round=n // 2, victim_schedule=[0, 2, 1], value_domain=(0, 1), seed=7
     ),
     "static-byzantine": lambda n: StaticByzantineAdversary(
         byzantine=range(1), value_domain=(0, 1), seed=7
@@ -173,6 +188,47 @@ def test_differential_grid(algorithm_name, adversary_name, n):
         ALGORITHMS[algorithm_name], ADVERSARIES[adversary_name], n
     )
     assert_equivalent(reference, fast)
+
+
+class TestNativePlannerSelection:
+    """The grid families with native planners must actually use them
+    (otherwise the differential grid silently gates only the adapter)."""
+
+    def test_native_families_get_native_planners(self):
+        from repro.adversary.plan import (
+            BlockFaultPlanner,
+            RandomCorruptionPlanner,
+            RandomOmissionPlanner,
+            ReliablePlanner,
+            RotatingCorruptionPlanner,
+            planner_for,
+        )
+
+        expected = {
+            "reliable": ReliablePlanner,
+            "random-omission": RandomOmissionPlanner,
+            "random-corruption": RandomCorruptionPlanner,
+            "rotating-corruption": RotatingCorruptionPlanner,
+            "rotating-corruption-stable": RotatingCorruptionPlanner,
+            "block-faults": BlockFaultPlanner,
+            "block-faults-drop": BlockFaultPlanner,
+            "block-faults-scheduled": BlockFaultPlanner,
+        }
+        for name, planner_type in expected.items():
+            planner = planner_for(ADVERSARIES[name](6), 6)
+            assert type(planner) is planner_type, name
+
+    def test_subclasses_fall_back_to_the_adapter(self):
+        from repro.adversary.plan import MatrixPlanAdapter, planner_for
+
+        class CustomBlocks(BlockFaultAdversary):
+            pass
+
+        class CustomRotation(RotatingSenderCorruptionAdversary):
+            pass
+
+        assert type(planner_for(CustomBlocks(faults_per_round=2, seed=7), 6)) is MatrixPlanAdapter
+        assert type(planner_for(CustomRotation(alpha=1, seed=7), 6)) is MatrixPlanAdapter
 
 
 class TestConfigEdgeCases:
