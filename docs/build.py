@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Offline documentation builder and link checker (stdlib only).
+
+CI builds the docs site without installing anything: this script parses
+the ``nav:`` block of ``mkdocs.yml``, renders every page's markdown to
+HTML under ``docs/_site/`` and **fails on warnings**:
+
+* a nav entry whose page file is missing;
+* a markdown page under ``docs/`` that is not reachable from the nav;
+* a dead relative link (to a page, a repo file or a heading anchor) in
+  any docs page or in ``README.md``'s links into ``docs/``;
+* a ``docs/reference/cli.md`` that is out of sync with
+  :func:`repro.cli.cli_reference_markdown`.
+
+Anyone with mkdocs installed can build the same nav with
+``mkdocs build --strict``; this builder exists so the site (and its
+warning gate) needs no network and no extra dependencies.
+
+Usage::
+
+    PYTHONPATH=src python docs/build.py --strict          # build + check
+    PYTHONPATH=src python docs/build.py --write-cli-reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+DEFAULT_SITE_DIR = DOCS_DIR / "_site"
+
+_NAV_ENTRY = re.compile(r"^\s+-\s*(.+?):\s*(\S+\.md)\s*$")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def parse_nav() -> List[Tuple[str, str]]:
+    """The ``nav:`` entries of mkdocs.yml as ``(title, relpath)`` pairs."""
+    entries: List[Tuple[str, str]] = []
+    in_nav = False
+    for line in MKDOCS_YML.read_text(encoding="utf-8").splitlines():
+        if line.startswith("nav:"):
+            in_nav = True
+            continue
+        if in_nav:
+            match = _NAV_ENTRY.match(line)
+            if match:
+                entries.append((match.group(1), match.group(2)))
+            elif line.strip() and not line.startswith((" ", "-", "#")):
+                break  # the next top-level key ends the nav block
+    return entries
+
+
+def slugify(text: str) -> str:
+    """GitHub-style heading slug (what ``#anchor`` links resolve against)."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _markdown_lines(text: str) -> Iterator[Tuple[bool, str]]:
+    """Lines of ``text`` flagged with whether they sit inside a code fence."""
+    fenced = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            yield True, line
+            continue
+        yield fenced, line
+
+
+def page_headings(text: str) -> List[str]:
+    """Anchor slugs of every heading outside code fences."""
+    slugs: List[str] = []
+    for fenced, line in _markdown_lines(text):
+        if fenced:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slugs.append(slugify(match.group(2)))
+    return slugs
+
+
+def page_links(text: str) -> List[str]:
+    """Link targets outside code fences (unparsed, possibly external)."""
+    targets: List[str] = []
+    for fenced, line in _markdown_lines(text):
+        if fenced:
+            continue
+        targets.extend(match.group(2) for match in _LINK.finditer(line))
+    return targets
+
+
+def check_links(
+    page_path: Path, text: str, headings_by_page: Dict[Path, List[str]]
+) -> List[str]:
+    """Warnings for dead relative links/anchors in one markdown file."""
+    warnings: List[str] = []
+    own = page_path.resolve()
+    for target in page_links(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # the builder is offline by design
+        base, _, anchor = target.partition("#")
+        resolved = own if not base else (page_path.parent / base).resolve()
+        if base and not resolved.exists():
+            warnings.append(f"{page_path}: dead link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            known = headings_by_page.get(resolved)
+            if known is None:
+                known = (
+                    page_headings(resolved.read_text(encoding="utf-8"))
+                    if resolved.exists()
+                    else []
+                )
+                headings_by_page[resolved] = known
+            if anchor not in known:
+                warnings.append(f"{page_path}: dead anchor -> {target}")
+    return warnings
+
+
+# ----------------------------------------------------------------------
+# A deliberately small markdown -> HTML renderer (headings, fences,
+# lists, tables, block quotes, paragraphs; inline code/bold/italic/links).
+# ----------------------------------------------------------------------
+def _inline(text: str) -> str:
+    text = html.escape(text, quote=False)
+    text = re.sub(r"`([^`]+)`", r"<code>\1</code>", text)
+    text = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", text)
+    text = re.sub(r"(?<![\w*])\*([^*\s][^*]*)\*(?![\w*])", r"<em>\1</em>", text)
+    def link(match: "re.Match[str]") -> str:
+        label, target = match.group(1), match.group(2)
+        if target.endswith(".md") or ".md#" in target:
+            target = target.replace(".md", ".html", 1)
+        return f'<a href="{target}">{label}</a>'
+
+    text = _LINK.sub(link, text)
+    return text
+
+
+def render_page(text: str) -> str:
+    """Render one markdown document to an HTML body."""
+    out: List[str] = []
+    lines = text.splitlines()
+    index = 0
+    paragraph: List[str] = []
+
+    def flush_paragraph() -> None:
+        if paragraph:
+            out.append(f"<p>{_inline(' '.join(paragraph))}</p>")
+            paragraph.clear()
+
+    while index < len(lines):
+        line = lines[index]
+        stripped = line.strip()
+        if _FENCE.match(stripped):
+            flush_paragraph()
+            fence_body: List[str] = []
+            index += 1
+            while index < len(lines) and not _FENCE.match(lines[index].strip()):
+                fence_body.append(lines[index])
+                index += 1
+            out.append(f"<pre><code>{html.escape(chr(10).join(fence_body))}</code></pre>")
+            index += 1
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            flush_paragraph()
+            level = len(heading.group(1))
+            title = heading.group(2)
+            out.append(
+                f'<h{level} id="{slugify(title)}">{_inline(title)}</h{level}>'
+            )
+            index += 1
+            continue
+        if stripped.startswith(("- ", "* ")) or re.match(r"^\d+\.\s", stripped):
+            flush_paragraph()
+            ordered = bool(re.match(r"^\d+\.\s", stripped))
+            tag = "ol" if ordered else "ul"
+            items: List[str] = []
+            while index < len(lines):
+                item = lines[index].strip()
+                if item.startswith(("- ", "* ")):
+                    items.append(item[2:])
+                elif re.match(r"^\d+\.\s", item):
+                    items.append(re.sub(r"^\d+\.\s", "", item))
+                elif item and items and lines[index].startswith(("  ", "\t")):
+                    items[-1] += " " + item  # hanging indent continues the item
+                else:
+                    break
+                index += 1
+            out.append(f"<{tag}>")
+            out.extend(f"<li>{_inline(item)}</li>" for item in items)
+            out.append(f"</{tag}>")
+            continue
+        if stripped.startswith("|"):
+            flush_paragraph()
+            rows: List[List[str]] = []
+            while index < len(lines) and lines[index].strip().startswith("|"):
+                cells = [cell.strip() for cell in lines[index].strip().strip("|").split("|")]
+                if not all(re.fullmatch(r":?-{3,}:?", cell) for cell in cells):
+                    rows.append(cells)
+                index += 1
+            out.append("<table>")
+            for row_index, cells in enumerate(rows):
+                tag = "th" if row_index == 0 else "td"
+                out.append(
+                    "<tr>" + "".join(f"<{tag}>{_inline(cell)}</{tag}>" for cell in cells) + "</tr>"
+                )
+            out.append("</table>")
+            continue
+        if stripped.startswith(">"):
+            flush_paragraph()
+            quoted: List[str] = []
+            while index < len(lines) and lines[index].strip().startswith(">"):
+                quoted.append(lines[index].strip().lstrip("> "))
+                index += 1
+            out.append(f"<blockquote><p>{_inline(' '.join(quoted))}</p></blockquote>")
+            continue
+        if not stripped:
+            flush_paragraph()
+            index += 1
+            continue
+        paragraph.append(stripped)
+        index += 1
+    flush_paragraph()
+    return "\n".join(out)
+
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title} — repro-ho</title>
+<style>
+body {{ font-family: system-ui, sans-serif; margin: 0; display: flex; }}
+nav {{ min-width: 16rem; padding: 1.5rem; background: #f6f6f4; min-height: 100vh; }}
+nav a {{ display: block; padding: .25rem 0; color: #1a4d8f; text-decoration: none; }}
+main {{ max-width: 46rem; padding: 1.5rem 2.5rem; line-height: 1.55; }}
+pre {{ background: #f2f1ec; padding: .75rem 1rem; overflow-x: auto; border-radius: 6px; }}
+code {{ background: #f2f1ec; padding: .05rem .3rem; border-radius: 4px; font-size: .92em; }}
+pre code {{ padding: 0; background: none; }}
+table {{ border-collapse: collapse; }}
+th, td {{ border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }}
+blockquote {{ border-left: 4px solid #ccc; margin-left: 0; padding-left: 1rem; color: #444; }}
+</style>
+</head>
+<body>
+<nav>
+<strong>repro-ho</strong>
+{nav}
+</nav>
+<main>
+{body}
+</main>
+</body>
+</html>
+"""
+
+
+def _relative_href(from_page: str, to_page: str) -> str:
+    depth = from_page.count("/")
+    return "../" * depth + to_page.replace(".md", ".html")
+
+
+def build_site(site_dir: Path, nav: List[Tuple[str, str]]) -> None:
+    """Render every nav page into ``site_dir`` with a sidebar nav."""
+    site_dir.mkdir(parents=True, exist_ok=True)
+    for title, relpath in nav:
+        source = DOCS_DIR / relpath
+        if not source.exists():
+            continue  # already reported as a warning
+        nav_html = "\n".join(
+            f'<a href="{_relative_href(relpath, other_path)}">{html.escape(other_title)}</a>'
+            for other_title, other_path in nav
+        )
+        body = render_page(source.read_text(encoding="utf-8"))
+        target = site_dir / relpath.replace(".md", ".html")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            _PAGE_TEMPLATE.format(title=html.escape(title), nav=nav_html, body=body),
+            encoding="utf-8",
+        )
+
+
+def _cli_reference() -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.cli import cli_reference_markdown
+    finally:
+        sys.path.pop(0)
+    return cli_reference_markdown()
+
+
+def collect_warnings() -> List[str]:
+    """Every docs-site warning: nav gaps, dead links, stale CLI reference."""
+    warnings: List[str] = []
+    nav = parse_nav()
+    if not nav:
+        return [f"{MKDOCS_YML}: no parseable nav entries"]
+    nav_paths = {relpath for _, relpath in nav}
+    for _, relpath in nav:
+        if not (DOCS_DIR / relpath).exists():
+            warnings.append(f"mkdocs.yml: nav entry {relpath!r} has no file")
+    for page in sorted(DOCS_DIR.rglob("*.md")):
+        relpath = page.relative_to(DOCS_DIR).as_posix()
+        if relpath.startswith("_site/"):
+            continue
+        if relpath not in nav_paths:
+            warnings.append(f"docs/{relpath}: not reachable from the mkdocs.yml nav")
+
+    headings_cache: Dict[Path, List[str]] = {}
+    for _, relpath in nav:
+        page = DOCS_DIR / relpath
+        if page.exists():
+            warnings.extend(
+                check_links(page, page.read_text(encoding="utf-8"), headings_cache)
+            )
+    readme = REPO_ROOT / "README.md"
+    warnings.extend(
+        check_links(readme, readme.read_text(encoding="utf-8"), headings_cache)
+    )
+
+    reference = DOCS_DIR / "reference" / "cli.md"
+    if reference.exists() and reference.read_text(encoding="utf-8") != _cli_reference():
+        warnings.append(
+            "docs/reference/cli.md is stale; regenerate with "
+            "'PYTHONPATH=src python docs/build.py --write-cli-reference'"
+        )
+    return warnings
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero on any warning"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_SITE_DIR, help="site output directory"
+    )
+    parser.add_argument(
+        "--write-cli-reference",
+        action="store_true",
+        help="regenerate docs/reference/cli.md from the argparse definitions and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_cli_reference:
+        target = DOCS_DIR / "reference" / "cli.md"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(_cli_reference(), encoding="utf-8")
+        print(f"wrote {target}")
+        return 0
+
+    warnings = collect_warnings()
+    build_site(args.out, parse_nav())
+    for warning in warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
+    print(f"built {len(parse_nav())} pages into {args.out} ({len(warnings)} warning(s))")
+    return 1 if (warnings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-``repro-ho`` (or ``python -m repro.cli``) exposes five subcommands:
+``repro-ho`` (or ``python -m repro.cli``) exposes six subcommands:
 
 * ``run``        — run one consensus instance (algorithm, scenario or
   custom fault environment) and print the outcome;
@@ -10,15 +10,23 @@
   through the parallel campaign runner, with worker processes
   (``--jobs``), per-run timeouts and an incremental on-disk result
   cache; with ``--distributed --queue-dir`` the campaign is submitted
-  to a shared-store work queue and executed by a worker fleet instead;
-* ``worker``     — join a worker fleet: claim batches from a shared
-  queue directory (lease-based, crash-safe) and execute them;
+  to a shared-store work queue and executed by a worker fleet instead
+  (add ``--autoscale`` to spawn and retire local workers automatically
+  while the campaign runs);
+* ``worker``     — join a worker fleet: claim batch intervals from a
+  shared queue directory (lease-based, crash-safe, work-stealing) and
+  execute them;
+* ``supervise``  — auto-scale a local worker fleet against a queue
+  directory from observed queue depth;
 * ``table``      — print the analytic tables (Table 1, the related-work
   comparison and the resilience table) without running simulations.
 
 ``campaign`` exits non-zero when any run of the campaign failed or
 timed out, printing the failure counts and (for distributed campaigns)
 the per-worker stats summary.
+
+The full generated reference lives at ``docs/reference/cli.md`` (kept
+in sync by a test); :func:`cli_reference_markdown` is its generator.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.runner import (
     DistributedCampaignRunner,
     ResultCache,
     RunTimeoutError,
+    Supervisor,
     campaign_report,
     make_reducer,
     reduced_campaign_report,
@@ -238,6 +247,40 @@ def _make_campaign_runner(args: argparse.Namespace, backend: str):
     return CampaignRunner(jobs=args.jobs, timeout=args.timeout, cache=cache, backend=backend)
 
 
+def _autoscale_supervisor(args: argparse.Namespace, backend: str):
+    """The background Supervisor for ``--autoscale`` (``None`` without it)."""
+    if not args.autoscale:
+        return None
+    return Supervisor(
+        queue=args.queue_dir,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        jobs=args.jobs,
+        backend=backend,
+        poll_interval=0.5,
+        worker_poll_interval=0.1,
+        idle_grace=2.0,
+    )
+
+
+def _status_printer():
+    """A Supervisor ``on_status`` callback printing scaling transitions."""
+    last: dict = {}
+
+    def emit(status) -> None:
+        key = (status["workers"], status["target"])
+        if key != last.get("key"):
+            last["key"] = key
+            print(
+                f"supervise: workers={status['workers']} target={status['target']} "
+                f"unclaimed={status['unclaimed_units']} "
+                f"pending_batches={status['pending_batches']}",
+                flush=True,
+            )
+
+    return emit
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -247,6 +290,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     if args.submit_only and not (args.distributed and args.spec):
         print("--submit-only requires --distributed and --spec", file=sys.stderr)
+        return 2
+    if args.autoscale and not args.distributed:
+        print("--autoscale requires --distributed", file=sys.stderr)
         return 2
     if args.distributed and (args.no_cache or args.cache_dir != ".repro_cache"):
         print(
@@ -265,6 +311,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         return 2
 
+    try:
+        supervisor = _autoscale_supervisor(args, backend)
+    except ValueError as exc:  # bad --min-workers/--max-workers bounds
+        print(str(exc), file=sys.stderr)
+        return 2
+    if supervisor is None:
+        return _run_campaign_command(args, backend)
+    # --autoscale: spawn/retire local workers while the campaign runs;
+    # the fleet is always retired on the way out, success or not.
+    supervisor.start()
+    try:
+        return _run_campaign_command(args, backend)
+    finally:
+        supervisor.stop()
+
+
+def _run_campaign_command(args: argparse.Namespace, backend: str) -> int:
+    """The campaign body: a ``--spec`` grid or a list of experiment ids."""
     if args.spec:
         try:
             spec = CampaignSpec.from_json(args.spec)
@@ -385,7 +449,36 @@ def _run_worker_loop(args: argparse.Namespace) -> int:
         ttl=args.ttl,
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
+        steal=not args.no_steal,
     )
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        supervisor = Supervisor(
+            queue=args.queue_dir,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            jobs=args.jobs,
+            backend=args.backend or "reference",
+            ttl=args.ttl,
+            timeout=args.timeout,
+            poll_interval=args.poll_interval,
+            idle_grace=args.idle_grace,
+            steal=not args.no_steal,
+            on_status=_status_printer(),
+        )
+    except ValueError as exc:  # bad bounds or a non-result-identical backend
+        print(str(exc), file=sys.stderr)
+        return 2
+    stats = supervisor.run(
+        exit_when_drained=args.exit_on_drain, max_runtime=args.max_runtime
+    )
+    print(f"supervisor: {stats.summary()}")
+    return 0
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -551,6 +644,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with --distributed: give up waiting for the fleet after this many seconds",
     )
+    campaign_parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "with --distributed: run an auto-scaling supervisor alongside the "
+            "campaign, spawning local workers ('repro-ho worker') from queue "
+            "depth between --min-workers and --max-workers and retiring them "
+            "when the queue drains"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=0,
+        help="with --autoscale: fleet floor (default 0)",
+    )
+    campaign_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        help="with --autoscale: fleet ceiling (default 4)",
+    )
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     worker_parser = subparsers.add_parser(
@@ -598,12 +713,89 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="exit after this many consecutive idle seconds (default: run forever; "
-        "set it above --ttl so crashed peers' batches can still be reclaimed)",
+        "set it above --ttl so crashed peers' batches can still be reclaimed). "
+        "Independently of --max-idle, the worker exits as soon as a supervisor "
+        "writes a retire marker for its id (see docs/distributed-queue.md)",
     )
     worker_parser.add_argument(
         "--worker-id", default=None, help="fleet-unique id (default host-pid)"
     )
+    worker_parser.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="never split peers' in-progress batches (work stealing is on by default)",
+    )
     worker_parser.set_defaults(func=_cmd_worker)
+
+    supervise_parser = subparsers.add_parser(
+        "supervise",
+        help="auto-scale a local worker fleet against a queue directory",
+        description=(
+            "Poll a shared queue directory's depth (unclaimed batch intervals, "
+            "live leases, deposit volume) and spawn or retire local "
+            "'repro-ho worker' processes between --min-workers and "
+            "--max-workers. Workers are retired through marker files — they "
+            "finish and deposit their current interval before exiting."
+        ),
+    )
+    supervise_parser.add_argument(
+        "--queue-dir",
+        default=".repro_queue",
+        help="shared queue directory to supervise (default .repro_queue)",
+    )
+    supervise_parser.add_argument(
+        "--min-workers", type=int, default=0, help="fleet floor (default 0)"
+    )
+    supervise_parser.add_argument(
+        "--max-workers", type=int, default=4, help="fleet ceiling (default 4)"
+    )
+    supervise_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per spawned worker (default 1)"
+    )
+    supervise_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="engine backend for spawned workers (default reference)",
+    )
+    supervise_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-run timeout for spawned workers"
+    )
+    supervise_parser.add_argument(
+        "--ttl",
+        type=float,
+        default=60.0,
+        help="lease time-to-live for spawned workers in seconds (default 60)",
+    )
+    supervise_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between supervisor depth polls (default 1)",
+    )
+    supervise_parser.add_argument(
+        "--idle-grace",
+        type=float,
+        default=3.0,
+        help="scale down only after the queue has been drained this long (default 3)",
+    )
+    supervise_parser.add_argument(
+        "--exit-on-drain",
+        action="store_true",
+        help="exit once the queue is drained and every spawned worker retired",
+    )
+    supervise_parser.add_argument(
+        "--max-runtime",
+        type=float,
+        default=None,
+        help="hard stop after this many seconds (default: run until interrupted)",
+    )
+    supervise_parser.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="spawn workers with work stealing disabled",
+    )
+    supervise_parser.set_defaults(func=_cmd_supervise)
 
     table_parser = subparsers.add_parser("table", help="print the analytic tables")
     table_parser.add_argument(
@@ -614,6 +806,61 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.set_defaults(func=_cmd_table)
 
     return parser
+
+
+def cli_reference_markdown() -> str:
+    """The generated CLI reference page (``docs/reference/cli.md``).
+
+    Renders ``--help`` for the top-level parser and every subcommand
+    into one markdown document.  Formatting is pinned to an 80-column
+    terminal so the output is deterministic; a test asserts the
+    committed page matches this function, so the reference can never
+    drift from the argparse definitions.  Regenerate with
+    ``PYTHONPATH=src python docs/build.py --write-cli-reference``.
+    """
+    import os
+
+    columns_before = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        lines = [
+            "# CLI reference",
+            "",
+            "<!-- AUTOGENERATED by repro.cli.cli_reference_markdown(); do not edit.",
+            "     Regenerate: PYTHONPATH=src python docs/build.py --write-cli-reference -->",
+            "",
+            "`repro-ho` (or `python -m repro.cli`) is the command-line surface of",
+            "this reproduction.  This page is generated from the argparse",
+            "definitions and kept in sync by `tests/docs/test_docs_site.py`.",
+            "",
+            "## `repro-ho`",
+            "",
+            "```text",
+            parser.format_help().rstrip(),
+            "```",
+            "",
+        ]
+        for name, subparser in subparsers.choices.items():
+            lines += [
+                f"## `repro-ho {name}`",
+                "",
+                "```text",
+                subparser.format_help().rstrip(),
+                "```",
+                "",
+            ]
+        return "\n".join(lines)
+    finally:
+        if columns_before is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = columns_before
 
 
 def main(argv: Optional[List[str]] = None) -> int:

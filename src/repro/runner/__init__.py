@@ -33,7 +33,10 @@ from repro.runner.distributed import (
     DistributedCampaignResult,
     DistributedCampaignRunner,
     DistributedReducedCampaignResult,
+    IncompleteCampaignError,
     Lease,
+    Supervisor,
+    SupervisorStats,
     Worker,
     WorkQueue,
     run_worker,
@@ -67,7 +70,16 @@ from repro.runner.reduce import (
     reduced_cache_key,
     reduced_data,
 )
-from repro.runner.store import CacheStore, LocalDirStore, PrefixStore, SharedStore
+from repro.runner.store import (
+    CacheStore,
+    FsspecObjectClient,
+    InMemoryObjectClient,
+    LocalDirStore,
+    ObjectClient,
+    ObjectStore,
+    PrefixStore,
+    SharedStore,
+)
 from repro.runner.spec import (
     CACHE_SCHEMA_VERSION,
     AdversarySpec,
@@ -93,9 +105,16 @@ __all__ = [
     "DistributedCampaignResult",
     "DistributedCampaignRunner",
     "DistributedReducedCampaignResult",
+    "FsspecObjectClient",
+    "InMemoryObjectClient",
+    "IncompleteCampaignError",
     "Lease",
     "LocalDirStore",
+    "ObjectClient",
+    "ObjectStore",
     "PrefixStore",
+    "Supervisor",
+    "SupervisorStats",
     "FaultProfileReducer",
     "PredicateReducer",
     "PredicateSpec",

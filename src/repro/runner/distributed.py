@@ -3,30 +3,51 @@
 A campaign can be executed by a fleet of independent worker processes —
 on one machine or many — coordinated **only** through a directory on a
 shared filesystem (the *queue dir*, backed by
-:class:`~repro.runner.store.SharedStore`).  There is no broker, no
-server and no network protocol: every coordination primitive is an
-atomic filesystem operation (exclusive create, atomic replace, fsync'd
-rename), so any host that can mount the directory can join the fleet.
+:class:`~repro.runner.store.SharedStore`) or any other
+:class:`~repro.runner.store.CacheStore` (e.g. an
+:class:`~repro.runner.store.ObjectStore` over an S3-style service).
+There is no broker, no server and no network protocol: every
+coordination primitive is an atomic store operation (exclusive create,
+atomic replace), so any host that can reach the store can join the
+fleet.
 
 Layout of a queue dir::
 
     <queue-dir>/
-      cache/                      # the fleet-shared ResultCache
-        <aa>/<sha256>.json        #   (same sharded layout as local caches)
+      cache/                        # the fleet-shared ResultCache
+        <aa>/<sha256>.json          #   (same sharded layout as local caches)
       campaigns/<campaign-id>/
-        manifest.json             # kind, batch count, pickled reducer
-        batches/<NNNNN>.json      # pickled RunTask payloads, in order
-        leases/<NNNNN>.json       # live claims: worker, heartbeat, TTL
-        results/<NNNNN>.json      # per-batch records + worker stats
+        manifest.json               # kind, batch count, pickled reducer
+        batches/<NNNNN>.json        # pickled RunTask payloads, in order
+        splits/<NNNNN>.<SSSS>.json  # cut markers: work-stealing split points
+        leases/<NNNNN>.p<AAAAA>.json  # live claims: worker, heartbeat, progress
+        results/<NNNNN>.p<AAAAA>-<CCCCC>.json  # part deposits: records for
+                                    #   tasks [AAAAA, AAAAA+CCCCC) of the batch
+      control/
+        retire/<worker-id>.json     # supervisor → worker shutdown requests
 
-Scheduling is *lease-based*: a worker claims a batch by exclusively
-creating its lease file and keeps the claim alive by heartbeating it; a
-lease whose heartbeat is older than its TTL is considered abandoned
-(crashed or partitioned worker) and any other worker may break it and
-re-claim the batch.  Leases are purely an efficiency device — runs are
-deterministic and records are content-addressed, so duplicate execution
-after a lease race produces byte-identical results and the
-first-writer-wins result file keeps aggregation consistent.
+Scheduling is *lease-based*: a worker claims a batch interval by
+exclusively creating its lease file and keeps the claim alive by
+heartbeating it (publishing how far into the interval it has reserved
+work); a lease whose heartbeat is older than its TTL is considered
+abandoned (crashed or partitioned worker) and any other worker may
+break it and re-claim the interval.
+
+**Work stealing** makes the fleet elastic across batch boundaries: an
+idle worker that finds no unclaimed work inspects live leases and
+splits the largest in-progress batch by exclusively creating a *cut
+marker* (first-writer-wins, crash-atomic — the same exclusive-create
+discipline as leases) at a point inside the lease holder's unstarted
+tail, then claims and executes the interval after the cut.  Cut markers
+are pure **scheduling hints**: correctness rests on the deposit
+protocol.  Workers deposit the records they actually executed as a
+*part* file naming its interval (``results/<batch>.p<start>-<count>``),
+the collector assembles records position-first-wins, and a batch is
+complete when its deposited parts cover every task.  Runs are
+deterministic and records content-addressed, so overlapping execution
+after any race (a stale progress read, a broken lease, a lost or torn
+cut marker) produces byte-identical records and never corrupts a
+campaign — duplicate work is the only cost.
 
 Execution is **byte-identical to serial runs**: batches enumerate tasks
 in submission order, workers execute them through the ordinary
@@ -46,8 +67,10 @@ Entry points
   ``run_reduced_campaign``), so every experiment driver accepts it via
   the existing ``runner=`` kwarg.
 * :class:`Worker` / :func:`run_worker` — the claiming loop
-  (``repro-ho worker --queue-dir ...``).
-* :class:`WorkQueue` — the shared-store protocol both sides speak.
+  (``repro-ho worker --queue-dir ...``), stealing by default.
+* :class:`Supervisor` — auto-scales a local worker fleet from queue
+  depth (``repro-ho supervise``, ``campaign --distributed --autoscale``).
+* :class:`WorkQueue` — the shared-store protocol all of them speak.
 """
 
 from __future__ import annotations
@@ -57,13 +80,16 @@ import json
 import logging
 import os
 import pickle
+import re
 import socket
+import subprocess
+import sys
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.cache import ResultCache
 from repro.runner.executor import (
@@ -84,21 +110,28 @@ from repro.simulation.backends import get_backend
 
 logger = logging.getLogger(__name__)
 
-#: Bump when the queue file formats change incompatibly.
-QUEUE_SCHEMA_VERSION = 1
+#: Bump when the queue file formats change incompatibly.  Version 2
+#: introduced interval part deposits and cut markers (work stealing);
+#: fleets must not mix members speaking different versions.
+QUEUE_SCHEMA_VERSION = 2
 
 #: Default lease time-to-live: a lease whose heartbeat is older than
 #: this is treated as abandoned and may be re-claimed by another worker.
 DEFAULT_LEASE_TTL = 60.0
 
+#: Smallest unstarted remainder (in tasks) worth splitting off a live
+#: lease: below this, stealing costs more scheduling than it saves.
+DEFAULT_MIN_STEAL = 2
+
 
 class IncompleteCampaignError(RuntimeError):
     """A campaign's results were incomplete at collect time.
 
-    Raised when a batch result is missing (or was an unreadable deposit,
-    now discarded) — e.g. a concurrent submitter requeued a failed batch
-    between our ``wait`` and ``collect``.  The submitter reacts by
-    waiting again; the batch re-executes and a later collect succeeds.
+    Raised when a batch's deposited parts do not cover all of its tasks
+    (or a deposit was unreadable, now discarded) — e.g. a concurrent
+    submitter requeued a failed batch between our ``wait`` and
+    ``collect``.  The submitter reacts by waiting again; the uncovered
+    interval re-executes and a later collect succeeds.
     """
 
 
@@ -134,22 +167,45 @@ def _batch_path(campaign_id: str, index: int) -> str:
     return f"campaigns/{campaign_id}/batches/{index:05d}.json"
 
 
-def _lease_path(campaign_id: str, index: int) -> str:
-    return f"campaigns/{campaign_id}/leases/{index:05d}.json"
+def _lease_path(campaign_id: str, index: int, start: int = 0) -> str:
+    return f"campaigns/{campaign_id}/leases/{index:05d}.p{start:05d}.json"
 
 
-def _result_path(campaign_id: str, index: int) -> str:
-    return f"campaigns/{campaign_id}/results/{index:05d}.json"
+def _part_path(campaign_id: str, index: int, start: int, count: int) -> str:
+    return f"campaigns/{campaign_id}/results/{index:05d}.p{start:05d}-{count:05d}.json"
+
+
+def _cut_path(campaign_id: str, index: int, seq: int) -> str:
+    return f"campaigns/{campaign_id}/splits/{index:05d}.{seq:04d}.json"
+
+
+def _retire_path(worker_id: str) -> str:
+    # Worker ids default to host-pid but are user-settable; squash
+    # anything path-hostile so a creative id cannot escape the store.
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", worker_id) or "_"
+    return f"control/retire/{safe}.json"
+
+
+_PART_NAME = re.compile(r"(\d{5})\.p(\d{5})-(\d{5})\.json\Z")
+_LEASE_NAME = re.compile(r"(\d{5})\.p(\d{5})\.json\Z")
+_CUT_NAME = re.compile(r"(\d{5})\.(\d{4})\.json\Z")
 
 
 @dataclass(frozen=True)
 class Lease:
-    """A worker's live claim on one batch."""
+    """A worker's live claim on one batch interval.
+
+    ``start`` is the first task index of the claimed interval; the
+    interval's end is dynamic — the next cut marker after ``start`` (or
+    the batch end), re-read between execution chunks so a thief's split
+    takes effect mid-flight.
+    """
 
     campaign_id: str
     batch_index: int
     worker_id: str
     ttl: float
+    start: int = 0
 
 
 class WorkQueue:
@@ -157,7 +213,8 @@ class WorkQueue:
 
     One instance wraps one queue directory.  Submitters enqueue batches
     of pickled :class:`RunTask`s under a campaign manifest; workers
-    claim batches via TTL'd lease files and deposit per-batch result
+    claim batch intervals via TTL'd lease files, split each other's
+    in-progress batches via cut markers, and deposit per-interval part
     files; either side reads completion state by listing the store.
     All clock comparisons use wall-clock timestamps *written into* the
     lease files (never filesystem mtimes, which shared filesystems skew).
@@ -271,13 +328,16 @@ class WorkQueue:
         )
 
     def manifest(self, campaign_id: str) -> Optional[Dict[str, object]]:
+        """The campaign's manifest, or ``None`` when absent/unreadable."""
         return self._read_json(_manifest_path(campaign_id))
 
     def reducer_for(self, manifest: Dict[str, object]) -> Optional[Reducer]:
+        """The manifest's pickled reducer, decoded (``None`` for records)."""
         encoded = manifest.get("reducer")
         return None if encoded is None else _decode_pickle(str(encoded))
 
     def load_batch(self, campaign_id: str, index: int) -> Optional[List[RunTask]]:
+        """The batch's pickled tasks, or ``None`` when unreadable."""
         payload = self._read_json(_batch_path(campaign_id, index))
         if payload is None:
             return None
@@ -290,10 +350,91 @@ class WorkQueue:
             )
             return None
 
+    @staticmethod
+    def batch_sizes(manifest: Dict[str, object]) -> List[int]:
+        """Per-batch task counts (every batch is full except the last)."""
+        num_tasks = int(manifest["num_tasks"])
+        num_batches = int(manifest["num_batches"])
+        batch_size = int(manifest["batch_size"])
+        return [
+            min(batch_size, num_tasks - index * batch_size) for index in range(num_batches)
+        ]
+
+    def parts(self, campaign_id: str) -> Dict[int, List[Tuple[int, int]]]:
+        """Deposited result parts per batch: ``{index: [(start, count), …]}``.
+
+        Read purely from part *filenames* (one store listing), so
+        completion polling never opens result payloads.
+        """
+        deposited: Dict[int, List[Tuple[int, int]]] = {}
+        for relpath in self.store.list(f"campaigns/{campaign_id}/results/*.json"):
+            match = _PART_NAME.search(relpath)
+            if match is None:
+                continue
+            index, start, count = (int(group) for group in match.groups())
+            deposited.setdefault(index, []).append((start, count))
+        for intervals in deposited.values():
+            intervals.sort()
+        return deposited
+
+    def cuts(self, campaign_id: str) -> Dict[int, List[int]]:
+        """Cut points per batch, sorted: ``{index: [at, …]}``.
+
+        Cut markers are scheduling hints only — an unreadable marker is
+        skipped (the deposit coverage protocol keeps correctness).
+        """
+        points: Dict[int, set] = {}
+        for relpath in self.store.list(f"campaigns/{campaign_id}/splits/*.json"):
+            match = _CUT_NAME.search(relpath)
+            if match is None:
+                continue
+            payload = self._read_json(relpath)
+            if payload is None:
+                continue
+            try:
+                at = int(payload["at"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                continue
+            points.setdefault(int(match.group(1)), set()).add(at)
+        return {index: sorted(cuts) for index, cuts in points.items()}
+
+    def add_cut(self, campaign_id: str, index: int, at: int, worker_id: str) -> bool:
+        """Record a split point for a batch; first writer wins.
+
+        The marker is crash-atomic (exclusive create of its full
+        content), so a thief killed at any point leaves either no marker
+        or a complete one.  Returns ``False`` when a concurrent thief
+        won the next marker slot — the caller simply re-scans.
+        """
+        existing = [
+            int(match.group(2))
+            for relpath in self.store.list(f"campaigns/{campaign_id}/splits/{index:05d}.*.json")
+            if (match := _CUT_NAME.search(relpath)) is not None
+        ]
+        seq = max(existing) + 1 if existing else 0
+        payload = json.dumps(
+            {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "at": at,
+                "by": worker_id,
+                "created_at": time.time(),
+            }
+        )
+        return self.store.try_create(_cut_path(campaign_id, index, seq), payload)
+
+    @staticmethod
+    def _covered(intervals: Sequence[Tuple[int, int]], num: int) -> bytearray:
+        """Positions of a batch covered by deposited parts (1 = covered)."""
+        covered = bytearray(num)
+        for start, count in intervals:
+            for position in range(max(start, 0), min(start + count, num)):
+                covered[position] = 1
+        return covered
+
     def pending(
         self, campaign_id: str, manifest: Optional[Dict[str, object]] = None
     ) -> List[int]:
-        """Batch indices that do not have a result yet, in order.
+        """Batch indices whose deposited parts do not cover every task.
 
         Pass an already-loaded ``manifest`` to skip re-reading it (the
         worker scan and the submitter's wait loop poll this frequently).
@@ -301,36 +442,109 @@ class WorkQueue:
         manifest = manifest if manifest is not None else self.manifest(campaign_id)
         if manifest is None:
             return []
+        deposited = self.parts(campaign_id)
         return [
             index
-            for index in range(int(manifest["num_batches"]))
-            if not self.store.exists(_result_path(campaign_id, index))
+            for index, num in enumerate(self.batch_sizes(manifest))
+            if not all(self._covered(deposited.get(index, ()), num))
         ]
 
-    def batch_done(self, campaign_id: str, index: int) -> bool:
-        return self.store.exists(_result_path(campaign_id, index))
+    def batch_done(
+        self, campaign_id: str, index: int, manifest: Optional[Dict[str, object]] = None
+    ) -> bool:
+        """Whether the batch's deposited parts cover all of its tasks."""
+        manifest = manifest if manifest is not None else self.manifest(campaign_id)
+        if manifest is None:
+            return False
+        num = self.batch_sizes(manifest)[index]
+        deposited = self.parts(campaign_id).get(index, ())
+        return all(self._covered(deposited, num))
 
-    def discard_result(self, campaign_id: str, index: int) -> bool:
-        """Drop a batch's result so the next submission re-executes it."""
-        return self.store.delete(_result_path(campaign_id, index))
+    def claimable_units(
+        self,
+        campaign_id: str,
+        manifest: Dict[str, object],
+        deposited: Optional[Dict[int, List[Tuple[int, int]]]] = None,
+    ) -> List[Tuple[int, int, int]]:
+        """Intervals ``(batch_index, start, end)`` with uncovered tasks.
+
+        Intervals are bounded by the batch's cut markers; every interval
+        returned has at least one task without a deposited record.  The
+        caller still races for the interval's lease — this is a scan,
+        not a claim.  Pass an already-listed ``deposited`` parts map to
+        avoid a redundant store listing (the supervisor's metrics scan).
+        """
+        deposited = deposited if deposited is not None else self.parts(campaign_id)
+        cut_points = self.cuts(campaign_id)
+        units: List[Tuple[int, int, int]] = []
+        for index, num in enumerate(self.batch_sizes(manifest)):
+            covered = self._covered(deposited.get(index, ()), num)
+            if all(covered):
+                continue
+            bounds = sorted(
+                {0, num, *(at for at in cut_points.get(index, ()) if 0 < at < num)}
+            )
+            for start, end in zip(bounds, bounds[1:]):
+                if not all(covered[start:end]):
+                    units.append((index, start, end))
+        return units
+
+    def batch_cuts(self, campaign_id: str, index: int) -> List[int]:
+        """Sorted cut points of one batch (a listing scoped to it, so
+        polling a single interval never scans the whole campaign)."""
+        points = set()
+        for relpath in self.store.list(f"campaigns/{campaign_id}/splits/{index:05d}.*.json"):
+            if _CUT_NAME.search(relpath) is None:
+                continue
+            payload = self._read_json(relpath)
+            if payload is None:
+                continue
+            try:
+                points.add(int(payload["at"]))  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                continue
+        return sorted(points)
+
+    def unit_end(self, campaign_id: str, index: int, start: int, num: int) -> int:
+        """The current end of the interval starting at ``start``: the
+        first cut marker after it, or the batch end.  Re-read between
+        execution chunks so a thief's split takes effect mid-flight."""
+        after = [at for at in self.batch_cuts(campaign_id, index) if start < at < num]
+        return min(after) if after else num
+
+    def unit_covered(self, campaign_id: str, index: int, start: int, num: int) -> bool:
+        """Whether deposited parts already cover the interval starting at
+        ``start`` (up to its current end).  Workers re-check this after
+        acquiring a lease: a peer may have deposited the interval between
+        the claimable scan and the claim, and re-executing a whole
+        covered interval would only produce a shadowed duplicate."""
+        end = self.unit_end(campaign_id, index, start, num)
+        covered = self._covered(self.parts(campaign_id).get(index, ()), num)
+        return all(covered[start:end])
 
     def complete(self, campaign_id: str) -> bool:
+        """Whether every batch of the campaign is fully covered."""
         return self.manifest(campaign_id) is not None and not self.pending(campaign_id)
 
     # ------------------------------------------------------------------
     # Leases
     # ------------------------------------------------------------------
     def try_acquire(
-        self, campaign_id: str, index: int, worker_id: str, ttl: float = DEFAULT_LEASE_TTL
+        self,
+        campaign_id: str,
+        index: int,
+        worker_id: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        start: int = 0,
     ) -> Optional[Lease]:
-        """Claim a batch; None when another worker holds a live lease.
+        """Claim a batch interval; None when another worker holds a live lease.
 
         An expired lease (heartbeat older than its TTL) is broken —
         deleted and re-raced through exclusive creation.  Two workers
         breaking the same expired lease can, in a narrow window, both
         believe they won; that only costs duplicate execution of a
-        deterministic batch (results are byte-identical and the result
-        file is first-writer-wins), never correctness.
+        deterministic interval (results are byte-identical and deposits
+        coverage-collected first-writer-wins), never correctness.
 
         Expiry compares this host's wall clock against the heartbeat
         timestamp *written by the lease holder*, so fleet machines need
@@ -339,15 +553,21 @@ class WorkQueue:
         expiry degrades throughput (duplicate execution) but never
         results — size the TTL well above the fleet's worst-case skew.
         """
-        lease = Lease(campaign_id=campaign_id, batch_index=index, worker_id=worker_id, ttl=ttl)
-        path = _lease_path(campaign_id, index)
+        lease = Lease(
+            campaign_id=campaign_id,
+            batch_index=index,
+            worker_id=worker_id,
+            ttl=ttl,
+            start=start,
+        )
+        path = _lease_path(campaign_id, index, start)
         if self.store.try_create(path, self._lease_payload(lease)):
             return lease
         existing = self._read_json(path)
         if existing is None:
             # Released between our create and read, or an unreadable
             # lease (foreign torn write): drop whatever is there so a
-            # corrupt file can never make the batch unclaimable, then
+            # corrupt file can never make the interval unclaimable, then
             # re-race.
             self.store.delete(path)
             return lease if self.store.try_create(path, self._lease_payload(lease)) else None
@@ -356,28 +576,66 @@ class WorkQueue:
         if time.time() - heartbeat_at <= existing_ttl:
             return None
         logger.warning(
-            "breaking expired lease on %s/%05d (worker %s, heartbeat %.1fs ago)",
-            campaign_id, index, existing.get("worker"), time.time() - heartbeat_at,
+            "breaking expired lease on %s/%05d.p%05d (worker %s, heartbeat %.1fs ago)",
+            campaign_id, index, start, existing.get("worker"), time.time() - heartbeat_at,
         )
         self.store.delete(path)
         return lease if self.store.try_create(path, self._lease_payload(lease)) else None
 
-    def heartbeat(self, lease: Lease) -> bool:
-        """Refresh a lease; False when it was lost to another worker."""
-        path = _lease_path(lease.campaign_id, lease.batch_index)
+    def heartbeat(self, lease: Lease, progress: Optional[int] = None) -> bool:
+        """Refresh a lease; False when it was lost to another worker.
+
+        ``progress`` publishes how far into the interval the holder has
+        *reserved* work (the first task index it has not committed to
+        execute).  Thieves read it to place cut markers beyond the
+        holder's reservation; a stale value only makes a thief steal
+        already-reserved tasks, which duplicate execution absorbs.
+        """
+        path = _lease_path(lease.campaign_id, lease.batch_index, lease.start)
         existing = self._read_json(path)
         if existing is None or existing.get("worker") != lease.worker_id:
             return False
-        self.store.write_text(path, self._lease_payload(lease))
+        if progress is None:
+            prior = existing.get("progress", lease.start)
+            progress = int(prior) if isinstance(prior, (int, float)) else lease.start
+        self.store.write_text(path, self._lease_payload(lease, progress))
         return True
 
     def release(self, lease: Lease) -> None:
-        path = _lease_path(lease.campaign_id, lease.batch_index)
+        """Drop the lease (only if still owned by ``lease.worker_id``)."""
+        path = _lease_path(lease.campaign_id, lease.batch_index, lease.start)
         existing = self._read_json(path)
         if existing is not None and existing.get("worker") == lease.worker_id:
             self.store.delete(path)
 
-    def _lease_payload(self, lease: Lease) -> str:
+    def leases(self, campaign_id: str) -> Dict[Tuple[int, int], Dict[str, object]]:
+        """All readable leases of a campaign: ``{(index, start): payload}``.
+
+        Each payload additionally carries ``age`` (seconds since its
+        heartbeat, by this host's clock) and ``progress`` normalised to
+        an ``int`` — the inputs of steal-candidate selection and of the
+        supervisor's liveness accounting.
+        """
+        found: Dict[Tuple[int, int], Dict[str, object]] = {}
+        now = time.time()
+        for relpath in self.store.list(f"campaigns/{campaign_id}/leases/*.json"):
+            match = _LEASE_NAME.search(relpath)
+            if match is None:
+                continue
+            payload = self._read_json(relpath)
+            if payload is None:
+                continue
+            index, start = int(match.group(1)), int(match.group(2))
+            payload = dict(payload)
+            payload["age"] = now - float(payload.get("heartbeat_at", 0.0))
+            raw_progress = payload.get("progress", start)
+            payload["progress"] = (
+                int(raw_progress) if isinstance(raw_progress, (int, float)) else start
+            )
+            found[(index, start)] = payload
+        return found
+
+    def _lease_payload(self, lease: Lease, progress: Optional[int] = None) -> str:
         now = time.time()
         return json.dumps(
             {
@@ -386,6 +644,7 @@ class WorkQueue:
                 "acquired_at": now,
                 "heartbeat_at": now,
                 "ttl": lease.ttl,
+                "progress": lease.start if progress is None else progress,
             }
         )
 
@@ -396,27 +655,41 @@ class WorkQueue:
         self,
         campaign_id: str,
         index: int,
+        start: int,
         records: Sequence[Union[RunRecord, ReducedRecord]],
         worker_id: str,
         stats: RunnerStats,
     ) -> bool:
-        """Deposit a batch's records; False when another worker won."""
+        """Deposit the records a worker executed for tasks
+        ``[start, start + len(records))`` of a batch; False when an
+        identical interval was already deposited (first writer wins).
+
+        Deposits may overlap after lease races or steals — the collector
+        assembles positions first-writer-wins, and determinism makes
+        overlapping records byte-identical, so any consistent set of
+        deposits covering the batch yields the same result.
+        """
         payload = json.dumps(
             {
                 "schema": QUEUE_SCHEMA_VERSION,
                 "worker": worker_id,
+                "start": start,
                 "stats": stats.as_dict(),
                 "records": [record.as_dict() for record in records],
                 "completed_at": time.time(),
             },
             allow_nan=False,
         )
-        return self.store.try_create(_result_path(campaign_id, index), payload)
+        return self.store.try_create(
+            _part_path(campaign_id, index, start, len(records)), payload
+        )
 
-    def poison(self, campaign_id: str, index: int, worker_id: str, reason: str) -> bool:
+    def poison(
+        self, campaign_id: str, index: int, num_tasks: int, worker_id: str, reason: str
+    ) -> bool:
         """Mark a batch permanently unexecutable (unreadable payload).
 
-        Deposits a poison marker in the batch's result slot so the
+        Deposits a poison marker covering the whole batch so the
         campaign completes and :meth:`collect` can raise a hard error,
         instead of the submitter waiting forever while workers cycle on
         the batch's lease.
@@ -425,57 +698,183 @@ class WorkQueue:
             {
                 "schema": QUEUE_SCHEMA_VERSION,
                 "worker": worker_id,
+                "start": 0,
                 "poisoned": reason,
                 "records": [],
                 "completed_at": time.time(),
             }
         )
-        return self.store.try_create(_result_path(campaign_id, index), payload)
+        return self.store.try_create(_part_path(campaign_id, index, 0, num_tasks), payload)
+
+    def discard_result(self, campaign_id: str, index: int) -> bool:
+        """Drop a batch's deposits (and cut markers) so the next
+        submission re-executes it from a clean slate."""
+        dropped = False
+        for relpath in self.store.list(f"campaigns/{campaign_id}/results/{index:05d}.p*.json"):
+            dropped = self.store.delete(relpath) or dropped
+        for relpath in self.store.list(f"campaigns/{campaign_id}/splits/{index:05d}.*.json"):
+            self.store.delete(relpath)
+        return dropped
 
     def collect(
         self, campaign_id: str
     ) -> Tuple[List[Union[RunRecord, ReducedRecord]], Dict[str, RunnerStats]]:
         """All records of a completed campaign, in task order, plus
-        per-worker stats accumulated over the batches each one executed."""
+        per-worker stats accumulated over the parts each one deposited.
+
+        Records are assembled *by position, first deposit wins*: each
+        part file covers an explicit interval, and overlapping intervals
+        (steals, lease races) are resolved deterministically.  A batch
+        with uncovered positions raises :class:`IncompleteCampaignError`.
+        """
         manifest = self.manifest(campaign_id)
         if manifest is None:
             raise KeyError(f"no campaign {campaign_id!r} in queue {self.queue_dir}")
         decode = ReducedRecord.from_dict if manifest["kind"] == "reduced" else RunRecord.from_dict
+        sizes = self.batch_sizes(manifest)
+        deposited = self.parts(campaign_id)
         records: List[Union[RunRecord, ReducedRecord]] = []
         worker_stats: Dict[str, RunnerStats] = {}
-        for index in range(int(manifest["num_batches"])):
-            payload = self._read_json(_result_path(campaign_id, index))
-            if payload is None:
-                # Either genuinely missing, or an unreadable result file
-                # (foreign torn write).  Drop the latter so the batch
-                # counts as pending again and re-executes instead of
-                # wedging the campaign forever.
-                discarded = self.store.delete(_result_path(campaign_id, index))
-                raise IncompleteCampaignError(
-                    f"campaign {campaign_id!r}: batch {index:05d} has no "
-                    + (
-                        "readable result (corrupt deposit discarded; "
-                        "the batch will re-execute)"
-                        if discarded
-                        else "result (campaign incomplete?)"
+        for index, num in enumerate(sizes):
+            slots: List[Optional[Dict[str, object]]] = [None] * num
+            for start, count in deposited.get(index, ()):
+                relpath = _part_path(campaign_id, index, start, count)
+                payload = self._read_json(relpath)
+                if payload is None:
+                    # An unreadable deposit (foreign torn write): drop it
+                    # so its interval counts as pending again and
+                    # re-executes instead of wedging the campaign forever.
+                    self.store.delete(relpath)
+                    raise IncompleteCampaignError(
+                        f"campaign {campaign_id!r}: batch {index:05d} part "
+                        f"p{start:05d}-{count:05d} has no readable result "
+                        f"(corrupt deposit discarded; the interval will re-execute)"
                     )
+                if payload.get("poisoned"):
+                    # Poison markers are not sticky either: drop the marker
+                    # so the batch requeues once the broken fleet member is
+                    # fixed, and surface a hard error for this collect.
+                    self.store.delete(relpath)
+                    raise RuntimeError(
+                        f"campaign {campaign_id!r}: batch {index:05d} was poisoned "
+                        f"by worker {payload.get('worker')}: {payload['poisoned']} "
+                        f"(marker discarded — fix the fleet and resubmit to retry)"
+                    )
+                if len(payload.get("records", ())) != count:
+                    # A parseable deposit that under- or over-fills its
+                    # declared interval (torn write on a non-atomic
+                    # backend, buggy foreign writer).  pending() counts
+                    # coverage from filenames, so leaving the file would
+                    # make wait() succeed and collect() fail forever —
+                    # discard it so the interval genuinely requeues.
+                    self.store.delete(relpath)
+                    raise IncompleteCampaignError(
+                        f"campaign {campaign_id!r}: batch {index:05d} part "
+                        f"p{start:05d}-{count:05d} carries "
+                        f"{len(payload.get('records', ()))} record(s) "
+                        f"(mis-filled deposit discarded; the interval will re-execute)"
+                    )
+                contributed = 0
+                for offset, entry in enumerate(payload.get("records", ())):
+                    position = start + offset
+                    if 0 <= position < num and slots[position] is None:
+                        slots[position] = entry
+                        contributed += 1
+                if contributed:
+                    # A part fully shadowed by earlier deposits (a lost
+                    # lease race) is dropped from the stats too, exactly
+                    # like v1 discarded the losing result file — partial
+                    # overlaps still count once per depositing worker.
+                    worker = str(payload.get("worker", "?"))
+                    worker_stats.setdefault(worker, RunnerStats()).merge(
+                        RunnerStats.from_dict(payload.get("stats", {}))
+                    )
+            uncovered = [position for position, entry in enumerate(slots) if entry is None]
+            if uncovered:
+                raise IncompleteCampaignError(
+                    f"campaign {campaign_id!r}: batch {index:05d} is missing "
+                    f"records for task positions {uncovered[:5]}"
+                    f"{'…' if len(uncovered) > 5 else ''} (campaign incomplete?)"
                 )
-            if payload.get("poisoned"):
-                # Poison markers are not sticky either: drop the marker
-                # so the batch requeues once the broken fleet member is
-                # fixed, and surface a hard error for this collect.
-                self.store.delete(_result_path(campaign_id, index))
-                raise RuntimeError(
-                    f"campaign {campaign_id!r}: batch {index:05d} was poisoned "
-                    f"by worker {payload.get('worker')}: {payload['poisoned']} "
-                    f"(marker discarded — fix the fleet and resubmit to retry)"
-                )
-            records.extend(decode(entry) for entry in payload["records"])
-            worker = str(payload.get("worker", "?"))
-            worker_stats.setdefault(worker, RunnerStats()).merge(
-                RunnerStats.from_dict(payload.get("stats", {}))
-            )
+            records.extend(decode(entry) for entry in slots)
         return records, worker_stats
+
+    # ------------------------------------------------------------------
+    # Worker shutdown protocol (supervisor → worker)
+    # ------------------------------------------------------------------
+    def request_retire(self, worker_id: str, reason: str = "supervisor scale-down") -> None:
+        """Ask a worker to exit after its current interval.
+
+        The marker is observed by :meth:`Worker.run` between queue scans
+        and between interval claims; the worker finishes the interval it
+        is executing (its deposit is never abandoned), deletes the
+        marker as an acknowledgement, and exits its loop.
+        """
+        self.store.write_text(
+            _retire_path(worker_id),
+            json.dumps(
+                {
+                    "schema": QUEUE_SCHEMA_VERSION,
+                    "worker": worker_id,
+                    "reason": reason,
+                    "requested_at": time.time(),
+                }
+            ),
+        )
+
+    def retire_requested(self, worker_id: str) -> bool:
+        """Whether a retire marker is present for ``worker_id``."""
+        return self.store.exists(_retire_path(worker_id))
+
+    def clear_retire(self, worker_id: str) -> bool:
+        """Remove a retire marker (the worker's acknowledgement)."""
+        return self.store.delete(_retire_path(worker_id))
+
+    # ------------------------------------------------------------------
+    # Fleet metrics (the supervisor's inputs)
+    # ------------------------------------------------------------------
+    def fleet_metrics(self) -> Dict[str, object]:
+        """One scan of queue depth, lease liveness and deposit volume.
+
+        Returns ``pending_batches`` (batches with uncovered tasks across
+        all campaigns), ``claimable_units`` (intervals with uncovered
+        tasks), ``unclaimed_units`` (those without a live lease),
+        ``live_leases`` (``{worker_id: count}``) and ``deposited_parts``
+        (total part files — its growth rate is the fleet's deposit rate).
+        """
+        pending_batches = 0
+        claimable_units = 0
+        unclaimed_units = 0
+        live_leases: Dict[str, int] = {}
+        deposited_parts = 0
+        for campaign_id in self.campaigns():
+            manifest = self.manifest(campaign_id)
+            if manifest is None:
+                continue
+            deposited = self.parts(campaign_id)
+            deposited_parts += sum(len(parts) for parts in deposited.values())
+            units = self.claimable_units(campaign_id, manifest, deposited=deposited)
+            pending_batches += len({index for index, _, _ in units})
+            claimable_units += len(units)
+            lease_map = self.leases(campaign_id)
+            for index, start, _ in units:
+                payload = lease_map.get((index, start))
+                live = (
+                    payload is not None
+                    and float(payload["age"]) <= float(payload.get("ttl", DEFAULT_LEASE_TTL))
+                )
+                if live:
+                    worker = str(payload.get("worker", "?"))
+                    live_leases[worker] = live_leases.get(worker, 0) + 1
+                else:
+                    unclaimed_units += 1
+        return {
+            "pending_batches": pending_batches,
+            "claimable_units": claimable_units,
+            "unclaimed_units": unclaimed_units,
+            "live_leases": live_leases,
+            "deposited_parts": deposited_parts,
+        }
 
     def _read_json(self, relpath: str) -> Optional[Dict[str, object]]:
         text = self.store.read_text(relpath)
@@ -490,18 +889,24 @@ class WorkQueue:
 
 
 class _LeaseHeartbeat(threading.Thread):
-    """Keeps one lease alive while its batch executes.
+    """Keeps one lease alive while its interval executes.
 
-    If the lease is lost (broken by a peer after a stall longer than the
-    TTL), the thread stops refreshing and flags it; the worker still
-    finishes the batch — duplicate execution is safe — but logs that the
-    result may be discarded in favour of the thief's.
+    Publishes the worker's last reserved progress with every refresh
+    (the executing thread also publishes synchronously at each chunk
+    boundary; a stale refresh in between can only *lower* the visible
+    progress, which makes thieves steal already-reserved tasks —
+    absorbed by duplicate execution).  If the lease is lost (broken by
+    a peer after a stall longer than the TTL), the thread stops
+    refreshing and flags it; the worker still finishes the interval —
+    duplicate execution is safe — but its deposit may be shadowed by
+    the thief's at collect time.
     """
 
     def __init__(self, queue: WorkQueue, lease: Lease) -> None:
         super().__init__(daemon=True, name=f"lease-{lease.campaign_id[:8]}-{lease.batch_index}")
         self.queue = queue
         self.lease = lease
+        self.progress = lease.start
         self.interval = max(lease.ttl / 3.0, 0.05)
         self.lost = False
         self._stop_event = threading.Event()
@@ -509,15 +914,15 @@ class _LeaseHeartbeat(threading.Thread):
     def run(self) -> None:
         while not self._stop_event.wait(self.interval):
             try:
-                alive = self.queue.heartbeat(self.lease)
+                alive = self.queue.heartbeat(self.lease, progress=self.progress)
             except OSError as exc:  # pragma: no cover - transient fs hiccup
                 logger.warning("heartbeat failed transiently: %s", exc)
                 continue
             if not alive:
                 self.lost = True
                 logger.warning(
-                    "lost lease on %s/%05d while executing it",
-                    self.lease.campaign_id, self.lease.batch_index,
+                    "lost lease on %s/%05d.p%05d while executing it",
+                    self.lease.campaign_id, self.lease.batch_index, self.lease.start,
                 )
                 return
 
@@ -527,14 +932,24 @@ class _LeaseHeartbeat(threading.Thread):
 
 
 class Worker:
-    """One member of the fleet: a claim-execute-deposit loop.
+    """One member of the fleet: a claim-execute-deposit loop that steals.
 
-    Scans every campaign in the queue, claims pending batches through
-    leases, executes them with an ordinary :class:`CampaignRunner`
-    (``jobs`` worker processes, the fleet-shared cache, the configured
-    engine backend) and deposits per-batch results.  Completely
-    stateless between batches — killing a worker at any point loses at
-    most the lease TTL of progress.
+    Scans every campaign in the queue, claims pending batch intervals
+    through leases, executes them in chunks with an ordinary
+    :class:`CampaignRunner` (``jobs`` worker processes, the fleet-shared
+    cache, the configured engine backend) and deposits per-interval
+    results.  When a scan finds no claimable work, the worker turns
+    thief: it inspects live leases, splits the largest in-progress
+    batch's unstarted tail with a cut marker and executes the stolen
+    interval, so one straggler batch no longer bounds campaign
+    wall-clock.  Completely stateless between intervals — killing a
+    worker at any point loses at most the lease TTL of progress.
+
+    Shutdown: the loop exits on ``max_idle`` seconds without work, or
+    as soon as a supervisor's retire marker for this worker id appears
+    (observed between interval claims; the current interval always
+    finishes and deposits first, and the marker is deleted as the
+    acknowledgement).
     """
 
     def __init__(
@@ -546,11 +961,15 @@ class Worker:
         timeout: Optional[float] = None,
         ttl: float = DEFAULT_LEASE_TTL,
         poll_interval: float = 0.5,
+        steal: bool = True,
+        min_steal: int = DEFAULT_MIN_STEAL,
     ) -> None:
         self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.ttl = ttl
         self.poll_interval = poll_interval
+        self.steal = steal
+        self.min_steal = max(2, min_steal)
         self.runner = CampaignRunner(
             jobs=jobs,
             timeout=timeout,
@@ -558,40 +977,120 @@ class Worker:
             backend=_require_equivalent_backend(backend),
         )
         self.batches_executed = 0
+        self.steals = 0
+        self._retire = False
         self._load_failures: Dict[Tuple[str, int], int] = {}
 
+    def _retire_pending(self) -> bool:
+        if not self._retire and self.queue.retire_requested(self.worker_id):
+            self._retire = True
+        return self._retire
+
     def run_once(self) -> int:
-        """One scan over the queue; returns how many batches were executed."""
+        """One scan over the queue; returns how many intervals were executed."""
         executed = 0
         for campaign_id in self.queue.campaigns():
             manifest = self.queue.manifest(campaign_id)
             if manifest is None:
                 continue
-            for index in self.queue.pending(campaign_id, manifest=manifest):
-                lease = self.queue.try_acquire(campaign_id, index, self.worker_id, ttl=self.ttl)
+            for index, start, _ in self.queue.claimable_units(campaign_id, manifest):
+                if self._retire_pending():
+                    return executed
+                lease = self.queue.try_acquire(
+                    campaign_id, index, self.worker_id, ttl=self.ttl, start=start
+                )
                 if lease is None:
                     continue
-                if self.queue.batch_done(campaign_id, index):
-                    # A peer deposited the result between our pending
-                    # scan and the claim; don't execute it twice.
+                num = self.queue.batch_sizes(manifest)[index]
+                if self.queue.unit_covered(campaign_id, index, start, num):
+                    # A peer covered this interval between our scan and
+                    # the claim; don't execute it twice.
                     self.queue.release(lease)
                     continue
                 try:
-                    if self._execute_batch(manifest, lease):
+                    if self._execute_unit(manifest, lease):
                         executed += 1
                 except Exception as exc:
                     # Infra failure (not a run failure: those become
-                    # failure records).  Leave the batch for a retry.
+                    # failure records).  Leave the interval for a retry.
                     logger.warning(
-                        "batch %s/%05d failed in worker %s (%s: %s); releasing for retry",
-                        campaign_id, index, self.worker_id, type(exc).__name__, exc,
+                        "interval %s/%05d.p%05d failed in worker %s (%s: %s); "
+                        "releasing for retry",
+                        campaign_id, index, start, self.worker_id,
+                        type(exc).__name__, exc,
                     )
                 finally:
                     self.queue.release(lease)
         self.batches_executed += executed
         return executed
 
-    def _execute_batch(self, manifest: Dict[str, object], lease: Lease) -> bool:
+    # ------------------------------------------------------------------
+    # Stealing
+    # ------------------------------------------------------------------
+    def steal_once(self) -> int:
+        """Split the largest live in-progress interval and execute its tail.
+
+        Candidate selection reads every live lease's published progress;
+        the cut lands halfway into the unstarted remainder (binary work
+        splitting: repeated steals converge the fleet onto even shares),
+        at least :attr:`min_steal` tasks from the end.  Returns how many
+        stolen intervals were executed (0 or 1); always 0 for a worker
+        constructed with ``steal=False``.
+        """
+        if not self.steal:
+            return 0
+        best: Optional[Tuple[int, str, Dict[str, object], int, int]] = None
+        for campaign_id in self.queue.campaigns():
+            manifest = self.queue.manifest(campaign_id)
+            if manifest is None:
+                continue
+            sizes = self.queue.batch_sizes(manifest)
+            deposited = self.queue.parts(campaign_id)
+            cut_points = self.queue.cuts(campaign_id)
+            for (index, start), payload in self.queue.leases(campaign_id).items():
+                if payload.get("worker") == self.worker_id:
+                    continue
+                if float(payload["age"]) > float(payload.get("ttl", self.ttl)):
+                    continue  # expired: claimable through the normal scan
+                num = sizes[index] if 0 <= index < len(sizes) else 0
+                if num == 0:
+                    continue
+                covered = self.queue._covered(deposited.get(index, ()), num)
+                after = [at for at in cut_points.get(index, ()) if start < at < num]
+                end = min(after) if after else num
+                if all(covered[start:end]):
+                    continue  # stale lease over finished work
+                reserved = max(int(payload["progress"]), start)
+                free = end - reserved
+                if free < self.min_steal:
+                    continue
+                cut_at = end - free // 2
+                if best is None or free > best[0]:
+                    best = (free, campaign_id, manifest, index, cut_at)
+        if best is None:
+            return 0
+        _, campaign_id, manifest, index, cut_at = best
+        if not self.queue.add_cut(campaign_id, index, cut_at, self.worker_id):
+            return 0  # lost the marker race; re-scan next loop
+        lease = self.queue.try_acquire(
+            campaign_id, index, self.worker_id, ttl=self.ttl, start=cut_at
+        )
+        if lease is None:
+            return 0
+        num = self.queue.batch_sizes(manifest)[index]
+        if self.queue.unit_covered(campaign_id, index, cut_at, num):
+            self.queue.release(lease)
+            return 0
+        try:
+            executed = int(self._execute_unit(manifest, lease))
+        finally:
+            self.queue.release(lease)
+        if executed:
+            self.steals += 1
+            self.batches_executed += 1
+        return executed
+
+    def _execute_unit(self, manifest: Dict[str, object], lease: Lease) -> bool:
         reducer = None
         try:
             tasks = self.queue.load_batch(lease.campaign_id, lease.batch_index)
@@ -612,61 +1111,116 @@ class Worker:
             key = (lease.campaign_id, lease.batch_index)
             self._load_failures[key] = self._load_failures.get(key, 0) + 1
             if self._load_failures[key] >= 3:
+                num = self.queue.batch_sizes(manifest)[lease.batch_index]
                 self.queue.poison(
                     lease.campaign_id,
                     lease.batch_index,
+                    num,
                     self.worker_id,
                     "batch payload unreadable (corrupt file or incompatible "
                     "repro version on this worker)",
                 )
             return False
+        num = len(tasks)
         heartbeat = _LeaseHeartbeat(self.queue, lease)
         heartbeat.start()
         before = self.runner.stats.snapshot()
+        chunk = max(1, self.runner.jobs)
+        # Store I/O between chunks (cut re-reads, synchronous progress
+        # publication) is throttled to this cadence: per-chunk scheduling
+        # traffic would dominate cheap runs on a remote store.  Staleness
+        # is safe in both directions — a late-observed cut only makes the
+        # victim over-run into work the thief duplicates, and a lagging
+        # progress value only makes thieves steal already-reserved tasks.
+        sync_interval = max(0.05, min(0.5, lease.ttl / 20.0))
+        last_sync = float("-inf")
+        end = num
+        records: List[Union[RunRecord, ReducedRecord]] = []
+        position = lease.start
         try:
-            if reducer is not None:
-                records = self.runner.run_reduced(tasks, reducer, capture_errors=True)
-            else:
-                records = self.runner.run_tasks(tasks, capture_errors=True)
+            while True:
+                now = time.monotonic()
+                if now - last_sync >= sync_interval:
+                    last_sync = now
+                    # The interval's end is dynamic: a thief's cut marker
+                    # shrinks it mid-flight.
+                    end = self.queue.unit_end(
+                        lease.campaign_id, lease.batch_index, lease.start, num
+                    )
+                if position >= end:
+                    break
+                reserve = min(position + chunk, end)
+                # Publish the reservation *before* executing it (through
+                # the heartbeat thread's next refresh, and synchronously
+                # on the sync cadence), so a thief reading our progress
+                # rarely cuts inside work we are about to run — and a
+                # stale read still only costs duplicate execution.
+                heartbeat.progress = reserve
+                if last_sync == now:
+                    self.queue.heartbeat(lease, progress=reserve)
+                window = tasks[position:reserve]
+                if reducer is not None:
+                    records.extend(self.runner.run_reduced(window, reducer, capture_errors=True))
+                else:
+                    records.extend(self.runner.run_tasks(window, capture_errors=True))
+                position = reserve
         finally:
             heartbeat.stop()
+        if not records:
+            return False
         deposited = self.queue.write_result(
             lease.campaign_id,
             lease.batch_index,
+            lease.start,
             records,
             self.worker_id,
             self.runner.stats.since(before),
         )
         if not deposited:
             logger.info(
-                "batch %s/%05d already had a result (lease race); discarding duplicate",
-                lease.campaign_id, lease.batch_index,
+                "interval %s/%05d.p%05d already had a deposit (lease race); "
+                "duplicate shadowed at collect",
+                lease.campaign_id, lease.batch_index, lease.start,
             )
         return True
 
     def run(self, max_idle: Optional[float] = None) -> int:
-        """Poll until stopped; returns total batches executed.
+        """Poll until stopped; returns total intervals executed.
 
         With ``max_idle`` the worker exits after that many consecutive
         seconds without finding claimable work (set it above the lease
         TTL so a crashed peer's batches can still expire and be
         reclaimed before giving up).  Without it the loop runs forever —
-        the long-lived fleet-member mode.
+        the long-lived fleet-member mode.  Either way the loop also
+        exits when a supervisor writes a retire marker for this worker
+        id (see :meth:`WorkQueue.request_retire`); the marker is
+        deleted on the way out as the acknowledgement.
         """
         idle_since: Optional[float] = None
-        while True:
-            executed = self.run_once()
-            if executed:
-                idle_since = None
-                continue
-            now = time.monotonic()
-            if idle_since is None:
-                idle_since = now
-            if max_idle is not None and now - idle_since >= max_idle:
-                return self.batches_executed
-            time.sleep(self.poll_interval)
+        try:
+            while True:
+                if self._retire_pending():
+                    return self.batches_executed
+                executed = self.run_once()
+                if not executed and self.steal and not self._retire_pending():
+                    executed = self.steal_once()
+                if executed:
+                    idle_since = None
+                    continue
+                if self._retire_pending():
+                    return self.batches_executed
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if max_idle is not None and now - idle_since >= max_idle:
+                    return self.batches_executed
+                time.sleep(self.poll_interval)
+        finally:
+            if self._retire:
+                self.queue.clear_retire(self.worker_id)
 
     def close(self) -> None:
+        """Shut down the worker's execution pool."""
         self.runner.close()
 
 
@@ -679,6 +1233,7 @@ def run_worker(
     ttl: float = DEFAULT_LEASE_TTL,
     poll_interval: float = 0.5,
     max_idle: Optional[float] = None,
+    steal: bool = True,
 ) -> int:
     """Run one worker loop to completion (the ``repro-ho worker`` body)."""
     worker = Worker(
@@ -689,11 +1244,329 @@ def run_worker(
         timeout=timeout,
         ttl=ttl,
         poll_interval=poll_interval,
+        steal=steal,
     )
     try:
         return worker.run(max_idle=max_idle)
     finally:
         worker.close()
+
+
+# ----------------------------------------------------------------------
+# The auto-scaling supervisor
+# ----------------------------------------------------------------------
+@dataclass
+class SupervisorStats:
+    """Counters one :class:`Supervisor` accumulates over its run."""
+
+    polls: int = 0
+    spawned: int = 0
+    retired: int = 0
+    peak_workers: int = 0
+
+    def summary(self) -> str:
+        """One-line rendering for CLI status output."""
+        return (
+            f"polls={self.polls} spawned={self.spawned} "
+            f"retired={self.retired} peak_workers={self.peak_workers}"
+        )
+
+
+class _ManagedWorker:
+    """A supervisor-owned worker process and its lifecycle flags."""
+
+    def __init__(self, worker_id: str, process: "subprocess.Popen[bytes]") -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.retiring = False
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+class Supervisor:
+    """Auto-scales a local worker fleet from observed queue depth.
+
+    Polls the queue's :meth:`~WorkQueue.fleet_metrics` — claimable
+    interval depth, lease liveness and deposit volume — and spawns or
+    retires local ``repro-ho worker`` processes to keep the fleet
+    between ``min_workers`` and ``max_workers``:
+
+    * **scale up** when there are unclaimed intervals no live lease
+      covers (demand = unclaimed intervals + this supervisor's busy
+      workers, clamped to the bounds);
+    * **scale down** when the queue has been fully drained for
+      ``idle_grace`` seconds — idle workers are asked to exit through
+      retire markers (:meth:`WorkQueue.request_retire`), never killed,
+      so an in-flight interval always finishes and deposits first.
+
+    The supervisor owns only the workers it spawned; foreign fleet
+    members (other machines, other supervisors) are observed through
+    their leases and simply reduce measured demand.  Worker processes
+    get a ``--max-idle`` safety net so a crashed supervisor cannot leak
+    pollers forever.
+
+    ``spawn`` is injectable for tests (it must return an object with the
+    ``subprocess.Popen`` lifecycle surface: ``poll``/``terminate``/
+    ``wait``/``kill``).
+    """
+
+    def __init__(
+        self,
+        queue: Union[WorkQueue, str, Path],
+        min_workers: int = 0,
+        max_workers: int = 2,
+        jobs: int = 1,
+        backend: str = "reference",
+        ttl: float = DEFAULT_LEASE_TTL,
+        timeout: Optional[float] = None,
+        poll_interval: float = 1.0,
+        worker_poll_interval: float = 0.2,
+        idle_grace: float = 3.0,
+        worker_max_idle: float = 600.0,
+        steal: bool = True,
+        spawn: Optional[Callable[[str], object]] = None,
+        on_status: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> None:
+        if min_workers < 0:
+            raise ValueError(f"min_workers must be >= 0, got {min_workers}")
+        if max_workers < max(min_workers, 1):
+            raise ValueError(
+                f"max_workers must be >= max(min_workers, 1), got {max_workers}"
+            )
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        if spawn is None and getattr(self.queue.store, "root", None) is None:
+            # The default spawner launches `repro-ho worker --queue-dir`
+            # subprocesses, which can only coordinate over a filesystem
+            # queue dir; silently spawning them against a queue whose
+            # store is an object client would build a fleet that polls
+            # the wrong place forever.
+            raise ValueError(
+                "the default worker spawner only speaks filesystem queue dirs; "
+                "supervising a WorkQueue over a custom store (e.g. ObjectStore) "
+                "requires injecting spawn=..."
+            )
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.jobs = jobs
+        self.backend = _require_equivalent_backend(backend)
+        self.ttl = ttl
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.worker_poll_interval = worker_poll_interval
+        self.idle_grace = idle_grace
+        self.worker_max_idle = worker_max_idle
+        self.steal = steal
+        self.stats = SupervisorStats()
+        self.workers: List[_ManagedWorker] = []
+        self._spawn = spawn if spawn is not None else self._spawn_process
+        self._on_status = on_status
+        self._counter = 0
+        self._idle_since: Optional[float] = None
+        self._drain_to_zero = False
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- process management ------------------------------------------------------
+    def _spawn_process(self, worker_id: str) -> "subprocess.Popen[bytes]":
+        """Launch a ``repro-ho worker`` subprocess against this queue."""
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        prior = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = f"{src_dir}:{prior}" if prior else src_dir
+        command = [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--queue-dir", str(self.queue.queue_dir),
+            "--worker-id", worker_id,
+            "--jobs", str(self.jobs),
+            "--ttl", str(self.ttl),
+            "--poll-interval", str(self.worker_poll_interval),
+            "--max-idle", str(self.worker_max_idle),
+        ]
+        if self.backend != "reference":
+            command += ["--backend", self.backend]
+        if self.timeout is not None:
+            command += ["--timeout", str(self.timeout)]
+        if not self.steal:
+            command += ["--no-steal"]
+        return subprocess.Popen(
+            command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+
+    def _next_worker_id(self) -> str:
+        self._counter += 1
+        return f"sup-{socket.gethostname()}-{os.getpid()}-{self._counter}"
+
+    def _reap(self) -> None:
+        """Forget exited workers (clearing any unacknowledged markers)."""
+        survivors: List[_ManagedWorker] = []
+        for managed in self.workers:
+            if managed.alive():
+                survivors.append(managed)
+                continue
+            # A worker that crashed before acknowledging its marker must
+            # not leave it behind to insta-retire a future namesake.
+            self.queue.clear_retire(managed.worker_id)
+        self.workers = survivors
+
+    def _scale_up(self, count: int) -> None:
+        for _ in range(count):
+            worker_id = self._next_worker_id()
+            process = self._spawn(worker_id)
+            self.workers.append(_ManagedWorker(worker_id, process))
+            self.stats.spawned += 1
+            logger.info("supervisor spawned worker %s", worker_id)
+
+    def _scale_down(self, count: int, busy_ids: Dict[str, int]) -> None:
+        # Idle workers first; a busy worker is only retired when the
+        # target drops below the busy count (it still finishes and
+        # deposits its current interval before exiting).
+        candidates = sorted(
+            (managed for managed in self.workers if not managed.retiring),
+            key=lambda managed: busy_ids.get(managed.worker_id, 0),
+        )
+        for managed in candidates[:count]:
+            self.queue.request_retire(managed.worker_id)
+            managed.retiring = True
+            self.stats.retired += 1
+            logger.info("supervisor retiring worker %s", managed.worker_id)
+
+    # -- the control loop --------------------------------------------------------
+    def poll_once(self) -> Dict[str, object]:
+        """One observe-decide-act step; returns the status snapshot."""
+        self._reap()
+        metrics = self.queue.fleet_metrics()
+        busy_ids = {
+            worker: count
+            for worker, count in dict(metrics["live_leases"]).items()
+            if any(managed.worker_id == worker for managed in self.workers)
+        }
+        busy = len(busy_ids)
+        drained = int(metrics["pending_batches"]) == 0
+        now = time.monotonic()
+        if drained:
+            self._idle_since = self._idle_since if self._idle_since is not None else now
+        else:
+            self._idle_since = None
+        idle_for = 0.0 if self._idle_since is None else now - self._idle_since
+
+        demand = int(metrics["unclaimed_units"]) + busy
+        target = min(self.max_workers, max(self.min_workers, demand))
+        if drained and idle_for >= self.idle_grace:
+            # In drain-and-exit mode the floor drops to zero, otherwise
+            # min_workers would be kept alive forever and the run loop's
+            # "every worker retired" exit condition could never hold.
+            target = 0 if self._drain_to_zero else self.min_workers
+
+        active = [managed for managed in self.workers if not managed.retiring]
+        if len(active) < target:
+            self._scale_up(target - len(active))
+        elif len(active) > target:
+            self._scale_down(len(active) - target, busy_ids)
+
+        self.stats.polls += 1
+        self.stats.peak_workers = max(self.stats.peak_workers, len(self.workers))
+        status = {
+            **metrics,
+            "busy": busy,
+            "drained": drained,
+            "idle_for": round(idle_for, 2),
+            "target": target,
+            "workers": len(self.workers),
+        }
+        if self._on_status is not None:
+            self._on_status(status)
+        return status
+
+    def run(
+        self,
+        exit_when_drained: bool = False,
+        max_runtime: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> SupervisorStats:
+        """The supervision loop (the ``repro-ho supervise`` body).
+
+        With ``exit_when_drained`` the loop ends once the queue has been
+        drained for ``idle_grace`` seconds and every managed worker has
+        been retired and reaped — the one-shot "drain this queue" mode
+        (the scale-down floor drops to zero for it, overriding
+        ``min_workers``).  ``stop`` (an external event) and
+        ``max_runtime`` both end the loop unconditionally.  All exits
+        retire and reap the remaining fleet before returning.
+        """
+        stop = stop if stop is not None else self._stop_event
+        self._drain_to_zero = exit_when_drained
+        deadline = None if max_runtime is None else time.monotonic() + max_runtime
+        try:
+            while not stop.is_set():
+                status = self.poll_once()
+                if exit_when_drained and bool(status["drained"]) and not self.workers:
+                    if float(status["idle_for"]) >= self.idle_grace:
+                        break
+                if deadline is not None and time.monotonic() >= deadline:
+                    logger.warning("supervisor hit max_runtime; shutting down")
+                    break
+                stop.wait(self.poll_interval)
+        finally:
+            self.shutdown()
+        return self.stats
+
+    def shutdown(self, kill_after: float = 30.0) -> None:
+        """Retire every managed worker and wait for the fleet to exit.
+
+        Workers that outlive ``kill_after`` seconds (wedged on a hung
+        run) are terminated; their leases expire and their intervals
+        requeue, so no work is lost.
+        """
+        self._reap()
+        for managed in self.workers:
+            if not managed.retiring:
+                self.queue.request_retire(managed.worker_id, reason="supervisor shutdown")
+                managed.retiring = True
+        deadline = time.monotonic() + kill_after
+        for managed in self.workers:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                managed.process.wait(timeout=remaining)
+            except Exception:
+                logger.warning(
+                    "worker %s did not retire within %.0fs; terminating",
+                    managed.worker_id, kill_after,
+                )
+                managed.process.terminate()
+                try:
+                    managed.process.wait(timeout=5.0)
+                except Exception:  # pragma: no cover - last resort
+                    managed.process.kill()
+            self.queue.clear_retire(managed.worker_id)
+        self.workers = []
+
+    # -- background mode (``campaign --autoscale``) ------------------------------
+    def start(self) -> None:
+        """Run the supervision loop in a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self.run, kwargs={"stop": self._stop_event}, daemon=True,
+            name="repro-supervisor",
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background loop and retire the fleet."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=60.0)
+        self._thread = None
+
+    def __enter__(self) -> "Supervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
 
 
 @dataclass
@@ -725,10 +1598,14 @@ class DistributedCampaignRunner:
     ----------
     queue_dir:
         The shared queue directory workers poll
-        (``repro-ho worker --queue-dir ...``).
+        (``repro-ho worker --queue-dir ...``), or a :class:`WorkQueue`
+        (e.g. one over an :class:`~repro.runner.store.ObjectStore`).
     batch_size:
         Tasks per claimable batch: the unit of scheduling (and of loss
-        when a worker crashes).
+        when a worker crashes).  Work stealing subdivides batches
+        dynamically, so a large batch size costs less than it used to —
+        but the split granularity is still bounded by the chunk size of
+        the executing worker.
     wait_timeout:
         Upper bound in seconds on waiting for the fleet (``None`` =
         wait forever); on expiry a :class:`RunTimeoutError` names the
@@ -740,7 +1617,7 @@ class DistributedCampaignRunner:
 
     def __init__(
         self,
-        queue_dir: Union[str, Path],
+        queue_dir: Union[str, Path, WorkQueue],
         batch_size: int = 8,
         backend: str = "reference",
         poll_interval: float = 0.2,
@@ -776,6 +1653,7 @@ class DistributedCampaignRunner:
         return self._run(tasks, kind="reduced", reducer=reducer, capture_errors=capture_errors)
 
     def run_simulations(self, tasks: Sequence[RunTask]):
+        """Refused: full results are too heavy for the shared store."""
         raise NotImplementedError(
             "full SimulationResults (n² × rounds heard-of collections) are too "
             "heavy for the shared store; use run_tasks or run_reduced, whose "
@@ -860,7 +1738,7 @@ class DistributedCampaignRunner:
         )
 
     def wait(self, campaign_id: str, timeout: Optional[float] = None) -> None:
-        """Block until every batch of ``campaign_id`` has a result."""
+        """Block until every batch of ``campaign_id`` is fully covered."""
         timeout = timeout if timeout is not None else self.wait_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:

@@ -166,6 +166,7 @@ def available_adversaries() -> List[str]:
 
 
 def build_adversary(spec: AdversarySpec, n: int, seed: int) -> Adversary:
+    """Materialise a declarative adversary spec into a live adversary."""
     builder = _ADVERSARIES.get(spec.name)
     if builder is None:
         raise KeyError(
@@ -178,6 +179,7 @@ def build_adversary(spec: AdversarySpec, n: int, seed: int) -> Adversary:
 # Workloads (initial values)
 # ----------------------------------------------------------------------
 def build_workload(spec: WorkloadSpec, n: int, seed: int) -> Mapping[ProcessId, Value]:
+    """Generate the initial values the spec's named workload describes."""
     params = dict(spec.params)
     if spec.name == "unanimous":
         return generators.unanimous(n, value=params.get("value", 0))
@@ -200,6 +202,7 @@ def build_workload(spec: WorkloadSpec, n: int, seed: int) -> Mapping[ProcessId, 
 # Predicates
 # ----------------------------------------------------------------------
 def build_predicate(spec: Optional[PredicateSpec], n: int) -> Optional[CommunicationPredicate]:
+    """Materialise a predicate spec (``None`` passes through)."""
     if spec is None:
         return None
     params = dict(spec.params)

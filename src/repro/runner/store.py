@@ -18,6 +18,13 @@ paths.  This module factors that storage surface into a
   :meth:`~LocalDirStore.try_create` (exclusive create), the primitive
   the lease-based :class:`repro.runner.distributed.WorkQueue` is built
   on.
+* :class:`ObjectStore` — the same surface over a generic get/put/
+  create-if-absent key-value client (:class:`ObjectClient`), proving the
+  store seam extends beyond shared filesystems: an S3-style bucket, a
+  key-value service or the in-process :class:`InMemoryObjectClient`
+  test fake all plug in through five methods.  An optional
+  ``fsspec``-backed client (:class:`FsspecObjectClient`) adapts any
+  fsspec filesystem when that library is installed.
 
 Entries are content-addressed by their callers — cache keys are SHA-256
 config hashes and queue paths embed campaign/batch digests — so
@@ -28,9 +35,26 @@ payloads and last-writer-wins replacement is safe.
 from __future__ import annotations
 
 import os
+import re
 import tempfile
+import threading
 from pathlib import Path
-from typing import List, Optional, Protocol, Union, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Union, runtime_checkable
+
+
+def check_relpath(relpath: str) -> str:
+    """Validate a store-relative path; raises on anything escaping the root.
+
+    All stores share one path discipline: relative, ``/``-separated,
+    no ``..`` segments and no absolute paths.  Paths are internally
+    generated (hash digests, zero-padded batch indices), so this cheap
+    segment check is the whole defence — and it must hold for *every*
+    implementation, not just the filesystem ones.
+    """
+    parts = Path(relpath).parts
+    if Path(relpath).is_absolute() or ".." in parts or not parts:
+        raise ValueError(f"store path {relpath!r} escapes the store root")
+    return relpath
 
 
 @runtime_checkable
@@ -81,13 +105,8 @@ class LocalDirStore:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, relpath: str) -> Path:
-        # Paths are internally generated (hash digests, zero-padded batch
-        # indices), so a cheap segment check suffices — no per-call
-        # resolve() on the cache hot path.
-        parts = Path(relpath).parts
-        if Path(relpath).is_absolute() or ".." in parts or not parts:
-            raise ValueError(f"store path {relpath!r} escapes the store root")
-        return self.root / relpath
+        """The absolute path of ``relpath``, after escape validation."""
+        return self.root / check_relpath(relpath)
 
     def read_text(self, relpath: str) -> Optional[str]:
         try:
@@ -214,7 +233,10 @@ class PrefixStore:
         return None if inner_root is None else inner_root / self.prefix
 
     def _prefixed(self, relpath: str) -> str:
-        return f"{self.prefix}/{relpath}"
+        # Validate *before* prefixing: "cache" + "/etc/passwd" would
+        # otherwise read as a harmless relative path to the inner store,
+        # silently reinterpreting an escape attempt instead of rejecting it.
+        return f"{self.prefix}/{check_relpath(relpath)}"
 
     def read_text(self, relpath: str) -> Optional[str]:
         return self.inner.read_text(self._prefixed(relpath))
@@ -237,3 +259,231 @@ class PrefixStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PrefixStore {self.prefix}/ over {self.inner!r}>"
+
+
+@runtime_checkable
+class ObjectClient(Protocol):
+    """Minimal keyed-blob client an :class:`ObjectStore` adapts.
+
+    This is the shape of every flat object service: S3-style buckets,
+    key-value stores, fsspec filesystems.  Keys are the store's relative
+    paths (already escape-validated by :class:`ObjectStore`); values are
+    raw bytes.  ``put_if_absent`` should be atomic where the backing
+    service offers conditional puts; a check-then-put fallback is
+    acceptable because the work queue tolerates create races by design
+    (runs are deterministic and deposits content-addressed — a lost race
+    only costs duplicate execution, never correctness).
+    """
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The object's bytes, or ``None`` when absent."""
+        ...
+
+    def put(self, key: str, data: bytes) -> None:
+        """Create or replace the object."""
+        ...
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        """Create the object iff absent; True when this call won."""
+        ...
+
+    def delete(self, key: str) -> bool:
+        """Remove the object; True when it existed."""
+        ...
+
+    def list_keys(self, prefix: str) -> List[str]:
+        """All keys starting with ``prefix``, in any order."""
+        ...
+
+
+class InMemoryObjectClient:
+    """A thread-safe in-process :class:`ObjectClient` fake for tests.
+
+    Atomic ``put_if_absent`` under a lock, so it faithfully models a
+    service with conditional puts; tests drive the whole cache and work
+    queue over it without touching the filesystem.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            return self._objects.get(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._objects[key] = bytes(data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        with self._lock:
+            if key in self._objects:
+                return False
+            self._objects[key] = bytes(data)
+            return True
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self._objects.pop(key, None) is not None
+
+    def list_keys(self, prefix: str) -> List[str]:
+        with self._lock:
+            return [key for key in self._objects if key.startswith(prefix)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._objects)
+
+
+class FsspecObjectClient:
+    """An :class:`ObjectClient` over any ``fsspec`` filesystem (optional).
+
+    ``fsspec`` is *not* a dependency of this package; constructing this
+    client without it installed raises a clear ``ImportError``.  With it,
+    any fsspec URL (``s3://bucket/prefix``, ``memory://…``, ``file://…``)
+    becomes a :class:`CacheStore` via ``ObjectStore(FsspecObjectClient(url))``.
+    ``put_if_absent`` is check-then-put — not atomic on most object
+    backends — which the work queue tolerates (see :class:`ObjectClient`).
+    """
+
+    def __init__(self, url: str, **storage_options: object) -> None:
+        try:
+            import fsspec
+        except ImportError as exc:  # pragma: no cover - exercised only sans fsspec
+            raise ImportError(
+                "FsspecObjectClient requires the optional 'fsspec' package "
+                "(pip install fsspec); for tests use InMemoryObjectClient instead"
+            ) from exc
+        self.fs, self.base = fsspec.core.url_to_fs(url, **storage_options)
+        self.base = self.base.rstrip("/")
+
+    def _key_path(self, key: str) -> str:
+        return f"{self.base}/{key}" if self.base else key
+
+    def get(self, key: str) -> Optional[bytes]:
+        # Only a missing object maps to None; transient I/O errors
+        # (throttles, resets) must propagate — swallowing them would make
+        # live queue state look absent (e.g. a peer's lease "unreadable",
+        # inviting a live-lease seizure).
+        try:
+            with self.fs.open(self._key_path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._key_path(key)
+        parent = path.rsplit("/", 1)[0]
+        if parent and parent != path:
+            self.fs.makedirs(parent, exist_ok=True)
+        with self.fs.open(path, "wb") as handle:
+            handle.write(data)
+
+    def put_if_absent(self, key: str, data: bytes) -> bool:
+        if self.fs.exists(self._key_path(key)):
+            return False
+        self.put(key, data)
+        return True
+
+    def delete(self, key: str) -> bool:
+        try:
+            self.fs.rm(self._key_path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def exists(self, key: str) -> bool:
+        """Presence without a payload transfer (``ObjectStore`` prefers
+        this optional method over downloading the object)."""
+        return bool(self.fs.exists(self._key_path(key)))
+
+    def list_keys(self, prefix: str) -> List[str]:
+        pattern = self._key_path(prefix) + "**"
+        skip = len(self.base) + 1 if self.base else 0
+        return [
+            str(path)[skip:]
+            for path in self.fs.glob(pattern)
+            if self.fs.isfile(path)
+        ]
+
+
+def _glob_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a store glob to a regex with pathlib semantics.
+
+    ``fnmatch`` lets ``*`` cross ``/`` separators, but the filesystem
+    stores use :meth:`pathlib.Path.glob`, where it does not; the object
+    store must match them so queue listings behave identically on every
+    backend.
+    """
+    out = []
+    for fragment in re.split(r"(\*|\?)", pattern):
+        if fragment == "*":
+            out.append(r"[^/]*")
+        elif fragment == "?":
+            out.append(r"[^/]")
+        else:
+            out.append(re.escape(fragment))
+    return re.compile("".join(out) + r"\Z")
+
+
+class ObjectStore:
+    """A :class:`CacheStore` over a generic :class:`ObjectClient`.
+
+    Proves the store seam extends beyond shared filesystems: the result
+    cache and the distributed work queue run unchanged over any keyed
+    blob service.  Text is UTF-8; ``list`` translates the store's glob
+    patterns onto the client's prefix listing (with filesystem-``glob``
+    semantics: ``*`` never crosses ``/``).
+
+    Atomicity is delegated to the client: ``put`` replaces whole objects
+    (readers of a keyed blob service never observe partial writes) and
+    ``try_create`` maps to ``put_if_absent``.  See :class:`ObjectClient`
+    for why a non-atomic ``put_if_absent`` fallback is still safe for
+    the work queue.
+    """
+
+    #: Durability is the client's concern; the adapter adds no buffering.
+    durable = True
+
+    def __init__(self, client: ObjectClient) -> None:
+        self.client = client
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        data = self.client.get(check_relpath(relpath))
+        if data is None:
+            return None
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
+
+    def write_text(self, relpath: str, text: str) -> None:
+        self.client.put(check_relpath(relpath), text.encode("utf-8"))
+
+    def try_create(self, relpath: str, text: str) -> bool:
+        return self.client.put_if_absent(check_relpath(relpath), text.encode("utf-8"))
+
+    def delete(self, relpath: str) -> bool:
+        return self.client.delete(check_relpath(relpath))
+
+    def exists(self, relpath: str) -> bool:
+        key = check_relpath(relpath)
+        # Clients may offer a cheap presence probe (a HEAD-style call);
+        # it is optional on the protocol, so fall back to get() — fine
+        # for in-process fakes, wasteful only for remote payloads.
+        probe = getattr(self.client, "exists", None)
+        if callable(probe):
+            return bool(probe(key))
+        return self.client.get(key) is not None
+
+    def list(self, pattern: str) -> List[str]:
+        check_relpath(pattern)
+        prefix = re.split(r"[*?]", pattern, maxsplit=1)[0]
+        matcher = _glob_to_regex(pattern)
+        return sorted(
+            key for key in self.client.list_keys(prefix) if matcher.match(key)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ObjectStore over {type(self.client).__name__}>"

@@ -39,6 +39,7 @@ def _payload_from_jsonable(obj: object) -> Payload:
 
 
 def reception_vector_to_dict(rv: ReceptionVector) -> Dict[str, object]:
+    """JSON-able encoding of one receiver's per-round reception."""
     return {
         "receiver": rv.receiver,
         "received": {str(s): _payload_to_jsonable(v) for s, v in rv.received.items()},
@@ -47,6 +48,7 @@ def reception_vector_to_dict(rv: ReceptionVector) -> Dict[str, object]:
 
 
 def reception_vector_from_dict(data: Dict[str, object]) -> ReceptionVector:
+    """Rebuild a :class:`ReceptionVector` from its dict encoding."""
     return ReceptionVector(
         receiver=int(data["receiver"]),
         received={int(s): _payload_from_jsonable(v) for s, v in data["received"].items()},
@@ -55,6 +57,7 @@ def reception_vector_from_dict(data: Dict[str, object]) -> ReceptionVector:
 
 
 def round_record_to_dict(record: RoundRecord) -> Dict[str, object]:
+    """JSON-able encoding of one round's full reception record."""
     return {
         "round_num": record.round_num,
         "receptions": {
@@ -64,6 +67,7 @@ def round_record_to_dict(record: RoundRecord) -> Dict[str, object]:
 
 
 def round_record_from_dict(data: Dict[str, object]) -> RoundRecord:
+    """Rebuild a :class:`RoundRecord` from its dict encoding."""
     return RoundRecord(
         round_num=int(data["round_num"]),
         receptions={

@@ -7,10 +7,16 @@ therefore byte-identical report rows) and share cache entries across
 modes.  Worker processes are real OS processes (``multiprocessing``
 with the fork start method) coordinating purely through the shared
 queue directory, exactly as a multi-machine fleet would.
+
+The elastic-fleet suites extend the guarantee to work stealing (cut
+markers must survive races and crashes without ever changing a record)
+and to the auto-scaling supervisor (spawn/retire decisions, the retire
+marker shutdown protocol, end-to-end drain).
 """
 
 import json
 import multiprocessing
+import threading
 import time
 
 import pytest
@@ -22,9 +28,12 @@ from repro.runner import (
     CampaignSpec,
     DecisionReducer,
     DistributedCampaignRunner,
+    InMemoryObjectClient,
+    ObjectStore,
     PredicateSpec,
     ResultCache,
     SharedStore,
+    Supervisor,
     Worker,
     WorkQueue,
     campaign_report,
@@ -145,7 +154,7 @@ class TestWorkQueue:
         """A torn/unreadable lease (foreign non-atomic writer, disk
         mishap) must never make a batch permanently unclaimable."""
         queue = WorkQueue(tmp_path)
-        queue.store.write_text("campaigns/c/leases/00000.json", "{torn")
+        queue.store.write_text("campaigns/c/leases/00000.p00000.json", "{torn")
         lease = queue.try_acquire("c", 0, "rescuer", ttl=30)
         assert lease is not None and lease.worker_id == "rescuer"
 
@@ -156,20 +165,44 @@ class TestWorkQueue:
         queue = WorkQueue(tmp_path)
         tasks = [task_from_spec(spec) for spec in demo_spec(runs=1).expand()]
         campaign_id = queue.submit(tasks, batch_size=len(tasks))
-        queue.store.write_text(f"campaigns/{campaign_id}/results/00000.json", "")
+        queue.store.write_text(
+            f"campaigns/{campaign_id}/results/00000.p00000-{len(tasks):05d}.json", ""
+        )
         assert queue.pending(campaign_id) == []  # looks complete ...
         with pytest.raises(RuntimeError, match="corrupt deposit discarded"):
             queue.collect(campaign_id)
         assert queue.pending(campaign_id) == [0]  # ... requeued now
 
+    def test_misfilled_deposit_is_discarded_and_requeued(self, tmp_path):
+        """A parseable deposit whose record list under-fills the interval
+        its filename declares (torn write on a non-atomic backend) must
+        be discarded at collect time — filename-based coverage would
+        otherwise satisfy wait() while collect() fails forever."""
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=1).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        queue.store.write_text(
+            f"campaigns/{campaign_id}/results/00000.p00000-{len(tasks):05d}.json",
+            json.dumps({"schema": 2, "worker": "liar", "start": 0,
+                        "stats": {}, "records": []}),
+        )
+        assert queue.pending(campaign_id) == []  # filenames look complete ...
+        with pytest.raises(RuntimeError, match="mis-filled deposit discarded"):
+            queue.collect(campaign_id)
+        assert queue.pending(campaign_id) == [0]  # ... requeued for real now
+
     def test_result_files_are_first_writer_wins(self, tmp_path):
         from repro.runner.records import RunnerStats, RunRecord
 
         queue = WorkQueue(tmp_path)
-        record = RunRecord(agreement=True)
-        assert queue.write_result("c", 0, [record], "alice", RunnerStats())
-        assert not queue.write_result("c", 0, [record], "bob", RunnerStats())
-        assert queue.batch_done("c", 0)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=1).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        records = [RunRecord(agreement=True) for _ in tasks]
+        assert queue.write_result(campaign_id, 0, 0, records, "alice", RunnerStats())
+        assert not queue.write_result(campaign_id, 0, 0, records, "bob", RunnerStats())
+        assert queue.batch_done(campaign_id, 0)
+        _, worker_stats = queue.collect(campaign_id)
+        assert set(worker_stats) == {"alice"}
 
 
 class TestDifferentialModes:
@@ -467,6 +500,16 @@ class TestCampaignCliExitCodes:
         assert main(["campaign", "E1", "--distributed", "--batch-size", "0"]) == 2
         assert "--batch-size must be >= 1" in capsys.readouterr().err
 
+    def test_autoscale_flag_validation_exits_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "E1", "--autoscale"]) == 2
+        assert "--autoscale requires --distributed" in capsys.readouterr().err
+        # Bad bounds surface the Supervisor's message, never a traceback.
+        assert main(["campaign", "E1", "--distributed", "--autoscale",
+                     "--max-workers", "0"]) == 2
+        assert "max_workers" in capsys.readouterr().err
+
     def test_green_campaign_exits_zero(self, tmp_path, capsys):
         from repro.cli import main
 
@@ -520,3 +563,534 @@ class TestCampaignCliExitCodes:
         # a full cache hit (the per-worker summary only appears on
         # invocations whose runs the fleet executed live).
         assert "cache_hits=8" in distributed_out
+
+
+def wait_until(condition, timeout=30.0, interval=0.02, message="condition"):
+    """Poll ``condition`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = condition()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestWorkStealing:
+    """Cross-batch work stealing: cut markers, races, crashes."""
+
+    def test_claimable_units_follow_cut_markers(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=2).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        manifest = queue.manifest(campaign_id)
+        num = len(tasks)
+        assert queue.claimable_units(campaign_id, manifest) == [(0, 0, num)]
+        assert queue.add_cut(campaign_id, 0, num // 2, "thief")
+        assert queue.claimable_units(campaign_id, manifest) == [
+            (0, 0, num // 2),
+            (0, num // 2, num),
+        ]
+        # A covered interval disappears from the scan.
+        from repro.runner.records import RunnerStats, RunRecord
+
+        queue.write_result(
+            campaign_id, 0, num // 2,
+            [RunRecord(agreement=True) for _ in range(num - num // 2)],
+            "thief", RunnerStats(),
+        )
+        assert queue.claimable_units(campaign_id, manifest) == [(0, 0, num // 2)]
+        assert queue.pending(campaign_id) == [0]
+
+    def test_claimed_interval_already_covered_is_not_reexecuted(self, tmp_path):
+        """A peer can deposit an interval between a worker's claimable
+        scan and its claim; the post-claim coverage re-check must skip
+        it instead of re-executing a whole shadowed duplicate."""
+        from repro.runner.records import RunnerStats, RunRecord
+
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=2).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        num = len(tasks)
+        queue.add_cut(campaign_id, 0, num // 2, "thief")
+        assert not queue.unit_covered(campaign_id, 0, 0, num)
+        queue.write_result(
+            campaign_id, 0, num // 2,
+            [RunRecord(agreement=True) for _ in range(num - num // 2)],
+            "peer", RunnerStats(),
+        )
+        assert queue.unit_covered(campaign_id, 0, num // 2, num)
+        assert not queue.unit_covered(campaign_id, 0, 0, num)
+
+    def test_fully_shadowed_deposits_do_not_inflate_worker_stats(self, tmp_path):
+        """Two racing deposits covering the same interval under different
+        filenames must count once: the shadowed part's stats are dropped."""
+        from repro.runner.records import RunnerStats, RunRecord
+
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=1).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        num = len(tasks)
+        records = [RunRecord(agreement=True) for _ in range(num)]
+        winner_stats = RunnerStats(total=num, executed=num)
+        loser_stats = RunnerStats(total=num - 1, executed=num - 1)
+        assert queue.write_result(campaign_id, 0, 0, records, "winner", winner_stats)
+        # The loser deposited a different interval shape (lease race after
+        # a cut), so first-writer-wins on the filename does not stop it.
+        assert queue.write_result(
+            campaign_id, 0, 1, records[1:], "loser", loser_stats
+        )
+        _, worker_stats = queue.collect(campaign_id)
+        assert set(worker_stats) == {"winner"}
+        assert worker_stats["winner"].executed == num
+
+    def test_unit_end_shrinks_when_a_cut_lands_mid_flight(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=2).expand()]
+        campaign_id = queue.submit(tasks, batch_size=len(tasks))
+        num = len(tasks)
+        assert queue.unit_end(campaign_id, 0, 0, num) == num
+        queue.add_cut(campaign_id, 0, 5, "thief")
+        assert queue.unit_end(campaign_id, 0, 0, num) == 5
+        assert queue.unit_end(campaign_id, 0, 5, num) == num
+
+    @pytest.mark.slow
+    def test_steal_splits_straggler_batch(self, tmp_path):
+        """An idle worker must split a straggler batch via a cut marker
+        and execute the stolen tail — with records byte-identical to an
+        unstolen run."""
+        spec = slow_spec(runs=8, delay=0.1, campaign_id="dist-steal")
+        serial = CampaignRunner().run_campaign(spec)
+
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=8, wait_timeout=WAIT)
+        campaign_id = runner.submit_campaign(spec)
+
+        victim = Worker(WorkQueue(queue_dir), worker_id="victim", ttl=30, poll_interval=0.05)
+        thief = Worker(WorkQueue(queue_dir), worker_id="thief", ttl=30, poll_interval=0.05)
+        victim_thread = threading.Thread(target=victim.run, kwargs=dict(max_idle=2.0))
+        victim_thread.start()
+        queue = WorkQueue(queue_dir)
+        # Only start the thief once the victim holds the batch, so the
+        # claim/steal roles are deterministic.
+        wait_until(
+            lambda: queue.leases(campaign_id), message="victim to claim the batch"
+        )
+        thief_thread = threading.Thread(target=thief.run, kwargs=dict(max_idle=2.0))
+        thief_thread.start()
+        victim_thread.join()
+        thief_thread.join()
+        victim.close()
+        thief.close()
+
+        assert thief.steals >= 1, "idle worker never stole from the straggler"
+        assert queue.cuts(campaign_id), "no cut marker was recorded"
+        parts = queue.parts(campaign_id)[0]
+        assert len(parts) >= 2, f"expected split deposits, got {parts}"
+
+        result = runner.run_campaign(spec)
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in result.records
+        ]
+        _, worker_stats = queue.collect(campaign_id)
+        assert set(worker_stats) == {"victim", "thief"}
+
+    def test_steal_race_has_single_cut_and_lease_winner(self, tmp_path):
+        """Two thieves racing the same split point must resolve to one
+        cut marker and one tail lease (first-writer-wins, exclusive
+        create) — and the campaign must still complete byte-identically."""
+        spec = demo_spec(runs=2, campaign_id="dist-steal-race")
+        serial = CampaignRunner().run_campaign(spec)
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=16, wait_timeout=30)
+        campaign_id = runner.submit_campaign(spec)
+        queue = WorkQueue(queue_dir)
+        num = int(queue.manifest(campaign_id)["num_tasks"])
+
+        # A live victim lease with published progress, as thieves see it.
+        victim_lease = queue.try_acquire(campaign_id, 0, "victim", ttl=30)
+        assert victim_lease is not None
+        queue.heartbeat(victim_lease, progress=2)
+
+        cut_at = num // 2
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def thief(name):
+            barrier.wait()
+            won_cut = queue.add_cut(campaign_id, 0, cut_at, name)
+            lease = queue.try_acquire(campaign_id, 0, name, ttl=30, start=cut_at)
+            outcomes[name] = (won_cut, lease)
+
+        threads = [threading.Thread(target=thief, args=(f"t{i}",)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sum(1 for won, _ in outcomes.values() if won) == 1
+        winners = [lease for _, lease in outcomes.values() if lease is not None]
+        assert len(winners) == 1, "both thieves claimed the stolen tail"
+        assert queue.cuts(campaign_id) == {0: [cut_at]}
+
+        # Release everything and let one worker drain the campaign.
+        queue.release(victim_lease)
+        queue.release(winners[0])
+        worker = Worker(queue, worker_id="drainer", ttl=30)
+        while worker.run_once():
+            pass
+        worker.close()
+        result = runner.run_campaign(spec)
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in result.records
+        ]
+
+    @pytest.mark.slow
+    def test_steal_under_crash_requeues_the_stolen_tail(self, tmp_path):
+        """A thief SIGKILLed after planting its cut marker (before
+        depositing) must not lose the stolen interval: its lease expires
+        and any worker re-claims the tail, completing the campaign with
+        records identical to an uninterrupted run."""
+        spec = slow_spec(runs=8, delay=0.15, campaign_id="dist-steal-crash")
+        expected = CampaignRunner().run_campaign(spec)
+
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=8, wait_timeout=WAIT)
+        campaign_id = runner.submit_campaign(spec)
+        queue = WorkQueue(queue_dir)
+
+        victim = mp.Process(
+            target=run_worker,
+            kwargs=dict(
+                queue_dir=str(queue_dir), worker_id="victim", ttl=2.0,
+                poll_interval=0.05, max_idle=20.0,
+            ),
+            daemon=True,
+        )
+        victim.start()
+        wait_until(
+            lambda: queue.leases(campaign_id), message="victim to claim the batch"
+        )
+        thief = mp.Process(
+            target=run_worker,
+            kwargs=dict(
+                queue_dir=str(queue_dir), worker_id="thief", ttl=2.0,
+                poll_interval=0.05, max_idle=20.0,
+            ),
+            daemon=True,
+        )
+        thief.start()
+        # Kill the thief the moment its cut marker lands: it has claimed
+        # the tail but cannot have deposited it yet (runs take ~rounds ×
+        # delay seconds).
+        wait_until(lambda: queue.cuts(campaign_id), message="the thief's cut marker")
+        thief.kill()
+        thief.join(timeout=10)
+        cut_at = queue.cuts(campaign_id)[0][0]
+        assert not queue.batch_done(campaign_id, 0)
+
+        # The victim (now the only live worker) finishes its head, then
+        # recovers the orphaned tail — by re-stealing from the dead
+        # thief's still-live lease and/or re-claiming it after the TTL.
+        runner.wait(campaign_id)
+        reap([victim])
+        parts = queue.parts(campaign_id)[0]
+        assert len(parts) >= 2, f"expected split deposits, got {parts}"
+        assert queue.batch_done(campaign_id, 0)
+        covered = sorted(position for start, count in parts for position in range(start, start + count))
+        assert covered == list(range(8)), f"coverage gap: {parts} (cut at {cut_at})"
+
+        recovered = runner.run_campaign(spec)
+        assert [record.as_dict() for record in expected.records] == [
+            record.as_dict() for record in recovered.records
+        ]
+
+    def test_no_steal_worker_never_cuts(self, tmp_path):
+        """--no-steal workers must leave peers' leases alone."""
+        spec = demo_spec(runs=2, campaign_id="dist-no-steal")
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=16, wait_timeout=30)
+        campaign_id = runner.submit_campaign(spec)
+        queue = WorkQueue(queue_dir)
+        victim_lease = queue.try_acquire(campaign_id, 0, "victim", ttl=30)
+        queue.heartbeat(victim_lease, progress=1)
+
+        pacifist = Worker(queue, worker_id="pacifist", ttl=30, steal=False)
+        assert pacifist.run_once() == 0  # the batch is leased
+        assert pacifist.steal_once() == 0 or not queue.cuts(campaign_id)
+        pacifist.close()
+        assert not queue.cuts(campaign_id)
+        assert pacifist.steals == 0
+
+
+class TestRetireProtocol:
+    """The supervisor → worker shutdown handshake."""
+
+    def test_worker_exits_on_retire_marker_and_acknowledges(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.request_retire("w1")
+        worker = Worker(queue, worker_id="w1", ttl=30, poll_interval=0.05)
+        started = time.monotonic()
+        executed = worker.run(max_idle=60.0)  # returns long before max_idle
+        worker.close()
+        assert executed == 0
+        assert time.monotonic() - started < 10.0
+        assert not queue.retire_requested("w1"), "marker was not acknowledged"
+
+    def test_retire_leaves_pending_work_for_peers(self, tmp_path):
+        spec = demo_spec(runs=1, campaign_id="dist-retire-pending")
+        runner = DistributedCampaignRunner(tmp_path / "q", batch_size=4, wait_timeout=5)
+        campaign_id = runner.submit_campaign(spec)
+        queue = WorkQueue(tmp_path / "q")
+        queue.request_retire("w2")
+        worker = Worker(queue, worker_id="w2", ttl=30, poll_interval=0.05)
+        worker.run(max_idle=60.0)
+        worker.close()
+        assert queue.pending(campaign_id), "retiring worker should not have claimed work"
+
+    def test_weird_worker_ids_cannot_escape_the_store(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.request_retire("../../evil")
+        assert queue.retire_requested("../../evil")
+        assert not (tmp_path.parent / "evil.json").exists()
+        assert queue.clear_retire("../../evil")
+
+
+class _FakeProcess:
+    """A Popen stand-in for supervisor decision tests."""
+
+    def __init__(self):
+        self.exit_code = None
+        self.terminated = False
+
+    def poll(self):
+        return self.exit_code
+
+    def wait(self, timeout=None):
+        if self.exit_code is None:
+            import subprocess
+
+            raise subprocess.TimeoutExpired("fake-worker", timeout)
+        return self.exit_code
+
+    def terminate(self):
+        self.terminated = True
+        self.exit_code = -15
+
+    def kill(self):
+        self.exit_code = -9
+
+
+class TestSupervisor:
+    def test_bounds_and_backend_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="min_workers"):
+            Supervisor(tmp_path, min_workers=-1)
+        with pytest.raises(ValueError, match="max_workers"):
+            Supervisor(tmp_path, min_workers=3, max_workers=2)
+        with pytest.raises(ValueError, match="not result-identical"):
+            Supervisor(tmp_path, backend="async")
+
+    def test_scales_up_to_queue_depth_and_down_on_drain(self, tmp_path):
+        """Decision logic with a fake spawner: unclaimed intervals drive
+        scale-up (clamped to max_workers); a drained queue drives retire
+        markers for the idle workers."""
+        from repro.runner.records import RunnerStats, RunRecord
+
+        queue = WorkQueue(tmp_path / "q")
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=2).expand()]
+        campaign_id = queue.submit(tasks, batch_size=3)  # 8 tasks -> 3 batches
+        spawned = []
+
+        def fake_spawn(worker_id):
+            process = _FakeProcess()
+            spawned.append((worker_id, process))
+            return process
+
+        supervisor = Supervisor(
+            queue, min_workers=0, max_workers=2, idle_grace=0.0, spawn=fake_spawn
+        )
+        status = supervisor.poll_once()
+        assert status["unclaimed_units"] == 3
+        assert status["target"] == 2 and len(supervisor.workers) == 2
+        assert supervisor.stats.spawned == 2
+
+        # Depth unchanged (fake workers do nothing): no further spawns.
+        supervisor.poll_once()
+        assert supervisor.stats.spawned == 2
+
+        # Drain the queue by depositing every batch, then poll: both
+        # idle workers get retire markers (never SIGKILL).
+        manifest = queue.manifest(campaign_id)
+        for index, num in enumerate(queue.batch_sizes(manifest)):
+            queue.write_result(
+                campaign_id, index, 0,
+                [RunRecord(agreement=True) for _ in range(num)],
+                "fake", RunnerStats(),
+            )
+        status = supervisor.poll_once()
+        assert status["drained"] and status["target"] == 0
+        assert supervisor.stats.retired == 2
+        for worker_id, _ in spawned:
+            assert queue.retire_requested(worker_id)
+
+        # The fake processes exit (as a retiring worker would); a reap
+        # poll forgets them and clears the markers.
+        for _, process in spawned:
+            process.exit_code = 0
+        supervisor.poll_once()
+        assert supervisor.workers == []
+        for worker_id, _ in spawned:
+            assert not queue.retire_requested(worker_id)
+        supervisor.shutdown()
+
+    def test_busy_workers_are_not_retired_below_demand(self, tmp_path):
+        """A worker holding a live lease counts as demand: scale-down
+        prefers idle workers and keeps the busy one."""
+        queue = WorkQueue(tmp_path / "q")
+        tasks = [task_from_spec(spec) for spec in demo_spec(runs=2).expand()]
+        campaign_id = queue.submit(tasks, batch_size=8)  # 8 tasks -> 1 batch
+        spawned = []
+
+        def fake_spawn(worker_id):
+            process = _FakeProcess()
+            spawned.append((worker_id, process))
+            return process
+
+        supervisor = Supervisor(
+            queue, min_workers=0, max_workers=2, idle_grace=60.0, spawn=fake_spawn
+        )
+        supervisor.poll_once()  # one unclaimed unit -> one worker
+        assert len(supervisor.workers) == 1
+        busy_id = supervisor.workers[0].worker_id
+        # The spawned worker "claims" the batch: demand stays 1 (busy),
+        # unclaimed drops to 0, so no churn in either direction.
+        assert queue.try_acquire(campaign_id, 0, busy_id, ttl=30) is not None
+        status = supervisor.poll_once()
+        assert status["busy"] == 1 and status["target"] == 1
+        assert supervisor.stats.retired == 0
+        supervisor.shutdown()
+
+    def test_default_spawner_rejects_custom_store_queues(self, tmp_path):
+        """The default spawner launches `repro-ho worker --queue-dir`
+        subprocesses, which only speak filesystem queue dirs — pairing it
+        with an object-store queue would spawn a fleet polling the wrong
+        place forever, so it must be rejected up front."""
+        queue = WorkQueue(tmp_path, store=ObjectStore(InMemoryObjectClient()))
+        with pytest.raises(ValueError, match="spawn"):
+            Supervisor(queue)
+        # An injected spawner takes responsibility and is accepted.
+        Supervisor(queue, spawn=lambda worker_id: _FakeProcess())
+
+    def test_exit_on_drain_retires_below_min_workers(self, tmp_path):
+        """--exit-on-drain must terminate even with min_workers > 0: the
+        drain floor drops to zero so the fleet can be fully retired."""
+        queue = WorkQueue(tmp_path / "q")
+
+        class _RetiringFake(_FakeProcess):
+            def __init__(self, worker_id):
+                super().__init__()
+                self.worker_id = worker_id
+
+            def poll(self):
+                # A real worker observes its marker, acks and exits; the
+                # fake just exits (the supervisor clears the marker at reap).
+                if self.exit_code is None and queue.retire_requested(self.worker_id):
+                    self.exit_code = 0
+                return self.exit_code
+
+        supervisor = Supervisor(
+            queue, min_workers=1, max_workers=2, idle_grace=0.3,
+            poll_interval=0.02, spawn=_RetiringFake,
+        )
+        stats = supervisor.run(exit_when_drained=True, max_runtime=30)
+        assert stats.spawned >= 1, "min_workers floor never spawned"
+        assert stats.retired >= 1
+        assert supervisor.workers == [], "fleet not fully retired at drain"
+
+    @pytest.mark.slow
+    def test_supervisor_drains_a_campaign_end_to_end(self, tmp_path):
+        """Real subprocess workers: autoscale 0 → N on a queued campaign,
+        drain it, scale back to 0, with records identical to serial."""
+        spec = demo_spec(runs=2, campaign_id="dist-supervised")
+        serial = CampaignRunner().run_campaign(spec)
+
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=3, wait_timeout=WAIT)
+        campaign_id = runner.submit_campaign(spec)
+        supervisor = Supervisor(
+            queue_dir,
+            min_workers=0,
+            max_workers=2,
+            ttl=10.0,
+            poll_interval=0.2,
+            worker_poll_interval=0.05,
+            idle_grace=0.5,
+        )
+        stats = supervisor.run(exit_when_drained=True, max_runtime=WAIT)
+        assert stats.spawned >= 1
+        assert stats.peak_workers <= 2
+        assert supervisor.workers == [], "fleet not fully retired"
+        assert runner.queue.complete(campaign_id)
+
+        result = runner.run_campaign(spec)  # pure cache/collect, no fleet
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in result.records
+        ]
+
+
+class TestObjectStoreFleet:
+    """The queue protocol must run unchanged over an object store."""
+
+    def test_fleet_protocol_over_object_store(self, tmp_path):
+        client = InMemoryObjectClient()
+        queue = WorkQueue(tmp_path / "never-created", store=ObjectStore(client))
+        spec = demo_spec(runs=2, campaign_id="dist-object")
+        serial = CampaignRunner().run_campaign(spec)
+
+        runner = DistributedCampaignRunner(queue, batch_size=3, wait_timeout=30)
+        campaign_id = runner.submit_campaign(spec)
+        worker = Worker(queue, worker_id="obj-worker", ttl=30)
+        while worker.run_once():
+            pass
+        worker.close()
+        assert queue.complete(campaign_id)
+
+        result = runner.run_campaign(spec)
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in result.records
+        ]
+        # Everything — batches, leases, deposits, the shared cache —
+        # lived in the object client, not on disk.
+        assert len(client) > 0
+        assert not (tmp_path / "never-created").exists()
+
+    def test_steal_protocol_over_object_store(self, tmp_path):
+        """Cut markers and part deposits are plain store entries, so
+        stealing works over the object client too."""
+        client = InMemoryObjectClient()
+        queue = WorkQueue(tmp_path / "unused", store=ObjectStore(client))
+        spec = demo_spec(runs=2, campaign_id="dist-object-steal")
+        serial = CampaignRunner().run_campaign(spec)
+        runner = DistributedCampaignRunner(queue, batch_size=16, wait_timeout=30)
+        campaign_id = runner.submit_campaign(spec)
+        num = int(queue.manifest(campaign_id)["num_tasks"])
+
+        victim_lease = queue.try_acquire(campaign_id, 0, "victim", ttl=30)
+        queue.heartbeat(victim_lease, progress=2)
+        thief = Worker(queue, worker_id="thief", ttl=30)
+        assert thief.steal_once() == 1
+        thief.close()
+        assert queue.cuts(campaign_id)[0], "no cut marker in the object store"
+        cut_at = queue.cuts(campaign_id)[0][0]
+        assert (cut_at, num - cut_at) in queue.parts(campaign_id)[0]
+
+        # The victim's share still pends; drain it and compare.
+        queue.release(victim_lease)
+        drainer = Worker(queue, worker_id="drainer", ttl=30)
+        while drainer.run_once():
+            pass
+        drainer.close()
+        result = runner.run_campaign(spec)
+        assert [record.as_dict() for record in serial.records] == [
+            record.as_dict() for record in result.records
+        ]

@@ -10,13 +10,25 @@ from repro.algorithms import AteAlgorithm
 from repro.runner import CampaignRunner, ResultCache, RunTask
 from repro.runner.records import RunRecord
 from repro.runner.reduce import ReducedRecord
-from repro.runner.store import CacheStore, LocalDirStore, SharedStore
+from repro.runner.store import (
+    CacheStore,
+    FsspecObjectClient,
+    InMemoryObjectClient,
+    LocalDirStore,
+    ObjectStore,
+    PrefixStore,
+    SharedStore,
+)
 from repro.workloads import generators
 
 
-@pytest.fixture(params=[LocalDirStore, SharedStore], ids=["local", "shared"])
+@pytest.fixture(params=["local", "shared", "object"])
 def store(request, tmp_path):
-    return request.param(tmp_path / "store")
+    """Every CacheStore implementation must pass the same semantics."""
+    if request.param == "object":
+        return ObjectStore(InMemoryObjectClient())
+    cls = {"local": LocalDirStore, "shared": SharedStore}[request.param]
+    return cls(tmp_path / "store")
 
 
 class TestStores:
@@ -178,3 +190,120 @@ class TestCorruptEntriesAreMisses:
         healed = third.run_tasks([_task()])[0]
         assert third.stats.cache_hits == 1
         assert healed.as_dict() == original.as_dict()
+
+
+class TestPrefixStore:
+    """PrefixStore namespaces another store; escapes must still be caught."""
+
+    def test_requires_non_empty_prefix(self, tmp_path):
+        with pytest.raises(ValueError):
+            PrefixStore(LocalDirStore(tmp_path), "")
+        with pytest.raises(ValueError):
+            PrefixStore(LocalDirStore(tmp_path), "///")
+
+    @pytest.mark.parametrize(
+        "escape",
+        ["../outside.json", "a/../../outside.json", "/etc/passwd"],
+        ids=["dotdot", "nested-dotdot", "absolute"],
+    )
+    def test_paths_cannot_escape_through_the_prefix(self, tmp_path, escape):
+        """A prefixed path like ``cache/../x`` still contains the ``..``
+        segment, so the inner store's validation must reject it — for
+        the filesystem stores and the object store alike."""
+        for inner in (SharedStore(tmp_path / "fs"), ObjectStore(InMemoryObjectClient())):
+            prefixed = PrefixStore(inner, "cache")
+            with pytest.raises(ValueError):
+                prefixed.read_text(escape)
+            with pytest.raises(ValueError):
+                prefixed.write_text(escape, "x")
+            with pytest.raises(ValueError):
+                prefixed.try_create(escape, "x")
+            with pytest.raises(ValueError):
+                prefixed.delete(escape)
+
+    def test_namespacing_round_trip(self, tmp_path):
+        inner = ObjectStore(InMemoryObjectClient())
+        prefixed = PrefixStore(inner, "cache")
+        prefixed.write_text("aa/x.json", "{}")
+        assert inner.list("cache/*/*.json") == ["cache/aa/x.json"]
+        assert prefixed.list("*/*.json") == ["aa/x.json"]
+        assert prefixed.read_text("aa/x.json") == "{}"
+        assert prefixed.delete("aa/x.json")
+        assert inner.list("cache/*/*.json") == []
+
+
+class TestObjectStoreCorruptEntryParity:
+    """ObjectStore-backed caches must requeue corrupt entries exactly
+    like SharedStore-backed ones do (mirrors TestCorruptEntriesAreMisses)."""
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "",  # truncated to nothing
+            '{"agreement": true',  # truncated JSON
+            "[1, 2, 3]",  # valid JSON, wrong shape
+            '{"rounds_executed": "NaN-ish"}',  # schema-corrupt field types
+        ],
+        ids=["empty", "truncated", "non-object", "bad-field-types"],
+    )
+    def test_garbage_entry_is_a_miss_and_warns(self, caplog, garbage):
+        cache = ResultCache(store=ObjectStore(InMemoryObjectClient()))
+        cache.put("key", RunRecord(agreement=True))
+        cache.store.write_text(cache.relpath_for("key"), garbage)
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            assert cache.get("key") is None
+        assert cache.misses == 1 and cache.hits == 0
+        assert any("treating as a miss" in message for message in caplog.messages)
+        # The bad entry is dropped so it cannot mask the rewrite.
+        assert not cache.store.exists(cache.relpath_for("key"))
+
+    def test_corrupt_reduced_entry_is_a_miss(self):
+        cache = ResultCache(store=ObjectStore(InMemoryObjectClient()))
+        cache.put_reduced("key", ReducedRecord(data={"x": 1}, reducer_name="r"))
+        cache.store.write_text(cache.relpath_for("key"), '{"data": "not-a-dict"}')
+        assert cache.get_reduced("key") is None
+        assert cache.misses == 1
+
+    def test_runner_requeues_runs_with_corrupt_entries(self, tmp_path):
+        """End to end on the object store: a corrupted entry re-executes
+        the run, rewrites a healed entry, and the records match a
+        SharedStore-backed cache byte for byte."""
+        client = InMemoryObjectClient()
+        first = CampaignRunner(cache=ResultCache(store=ObjectStore(client)))
+        original = first.run_tasks([_task()])[0]
+        assert first.stats.cache_misses == 1
+
+        reference = CampaignRunner(cache=ResultCache(store=SharedStore(tmp_path)))
+        assert reference.run_tasks([_task()])[0].as_dict() == original.as_dict()
+
+        cache = ResultCache(store=ObjectStore(client))
+        cache.store.write_text(cache.relpath_for(_task().key), '{"agreement"')
+        second = CampaignRunner(cache=cache)
+        requeued = second.run_tasks([_task()])[0]
+        assert second.stats.cache_misses == 1 and second.stats.executed == 1
+        assert requeued.as_dict() == original.as_dict()
+
+        # ... and the rewrite healed the entry: third run is a clean hit.
+        third = CampaignRunner(cache=ResultCache(store=ObjectStore(client)))
+        healed = third.run_tasks([_task()])[0]
+        assert third.stats.cache_hits == 1
+        assert healed.as_dict() == original.as_dict()
+
+
+class TestFsspecAdapter:
+    def test_fsspec_client_is_import_gated_or_functional(self):
+        """Without fsspec installed the adapter must raise a clear
+        ImportError; with it, a memory:// filesystem must satisfy the
+        store semantics end to end."""
+        try:
+            import fsspec  # noqa: F401
+        except ImportError:
+            with pytest.raises(ImportError, match="fsspec"):
+                FsspecObjectClient("memory://repro-test")
+            return
+        store = ObjectStore(FsspecObjectClient("memory://repro-test"))
+        store.write_text("aa/x.json", "{}")
+        assert store.read_text("aa/x.json") == "{}"
+        assert store.list("*/*.json") == ["aa/x.json"]
+        assert not store.try_create("aa/x.json", "loser")
+        assert store.delete("aa/x.json")

@@ -1,0 +1,71 @@
+"""Docstring gates for the public seams (no ruff required locally).
+
+CI's lint job runs ruff with a pydocstyle subset (D100 module / D101
+class / D103 top-level function) scoped to ``src/repro/runner/`` and
+``src/repro/simulation/`` — the packages whose modules are the seams
+other layers plug into.  This test enforces the identical subset with
+``ast`` alone, so the gate also holds in environments without ruff
+(like the tier-1 matrix) and the two can never silently diverge.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+ENFORCED_PACKAGES = ("runner", "simulation")
+
+#: The seams the docs and this PR's issue call out explicitly — they
+#: must exist and stay documented even if the package layout shifts.
+PUBLIC_SEAMS = (
+    SRC / "simulation" / "backends.py",
+    SRC / "adversary" / "plan.py",
+    SRC / "runner" / "store.py",
+    SRC / "runner" / "distributed.py",
+    SRC / "runner" / "reduce.py",
+)
+
+
+def _enforced_modules():
+    for package in ENFORCED_PACKAGES:
+        for path in sorted((SRC / package).glob("*.py")):
+            yield path
+
+
+def _missing_docstrings(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    missing = []
+    if ast.get_docstring(tree) is None:  # D100
+        missing.append("module")
+    for node in tree.body:
+        public = hasattr(node, "name") and not node.name.startswith("_")
+        if isinstance(node, ast.ClassDef) and public:  # D101
+            if ast.get_docstring(node) is None:
+                missing.append(f"class {node.name}")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and public:  # D103
+            if ast.get_docstring(node) is None:
+                missing.append(f"def {node.name}")
+    return missing
+
+
+@pytest.mark.parametrize(
+    "path", list(_enforced_modules()), ids=lambda p: f"{p.parent.name}/{p.name}"
+)
+def test_public_seams_have_docstrings(path):
+    missing = _missing_docstrings(path)
+    assert not missing, (
+        f"{path.relative_to(SRC.parent.parent)} is missing docstrings for: "
+        f"{', '.join(missing)} (rule subset D100/D101/D103; see pyproject.toml)"
+    )
+
+
+def test_named_seam_modules_exist_and_lead_with_prose():
+    """The five seams the documentation names must carry real module
+    docstrings (multi-line prose, not placeholders)."""
+    for path in PUBLIC_SEAMS:
+        assert path.exists(), f"seam module moved: {path}"
+        docstring = ast.get_docstring(ast.parse(path.read_text(encoding="utf-8")))
+        assert docstring and len(docstring.splitlines()) >= 3, (
+            f"{path.name} needs a substantive module docstring"
+        )
