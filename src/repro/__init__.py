@@ -46,7 +46,18 @@ from repro.core.predicates import (
     ULivePredicate,
     USafePredicate,
 )
-from repro.simulation.backends import available_backends, run_simulation
+from repro.adversary.plan import register_planner
+from repro.algorithms.kernels import register_kernel
+from repro.runner.executor import CampaignRunner
+from repro.runner.spec import CampaignSpec
+from repro.simulation.backends import (
+    EngineBackend,
+    available_backends,
+    register_backend,
+    run_simulation,
+    run_simulations_batched,
+)
+from repro.simulation.batch_engine import SimulationRequest
 from repro.simulation.engine import SimulationConfig, run_consensus, run_machine
 
 __all__ = [
@@ -55,15 +66,19 @@ __all__ = [
     "AndPredicate",
     "AteParameters",
     "BenignPredicate",
+    "CampaignRunner",
+    "CampaignSpec",
     "CommunicationPredicate",
     "ConsensusOutcome",
     "ConsensusSpec",
+    "EngineBackend",
     "HOMachine",
     "HeardOfCollection",
     "PermanentAlphaPredicate",
     "ReceptionVector",
     "RoundRecord",
     "SimulationConfig",
+    "SimulationRequest",
     "ULivePredicate",
     "USafePredicate",
     "UteParameters",
@@ -71,9 +86,13 @@ __all__ = [
     "altered_span",
     "available_backends",
     "kernel",
+    "register_backend",
+    "register_kernel",
+    "register_planner",
     "run_consensus",
     "run_machine",
     "run_simulation",
+    "run_simulations_batched",
     "safe_kernel",
 ]
 

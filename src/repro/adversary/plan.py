@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type, Union
 
 from repro.adversary.base import Adversary, ReliableAdversary
 from repro.adversary.benign import RandomOmissionAdversary
@@ -42,6 +42,7 @@ from repro.adversary.corruption import (
 from repro.adversary.santoro_widmayer import BlockFaultAdversary
 from repro.adversary.values import corrupt_value
 from repro.core.process import Payload, ProcessId
+from repro.core.registries import guard_builtin_overwrite, unknown_key_error
 
 
 @dataclass(frozen=True)
@@ -364,18 +365,73 @@ _NATIVE_PLANNERS: Dict[Type[Adversary], Callable[[Adversary, int], MaskPlanner]]
 }
 
 
+#: The planner registrations that ship with the package; silently
+#: replacing one would change the fault schedules of every existing
+#: caller, so :func:`register_planner` refuses it without
+#: ``overwrite=True``.
+_BUILTIN_PLANNERS = frozenset(_NATIVE_PLANNERS)
+
+
 def register_planner(
     adversary_type: Type[Adversary],
-    factory: Callable[[Adversary, int], MaskPlanner],
-) -> None:
+    factory: Optional[Callable[[Adversary, int], MaskPlanner]] = None,
+    *,
+    overwrite: bool = False,
+):
     """Register a native mask planner for ``adversary_type`` (exact class).
+
+    Usable directly (``register_planner(MyAdversary, MyPlanner)``) or
+    as a decorator (``@register_planner(MyAdversary)`` above the
+    planner class); either form returns the factory.  Replacing a
+    built-in registration raises unless ``overwrite=True`` is passed
+    explicitly.
 
     Per-process registry: parallel campaign workers only see
     registrations performed at import time (register at module level in
     a module the workers import, or their runs take the
     :class:`MatrixPlanAdapter` path instead).
     """
-    _NATIVE_PLANNERS[adversary_type] = factory
+    guard_builtin_overwrite(
+        "mask planner",
+        f"for {adversary_type.__name__}",
+        adversary_type in _BUILTIN_PLANNERS,
+        overwrite,
+    )
+
+    def _register(planner_factory: Callable[[Adversary, int], MaskPlanner]):
+        _NATIVE_PLANNERS[adversary_type] = planner_factory
+        return planner_factory
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def get_planner_factory(
+    adversary_type: Union[Type[Adversary], str]
+) -> Callable[[Adversary, int], MaskPlanner]:
+    """Look up a registered native planner, with a did-you-mean on typos.
+
+    Accepts the adversary class itself or its name; raises
+    :class:`ValueError` (listing registered classes, with a close-match
+    hint) when no native planner exists for it.  Note that
+    :func:`planner_for` never raises — adversaries without a native
+    planner take the :class:`MatrixPlanAdapter` path.
+    """
+    if isinstance(adversary_type, str):
+        by_name = {cls.__name__: cls for cls in _NATIVE_PLANNERS}
+        cls = by_name.get(adversary_type)
+        if cls is None:
+            raise unknown_key_error("native mask planner", adversary_type, by_name)
+        return _NATIVE_PLANNERS[cls]
+    factory = _NATIVE_PLANNERS.get(adversary_type)
+    if factory is None:
+        raise unknown_key_error(
+            "native mask planner",
+            adversary_type.__name__,
+            (cls.__name__ for cls in _NATIVE_PLANNERS),
+        )
+    return factory
 
 
 def planner_for(adversary: Adversary, n: int) -> MaskPlanner:

@@ -23,7 +23,7 @@ registry algorithms have kernels.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Type
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Type, Union
 
 from repro.algorithms.ate import AteAlgorithm, AteProcess
 from repro.algorithms.one_third_rule import OneThirdRuleAlgorithm
@@ -32,6 +32,7 @@ from repro.algorithms.ute import QUESTION_MARK, UteAlgorithm, UteProcess, _Quest
 from repro.algorithms.voting import _sort_key
 from repro.core.algorithm import HOAlgorithm
 from repro.core.process import HOProcess, Payload, ProcessId, Value
+from repro.core.registries import guard_builtin_overwrite, unknown_key_error
 
 
 def _decision_key(value: Value):
@@ -188,17 +189,77 @@ _KERNELS: Dict[Type[HOAlgorithm], Callable[..., StepKernel]] = {
 }
 
 
+#: The kernel registrations that ship with the package; silently
+#: replacing one would change semantics for every caller, so
+#: :func:`register_kernel` refuses it without ``overwrite=True``.
+_BUILTIN_KERNELS = frozenset(_KERNELS)
+
+
 def register_kernel(
-    algorithm_type: Type[HOAlgorithm], factory: Callable[..., StepKernel]
-) -> None:
+    algorithm_type: Type[HOAlgorithm],
+    factory: Optional[Callable[..., StepKernel]] = None,
+    *,
+    overwrite: bool = False,
+):
     """Register a kernel factory for ``algorithm_type`` (exact class).
+
+    Usable directly (``register_kernel(MyAlgorithm, MyKernel)``) or as
+    a decorator (``@register_kernel(MyAlgorithm)`` above the kernel
+    class); either form returns the factory.  Replacing a built-in
+    registration (e.g. the ``A_{T,E}`` kernel) raises unless
+    ``overwrite=True`` is passed explicitly.
 
     Per-process registry: parallel campaign workers only see
     registrations performed at import time (register at module level in
     a module the workers import, or their runs silently fall back to
     the reference engine).
     """
-    _KERNELS[algorithm_type] = factory
+    guard_builtin_overwrite(
+        "step kernel",
+        f"for {algorithm_type.__name__}",
+        algorithm_type in _BUILTIN_KERNELS,
+        overwrite,
+    )
+
+    def _register(kernel_factory: Callable[..., StepKernel]):
+        _KERNELS[algorithm_type] = kernel_factory
+        return kernel_factory
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def get_kernel_factory(
+    algorithm_type: Union[Type[HOAlgorithm], str]
+) -> Callable[..., StepKernel]:
+    """Look up a registered kernel factory, with a did-you-mean on typos.
+
+    Accepts the algorithm class itself or its name; raises
+    :class:`ValueError` (listing registered classes, with a close-match
+    hint) when nothing is registered for it.
+    """
+    if isinstance(algorithm_type, str):
+        by_name = {cls.__name__: cls for cls in _KERNELS}
+        cls = by_name.get(algorithm_type)
+        if cls is None:
+            raise unknown_key_error("step kernel", algorithm_type, by_name)
+        return _KERNELS[cls]
+    factory = _KERNELS.get(algorithm_type)
+    if factory is None:
+        raise unknown_key_error(
+            "step kernel",
+            algorithm_type.__name__,
+            (cls.__name__ for cls in _KERNELS),
+        )
+    return factory
+
+
+def registered_kernel_factory(
+    algorithm_type: Type[HOAlgorithm],
+) -> Optional[Callable[..., StepKernel]]:
+    """The registered factory for ``algorithm_type``, or None (no raise)."""
+    return _KERNELS.get(algorithm_type)
 
 
 def has_kernel(algorithm: HOAlgorithm) -> bool:

@@ -1,0 +1,53 @@
+"""Shared behaviour of the three runtime registries.
+
+The repository has three extension seams that map names (or classes) to
+pluggable implementations: engine backends
+(:func:`repro.simulation.backends.register_backend`), native mask
+planners (:func:`repro.adversary.plan.register_planner`) and algorithm
+step kernels (:func:`repro.algorithms.kernels.register_kernel`).  All
+three share the same contract, implemented here:
+
+* registration functions are usable directly *and* as decorators;
+* overwriting a **built-in** entry raises unless ``overwrite=True`` is
+  passed explicitly (silently shadowing ``fast`` or the ``A_{T,E}``
+  kernel would change semantics for every caller in the process);
+* lookups of unknown entries raise with a did-you-mean suggestion.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """A ``" (did you mean 'x'?)"`` hint, or ``""`` when nothing is close."""
+    suggestion = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" (did you mean {suggestion[0]!r}?)" if suggestion else ""
+
+
+def guard_builtin_overwrite(
+    kind: str, key_label: str, is_builtin: bool, overwrite: bool
+) -> None:
+    """Refuse to silently replace a built-in registry entry.
+
+    ``kind`` names the registry ("engine backend", "mask planner",
+    "step kernel"); ``key_label`` is the human-readable key being
+    registered.  Custom entries may always be replaced — only the
+    built-ins that ship with the package are protected, because
+    replacing one changes behaviour for every existing caller.
+    """
+    if is_builtin and not overwrite:
+        raise ValueError(
+            f"refusing to overwrite the built-in {kind} {key_label}; "
+            f"pass overwrite=True to replace it deliberately"
+        )
+
+
+def unknown_key_error(kind: str, name: str, candidates: Iterable[str]) -> ValueError:
+    """The lookup error shared by all three registries."""
+    names = sorted(candidates)
+    return ValueError(
+        f"unknown {kind} {name!r}{did_you_mean(name, names)}; "
+        f"available: {', '.join(names)}"
+    )

@@ -57,7 +57,8 @@ from repro.runner.factories import (
 from repro.runner.records import RunRecord, RunnerStats
 from repro.runner.reduce import Reducer, ReducedRecord, reduced_cache_key
 from repro.runner.spec import CampaignSpec, RunSpec
-from repro.simulation.backends import get_backend, run_simulation
+from repro.simulation.backends import EngineBackend, get_backend, run_simulation
+from repro.simulation.batch_engine import SimulationRequest
 from repro.simulation.engine import SimulationConfig, SimulationResult
 
 
@@ -85,15 +86,18 @@ class RunTask:
     cell: Dict[str, object] = field(default_factory=dict)
     run_index: int = 0
     seed: Optional[int] = None
-    #: Engine backend for this task (``None`` = the runner's default).
-    #: Never part of the cache key; non-result-identical backends are
-    #: excluded from caching instead (see :meth:`CampaignRunner._cacheable_key`).
-    backend: Optional[str] = None
+    #: Engine backend for this task (``None`` = the runner's default):
+    #: a registry name, or an :class:`EngineBackend` instance — used
+    #: as-is, never re-resolved through the registry, even when its
+    #: ``name`` shadows a registered backend.  Never part of the cache
+    #: key; non-result-identical backends are excluded from caching
+    #: instead (see :meth:`CampaignRunner._cacheable_key`).
+    backend: Optional[Union[str, EngineBackend]] = None
 
     def __post_init__(self) -> None:
         # Same fail-fast as CampaignSpec: a typoed backend should raise
         # here, with a did-you-mean, not once per run inside a worker.
-        if self.backend is not None:
+        if isinstance(self.backend, str):
             get_backend(self.backend)
 
 
@@ -170,13 +174,33 @@ def _deadline(seconds: Optional[float]):
                 signal.setitimer(signal.ITIMER_REAL, 1e-6, prior_interval)
 
 
-def _execute_task(task: RunTask, timeout: Optional[float]) -> SimulationResult:
-    config = SimulationConfig(
+def _task_backend(task: RunTask) -> EngineBackend:
+    """The task's backend object: registry lookup for names, instances as-is."""
+    backend = task.backend or "reference"
+    return get_backend(backend) if isinstance(backend, str) else backend
+
+
+def _task_config(task: RunTask) -> SimulationConfig:
+    return SimulationConfig(
         max_rounds=task.max_rounds,
         min_rounds=task.min_rounds,
         stop_when_all_decided=True,
         record_states=task.record_states,
     )
+
+
+def _task_request(task: RunTask) -> SimulationRequest:
+    """The task as a batch-API request (predicate/key stay task-side)."""
+    return SimulationRequest(
+        algorithm=task.algorithm,
+        initial_values=task.initial_values,
+        adversary=task.adversary,
+        config=_task_config(task),
+    )
+
+
+def _execute_task(task: RunTask, timeout: Optional[float]) -> SimulationResult:
+    config = _task_config(task)
     with _deadline(timeout):
         return run_simulation(
             algorithm=task.algorithm,
@@ -206,7 +230,11 @@ def _record_worker(
             f"{type(exc).__name__}: {exc}", key=task.key, cell=task.cell,
             run_index=task.run_index, seed=task.seed,
         )
-    return index, RunRecord.from_result(
+    return index, _record_from_result(result, task)
+
+
+def _record_from_result(result: SimulationResult, task: RunTask) -> RunRecord:
+    return RunRecord.from_result(
         result,
         predicate=task.predicate,
         key=task.key,
@@ -214,6 +242,48 @@ def _record_worker(
         run_index=task.run_index,
         seed=task.seed,
     )
+
+
+def _run_task_batch(
+    tasks_with_index: Sequence[Tuple[int, RunTask]], capture_errors: bool
+) -> List[Tuple[int, RunRecord]]:
+    """Execute one same-backend task group through ``run_batch``.
+
+    A batch aborts as a unit, and the aborted group may already have
+    consumed adversary RNG — so on any error the adversaries' seeded
+    schedules are reset (their documented replay contract) and the
+    group re-executes run by run, isolating the failing run exactly as
+    per-run dispatch would.
+    """
+    pairs = list(tasks_with_index)
+    chosen = _task_backend(pairs[0][1])
+    try:
+        results = chosen.run_batch([_task_request(task) for _, task in pairs])
+    except Exception:
+        for _, task in pairs:
+            task.adversary.reset()
+        return [
+            _record_worker((index, task, None, capture_errors)) for index, task in pairs
+        ]
+    return [
+        (index, _record_from_result(result, task))
+        for (index, task), result in zip(pairs, results)
+    ]
+
+
+def _record_batch_worker(
+    payload: Tuple[Sequence[Tuple[int, RunTask]], bool]
+) -> List[Tuple[int, RunRecord]]:
+    """Worker: run one batch chunk and return its records, indexed."""
+    tasks_with_index, capture_errors = payload
+    return _run_task_batch(tasks_with_index, capture_errors)
+
+
+def _batch_chunks(items: List, parts: int) -> List[List]:
+    """Split a batch group into at most ``parts`` similar-size chunks."""
+    parts = max(1, min(parts, len(items)))
+    size = -(-len(items) // parts)
+    return [items[start : start + size] for start in range(0, len(items), size)]
 
 
 def _simulation_worker(
@@ -300,7 +370,10 @@ def cacheable_key(task: RunTask) -> Optional[str]:
     """
     if not task.key:
         return None
-    if not get_backend(task.backend or "reference").equivalent_to_reference:
+    # Resolve instances directly: an instance whose name shadows a
+    # registered backend must be judged by its *own* equivalence flag,
+    # not the registry entry it shadows.
+    if not _task_backend(task).equivalent_to_reference:
         return None
     return task.key
 
@@ -349,7 +422,7 @@ class CampaignRunner:
         jobs: int = 1,
         timeout: Optional[float] = None,
         cache: Optional[Union[ResultCache, str]] = None,
-        backend: str = "reference",
+        backend: Union[str, EngineBackend] = "reference",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -358,7 +431,8 @@ class CampaignRunner:
         self.cache = (
             cache if cache is None or isinstance(cache, ResultCache) else ResultCache(cache)
         )
-        get_backend(backend)  # fail fast on typos, before any run executes
+        if isinstance(backend, str):
+            get_backend(backend)  # fail fast on typos, before any run executes
         self.backend = backend
         self.stats = RunnerStats()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -378,6 +452,27 @@ class CampaignRunner:
         ]
 
     _cacheable_key = staticmethod(cacheable_key)
+
+    def _batchable(self, task: RunTask) -> bool:
+        """Whether this task may join a whole-group ``run_batch`` call.
+
+        Requires a batch-capable backend that supports the run
+        natively, and no per-run timeout: ``SIGALRM`` deadlines budget
+        one run, which does not compose with whole-group execution —
+        timed campaigns keep per-run dispatch.
+        """
+        if self.timeout is not None:
+            return False
+        chosen = _task_backend(task)
+        if not getattr(chosen, "supports_batch", False):
+            return False
+        return chosen.supports(task.algorithm, task.adversary, _task_config(task), None)
+
+    @staticmethod
+    def _batch_group_key(task: RunTask) -> object:
+        """Group batchable tasks per backend (instances by identity)."""
+        backend = task.backend or "reference"
+        return backend if isinstance(backend, str) else id(backend)
 
     # ------------------------------------------------------------------
     # Worker-pool lifecycle
@@ -433,14 +528,37 @@ class CampaignRunner:
                     self.stats.cache_misses += 1
                 pending.append((index, task))
 
-        payloads = [
-            (index, task, self.timeout, capture_errors) for index, task in pending
-        ]
-        for index, record in self._run_payloads(_record_worker, payloads):
+        singles: List[Tuple[int, RunTask]] = []
+        groups: Dict[object, List[Tuple[int, RunTask]]] = {}
+        for index, task in pending:
+            if self._batchable(task):
+                groups.setdefault(self._batch_group_key(task), []).append((index, task))
+            else:
+                singles.append((index, task))
+
+        def _store(index: int, record: RunRecord) -> None:
             records[index] = record
             key = self._cacheable_key(tasks[index])
             if record.ok and self.cache is not None and key:
                 self.cache.put(key, record)
+
+        payloads = [
+            (index, task, self.timeout, capture_errors) for index, task in singles
+        ]
+        for index, record in self._run_payloads(_record_worker, payloads):
+            _store(index, record)
+
+        # Whole same-backend groups go to run_batch; with a worker pool
+        # each group is split into per-worker chunks so the sweep still
+        # parallelises (records stay byte-identical either way).
+        batch_payloads = []
+        for group in groups.values():
+            self.stats.batched += len(group)
+            for chunk in _batch_chunks(group, self.jobs):
+                batch_payloads.append((chunk, capture_errors))
+        for pairs in self._run_payloads(_record_batch_worker, batch_payloads):
+            for index, record in pairs:
+                _store(index, record)
 
         self.stats.total += len(tasks)
         self.stats.executed += len(pending)
@@ -513,14 +631,56 @@ class CampaignRunner:
                     self.stats.cache_misses += 1
                 pending.append((index, task, key))
 
-        payloads = [
-            (index, task, self.timeout, reducer, key, capture_errors)
-            for index, task, key in pending
-        ]
-        for index, record in self._run_payloads(_reduced_worker, payloads):
+        singles: List[Tuple[int, RunTask, Optional[str]]] = []
+        groups: Dict[object, List[Tuple[int, RunTask, Optional[str]]]] = {}
+        for entry in pending:
+            # Batched reduction stays serial: pooled workers already
+            # reduce in-process per run, and chunked batches would ship
+            # full results between stages.
+            if self.jobs == 1 and self._batchable(entry[1]):
+                groups.setdefault(self._batch_group_key(entry[1]), []).append(entry)
+            else:
+                singles.append(entry)
+
+        def _store(index: int, record: ReducedRecord) -> None:
             records[index] = record
             if record.ok and self.cache is not None and record.key:
                 self.cache.put_reduced(record.key, record)
+
+        for group in groups.values():
+            chosen = _task_backend(group[0][1])
+            self.stats.batched += len(group)
+            try:
+                results = chosen.run_batch([_task_request(task) for _, task, _ in group])
+            except Exception:
+                # Same recovery as _run_task_batch: reset the seeded
+                # schedules and isolate failures on the per-run path.
+                for _, task, _ in group:
+                    task.adversary.reset()
+                singles.extend(group)
+                continue
+            for (index, task, key), result in zip(group, results):
+                try:
+                    data = reducer.reduce(result)
+                except Exception as exc:
+                    if not capture_errors:
+                        raise
+                    _store(index, ReducedRecord.failure(
+                        f"{type(exc).__name__}: {exc}", reducer_name=reducer.name,
+                        key=key, cell=task.cell, run_index=task.run_index, seed=task.seed,
+                    ))
+                else:
+                    _store(index, ReducedRecord.from_data(
+                        data, reducer_name=reducer.name, key=key, cell=task.cell,
+                        run_index=task.run_index, seed=task.seed,
+                    ))
+
+        payloads = [
+            (index, task, self.timeout, reducer, key, capture_errors)
+            for index, task, key in singles
+        ]
+        for index, record in self._run_payloads(_reduced_worker, payloads):
+            _store(index, record)
 
         self.stats.total += len(tasks)
         self.stats.executed += len(pending)
@@ -533,13 +693,31 @@ class CampaignRunner:
     # Full-result execution (uncached; for collection-inspecting drivers)
     # ------------------------------------------------------------------
     def run_simulations(self, tasks: Sequence[RunTask]) -> List[SimulationResult]:
-        """Execute ``tasks`` and return full results in task order."""
+        """Execute ``tasks`` and return full results in task order.
+
+        Serial execution hands whole same-backend groups to
+        batch-capable backends; pooled execution stays per-run (full
+        results are too heavy to ship back in batches).
+        """
         started = time.perf_counter()
         tasks = self._with_backend(tasks)
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         if self.jobs == 1:
+            groups: Dict[object, List[int]] = {}
             for index, task in enumerate(tasks):
-                results[index] = _execute_task(task, self.timeout)
+                if self._batchable(task):
+                    groups.setdefault(self._batch_group_key(task), []).append(index)
+            batched: set = set()
+            for indices in groups.values():
+                chosen = _task_backend(tasks[indices[0]])
+                requests = [_task_request(tasks[i]) for i in indices]
+                for index, result in zip(indices, chosen.run_batch(requests)):
+                    results[index] = result
+                batched.update(indices)
+                self.stats.batched += len(indices)
+            for index, task in enumerate(tasks):
+                if index not in batched:
+                    results[index] = _execute_task(task, self.timeout)
         else:
             payloads = [(index, task, self.timeout) for index, task in enumerate(tasks)]
             try:

@@ -165,6 +165,9 @@ class RunnerStats:
 
     total: int = 0
     executed: int = 0
+    #: Runs handed to a batch-capable backend as part of a whole-group
+    #: ``run_batch`` call (a subset of ``executed``).
+    batched: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     failures: int = 0
@@ -176,6 +179,7 @@ class RunnerStats:
         return RunnerStats(
             total=self.total,
             executed=self.executed,
+            batched=self.batched,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             failures=self.failures,
@@ -188,6 +192,7 @@ class RunnerStats:
         return RunnerStats(
             total=self.total - earlier.total,
             executed=self.executed - earlier.executed,
+            batched=self.batched - earlier.batched,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
             failures=self.failures - earlier.failures,
@@ -199,6 +204,7 @@ class RunnerStats:
         return {
             "total": self.total,
             "executed": self.executed,
+            "batched": self.batched,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "failures": self.failures,
@@ -212,6 +218,7 @@ class RunnerStats:
         return cls(
             total=int(data.get("total", 0)),
             executed=int(data.get("executed", 0)),
+            batched=int(data.get("batched", 0)),
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             failures=int(data.get("failures", 0)),
@@ -223,6 +230,7 @@ class RunnerStats:
         """Fold another stats delta into this one, in place."""
         self.total += other.total
         self.executed += other.executed
+        self.batched += other.batched
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.failures += other.failures
@@ -236,6 +244,8 @@ class RunnerStats:
             f"cache_hits={self.cache_hits}",
             f"cache_misses={self.cache_misses}",
         ]
+        if self.batched:
+            parts.append(f"batched={self.batched}")
         if self.failures:
             parts.append(f"failures={self.failures}")
         if self.timeouts:

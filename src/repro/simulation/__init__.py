@@ -1,14 +1,20 @@
 """Simulation engines, network models, traces and metrics.
 
-Three execution substrates are provided behind one pluggable
+Four execution substrates are provided behind one pluggable
 :class:`~repro.simulation.backends.EngineBackend` protocol
-(:func:`~repro.simulation.backends.run_simulation` selects by name):
+(:func:`~repro.simulation.backends.run_simulation` selects by name,
+:func:`~repro.simulation.backends.run_simulations_batched` dispatches
+whole request lists):
 
 * the ``reference`` lockstep engine (:mod:`repro.simulation.engine`) —
   deterministic, supports everything, the semantic baseline;
 * the ``fast`` engine (:mod:`repro.simulation.fast_engine`) — whole
   rounds on bitmask kernels and mask-level adversary plans, falling
   back to the reference engine for runs it cannot take;
+* the ``batch`` engine (:mod:`repro.simulation.batch_engine`) — whole
+  *sweeps* at once on NumPy arrays shaped ``(runs, n)``, one vectorised
+  kernel step per round across every live run; degrades to ``fast``
+  when NumPy is missing or a run is not batchable;
 * the ``async`` engine (:mod:`repro.simulation.async_engine`) — the
   same communication-closed round semantics layered over an
   asynchronous message-passing network with randomised per-message
@@ -23,6 +29,7 @@ from repro.simulation.async_engine import (
 )
 from repro.simulation.backends import (
     AsyncBackend,
+    BatchBackend,
     EngineBackend,
     FastBackend,
     ReferenceBackend,
@@ -30,6 +37,13 @@ from repro.simulation.backends import (
     get_backend,
     register_backend,
     run_simulation,
+    run_simulations_batched,
+)
+from repro.simulation.batch_engine import (
+    SimulationRequest,
+    batch_supported,
+    numpy_available,
+    run_algorithm_batch,
 )
 from repro.simulation.fast_engine import fast_supported, run_algorithm_fast
 from repro.simulation.engine import (
@@ -62,6 +76,7 @@ __all__ = [
     "AsyncBackend",
     "AsyncNetwork",
     "AsyncSimulationConfig",
+    "BatchBackend",
     "DelayModel",
     "EngineBackend",
     "ExponentialDelay",
@@ -72,9 +87,11 @@ __all__ = [
     "ReplayAdversary",
     "RunMetrics",
     "SimulationConfig",
+    "SimulationRequest",
     "SimulationResult",
     "UniformDelay",
     "available_backends",
+    "batch_supported",
     "collection_from_dict",
     "collection_to_dict",
     "derive_network_seed",
@@ -83,14 +100,17 @@ __all__ = [
     "get_backend",
     "load_trace",
     "metrics_from_collection",
+    "numpy_available",
     "register_backend",
     "run_algorithm",
     "run_algorithm_async",
+    "run_algorithm_batch",
     "run_algorithm_fast",
     "run_consensus",
     "run_consensus_async",
     "run_machine",
     "run_many",
     "run_simulation",
+    "run_simulations_batched",
     "save_trace",
 ]

@@ -1,6 +1,6 @@
 """Pluggable engine backends behind one :class:`EngineBackend` protocol.
 
-The simulation stack has three execution substrates with identical
+The simulation stack has four execution substrates with identical
 round semantics:
 
 * ``reference`` — the lockstep loop of :mod:`repro.simulation.engine`;
@@ -11,26 +11,41 @@ round semantics:
   with a registered step kernel, no observers, no state snapshots;
   unsupported runs **fall back to the reference backend
   automatically**, so ``backend="fast"`` is always safe to request.
+* ``batch`` — :mod:`repro.simulation.batch_engine`; entire seed sweeps
+  vectorised across the run axis with NumPy.  The only *batch-capable*
+  backend (``supports_batch``/``run_batch``): handed a whole group of
+  runs it executes them simultaneously.  NumPy is optional — without
+  it the backend stays registered but supports nothing, so every run
+  degrades to the ``fast`` fallback.
 * ``async`` — :mod:`repro.simulation.async_engine`; the same rounds
   over an asyncio message-passing network.
 
 :func:`run_simulation` is the single entry point that selects a backend
-by name (or accepts an :class:`EngineBackend` instance); the campaign
-runner (``CampaignRunner(backend=...)``, ``CampaignSpec.backend``) and
-the CLI (``repro-ho run/campaign --backend``) route through it.  The
-protocol is also the seam for future *distributed* execution: a remote
-backend only has to implement ``supports``/``run``.
+by name (or accepts an :class:`EngineBackend` instance — the instance
+is used as-is, never re-resolved through the registry, even when its
+``name`` shadows a registered backend); the campaign runner
+(``CampaignRunner(backend=...)``, ``CampaignSpec.backend``) and the CLI
+(``repro-ho run/campaign --backend``) route through it.
+:func:`run_simulations_batched` is its batch-first sibling: it hands
+every run the chosen backend can take to ``run_batch`` as one group and
+falls back to per-run dispatch for the rest, preserving request order.
 """
 
 from __future__ import annotations
 
-import difflib
-from typing import Dict, Mapping, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from repro.adversary.base import Adversary
 from repro.core.algorithm import HOAlgorithm
 from repro.core.consensus import ConsensusSpec
 from repro.core.process import ProcessId, Value
+from repro.core.registries import guard_builtin_overwrite, unknown_key_error
+from repro.simulation.batch_engine import (
+    SimulationRequest,
+    batch_supported,
+    numpy_available,
+    run_algorithm_batch,
+)
 from repro.simulation.engine import (
     RoundObserver,
     SimulationConfig,
@@ -50,6 +65,14 @@ class EngineBackend(Protocol):
     ``HO``/``SHO``/``AHO`` sets) declare it via
     :attr:`equivalent_to_reference`, which gates participation in the
     backend-independent result cache.
+
+    ``supports_batch``/``run_batch`` are *optional* members: the
+    dispatcher probes them with ``getattr`` (default: not
+    batch-capable), so existing backends that predate the batch API
+    keep working unchanged.  A backend that executes whole groups of
+    runs at once sets ``supports_batch = True`` and overrides
+    :meth:`run_batch`; the default implementation is the single-run
+    loop.
     """
 
     #: Registry name (``backend=`` argument value).
@@ -69,6 +92,10 @@ class EngineBackend(Protocol):
     #: arrival order, so seeded fault schedules can diverge from the
     #: lockstep engines.
     equivalent_to_reference: bool
+
+    #: Whether :meth:`run_batch` executes whole run groups natively.
+    #: Optional — absent means False.
+    supports_batch: bool = False
 
     def supports(
         self,
@@ -91,6 +118,29 @@ class EngineBackend(Protocol):
     ) -> SimulationResult:
         """Execute the run and return its full result."""
         ...
+
+    def run_batch(
+        self, requests: Sequence[SimulationRequest]
+    ) -> List[SimulationResult]:
+        """Execute a batch of runs, in order.
+
+        Default implementation: the single-run loop through
+        :func:`run_simulation` (honouring this backend's fallback
+        chain).  Batch-capable backends override this with a genuinely
+        simultaneous execution.
+        """
+        return [
+            run_simulation(
+                algorithm=request.algorithm,
+                initial_values=request.initial_values,
+                adversary=request.adversary,
+                config=request.config,
+                observers=request.observers,
+                spec=request.spec,
+                backend=self,
+            )
+            for request in requests
+        ]
 
 
 class ReferenceBackend:
@@ -133,6 +183,41 @@ class FastBackend:
             observers=observers,
             spec=spec,
         )
+
+
+class BatchBackend:
+    """Vectorised NumPy sweeps; falls back to ``fast`` when unsupported.
+
+    Always registered — when NumPy is not importable, :meth:`supports`
+    answers False for every run and the dispatcher degrades to the
+    ``fast`` fallback, so ``--backend batch`` is safe to request in any
+    environment and the CLI choices stay stable.
+    """
+
+    name = "batch"
+    fallback: Optional[str] = "fast"
+    equivalent_to_reference = True
+    supports_batch = True
+
+    def supports(self, algorithm, adversary, config, observers) -> bool:
+        return batch_supported(algorithm, adversary, config, observers)
+
+    def run(self, algorithm, initial_values, adversary, config, observers, spec):
+        return self.run_batch(
+            [
+                SimulationRequest(
+                    algorithm=algorithm,
+                    initial_values=initial_values,
+                    adversary=adversary,
+                    config=config,
+                    observers=observers,
+                    spec=spec,
+                )
+            ]
+        )[0]
+
+    def run_batch(self, requests: Sequence[SimulationRequest]) -> List[SimulationResult]:
+        return run_algorithm_batch(requests)
 
 
 class AsyncBackend:
@@ -179,8 +264,13 @@ class AsyncBackend:
 
 
 _BACKENDS: Dict[str, EngineBackend] = {
-    backend.name: backend for backend in (ReferenceBackend(), FastBackend(), AsyncBackend())
+    backend.name: backend
+    for backend in (ReferenceBackend(), FastBackend(), BatchBackend(), AsyncBackend())
 }
+
+#: The backends that ship with the package; :func:`register_backend`
+#: refuses to silently shadow these names.
+_BUILTIN_BACKEND_NAMES = frozenset(_BACKENDS)
 
 
 def available_backends() -> list:
@@ -188,8 +278,17 @@ def available_backends() -> list:
     return sorted(_BACKENDS)
 
 
-def register_backend(backend: EngineBackend) -> None:
-    """Register (or replace) a backend under ``backend.name``.
+def register_backend(backend=None, *, overwrite: bool = False):
+    """Register a backend under ``backend.name``.
+
+    Accepts an :class:`EngineBackend` instance or a zero-argument
+    backend class, directly (``register_backend(MyBackend())``) or as a
+    class decorator (``@register_backend``, or
+    ``@register_backend(overwrite=True)``); either form returns its
+    argument.  Registering over a built-in name (``reference``,
+    ``fast``, ``batch``, ``async``) raises unless ``overwrite=True`` is
+    passed explicitly — silently shadowing ``fast`` would change
+    semantics for every caller in the process.
 
     The registry is *per process*: worker processes of a parallel
     :class:`~repro.runner.executor.CampaignRunner` re-import this module
@@ -198,20 +297,39 @@ def register_backend(backend: EngineBackend) -> None:
     module that the workers import (e.g. next to the backend class),
     not from ``if __name__ == "__main__"`` code.
     """
-    _BACKENDS[backend.name] = backend
+
+    def _register(obj):
+        instance = obj() if isinstance(obj, type) else obj
+        guard_builtin_overwrite(
+            "engine backend",
+            repr(instance.name),
+            instance.name in _BUILTIN_BACKEND_NAMES,
+            overwrite,
+        )
+        _BACKENDS[instance.name] = instance
+        return obj
+
+    if backend is None:
+        return _register
+    return _register(backend)
 
 
 def get_backend(name: str) -> EngineBackend:
     """Look up a backend by name, with a did-you-mean on typos."""
     backend = _BACKENDS.get(name)
     if backend is None:
-        suggestion = difflib.get_close_matches(name, _BACKENDS, n=1)
-        hint = f" (did you mean {suggestion[0]!r}?)" if suggestion else ""
-        raise ValueError(
-            f"unknown engine backend {name!r}{hint}; "
-            f"available: {', '.join(available_backends())}"
-        )
+        raise unknown_key_error("engine backend", name, _BACKENDS)
     return backend
+
+
+def _resolve_backend(backend: Union[str, EngineBackend]) -> EngineBackend:
+    """Resolve a name through the registry; use an instance as-is.
+
+    An instance is never re-resolved by name — a backend whose ``name``
+    shadows a registered one still runs itself (its fallback chain, if
+    taken, resolves through the registry as documented).
+    """
+    return get_backend(backend) if isinstance(backend, str) else backend
 
 
 def run_simulation(
@@ -226,11 +344,12 @@ def run_simulation(
     """Run one simulation on the selected engine backend.
 
     ``backend`` is a registry name (``"reference"``, ``"fast"``,
-    ``"async"``) or an :class:`EngineBackend` instance.  A backend that
-    does not support the run either falls back (``fast`` →
-    ``reference``) or raises :class:`ValueError`.
+    ``"batch"``, ``"async"``) or an :class:`EngineBackend` instance
+    (used as-is, never re-resolved through the registry).  A backend
+    that does not support the run either falls back (``batch`` →
+    ``fast`` → ``reference``) or raises :class:`ValueError`.
     """
-    chosen = get_backend(backend) if isinstance(backend, str) else backend
+    chosen = _resolve_backend(backend)
     visited = set()
     while not chosen.supports(algorithm, adversary, config, observers):
         visited.add(chosen.name)
@@ -248,3 +367,52 @@ def run_simulation(
             )
         chosen = get_backend(chosen.fallback)
     return chosen.run(algorithm, initial_values, adversary, config, observers, spec)
+
+
+def run_simulations_batched(
+    requests: Sequence[SimulationRequest],
+    backend: Union[str, EngineBackend] = "batch",
+) -> List[SimulationResult]:
+    """Run many simulations, batching wherever the backend allows.
+
+    The batch-first sibling of :func:`run_simulation`: requests the
+    chosen backend both batch-executes (``supports_batch``) and
+    supports are handed to :meth:`~EngineBackend.run_batch` as one
+    group; every other request dispatches per run through
+    :func:`run_simulation` on the same backend, walking its fallback
+    chain as usual.  Results come back in request order and are
+    identical to per-run execution.
+
+    A non-batch-capable backend (or a numpy-less environment, where the
+    ``batch`` backend supports nothing) degrades to the plain per-run
+    loop — the call is always safe.
+    """
+    chosen = _resolve_backend(backend)
+    results: List[Optional[SimulationResult]] = [None] * len(requests)
+    batchable: List[int] = []
+    rest: List[int] = []
+    can_batch = bool(getattr(chosen, "supports_batch", False))
+    for index, request in enumerate(requests):
+        if can_batch and chosen.supports(
+            request.algorithm, request.adversary, request.config, request.observers
+        ):
+            batchable.append(index)
+        else:
+            rest.append(index)
+    if batchable:
+        for index, result in zip(
+            batchable, chosen.run_batch([requests[i] for i in batchable])
+        ):
+            results[index] = result
+    for index in rest:
+        request = requests[index]
+        results[index] = run_simulation(
+            algorithm=request.algorithm,
+            initial_values=request.initial_values,
+            adversary=request.adversary,
+            config=request.config,
+            observers=request.observers,
+            spec=request.spec,
+            backend=chosen,
+        )
+    return results  # type: ignore[return-value]

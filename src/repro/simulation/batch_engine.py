@@ -1,0 +1,691 @@
+"""The batch backend: whole seed sweeps as vectorised NumPy kernels.
+
+The fast engine (:mod:`repro.simulation.fast_engine`) removed the
+per-message dict traffic of the reference engine but still executes one
+run at a time: a 1000-seed campaign cell pays the per-receiver Python
+``Counter`` loop 1000 times.  This module executes an entire batch of
+runs *simultaneously*:
+
+* process state lives in NumPy arrays shaped ``(runs, n)`` of integer
+  *value codes* (a per-group codebook maps arbitrary hashable payloads
+  to dense codes and back);
+* reception is a ``(runs, n, n)`` boolean matrix built from the packed
+  HO bitmasks of each run's :class:`~repro.adversary.plan.RoundPlan`;
+* the ``A_{T,E}`` and ``U_{T,E,alpha}`` step kernels are vectorised
+  across the run axis — received-multiset counts come from one stacked
+  ``matmul`` of the reception matrix with one-hot sent codes, sparse
+  corruption adjustments are applied with :func:`numpy.add.at`, and the
+  exact ``min``-by-key tie-breaks of the scalar kernels are reproduced
+  with per-code rank arrays (one for the value order of ``_sort_key``,
+  one for the decision order of ``_decision_key``);
+* runs exit early through an *active-runs* mask: a run whose processes
+  have all decided stops planning rounds, stops appending records and
+  is never mutated again, exactly like its single-run execution.
+
+Adversaries are **not** vectorised: each run keeps its own
+RNG-stream-exact :class:`~repro.adversary.plan.MaskPlanner`, called
+once per round per active run, so fault schedules (and therefore the
+``HO``/``SHO`` collections) are bit-for-bit identical to the other
+lockstep engines.  For :class:`~repro.adversary.base.ReliableAdversary`
+planning is free and the whole round is a single vectorised step.
+
+Like the fast engine, the backend is *semantically invisible*:
+decisions, decision rounds, per-round ``HO``/``SHO``/``AHO`` sets,
+payloads and final process states are identical to the reference engine
+for every supported run, so records and reduced records are
+byte-identical and cache entries are shared across backends — asserted
+by the differential grid in
+``tests/simulation/test_batch_engine.py``.
+
+NumPy is an *optional* dependency: the module imports without it,
+:func:`batch_supported` then answers ``False`` for every run, and the
+``batch`` backend (which is always registered) degrades to its ``fast``
+fallback.
+
+Two rare value shapes force a run group off the vectorised path and
+through a per-run fast-engine replay (after resetting each adversary's
+seeded schedule): payloads that are ``==``-equal across runs but of
+different types (``1`` vs ``True`` — the scalar engines keep each run's
+own first-encountered representative, a global codebook cannot), and
+payload domains that are not totally ordered under the kernels' sort
+keys (``nan``).  Both are detected, never silently mis-executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # NumPy is optional: without it the batch backend just reports
+    import numpy as np  # unsupported and the dispatcher falls back.
+except ImportError:  # pragma: no cover - exercised by the numpy-less CI leg
+    np = None
+
+from repro.adversary.base import Adversary, ReliableAdversary
+from repro.adversary.plan import planner_for
+from repro.algorithms.kernels import (
+    AteKernel,
+    UteKernel,
+    _decision_key,
+    registered_kernel_factory,
+)
+from repro.algorithms.ute import QUESTION_MARK
+from repro.algorithms.voting import _sort_key
+from repro.core.algorithm import HOAlgorithm
+from repro.core.consensus import ConsensusSpec, DecisionRecord
+from repro.core.heardof import HeardOfCollection, MaskRoundRecord
+from repro.core.process import ProcessId, Value
+from repro.simulation.engine import RoundObserver, SimulationConfig, SimulationResult
+from repro.simulation.fast_engine import fast_supported, run_algorithm_fast
+from repro.simulation.metrics import metrics_from_collection
+
+
+def numpy_available() -> bool:
+    """Whether the optional NumPy dependency is importable."""
+    return np is not None
+
+
+@dataclass
+class SimulationRequest:
+    """One run of a batch: the argument tuple of ``run_simulation``.
+
+    ``run_batch`` implementations receive a sequence of these;
+    :func:`repro.simulation.backends.run_simulations_batched` builds
+    them for callers that hold plain argument tuples.
+    """
+
+    algorithm: HOAlgorithm
+    initial_values: Mapping[ProcessId, Value]
+    adversary: Optional[Adversary] = None
+    config: Optional[SimulationConfig] = None
+    observers: Optional[Sequence[RoundObserver]] = None
+    spec: Optional[ConsensusSpec] = None
+
+    def normalised(self) -> "SimulationRequest":
+        """A copy with the same defaults the engines apply."""
+        return SimulationRequest(
+            algorithm=self.algorithm,
+            initial_values=self.initial_values,
+            adversary=self.adversary if self.adversary is not None else ReliableAdversary(),
+            config=self.config if self.config is not None else SimulationConfig(),
+            observers=self.observers,
+            spec=self.spec if self.spec is not None else ConsensusSpec(),
+        )
+
+
+def _family_of(algorithm: HOAlgorithm) -> Optional[str]:
+    """Which vectorised kernel family executes ``algorithm``, if any.
+
+    The batch engine vectorises the two built-in kernel families; an
+    algorithm whose registered factory is *not* the stock
+    :class:`AteKernel`/:class:`UteKernel` (a custom kernel registered
+    over it, or a third-party algorithm) is refused so it cannot
+    silently diverge from its scalar kernel.
+    """
+    factory = registered_kernel_factory(type(algorithm))
+    if factory is AteKernel:
+        return "ate"
+    if factory is UteKernel:
+        return "ute"
+    return None
+
+
+def batch_supported(
+    algorithm: HOAlgorithm,
+    adversary: Optional[Adversary] = None,
+    config: Optional[SimulationConfig] = None,
+    observers: Optional[Sequence[RoundObserver]] = None,
+) -> bool:
+    """Whether a run can execute on the batch backend.
+
+    Requires NumPy, everything :func:`fast_supported` requires, and an
+    algorithm executed by one of the two vectorised kernel families.
+    """
+    if np is None:
+        return False
+    if not fast_supported(algorithm, adversary, config, observers):
+        return False
+    return _family_of(algorithm) is not None
+
+
+class _BatchFallback(Exception):
+    """Raised when a run group's values defeat vectorisation.
+
+    Carries no data: the group is re-executed run by run on the fast
+    engine after resetting each adversary's seeded schedule.
+    """
+
+
+class _Codebook:
+    """Bidirectional map between payload objects and dense int codes.
+
+    Lookup is by equality (like ``Counter``), so ``==``-equal payloads
+    share a code and the stored representative is the first one
+    encountered — which is also what ``Counter`` keeps.  A collision
+    between equal values of *different* types (``1`` vs ``True``) is
+    refused with :class:`_BatchFallback`: the scalar kernels would keep
+    per-run representatives that a group-wide codebook cannot.
+    """
+
+    def __init__(self) -> None:
+        self.values: List[Value] = []
+        self._codes: Dict[Value, int] = {}
+        self._sort_ranks = None
+        self._decision_ranks = None
+
+    def encode(self, value: Value) -> int:
+        code = self._codes.get(value, -1)
+        if code >= 0:
+            existing = self.values[code]
+            if existing is value or type(existing) is type(value):
+                return code
+            raise _BatchFallback(
+                f"equal payloads of different types ({existing!r} vs {value!r})"
+            )
+        code = len(self.values)
+        self.values.append(value)
+        self._codes[value] = code
+        self._sort_ranks = None
+        self._decision_ranks = None
+        return code
+
+    @property
+    def none_code(self) -> int:
+        """The code of a ``None`` payload, or ``-2`` if never encoded.
+
+        ``-2`` can never equal a stored decision code (codes are >= 0,
+        "undecided" is ``-1``), so comparisons against it are safe.
+        """
+        return self._codes.get(None, -2)
+
+    def _ranks(self, key) -> "np.ndarray":
+        keys = [key(value) for value in self.values]
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        # The scalar kernels take min() over *iteration order*; a rank
+        # array reproduces that only if the key is a strict total order
+        # over the codebook.  nan-like or repr-colliding values are not
+        # — fall back to per-run execution rather than guess.
+        for left, right in zip(order, order[1:]):
+            if not keys[left] < keys[right]:
+                raise _BatchFallback(
+                    f"payload domain is not totally ordered "
+                    f"({self.values[left]!r} vs {self.values[right]!r})"
+                )
+        ranks = np.empty(len(keys), dtype=np.int64)
+        ranks[order] = np.arange(len(keys), dtype=np.int64)
+        return ranks
+
+    def sort_ranks(self) -> "np.ndarray":
+        """Per-code ranks under the x-update order (``_sort_key``)."""
+        if self._sort_ranks is None or len(self._sort_ranks) != len(self.values):
+            self._sort_ranks = self._ranks(_sort_key)
+        return self._sort_ranks
+
+    def decision_ranks(self) -> "np.ndarray":
+        """Per-code ranks under the decision order (``_decision_key``)."""
+        if self._decision_ranks is None or len(self._decision_ranks) != len(self.values):
+            self._decision_ranks = self._ranks(_decision_key)
+        return self._decision_ranks
+
+
+def _select_min(mask, ranks, sentinel):
+    """Per (run, receiver): the code with minimal rank among ``mask``.
+
+    Returns ``(has_candidate, code)``; ``code`` is meaningless where
+    ``has_candidate`` is False (callers mask it out).
+    """
+    has = mask.any(axis=2)
+    code = np.where(mask, ranks[None, None, :], sentinel).argmin(axis=2)
+    return has, code
+
+
+class _BatchKernel:
+    """Decision bookkeeping shared by both vectorised kernel families.
+
+    Decision state is two ``(runs, n)`` arrays: ``dec_code`` (``-1`` =
+    never decided; the codebook's None code marks the degenerate
+    "decided None" state that leaves a process formally undecided) and
+    ``dec_round``.
+    """
+
+    def __init__(self, runs: int, n: int, book: _Codebook) -> None:
+        self.runs = runs
+        self.n = n
+        self.book = book
+        self.dec_code = np.full((runs, n), -1, dtype=np.int64)
+        self.dec_round = np.full((runs, n), -1, dtype=np.int64)
+
+    def all_decided(self) -> "np.ndarray":
+        """Per run: has every process *really* decided (non-None value)?"""
+        none_code = self.book.none_code
+        real = (self.dec_code != -1) & (self.dec_code != none_code)
+        return real.all(axis=1)
+
+    def _counts(self, sent_act, recv, adjust, writable=False):
+        """Received-value counts ``(A, n|1, V)`` plus heard counts.
+
+        ``recv`` is ``None`` when no active run dropped anything this
+        round: every receiver of a run then sees the same multiset, so
+        counts collapse to ``(A, 1, V)`` and broadcast — the fully
+        vectorised path a reliable sweep stays on.  Corruption arrives
+        as sparse COO adjustments (``-1`` at the intended code, ``+1``
+        at the injected one, per corrupted edge).
+        """
+        V = len(self.book.values)
+        A = sent_act.shape[0]
+        codes = np.arange(V, dtype=sent_act.dtype)
+        onehot = (sent_act[:, :, None] == codes).astype(np.float32)
+        if recv is None:
+            counts = onehot.sum(axis=1)[:, None, :]
+            if adjust is not None:
+                counts = np.repeat(counts, self.n, axis=1)
+            heard = np.full((A, 1), float(self.n), dtype=np.float32)
+        else:
+            counts = recv @ onehot
+            heard = recv.sum(axis=2)
+        if adjust is not None:
+            runs_ix, recv_ix, code_ix, deltas = adjust
+            np.add.at(
+                counts,
+                (np.asarray(runs_ix), np.asarray(recv_ix), np.asarray(code_ix)),
+                np.asarray(deltas, dtype=np.float32),
+            )
+        elif writable and not counts.flags.writeable:  # pragma: no cover - safety
+            counts = counts.copy()
+        return counts, heard
+
+    def _decide(self, act, eligible, win_mask, round_num):
+        """Apply the shared decide step: min-by-decision-key winners."""
+        has, code = _select_min(win_mask, self.book.decision_ranks(), len(self.book.values))
+        decide = eligible & has
+        dec = self.dec_code[act]
+        self.dec_code[act] = np.where(decide, code, dec)
+        self.dec_round[act] = np.where(decide, round_num, self.dec_round[act])
+
+    def _decision_eligible(self, act):
+        """Processes whose ``decisions[p] is None`` (never or None-decided)."""
+        dec = self.dec_code[act]
+        return (dec == -1) | (dec == self.book.none_code)
+
+    def _apply_decision(self, proc, code: int, round_num: int, values: List[Value]) -> None:
+        # Mirrors StepKernel._apply_decision: a real decision flips the
+        # process, a degenerate None decision only records the round.
+        if code == -1:
+            return
+        value = values[code]
+        if value is not None:
+            proc._decide(value, round_num)
+        else:
+            proc._decision_round = round_num
+
+    def decision_records(self, run: int) -> List[DecisionRecord]:
+        values = self.book.values
+        dec_row = self.dec_code[run].tolist()
+        rnd_row = self.dec_round[run].tolist()
+        return [
+            DecisionRecord(process=pid, value=values[dec_row[pid]], round_num=rnd_row[pid])
+            for pid in range(self.n)
+            if dec_row[pid] != -1 and values[dec_row[pid]] is not None
+        ]
+
+
+class _BatchAteKernel(_BatchKernel):
+    """``A_{T,E}`` across the run axis (mirrors :class:`AteKernel`)."""
+
+    def __init__(self, requests: Sequence[SimulationRequest], n: int, book: _Codebook) -> None:
+        super().__init__(len(requests), n, book)
+        self.threshold = np.array(
+            [[float(r.algorithm.params.threshold)] for r in requests], dtype=np.float32
+        )
+        self.enough = np.array(
+            [[float(r.algorithm.params.enough)] for r in requests], dtype=np.float32
+        )
+        self.nested = np.array(
+            [[bool(r.algorithm.nested_decision_guard)] for r in requests], dtype=bool
+        )
+        self.xs = np.array(
+            [
+                [book.encode(r.initial_values[p]) for p in range(n)]
+                for r in requests
+            ],
+            dtype=np.int64,
+        )
+
+    def sends(self, round_num: int) -> "np.ndarray":
+        return self.xs
+
+    def step_round(self, round_num, act, recv, adjust, sent_act) -> None:
+        counts, heard = self._counts(sent_act, recv, adjust)
+        update_flag = heard > self.threshold[act]
+        x_update = update_flag & (heard > 0)
+        best = counts.max(axis=2)
+        candidates = (counts == best[..., None]) & (counts > 0)
+        _, x_code = _select_min(candidates, self.book.sort_ranks(), len(self.book.values))
+        self.xs[act] = np.where(x_update, x_code, self.xs[act])
+
+        eligible = self._decision_eligible(act) & (update_flag | ~self.nested[act])
+        win_mask = (counts > self.enough[act][..., None]) & (counts > 0)
+        self._decide(act, eligible, win_mask, round_num)
+
+    def finalise(self, run: int, processes) -> None:
+        values = self.book.values
+        xs_row = self.xs[run].tolist()
+        dec_row = self.dec_code[run].tolist()
+        rnd_row = self.dec_round[run].tolist()
+        for pid in range(self.n):
+            proc = processes[pid]
+            proc.x = values[xs_row[pid]]
+            self._apply_decision(proc, dec_row[pid], rnd_row[pid], values)
+
+
+class _BatchUteKernel(_BatchKernel):
+    """``U_{T,E,alpha}`` across the run axis (mirrors :class:`UteKernel`)."""
+
+    def __init__(self, requests: Sequence[SimulationRequest], n: int, book: _Codebook) -> None:
+        super().__init__(len(requests), n, book)
+        self.threshold = np.array(
+            [[float(r.algorithm.params.threshold)] for r in requests], dtype=np.float32
+        )
+        self.enough = np.array(
+            [[float(r.algorithm.params.enough)] for r in requests], dtype=np.float32
+        )
+        self.witness_floor = np.array(
+            [[float(r.algorithm.params.alpha) + 1.0] for r in requests], dtype=np.float32
+        )
+        self.default_code = np.array(
+            [[book.encode(r.algorithm.default_value)] for r in requests], dtype=np.int64
+        )
+        self.qmark_code = book.encode(QUESTION_MARK)
+        self.xs = np.array(
+            [
+                [book.encode(r.initial_values[p]) for p in range(n)]
+                for r in requests
+            ],
+            dtype=np.int64,
+        )
+        self.votes = np.full((self.runs, n), self.qmark_code, dtype=np.int64)
+
+    def sends(self, round_num: int) -> "np.ndarray":
+        return self.xs if round_num % 2 == 1 else self.votes
+
+    def step_round(self, round_num, act, recv, adjust, sent_act) -> None:
+        counts, _heard = self._counts(sent_act, recv, adjust, writable=True)
+        # "Proper" values exclude the QUESTION_MARK placeholder; zeroing
+        # its column after the corruption adjustments matches the
+        # isinstance filter of the scalar kernel (an adversary may
+        # inject the placeholder itself).
+        counts[..., self.qmark_code] = 0.0
+
+        if round_num % 2 == 1:
+            win_mask = (counts > self.threshold[act][..., None]) & (counts > 0)
+            has, code = _select_min(
+                win_mask, self.book.decision_ranks(), len(self.book.values)
+            )
+            self.votes[act] = np.where(has, code, self.votes[act])
+            return
+
+        witnessed = (counts >= self.witness_floor[act][..., None]) & (counts > 0)
+        best = np.where(witnessed, counts, -1.0).max(axis=2)
+        candidates = witnessed & (counts == best[..., None])
+        has_witness, x_code = _select_min(
+            candidates, self.book.decision_ranks(), len(self.book.values)
+        )
+        self.xs[act] = np.where(has_witness, x_code, self.default_code[act])
+
+        eligible = self._decision_eligible(act)
+        win_mask = (counts > self.enough[act][..., None]) & (counts > 0)
+        self._decide(act, eligible, win_mask, round_num)
+
+        self.votes[act] = self.qmark_code
+
+    def finalise(self, run: int, processes) -> None:
+        values = self.book.values
+        xs_row = self.xs[run].tolist()
+        votes_row = self.votes[run].tolist()
+        dec_row = self.dec_code[run].tolist()
+        rnd_row = self.dec_round[run].tolist()
+        for pid in range(self.n):
+            proc = processes[pid]
+            proc.x = values[xs_row[pid]]
+            proc.vote = values[votes_row[pid]]
+            self._apply_decision(proc, dec_row[pid], rnd_row[pid], values)
+
+
+_BATCH_KERNELS = {"ate": _BatchAteKernel, "ute": _BatchUteKernel}
+
+
+def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[SimulationResult]:
+    """Execute one same-shape group of runs vectorised.
+
+    All requests share the kernel family, ``n`` and the loop-control
+    config fields (grouping key of :func:`run_algorithm_batch`); the
+    algorithm *parameters*, adversaries, initial values and specs may
+    differ per run — parameters live in per-run arrays, adversaries in
+    per-run planners.
+    """
+    # Same construction (and the same validation errors) as the scalar
+    # engines, before any adversary RNG is consumed.
+    processes_list = [r.algorithm.create_all(r.initial_values) for r in requests]
+    n = len(processes_list[0])
+    runs = len(requests)
+    config = requests[0].config
+
+    book = _Codebook()
+    kernel = _BATCH_KERNELS[family](requests, n, book)
+    planners = [planner_for(r.adversary, n) for r in requests]
+    collections = [HeardOfCollection(n) for _ in range(runs)]
+
+    full = (1 << n) - 1
+    full_tuple = (full,) * n
+    zeros_tuple = (0,) * n
+    nones_tuple = (None,) * n
+    nbytes = (n + 7) // 8
+
+    active = np.ones(runs, dtype=bool)
+    rounds_executed = np.zeros(runs, dtype=np.int64)
+    stop_when_all_decided = config.stop_when_all_decided
+    min_rounds = config.min_rounds
+
+    for round_num in range(1, config.max_rounds + 1):
+        act = np.flatnonzero(active)
+        if act.size == 0:
+            break
+        sent_codes = kernel.sends(round_num)
+        values_of = book.values
+        recv = None
+        adj_run: List[int] = []
+        adj_recv: List[int] = []
+        adj_code: List[int] = []
+        adj_delta: List[float] = []
+
+        for a_pos, i in enumerate(act.tolist()):
+            row = sent_codes[i].tolist()
+            values = [values_of[c] for c in row]
+            plan = planners[i].plan_round(round_num, values)
+            drop_masks = plan.drop_masks
+            corrupt_masks = plan.corrupt_masks
+            if drop_masks == zeros_tuple and corrupt_masks == zeros_tuple:
+                # Perfect round: reception template untouched, record
+                # assembled from shared tuples.
+                collections[i].append(
+                    MaskRoundRecord(
+                        round_num=round_num,
+                        n=n,
+                        sent=tuple(values),
+                        ho_masks=full_tuple,
+                        sho_masks=full_tuple,
+                        corrupt=nones_tuple,
+                    )
+                )
+                continue
+
+            corrupt_values = plan.corrupt_values
+            ho_masks: List[int] = []
+            sho_masks: List[int] = []
+            corrupt: List[Optional[dict]] = []
+            for receiver in range(n):
+                ho = full & ~drop_masks[receiver]
+                cmask = corrupt_masks[receiver] & ho
+                ho_masks.append(ho)
+                sho_masks.append(ho & ~cmask)
+                if cmask:
+                    cvals = corrupt_values[receiver]
+                    kept = {}
+                    mask = cmask
+                    while mask:
+                        low = mask & -mask
+                        sender = low.bit_length() - 1
+                        mask ^= low
+                        payload = cvals[sender]
+                        kept[sender] = payload
+                        adj_run.append(a_pos)
+                        adj_recv.append(receiver)
+                        adj_code.append(row[sender])
+                        adj_delta.append(-1.0)
+                        adj_run.append(a_pos)
+                        adj_recv.append(receiver)
+                        adj_code.append(book.encode(payload))
+                        adj_delta.append(1.0)
+                    corrupt.append(kept)
+                else:
+                    corrupt.append(None)
+            collections[i].append(
+                MaskRoundRecord(
+                    round_num=round_num,
+                    n=n,
+                    sent=tuple(values),
+                    ho_masks=tuple(ho_masks),
+                    sho_masks=tuple(sho_masks),
+                    corrupt=tuple(corrupt),
+                )
+            )
+            if drop_masks != zeros_tuple:
+                if recv is None:
+                    recv = np.ones((act.size, n, n), dtype=np.float32)
+                packed = np.frombuffer(
+                    b"".join(m.to_bytes(nbytes, "little") for m in ho_masks),
+                    dtype=np.uint8,
+                ).reshape(n, nbytes)
+                recv[a_pos] = np.unpackbits(
+                    packed, axis=1, count=n, bitorder="little"
+                ).astype(np.float32)
+
+        adjust = (adj_run, adj_recv, adj_code, adj_delta) if adj_run else None
+        sent_act = sent_codes[act]  # fancy index: a pre-mutation snapshot
+        kernel.step_round(round_num, act, recv, adjust, sent_act)
+        rounds_executed[act] = round_num
+
+        if stop_when_all_decided and round_num >= min_rounds:
+            done = kernel.all_decided()[act]
+            if done.any():
+                active[act[done]] = False
+
+    results: List[SimulationResult] = []
+    for pos, request in enumerate(requests):
+        processes = processes_list[pos]
+        kernel.finalise(pos, processes)
+        decisions = kernel.decision_records(pos)
+        outcome = request.spec.evaluate(
+            initial_values=request.initial_values,
+            decisions=decisions,
+            rounds_executed=int(rounds_executed[pos]),
+            metadata={
+                "algorithm": request.algorithm.describe(),
+                "adversary": request.adversary.describe(),
+            },
+        )
+        metrics = metrics_from_collection(
+            collections[pos],
+            {d.process: d.round_num for d in decisions},
+            include_profiles=request.config.record_states,
+        )
+        results.append(
+            SimulationResult(
+                processes=processes,
+                collection=collections[pos],
+                outcome=outcome,
+                metrics=metrics,
+                config=request.config,
+                algorithm_name=request.algorithm.describe(),
+                adversary_name=request.adversary.describe(),
+                metadata={"engine": "batch"},
+            )
+        )
+    return results
+
+
+def _run_group_fallback(requests: Sequence[SimulationRequest]) -> List[SimulationResult]:
+    """Per-run fast-engine replay of a group vectorisation refused.
+
+    The group may have consumed adversary RNG before the refusal, so
+    every adversary's seeded schedule is reset first — the documented
+    replay contract of :meth:`~repro.adversary.base.Adversary.reset`.
+    """
+    for request in requests:
+        request.adversary.reset()
+    return [
+        run_algorithm_fast(
+            algorithm=request.algorithm,
+            initial_values=request.initial_values,
+            adversary=request.adversary,
+            config=request.config,
+            observers=request.observers,
+            spec=request.spec,
+        )
+        for request in requests
+    ]
+
+
+def run_algorithm_batch(
+    requests: Sequence[SimulationRequest],
+) -> List[SimulationResult]:
+    """Execute a batch of runs on the vectorised engine, in order.
+
+    Requests are grouped by *cacheable shape* — kernel family, ``n``
+    and the loop-control config fields (``max_rounds``, ``min_rounds``,
+    ``stop_when_all_decided``) — and each group executes as one
+    vectorised sweep; algorithm parameters, adversaries, workloads and
+    specs may vary freely within a group.  Results come back in request
+    order.  Raises :class:`ValueError` when any request is not
+    batch-capable (use :func:`batch_supported`, or the dispatcher,
+    which partitions and falls back automatically).
+    """
+    if np is None:
+        raise ValueError(
+            "the batch engine requires numpy, which is not importable; "
+            "use backend='fast' (or let the dispatcher fall back)"
+        )
+    normalised = [request.normalised() for request in requests]
+    groups: Dict[Tuple, List[int]] = {}
+    for index, request in enumerate(normalised):
+        if request.observers or request.config.record_states:
+            raise ValueError(
+                "request is not batch-capable (observers or record_states); "
+                "use batch_supported() or the backend dispatcher"
+            )
+        family = _family_of(request.algorithm)
+        if family is None:
+            raise ValueError(
+                f"algorithm {request.algorithm.describe()} has no vectorised "
+                f"kernel; use batch_supported() or the backend dispatcher"
+            )
+        config = request.config
+        key = (
+            family,
+            len(request.initial_values),
+            config.max_rounds,
+            config.min_rounds,
+            config.stop_when_all_decided,
+        )
+        groups.setdefault(key, []).append(index)
+
+    results: List[Optional[SimulationResult]] = [None] * len(normalised)
+    for (family, _n, *_), indices in groups.items():
+        group_requests = [normalised[i] for i in indices]
+        try:
+            group_results = _run_group(family, group_requests)
+        except _BatchFallback:
+            group_results = _run_group_fallback(group_requests)
+        for index, result in zip(indices, group_results):
+            results[index] = result
+    return results  # type: ignore[return-value]

@@ -1,0 +1,179 @@
+"""The unified registration surface: backends, planners, step kernels.
+
+All three registries share one contract (``repro.core.registries``):
+decorator-friendly ``register_*`` functions that refuse to silently
+overwrite built-ins (``overwrite=True`` opts in), and lookups that fail
+with a did-you-mean hint plus the full candidate list.
+"""
+
+import pytest
+
+from repro.adversary import ReliableAdversary
+from repro.adversary.plan import (
+    MaskPlanner,
+    ReliablePlanner,
+    get_planner_factory,
+    planner_for,
+    register_planner,
+)
+from repro.algorithms import AteAlgorithm
+from repro.algorithms.kernels import (
+    AteKernel,
+    get_kernel_factory,
+    register_kernel,
+)
+from repro.core.registries import (
+    did_you_mean,
+    guard_builtin_overwrite,
+    unknown_key_error,
+)
+from repro.simulation.backends import _BACKENDS, get_backend, register_backend
+
+
+class TestHelpers:
+    def test_did_you_mean_close_match(self):
+        assert did_you_mean("fsat", ["fast", "reference"]) == " (did you mean 'fast'?)"
+        assert did_you_mean("zzz", ["fast", "reference"]) == ""
+
+    def test_guard_builtin_overwrite(self):
+        with pytest.raises(ValueError, match="overwrite=True"):
+            guard_builtin_overwrite("thing", "'fast'", True, False)
+        guard_builtin_overwrite("thing", "'fast'", True, True)
+        guard_builtin_overwrite("thing", "'custom'", False, False)
+
+    def test_unknown_key_error_lists_candidates(self):
+        error = unknown_key_error("widget", "spunn", ["eggs", "spun"])
+        assert "unknown widget 'spunn'" in str(error)
+        assert "available: eggs, spun" in str(error)
+        assert "did you mean 'spun'?" in str(error)
+
+
+class TestRegisterBackend:
+    def test_builtin_overwrite_refused_without_flag(self):
+        class Impostor:
+            name = "fast"
+            fallback = None
+            equivalent_to_reference = True
+
+            def supports(self, algorithm, adversary, config, observers):
+                return False
+
+            def run(self, *args):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(ValueError, match="built-in engine backend 'fast'"):
+            register_backend(Impostor())
+        assert type(get_backend("fast")).__name__ == "FastBackend"
+
+    def test_decorator_form_registers_class(self):
+        @register_backend
+        class EchoBackend:
+            name = "echo-test"
+            fallback = "reference"
+            equivalent_to_reference = True
+
+            def supports(self, algorithm, adversary, config, observers):
+                return False
+
+            def run(self, *args):  # pragma: no cover
+                raise AssertionError
+
+        try:
+            assert isinstance(get_backend("echo-test"), EchoBackend)
+        finally:
+            del _BACKENDS["echo-test"]
+
+    def test_overwrite_flag_replaces_builtin_and_restores(self):
+        original = get_backend("fast")
+
+        class Replacement:
+            name = "fast"
+            fallback = "reference"
+            equivalent_to_reference = True
+
+            def supports(self, algorithm, adversary, config, observers):
+                return False
+
+            def run(self, *args):  # pragma: no cover
+                raise AssertionError
+
+        register_backend(Replacement(), overwrite=True)
+        try:
+            assert isinstance(get_backend("fast"), Replacement)
+        finally:
+            register_backend(original, overwrite=True)
+        assert get_backend("fast") is original
+
+
+class TestRegisterPlanner:
+    def test_builtin_overwrite_refused_without_flag(self):
+        with pytest.raises(ValueError, match="built-in mask planner"):
+            register_planner(ReliableAdversary, ReliablePlanner)
+
+    def test_decorator_form_and_lookup(self):
+        class QuietAdversary(ReliableAdversary):
+            pass
+
+        @register_planner(QuietAdversary)
+        class QuietPlanner(ReliablePlanner):
+            pass
+
+        from repro.adversary.plan import _NATIVE_PLANNERS
+
+        try:
+            assert get_planner_factory(QuietAdversary) is QuietPlanner
+            planner = planner_for(QuietAdversary(), n=4)
+            assert isinstance(planner, QuietPlanner)
+        finally:
+            del _NATIVE_PLANNERS[QuietAdversary]
+
+    def test_unknown_planner_lookup_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'ReliableAdversary'"):
+            get_planner_factory("ReliableAdversery")
+
+
+class TestRegisterKernel:
+    def test_builtin_overwrite_refused_without_flag(self):
+        with pytest.raises(ValueError, match="built-in step kernel"):
+            register_kernel(AteAlgorithm, AteKernel)
+
+    def test_decorator_form_and_lookup(self):
+        class HushedAte(AteAlgorithm):
+            pass
+
+        @register_kernel(HushedAte)
+        class HushedKernel(AteKernel):
+            pass
+
+        from repro.algorithms.kernels import _KERNELS
+
+        try:
+            assert get_kernel_factory(HushedAte) is HushedKernel
+            assert get_kernel_factory("HushedAte") is HushedKernel
+        finally:
+            del _KERNELS[HushedAte]
+
+    def test_unknown_kernel_lookup_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'AteAlgorithm'"):
+            get_kernel_factory("AteAlgorthm")
+
+    def test_direct_form_returns_factory(self):
+        class WhisperAte(AteAlgorithm):
+            pass
+
+        from repro.algorithms.kernels import _KERNELS
+
+        returned = register_kernel(WhisperAte, AteKernel)
+        try:
+            assert returned is AteKernel
+        finally:
+            del _KERNELS[WhisperAte]
+
+
+class TestPlannerAdapterPath:
+    def test_planner_for_never_raises_for_unknown(self):
+        class NobodyKnowsMe(ReliableAdversary):
+            pass
+
+        planner = planner_for(NobodyKnowsMe(), n=4)
+        assert isinstance(planner, MaskPlanner)

@@ -1,0 +1,99 @@
+"""Every ``repro`` import shown in docs code blocks must resolve.
+
+Docs rot silently when a re-export is dropped: the page still renders,
+the snippet just stops working for readers.  This test parses every
+fenced ``python`` code block in the docs site and README with ``ast``,
+collects the ``repro``-rooted imports, and asserts each imported module
+exists and exposes each imported name — so curating ``__all__`` (or
+moving a symbol) breaks CI, not users.
+"""
+
+import ast
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_SOURCES = sorted(REPO_ROOT.glob("docs/**/*.md")) + [REPO_ROOT / "README.md"]
+
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path):
+    return [match.group(1) for match in FENCE.finditer(path.read_text())]
+
+
+def repro_imports(source):
+    """``(module, name)`` pairs for repro-rooted imports in ``source``.
+
+    ``name`` is None for plain ``import repro.x`` statements.  Blocks
+    that are deliberately not pure Python (e.g. shell transcripts) fail
+    to parse and are skipped — this gate is about imports, not prose.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    pairs = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "repro" or node.module.startswith("repro."):
+                pairs.extend((node.module, alias.name) for alias in node.names)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    pairs.append((alias.name, None))
+    return pairs
+
+
+def collect_cases():
+    cases = []
+    for path in DOC_SOURCES:
+        if not path.exists():
+            continue
+        for block in python_blocks(path):
+            for module, name in repro_imports(block):
+                cases.append(pytest.param(
+                    module, name,
+                    id=f"{path.relative_to(REPO_ROOT)}:{module}.{name or '*'}",
+                ))
+    return cases
+
+
+CASES = collect_cases()
+
+
+def test_docs_actually_contain_repro_imports():
+    """Guard the guard: an empty case list means the scraper broke."""
+    assert len(CASES) >= 5
+
+
+@pytest.mark.parametrize("module,name", CASES)
+def test_documented_import_resolves(module, name):
+    imported = importlib.import_module(module)
+    if name is not None and name != "*":
+        assert hasattr(imported, name), (
+            f"docs import 'from {module} import {name}' no longer resolves"
+        )
+
+
+class TestCuratedAll:
+    """The package-level ``__all__`` lists must stay importable."""
+
+    @pytest.mark.parametrize("module_name", ["repro", "repro.simulation"])
+    def test_all_names_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        missing = [n for n in module.__all__ if not hasattr(module, n)]
+        assert missing == []
+
+    def test_batch_first_api_is_exported(self):
+        import repro
+
+        for name in (
+            "CampaignRunner", "CampaignSpec", "EngineBackend",
+            "SimulationRequest", "register_backend", "register_kernel",
+            "register_planner", "run_simulations_batched",
+        ):
+            assert name in repro.__all__

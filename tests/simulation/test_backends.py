@@ -24,7 +24,7 @@ def _config(**kwargs):
 
 class TestBackendRegistry:
     def test_available_backends(self):
-        assert available_backends() == ["async", "fast", "reference"]
+        assert available_backends() == ["async", "batch", "fast", "reference"]
 
     def test_get_backend(self):
         assert get_backend("fast").name == "fast"
@@ -34,7 +34,7 @@ class TestBackendRegistry:
     def test_unknown_backend_suggestion(self):
         with pytest.raises(ValueError, match="did you mean 'fast'"):
             get_backend("fsat")
-        with pytest.raises(ValueError, match="available: async, fast, reference"):
+        with pytest.raises(ValueError, match="available: async, batch, fast, reference"):
             get_backend("gpu")
 
 

@@ -1,0 +1,263 @@
+"""Unit tests for the batch engine: requests, grouping, fallbacks.
+
+The differential grid (``test_batch_engine_differential.py``) gates
+byte-identity; this module covers the machinery around it — request
+normalisation, shape grouping, the conservative per-run fallbacks for
+value domains the codebook cannot represent faithfully, and the
+``run_simulations_batched`` dispatcher (including NumPy-less
+degradation, which must keep ``backend="batch"`` safe to request).
+"""
+
+import pytest
+
+from repro.adversary import RandomOmissionAdversary, ReliableAdversary
+from repro.algorithms import AteAlgorithm, PhaseKingAlgorithm, UteAlgorithm
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation import batch_engine
+from repro.simulation.backends import get_backend, run_simulations_batched
+from repro.simulation.batch_engine import (
+    SimulationRequest,
+    batch_supported,
+    numpy_available,
+    run_algorithm_batch,
+)
+from repro.simulation.engine import RoundObserver
+from repro.workloads import generators
+
+np = pytest.importorskip("numpy")
+
+CONFIG = SimulationConfig(max_rounds=20, record_states=False)
+
+
+def ate_request(n=6, seed=3, adversary=None, config=CONFIG, initial=None):
+    return SimulationRequest(
+        algorithm=AteAlgorithm.symmetric(n=n, alpha=1),
+        initial_values=initial or generators.uniform_random(n, seed=seed),
+        adversary=adversary or RandomOmissionAdversary(0.2, seed=seed),
+        config=config,
+    )
+
+
+def reference_result(request):
+    return run_simulation(
+        request.algorithm, dict(request.initial_values), request.adversary,
+        request.config, backend="reference",
+    )
+
+
+class TestSimulationRequest:
+    def test_normalised_fills_defaults(self):
+        request = SimulationRequest(
+            AteAlgorithm.symmetric(n=4, alpha=0), generators.split(4)
+        )
+        normalised = request.normalised()
+        assert isinstance(normalised.adversary, ReliableAdversary)
+        assert normalised.config is not None
+        assert normalised.spec is not None
+
+    def test_batch_supported_mirrors_fast_constraints(self):
+        algorithm = AteAlgorithm.symmetric(n=4, alpha=0)
+        assert batch_supported(algorithm, config=CONFIG)
+        # record_states and observers disqualify, exactly like `fast`.
+        assert not batch_supported(
+            algorithm, config=SimulationConfig(max_rounds=5, record_states=True)
+        )
+
+        class Observer(RoundObserver):
+            def on_round(self, *args, **kwargs):
+                pass
+
+        assert not batch_supported(
+            algorithm, config=CONFIG, observers=[Observer()]
+        )
+        # No vectorised kernel family for phase-king.
+        assert not batch_supported(PhaseKingAlgorithm(n=4, f=1), config=CONFIG)
+
+    def test_rejecting_unsupported_requests(self):
+        with pytest.raises(ValueError, match="no vectorised kernel"):
+            run_algorithm_batch([
+                SimulationRequest(
+                    PhaseKingAlgorithm(n=4, f=1), generators.split(4), config=CONFIG
+                )
+            ])
+
+    def test_custom_kernel_registration_disqualifies_batch(self):
+        """A kernel registered over a built-in algorithm class must take
+        the per-run path: the vectorised kernels mirror the *built-in*
+        semantics only."""
+        from repro.algorithms.kernels import AteKernel, register_kernel
+
+        class LoudAteKernel(AteKernel):
+            pass
+
+        algorithm = AteAlgorithm.symmetric(n=4, alpha=0)
+        assert batch_supported(algorithm, config=CONFIG)
+        register_kernel(AteAlgorithm, LoudAteKernel, overwrite=True)
+        try:
+            assert not batch_supported(algorithm, config=CONFIG)
+        finally:
+            register_kernel(AteAlgorithm, AteKernel, overwrite=True)
+        assert batch_supported(algorithm, config=CONFIG)
+
+
+class TestShapeGrouping:
+    def test_mixed_shapes_and_horizons_in_one_call(self):
+        requests, references = [], []
+        for n, max_rounds in [(4, 10), (7, 10), (4, 16)]:
+            for seed in (0, 1):
+                config = SimulationConfig(max_rounds=max_rounds, record_states=False)
+                requests.append(ate_request(n=n, seed=seed, config=config))
+                references.append(reference_result(
+                    ate_request(n=n, seed=seed, config=config)
+                ))
+        results = run_algorithm_batch(requests)
+        for reference, batch in zip(references, results):
+            assert batch.metadata.get("engine") == "batch"
+            assert reference.outcome == batch.outcome
+            assert reference.metrics.as_dict() == batch.metrics.as_dict()
+
+    def test_families_group_separately(self):
+        requests = [
+            ate_request(n=5, seed=0),
+            SimulationRequest(
+                UteAlgorithm.minimal(n=5, alpha=1),
+                generators.uniform_random(5, seed=0),
+                adversary=ReliableAdversary(),
+                config=CONFIG,
+            ),
+        ]
+        references = [reference_result(r) for r in (
+            ate_request(n=5, seed=0),
+            SimulationRequest(
+                UteAlgorithm.minimal(n=5, alpha=1),
+                generators.uniform_random(5, seed=0),
+                adversary=ReliableAdversary(),
+                config=CONFIG,
+            ),
+        )]
+        results = run_algorithm_batch(requests)
+        for reference, batch in zip(references, results):
+            assert reference.outcome == batch.outcome
+
+
+class TestConservativeFallbacks:
+    """Value domains the codebook cannot represent faithfully must fall
+    back to per-run fast execution — correct results, never a crash."""
+
+    def test_cross_type_equal_values_fall_back(self):
+        # True == 1, so a shared Counter codebook cannot keep per-run
+        # first-insertion representatives; the whole group falls back.
+        initial = {0: True, 1: 1, 2: 0, 3: False, 4: 1, 5: True}
+        request = ate_request(n=6, initial=dict(initial),
+                              adversary=ReliableAdversary())
+        reference = reference_result(
+            ate_request(n=6, initial=dict(initial), adversary=ReliableAdversary())
+        )
+        result = run_algorithm_batch([request])[0]
+        assert result.metadata.get("engine") == "fast"
+        assert reference.outcome == result.outcome
+
+    def test_unorderable_value_domain_falls_back(self):
+        class Opaque:
+            """Distinct instances with identical sort keys."""
+
+            def __repr__(self):
+                return "Opaque()"
+
+        initial = {pid: Opaque() for pid in range(4)}
+        request = ate_request(n=4, initial=dict(initial),
+                              adversary=ReliableAdversary())
+        reference = reference_result(
+            ate_request(n=4, initial=dict(initial), adversary=ReliableAdversary())
+        )
+        result = run_algorithm_batch([request])[0]
+        assert result.metadata.get("engine") == "fast"
+        assert reference.rounds_executed == result.rounds_executed
+        assert [d.process for d in reference.outcome.decisions] == [
+            d.process for d in result.outcome.decisions
+        ]
+
+    def test_fallback_replays_seeded_schedules(self):
+        """The aborted batch may have consumed adversary RNG; the
+        fallback must reset schedules so per-run replay stays exact."""
+        # One poisoned run aborts its whole group after the seeded
+        # adversaries have started planning rounds.
+        poisoned = ate_request(
+            n=6, initial={0: True, 1: 1, 2: 0, 3: 0, 4: 1, 5: 0},
+            adversary=RandomOmissionAdversary(0.3, seed=5),
+        )
+        clean_seeds = [0, 1, 2]
+        requests = [poisoned] + [ate_request(n=6, seed=s) for s in clean_seeds]
+        references = [reference_result(ate_request(
+            n=6, initial={0: True, 1: 1, 2: 0, 3: 0, 4: 1, 5: 0},
+            adversary=RandomOmissionAdversary(0.3, seed=5),
+        ))] + [reference_result(ate_request(n=6, seed=s)) for s in clean_seeds]
+        results = run_algorithm_batch(requests)
+        for reference, result in zip(references, results):
+            assert result.metadata.get("engine") == "fast"
+            assert reference.outcome == result.outcome
+            assert reference.metrics.as_dict() == result.metrics.as_dict()
+
+
+class TestBatchedDispatcher:
+    def test_partitions_batchable_and_rest(self):
+        class Observer(RoundObserver):
+            def on_round(self, *args, **kwargs):
+                pass
+
+        requests = [ate_request(seed=s) for s in range(4)]
+        requests.insert(2, SimulationRequest(
+            AteAlgorithm.symmetric(n=6, alpha=1),
+            generators.uniform_random(6, seed=9),
+            adversary=ReliableAdversary(),
+            config=CONFIG,
+            observers=[Observer()],
+        ))
+        results = run_simulations_batched(requests)
+        engines = [r.metadata.get("engine") for r in results]
+        assert engines == ["batch", "batch", None, "batch", "batch"]
+
+    def test_explicit_backend_instance(self):
+        backend = get_backend("batch")
+        results = run_simulations_batched(
+            [ate_request(seed=s) for s in range(3)], backend=backend
+        )
+        assert all(r.metadata.get("engine") == "batch" for r in results)
+
+    def test_non_batch_backend_runs_per_request(self):
+        results = run_simulations_batched(
+            [ate_request(seed=s) for s in range(3)], backend="fast"
+        )
+        assert all(r.metadata.get("engine") == "fast" for r in results)
+
+
+class TestNumpyLessDegradation:
+    """Without NumPy the backend stays registered and degrades to fast."""
+
+    def test_batch_reports_unsupported(self, monkeypatch):
+        monkeypatch.setattr(batch_engine, "np", None)
+        assert not numpy_available()
+        assert not batch_supported(
+            AteAlgorithm.symmetric(n=4, alpha=0), config=CONFIG
+        )
+
+    def test_run_simulation_falls_back_to_fast(self, monkeypatch):
+        monkeypatch.setattr(batch_engine, "np", None)
+        request = ate_request(seed=4)
+        result = run_simulation(
+            request.algorithm, dict(request.initial_values), request.adversary,
+            request.config, backend="batch",
+        )
+        assert result.metadata.get("engine") == "fast"
+        reference = reference_result(ate_request(seed=4))
+        assert reference.outcome == result.outcome
+
+    def test_run_algorithm_batch_refuses_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch_engine, "np", None)
+        with pytest.raises(ValueError, match="requires numpy"):
+            run_algorithm_batch([ate_request()])
+
+    def test_dispatcher_degrades_per_request(self, monkeypatch):
+        monkeypatch.setattr(batch_engine, "np", None)
+        results = run_simulations_batched([ate_request(seed=s) for s in range(3)])
+        assert all(r.metadata.get("engine") == "fast" for r in results)

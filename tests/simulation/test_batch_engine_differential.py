@@ -1,0 +1,186 @@
+"""Differential tests: the batch backend is semantically invisible.
+
+The batch engine executes whole seed sweeps as NumPy arrays, so it is
+gated twice: every cell of the fast engine's differential grid must be
+byte-identical when run as a single-request batch, and whole
+heterogeneous sweeps (many seeds, mixed shapes, staggered early exits)
+must match per-run reference execution run for run.  Byte-identical
+records mean cache entries are shared across ``reference``/``fast``/
+``batch`` without a schema bump.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.adversary import PeriodicGoodRoundAdversary, RandomCorruptionAdversary
+from repro.algorithms import AteAlgorithm
+from repro.core.predicates import AlphaSafePredicate
+from repro.runner import CampaignRunner, DecisionReducer, RunTask
+from repro.simulation import SimulationConfig, run_simulation
+from repro.simulation.batch_engine import SimulationRequest, run_algorithm_batch
+from repro.workloads import generators
+from test_fast_engine_differential import (
+    ADVERSARIES,
+    ALGORITHMS,
+    MAX_ROUNDS,
+    assert_equivalent,
+)
+
+
+def run_reference_and_batch(algorithm_factory, adversary_factory, n, seed=42,
+                            **config_kwargs):
+    config_kwargs.setdefault("max_rounds", MAX_ROUNDS)
+    config = SimulationConfig(record_states=False, **config_kwargs)
+    initial_values = generators.uniform_random(n, seed=seed)
+    reference = run_simulation(
+        algorithm_factory(n), initial_values, adversary_factory(n), config,
+        backend="reference",
+    )
+    batch = run_simulation(
+        algorithm_factory(n), initial_values, adversary_factory(n), config,
+        backend="batch",
+    )
+    assert batch.metadata.get("engine") == "batch", "batch backend did not engage"
+    return reference, batch
+
+
+@pytest.mark.parametrize("n", [4, 10, 30])
+@pytest.mark.parametrize("adversary_name", sorted(ADVERSARIES))
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+def test_differential_grid(algorithm_name, adversary_name, n):
+    reference, batch = run_reference_and_batch(
+        ALGORITHMS[algorithm_name], ADVERSARIES[adversary_name], n
+    )
+    assert_equivalent(reference, batch)
+
+
+class TestWholeSweepBatches:
+    """Multi-run batches: the whole grid in one call, staggered exits."""
+
+    def test_grid_slice_as_one_heterogeneous_batch(self):
+        """Every algorithm × adversary cell at n=10, all seeds, in ONE
+        ``run_algorithm_batch`` call: grouping by shape plus per-run
+        early-exit masks must reproduce per-run reference execution."""
+        config = SimulationConfig(max_rounds=MAX_ROUNDS, record_states=False)
+        requests, references = [], []
+        for algorithm_name in sorted(ALGORITHMS):
+            for adversary_name in sorted(ADVERSARIES):
+                for seed in (1, 2):
+                    initial = generators.uniform_random(10, seed=seed)
+                    requests.append(SimulationRequest(
+                        ALGORITHMS[algorithm_name](10), initial,
+                        adversary=ADVERSARIES[adversary_name](10), config=config,
+                    ))
+                    references.append(run_simulation(
+                        ALGORITHMS[algorithm_name](10), initial,
+                        ADVERSARIES[adversary_name](10), config,
+                        backend="reference",
+                    ))
+        results = run_algorithm_batch(requests)
+        assert len(results) == len(references)
+        for reference, batch in zip(references, results):
+            assert_equivalent(reference, batch)
+
+    def test_staggered_early_exit(self):
+        """Runs deciding at different rounds leave the active set one by
+        one; finished runs must not keep accruing rounds or messages."""
+        config = SimulationConfig(max_rounds=40, record_states=False)
+        requests, references = [], []
+        for seed in range(12):
+            initial = generators.uniform_random(8, seed=seed)
+            adversary = RandomCorruptionAdversary(
+                alpha=1, corruption_probability=0.5, drop_probability=0.3,
+                value_domain=(0, 1), seed=seed,
+            )
+            requests.append(SimulationRequest(
+                AteAlgorithm.symmetric(n=8, alpha=1), initial,
+                adversary=adversary, config=config,
+            ))
+            references.append(run_simulation(
+                AteAlgorithm.symmetric(n=8, alpha=1), initial,
+                RandomCorruptionAdversary(
+                    alpha=1, corruption_probability=0.5, drop_probability=0.3,
+                    value_domain=(0, 1), seed=seed,
+                ),
+                config, backend="reference",
+            ))
+        results = run_algorithm_batch(requests)
+        rounds = {r.rounds_executed for r in results}
+        assert len(rounds) > 1, "cell too uniform to exercise staggered exits"
+        for reference, batch in zip(references, results):
+            assert_equivalent(reference, batch)
+
+    def test_min_rounds_and_no_stop(self):
+        for kwargs in ({"min_rounds": 9}, {"stop_when_all_decided": False},
+                       {"min_rounds": MAX_ROUNDS}):
+            reference, batch = run_reference_and_batch(
+                ALGORITHMS["ute"], ADVERSARIES["good-phases"], n=6, **kwargs
+            )
+            assert_equivalent(reference, batch)
+
+    def test_none_initial_values(self):
+        """Degenerate None 'decisions' stay undecided in the active mask."""
+        n = 4
+        config = SimulationConfig(max_rounds=8, record_states=False)
+        initial_values = {pid: None for pid in range(n)}
+        reference = run_simulation(
+            ALGORITHMS["ate"](n), initial_values,
+            ADVERSARIES["reliable"](n), config, backend="reference",
+        )
+        batch = run_simulation(
+            ALGORITHMS["ate"](n), initial_values,
+            ADVERSARIES["reliable"](n), config, backend="batch",
+        )
+        assert batch.metadata.get("engine") == "batch"
+        assert_equivalent(reference, batch)
+        assert batch.rounds_executed == 8
+
+
+class TestRecordByteEquality:
+    """Cached rows and reduced records are byte-identical across backends."""
+
+    def _task(self, backend, n=9):
+        return RunTask(
+            algorithm=AteAlgorithm.symmetric(n=n, alpha=1),
+            adversary=PeriodicGoodRoundAdversary(
+                inner=RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=11),
+                period=4,
+            ),
+            initial_values=generators.split(n),
+            max_rounds=20,
+            predicate=AlphaSafePredicate(1),
+            key="batch-differential/0000",
+            cell={"algorithm": "ate", "n": n},
+            run_index=0,
+            seed=11,
+            backend=backend,
+        )
+
+    def test_run_records_byte_identical(self):
+        records = {}
+        for backend in ("reference", "batch"):
+            runner = CampaignRunner()
+            records[backend] = runner.run_tasks([self._task(backend)])[0]
+        assert records["reference"].as_dict() == records["batch"].as_dict()
+
+    def test_reduced_records_byte_identical(self):
+        reduced = {}
+        for backend in ("reference", "batch"):
+            runner = CampaignRunner()
+            reduced[backend] = runner.run_reduced(
+                [self._task(backend)], DecisionReducer()
+            )[0]
+        assert reduced["reference"].as_dict() == reduced["batch"].as_dict()
+
+    def test_cache_entries_shared_with_batch(self, tmp_path):
+        """A row cached by the batch backend is a hit for reference/fast."""
+        runner_batch = CampaignRunner(cache=str(tmp_path), backend="batch")
+        first = runner_batch.run_tasks([self._task(None)])[0]
+        assert runner_batch.stats.cache_misses == 1
+        assert runner_batch.stats.batched == 1
+        for other in ("reference", "fast"):
+            runner = CampaignRunner(cache=str(tmp_path), backend=other)
+            second = runner.run_tasks([self._task(None)])[0]
+            assert runner.stats.cache_hits == 1
+            assert first.as_dict() == second.as_dict()
