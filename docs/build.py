@@ -10,7 +10,9 @@ HTML under ``docs/_site/`` and **fails on warnings**:
 * a dead relative link (to a page, a repo file or a heading anchor) in
   any docs page or in ``README.md``'s links into ``docs/``;
 * a ``docs/reference/cli.md`` that is out of sync with
-  :func:`repro.cli.cli_reference_markdown`.
+  :func:`repro.cli.cli_reference_markdown`;
+* a rule catalogue in ``docs/static-analysis.md`` that is out of sync
+  with :func:`repro.devtools.lint.rule_catalogue_markdown`.
 
 Anyone with mkdocs installed can build the same nav with
 ``mkdocs build --strict``; this builder exists so the site (and its
@@ -20,6 +22,7 @@ Usage::
 
     PYTHONPATH=src python docs/build.py --strict          # build + check
     PYTHONPATH=src python docs/build.py --write-cli-reference
+    PYTHONPATH=src python docs/build.py --write-rule-catalogue
 """
 
 from __future__ import annotations
@@ -303,6 +306,39 @@ def _cli_reference() -> str:
     return cli_reference_markdown()
 
 
+_CATALOGUE_BEGIN = "<!-- RULE-CATALOGUE:BEGIN -->"
+_CATALOGUE_END = "<!-- RULE-CATALOGUE:END -->"
+STATIC_ANALYSIS_PAGE = DOCS_DIR / "static-analysis.md"
+
+
+def _rule_catalogue() -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.devtools.lint import rule_catalogue_markdown
+    finally:
+        sys.path.pop(0)
+    return rule_catalogue_markdown()
+
+
+def replace_rule_catalogue(text: str, generated: str) -> str:
+    """``text`` with its RULE-CATALOGUE region replaced by ``generated``.
+
+    Raises ``ValueError`` when the page has no (or a malformed) marker
+    pair — the region is the contract that keeps the docs catalogue in
+    lockstep with the registered rules' docstrings.
+    """
+    begin = text.find(_CATALOGUE_BEGIN)
+    end = text.find(_CATALOGUE_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise ValueError(
+            f"{STATIC_ANALYSIS_PAGE}: missing or malformed "
+            f"{_CATALOGUE_BEGIN} / {_CATALOGUE_END} markers"
+        )
+    head = text[: begin + len(_CATALOGUE_BEGIN)]
+    tail = text[end:]
+    return f"{head}\n\n{generated.rstrip()}\n\n{tail}"
+
+
 def collect_warnings() -> List[str]:
     """Every docs-site warning: nav gaps, dead links, stale CLI reference."""
     warnings: List[str] = []
@@ -338,6 +374,18 @@ def collect_warnings() -> List[str]:
             "docs/reference/cli.md is stale; regenerate with "
             "'PYTHONPATH=src python docs/build.py --write-cli-reference'"
         )
+    if STATIC_ANALYSIS_PAGE.exists():
+        text = STATIC_ANALYSIS_PAGE.read_text(encoding="utf-8")
+        try:
+            expected = replace_rule_catalogue(text, _rule_catalogue())
+        except ValueError as exc:
+            warnings.append(str(exc))
+        else:
+            if text != expected:
+                warnings.append(
+                    "docs/static-analysis.md rule catalogue is stale; regenerate "
+                    "with 'PYTHONPATH=src python docs/build.py --write-rule-catalogue'"
+                )
     return warnings
 
 
@@ -354,6 +402,12 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="regenerate docs/reference/cli.md from the argparse definitions and exit",
     )
+    parser.add_argument(
+        "--write-rule-catalogue",
+        action="store_true",
+        help="regenerate the rule catalogue region of docs/static-analysis.md "
+        "from the registered lint rules' docstrings and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.write_cli_reference:
@@ -361,6 +415,14 @@ def main(argv: List[str] = None) -> int:
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(_cli_reference(), encoding="utf-8")
         print(f"wrote {target}")
+        return 0
+
+    if args.write_rule_catalogue:
+        text = STATIC_ANALYSIS_PAGE.read_text(encoding="utf-8")
+        STATIC_ANALYSIS_PAGE.write_text(
+            replace_rule_catalogue(text, _rule_catalogue()), encoding="utf-8"
+        )
+        print(f"wrote {STATIC_ANALYSIS_PAGE}")
         return 0
 
     warnings = collect_warnings()

@@ -90,7 +90,7 @@ class MinimumSafeDeliveryAdversary(Adversary):
     def deliver_round(self, round_num: int, intended: IntendedMatrix) -> ReceivedMatrix:
         received = self.inner.deliver_round(round_num, intended)
         senders = sorted(intended)
-        for receiver in {r for per in intended.values() for r in per}:
+        for receiver in sorted({r for per in intended.values() for r in per}):
             inbox = received.setdefault(receiver, {})
             safe = [
                 s

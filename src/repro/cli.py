@@ -1,6 +1,6 @@
 """Command-line interface.
 
-``repro-ho`` (or ``python -m repro.cli``) exposes six subcommands:
+``repro-ho`` (or ``python -m repro.cli``) exposes seven subcommands:
 
 * ``run``        — run one consensus instance (algorithm, scenario or
   custom fault environment) and print the outcome;
@@ -19,7 +19,11 @@
 * ``supervise``  — auto-scale a local worker fleet against a queue
   directory from observed queue depth;
 * ``table``      — print the analytic tables (Table 1, the related-work
-  comparison and the resilience table) without running simulations.
+  comparison and the resilience table) without running simulations;
+* ``lint``       — run the ``repro-lint`` static-analysis rules
+  (determinism, store-seam, schema and registry discipline) over the
+  source tree; exit codes and the baseline flow are documented in its
+  ``--help`` epilog.
 
 ``campaign`` exits non-zero when any run of the campaign failed or
 timed out, printing the failure counts and (for distributed campaigns)
@@ -507,6 +511,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is devtooling and none of its modules
+    # should load for ordinary run/campaign invocations.
+    from repro.devtools.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ho",
@@ -804,6 +816,22 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("--n", type=int, default=12)
     table_parser.add_argument("--ns", type=int, nargs="*", default=[4, 8, 12, 16, 20, 40])
     table_parser.set_defaults(func=_cmd_table)
+
+    from repro.devtools.lint.cli import LINT_EPILOG, add_lint_arguments
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repro-lint static-analysis rules",
+        description=(
+            "AST-based invariant linter: machine-checks the determinism (D), "
+            "store-seam (A), serialisation/schema (S) and registry (R) rules "
+            "the distributed runner's correctness rests on."
+        ),
+        epilog=LINT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=_cmd_lint)
 
     return parser
 

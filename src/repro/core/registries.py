@@ -1,16 +1,18 @@
-"""Shared behaviour of the three runtime registries.
+"""Shared behaviour of the repository's registries.
 
-The repository has three extension seams that map names (or classes) to
+The repository has four extension seams that map names (or classes) to
 pluggable implementations: engine backends
 (:func:`repro.simulation.backends.register_backend`), native mask
-planners (:func:`repro.adversary.plan.register_planner`) and algorithm
-step kernels (:func:`repro.algorithms.kernels.register_kernel`).  All
-three share the same contract, implemented here:
+planners (:func:`repro.adversary.plan.register_planner`), algorithm
+step kernels (:func:`repro.algorithms.kernels.register_kernel`) and
+static-analysis rules (:func:`repro.devtools.lint.register_rule`).  All
+four share the same contract, implemented here:
 
 * registration functions are usable directly *and* as decorators;
 * overwriting a **built-in** entry raises unless ``overwrite=True`` is
-  passed explicitly (silently shadowing ``fast`` or the ``A_{T,E}``
-  kernel would change semantics for every caller in the process);
+  passed explicitly (silently shadowing ``fast``, the ``A_{T,E}``
+  kernel or lint rule ``D201`` would change semantics for every caller
+  in the process);
 * lookups of unknown entries raise with a did-you-mean suggestion.
 """
 

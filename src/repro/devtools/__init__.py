@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the package but never runs in production.
+
+Currently one tool: :mod:`repro.devtools.lint`, the AST-based invariant
+linter (``repro-ho lint`` / ``python -m repro.devtools.lint``).
+"""

@@ -1,0 +1,51 @@
+"""repro-lint: the AST-based invariant linter.
+
+The scaling story built up over PRs 3-6 (shared caches, lease-based
+work queues, work stealing, crash recovery) rests on invariants the
+code states only in prose: runs are deterministic, shared-directory
+writes are crash-atomic through the `CacheStore` seam, serialised
+shapes only change with a schema-version bump, registries are used
+honestly.  This package turns those invariants into machine-checked
+lint rules, grouped in four families:
+
+* **D** determinism — `D201` unseeded randomness, `D202` wall-clock /
+  ambient entropy, `D203` set iteration order;
+* **A** atomicity — `A301` direct filesystem writes bypassing
+  `repro/runner/store.py`;
+* **S** serialisation — `S401` strict `json.dumps` discipline, `S402`
+  the schema fingerprint snapshot;
+* **R** registries — `R501` explicit `equivalent_to_reference`
+  declarations, `R502` exact-class registration targets;
+
+plus the linter's own hygiene rules (`L901` justified suppressions,
+`L902` parse errors).  Run it with `python -m repro.devtools.lint` or
+`repro-ho lint`; rules register through
+:func:`repro.devtools.lint.register_rule`, the same decorator-friendly,
+did-you-mean-equipped contract as the engine-backend registry.
+"""
+
+# Importing the rule modules is what registers the built-in rules.
+from . import atomicity, determinism, engine, registration, schema, suppressions
+from .engine import LintReport, lint_paths
+from .findings import Finding
+from .rules import (
+    Rule,
+    _mark_builtin_rules,
+    available_rules,
+    get_rule,
+    register_rule,
+    rule_catalogue_markdown,
+)
+
+_mark_builtin_rules()
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "available_rules",
+    "get_rule",
+    "lint_paths",
+    "register_rule",
+    "rule_catalogue_markdown",
+]

@@ -1,0 +1,151 @@
+"""A-family rules: store-seam (atomicity) discipline.
+
+The shared cache and queue directories are multi-writer: several worker
+processes, possibly on different machines over fsspec, race on the same
+files.  `repro/runner/store.py` is the one module allowed to touch the
+filesystem directly — its `CacheStore` implementations encode the
+crash-atomic publish protocol (tmp file + exclusive hard link).  A raw
+`open(..., "w")` anywhere else in `runner/` reintroduces the torn-write
+and half-published-record failure modes PR 4 eliminated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from .findings import Finding
+from .rules import (
+    ImportMap,
+    ModuleContext,
+    Rule,
+    constant_str,
+    finding,
+    iter_calls,
+    register_rule,
+)
+
+_SCOPE_PREFIX = "repro/runner/"
+_SEAM_MODULE = "repro/runner/store.py"
+
+# Method names that write through a Path-like receiver.
+_WRITE_METHODS: FrozenSet[str] = frozenset({"write_text", "write_bytes"})
+
+# Module-level filesystem mutators that publish or move files.
+_FS_MUTATORS: FrozenSet[str] = frozenset(
+    {
+        "os.rename",
+        "os.replace",
+        "os.link",
+        "os.symlink",
+        "shutil.move",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+    }
+)
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """Trailing identifier of the method receiver (`self.store.write_text`
+    -> `store`), or None for computed receivers like `Path(p).write_text`."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _is_store_receiver(func: ast.Attribute) -> bool:
+    """Whether a write method is invoked *through* the seam.
+
+    `CacheStore` implementations are conventionally bound to names
+    ending in `store` (`self.store`, `self._store`, a bare `store`);
+    writes through such a receiver are the seam working as designed,
+    not a bypass of it.
+    """
+    name = _receiver_name(func)
+    return name is not None and name.lower().endswith("store")
+
+
+def _open_write_mode(call: ast.Call) -> Optional[str]:
+    """The mode string if this `open(...)` call writes, else None.
+
+    The mode is the second positional argument or the `mode=` keyword;
+    absent means `"r"`.  A non-constant mode is treated as writing —
+    the seam exists precisely so callers never need a dynamic mode.
+    """
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode_node = kw.value
+    if mode_node is None:
+        return None
+    mode = constant_str(mode_node)
+    if mode is None:
+        return "<dynamic>"
+    return mode if any(flag in mode for flag in "wax+") else None
+
+
+@register_rule
+class StoreSeamRule(Rule):
+    """No direct filesystem writes in `repro/runner/` outside `store.py`: shared-directory writes go through the `CacheStore` protocol.
+
+    `open(..., "w"/"a"/"x"/"+")`, `Path.write_text`/`write_bytes`,
+    `os.rename`/`os.replace`/`os.link`/`os.symlink` and `shutil` copy
+    helpers all bypass the crash-atomic publish protocol (write to a
+    tmp name, then `try_create` via exclusive hard link) that makes
+    records appear all-or-nothing to racing workers.  Use the store
+    passed down from the runner; `store.py` itself is the sanctioned
+    seam and is exempt, and so are write methods invoked through a
+    receiver named `*store` (`self.store.write_text(...)` is the seam
+    working, not a bypass).
+    """
+
+    id = "A301"
+    name = "store-seam"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module_path.startswith(_SCOPE_PREFIX):
+            return
+        if ctx.module_path == _SEAM_MODULE:
+            return
+        imports = ImportMap(ctx.tree)
+        for call in iter_calls(ctx.tree):
+            target = imports.canonical_call(call.func)
+            if target == "open":
+                mode = _open_write_mode(call)
+                if mode is not None:
+                    yield finding(
+                        self,
+                        ctx,
+                        call,
+                        f"open(..., {mode!r}) bypasses the CacheStore seam; "
+                        "publish through the store (repro/runner/store.py)",
+                    )
+                continue
+            if target in _FS_MUTATORS:
+                yield finding(
+                    self,
+                    ctx,
+                    call,
+                    f"{target}() bypasses the CacheStore seam; use the "
+                    "store's try_create/delete protocol instead",
+                )
+                continue
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _WRITE_METHODS
+                and not _is_store_receiver(call.func)
+            ):
+                yield finding(
+                    self,
+                    ctx,
+                    call,
+                    f".{call.func.attr}(...) bypasses the CacheStore seam; "
+                    "write through store.write_text / store.try_create",
+                )

@@ -1,0 +1,163 @@
+"""The checked-in baseline of accepted pre-existing findings.
+
+The baseline (`.repro-lint-baseline.json` at the repo root) is the
+second suppression channel: where an inline comment annotates one
+statement, the baseline records whole accepted findings — matched by
+(rule, path, message), deliberately ignoring line numbers so unrelated
+edits to a file do not churn it.  Every entry requires a justification,
+and entries that no longer match anything are reported as stale so the
+file only ever shrinks by someone noticing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_PLACEHOLDER = "TODO: justify this accepted finding"
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be trusted (unparseable or unjustified)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: identity plus the reason it is acceptable."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class BaselineMatch:
+    """Result of comparing a finding set against the baseline."""
+
+    new: List[Finding]
+    accepted: List[Finding]
+    stale: List[BaselineEntry]
+
+
+def load_baseline(path: Path, strict: bool = True) -> List[BaselineEntry]:
+    """Load and validate a baseline file; missing file means empty.
+
+    ``strict=False`` tolerates missing/placeholder justifications — the
+    `--baseline-update` repair path uses it so a half-filled baseline
+    can still be regenerated without losing the justifications it has.
+    """
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"baseline {path} is unreadable: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("findings"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    entries: List[BaselineEntry] = []
+    for raw in payload["findings"]:
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline {path}: entries must be objects")
+        try:
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                justification=str(raw.get("justification", "")).strip(),
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: entry missing required field {exc}"
+            ) from exc
+        if strict and (not entry.justification or entry.justification == _PLACEHOLDER):
+            raise BaselineError(
+                f"baseline {path}: entry for {entry.rule} at {entry.path} has "
+                "no justification; every accepted finding must say why it is "
+                "acceptable"
+            )
+        entries.append(entry)
+    return entries
+
+
+def match_baseline(findings: List[Finding], entries: List[BaselineEntry]) -> BaselineMatch:
+    """Split findings into new vs accepted; report stale baseline entries.
+
+    Matching is by multiset: two identical findings need two baseline
+    entries, so duplicating an accepted violation still fails the build.
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in entries:
+        budget[entry.key()] = budget.get(entry.key(), 0) + 1
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for item in findings:
+        key = (item.rule, item.path, item.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            accepted.append(item)
+        else:
+            new.append(item)
+    stale = [entry for entry in entries if budget.get(entry.key(), 0) > 0]
+    consumed: Dict[Tuple[str, str, str], int] = {}
+    deduped_stale: List[BaselineEntry] = []
+    for entry in stale:
+        left = budget[entry.key()] - consumed.get(entry.key(), 0)
+        if left > 0:
+            consumed[entry.key()] = consumed.get(entry.key(), 0) + 1
+            deduped_stale.append(entry)
+    return BaselineMatch(new=new, accepted=accepted, stale=deduped_stale)
+
+
+def write_baseline(
+    path: Path, findings: List[Finding], previous: List[BaselineEntry]
+) -> List[BaselineEntry]:
+    """Rewrite the baseline to exactly the current findings
+    (`--baseline-update`), preserving justifications for entries that
+    survive and inserting a placeholder (which the loader rejects until
+    a human fills it in) for newly accepted ones."""
+    kept_justifications: Dict[Tuple[str, str, str], List[str]] = {}
+    for entry in previous:
+        kept_justifications.setdefault(entry.key(), []).append(entry.justification)
+    entries: List[BaselineEntry] = []
+    for item in sorted(findings, key=lambda f: (f.path, f.rule, f.line, f.message)):
+        key = (item.rule, item.path, item.message)
+        pool = kept_justifications.get(key, [])
+        justification = pool.pop(0) if pool else _PLACEHOLDER
+        entries.append(
+            BaselineEntry(
+                rule=item.rule,
+                path=item.path,
+                message=item.message,
+                justification=justification,
+            )
+        )
+    payload = {
+        "comment": "Accepted repro-lint findings; every entry needs a "
+        "justification or the loader refuses the file.",
+        "findings": [entry.as_dict() for entry in entries],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return entries

@@ -1,0 +1,216 @@
+"""Command-line front end: `python -m repro.devtools.lint` / `repro-ho lint`.
+
+Both entry points share :func:`add_lint_arguments` and :func:`run_lint`
+so the flags, the help text and the exit-code contract cannot drift
+between them (the generated CLI reference in the docs keeps the
+`repro-ho lint` side honest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from .engine import LintReport, lint_paths
+from .rules import available_rules, get_rule
+from .schema import write_schema_snapshot
+
+#: Exit status when the tree is clean (or everything is baselined).
+EXIT_CLEAN = 0
+#: Exit status when unbaselined findings (or stale baseline entries) remain.
+EXIT_FINDINGS = 1
+#: Exit status for usage errors, unknown rules and invalid baselines.
+EXIT_USAGE = 2
+
+LINT_EPILOG = """\
+exit codes:
+  0  clean: no findings, or every finding is baselined/suppressed
+  1  unbaselined findings remain (also: stale baseline entries)
+  2  usage error, unknown rule id, or an invalid baseline file
+
+baseline flow:
+  repro-lint writes nothing by default.  To accept the current findings
+  as the new baseline run `--baseline-update`, then fill in the
+  "justification" field of any new entry — the loader rejects
+  placeholder justifications, so an unjustified acceptance cannot
+  sneak through CI.  `--format json` emits {"findings": [...],
+  "summary": {...}} on stdout with the same exit codes.
+"""
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared lint flags on ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output mode: human-readable lines or one JSON document",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        metavar="PATH",
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--baseline-update",
+        action="store_true",
+        help="rewrite the baseline to the current findings (new entries get "
+        "a placeholder justification that must be filled in by hand)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--update-schema-snapshot",
+        action="store_true",
+        help="refresh the S402 schema fingerprint after a deliberate shape "
+        "change plus version bump, then exit",
+    )
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """The standalone `python -m repro.devtools.lint` parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro codebase "
+        "(determinism, store-seam, schema and registry discipline).",
+        epilog=LINT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _selected_rules(spec: str) -> Optional[List[str]]:
+    if not spec.strip():
+        return None
+    rule_ids = [item.strip() for item in spec.split(",") if item.strip()]
+    for rule_id in rule_ids:
+        get_rule(rule_id)  # raises with a did-you-mean on unknown ids
+    return rule_ids
+
+
+def _render_text(report: LintReport) -> None:
+    for item in report.findings:
+        print(item.render())
+    for entry in report.stale_baseline:
+        print(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"({entry.message!r} no longer occurs); remove it",
+        )
+    print(
+        f"repro-lint: {report.checked_files} files checked, "
+        f"{len(report.findings)} findings "
+        f"({len(report.accepted)} baselined, {len(report.suppressed)} "
+        f"suppressed, {len(report.stale_baseline)} stale baseline entries)"
+    )
+
+
+def _render_json(report: LintReport) -> None:
+    payload = {
+        "findings": [item.as_dict() for item in report.findings],
+        "suppressed": [
+            {**item.as_dict(), "justification": item.justification}
+            for item in report.suppressed
+        ],
+        "baselined": [item.as_dict() for item in report.accepted],
+        "stale_baseline": [entry.as_dict() for entry in report.stale_baseline],
+        "summary": {
+            "checked_files": report.checked_files,
+            "findings": len(report.findings),
+            "baselined": len(report.accepted),
+            "suppressed": len(report.suppressed),
+            "stale_baseline": len(report.stale_baseline),
+        },
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False))
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        for rule_id in available_rules():
+            cls = get_rule(rule_id)
+            summary = (cls.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule_id}  {cls.name}: {summary}")
+        return EXIT_CLEAN
+    if args.update_schema_snapshot:
+        shapes = write_schema_snapshot()
+        print(
+            "repro-lint: schema snapshot refreshed "
+            f"(cache v{shapes['cache_schema_version']}, "
+            f"queue v{shapes['queue_schema_version']})"
+        )
+        return EXIT_CLEAN
+    try:
+        rule_ids = _selected_rules(args.rules)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    baseline_path = None if args.no_baseline else Path(args.baseline)
+    if args.baseline_update:
+        target = Path(args.baseline)
+        previous = load_baseline(target, strict=False)
+        report = lint_paths(paths, rule_ids=rule_ids, baseline_path=None)
+        entries = write_baseline(target, report.findings, previous)
+        print(
+            f"repro-lint: baseline {target} rewritten with "
+            f"{len(entries)} entries"
+        )
+        return EXIT_CLEAN
+    try:
+        report = lint_paths(paths, rule_ids=rule_ids, baseline_path=baseline_path)
+    except BaselineError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        _render_json(report)
+    else:
+        _render_text(report)
+    if report.findings or report.stale_baseline:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for `python -m repro.devtools.lint`."""
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    return run_lint(args)

@@ -1,0 +1,172 @@
+"""D-family rules: the determinism contract.
+
+Every scaling feature since PR 3 — cross-backend cache sharing, lease
+races, work stealing, crash recovery — assumes runs are byte-identical
+given the same spec and seed.  These rules machine-check the three ways
+that contract silently breaks: ambient randomness, ambient clocks, and
+hash-randomised set iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Set
+
+from .findings import Finding
+from .rules import ImportMap, ModuleContext, Rule, finding, iter_calls, register_rule
+
+# Wall-clock / ambient-entropy call targets D202 refuses, keyed by the
+# canonical dotted name resolved through the module's imports.
+_WALL_CLOCK: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+# The sanctioned clock/entropy seam: modules (by repro-relative path)
+# allowed to read specific ambient sources.  The distributed queue is
+# the only legal wall-clock consumer — lease TTLs, heartbeats and
+# backoff deadlines are *meant* to observe real time; none of it ever
+# reaches a cache key or a serialised record payload.
+_CLOCK_SEAM: Dict[str, FrozenSet[str]] = {
+    "repro/runner/distributed.py": frozenset({"time.time", "uuid.uuid4"}),
+}
+
+# random-module callables that construct an explicitly seeded generator
+# (or are pure helpers) rather than drawing from the ambient global RNG.
+_SEEDED_CONSTRUCTORS: FrozenSet[str] = frozenset({"random.Random"})
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """No module-level `random.*` calls: all randomness flows from an explicitly seeded `random.Random(seed)`.
+
+    The global `random` module draws from interpreter-wide ambient state,
+    so two workers replaying the same run spec diverge and the shared
+    cache serves records that no longer reproduce.  Construct a
+    `random.Random(seed)` (seed derived from the run spec) and thread it
+    explicitly; `random.Random()` *without* a seed argument is just the
+    ambient RNG wearing a disguise and is flagged too.
+    """
+
+    id = "D201"
+    name = "unseeded-random"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for call in iter_calls(ctx.tree):
+            target = imports.canonical_call(call.func)
+            if target is None or not target.startswith("random."):
+                continue
+            if target in _SEEDED_CONSTRUCTORS:
+                if call.args or call.keywords:
+                    continue
+                yield finding(
+                    self,
+                    ctx,
+                    call,
+                    "random.Random() without a seed argument draws from ambient "
+                    "entropy; pass a seed derived from the run spec",
+                )
+                continue
+            yield finding(
+                self,
+                ctx,
+                call,
+                f"module-level call {target}() uses the ambient global RNG; "
+                "thread an explicitly seeded random.Random(seed) instead",
+            )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock or ambient-entropy reads (`time.time`, `datetime.now`, `os.urandom`, `uuid.uuid4`) outside the allowlisted clock seam.
+
+    A wall-clock read that leaks into a cache key, record payload or
+    seed makes the run irreproducible and the cache unshareable.  The
+    only sanctioned consumer is `repro/runner/distributed.py`, whose
+    lease TTLs and ad-hoc campaign ids are *supposed* to observe real
+    time; monotonic duration clocks (`time.monotonic`,
+    `time.perf_counter`) are always fine because they never enter
+    serialised state.
+    """
+
+    id = "D202"
+    name = "wall-clock"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        allowed = _CLOCK_SEAM.get(ctx.module_path, frozenset())
+        imports = ImportMap(ctx.tree)
+        for call in iter_calls(ctx.tree):
+            target = imports.canonical_call(call.func)
+            if target is None:
+                continue
+            # `from datetime import datetime` resolves bare `datetime.now`
+            # to `datetime.datetime.now` via the import map already; also
+            # catch the fully qualified spelling.
+            if target not in _WALL_CLOCK or target in allowed:
+                continue
+            yield finding(
+                self,
+                ctx,
+                call,
+                f"wall-clock/entropy read {target}() outside the allowlisted "
+                "clock seam; derive the value from the run spec or route it "
+                "through repro/runner/distributed.py",
+            )
+
+
+def _is_set_expression(node: ast.expr, imports: ImportMap) -> bool:
+    """True for set literals/comprehensions and bare set()/frozenset() calls."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = imports.canonical_call(node.func)
+        return target in {"set", "frozenset"}
+    return False
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """No iteration over a set literal, set comprehension or bare `set()` call: wrap it in `sorted(...)` first.
+
+    Set iteration order depends on `PYTHONHASHSEED`, so a set that flows
+    into record construction or serialised output produces
+    byte-different payloads across workers — poison for a
+    content-addressed cache.  `sorted({...})` and `sorted(set(...))`
+    pin the order and pass the rule.
+    """
+
+    id = "D203"
+    name = "set-iteration-order"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        iterated: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterated.add(id(node.iter))
+            elif isinstance(node, ast.comprehension):
+                iterated.add(id(node.iter))
+            elif isinstance(node, ast.Call):
+                target = imports.canonical_call(node.func)
+                if target in {"list", "tuple", "enumerate"} and len(node.args) == 1:
+                    iterated.add(id(node.args[0]))
+        for node in ast.walk(ctx.tree):
+            if id(node) in iterated and _is_set_expression(node, imports):
+                yield finding(
+                    self,
+                    ctx,
+                    node,
+                    "iteration over a set has hash-randomised order; wrap it "
+                    "in sorted(...) before it flows into records or output",
+                )

@@ -1,0 +1,144 @@
+"""R-family rules: registry discipline.
+
+The backend/kernel/planner registries are the extension seams other
+code trusts blindly: the runner picks a backend by name and believes
+its `equivalent_to_reference` flag; the engine dispatches kernels and
+planners by *exact* class.  These rules keep registration call sites
+honest about both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, finding, register_rule
+
+_REGISTER_BACKEND = "register_backend"
+_EXACT_TARGET_REGISTRARS = {"register_kernel", "register_planner"}
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    """Trailing name of a call target (`register_backend` for both the
+    bare name and any `module.register_backend` spelling)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _class_declares(cls: ast.ClassDef, attribute: str) -> bool:
+    """Whether the class body assigns ``attribute`` at class level."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == attribute:
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == attribute:
+                return True
+    return False
+
+
+@register_rule
+class BackendEquivalenceRule(Rule):
+    """Every `register_backend` call site registers a class that declares `equivalent_to_reference` explicitly.
+
+    The differential-grid suite and the campaign runner's backend
+    dispatch both key off `equivalent_to_reference`; a backend that
+    inherits it implicitly (or relies on a protocol default) makes an
+    undeclared semantic claim.  Declaring it in the class body — `True`
+    only for engines that are byte-identical drop-ins for `reference` —
+    keeps the claim reviewable at the registration site.
+    """
+
+    id = "R501"
+    name = "backend-equivalence-declared"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        decorator_calls: Set[int] = set()
+        for cls in classes.values():
+            for decorator in cls.decorator_list:
+                is_bare = _call_name(decorator) == _REGISTER_BACKEND
+                is_call = (
+                    isinstance(decorator, ast.Call)
+                    and _call_name(decorator.func) == _REGISTER_BACKEND
+                )
+                if isinstance(decorator, ast.Call):
+                    decorator_calls.add(id(decorator))
+                if (is_bare or is_call) and not _class_declares(
+                    cls, "equivalent_to_reference"
+                ):
+                    yield finding(
+                        self,
+                        ctx,
+                        cls,
+                        f"backend class {cls.name!r} is registered without "
+                        "declaring equivalent_to_reference in its class body",
+                    )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or id(node) in decorator_calls:
+                continue
+            if _call_name(node.func) != _REGISTER_BACKEND or not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name) and target.id in classes:
+                if not _class_declares(classes[target.id], "equivalent_to_reference"):
+                    yield finding(
+                        self,
+                        ctx,
+                        node,
+                        f"backend class {target.id!r} is registered without "
+                        "declaring equivalent_to_reference in its class body",
+                    )
+            elif not isinstance(target, (ast.Name, ast.Attribute)):
+                yield finding(
+                    self,
+                    ctx,
+                    node,
+                    "register_backend target cannot be resolved statically; "
+                    "register a named class that declares "
+                    "equivalent_to_reference",
+                )
+
+
+@register_rule
+class ExactRegistrationTargetRule(Rule):
+    """Every `register_kernel`/`register_planner` call registers an exact class (a plain name, not a string, call result or subscript).
+
+    Kernel and planner dispatch is keyed by *exact* class identity —
+    `type(state) is key`, no MRO walk — so registering anything other
+    than a directly named class (`register_kernel(AteAlgorithm, ...)`)
+    either never matches or matches something unintended, and the
+    engine falls back silently.
+    """
+
+    id = "R502"
+    name = "exact-registration-target"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name not in _EXACT_TARGET_REGISTRARS or not node.args:
+                continue
+            target = node.args[0]
+            if not isinstance(target, (ast.Name, ast.Attribute)):
+                yield finding(
+                    self,
+                    ctx,
+                    node,
+                    f"{name} must target an exact class by name; "
+                    f"got a {type(target).__name__} expression, which the "
+                    "identity-keyed dispatch will never match",
+                )

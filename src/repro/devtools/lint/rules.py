@@ -1,0 +1,271 @@
+"""Rule framework: the registry, the :class:`Rule` base class and shared
+AST helpers.
+
+Rules register through the same :mod:`repro.core.registries` surface as
+engine backends, kernels and planners: a decorator-friendly
+``register_rule`` with built-in overwrite guards and did-you-mean
+lookups.  Each rule's docstring doubles as its catalogue entry in
+``docs/static-analysis.md`` — the first line is the summary, the rest is
+the rationale (see :func:`rule_catalogue_markdown`).
+
+Rule identifiers group into families:
+
+* ``Dxxx`` — determinism (seeded randomness, wall-clock, set ordering),
+* ``Axxx`` — atomicity / store-seam discipline,
+* ``Sxxx`` — serialisation and schema discipline,
+* ``Rxxx`` — registry discipline,
+* ``Lxxx`` — the linter's own hygiene (suppression justifications,
+  unparseable files).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.core.registries import guard_builtin_overwrite, unknown_key_error
+
+from .findings import Finding
+
+_RULE_ID = re.compile(r"^[A-Z]\d{3}$")
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule sees about one parsed source file.
+
+    ``display_path`` is what findings report (posix, relative to the
+    invocation directory when possible); ``module_path`` is the path
+    rebased at the innermost ``repro`` package directory (for example
+    ``repro/runner/spec.py``), which is what path-scoped rules match on
+    so fixture trees under ``tmp_path/repro/...`` scope identically to
+    the real source tree.
+    """
+
+    path: Path
+    display_path: str
+    module_path: str
+    tree: ast.Module
+    source: str
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (``D201``-style) and ``name`` (kebab-case) and
+    override :meth:`check_module`; project-level rules that need to see
+    the whole tree override :meth:`finalize` instead, which runs once
+    after every file has been visited.  A fresh instance is created per
+    lint run, so rules may accumulate state across files.
+    """
+
+    id: str = ""
+    name: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file; default: none."""
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield project-level findings after all files; default: none."""
+        return iter(())
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+_BUILTIN_RULE_IDS: set = set()
+
+
+def register_rule(rule: Optional[Type[Rule]] = None, *, overwrite: bool = False):
+    """Register a :class:`Rule` subclass under its ``id``.
+
+    Usable bare (``@register_rule``) or parenthesised
+    (``@register_rule(overwrite=True)``), mirroring ``register_backend``.
+    Built-in rule ids are guarded against accidental replacement.
+    """
+
+    def _register(cls: Type[Rule]) -> Type[Rule]:
+        if not (isinstance(getattr(cls, "id", None), str) and _RULE_ID.match(cls.id)):
+            raise ValueError(f"rule id must match [A-Z]ddd, got {getattr(cls, 'id', None)!r}")
+        if not getattr(cls, "name", ""):
+            raise ValueError(f"rule {cls.id} must declare a kebab-case name")
+        if not (cls.__doc__ or "").strip():  # getdoc() would inherit Rule's
+            raise ValueError(f"rule {cls.id} must carry a docstring (it is the catalogue entry)")
+        guard_builtin_overwrite(
+            "lint rule",
+            cls.id,
+            is_builtin=cls.id in _BUILTIN_RULE_IDS and cls is not _RULES.get(cls.id),
+            overwrite=overwrite,
+        )
+        _RULES[cls.id] = cls
+        return cls
+
+    if rule is None:
+        return _register
+    return _register(rule)
+
+
+def _mark_builtin_rules() -> None:
+    """Freeze the currently registered ids as built-ins (called once all
+    shipped rule modules are imported, from the package ``__init__``)."""
+    _BUILTIN_RULE_IDS.update(_RULES)
+
+
+def available_rules() -> List[str]:
+    """Sorted registered rule ids."""
+    return sorted(_RULES)
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look up a rule class by id, with a did-you-mean on unknown ids."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise unknown_key_error("lint rule", rule_id, _RULES) from None
+
+
+def rule_catalogue_markdown() -> str:
+    """Render every registered rule's docstring as the docs catalogue.
+
+    The output is embedded between ``RULE-CATALOGUE`` markers in
+    ``docs/static-analysis.md`` and checked for staleness by the docs
+    builder, the same way the generated CLI reference is.
+    """
+    lines: List[str] = []
+    for rule_id in available_rules():
+        cls = _RULES[rule_id]
+        doc = inspect.getdoc(cls) or ""
+        summary, _, body = doc.partition("\n")
+        lines.append(f"### `{rule_id}` — {cls.name}")
+        lines.append("")
+        lines.append(summary.strip())
+        body = body.strip()
+        if body:
+            lines.append("")
+            lines.append(body)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+
+
+def module_relpath(path: Path) -> str:
+    """Rebase ``path`` at the innermost ``repro`` directory.
+
+    ``src/repro/runner/spec.py`` and ``/tmp/x/repro/runner/spec.py``
+    both map to ``repro/runner/spec.py``; files outside any ``repro``
+    directory map to their bare name, which scoped rules never match.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return parts[-1]
+
+
+class ImportMap:
+    """Local-name resolution for ``import``/``from`` statements.
+
+    Maps local names back to the dotted thing they denote so rules can
+    recognise ``time.time()`` through ``import time as t`` or
+    ``from time import time as now`` uniformly.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: Dict[str, str] = {}
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def canonical_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted canonical name of a call target, or None.
+
+        ``t.time`` -> ``time.time`` (via ``import time as t``),
+        ``now`` -> ``time.time`` (via ``from time import time as now``),
+        ``datetime.datetime.now`` -> itself.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        parts.reverse()
+        if base in self.names:
+            return ".".join([self.names[base], *parts])
+        if base in self.modules:
+            return ".".join([self.modules[base], *parts])
+        return ".".join([base, *parts])
+
+
+def call_keywords(node: ast.Call) -> Dict[str, ast.expr]:
+    """Keyword arguments of a call as a name -> value mapping."""
+    return {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+
+
+def constant_str(node: Optional[ast.expr]) -> Optional[str]:
+    """The value of a string constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def iter_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """All Call nodes in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def dedent_doc(obj: object) -> str:
+    """``inspect.getdoc`` that never returns None."""
+    return inspect.getdoc(obj) or ""
+
+
+def sorted_unique(items: Iterable[Tuple[str, ...]]) -> List[List[str]]:
+    """Deduplicate and sort tuples of strings into JSON-friendly lists."""
+    return [list(item) for item in sorted(set(items))]
+
+
+def finding(
+    rule: Rule, ctx: ModuleContext, node: ast.AST, message: str
+) -> Finding:
+    """Build a Finding for ``node`` in ``ctx`` under ``rule``."""
+    return Finding(
+        rule=rule.id,
+        path=ctx.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "ModuleContext",
+    "Rule",
+    "available_rules",
+    "call_keywords",
+    "constant_str",
+    "finding",
+    "get_rule",
+    "iter_calls",
+    "module_relpath",
+    "register_rule",
+    "rule_catalogue_markdown",
+]

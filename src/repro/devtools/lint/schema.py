@@ -1,0 +1,222 @@
+"""S-family rules: serialisation and schema discipline.
+
+Cache records and queue payloads are long-lived, shared artefacts: a
+worker on one interpreter version must parse what another wrote.  S401
+pins the `json.dumps` call discipline (strict floats, no silent
+`default=` coercion); S402 pins the *shapes* — a checked-in fingerprint
+of every serialised record and queue payload that fails the build when
+a shape changes without the matching schema-version bump.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from .findings import Finding
+from .rules import (
+    ImportMap,
+    ModuleContext,
+    Rule,
+    call_keywords,
+    finding,
+    iter_calls,
+    register_rule,
+)
+
+_SCOPE_PREFIX = "repro/runner/"
+
+SNAPSHOT_PATH = Path(__file__).resolve().parent / "schema_snapshot.json"
+
+
+@register_rule
+class JsonDumpsRule(Rule):
+    """Every `json.dumps` in `repro/runner/` passes `allow_nan=False` and never passes `default=`.
+
+    `allow_nan=True` (the stdlib default) emits bare `NaN`/`Infinity`
+    tokens that are not JSON and that other parsers reject — a poisoned
+    record in a shared cache.  A `default=` hook silently coerces
+    unserialisable objects, so two workers can write byte-different
+    payloads for the same logical record; unsupported types must fail
+    loudly at the producer instead.
+    """
+
+    id = "S401"
+    name = "strict-json-dumps"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module_path.startswith(_SCOPE_PREFIX):
+            return
+        imports = ImportMap(ctx.tree)
+        for call in iter_calls(ctx.tree):
+            if imports.canonical_call(call.func) != "json.dumps":
+                continue
+            keywords = call_keywords(call)
+            allow_nan = keywords.get("allow_nan")
+            if not (
+                isinstance(allow_nan, ast.Constant) and allow_nan.value is False
+            ):
+                yield finding(
+                    self,
+                    ctx,
+                    call,
+                    "json.dumps in a cache/queue path must pass "
+                    "allow_nan=False (bare NaN/Infinity is not JSON)",
+                )
+            if "default" in keywords:
+                yield finding(
+                    self,
+                    ctx,
+                    call,
+                    "json.dumps in a cache/queue path must not pass default= "
+                    "(silent coercion breaks byte-identical payloads)",
+                )
+
+
+def _queue_payload_shapes(source: str) -> List[List[str]]:
+    """Key sets of every dict literal in ``source`` carrying a "schema" key.
+
+    Every queue artefact the distributed module writes (batch, manifest,
+    lease, result envelope, cut marker, poison record, retire request)
+    self-describes with a ``"schema": QUEUE_SCHEMA_VERSION`` entry, so
+    collecting dict literals keyed on it enumerates the on-disk queue
+    shapes without importing or executing anything.
+    """
+    tree = ast.parse(source)
+    shapes: set = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        keys: List[str] = []
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.append(key.value)
+        if "schema" in keys:
+            shapes.add(tuple(sorted(set(keys))))
+    return [list(shape) for shape in sorted(shapes)]
+
+
+def compute_schema_shapes() -> Dict[str, object]:
+    """The current serialised-shape fingerprint of the cache and queue.
+
+    Record shapes come from instantiating the dataclasses and reading
+    their ``as_dict`` key sets (the authoritative serialisation order);
+    queue shapes come from a static scan of ``distributed.py``.  Imports
+    are deliberately lazy so the linter itself stays import-light.
+    """
+    from repro.runner import distributed
+    from repro.runner.records import RunnerStats, RunRecord
+    from repro.runner.reduce import ReducedRecord
+    from repro.runner.spec import CACHE_SCHEMA_VERSION
+
+    return {
+        "cache_schema_version": CACHE_SCHEMA_VERSION,
+        "queue_schema_version": distributed.QUEUE_SCHEMA_VERSION,
+        "run_record": sorted(RunRecord().as_dict()),
+        "reduced_record": sorted(ReducedRecord().as_dict()),
+        "runner_stats": sorted(RunnerStats().as_dict()),
+        "queue_payloads": _queue_payload_shapes(
+            Path(distributed.__file__).read_text(encoding="utf-8")
+        ),
+    }
+
+
+def write_schema_snapshot(path: Path = SNAPSHOT_PATH) -> Dict[str, object]:
+    """Refresh the checked-in fingerprint (the `--update-schema-snapshot` flow)."""
+    shapes = compute_schema_shapes()
+    path.write_text(
+        json.dumps(shapes, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return shapes
+
+
+_VERSION_KEYS = {
+    "run_record": "cache_schema_version",
+    "reduced_record": "cache_schema_version",
+    "runner_stats": "cache_schema_version",
+    "queue_payloads": "queue_schema_version",
+}
+
+_VERSION_NAMES = {
+    "cache_schema_version": "CACHE_SCHEMA_VERSION",
+    "queue_schema_version": "QUEUE_SCHEMA_VERSION",
+}
+
+
+@register_rule
+class SchemaFingerprintRule(Rule):
+    """The serialised `RunRecord`/`ReducedRecord`/queue-payload shapes match the checked-in fingerprint; shape changes require a schema-version bump.
+
+    Old records live in shared caches indefinitely, so adding, renaming
+    or dropping a serialised field without bumping
+    `CACHE_SCHEMA_VERSION` / `QUEUE_SCHEMA_VERSION` makes new code parse
+    stale bytes (or vice versa) silently.  The fingerprint lives in
+    `schema_snapshot.json` next to the linter; after a deliberate shape
+    change *and* version bump, refresh it with
+    `repro-ho lint --update-schema-snapshot`.
+    """
+
+    id = "S402"
+    name = "schema-fingerprint"
+
+    def finalize(self) -> Iterator[Finding]:
+        display = SNAPSHOT_PATH.name
+        if not SNAPSHOT_PATH.exists():
+            yield self._finding(
+                display,
+                "schema fingerprint snapshot is missing; generate it with "
+                "--update-schema-snapshot",
+            )
+            return
+        try:
+            recorded = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            yield self._finding(display, f"schema fingerprint snapshot unreadable: {exc}")
+            return
+        current = compute_schema_shapes()
+        changed = [key for key in current if current[key] != recorded.get(key)]
+        shape_keys = [key for key in changed if key in _VERSION_KEYS]
+        for key, bumped in self._shape_changes(shape_keys, current, recorded):
+            if bumped:
+                yield self._finding(
+                    display,
+                    f"serialised shape of {key!r} changed alongside a "
+                    f"{_VERSION_NAMES[_VERSION_KEYS[key]]} bump; refresh the "
+                    "snapshot with --update-schema-snapshot",
+                )
+            else:
+                yield self._finding(
+                    display,
+                    f"serialised shape of {key!r} changed without a "
+                    f"{_VERSION_NAMES[_VERSION_KEYS[key]]} bump; old cache/"
+                    "queue artefacts would be parsed with the wrong schema",
+                )
+        for key in changed:
+            if key in _VERSION_NAMES and not self._explained(key, shape_keys):
+                yield self._finding(
+                    display,
+                    f"{_VERSION_NAMES[key]} changed "
+                    f"({recorded.get(key)!r} -> {current[key]!r}); refresh the "
+                    "snapshot with --update-schema-snapshot",
+                )
+
+    @staticmethod
+    def _shape_changes(
+        shape_keys: List[str],
+        current: Dict[str, object],
+        recorded: Dict[str, object],
+    ) -> Iterator[Tuple[str, bool]]:
+        for key in shape_keys:
+            version_key = _VERSION_KEYS[key]
+            bumped = current.get(version_key) != recorded.get(version_key)
+            yield key, bumped
+
+    @staticmethod
+    def _explained(version_key: str, shape_keys: List[str]) -> bool:
+        return any(_VERSION_KEYS[key] == version_key for key in shape_keys)
+
+    def _finding(self, path: str, message: str) -> Finding:
+        return Finding(rule=self.id, path=path, line=1, col=0, message=message)

@@ -1,0 +1,162 @@
+"""Inline suppression comments: `# repro-lint: ignore[D201]: why`.
+
+A suppression silences named rules on its own line and on the line
+directly below (so it can trail the offending statement or sit on its
+own line above it).  The justification text after the closing bracket
+is **required** — an unjustified suppression does not suppress and is
+itself reported (rule L901), because "we looked at this and here is
+why it is fine" is the entire value of the mechanism.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, register_rule
+
+_SUPPRESSION = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<rules>[^\]]*)\]\s*:?\s*(?P<why>.*?)\s*$"
+)
+_RULE_LIST = re.compile(r"^[A-Z]\d{3}(\s*,\s*[A-Z]\d{3})*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: frozenset
+    justification: str
+    malformed: str = ""
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether this suppression silences ``finding``.
+
+        Requires a well-formed comment with a justification, a matching
+        rule id, and the finding on the comment's line or the next one.
+        """
+        return (
+            not self.malformed
+            and bool(self.justification)
+            and finding.rule in self.rules
+            and finding.line in (self.line, self.line + 1)
+        )
+
+
+def _comment_tokens(source: str) -> Iterator[tuple]:
+    """(line, text) for every comment token; tokenization errors yield
+    nothing (the engine reports unparseable files separately)."""
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def collect_suppressions(source: str) -> List[Suppression]:
+    """Parse every `repro-lint: ignore[...]` comment in ``source``.
+
+    Only real comment tokens count — a docstring that merely *mentions*
+    the syntax is not a suppression.
+    """
+    suppressions: List[Suppression] = []
+    for lineno, text in _comment_tokens(source):
+        if "repro-lint" not in text:
+            continue
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            suppressions.append(
+                Suppression(
+                    line=lineno,
+                    rules=frozenset(),
+                    justification="",
+                    malformed="comment mentions repro-lint but does not match "
+                    "`# repro-lint: ignore[RULE, ...]: justification`",
+                )
+            )
+            continue
+        rules_text = match.group("rules").strip()
+        why = match.group("why").strip()
+        if not _RULE_LIST.match(rules_text):
+            suppressions.append(
+                Suppression(
+                    line=lineno,
+                    rules=frozenset(),
+                    justification=why,
+                    malformed=f"rule list {rules_text!r} is not a "
+                    "comma-separated list of ids like D201",
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rules=frozenset(r.strip() for r in rules_text.split(",")),
+                justification=why,
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions: List[Suppression]
+) -> Dict[str, List[Finding]]:
+    """Split ``findings`` into kept vs suppressed by the parsed comments."""
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for item in findings:
+        covering = next((s for s in suppressions if s.covers(item)), None)
+        if covering is None:
+            kept.append(item)
+        else:
+            suppressed.append(
+                Finding(
+                    rule=item.rule,
+                    path=item.path,
+                    line=item.line,
+                    col=item.col,
+                    message=item.message,
+                    justification=covering.justification,
+                )
+            )
+    return {"kept": kept, "suppressed": suppressed}
+
+
+@register_rule
+class SuppressionDisciplineRule(Rule):
+    """Every `repro-lint: ignore[...]` comment is well-formed and carries a non-empty justification.
+
+    An unjustified suppression is indistinguishable from "make the
+    linter shut up", so it does not suppress anything and is itself a
+    finding.  The justification should say why the invariant is safe to
+    waive at this exact site (for example: "canonical cache-key
+    encoding — changing it would invalidate every existing cache").
+    """
+
+    id = "L901"
+    name = "suppression-justified"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for suppression in collect_suppressions(ctx.source):
+            if suppression.malformed:
+                message = f"malformed suppression: {suppression.malformed}"
+            elif not suppression.justification:
+                message = (
+                    "suppression without a justification; add text after the "
+                    "bracket: `# repro-lint: ignore[D201]: why this is safe`"
+                )
+            else:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=ctx.display_path,
+                line=suppression.line,
+                col=0,
+                message=message,
+            )

@@ -292,7 +292,8 @@ class WorkQueue:
                         "campaign_id": campaign_id,
                         "index": index,
                         "tasks": [_encode_pickle(task) for task in batch],
-                    }
+                    },
+                    allow_nan=False,
                 ),
             )
         # The manifest goes in *last*: its presence is what makes the
@@ -313,7 +314,8 @@ class WorkQueue:
                     "reducer_name": reducer.name if reducer else None,
                     "reducer": _encode_pickle(reducer) if reducer else None,
                     "created_at": time.time(),
-                }
+                },
+                allow_nan=False,
             ),
         )
         return campaign_id
@@ -418,7 +420,8 @@ class WorkQueue:
                 "at": at,
                 "by": worker_id,
                 "created_at": time.time(),
-            }
+            },
+            allow_nan=False,
         )
         return self.store.try_create(_cut_path(campaign_id, index, seq), payload)
 
@@ -645,7 +648,8 @@ class WorkQueue:
                 "heartbeat_at": now,
                 "ttl": lease.ttl,
                 "progress": lease.start if progress is None else progress,
-            }
+            },
+            allow_nan=False,
         )
 
     # ------------------------------------------------------------------
@@ -702,7 +706,8 @@ class WorkQueue:
                 "poisoned": reason,
                 "records": [],
                 "completed_at": time.time(),
-            }
+            },
+            allow_nan=False,
         )
         return self.store.try_create(_part_path(campaign_id, index, 0, num_tasks), payload)
 
@@ -818,7 +823,8 @@ class WorkQueue:
                     "worker": worker_id,
                     "reason": reason,
                     "requested_at": time.time(),
-                }
+                },
+                allow_nan=False,
             ),
         )
 

@@ -11,7 +11,7 @@ cache stores.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.core.predicates import CommunicationPredicate
 from repro.simulation.engine import SimulationResult
@@ -132,7 +132,7 @@ class RunRecord:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "RunRecord":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
         return cls(
             agreement=bool(data.get("agreement", False)),
             integrity=bool(data.get("integrity", False)),
@@ -213,7 +213,7 @@ class RunnerStats:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "RunnerStats":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunnerStats":
         """Rebuild stats shipped as JSON (distributed batch results)."""
         return cls(
             total=int(data.get("total", 0)),

@@ -35,7 +35,7 @@ any of their outputs into a :class:`BatchReport` that matches
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.core.predicates import CommunicationPredicate
 from repro.runner.spec import CACHE_SCHEMA_VERSION, stable_hash
@@ -268,7 +268,7 @@ class ReducedRecord:
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, object]) -> "ReducedRecord":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ReducedRecord":
         return cls(
             data=dict(payload.get("data", {})),
             reducer_name=str(payload.get("reducer_name", "")),

@@ -21,7 +21,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 #: Bump when the cached record layout (or run semantics) changes in a
 #: way that invalidates previously cached results.
@@ -37,6 +37,7 @@ def stable_hash(payload: object) -> str:
     digest is stable across interpreter invocations and processes
     (unlike the built-in ``hash``, which is randomised for strings).
     """
+    # repro-lint: ignore[S401]: canonical cache-key encoding, frozen since PR 1 — adding allow_nan=False or dropping default=str would change digests and invalidate every existing cache
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
@@ -82,7 +83,7 @@ class AlgorithmSpec:
         return {"name": self.name, "params": dict(self.params)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "AlgorithmSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "AlgorithmSpec":
         return cls(name=str(data["name"]), params=dict(data.get("params", {})))
 
 
@@ -97,7 +98,7 @@ class AdversarySpec:
         return {"name": self.name, "params": dict(self.params)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "AdversarySpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversarySpec":
         return cls(name=str(data["name"]), params=dict(data.get("params", {})))
 
 
@@ -112,7 +113,7 @@ class WorkloadSpec:
         return {"name": self.name, "params": dict(self.params)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
         return cls(name=str(data.get("name", "random")), params=dict(data.get("params", {})))
 
 
@@ -127,7 +128,7 @@ class PredicateSpec:
         return {"name": self.name, "params": dict(self.params)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "PredicateSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "PredicateSpec":
         return cls(name=str(data["name"]), params=dict(data.get("params", {})))
 
 
@@ -288,7 +289,7 @@ class CampaignSpec:
         return stable_hash({"schema": CACHE_SCHEMA_VERSION, **self.as_dict()})
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         return cls(
             campaign_id=str(data["campaign_id"]),
             algorithms=[AlgorithmSpec.from_dict(a) for a in data["algorithms"]],
@@ -312,5 +313,6 @@ class CampaignSpec:
 
     def to_json(self, path: Union[str, Path]) -> None:
         Path(path).write_text(
-            json.dumps(self.as_dict(), indent=2, sort_keys=True), encoding="utf-8"
+            json.dumps(self.as_dict(), indent=2, sort_keys=True, allow_nan=False),
+            encoding="utf-8",
         )

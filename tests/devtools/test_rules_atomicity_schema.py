@@ -1,0 +1,192 @@
+"""Fixture tests for A301 (store seam), S401 (strict json.dumps) and
+S402 (the schema fingerprint snapshot)."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.schema import (
+    SchemaFingerprintRule,
+    _queue_payload_shapes,
+    compute_schema_shapes,
+)
+from repro.runner.reduce import ReducedRecord
+from repro.runner.spec import CACHE_SCHEMA_VERSION
+
+
+def _ids(report):
+    return [item.rule for item in report.findings]
+
+
+class TestStoreSeamA301:
+    def test_open_for_write_in_runner_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def publish(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+            """,
+            rules=["A301"],
+        )
+        assert _ids(report) == ["A301"]
+
+    def test_open_for_read_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+            rules=["A301"],
+        )
+        assert report.findings == []
+
+    def test_path_write_text_and_os_rename_are_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import os
+            from pathlib import Path
+
+            def publish(path, payload):
+                Path(path).write_text(payload)
+                os.rename(path, path + ".done")
+            """,
+            rules=["A301"],
+        )
+        assert _ids(report) == ["A301", "A301"]
+
+    def test_store_receiver_is_the_seam_not_a_bypass(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def publish(self, relpath, payload):
+                self.store.write_text(relpath, payload)
+            """,
+            rules=["A301"],
+        )
+        assert report.findings == []
+
+    def test_store_py_itself_is_exempt(self, lint_snippet):
+        source = """
+            def publish(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+        """
+        seam = lint_snippet(source, relpath="repro/runner/store.py", rules=["A301"])
+        assert seam.findings == []
+
+    def test_outside_runner_is_out_of_scope(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def dump(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+            """,
+            relpath="repro/analysis/report.py",
+            rules=["A301"],
+        )
+        assert report.findings == []
+
+
+class TestStrictJsonDumpsS401:
+    def test_missing_allow_nan_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import json
+
+            def encode(payload):
+                return json.dumps(payload)
+            """,
+            rules=["S401"],
+        )
+        assert _ids(report) == ["S401"]
+        assert "allow_nan=False" in report.findings[0].message
+
+    def test_default_hook_is_flagged_even_with_allow_nan(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import json
+
+            def encode(payload):
+                return json.dumps(payload, allow_nan=False, default=str)
+            """,
+            rules=["S401"],
+        )
+        assert _ids(report) == ["S401"]
+        assert "default=" in report.findings[0].message
+
+    def test_compliant_dumps_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import json
+
+            def encode(payload):
+                return json.dumps(payload, sort_keys=True, allow_nan=False)
+            """,
+            rules=["S401"],
+        )
+        assert report.findings == []
+
+    def test_outside_runner_is_out_of_scope(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import json
+
+            def encode(payload):
+                return json.dumps(payload)
+            """,
+            relpath="repro/experiments/report.py",
+            rules=["S401"],
+        )
+        assert report.findings == []
+
+
+class TestSchemaFingerprintS402:
+    def test_shipped_tree_matches_snapshot(self):
+        rule = SchemaFingerprintRule()
+        assert list(rule.finalize()) == []
+
+    def test_reduced_record_shape_change_without_bump_fails(self, monkeypatch):
+        """The acceptance criterion: mutate ReducedRecord's serialised
+        shape without bumping CACHE_SCHEMA_VERSION and S402 must fire."""
+        original = ReducedRecord.as_dict
+
+        def widened(self):
+            payload = original(self)
+            payload["surprise_field"] = 1
+            return payload
+
+        monkeypatch.setattr(ReducedRecord, "as_dict", widened)
+        findings = list(SchemaFingerprintRule().finalize())
+        assert [item.rule for item in findings] == ["S402"]
+        assert "reduced_record" in findings[0].message
+        assert "without a CACHE_SCHEMA_VERSION bump" in findings[0].message
+
+    def test_shape_change_with_bump_asks_for_snapshot_refresh(self, monkeypatch):
+        import repro.runner.spec as spec_module
+
+        original = ReducedRecord.as_dict
+
+        def widened(self):
+            payload = original(self)
+            payload["surprise_field"] = 1
+            return payload
+
+        monkeypatch.setattr(ReducedRecord, "as_dict", widened)
+        monkeypatch.setattr(spec_module, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1)
+        findings = list(SchemaFingerprintRule().finalize())
+        assert [item.rule for item in findings] == ["S402"]
+        assert "--update-schema-snapshot" in findings[0].message
+        assert "without" not in findings[0].message
+
+    def test_queue_payload_extraction_sees_schema_dicts(self):
+        shapes = _queue_payload_shapes(
+            'x = {"schema": 2, "b": 1, "a": 2}\n'
+            'y = {"unrelated": True}\n'
+            'z = {"schema": 2, "b": 1, "a": 2}\n'
+        )
+        assert shapes == [["a", "b", "schema"]]
+
+    def test_current_shapes_cover_records_and_queue(self):
+        shapes = compute_schema_shapes()
+        assert shapes["cache_schema_version"] == CACHE_SCHEMA_VERSION
+        assert "error" in shapes["reduced_record"]
+        assert "agreement" in shapes["run_record"]
+        assert any("schema" in payload for payload in shapes["queue_payloads"])

@@ -1,0 +1,207 @@
+"""Fixture tests for the D family: D201 unseeded randomness, D202
+wall-clock/entropy reads, D203 set-iteration order."""
+
+from __future__ import annotations
+
+
+def _ids(report):
+    return [item.rule for item in report.findings]
+
+
+class TestUnseededRandomD201:
+    def test_module_level_random_call_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            rules=["D201"],
+        )
+        assert _ids(report) == ["D201"]
+        assert "random.random" in report.findings[0].message
+
+    def test_from_import_and_alias_are_resolved(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import random as rnd
+            from random import randint
+
+            def draw():
+                return rnd.choice([1, 2]) + randint(0, 1)
+            """,
+            rules=["D201"],
+        )
+        assert _ids(report) == ["D201", "D201"]
+
+    def test_seeded_random_instance_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import random
+
+            def make_rng(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+            rules=["D201"],
+        )
+        assert report.findings == []
+
+    def test_unseeded_random_constructor_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """,
+            rules=["D201"],
+        )
+        assert _ids(report) == ["D201"]
+        assert "without a seed" in report.findings[0].message
+
+    def test_unrelated_module_named_like_random_is_not_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import not_random
+
+            def draw():
+                return not_random.random()
+            """,
+            rules=["D201"],
+        )
+        assert report.findings == []
+
+
+class TestWallClockD202:
+    def test_time_time_and_uuid4_are_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import time
+            import uuid
+
+            def stamp():
+                return time.time(), uuid.uuid4()
+            """,
+            rules=["D202"],
+        )
+        assert _ids(report) == ["D202", "D202"]
+
+    def test_datetime_now_via_from_import_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            rules=["D202"],
+        )
+        assert _ids(report) == ["D202"]
+
+    def test_os_urandom_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import os
+
+            def entropy():
+                return os.urandom(8)
+            """,
+            rules=["D202"],
+        )
+        assert _ids(report) == ["D202"]
+
+    def test_monotonic_clocks_are_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import time
+
+            def measure():
+                start = time.monotonic()
+                return time.perf_counter() - start
+            """,
+            rules=["D202"],
+        )
+        assert report.findings == []
+
+    def test_clock_seam_allows_time_time_in_distributed(self, lint_snippet):
+        source = """
+            import time
+
+            def lease_deadline(ttl):
+                return time.time() + ttl
+        """
+        seam = lint_snippet(source, relpath="repro/runner/distributed.py", rules=["D202"])
+        assert seam.findings == []
+        elsewhere = lint_snippet(source, relpath="repro/runner/executor.py", rules=["D202"])
+        assert _ids(elsewhere) == ["D202"]
+
+    def test_suppression_with_justification_silences(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import uuid
+
+            def run_id():
+                return uuid.uuid4()  # repro-lint: ignore[D202]: ad-hoc ids are deliberately unique
+            """,
+            rules=["D202"],
+        )
+        assert report.findings == []
+        assert [item.rule for item in report.suppressed] == ["D202"]
+        assert "deliberately unique" in report.suppressed[0].justification
+
+
+class TestSetIterationD203:
+    def test_for_over_set_literal_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def emit(out):
+                for item in {"b", "a"}:
+                    out.append(item)
+            """,
+            rules=["D203"],
+        )
+        assert _ids(report) == ["D203"]
+
+    def test_comprehension_over_set_comp_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def receivers(intended):
+                return [r for r in {x for per in intended.values() for x in per}]
+            """,
+            rules=["D203"],
+        )
+        assert _ids(report) == ["D203"]
+
+    def test_list_of_set_call_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def order(items):
+                return list(set(items))
+            """,
+            rules=["D203"],
+        )
+        assert _ids(report) == ["D203"]
+
+    def test_sorted_set_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def order(intended):
+                for receiver in sorted({r for per in intended.values() for r in per}):
+                    yield receiver
+                return sorted(set(intended))
+            """,
+            rules=["D203"],
+        )
+        assert report.findings == []
+
+    def test_membership_test_against_set_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def is_known(value):
+                return value in {"a", "b"}
+            """,
+            rules=["D203"],
+        )
+        assert report.findings == []

@@ -1,0 +1,163 @@
+"""Fixture tests for the R family: R501 backend equivalence declared,
+R502 exact registration targets."""
+
+from __future__ import annotations
+
+
+def _ids(report):
+    return [item.rule for item in report.findings]
+
+
+class TestBackendEquivalenceR501:
+    def test_decorated_backend_without_declaration_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.simulation.backends import register_backend
+
+            @register_backend
+            class SneakyBackend:
+                name = "sneaky"
+                fallback = None
+            """,
+            relpath="repro/simulation/custom.py",
+            rules=["R501"],
+        )
+        assert _ids(report) == ["R501"]
+        assert "SneakyBackend" in report.findings[0].message
+
+    def test_decorator_with_arguments_is_also_checked(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.simulation.backends import register_backend
+
+            @register_backend(overwrite=True)
+            class SneakyBackend:
+                name = "sneaky"
+            """,
+            relpath="repro/simulation/custom.py",
+            rules=["R501"],
+        )
+        assert _ids(report) == ["R501"]
+
+    def test_declared_backend_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.simulation.backends import register_backend
+
+            @register_backend
+            class HonestBackend:
+                name = "honest"
+                fallback = None
+                equivalent_to_reference = True
+            """,
+            relpath="repro/simulation/custom.py",
+            rules=["R501"],
+        )
+        assert report.findings == []
+
+    def test_direct_call_with_local_class_is_resolved(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.simulation.backends import register_backend
+
+            class SneakyBackend:
+                name = "sneaky"
+
+            register_backend(SneakyBackend())
+            """,
+            relpath="repro/simulation/custom.py",
+            rules=["R501"],
+        )
+        assert _ids(report) == ["R501"]
+
+    def test_annotated_declaration_counts(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.simulation.backends import register_backend
+
+            class HonestBackend:
+                name = "honest"
+                equivalent_to_reference: bool = False
+
+            register_backend(HonestBackend())
+            """,
+            relpath="repro/simulation/custom.py",
+            rules=["R501"],
+        )
+        assert report.findings == []
+
+    def test_unresolvable_target_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.simulation.backends import register_backend
+
+            def factory():
+                pass
+
+            register_backend(factory()())
+            """,
+            relpath="repro/simulation/custom.py",
+            rules=["R501"],
+        )
+        assert _ids(report) == ["R501"]
+        assert "statically" in report.findings[0].message
+
+
+class TestExactRegistrationTargetR502:
+    def test_class_name_target_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.algorithms.kernels import register_kernel
+
+            class MyAlgorithm:
+                pass
+
+            def make_kernel(algorithm):
+                pass
+
+            register_kernel(MyAlgorithm, make_kernel)
+            """,
+            relpath="repro/algorithms/custom.py",
+            rules=["R502"],
+        )
+        assert report.findings == []
+
+    def test_string_target_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.algorithms.kernels import register_kernel
+
+            register_kernel("MyAlgorithm", lambda a: None)
+            """,
+            relpath="repro/algorithms/custom.py",
+            rules=["R502"],
+        )
+        assert _ids(report) == ["R502"]
+
+    def test_type_call_target_is_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from repro.adversary.plan import register_planner
+
+            def instance():
+                pass
+
+            register_planner(type(instance()), lambda a: None)
+            """,
+            relpath="repro/adversary/custom.py",
+            rules=["R502"],
+        )
+        assert _ids(report) == ["R502"]
+
+    def test_attribute_target_is_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import repro.algorithms.ate as ate
+            from repro.algorithms.kernels import register_kernel
+
+            register_kernel(ate.AteAlgorithm, lambda a: None)
+            """,
+            relpath="repro/algorithms/custom.py",
+            rules=["R502"],
+        )
+        assert report.findings == []

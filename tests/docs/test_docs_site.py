@@ -55,8 +55,35 @@ class TestDocsSite:
 
     def test_cli_reference_covers_every_subcommand(self):
         text = (DOCS_DIR / "reference" / "cli.md").read_text(encoding="utf-8")
-        for command in ("run", "experiment", "campaign", "worker", "supervise", "table"):
+        for command in ("run", "experiment", "campaign", "worker", "supervise", "table", "lint"):
             assert f"## `repro-ho {command}`" in text
+
+    def test_cli_lint_help_documents_exit_codes_and_baseline_flow(self):
+        """`repro-ho lint --help` (and therefore the generated reference)
+        must document the exit-code contract and the --baseline-update
+        flow — they are the CI integration surface."""
+        text = (DOCS_DIR / "reference" / "cli.md").read_text(encoding="utf-8")
+        lint_section = text.partition("## `repro-ho lint`")[2]
+        assert "exit codes:" in lint_section
+        assert "--baseline-update" in lint_section
+        assert "--format" in lint_section
+
+    def test_rule_catalogue_is_in_sync_with_rule_docstrings(self):
+        """The docs rule catalogue is generated from rule docstrings;
+        registering or rewording a rule must regenerate it."""
+        from repro.devtools.lint import available_rules, rule_catalogue_markdown
+
+        page = (DOCS_DIR / "static-analysis.md").read_text(encoding="utf-8")
+        catalogue = rule_catalogue_markdown()
+        begin = page.index("<!-- RULE-CATALOGUE:BEGIN -->")
+        end = page.index("<!-- RULE-CATALOGUE:END -->")
+        region = page[begin:end]
+        assert catalogue.rstrip() in region, (
+            "docs/static-analysis.md rule catalogue is stale; regenerate with "
+            "'PYTHONPATH=src python docs/build.py --write-rule-catalogue'"
+        )
+        for rule_id in available_rules():
+            assert f"### `{rule_id}`" in region
 
 
 class TestReadmeRelocation:
