@@ -29,6 +29,12 @@ Families
 * Mask-level planning (the fast backend's adversary API):
   :class:`MaskPlanner`, :class:`RoundPlan`, :class:`MatrixPlanAdapter`
   and the native planners (:mod:`repro.adversary.plan`).
+* Batch planning (the batch backend's adversary API):
+  :class:`BatchPlanner`, :class:`BatchRoundPlan`,
+  :func:`register_batch_planner`/:func:`batch_planner_for`
+  (:mod:`repro.adversary.plan`), with array-at-a-time schedules built
+  on the bit-exact NumPy state sharing of :class:`RngBridge` and
+  :class:`WordStream` (:mod:`repro.adversary.rng_bridge`).
 """
 
 from repro.adversary.base import (
@@ -66,6 +72,8 @@ from repro.adversary.liveness import (
     PeriodicGoodRoundAdversary,
 )
 from repro.adversary.plan import (
+    BatchPlanner,
+    BatchRoundPlan,
     BlockFaultPlanner,
     MaskPlanner,
     MatrixPlanAdapter,
@@ -73,9 +81,12 @@ from repro.adversary.plan import (
     ReliablePlanner,
     RotatingCorruptionPlanner,
     RoundPlan,
+    batch_planner_for,
     planner_for,
+    register_batch_planner,
     register_planner,
 )
+from repro.adversary.rng_bridge import RngBridge, WordStream, numpy_available
 from repro.adversary.santoro_widmayer import BlockFaultAdversary, santoro_widmayer_bound
 from repro.adversary.values import DEFAULT_POISON_VALUES, corrupt_value
 
@@ -83,14 +94,21 @@ __all__ = [
     "Adversary",
     "AlphaCapAdversary",
     "LatencyAdversary",
+    "BatchPlanner",
+    "BatchRoundPlan",
     "BlockFaultPlanner",
     "MaskPlanner",
     "MatrixPlanAdapter",
     "RandomOmissionPlanner",
     "ReliablePlanner",
+    "RngBridge",
     "RotatingCorruptionPlanner",
     "RoundPlan",
+    "WordStream",
+    "batch_planner_for",
+    "numpy_available",
     "planner_for",
+    "register_batch_planner",
     "register_planner",
     "BlockFaultAdversary",
     "BoundedOmissionAdversary",

@@ -87,6 +87,11 @@ class Adversary(ABC):
         not invent receptions from processes that sent nothing (all
         processes send at every round in this model, so every
         ``(sender, receiver)`` pair is present in ``intended``).
+
+        ``intended`` is owned by the caller and may be reused across
+        rounds (the mask-planner adapter keeps its row dicts alive):
+        treat it as read-only and do not retain references to it or its
+        rows beyond the call.
         """
 
     def reset(self) -> None:

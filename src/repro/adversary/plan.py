@@ -25,13 +25,26 @@ Two kinds of planner exist:
 
 Use :func:`planner_for` to get the best available planner for an
 adversary; :func:`register_planner` extends the native registry.
+
+A third, optional tier sits above both: a :class:`BatchPlanner` plans
+whole rounds for *many* runs of the same adversary class at once, in
+array form, for the batch engine
+(:mod:`repro.simulation.batch_engine`).  Batch planners keep the same
+bit-exactness contract as native planners — each run's RNG stream is
+consumed in exactly the per-run order, via the
+:mod:`~repro.adversary.rng_bridge` where draws vectorise — and they are
+pure acceleration: :func:`batch_planner_for` answers ``None`` for
+unregistered classes and callers fall back to per-run
+:func:`planner_for`.  The native implementations live in
+:mod:`repro.adversary.batch_plan` and register only when NumPy is
+importable.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple, Type, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.adversary.base import Adversary, ReliableAdversary
 from repro.adversary.benign import RandomOmissionAdversary
@@ -103,16 +116,44 @@ class MatrixPlanAdapter(MaskPlanner):
     order — exactly how :func:`repro.simulation.engine.execute_round`
     builds it — so stateful/seeded adversaries consume their RNG in the
     same order and produce the same fault schedule on either engine.
+
+    The matrix's per-sender rows are allocated once and reused across
+    rounds (rebuilding ``n`` dicts of ``n`` keys per round is pure
+    allocation churn on broadcast algorithms, whose payload rows rarely
+    change); a row is rewritten in place only when its sender's payload
+    actually differs from the previous round's.  Adversaries must
+    therefore treat the intended matrix as read-only per the
+    ``deliver_round`` contract and must not retain row references
+    across rounds.
     """
+
+    #: Sentinel marking a row whose payload has never been filled in
+    #: (distinct from any real payload, including ``None``).
+    _UNSET: Any = object()
 
     def __init__(self, adversary: Adversary, n: int) -> None:
         super().__init__(adversary, n)
         self._pids = list(range(n))
+        unset = self._UNSET
+        self._intended: Dict[ProcessId, Dict[ProcessId, Payload]] = {
+            s: dict.fromkeys(self._pids, unset) for s in self._pids
+        }
+        self._row_payloads: List[Payload] = [unset] * n
 
     def plan_round(self, round_num: int, sent: Sequence[Payload]) -> RoundPlan:
         n = self.n
         pids = self._pids
-        intended = {s: dict.fromkeys(pids, sent[s]) for s in pids}
+        intended = self._intended
+        row_payloads = self._row_payloads
+        for s in pids:
+            payload = sent[s]
+            prev = row_payloads[s]
+            if prev is payload or (prev.__class__ is payload.__class__ and prev == payload):
+                continue
+            row = intended[s]
+            for r in pids:
+                row[r] = payload
+            row_payloads[s] = payload
         received = self.adversary.deliver_round(round_num, intended)
 
         full = (1 << n) - 1
@@ -440,3 +481,184 @@ def planner_for(adversary: Adversary, n: int) -> MaskPlanner:
     if factory is not None:
         return factory(adversary, n)
     return MatrixPlanAdapter(adversary, n)
+
+
+@dataclass(frozen=True)
+class BatchRoundPlan:
+    """One round's fault schedule for every live member of a batch, in array form.
+
+    ``drop`` is either ``None`` (no member drops anything this round) or
+    a ``(m, n, n)`` boolean array indexed ``[member, receiver, sender]``
+    over the ``m`` live members the planner was asked about.  ``corrupt``
+    is either ``None`` or four parallel sequences (lists or integer
+    arrays) ``(member, receiver, sender, code)`` — one entry per
+    corrupted edge, with the replacement payload already encoded through
+    the engine's codebook.  For any fixed ``(member, receiver)``,
+    entries appear in ascending-sender order (the order the per-run
+    planners insert corrupt values).  Drop bits and corrupt edges are
+    disjoint, exactly as :class:`RoundPlan` requires.
+
+    The array types are deliberately loose (``Any``): this module must
+    import without NumPy, and the batch engine is the only consumer.
+    """
+
+    drop: Any = None
+    corrupt: Optional[Tuple[Sequence[int], Sequence[int], Sequence[int], Sequence[int]]] = None
+
+
+class BatchPlanner(ABC):
+    """Plans whole rounds for many same-class adversaries at once.
+
+    One instance covers the subset of a run group driven by a single
+    exact adversary class; ``adversaries[j]`` is member ``j``'s
+    adversary.  The bit-exactness contract of :class:`MaskPlanner`
+    carries over per member: each adversary's RNG stream must be
+    consumed exactly as its per-run planner would consume it, with
+    vectorisable draws routed through
+    :class:`~repro.adversary.rng_bridge.RngBridge` and everything else
+    replayed scalar-side.  Implementations must not consume RNG for
+    members that are not live in a round.
+    """
+
+    def __init__(self, adversaries: Sequence[Adversary], n: int) -> None:
+        self.adversaries = list(adversaries)
+        self.n = n
+
+    @abstractmethod
+    def plan_rounds(
+        self,
+        round_num: int,
+        sent: Sequence[Sequence[Payload]],
+        live: Sequence[int],
+        encode: Callable[[Payload], int],
+        codes: Any = None,
+        values: Any = None,
+    ) -> BatchRoundPlan:
+        """The fault plan of ``round_num`` for the live members.
+
+        ``live`` lists the member indices still active, ascending;
+        ``sent[pos]`` is the broadcast payload row of member
+        ``live[pos]`` (index = sender).  Replacement payloads are pushed
+        through ``encode`` (the engine's codebook) so the result is
+        pure arrays/ints.  Returned arrays are indexed by *position in
+        ``live``*, not by member index.
+
+        ``codes`` and ``values`` are an optional already-encoded view of
+        ``sent``: ``codes`` is the same payload grid as an ``(m, n)``
+        integer array of codebook codes and ``values[code]`` decodes a
+        code back to its payload.  The batch engine always passes them
+        (it holds the sent grid in code form anyway); planners that key
+        their work on codes instead of payload objects use them to stay
+        array-typed end to end, and recompute them via ``encode`` when a
+        direct caller omits them.  Implementations are free to ignore
+        both.
+        """
+
+    def finish(self) -> None:
+        """Flush any bridged RNG state back into the adversaries.
+
+        Called once per group, after the last round, so each
+        adversary's ``random.Random`` ends up exactly as far along its
+        stream as a per-run execution would have left it.  The default
+        is a no-op for planners that never bridge.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} over {len(self.adversaries)} adversaries>"
+
+
+BatchPlannerFactory = Callable[[Sequence[Adversary], int], BatchPlanner]
+
+#: Batch planners, keyed by *exact* adversary class like
+#: :data:`_NATIVE_PLANNERS` (subclasses may change delivery semantics,
+#: so they stay on the per-run path).
+_BATCH_PLANNERS: Dict[Type[Adversary], BatchPlannerFactory] = {}
+
+#: Filled after the built-in registrations at the bottom of this
+#: module; :func:`register_batch_planner` refuses to replace these
+#: without ``overwrite=True``.
+_BUILTIN_BATCH_PLANNERS: set = set()
+
+
+def register_batch_planner(
+    adversary_type: Type[Adversary],
+    factory: Optional[BatchPlannerFactory] = None,
+    *,
+    overwrite: bool = False,
+):
+    """Register a batch planner for ``adversary_type`` (exact class).
+
+    Mirrors :func:`register_planner`: usable directly or as a
+    decorator, returns the factory, and refuses to replace a built-in
+    registration unless ``overwrite=True``.  Per-process registry, same
+    as the native planners.
+    """
+    guard_builtin_overwrite(
+        "batch planner",
+        f"for {adversary_type.__name__}",
+        adversary_type in _BUILTIN_BATCH_PLANNERS,
+        overwrite,
+    )
+
+    def _register(planner_factory: BatchPlannerFactory):
+        _BATCH_PLANNERS[adversary_type] = planner_factory
+        return planner_factory
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def get_batch_planner_factory(
+    adversary_type: Union[Type[Adversary], str]
+) -> BatchPlannerFactory:
+    """Look up a registered batch planner, with a did-you-mean on typos.
+
+    Accepts the adversary class or its name; raises :class:`ValueError`
+    when no batch planner exists (note :func:`batch_planner_for` never
+    raises — it answers ``None`` and callers fall back per run).
+    """
+    if isinstance(adversary_type, str):
+        by_name = {cls.__name__: cls for cls in _BATCH_PLANNERS}
+        cls = by_name.get(adversary_type)
+        if cls is None:
+            raise unknown_key_error("batch planner", adversary_type, by_name)
+        return _BATCH_PLANNERS[cls]
+    factory = _BATCH_PLANNERS.get(adversary_type)
+    if factory is None:
+        raise unknown_key_error(
+            "batch planner",
+            adversary_type.__name__,
+            (cls.__name__ for cls in _BATCH_PLANNERS),
+        )
+    return factory
+
+
+def batch_planner_for(adversaries: Sequence[Adversary], n: int) -> Optional[BatchPlanner]:
+    """One batch planner over same-class ``adversaries``, or ``None``.
+
+    Keyed by the *exact* class of the adversaries (which must all share
+    one); ``None`` means no batch planner is registered — including the
+    NumPy-less case, where :mod:`repro.adversary.batch_plan` never
+    imports — and the caller should plan those runs per run via
+    :func:`planner_for`.
+    """
+    if not adversaries:
+        return None
+    cls = type(adversaries[0])
+    if any(type(adversary) is not cls for adversary in adversaries):
+        raise ValueError("batch_planner_for requires adversaries of one exact class")
+    factory = _BATCH_PLANNERS.get(cls)
+    if factory is None:
+        return None
+    return factory(adversaries, n)
+
+
+# The native batch planners need NumPy (they stack RNG-bridge blocks
+# into arrays); without it nothing registers and every adversary class
+# stays on the per-run planner path.
+try:
+    from repro.adversary import batch_plan as _batch_plan  # noqa: F401,E402
+except ImportError:  # pragma: no cover - exercised by the numpy-less CI leg
+    pass
+_BUILTIN_BATCH_PLANNERS.update(_BATCH_PLANNERS)

@@ -45,6 +45,19 @@ _CLOCK_SEAM: Dict[str, FrozenSet[str]] = {
 # (or are pure helpers) rather than drawing from the ambient global RNG.
 _SEEDED_CONSTRUCTORS: FrozenSet[str] = frozenset({"random.Random"})
 
+# NumPy generator constructors: fine when given a seed argument,
+# ambient-entropy in disguise when called bare.
+_NUMPY_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"numpy.random.RandomState", "numpy.random.default_rng"}
+)
+
+# The sanctioned NumPy-RNG seam, mirroring ``_CLOCK_SEAM``: the RNG
+# bridge deliberately constructs bare ``RandomState()`` instances as
+# empty shells whose state is immediately overwritten with
+# ``set_state(...)`` lifted from an explicitly seeded ``random.Random``
+# — no ambient entropy survives the overwrite.
+_NUMPY_RNG_SEAM: FrozenSet[str] = frozenset({"repro/adversary/rng_bridge.py"})
+
 
 @register_rule
 class UnseededRandomRule(Rule):
@@ -122,6 +135,54 @@ class WallClockRule(Rule):
                 f"wall-clock/entropy read {target}() outside the allowlisted "
                 "clock seam; derive the value from the run spec or route it "
                 "through repro/runner/distributed.py",
+            )
+
+
+@register_rule
+class UnseededNumpyRandomRule(Rule):
+    """No `numpy.random.*` module-level calls and no unseeded `RandomState()` / `default_rng()`: NumPy randomness must be seeded or lifted from a seeded generator.
+
+    `np.random.rand(...)` and friends draw from NumPy's interpreter-wide
+    global `RandomState` — the same ambient-state hazard D201 bans for
+    the stdlib, now that batch planners vectorise fault schedules
+    through NumPy.  `RandomState()` and `default_rng()` *without* a seed
+    argument pull entropy from the OS and are flagged too; pass a seed
+    derived from the run spec, or share the state of an already-seeded
+    `random.Random` through `repro.adversary.rng_bridge` (that module is
+    the one sanctioned seam: its bare `RandomState()` shells are
+    overwritten with `set_state(...)` before any draw).
+    """
+
+    id = "D204"
+    name = "unseeded-numpy-random"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module_path in _NUMPY_RNG_SEAM:
+            return
+        imports = ImportMap(ctx.tree)
+        for call in iter_calls(ctx.tree):
+            target = imports.canonical_call(call.func)
+            if target is None or not target.startswith("numpy.random."):
+                continue
+            if target in _NUMPY_CONSTRUCTORS:
+                if call.args or call.keywords:
+                    continue
+                yield finding(
+                    self,
+                    ctx,
+                    call,
+                    f"{target.rsplit('.', 1)[-1]}() without a seed argument "
+                    "draws from ambient entropy; pass a seed derived from the "
+                    "run spec or lift state through repro.adversary.rng_bridge",
+                )
+                continue
+            yield finding(
+                self,
+                ctx,
+                call,
+                f"module-level call {target}() uses NumPy's ambient global "
+                "RNG; draw from a seeded RandomState/Generator threaded "
+                "explicitly",
             )
 
 

@@ -244,16 +244,27 @@ def _record_from_result(result: SimulationResult, task: RunTask) -> RunRecord:
     )
 
 
+def _planned_rounds(results: Sequence[SimulationResult]) -> int:
+    """Rounds the batch backend fault-scheduled array-at-a-time.
+
+    Batch-capable backends report the count per run as
+    ``metadata["batch_planned_rounds"]``; runs planned per run (no batch
+    planner registered for their adversary class) report 0 or nothing.
+    """
+    return sum(result.metadata.get("batch_planned_rounds", 0) for result in results)
+
+
 def _run_task_batch(
     tasks_with_index: Sequence[Tuple[int, RunTask]], capture_errors: bool
-) -> List[Tuple[int, RunRecord]]:
+) -> Tuple[List[Tuple[int, RunRecord]], int]:
     """Execute one same-backend task group through ``run_batch``.
 
     A batch aborts as a unit, and the aborted group may already have
     consumed adversary RNG — so on any error the adversaries' seeded
     schedules are reset (their documented replay contract) and the
     group re-executes run by run, isolating the failing run exactly as
-    per-run dispatch would.
+    per-run dispatch would.  Returns the indexed records plus the
+    group's batch-planned round count (0 on the recovery path).
     """
     pairs = list(tasks_with_index)
     chosen = _task_backend(pairs[0][1])
@@ -262,18 +273,25 @@ def _run_task_batch(
     except Exception:
         for _, task in pairs:
             task.adversary.reset()
-        return [
-            _record_worker((index, task, None, capture_errors)) for index, task in pairs
-        ]
-    return [
-        (index, _record_from_result(result, task))
-        for (index, task), result in zip(pairs, results)
-    ]
+        return (
+            [
+                _record_worker((index, task, None, capture_errors))
+                for index, task in pairs
+            ],
+            0,
+        )
+    return (
+        [
+            (index, _record_from_result(result, task))
+            for (index, task), result in zip(pairs, results)
+        ],
+        _planned_rounds(results),
+    )
 
 
 def _record_batch_worker(
     payload: Tuple[Sequence[Tuple[int, RunTask]], bool]
-) -> List[Tuple[int, RunRecord]]:
+) -> Tuple[List[Tuple[int, RunRecord]], int]:
     """Worker: run one batch chunk and return its records, indexed."""
     tasks_with_index, capture_errors = payload
     return _run_task_batch(tasks_with_index, capture_errors)
@@ -556,7 +574,8 @@ class CampaignRunner:
             self.stats.batched += len(group)
             for chunk in _batch_chunks(group, self.jobs):
                 batch_payloads.append((chunk, capture_errors))
-        for pairs in self._run_payloads(_record_batch_worker, batch_payloads):
+        for pairs, planned in self._run_payloads(_record_batch_worker, batch_payloads):
+            self.stats.batch_planned += planned
             for index, record in pairs:
                 _store(index, record)
 
@@ -659,6 +678,7 @@ class CampaignRunner:
                     task.adversary.reset()
                 singles.extend(group)
                 continue
+            self.stats.batch_planned += _planned_rounds(results)
             for (index, task, key), result in zip(group, results):
                 try:
                     data = reducer.reduce(result)
@@ -711,10 +731,12 @@ class CampaignRunner:
             for indices in groups.values():
                 chosen = _task_backend(tasks[indices[0]])
                 requests = [_task_request(tasks[i]) for i in indices]
-                for index, result in zip(indices, chosen.run_batch(requests)):
+                batch_results = chosen.run_batch(requests)
+                for index, result in zip(indices, batch_results):
                     results[index] = result
                 batched.update(indices)
                 self.stats.batched += len(indices)
+                self.stats.batch_planned += _planned_rounds(batch_results)
             for index, task in enumerate(tasks):
                 if index not in batched:
                     results[index] = _execute_task(task, self.timeout)

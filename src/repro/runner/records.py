@@ -168,6 +168,12 @@ class RunnerStats:
     #: Runs handed to a batch-capable backend as part of a whole-group
     #: ``run_batch`` call (a subset of ``executed``).
     batched: int = 0
+    #: Rounds whose fault schedule a batch planner produced array-at-a-
+    #: time (summed over batched runs; 0 when every adversary fell back
+    #: to per-run planning).  A new counter widens the stats payload but
+    #: readers tolerate missing keys, so the cache schema version is
+    #: unchanged.
+    batch_planned: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     failures: int = 0
@@ -180,6 +186,7 @@ class RunnerStats:
             total=self.total,
             executed=self.executed,
             batched=self.batched,
+            batch_planned=self.batch_planned,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             failures=self.failures,
@@ -193,6 +200,7 @@ class RunnerStats:
             total=self.total - earlier.total,
             executed=self.executed - earlier.executed,
             batched=self.batched - earlier.batched,
+            batch_planned=self.batch_planned - earlier.batch_planned,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
             failures=self.failures - earlier.failures,
@@ -205,6 +213,7 @@ class RunnerStats:
             "total": self.total,
             "executed": self.executed,
             "batched": self.batched,
+            "batch_planned": self.batch_planned,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "failures": self.failures,
@@ -219,6 +228,7 @@ class RunnerStats:
             total=int(data.get("total", 0)),
             executed=int(data.get("executed", 0)),
             batched=int(data.get("batched", 0)),
+            batch_planned=int(data.get("batch_planned", 0)),
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             failures=int(data.get("failures", 0)),
@@ -231,6 +241,7 @@ class RunnerStats:
         self.total += other.total
         self.executed += other.executed
         self.batched += other.batched
+        self.batch_planned += other.batch_planned
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.failures += other.failures
@@ -246,6 +257,8 @@ class RunnerStats:
         ]
         if self.batched:
             parts.append(f"batched={self.batched}")
+        if self.batch_planned:
+            parts.append(f"batch_planned={self.batch_planned}")
         if self.failures:
             parts.append(f"failures={self.failures}")
         if self.timeouts:

@@ -22,11 +22,21 @@ runs *simultaneously*:
   have all decided stops planning rounds, stops appending records and
   is never mutated again, exactly like its single-run execution.
 
-Adversaries are **not** vectorised: each run keeps its own
+Adversary planning is two-tier.  Runs whose exact adversary class has
+a registered :class:`~repro.adversary.plan.BatchPlanner` are planned
+*array-at-a-time*: one planner instance covers every such run in the
+group, producing per-round drop bit-matrices and corrupt-edge COO
+arrays that this engine consumes directly — ``HO`` masks come out of
+one :func:`numpy.packbits` pass and reception rows are scattered in
+bulk, with each run's RNG stream still consumed bit-exactly (via the
+:mod:`~repro.adversary.rng_bridge` where draws vectorise, scalar
+replay where they cannot).  Every other run keeps its own per-run
 RNG-stream-exact :class:`~repro.adversary.plan.MaskPlanner`, called
-once per round per active run, so fault schedules (and therefore the
-``HO``/``SHO`` collections) are bit-for-bit identical to the other
-lockstep engines.  For :class:`~repro.adversary.base.ReliableAdversary`
+once per round per active run.  Either way fault schedules (and
+therefore the ``HO``/``SHO`` collections) are bit-for-bit identical to
+the other lockstep engines; the ``REPRO_BATCH_PLANNING`` environment
+knob (``off`` to disable) forces the per-run tier so CI can diff the
+two paths.  For :class:`~repro.adversary.base.ReliableAdversary`
 planning is free and the whole round is a single vectorised step.
 
 Like the fast engine, the backend is *semantically invisible*:
@@ -53,6 +63,7 @@ keys (``nan``).  Both are detected, never silently mis-executed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -62,7 +73,7 @@ except ImportError:  # pragma: no cover - exercised by the numpy-less CI leg
     np = None
 
 from repro.adversary.base import Adversary, ReliableAdversary
-from repro.adversary.plan import planner_for
+from repro.adversary.plan import BatchPlanner, MaskPlanner, batch_planner_for, planner_for
 from repro.algorithms.kernels import (
     AteKernel,
     UteKernel,
@@ -454,6 +465,49 @@ class _BatchUteKernel(_BatchKernel):
 _BATCH_KERNELS = {"ate": _BatchAteKernel, "ute": _BatchUteKernel}
 
 
+def _batch_planning_enabled() -> bool:
+    """Whether run groups may plan through registered batch planners.
+
+    On by default; set the ``REPRO_BATCH_PLANNING`` environment
+    variable to ``off`` (or ``0``/``no``/``false``) to force every run
+    onto its per-run planner while keeping the vectorised kernel — the
+    CI equivalence smoke diffs the two paths byte-for-byte.
+    """
+    return os.environ.get("REPRO_BATCH_PLANNING", "on").strip().lower() not in {
+        "off",
+        "0",
+        "no",
+        "false",
+    }
+
+
+def _mask_rows(ho_bits: "np.ndarray") -> List[List[int]]:
+    """Per-member, per-receiver HO mask ints from a ``(m, n, n)`` bool array.
+
+    Bit ``s`` of ``out[member][receiver]`` is
+    ``ho_bits[member, receiver, s]``: one little-endian
+    :func:`numpy.packbits` pass, padded to whole 64-bit words so the
+    ints fall out of a ``uint64`` view (recombined across words when
+    ``n > 64``).
+    """
+    m, n, _ = ho_bits.shape
+    packed = np.packbits(ho_bits, axis=2, bitorder="little")
+    nbytes = packed.shape[2]
+    width = -(-nbytes // 8)
+    if nbytes != width * 8:
+        packed = np.concatenate(
+            [packed, np.zeros((m, n, width * 8 - nbytes), dtype=np.uint8)], axis=2
+        )
+    words = np.ascontiguousarray(packed).view("<u8")
+    if width == 1:
+        return words[:, :, 0].tolist()
+    rows = words.tolist()
+    return [
+        [sum(word << (64 * k) for k, word in enumerate(cell)) for cell in row]
+        for row in rows
+    ]
+
+
 def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[SimulationResult]:
     """Execute one same-shape group of runs vectorised.
 
@@ -461,7 +515,7 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
     config fields (grouping key of :func:`run_algorithm_batch`); the
     algorithm *parameters*, adversaries, initial values and specs may
     differ per run — parameters live in per-run arrays, adversaries in
-    per-run planners.
+    batch or per-run planners.
     """
     # Same construction (and the same validation errors) as the scalar
     # engines, before any adversary RNG is consumed.
@@ -472,8 +526,32 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
 
     book = _Codebook()
     kernel = _BATCH_KERNELS[family](requests, n, book)
-    planners = [planner_for(r.adversary, n) for r in requests]
     collections = [HeardOfCollection(n) for _ in range(runs)]
+
+    # Two planner tiers: runs whose exact adversary class has a
+    # registered batch planner share one array-at-a-time planner per
+    # class; everything else keeps its per-run planner.  Partitions are
+    # per exact class, in first-appearance order, so the member lists
+    # (and therefore per-member RNG consumption) are deterministic.
+    batch_parts: List[Tuple[BatchPlanner, List[int]]] = []
+    is_batch_planned = [False] * runs
+    if _batch_planning_enabled():
+        by_class: Dict[type, List[int]] = {}
+        for index, request in enumerate(requests):
+            by_class.setdefault(type(request.adversary), []).append(index)
+        for members in by_class.values():
+            planner = batch_planner_for([requests[i].adversary for i in members], n)
+            if planner is None:
+                continue
+            batch_parts.append((planner, members))
+            for i in members:
+                is_batch_planned[i] = True
+    planners: Dict[int, MaskPlanner] = {
+        i: planner_for(r.adversary, n)
+        for i, r in enumerate(requests)
+        if not is_batch_planned[i]
+    }
+    batch_planned_rounds = [0] * runs
 
     full = (1 << n) - 1
     full_tuple = (full,) * n
@@ -490,6 +568,7 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
         act = np.flatnonzero(active)
         if act.size == 0:
             break
+        act_list = act.tolist()
         sent_codes = kernel.sends(round_num)
         values_of = book.values
         recv = None
@@ -497,8 +576,11 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
         adj_recv: List[int] = []
         adj_code: List[int] = []
         adj_delta: List[float] = []
+        adj_parts: List[Tuple] = []
 
-        for a_pos, i in enumerate(act.tolist()):
+        for a_pos, i in enumerate(act_list) if planners else ():
+            if is_batch_planned[i]:
+                continue
             row = sent_codes[i].tolist()
             values = [values_of[c] for c in row]
             plan = planners[i].plan_round(round_num, values)
@@ -570,7 +652,141 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
                     packed, axis=1, count=n, bitorder="little"
                 ).astype(np.float32)
 
-        adjust = (adj_run, adj_recv, adj_code, adj_delta) if adj_run else None
+        if batch_parts:
+            a_pos_of = {i: a_pos for a_pos, i in enumerate(act_list)}
+            for planner, members in batch_parts:
+                # ``live`` indexes the partition's member list (the
+                # planner's own adversary indices); ``live_runs`` maps
+                # those back to run indices within the group.
+                live = [pos for pos, i in enumerate(members) if active[i]]
+                if not live:
+                    continue
+                live_runs = [members[pos] for pos in live]
+                live_arr = np.asarray(live_runs, dtype=np.int64)
+                codes_mat = sent_codes[live_arr]
+                sent_rows = [
+                    [values_of[c] for c in code_row] for code_row in codes_mat.tolist()
+                ]
+                plan = planner.plan_rounds(
+                    round_num, sent_rows, live, book.encode, codes_mat, values_of
+                )
+                for i in live_runs:
+                    batch_planned_rounds[i] += 1
+                drop = plan.drop
+                edges = plan.corrupt
+
+                if drop is None and edges is None:
+                    # Perfect round for the whole partition: reception
+                    # template untouched, records from shared tuples.
+                    for pos, i in enumerate(live_runs):
+                        collections[i].append(
+                            MaskRoundRecord(
+                                round_num=round_num,
+                                n=n,
+                                sent=tuple(sent_rows[pos]),
+                                ho_masks=full_tuple,
+                                sho_masks=full_tuple,
+                                corrupt=nones_tuple,
+                            )
+                        )
+                    continue
+
+                if drop is not None:
+                    ho_bits = ~drop
+                    ho_rows = _mask_rows(ho_bits)
+                    if recv is None:
+                        recv = np.ones((act.size, n, n), dtype=np.float32)
+                    recv[[a_pos_of[i] for i in live_runs]] = ho_bits
+                else:
+                    ho_rows = None
+
+                # Corrupt edges arrive as COO columns sorted ascending
+                # by sender within each (member, receiver).  The
+                # kernel's count adjustments (-1 intended, +1 injected)
+                # assemble as whole arrays; only the per-member record
+                # dicts still walk the edges in Python.
+                cmask_of: Dict[int, Dict[int, int]] = {}
+                cvals_of: Dict[int, Dict[int, dict]] = {}
+                if edges is not None:
+                    e_pos = np.asarray(edges[0], dtype=np.int64)
+                    e_recv = np.asarray(edges[1], dtype=np.int64)
+                    e_send = np.asarray(edges[2], dtype=np.int64)
+                    e_code = np.asarray(edges[3], dtype=np.int64)
+                    a_pos_arr = np.asarray(
+                        [a_pos_of[i] for i in live_runs], dtype=np.int64
+                    )[e_pos]
+                    intended = codes_mat[e_pos, e_send]
+                    n_edges = len(e_code)
+                    deltas = np.empty(2 * n_edges, dtype=np.float32)
+                    deltas[:n_edges] = -1.0
+                    deltas[n_edges:] = 1.0
+                    adj_parts.append(
+                        (
+                            np.concatenate([a_pos_arr, a_pos_arr]),
+                            np.concatenate([e_recv, e_recv]),
+                            np.concatenate([intended, e_code]),
+                            deltas,
+                        )
+                    )
+                    # Planners may emit the columns as arrays; the
+                    # record walk wants plain ints (mask shifts must not
+                    # wrap in fixed-width integer arithmetic).  Edges
+                    # usually arrive grouped by member, so the member
+                    # dicts are re-looked-up only on a position change.
+                    prev_pos = -1
+                    masks: Dict[int, int] = {}
+                    member_vals: Dict[int, dict] = {}
+                    for pos, receiver, sender, code in zip(
+                        e_pos.tolist(), e_recv.tolist(), e_send.tolist(), e_code.tolist()
+                    ):
+                        if pos != prev_pos:
+                            masks = cmask_of.setdefault(pos, {})
+                            member_vals = cvals_of.setdefault(pos, {})
+                            prev_pos = pos
+                        masks[receiver] = masks.get(receiver, 0) | (1 << sender)
+                        member_vals.setdefault(receiver, {})[sender] = values_of[code]
+
+                for pos, i in enumerate(live_runs):
+                    ho_t = full_tuple if ho_rows is None else tuple(ho_rows[pos])
+                    masks = cmask_of.get(pos)
+                    if not masks:
+                        sho_t = ho_t
+                        corrupt_t: Tuple[Optional[dict], ...] = nones_tuple
+                    else:
+                        sho_l = list(ho_t)
+                        corrupt_l: List[Optional[dict]] = [None] * n
+                        member_vals = cvals_of[pos]
+                        for receiver, cmask in masks.items():
+                            sho_l[receiver] &= ~cmask
+                            corrupt_l[receiver] = member_vals[receiver]
+                        sho_t = tuple(sho_l)
+                        corrupt_t = tuple(corrupt_l)
+                    collections[i].append(
+                        MaskRoundRecord(
+                            round_num=round_num,
+                            n=n,
+                            sent=tuple(sent_rows[pos]),
+                            ho_masks=ho_t,
+                            sho_masks=sho_t,
+                            corrupt=corrupt_t,
+                        )
+                    )
+
+        if adj_run:
+            adj_parts.append(
+                (
+                    np.asarray(adj_run, dtype=np.int64),
+                    np.asarray(adj_recv, dtype=np.int64),
+                    np.asarray(adj_code, dtype=np.int64),
+                    np.asarray(adj_delta, dtype=np.float32),
+                )
+            )
+        if not adj_parts:
+            adjust = None
+        elif len(adj_parts) == 1:
+            adjust = adj_parts[0]
+        else:
+            adjust = tuple(np.concatenate(cols) for cols in zip(*adj_parts))
         sent_act = sent_codes[act]  # fancy index: a pre-mutation snapshot
         kernel.step_round(round_num, act, recv, adjust, sent_act)
         rounds_executed[act] = round_num
@@ -579,6 +795,11 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
             done = kernel.all_decided()[act]
             if done.any():
                 active[act[done]] = False
+
+    # Write bridged RNG state back so every adversary's random.Random
+    # ends the group exactly where a per-run execution would leave it.
+    for planner, _members in batch_parts:
+        planner.finish()
 
     results: List[SimulationResult] = []
     for pos, request in enumerate(requests):
@@ -608,7 +829,13 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
                 config=request.config,
                 algorithm_name=request.algorithm.describe(),
                 adversary_name=request.adversary.describe(),
-                metadata={"engine": "batch"},
+                # batch_planned_rounds feeds the runner's batch_planned
+                # stat; it never enters records, so byte-identity across
+                # backends is unaffected.
+                metadata={
+                    "engine": "batch",
+                    "batch_planned_rounds": batch_planned_rounds[pos],
+                },
             )
         )
     return results

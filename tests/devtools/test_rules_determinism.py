@@ -1,5 +1,6 @@
 """Fixture tests for the D family: D201 unseeded randomness, D202
-wall-clock/entropy reads, D203 set-iteration order."""
+wall-clock/entropy reads, D203 set-iteration order, D204 unseeded
+NumPy randomness."""
 
 from __future__ import annotations
 
@@ -150,6 +151,76 @@ class TestWallClockD202:
         assert report.findings == []
         assert [item.rule for item in report.suppressed] == ["D202"]
         assert "deliberately unique" in report.suppressed[0].justification
+
+
+class TestUnseededNumpyRandomD204:
+    def test_global_numpy_draws_are_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+            from numpy.random import randint
+
+            def draw():
+                return np.random.rand(3) + randint(0, 4)
+            """,
+            rules=["D204"],
+        )
+        assert _ids(report) == ["D204", "D204"]
+        assert "ambient global" in report.findings[0].message
+
+    def test_unseeded_constructors_are_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+            from numpy.random import default_rng
+
+            def make():
+                return np.random.RandomState(), default_rng()
+            """,
+            rules=["D204"],
+        )
+        assert _ids(report) == ["D204", "D204"]
+        assert "without a seed" in report.findings[0].message
+
+    def test_seeded_constructors_are_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+
+            def make(seed):
+                state = np.random.RandomState(seed)
+                rng = np.random.default_rng(seed=seed)
+                return state.randint(0, 4), rng.random()
+            """,
+            rules=["D204"],
+        )
+        assert report.findings == []
+
+    def test_draws_on_a_seeded_state_variable_are_allowed(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+
+            def draw(state):
+                return state.randint(0, 1 << 32, size=8)
+            """,
+            rules=["D204"],
+        )
+        assert report.findings == []
+
+    def test_rng_bridge_seam_allows_bare_randomstate(self, lint_snippet):
+        source = """
+            import numpy as np
+
+            def lift(key, pos):
+                state = np.random.RandomState()
+                state.set_state(("MT19937", key, pos))
+                return state
+        """
+        seam = lint_snippet(source, relpath="repro/adversary/rng_bridge.py", rules=["D204"])
+        assert seam.findings == []
+        elsewhere = lint_snippet(source, relpath="repro/adversary/batch_plan.py", rules=["D204"])
+        assert _ids(elsewhere) == ["D204"]
 
 
 class TestSetIterationD203:

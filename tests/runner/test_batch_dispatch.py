@@ -89,6 +89,11 @@ class TestRunTasksBatching:
         assert dump(records) == dump(reference)
         assert runner.stats.batched == 8
         assert "batched=8" in runner.stats.summary()
+        # Every round of every batched run was array-planned: the
+        # omission adversary has a registered batch planner.
+        planned = sum(r.rounds_executed for r in records)
+        assert runner.stats.batch_planned == planned
+        assert f"batch_planned={planned}" in runner.stats.summary()
 
     def test_mixed_batchable_and_per_run_tasks(self):
         """Unsupported tasks split off to per-run dispatch; order and
@@ -118,12 +123,15 @@ class TestRunTasksBatching:
         with CampaignRunner(backend="batch", jobs=2) as runner:
             pooled = runner.run_tasks(tasks)
             assert runner.stats.batched == 9
+            # Planner counts survive the worker-process round trip.
+            assert runner.stats.batch_planned == sum(r.rounds_executed for r in pooled)
         assert dump(pooled) == dump(serial)
 
     def test_timeout_disables_batching(self):
         runner = CampaignRunner(backend="batch", timeout=30.0)
         records = runner.run_tasks([make_task(seed=s) for s in range(3)])
         assert runner.stats.batched == 0
+        assert runner.stats.batch_planned == 0
         assert all(record.ok for record in records)
 
     def test_cache_roundtrip_through_batch(self, tmp_path):

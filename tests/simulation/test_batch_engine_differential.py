@@ -184,3 +184,60 @@ class TestRecordByteEquality:
             second = runner.run_tasks([self._task(None)])[0]
             assert runner.stats.cache_hits == 1
             assert first.as_dict() == second.as_dict()
+
+
+class TestBatchPlanning:
+    """The batch-planner tier is pure acceleration: same bytes, off or on."""
+
+    def _sweep(self):
+        config = SimulationConfig(max_rounds=15, record_states=False)
+        return [
+            SimulationRequest(
+                AteAlgorithm.symmetric(n=8, alpha=1),
+                generators.uniform_random(8, seed=seed),
+                adversary=RandomCorruptionAdversary(
+                    alpha=1, value_domain=(0, 1), seed=seed
+                ),
+                config=config,
+            )
+            for seed in range(6)
+        ]
+
+    def test_planning_knob_off_matches_on(self, monkeypatch):
+        """``REPRO_BATCH_PLANNING=off`` falls back to per-run mask
+        planning inside the batch engine; the produced collections must
+        be byte-identical to the batch-planned path."""
+        planned = run_algorithm_batch(self._sweep())
+        monkeypatch.setenv("REPRO_BATCH_PLANNING", "off")
+        fallback = run_algorithm_batch(self._sweep())
+        for on_result, off_result in zip(planned, fallback):
+            assert_equivalent(on_result, off_result)
+            assert on_result.metadata.get("batch_planned_rounds", 0) > 0
+            assert off_result.metadata.get("batch_planned_rounds", 0) == 0
+
+    def test_batch_planned_rounds_metadata(self):
+        """Registered adversary classes report every round as batch
+        planned; wrapped (subclass-free but unregistered) adversaries
+        report zero and still match."""
+        planned = run_algorithm_batch(self._sweep())
+        for result in planned:
+            assert (
+                result.metadata["batch_planned_rounds"] == result.rounds_executed
+            )
+        config = SimulationConfig(max_rounds=10, record_states=False)
+        wrapped = run_algorithm_batch(
+            [
+                SimulationRequest(
+                    AteAlgorithm.symmetric(n=6, alpha=1),
+                    generators.uniform_random(6, seed=3),
+                    adversary=PeriodicGoodRoundAdversary(
+                        inner=RandomCorruptionAdversary(
+                            alpha=1, value_domain=(0, 1), seed=3
+                        ),
+                        period=3,
+                    ),
+                    config=config,
+                )
+            ]
+        )[0]
+        assert wrapped.metadata.get("batch_planned_rounds", 0) == 0
