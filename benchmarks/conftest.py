@@ -9,11 +9,27 @@ to ``benchmarks/results/`` so EXPERIMENTS.md can reference the artefacts.
 
 from __future__ import annotations
 
+import resource
+import sys
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def peak_rss_mb() -> float:
+    """The process's lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; either way
+    it is a high-water mark, so benchmarks that want a per-phase figure
+    should read it immediately after the phase of interest (the value
+    never decreases).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return peak / 1024.0
 
 
 def pytest_collection_modifyitems(items):

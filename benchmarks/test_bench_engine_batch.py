@@ -26,7 +26,7 @@ import pytest
 
 pytest.importorskip("numpy")
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import RESULTS_DIR, peak_rss_mb
 from repro.adversary import (
     RandomCorruptionAdversary,
     RandomOmissionAdversary,
@@ -95,6 +95,7 @@ def test_bench_batch_engine_speedup():
         started = time.perf_counter()
         batch_results = run_algorithm_batch(_requests(runs, min_rounds, factory))
         batch_seconds = time.perf_counter() - started
+        peak_mb = peak_rss_mb()
 
         # Semantic invisibility first: identical rows, then the timing.
         assert _rows(fast_results) == _rows(batch_results), f"{name}: backends disagree"
@@ -107,6 +108,10 @@ def test_bench_batch_engine_speedup():
             "batch_seconds": round(batch_seconds, 4),
             "speedup": round(fast_seconds / batch_seconds, 2),
             "floor": floor,
+            # Lifetime high-water mark up to this cell (ru_maxrss never
+            # decreases), so regressions show as jumps in the first cell
+            # that allocates more than everything before it.
+            "peak_rss_mb": round(peak_mb, 1),
         }
 
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -46,6 +46,7 @@ from repro.adversary.rng_bridge import (
 )
 from repro.adversary.santoro_widmayer import BlockFaultAdversary
 from repro.adversary.values import DEFAULT_POISON_VALUES, corrupt_value
+from repro.core.heardof import pack_mask_rows, words_per_mask
 from repro.core.process import Payload
 
 _PERFECT_PLAN = BatchRoundPlan()
@@ -69,23 +70,23 @@ class ReliableBatchPlanner(BatchPlanner):
 
 @register_batch_planner(RandomOmissionAdversary)
 class RandomOmissionBatchPlanner(BatchPlanner):
-    """Batched :class:`RandomOmissionAdversary`: one compare per round.
+    """Batched :class:`RandomOmissionAdversary`: one compare per member and round.
 
     Each member's n² per-edge uniforms come out of its RNG bridge as
     one ``(n, n)`` block (C order = the sender-major order the per-run
-    planner draws in); stacking the live members' blocks turns the
-    whole round's fault schedule into a single ``U < p`` broadcast
-    compare.  The blocks are sender-major, the plan is
-    receiver-indexed, hence the transpose.
+    planner draws in), and the whole fault schedule is one ``U < p``
+    compare per member.  The blocks are sender-major, the plan is
+    receiver-indexed, hence the transpose.  Members are processed one
+    at a time and packed straight into drop *words*, so the round's
+    peak working set is one float block plus the ``(m, n, n/64)``
+    word output — never the stacked ``(m, n, n)`` float or bool
+    intermediates, which at n = 1024 would dominate the sweep's memory.
     """
 
     def __init__(self, adversaries: Sequence[Adversary], n: int) -> None:
         super().__init__(adversaries, n)
         self._bridges = [RngBridge(adversary.rng) for adversary in self.adversaries]
-        self._ps = np.array(
-            [adversary.drop_probability for adversary in self.adversaries],
-            dtype=np.float64,
-        )
+        self._ps = [adversary.drop_probability for adversary in self.adversaries]
 
     def plan_rounds(
         self,
@@ -98,11 +99,18 @@ class RandomOmissionBatchPlanner(BatchPlanner):
     ) -> BatchRoundPlan:
         n = self.n
         bridges = self._bridges
-        blocks = np.stack([bridges[j].random_block((n, n)) for j in live])
-        drop = blocks.transpose(0, 2, 1) < self._ps[np.asarray(live)][:, None, None]
-        if not drop.any():
+        drop_words: Optional[np.ndarray] = None
+        for pos, j in enumerate(live):
+            block = bridges[j].random_block((n, n))
+            bits = block.T < self._ps[j]
+            if not bits.any():
+                continue
+            if drop_words is None:
+                drop_words = np.zeros((len(live), n, words_per_mask(n)), dtype=np.uint64)
+            drop_words[pos] = pack_mask_rows(bits)
+        if drop_words is None:
             return _PERFECT_PLAN
-        return BatchRoundPlan(drop=drop)
+        return BatchRoundPlan(drop_words=drop_words)
 
     def finish(self) -> None:
         for bridge in self._bridges:
@@ -223,7 +231,7 @@ class RandomCorruptionBatchPlanner(BatchPlanner):
         n = self.n
         edges = _EdgeBuffer()
         parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
-        drop: Optional[np.ndarray] = None
+        drop_words: Optional[np.ndarray] = None
         fast: List[Tuple[int, int]] = []
         for pos, j in enumerate(live):
             adversary = self.adversaries[j]
@@ -234,7 +242,9 @@ class RandomCorruptionBatchPlanner(BatchPlanner):
             ):
                 fast.append((pos, j))
             else:
-                drop = self._plan_member_general(pos, j, sent[pos], len(live), encode, edges, drop)
+                drop_words = self._plan_member_general(
+                    pos, j, sent[pos], len(live), encode, edges, drop_words
+                )
         if fast:
             if codes is None or values is None:
                 codes, values = self._encode_rows(sent, encode)
@@ -248,7 +258,7 @@ class RandomCorruptionBatchPlanner(BatchPlanner):
             corrupt = parts[0]
         else:
             corrupt = tuple(np.concatenate(cols) for cols in zip(*parts))
-        return BatchRoundPlan(drop=drop, corrupt=corrupt)
+        return BatchRoundPlan(drop_words=drop_words, corrupt=corrupt)
 
     @staticmethod
     def _encode_rows(
@@ -405,7 +415,7 @@ class RandomCorruptionBatchPlanner(BatchPlanner):
         live_count: int,
         encode: Callable[[Payload], int],
         edges: _EdgeBuffer,
-        drop: Optional[np.ndarray],
+        drop_words: Optional[np.ndarray],
     ) -> Optional[np.ndarray]:
         """General replay, draw by draw over the scalar stream ports."""
         n = self.n
@@ -446,9 +456,19 @@ class RandomCorruptionBatchPlanner(BatchPlanner):
                         drop_recv.append(receiver)
                         drop_send.append(sender)
             if drop_recv:
-                if drop is None:
-                    drop = np.zeros((live_count, n, n), dtype=bool)
-                drop[pos, drop_recv, drop_send] = True
+                if drop_words is None:
+                    drop_words = np.zeros(
+                        (live_count, n, words_per_mask(n)), dtype=np.uint64
+                    )
+                send = np.asarray(drop_send, dtype=np.uint64)
+                # Word scatter: edges land at (word index, bit shift).
+                # Senders sharing a word need the or-reduction of .at —
+                # plain fancy-index assignment would drop duplicates.
+                np.bitwise_or.at(
+                    drop_words,
+                    (pos, np.asarray(drop_recv, dtype=np.int64), send >> np.uint64(6)),
+                    np.uint64(1) << (send & np.uint64(63)),
+                )
         else:
             pairs = sorted(
                 (sender, receiver)
@@ -459,7 +479,7 @@ class RandomCorruptionBatchPlanner(BatchPlanner):
                 candidates, codes = self._candidates(cache, domain, row[sender], encode)
                 code = codes[randbelow(len(candidates))] if candidates else codes[0]
                 edges.add(pos, receiver, sender, code)
-        return drop
+        return drop_words
 
     def finish(self) -> None:
         for stream in self._streams:
@@ -545,7 +565,7 @@ class BlockFaultBatchPlanner(BatchPlanner):
         if n == 0:
             return _PERFECT_PLAN
         edges = _EdgeBuffer()
-        drop: Optional[np.ndarray] = None
+        drop_words: Optional[np.ndarray] = None
         for pos, j in enumerate(live):
             adversary = self.adversaries[j]
             victim = adversary.victim_of_round(round_num, range(n))
@@ -558,9 +578,12 @@ class BlockFaultBatchPlanner(BatchPlanner):
                 start = (round_num - 1) % n
                 affected = sorted(((start + offset) % n) for offset in range(count))
             if adversary.mode == "drop":
-                if drop is None:
-                    drop = np.zeros((len(live), n, n), dtype=bool)
-                drop[pos, list(affected), victim] = True
+                if drop_words is None:
+                    drop_words = np.zeros((len(live), n, words_per_mask(n)), dtype=np.uint64)
+                # One victim per member: every affected receiver sets the
+                # same bit of the same word, so a fancy-index |= suffices
+                # (the receiver indices are distinct).
+                drop_words[pos, list(affected), victim >> 6] |= np.uint64(1 << (victim & 63))
             else:
                 payload = sent[pos][victim]
                 domain = adversary.value_domain
@@ -571,7 +594,7 @@ class BlockFaultBatchPlanner(BatchPlanner):
                         victim,
                         encode(corrupt_value(adversary.rng, payload, domain)),
                     )
-        return BatchRoundPlan(drop=drop, corrupt=edges.corrupt())
+        return BatchRoundPlan(drop_words=drop_words, corrupt=edges.corrupt())
 
 
 __all__ = [

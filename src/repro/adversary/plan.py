@@ -489,9 +489,15 @@ class BatchRoundPlan:
 
     ``drop`` is either ``None`` (no member drops anything this round) or
     a ``(m, n, n)`` boolean array indexed ``[member, receiver, sender]``
-    over the ``m`` live members the planner was asked about.  ``corrupt``
-    is either ``None`` or four parallel sequences (lists or integer
-    arrays) ``(member, receiver, sender, code)`` — one entry per
+    over the ``m`` live members the planner was asked about.
+    ``drop_words`` is the packed-word alternative: a
+    ``(m, n, ceil(n/64))`` uint64 array in the little-endian layout of
+    :func:`repro.core.heardof.pack_mask_rows` (bit ``s & 63`` of word
+    ``s >> 6`` set iff sender ``s`` is dropped), which never
+    materialises the dense ``n x n`` intermediate — planners set at
+    most one of the two forms and the engine consumes either.
+    ``corrupt`` is either ``None`` or four parallel sequences (lists or
+    integer arrays) ``(member, receiver, sender, code)`` — one entry per
     corrupted edge, with the replacement payload already encoded through
     the engine's codebook.  For any fixed ``(member, receiver)``,
     entries appear in ascending-sender order (the order the per-run
@@ -503,6 +509,7 @@ class BatchRoundPlan:
     """
 
     drop: Any = None
+    drop_words: Any = None
     corrupt: Optional[Tuple[Sequence[int], Sequence[int], Sequence[int], Sequence[int]]] = None
 
 

@@ -38,6 +38,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
+try:  # NumPy is optional everywhere in this package: the word-array
+    import numpy as _np  # helpers below degrade to a clear error without it.
+except ImportError:  # pragma: no cover - exercised by the numpy-less CI leg
+    _np = None  # type: ignore[assignment]
+
 from repro.core.process import Payload, ProcessId
 
 
@@ -79,6 +84,65 @@ def iter_mask(mask: int) -> Iterator[ProcessId]:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+# ----------------------------------------------------------------------
+# Mask <-> packed-word helpers
+# ----------------------------------------------------------------------
+# The batch engine carries reception as arrays of 64-bit words instead
+# of dense boolean matrices; these helpers define the one word layout
+# shared by every producer and consumer: *little-endian*, so bit ``s``
+# of a mask lives in word ``s >> 6`` at shift ``s & 63``, and a
+# ``(words_per_mask(n) * 8)``-byte little-endian serialisation of the
+# mask int views directly as the word row.
+def words_per_mask(n: int) -> int:
+    """Number of 64-bit words needed for an ``n``-bit mask (min 1)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return max(1, (n + 63) // 64)
+
+
+def mask_to_words(mask: int, n: int) -> Tuple[int, ...]:
+    """Split an ``n``-bit mask into ``words_per_mask(n)`` little-endian words."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    width = words_per_mask(n)
+    return tuple((mask >> (64 * k)) & 0xFFFFFFFFFFFFFFFF for k in range(width))
+
+
+def words_to_mask(words: Iterable[int]) -> int:
+    """Recombine little-endian 64-bit words into a single mask int."""
+    mask = 0
+    for k, word in enumerate(words):
+        mask |= word << (64 * k)
+    return mask
+
+
+def pack_mask_rows(bits: "_np.ndarray") -> "_np.ndarray":
+    """Pack a boolean array along its last axis into little-endian uint64 words.
+
+    ``bits[..., s]`` becomes bit ``s & 63`` of ``out[..., s >> 6]`` —
+    the same layout as :func:`mask_to_words`, so a packed row views
+    back to the mask int via :func:`words_to_mask`.  Requires NumPy.
+    """
+    if _np is None:  # pragma: no cover - numpy-less environments never pack
+        raise RuntimeError("pack_mask_rows requires numpy")
+    packed = _np.packbits(bits, axis=-1, bitorder="little")
+    nbytes = packed.shape[-1]
+    width = words_per_mask(bits.shape[-1])
+    if nbytes != width * 8:
+        pad = _np.zeros(packed.shape[:-1] + (width * 8 - nbytes,), dtype=_np.uint8)
+        packed = _np.concatenate([packed, pad], axis=-1)
+    return _np.ascontiguousarray(packed).view("<u8")
+
+
+def unpack_mask_rows(words: "_np.ndarray", n: int) -> "_np.ndarray":
+    """Inverse of :func:`pack_mask_rows`: words back to an ``(..., n)`` bool array."""
+    if _np is None:  # pragma: no cover - numpy-less environments never pack
+        raise RuntimeError("unpack_mask_rows requires numpy")
+    as_bytes = _np.ascontiguousarray(words).astype("<u8", copy=False).view(_np.uint8)
+    bits = _np.unpackbits(as_bytes, axis=-1, count=n, bitorder="little")
+    return bits.astype(bool)
 
 
 # ----------------------------------------------------------------------
@@ -501,6 +565,10 @@ class MaskRoundRecord:
         return result
 
     def altered_span_mask(self) -> int:
+        # Perfect rounds share one tuple object for HO and SHO (both
+        # engines' fast paths) — nothing was altered, skip the walk.
+        if self.sho_masks is self.ho_masks:
+            return 0
         span = 0
         for ho, sho in zip(self.ho_masks, self.sho_masks):
             span |= ho & ~sho
@@ -516,13 +584,20 @@ class MaskRoundRecord:
         return ids_from_mask(self.altered_span_mask())
 
     def total_corruptions(self) -> int:
+        if self.sho_masks is self.ho_masks:  # shared perfect-round tuple
+            return 0
         return sum((ho & ~sho).bit_count() for ho, sho in zip(self.ho_masks, self.sho_masks))
 
     def total_omissions(self) -> int:
-        return sum(self.n - ho.bit_count() for ho in self.ho_masks)
+        # sum(n - popcount(ho)) with the popcounts folded in one C-level
+        # map pass — these totals run once per record per metrics call,
+        # the hottest scalar loop of a large fault-free sweep.
+        return self.n * self.n - sum(map(int.bit_count, self.ho_masks))
 
     def max_aho(self) -> int:
         if not self.n:
+            return 0
+        if self.sho_masks is self.ho_masks:  # shared perfect-round tuple
             return 0
         return max((ho & ~sho).bit_count() for ho, sho in zip(self.ho_masks, self.sho_masks))
 
@@ -597,8 +672,25 @@ class HeardOfCollection:
         return self[r].aho(p)
 
     # -- global derived sets ---------------------------------------------------
+    # Mask-backed records (the fast/batch backends) expose their
+    # per-round reductions as bitmask ints; folding those directly and
+    # converting once avoids materialising a frozenset per round.  A
+    # collection mixing in matrix-backed rounds falls back to set
+    # algebra for the whole prefix.
+    def _fold_masks(self, accessor: str, initial: int, op) -> Optional[int]:
+        result = initial
+        for record in self._rounds:
+            mask_of = getattr(record, accessor, None)
+            if mask_of is None:
+                return None
+            result = op(result, mask_of())
+        return result
+
     def global_kernel(self) -> FrozenSet[ProcessId]:
         """``K``: processes heard by everyone at every recorded round."""
+        folded = self._fold_masks("kernel_mask", full_mask(self.n), int.__and__)
+        if folded is not None:
+            return ids_from_mask(folded)
         result = self.processes
         for record in self._rounds:
             result &= record.kernel()
@@ -606,6 +698,9 @@ class HeardOfCollection:
 
     def global_safe_kernel(self) -> FrozenSet[ProcessId]:
         """``SK``: processes safely heard by everyone at every recorded round."""
+        folded = self._fold_masks("safe_kernel_mask", full_mask(self.n), int.__and__)
+        if folded is not None:
+            return ids_from_mask(folded)
         result = self.processes
         for record in self._rounds:
             result &= record.safe_kernel()
@@ -613,6 +708,9 @@ class HeardOfCollection:
 
     def global_altered_span(self) -> FrozenSet[ProcessId]:
         """``AS``: processes that emitted at least one corrupted message, ever."""
+        folded = self._fold_masks("altered_span_mask", 0, int.__or__)
+        if folded is not None:
+            return ids_from_mask(folded)
         span: Set[ProcessId] = set()
         for record in self._rounds:
             span |= record.altered_span()

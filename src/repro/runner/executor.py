@@ -254,9 +254,20 @@ def _planned_rounds(results: Sequence[SimulationResult]) -> int:
     return sum(result.metadata.get("batch_planned_rounds", 0) for result in results)
 
 
+def _chunk_splits(results: Sequence[SimulationResult]) -> int:
+    """Memory-budget splits the batch backend performed for these runs.
+
+    The batch engine marks one result per extra chunk with
+    ``metadata["batch_chunks"] = 1`` (a group split into k chunks under
+    ``REPRO_BATCH_MEMORY_BUDGET`` carries k - 1 markers); unchunked
+    groups and other backends report nothing.
+    """
+    return sum(result.metadata.get("batch_chunks", 0) for result in results)
+
+
 def _run_task_batch(
     tasks_with_index: Sequence[Tuple[int, RunTask]], capture_errors: bool
-) -> Tuple[List[Tuple[int, RunRecord]], int]:
+) -> Tuple[List[Tuple[int, RunRecord]], int, int]:
     """Execute one same-backend task group through ``run_batch``.
 
     A batch aborts as a unit, and the aborted group may already have
@@ -264,7 +275,8 @@ def _run_task_batch(
     schedules are reset (their documented replay contract) and the
     group re-executes run by run, isolating the failing run exactly as
     per-run dispatch would.  Returns the indexed records plus the
-    group's batch-planned round count (0 on the recovery path).
+    group's batch-planned round count and memory-budget split count
+    (both 0 on the recovery path).
     """
     pairs = list(tasks_with_index)
     chosen = _task_backend(pairs[0][1])
@@ -279,6 +291,7 @@ def _run_task_batch(
                 for index, task in pairs
             ],
             0,
+            0,
         )
     return (
         [
@@ -286,12 +299,13 @@ def _run_task_batch(
             for (index, task), result in zip(pairs, results)
         ],
         _planned_rounds(results),
+        _chunk_splits(results),
     )
 
 
 def _record_batch_worker(
     payload: Tuple[Sequence[Tuple[int, RunTask]], bool]
-) -> Tuple[List[Tuple[int, RunRecord]], int]:
+) -> Tuple[List[Tuple[int, RunRecord]], int, int]:
     """Worker: run one batch chunk and return its records, indexed."""
     tasks_with_index, capture_errors = payload
     return _run_task_batch(tasks_with_index, capture_errors)
@@ -574,8 +588,9 @@ class CampaignRunner:
             self.stats.batched += len(group)
             for chunk in _batch_chunks(group, self.jobs):
                 batch_payloads.append((chunk, capture_errors))
-        for pairs, planned in self._run_payloads(_record_batch_worker, batch_payloads):
+        for pairs, planned, chunks in self._run_payloads(_record_batch_worker, batch_payloads):
             self.stats.batch_planned += planned
+            self.stats.batch_chunks += chunks
             for index, record in pairs:
                 _store(index, record)
 
@@ -679,6 +694,7 @@ class CampaignRunner:
                 singles.extend(group)
                 continue
             self.stats.batch_planned += _planned_rounds(results)
+            self.stats.batch_chunks += _chunk_splits(results)
             for (index, task, key), result in zip(group, results):
                 try:
                     data = reducer.reduce(result)
@@ -737,6 +753,7 @@ class CampaignRunner:
                 batched.update(indices)
                 self.stats.batched += len(indices)
                 self.stats.batch_planned += _planned_rounds(batch_results)
+                self.stats.batch_chunks += _chunk_splits(batch_results)
             for index, task in enumerate(tasks):
                 if index not in batched:
                     results[index] = _execute_task(task, self.timeout)

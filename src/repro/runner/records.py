@@ -174,6 +174,11 @@ class RunnerStats:
     #: readers tolerate missing keys, so the cache schema version is
     #: unchanged.
     batch_planned: int = 0
+    #: Memory-budget splits of batch run groups (k chunks in a group
+    #: count as k - 1; 0 when ``REPRO_BATCH_MEMORY_BUDGET`` is unset or
+    #: never forced a split).  Readers tolerate the missing key, so the
+    #: cache schema version is unchanged.
+    batch_chunks: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     failures: int = 0
@@ -187,6 +192,7 @@ class RunnerStats:
             executed=self.executed,
             batched=self.batched,
             batch_planned=self.batch_planned,
+            batch_chunks=self.batch_chunks,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             failures=self.failures,
@@ -201,6 +207,7 @@ class RunnerStats:
             executed=self.executed - earlier.executed,
             batched=self.batched - earlier.batched,
             batch_planned=self.batch_planned - earlier.batch_planned,
+            batch_chunks=self.batch_chunks - earlier.batch_chunks,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
             failures=self.failures - earlier.failures,
@@ -214,6 +221,7 @@ class RunnerStats:
             "executed": self.executed,
             "batched": self.batched,
             "batch_planned": self.batch_planned,
+            "batch_chunks": self.batch_chunks,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "failures": self.failures,
@@ -229,6 +237,7 @@ class RunnerStats:
             executed=int(data.get("executed", 0)),
             batched=int(data.get("batched", 0)),
             batch_planned=int(data.get("batch_planned", 0)),
+            batch_chunks=int(data.get("batch_chunks", 0)),
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             failures=int(data.get("failures", 0)),
@@ -242,6 +251,7 @@ class RunnerStats:
         self.executed += other.executed
         self.batched += other.batched
         self.batch_planned += other.batch_planned
+        self.batch_chunks += other.batch_chunks
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.failures += other.failures
@@ -259,6 +269,8 @@ class RunnerStats:
             parts.append(f"batched={self.batched}")
         if self.batch_planned:
             parts.append(f"batch_planned={self.batch_planned}")
+        if self.batch_chunks:
+            parts.append(f"batch_chunks={self.batch_chunks}")
         if self.failures:
             parts.append(f"failures={self.failures}")
         if self.timeouts:

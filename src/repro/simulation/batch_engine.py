@@ -39,6 +39,23 @@ knob (``off`` to disable) forces the per-run tier so CI can diff the
 two paths.  For :class:`~repro.adversary.base.ReliableAdversary`
 planning is free and the whole round is a single vectorised step.
 
+Reception has two representations.  Below ``n = 128`` it is the dense
+``(runs, n, n)`` float32 matrix described above and counts come from the
+stacked ``matmul``.  At larger ``n`` (or with ``REPRO_BATCH_PACKED=on``)
+the engine switches to the *packed tier*: reception is carried as
+``(runs, n, ceil(n / 64))`` uint64 words in the
+:func:`~repro.core.heardof.pack_mask_rows` layout, senders of each value
+code pack into per-run bit-planes, and ``count(v heard by p)`` is
+``popcount(recv_words & plane)`` — ~32x less memory and O(n/64) word
+ops per tally instead of O(n) floats.  Batch planners emit drop
+schedules directly as packed words (scattering ``edge -> word index +
+bit shift``), so no dense ``(m, n, n)`` intermediate is ever built.  On
+top of either tier, the ``REPRO_BATCH_MEMORY_BUDGET`` knob (bytes, with
+``k``/``m``/``g`` suffixes) chunks a group's *run axis* so the peak
+working set stays under budget; per-run RNG streams make the split
+invisible in the records, and the runner reports splits as its
+``batch_chunks`` stat.
+
 Like the fast engine, the backend is *semantically invisible*:
 decisions, decision rounds, per-round ``HO``/``SHO``/``AHO`` sets,
 payloads and final process states are identical to the reference engine
@@ -84,7 +101,14 @@ from repro.algorithms.ute import QUESTION_MARK
 from repro.algorithms.voting import _sort_key
 from repro.core.algorithm import HOAlgorithm
 from repro.core.consensus import ConsensusSpec, DecisionRecord
-from repro.core.heardof import HeardOfCollection, MaskRoundRecord
+from repro.core.heardof import (
+    HeardOfCollection,
+    MaskRoundRecord,
+    pack_mask_rows,
+    unpack_mask_rows,
+    words_per_mask,
+    words_to_mask,
+)
 from repro.core.process import ProcessId, Value
 from repro.simulation.engine import RoundObserver, SimulationConfig, SimulationResult
 from repro.simulation.fast_engine import fast_supported, run_algorithm_fast
@@ -94,6 +118,90 @@ from repro.simulation.metrics import metrics_from_collection
 def numpy_available() -> bool:
     """Whether the optional NumPy dependency is importable."""
     return np is not None
+
+
+#: Below this system size the packed tier's per-word bookkeeping costs
+#: more than the dense matmul it replaces; ``REPRO_BATCH_PACKED=auto``
+#: switches representations here.
+_PACKED_AUTO_MIN_N = 128
+
+if np is not None and not hasattr(np, "bitwise_count"):
+    # Pre-2.x NumPy has no popcount ufunc: count per byte through a
+    # 256-entry table instead (same result, one extra temp).
+    _BYTE_BITS = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _word_counts(words: "np.ndarray") -> "np.ndarray":
+    """Popcount summed over the trailing word axis, as int64.
+
+    ``words`` is a little-endian uint64 array ``(..., W)``; the result
+    is the per-row set-bit count ``(...,)`` — the packed tier's
+    cardinality primitive (``|HO|``, per-value tallies).
+    """
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _BYTE_BITS[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _packed_tier(n: int) -> bool:
+    """Whether groups of size ``n`` execute on the packed uint64 tier.
+
+    ``REPRO_BATCH_PACKED`` forces the answer (``on``/``off``); the
+    default ``auto`` packs from ``n >= 128``, where reception words are
+    ~256x smaller than the dense float matrix, and stays dense below it,
+    where the matmul kernel is faster.  Both tiers are byte-identical —
+    the differential grid pins them against each other.
+    """
+    mode = os.environ.get("REPRO_BATCH_PACKED", "auto").strip().lower()
+    if mode in {"on", "1", "yes", "true"}:
+        return True
+    if mode in {"off", "0", "no", "false"}:
+        return False
+    return n >= _PACKED_AUTO_MIN_N
+
+
+def _memory_budget_bytes() -> Optional[int]:
+    """The run-chunking budget from ``REPRO_BATCH_MEMORY_BUDGET``, in bytes.
+
+    Accepts a plain byte count or a ``k``/``m``/``g`` suffix
+    (``512m``, ``2g``).  Unset, empty or non-positive means no budget:
+    every group executes as one sweep.
+    """
+    raw = os.environ.get("REPRO_BATCH_MEMORY_BUDGET", "").strip().lower()
+    if not raw:
+        return None
+    scale = 1
+    if raw[-1] in "kmg":
+        scale = {"k": 1024, "m": 1024**2, "g": 1024**3}[raw[-1]]
+        raw = raw[:-1].strip()
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            "REPRO_BATCH_MEMORY_BUDGET must be a byte count with an "
+            f"optional k/m/g suffix, got {os.environ['REPRO_BATCH_MEMORY_BUDGET']!r}"
+        ) from None
+    budget = int(value * scale)
+    return budget if budget > 0 else None
+
+
+def _per_run_bytes(n: int, packed: bool) -> int:
+    """Estimated peak per-run working set of one group member, in bytes.
+
+    Deliberately a coarse model — it only has to make the chunk count
+    scale correctly with ``n`` and the representation:
+
+    * packed: the uint64 reception row (``n * W * 8``), one popcount
+      band temporary of the same shape, the planner's drop words and
+      pad (x4 total), plus per-receiver count/heard columns (~96 bytes
+      per receiver covers a dozen value codes at int64).
+    * dense: the float32 reception matrix plus the one-hot operand,
+      matmul temporaries and count output, ~10 floats per edge.
+    """
+    if packed:
+        return 4 * n * words_per_mask(n) * 8 + 96 * n
+    return 10 * n * n * 4
 
 
 @dataclass
@@ -278,13 +386,22 @@ class _BatchKernel:
         ``recv`` is ``None`` when no active run dropped anything this
         round: every receiver of a run then sees the same multiset, so
         counts collapse to ``(A, 1, V)`` and broadcast — the fully
-        vectorised path a reliable sweep stays on.  Corruption arrives
+        vectorised path a reliable sweep stays on.  A uint64 ``recv``
+        is the packed tier's word array ``(A, n, W)``: counts come out
+        of popcounts against per-value sender bit-planes instead of the
+        dense matmul (see :meth:`_packed_counts`).  Corruption arrives
         as sparse COO adjustments (``-1`` at the intended code, ``+1``
         at the injected one, per corrupted edge).
+
+        Dense counts are float32, packed counts int64; both are exact
+        (tallies are small integers, thresholds compare identically in
+        either dtype), so the two tiers decide byte-identically.
         """
         V = len(self.book.values)
         A = sent_act.shape[0]
         codes = np.arange(V, dtype=sent_act.dtype)
+        if recv is not None and recv.dtype == np.uint64:
+            return self._packed_counts(sent_act, recv, adjust, codes)
         onehot = (sent_act[:, :, None] == codes).astype(np.float32)
         if recv is None:
             counts = onehot.sum(axis=1)[:, None, :]
@@ -303,6 +420,34 @@ class _BatchKernel:
             )
         elif writable and not counts.flags.writeable:  # pragma: no cover - safety
             counts = counts.copy()
+        return counts, heard
+
+    def _packed_counts(self, sent_act, recv, adjust, codes):
+        """Count-space tallies from packed reception words.
+
+        Per value code ``v`` the senders broadcasting ``v`` pack into a
+        per-run bit-plane ``(A, W)``; ``count(v heard by p)`` is then
+        ``popcount(recv_words[p] & plane)`` — ``O(V * n/64)`` per
+        receiver with no dense intermediate.  The loop is over the
+        handful of distinct value codes, so the big operands stay
+        array-shaped; the one ``(A, n, W)`` band temporary is the peak
+        allocation and is reused by the garbage collector between
+        values.
+        """
+        A = sent_act.shape[0]
+        V = codes.size
+        counts = np.empty((A, self.n, V), dtype=np.int64)
+        for v in range(V):
+            plane = pack_mask_rows(sent_act == codes[v])  # (A, W)
+            counts[:, :, v] = _word_counts(recv & plane[:, None, :])
+        heard = _word_counts(recv)
+        if adjust is not None:
+            runs_ix, recv_ix, code_ix, deltas = adjust
+            np.add.at(
+                counts,
+                (np.asarray(runs_ix), np.asarray(recv_ix), np.asarray(code_ix)),
+                np.asarray(deltas, dtype=np.int64),
+            )
         return counts, heard
 
     def _decide(self, act, eligible, win_mask, round_num):
@@ -481,34 +626,28 @@ def _batch_planning_enabled() -> bool:
     }
 
 
-def _mask_rows(ho_bits: "np.ndarray") -> List[List[int]]:
-    """Per-member, per-receiver HO mask ints from a ``(m, n, n)`` bool array.
+def _rows_from_words(words: "np.ndarray") -> List[List[int]]:
+    """Per-member, per-receiver HO mask ints from ``(m, n, W)`` uint64 words.
 
-    Bit ``s`` of ``out[member][receiver]`` is
-    ``ho_bits[member, receiver, s]``: one little-endian
-    :func:`numpy.packbits` pass, padded to whole 64-bit words so the
-    ints fall out of a ``uint64`` view (recombined across words when
-    ``n > 64``).
+    Bit ``s`` of ``out[member][receiver]`` is bit ``s & 63`` of word
+    ``s >> 6`` — the :func:`repro.core.heardof.pack_mask_rows` layout.
+    Single-word masks fall straight out of the array; wider masks
+    recombine across words per cell.
     """
-    m, n, _ = ho_bits.shape
-    packed = np.packbits(ho_bits, axis=2, bitorder="little")
-    nbytes = packed.shape[2]
-    width = -(-nbytes // 8)
-    if nbytes != width * 8:
-        packed = np.concatenate(
-            [packed, np.zeros((m, n, width * 8 - nbytes), dtype=np.uint8)], axis=2
-        )
-    words = np.ascontiguousarray(packed).view("<u8")
-    if width == 1:
+    if words.shape[-1] == 1:
         return words[:, :, 0].tolist()
     rows = words.tolist()
     return [
-        [sum(word << (64 * k) for k, word in enumerate(cell)) for cell in row]
+        [words_to_mask(cell) for cell in row]
         for row in rows
     ]
 
 
-def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[SimulationResult]:
+def _run_group(
+    family: str,
+    requests: Sequence[SimulationRequest],
+    packed: bool = False,
+) -> List[SimulationResult]:
     """Execute one same-shape group of runs vectorised.
 
     All requests share the kernel family, ``n`` and the loop-control
@@ -516,6 +655,12 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
     algorithm *parameters*, adversaries, initial values and specs may
     differ per run — parameters live in per-run arrays, adversaries in
     batch or per-run planners.
+
+    With ``packed`` the reception state is ``(A, n, W)`` uint64 words
+    (``W = ceil(n / 64)``, :func:`~repro.core.heardof.pack_mask_rows`
+    layout) instead of the dense ``(A, n, n)`` float32 matrix, and the
+    kernels tally by popcount against per-value sender bit-planes —
+    same decisions, ~32x smaller working set at large ``n``.
     """
     # Same construction (and the same validation errors) as the scalar
     # engines, before any adversary RNG is consumed.
@@ -557,7 +702,18 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
     full_tuple = (full,) * n
     zeros_tuple = (0,) * n
     nones_tuple = (None,) * n
-    nbytes = (n + 7) // 8
+    width = words_per_mask(n)
+    # The full mask's word row doubles as the packed reception template
+    # (pad bits beyond ``n`` stay zero everywhere, so XOR with it turns
+    # drop words straight into HO words).
+    word_full = np.frombuffer(full.to_bytes(width * 8, "little"), dtype="<u8")
+
+    def fresh_recv() -> "np.ndarray":
+        if packed:
+            out = np.empty((act.size, n, width), dtype=np.uint64)
+            out[:] = word_full
+            return out
+        return np.ones((act.size, n, n), dtype=np.float32)
 
     active = np.ones(runs, dtype=bool)
     rounds_executed = np.zeros(runs, dtype=np.int64)
@@ -643,14 +799,17 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
             )
             if drop_masks != zeros_tuple:
                 if recv is None:
-                    recv = np.ones((act.size, n, n), dtype=np.float32)
-                packed = np.frombuffer(
-                    b"".join(m.to_bytes(nbytes, "little") for m in ho_masks),
-                    dtype=np.uint8,
-                ).reshape(n, nbytes)
-                recv[a_pos] = np.unpackbits(
-                    packed, axis=1, count=n, bitorder="little"
-                ).astype(np.float32)
+                    recv = fresh_recv()
+                # The mask ints' little-endian bytes ARE the packed word
+                # row; the dense tier unpacks the same bytes to bits.
+                ho_words_row = np.frombuffer(
+                    b"".join(m.to_bytes(width * 8, "little") for m in ho_masks),
+                    dtype="<u8",
+                ).reshape(n, width)
+                if packed:
+                    recv[a_pos] = ho_words_row
+                else:
+                    recv[a_pos] = unpack_mask_rows(ho_words_row, n)
 
         if batch_parts:
             a_pos_of = {i: a_pos for a_pos, i in enumerate(act_list)}
@@ -673,9 +832,10 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
                 for i in live_runs:
                     batch_planned_rounds[i] += 1
                 drop = plan.drop
+                drop_words = plan.drop_words
                 edges = plan.corrupt
 
-                if drop is None and edges is None:
+                if drop is None and drop_words is None and edges is None:
                     # Perfect round for the whole partition: reception
                     # template untouched, records from shared tuples.
                     for pos, i in enumerate(live_runs):
@@ -691,12 +851,20 @@ def _run_group(family: str, requests: Sequence[SimulationRequest]) -> List[Simul
                         )
                     continue
 
-                if drop is not None:
-                    ho_bits = ~drop
-                    ho_rows = _mask_rows(ho_bits)
+                if drop_words is None and drop is not None:
+                    # Third-party planners may still emit dense drop
+                    # bits; canonicalise to the packed word form once.
+                    drop_words = pack_mask_rows(drop)
+                if drop_words is not None:
+                    ho_words = np.bitwise_xor(drop_words, word_full)
+                    ho_rows = _rows_from_words(ho_words)
                     if recv is None:
-                        recv = np.ones((act.size, n, n), dtype=np.float32)
-                    recv[[a_pos_of[i] for i in live_runs]] = ho_bits
+                        recv = fresh_recv()
+                    positions = [a_pos_of[i] for i in live_runs]
+                    if packed:
+                        recv[positions] = ho_words
+                    else:
+                        recv[positions] = unpack_mask_rows(ho_words, n)
                 else:
                     ho_rows = None
 
@@ -907,12 +1075,30 @@ def run_algorithm_batch(
         groups.setdefault(key, []).append(index)
 
     results: List[Optional[SimulationResult]] = [None] * len(normalised)
-    for (family, _n, *_), indices in groups.items():
-        group_requests = [normalised[i] for i in indices]
-        try:
-            group_results = _run_group(family, group_requests)
-        except _BatchFallback:
-            group_results = _run_group_fallback(group_requests)
-        for index, result in zip(indices, group_results):
-            results[index] = result
+    budget = _memory_budget_bytes()
+    for (family, n, *_), indices in groups.items():
+        packed = _packed_tier(n)
+        # REPRO_BATCH_MEMORY_BUDGET splits the run axis so each chunk's
+        # working set stays under budget.  Chunking is invisible in the
+        # records: per-run RNG streams are independent, batch planners
+        # consume each member's stream identically whichever chunk it
+        # lands in, and codebooks are internal to a chunk.
+        capacity = len(indices)
+        if budget is not None:
+            capacity = max(1, budget // max(1, _per_run_bytes(n, packed)))
+        for start in range(0, len(indices), capacity):
+            chunk = indices[start : start + capacity]
+            chunk_requests = [normalised[i] for i in chunk]
+            try:
+                chunk_results = _run_group(family, chunk_requests, packed=packed)
+            except _BatchFallback:
+                chunk_results = _run_group_fallback(chunk_requests)
+            if start:
+                # One marker per extra chunk; the runner sums these into
+                # its batch_chunks stat (k chunks -> k - 1 splits).
+                # Metadata never enters records, so byte-identity across
+                # chunked and unchunked sweeps is unaffected.
+                chunk_results[0].metadata["batch_chunks"] = 1
+            for index, result in zip(chunk, chunk_results):
+                results[index] = result
     return results  # type: ignore[return-value]

@@ -95,6 +95,9 @@ def run_algorithm_fast(
     planner = planner_for(adversary, n)
     collection = HeardOfCollection(n)
     full = (1 << n) - 1
+    full_tuple = (full,) * n
+    zeros_tuple = (0,) * n
+    nones_tuple = (None,) * n
 
     rounds_executed = 0
     stop_when_all_decided = config.stop_when_all_decided
@@ -103,11 +106,32 @@ def run_algorithm_fast(
         sent = kernel.sends(round_num)
         plan = planner.plan_round(round_num, sent)
 
+        drop_masks = plan.drop_masks
+        corrupt_masks = plan.corrupt_masks
+        if drop_masks == zeros_tuple and corrupt_masks == zeros_tuple:
+            # Perfect round: every receiver's multiset IS the sent list
+            # and the record assembles from shared tuples — no per-
+            # receiver mask walk, no ho/sho/corrupt list builds.
+            for receiver in range(n):
+                kernel.step(round_num, receiver, sent)
+            collection.append(
+                MaskRoundRecord(
+                    round_num=round_num,
+                    n=n,
+                    sent=tuple(sent),
+                    ho_masks=full_tuple,
+                    sho_masks=full_tuple,
+                    corrupt=nones_tuple,
+                )
+            )
+            rounds_executed = round_num
+            if stop_when_all_decided and round_num >= min_rounds and kernel.all_decided:
+                break
+            continue
+
         ho_masks: List[int] = []
         sho_masks: List[int] = []
         corrupt: List[Optional[dict]] = []
-        drop_masks = plan.drop_masks
-        corrupt_masks = plan.corrupt_masks
         corrupt_values = plan.corrupt_values
         for receiver in range(n):
             ho = full & ~drop_masks[receiver]

@@ -1,0 +1,93 @@
+"""Property tests: the packed-word mask representation is lossless.
+
+The batch engine's packed tier carries masks as little-endian uint64
+word arrays (bit ``s`` of a mask lives in word ``s >> 6`` at shift
+``s & 63``).  These properties pin the layout from both directions:
+arbitrary masks survive the int ↔ word-tuple round trip, arbitrary
+dense bit matrices survive the :func:`pack_mask_rows` /
+:func:`unpack_mask_rows` round trip, and the array path agrees bit for
+bit with the pure-int path (so engine word rows and record mask ints
+can never drift apart).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heardof import (
+    mask_to_words,
+    words_per_mask,
+    words_to_mask,
+)
+
+# Exhaustive sweeps: CI's fast matrix legs deselect these with -m 'not slow'.
+pytestmark = pytest.mark.slow
+
+
+@st.composite
+def masks_with_width(draw):
+    n = draw(st.integers(min_value=0, max_value=200))
+    mask = draw(st.integers(min_value=0, max_value=(1 << n) - 1 if n else 0))
+    return n, mask
+
+
+@given(data=masks_with_width())
+@settings(max_examples=200, deadline=None)
+def test_mask_words_roundtrip(data):
+    n, mask = data
+    words = mask_to_words(mask, n)
+    assert len(words) == words_per_mask(n)
+    assert all(0 <= word < (1 << 64) for word in words)
+    assert words_to_mask(words) == mask
+
+
+@given(data=masks_with_width())
+@settings(max_examples=200, deadline=None)
+def test_word_layout_is_little_endian(data):
+    n, mask = data
+    for s in range(n):
+        bit = (mask >> s) & 1
+        word = mask_to_words(mask, n)[s >> 6]
+        assert (word >> (s & 63)) & 1 == bit
+
+
+@st.composite
+def bit_matrices(draw):
+    np = pytest.importorskip("numpy")
+    rows = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=150))
+    bits = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=n, max_size=n),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    return np.array(bits, dtype=bool)
+
+
+@given(bits=bit_matrices())
+@settings(max_examples=200, deadline=None)
+def test_pack_unpack_roundtrip(bits):
+    np = pytest.importorskip("numpy")
+    from repro.core.heardof import pack_mask_rows, unpack_mask_rows
+
+    n = bits.shape[-1]
+    words = pack_mask_rows(bits)
+    assert words.dtype == np.dtype("<u8")
+    assert words.shape == bits.shape[:-1] + (words_per_mask(n),)
+    assert (unpack_mask_rows(words, n) == bits).all()
+
+
+@given(bits=bit_matrices())
+@settings(max_examples=200, deadline=None)
+def test_packed_words_agree_with_int_path(bits):
+    pytest.importorskip("numpy")
+    from repro.core.heardof import pack_mask_rows
+
+    n = bits.shape[-1]
+    words = pack_mask_rows(bits)
+    for row_bits, row_words in zip(bits, words):
+        mask = sum(1 << s for s, bit in enumerate(row_bits.tolist()) if bit)
+        assert tuple(int(w) for w in row_words) == mask_to_words(mask, n)
+        assert words_to_mask(int(w) for w in row_words) == mask

@@ -241,3 +241,105 @@ class TestBatchPlanning:
             ]
         )[0]
         assert wrapped.metadata.get("batch_planned_rounds", 0) == 0
+
+
+class TestPackedTierAndChunking:
+    """The packed uint64 tier and the memory-budget chunker are pure
+    acceleration: byte-identical records packed-vs-dense (including a
+    sampled large-n tier, where ``auto`` actually packs) and
+    chunked-vs-unchunked."""
+
+    # Families that exercise every packed code path: the perfect-round
+    # template, batch-planned drop words, drop+corrupt scatter, and the
+    # per-run planner fallback (no batch planner registered).
+    LARGE_N_FAMILIES = [
+        "reliable",
+        "random-omission",
+        "random-corruption-drops",
+        "bounded-omission",
+    ]
+
+    def _sweep(self, n, adversary_name, seeds=2, max_rounds=10):
+        config = SimulationConfig(max_rounds=max_rounds, record_states=False)
+        return [
+            SimulationRequest(
+                AteAlgorithm.symmetric(n=n, alpha=1),
+                generators.uniform_random(n, seed=seed),
+                adversary=ADVERSARIES[adversary_name](n),
+                config=config,
+            )
+            for seed in range(seeds)
+        ]
+
+    @pytest.mark.parametrize("adversary_name", LARGE_N_FAMILIES)
+    def test_large_n_packed_matches_dense(self, monkeypatch, adversary_name):
+        """n = 256 sampled tier: force the dense tier, then the packed
+        tier, and require byte-identical collections and outcomes."""
+        monkeypatch.setenv("REPRO_BATCH_PACKED", "off")
+        dense = run_algorithm_batch(self._sweep(256, adversary_name))
+        monkeypatch.setenv("REPRO_BATCH_PACKED", "on")
+        packed = run_algorithm_batch(self._sweep(256, adversary_name))
+        for dense_result, packed_result in zip(dense, packed):
+            assert_equivalent(dense_result, packed_result)
+
+    @pytest.mark.parametrize("adversary_name", sorted(ADVERSARIES))
+    def test_small_n_packed_matches_dense(self, monkeypatch, adversary_name):
+        """Every grid family at n = 10 with the packed tier forced on
+        (auto would stay dense below n = 128)."""
+        dense = run_algorithm_batch(self._sweep(10, adversary_name, seeds=3))
+        monkeypatch.setenv("REPRO_BATCH_PACKED", "on")
+        packed = run_algorithm_batch(self._sweep(10, adversary_name, seeds=3))
+        for dense_result, packed_result in zip(dense, packed):
+            assert_equivalent(dense_result, packed_result)
+
+    @pytest.mark.parametrize("packed_mode", ["on", "off"])
+    def test_large_n_chunked_matches_unchunked(self, monkeypatch, packed_mode):
+        """A budget small enough to split the run axis must not change a
+        byte, and the split must be visible in the chunk markers."""
+        monkeypatch.setenv("REPRO_BATCH_PACKED", packed_mode)
+        whole = run_algorithm_batch(self._sweep(256, "random-omission", seeds=4))
+        monkeypatch.setenv("REPRO_BATCH_MEMORY_BUDGET", "100k")
+        chunked = run_algorithm_batch(self._sweep(256, "random-omission", seeds=4))
+        splits = sum(r.metadata.get("batch_chunks", 0) for r in chunked)
+        assert splits > 0, "budget did not force a split"
+        assert all(r.metadata.get("batch_chunks", 0) == 0 for r in whole)
+        for whole_result, chunked_result in zip(whole, chunked):
+            assert_equivalent(whole_result, chunked_result)
+
+    def test_chunked_reference_parity(self, monkeypatch):
+        """Chunked execution is still byte-identical to the reference
+        engine (not merely self-consistent)."""
+        monkeypatch.setenv("REPRO_BATCH_MEMORY_BUDGET", "8k")
+        config = SimulationConfig(max_rounds=MAX_ROUNDS, record_states=False)
+        requests, references = [], []
+        for seed in range(6):
+            initial = generators.uniform_random(10, seed=seed)
+            requests.append(SimulationRequest(
+                AteAlgorithm.symmetric(n=10, alpha=1), initial,
+                adversary=RandomCorruptionAdversary(
+                    alpha=1, value_domain=(0, 1), seed=seed
+                ),
+                config=config,
+            ))
+            references.append(run_simulation(
+                AteAlgorithm.symmetric(n=10, alpha=1), initial,
+                RandomCorruptionAdversary(alpha=1, value_domain=(0, 1), seed=seed),
+                config, backend="reference",
+            ))
+        chunked = run_algorithm_batch(requests)
+        assert sum(r.metadata.get("batch_chunks", 0) for r in chunked) > 0
+        for reference, batch in zip(references, chunked):
+            assert_equivalent(reference, batch)
+
+    def test_budget_parse_errors(self, monkeypatch):
+        from repro.simulation.batch_engine import _memory_budget_bytes
+
+        monkeypatch.setenv("REPRO_BATCH_MEMORY_BUDGET", "1.5g")
+        assert _memory_budget_bytes() == int(1.5 * 1024**3)
+        monkeypatch.setenv("REPRO_BATCH_MEMORY_BUDGET", "512k")
+        assert _memory_budget_bytes() == 512 * 1024
+        monkeypatch.setenv("REPRO_BATCH_MEMORY_BUDGET", "0")
+        assert _memory_budget_bytes() is None
+        monkeypatch.setenv("REPRO_BATCH_MEMORY_BUDGET", "lots")
+        with pytest.raises(ValueError, match="REPRO_BATCH_MEMORY_BUDGET"):
+            _memory_budget_bytes()
