@@ -42,6 +42,7 @@ from repro.runner import (
     ResultCache,
     SharedStore,
     WorkQueue,
+    fleet_status,
     run_worker,
 )
 
@@ -162,6 +163,24 @@ def test_bench_distributed_scaling(tmp_path):
         record.as_dict() for record in distributed_result.records
     ]
 
+    # The fleet ran fully instrumented (in-memory counters are always
+    # on, snapshot deposits default on), so the speedup floor below IS
+    # the metrics-overhead bar.  Record the merged observability totals
+    # beside the timings for trend inspection.
+    totals = fleet_status(WorkQueue(tmp_path / "queue"))["totals"]
+    fleet_counters = {
+        key: totals.get(key, 0.0)
+        for key in (
+            "repro_worker_units_total",
+            "repro_queue_claims_total",
+            "repro_queue_deposits_total",
+            "repro_worker_steals_total",
+        )
+    }
+    assert fleet_counters["repro_worker_units_total"] >= 1, (
+        "instrumented fleet deposited no metric snapshots"
+    )
+
     speedup = serial_seconds / distributed_seconds
     _record_results(
         "scaling",
@@ -178,6 +197,7 @@ def test_bench_distributed_scaling(tmp_path):
                 worker: stats.executed
                 for worker, stats in sorted(runner.worker_stats.items())
             },
+            "fleet_counters": fleet_counters,
         },
     )
     print(

@@ -12,7 +12,9 @@ HTML under ``docs/_site/`` and **fails on warnings**:
 * a ``docs/reference/cli.md`` that is out of sync with
   :func:`repro.cli.cli_reference_markdown`;
 * a rule catalogue in ``docs/static-analysis.md`` that is out of sync
-  with :func:`repro.devtools.lint.rule_catalogue_markdown`.
+  with :func:`repro.devtools.lint.rule_catalogue_markdown`;
+* a metric catalogue in ``docs/observability.md`` that is out of sync
+  with :func:`repro.runner.metrics.metric_catalogue_markdown`.
 
 Anyone with mkdocs installed can build the same nav with
 ``mkdocs build --strict``; this builder exists so the site (and its
@@ -23,6 +25,7 @@ Usage::
     PYTHONPATH=src python docs/build.py --strict          # build + check
     PYTHONPATH=src python docs/build.py --write-cli-reference
     PYTHONPATH=src python docs/build.py --write-rule-catalogue
+    PYTHONPATH=src python docs/build.py --write-metric-catalogue
 """
 
 from __future__ import annotations
@@ -320,6 +323,39 @@ def _rule_catalogue() -> str:
     return rule_catalogue_markdown()
 
 
+_METRICS_BEGIN = "<!-- METRIC-CATALOGUE:BEGIN -->"
+_METRICS_END = "<!-- METRIC-CATALOGUE:END -->"
+OBSERVABILITY_PAGE = DOCS_DIR / "observability.md"
+
+
+def _metric_catalogue() -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.runner.metrics import metric_catalogue_markdown
+    finally:
+        sys.path.pop(0)
+    return metric_catalogue_markdown()
+
+
+def replace_metric_catalogue(text: str, generated: str) -> str:
+    """``text`` with its METRIC-CATALOGUE region replaced by ``generated``.
+
+    Raises ``ValueError`` when the page has no (or a malformed) marker
+    pair — the region keeps the docs catalogue in lockstep with the
+    :data:`repro.runner.metrics.FLEET_METRICS` specs.
+    """
+    begin = text.find(_METRICS_BEGIN)
+    end = text.find(_METRICS_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise ValueError(
+            f"{OBSERVABILITY_PAGE}: missing or malformed "
+            f"{_METRICS_BEGIN} / {_METRICS_END} markers"
+        )
+    head = text[: begin + len(_METRICS_BEGIN)]
+    tail = text[end:]
+    return f"{head}\n\n{generated.rstrip()}\n\n{tail}"
+
+
 def replace_rule_catalogue(text: str, generated: str) -> str:
     """``text`` with its RULE-CATALOGUE region replaced by ``generated``.
 
@@ -386,6 +422,18 @@ def collect_warnings() -> List[str]:
                     "docs/static-analysis.md rule catalogue is stale; regenerate "
                     "with 'PYTHONPATH=src python docs/build.py --write-rule-catalogue'"
                 )
+    if OBSERVABILITY_PAGE.exists():
+        text = OBSERVABILITY_PAGE.read_text(encoding="utf-8")
+        try:
+            expected = replace_metric_catalogue(text, _metric_catalogue())
+        except ValueError as exc:
+            warnings.append(str(exc))
+        else:
+            if text != expected:
+                warnings.append(
+                    "docs/observability.md metric catalogue is stale; regenerate "
+                    "with 'PYTHONPATH=src python docs/build.py --write-metric-catalogue'"
+                )
     return warnings
 
 
@@ -408,6 +456,12 @@ def main(argv: List[str] = None) -> int:
         help="regenerate the rule catalogue region of docs/static-analysis.md "
         "from the registered lint rules' docstrings and exit",
     )
+    parser.add_argument(
+        "--write-metric-catalogue",
+        action="store_true",
+        help="regenerate the metric catalogue region of docs/observability.md "
+        "from the fleet metric specs and exit",
+    )
     args = parser.parse_args(argv)
 
     if args.write_cli_reference:
@@ -423,6 +477,14 @@ def main(argv: List[str] = None) -> int:
             replace_rule_catalogue(text, _rule_catalogue()), encoding="utf-8"
         )
         print(f"wrote {STATIC_ANALYSIS_PAGE}")
+        return 0
+
+    if args.write_metric_catalogue:
+        text = OBSERVABILITY_PAGE.read_text(encoding="utf-8")
+        OBSERVABILITY_PAGE.write_text(
+            replace_metric_catalogue(text, _metric_catalogue()), encoding="utf-8"
+        )
+        print(f"wrote {OBSERVABILITY_PAGE}")
         return 0
 
     warnings = collect_warnings()

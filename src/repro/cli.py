@@ -1,6 +1,6 @@
 """Command-line interface.
 
-``repro-ho`` (or ``python -m repro.cli``) exposes seven subcommands:
+``repro-ho`` (or ``python -m repro.cli``) exposes eight subcommands:
 
 * ``run``        — run one consensus instance (algorithm, scenario or
   custom fault environment) and print the outcome;
@@ -17,7 +17,11 @@
   shared queue directory (lease-based, crash-safe, work-stealing) and
   execute them;
 * ``supervise``  — auto-scale a local worker fleet against a queue
-  directory from observed queue depth;
+  directory from observed queue depth (or, with ``--scale-on-trend``,
+  from the EWMA deposit-rate trend);
+* ``status``     — render a live observability view of a fleet (queue
+  depth plus every worker's deposited metric snapshot), once, in a
+  ``--watch`` loop, or as ``--json`` for scrapers;
 * ``table``      — print the analytic tables (Table 1, the related-work
   comparison and the resilience table) without running simulations;
 * ``lint``       — run the ``repro-lint`` static-analysis rules
@@ -37,8 +41,10 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from repro.adversary import (
     BlockFaultAdversary,
@@ -59,7 +65,9 @@ from repro.runner import (
     ResultCache,
     RunTimeoutError,
     Supervisor,
+    WorkQueue,
     campaign_report,
+    fleet_status,
     make_reducer,
     reduced_campaign_report,
     run_worker,
@@ -474,6 +482,8 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
             idle_grace=args.idle_grace,
             steal=not args.no_steal,
             on_status=_status_printer(),
+            scale_on_trend=args.scale_on_trend,
+            trend_horizon=args.trend_horizon,
         )
     except ValueError as exc:  # bad bounds or a non-result-identical backend
         print(str(exc), file=sys.stderr)
@@ -483,6 +493,88 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     )
     print(f"supervisor: {stats.summary()}")
     return 0
+
+
+def _counter(totals: Dict[str, float], name: str) -> int:
+    return int(totals.get(name, 0))
+
+
+def render_fleet_status(status: Dict[str, object]) -> str:
+    """Pure text rendering of a :func:`repro.runner.fleet_status` dict.
+
+    Deterministic given its input (no clocks, no terminal queries), so
+    the output is golden-tested; ``repro-ho status`` prints it.
+    """
+    queue: Dict[str, object] = dict(status.get("queue", {}))  # type: ignore[arg-type]
+    workers: List[Dict[str, object]] = list(status.get("workers", []))  # type: ignore[arg-type]
+    totals: Dict[str, float] = dict(status.get("totals", {}))  # type: ignore[arg-type]
+    lines = [
+        "queue: pending_batches={0} claimable_units={1} unclaimed_units={2} "
+        "deposited_parts={3}".format(
+            queue.get("pending_batches", 0),
+            queue.get("claimable_units", 0),
+            queue.get("unclaimed_units", 0),
+            queue.get("deposited_parts", 0),
+        )
+    ]
+    live = dict(queue.get("live_leases", {}) or {})  # type: ignore[arg-type]
+    if live:
+        held = " ".join(f"{worker}={count}" for worker, count in sorted(live.items()))
+        lines.append(f"leases: {held}")
+    else:
+        lines.append("leases: none")
+    lines.append(
+        "totals: units={0} claims={1} deposits={2} steals={3} requeues={4} "
+        "lease_breaks={5} cache_corrupt={6}".format(
+            _counter(totals, "repro_worker_units_total"),
+            _counter(totals, "repro_queue_claims_total"),
+            _counter(totals, "repro_queue_deposits_total"),
+            _counter(totals, "repro_worker_steals_total"),
+            _counter(totals, "repro_queue_requeues_total"),
+            _counter(totals, "repro_queue_lease_breaks_total"),
+            _counter(totals, "repro_cache_corrupt_total"),
+        )
+    )
+    if not workers:
+        lines.append("workers: no metric snapshots yet")
+        return "\n".join(lines)
+    lines.append(f"workers: {len(workers)} snapshot(s)")
+    name_width = max(6, max(len(str(entry.get("worker", ""))) for entry in workers))
+    lines.append(
+        f"  {'worker':<{name_width}}  {'age':>8}  {'units':>6}  {'runs':>6}  {'hit%':>6}"
+    )
+    for entry in workers:
+        counters: Dict[str, float] = dict(entry.get("counters", {}))  # type: ignore[arg-type]
+        age = entry.get("age_seconds")
+        age_text = "?" if age is None else f"{float(age):.1f}s"  # type: ignore[arg-type]
+        ratio = entry.get("cache_hit_ratio")
+        ratio_text = "-" if ratio is None else f"{100.0 * float(ratio):.1f}"  # type: ignore[arg-type]
+        runs = _counter(counters, 'repro_runner_runs_total{counter="total"}')
+        units = int(float(entry.get("units", 0)))  # type: ignore[arg-type]
+        lines.append(
+            f"  {str(entry.get('worker', '')):<{name_width}}  {age_text:>8}  "
+            f"{units:>6}  {runs:>6}  {ratio_text:>6}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        print(f"--interval must be > 0, got {args.interval}", file=sys.stderr)
+        return 2
+    queue = WorkQueue(args.queue_dir)
+    try:
+        while True:
+            status = fleet_status(queue)
+            if args.json:
+                print(json.dumps(status, allow_nan=False, sort_keys=True), flush=True)
+            else:
+                print(render_fleet_status(status), flush=True)
+            if not args.watch:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive watch mode
+        return 0
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -807,7 +899,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="spawn workers with work stealing disabled",
     )
+    supervise_parser.add_argument(
+        "--scale-on-trend",
+        action="store_true",
+        help=(
+            "scale on the EWMA deposit-rate trend (clear the backlog within "
+            "--trend-horizon at observed per-worker throughput) instead of "
+            "instantaneous queue depth"
+        ),
+    )
+    supervise_parser.add_argument(
+        "--trend-horizon",
+        type=float,
+        default=30.0,
+        help="target seconds to clear the backlog under --scale-on-trend (default 30)",
+    )
     supervise_parser.set_defaults(func=_cmd_supervise)
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="render a live observability view of a worker fleet",
+        description=(
+            "Merge one queue-depth scan with every worker's deposited metric "
+            "snapshot (the metrics/ namespace of the queue directory) into a "
+            "fleet view: pending/claimable/unclaimed units, live leases, and "
+            "per-worker counters with snapshot age and cache hit ratio. "
+            "Metric snapshots are deposited by workers unless REPRO_METRICS=off."
+        ),
+    )
+    status_parser.add_argument(
+        "--queue-dir",
+        default=".repro_queue",
+        help="shared queue directory to inspect (default .repro_queue)",
+    )
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged status as one JSON document per refresh",
+    )
+    status_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh every --interval seconds until interrupted",
+    )
+    status_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period for --watch in seconds (default 2)",
+    )
+    status_parser.set_defaults(func=_cmd_status)
 
     table_parser = subparsers.add_parser("table", help="print the analytic tables")
     table_parser.add_argument(

@@ -39,6 +39,8 @@ from repro.runner.distributed import (
     SupervisorStats,
     Worker,
     WorkQueue,
+    fleet_status,
+    metrics_enabled,
     run_worker,
 )
 from repro.runner.executor import (
@@ -56,6 +58,17 @@ from repro.runner.factories import (
     build_algorithm,
     build_predicate,
     build_workload,
+)
+from repro.runner.metrics import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+    fleet_registry,
+    metric_catalogue_markdown,
 )
 from repro.runner.records import RunRecord, RunnerStats
 from repro.runner.reduce import (
@@ -101,15 +114,22 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "Counter",
+    "CounterFamily",
     "DecisionReducer",
     "DistributedCampaignResult",
     "DistributedCampaignRunner",
     "DistributedReducedCampaignResult",
     "FsspecObjectClient",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
     "InMemoryObjectClient",
     "IncompleteCampaignError",
     "Lease",
     "LocalDirStore",
+    "MetricsRegistry",
     "ObjectClient",
     "ObjectStore",
     "PrefixStore",
@@ -142,8 +162,12 @@ __all__ = [
     "campaign_report",
     "cell_cache_key",
     "derive_seed",
+    "fleet_registry",
+    "fleet_status",
     "group_by_cell",
     "make_reducer",
+    "metric_catalogue_markdown",
+    "metrics_enabled",
     "outcome_fields",
     "reduced_cache_key",
     "reduced_campaign_report",

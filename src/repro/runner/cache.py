@@ -38,7 +38,7 @@ import hashlib
 import json
 import logging
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.runner.records import RunRecord
 from repro.runner.reduce import ReducedRecord
@@ -105,6 +105,11 @@ class ResultCache:
         self.store: CacheStore = store if store is not None else LocalDirStore(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        #: Optional observability hook fired once per corrupt entry
+        #: (the fleet wires it to ``repro_cache_corrupt_total``); hook
+        #: errors are swallowed — metrics must never break a cache read.
+        self.on_corrupt: Optional[Callable[[], None]] = None
 
     @property
     def root(self) -> Optional[Path]:
@@ -159,6 +164,12 @@ class ResultCache:
             "cache entry for key %s is corrupt (%s); treating as a miss and "
             "requeuing the run", key, reason,
         )
+        self.corrupt += 1
+        if self.on_corrupt is not None:
+            try:
+                self.on_corrupt()
+            except Exception:  # pragma: no cover - defensive
+                logger.debug("on_corrupt hook failed", exc_info=True)
         self.store.delete(self.relpath_for(key))
 
     def _write(self, key: str, payload: Dict[str, object]) -> None:

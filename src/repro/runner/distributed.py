@@ -78,6 +78,7 @@ from __future__ import annotations
 import base64
 import json
 import logging
+import math
 import os
 import pickle
 import re
@@ -102,6 +103,7 @@ from repro.runner.executor import (
     cacheable_key,
     materialise_specs,
 )
+from repro.runner.metrics import UNIT_SECONDS_BUCKETS, MetricsRegistry, fleet_registry
 from repro.runner.records import RunRecord, RunnerStats
 from repro.runner.reduce import ReducedRecord, Reducer, reduced_cache_key
 from repro.runner.spec import CampaignSpec, stable_hash
@@ -186,6 +188,31 @@ def _retire_path(worker_id: str) -> str:
     return f"control/retire/{safe}.json"
 
 
+def _metrics_path(worker_id: str) -> str:
+    # Metric snapshots live in their own top-level namespace so queue
+    # readers that predate them (schema v2 listings glob campaigns/*
+    # and control/*) never see the files: no schema version bump.
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", worker_id) or "_"
+    return f"metrics/{safe}.json"
+
+
+def metrics_enabled() -> bool:
+    """Whether fleet metric *snapshot deposits* are enabled.
+
+    ``REPRO_METRICS=off|0|false|no`` disables the periodic snapshot
+    files workers write (the only observable side effect of the metrics
+    layer — in-memory counters always run, they are free).  CI uses the
+    switch to prove inertness: campaign rows are byte-identical with
+    metrics on and off.
+    """
+    return os.environ.get("REPRO_METRICS", "on").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
 _PART_NAME = re.compile(r"(\d{5})\.p(\d{5})-(\d{5})\.json\Z")
 _LEASE_NAME = re.compile(r"(\d{5})\.p(\d{5})\.json\Z")
 _CUT_NAME = re.compile(r"(\d{5})\.(\d{4})\.json\Z")
@@ -218,6 +245,13 @@ class WorkQueue:
     files; either side reads completion state by listing the store.
     All clock comparisons use wall-clock timestamps *written into* the
     lease files (never filesystem mtimes, which shared filesystems skew).
+
+    Every instance also owns a :class:`~repro.runner.metrics.MetricsRegistry`
+    (:attr:`metrics`) that the queue methods, workers and supervisors
+    sharing the instance feed; workers periodically serialise it into the
+    store's ``metrics/`` namespace (see :meth:`write_metric_snapshot`) —
+    a prefix no schema-v2 reader lists, so observability adds no version
+    bump and cannot perturb results.
     """
 
     def __init__(
@@ -226,6 +260,14 @@ class WorkQueue:
         self.queue_dir = Path(queue_dir)
         self.store: CacheStore = store if store is not None else SharedStore(self.queue_dir)
         self._cache: Optional[ResultCache] = None
+        self.metrics = fleet_registry()
+        self._m_claims = self.metrics.counter("repro_queue_claims_total")
+        self._m_claim_latency = self.metrics.histogram("repro_queue_claim_latency_seconds")
+        self._m_lease_breaks = self.metrics.counter("repro_queue_lease_breaks_total")
+        self._m_deposits = self.metrics.counter("repro_queue_deposits_total")
+        self._m_requeues = self.metrics.counter("repro_queue_requeues_total")
+        self._m_cache_corrupt = self.metrics.counter("repro_cache_corrupt_total")
+        self._last_fleet_metrics: Optional[Dict[str, object]] = None
 
     @property
     def cache(self) -> ResultCache:
@@ -233,6 +275,7 @@ class WorkQueue:
         namespace, so a custom injected store carries the cache too."""
         if self._cache is None:
             self._cache = ResultCache(store=PrefixStore(self.store, "cache"))
+            self._cache.on_corrupt = self._m_cache_corrupt.inc
         return self._cache
 
     # ------------------------------------------------------------------
@@ -563,17 +606,21 @@ class WorkQueue:
             ttl=ttl,
             start=start,
         )
+        claim_began = time.perf_counter()
         path = _lease_path(campaign_id, index, start)
         if self.store.try_create(path, self._lease_payload(lease)):
-            return lease
+            return self._claim_won(lease, claim_began)
         existing = self._read_json(path)
         if existing is None:
             # Released between our create and read, or an unreadable
             # lease (foreign torn write): drop whatever is there so a
             # corrupt file can never make the interval unclaimable, then
             # re-race.
-            self.store.delete(path)
-            return lease if self.store.try_create(path, self._lease_payload(lease)) else None
+            if self.store.delete(path):
+                self._m_lease_breaks.inc()
+            if self.store.try_create(path, self._lease_payload(lease)):
+                return self._claim_won(lease, claim_began)
+            return None
         heartbeat_at = float(existing.get("heartbeat_at", 0.0))
         existing_ttl = float(existing.get("ttl", ttl))
         if time.time() - heartbeat_at <= existing_ttl:
@@ -582,8 +629,17 @@ class WorkQueue:
             "breaking expired lease on %s/%05d.p%05d (worker %s, heartbeat %.1fs ago)",
             campaign_id, index, start, existing.get("worker"), time.time() - heartbeat_at,
         )
-        self.store.delete(path)
-        return lease if self.store.try_create(path, self._lease_payload(lease)) else None
+        if self.store.delete(path):
+            self._m_lease_breaks.inc()
+        if self.store.try_create(path, self._lease_payload(lease)):
+            return self._claim_won(lease, claim_began)
+        return None
+
+    def _claim_won(self, lease: Lease, claim_began: float) -> Lease:
+        """Record a won claim (count + store round-trip latency)."""
+        self._m_claims.inc()
+        self._m_claim_latency.observe(time.perf_counter() - claim_began)
+        return lease
 
     def heartbeat(self, lease: Lease, progress: Optional[int] = None) -> bool:
         """Refresh a lease; False when it was lost to another worker.
@@ -684,9 +740,12 @@ class WorkQueue:
             },
             allow_nan=False,
         )
-        return self.store.try_create(
+        deposited = self.store.try_create(
             _part_path(campaign_id, index, start, len(records)), payload
         )
+        if deposited:
+            self._m_deposits.inc()
+        return deposited
 
     def poison(
         self, campaign_id: str, index: int, num_tasks: int, worker_id: str, reason: str
@@ -719,6 +778,8 @@ class WorkQueue:
             dropped = self.store.delete(relpath) or dropped
         for relpath in self.store.list(f"campaigns/{campaign_id}/splits/{index:05d}.*.json"):
             self.store.delete(relpath)
+        if dropped:
+            self._m_requeues.inc()
         return dropped
 
     def collect(
@@ -750,6 +811,7 @@ class WorkQueue:
                     # so its interval counts as pending again and
                     # re-executes instead of wedging the campaign forever.
                     self.store.delete(relpath)
+                    self._m_requeues.inc()
                     raise IncompleteCampaignError(
                         f"campaign {campaign_id!r}: batch {index:05d} part "
                         f"p{start:05d}-{count:05d} has no readable result "
@@ -773,6 +835,7 @@ class WorkQueue:
                     # make wait() succeed and collect() fail forever —
                     # discard it so the interval genuinely requeues.
                     self.store.delete(relpath)
+                    self._m_requeues.inc()
                     raise IncompleteCampaignError(
                         f"campaign {campaign_id!r}: batch {index:05d} part "
                         f"p{start:05d}-{count:05d} carries "
@@ -847,40 +910,115 @@ class WorkQueue:
         tasks), ``unclaimed_units`` (those without a live lease),
         ``live_leases`` (``{worker_id: count}``) and ``deposited_parts``
         (total part files — its growth rate is the fleet's deposit rate).
+
+        The scan races live workers by design (files appear, vanish and
+        get truncated between the listing and the reads), so it must
+        never raise into the supervisor loop: a campaign whose state
+        cannot be parsed mid-scan degrades the whole call to the last
+        successfully computed snapshot (or an all-zero one on the very
+        first scan) instead of propagating the exception.
         """
         pending_batches = 0
         claimable_units = 0
         unclaimed_units = 0
         live_leases: Dict[str, int] = {}
         deposited_parts = 0
-        for campaign_id in self.campaigns():
-            manifest = self.manifest(campaign_id)
-            if manifest is None:
-                continue
-            deposited = self.parts(campaign_id)
-            deposited_parts += sum(len(parts) for parts in deposited.values())
-            units = self.claimable_units(campaign_id, manifest, deposited=deposited)
-            pending_batches += len({index for index, _, _ in units})
-            claimable_units += len(units)
-            lease_map = self.leases(campaign_id)
-            for index, start, _ in units:
-                payload = lease_map.get((index, start))
-                live = (
-                    payload is not None
-                    and float(payload["age"]) <= float(payload.get("ttl", DEFAULT_LEASE_TTL))
-                )
-                if live:
-                    worker = str(payload.get("worker", "?"))
-                    live_leases[worker] = live_leases.get(worker, 0) + 1
-                else:
-                    unclaimed_units += 1
-        return {
+        try:
+            campaign_ids = self.campaigns()
+        except Exception as exc:
+            return self._degraded_fleet_metrics("listing campaigns", exc)
+        for campaign_id in campaign_ids:
+            try:
+                manifest = self.manifest(campaign_id)
+                if manifest is None:
+                    continue
+                deposited = self.parts(campaign_id)
+                deposited_parts += sum(len(parts) for parts in deposited.values())
+                units = self.claimable_units(campaign_id, manifest, deposited=deposited)
+                pending_batches += len({index for index, _, _ in units})
+                claimable_units += len(units)
+                lease_map = self.leases(campaign_id)
+                for index, start, _ in units:
+                    payload = lease_map.get((index, start))
+                    live = (
+                        payload is not None
+                        and float(payload["age"]) <= float(payload.get("ttl", DEFAULT_LEASE_TTL))
+                    )
+                    if live:
+                        worker = str(payload.get("worker", "?"))
+                        live_leases[worker] = live_leases.get(worker, 0) + 1
+                    else:
+                        unclaimed_units += 1
+            except Exception as exc:
+                return self._degraded_fleet_metrics(f"campaign {campaign_id!r}", exc)
+        result: Dict[str, object] = {
             "pending_batches": pending_batches,
             "claimable_units": claimable_units,
             "unclaimed_units": unclaimed_units,
             "live_leases": live_leases,
             "deposited_parts": deposited_parts,
         }
+        self._last_fleet_metrics = {**result, "live_leases": dict(live_leases)}
+        return result
+
+    def _degraded_fleet_metrics(self, what: str, exc: Exception) -> Dict[str, object]:
+        """Last-good (or all-zero) metrics after a mid-scan race/corruption."""
+        logger.warning(
+            "fleet_metrics scan of %s failed (%s: %s); serving last-good values",
+            what, type(exc).__name__, exc,
+        )
+        last = self._last_fleet_metrics
+        if last is not None:
+            return {**last, "live_leases": dict(last["live_leases"])}  # type: ignore[arg-type]
+        return {
+            "pending_batches": 0,
+            "claimable_units": 0,
+            "unclaimed_units": 0,
+            "live_leases": {},
+            "deposited_parts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Metric snapshots (workers publish, `repro-ho status` merges)
+    # ------------------------------------------------------------------
+    def write_metric_snapshot(self, worker_id: str) -> None:
+        """Publish this process's metric registry under ``metrics/``.
+
+        One file per worker id, overwritten in place (atomic replace via
+        the store), so a reader always sees a complete snapshot and the
+        per-worker counters it carries are monotone.  The ``metrics/``
+        namespace is invisible to every schema-v2 listing, which is what
+        keeps observability off the result path and the queue schema
+        version unchanged.
+        """
+        self.store.write_text(
+            _metrics_path(worker_id),
+            json.dumps(
+                {
+                    "schema": QUEUE_SCHEMA_VERSION,
+                    "worker": worker_id,
+                    "written_at": time.time(),
+                    "metrics": self.metrics.snapshot(),
+                },
+                allow_nan=False,
+            ),
+        )
+
+    def metric_snapshots(self) -> Dict[str, Dict[str, object]]:
+        """All readable worker metric snapshots: ``{worker_id: payload}``.
+
+        Unreadable or non-snapshot files are skipped (a worker may be
+        mid-replace on a non-atomic store); the worker id is taken from
+        the payload when present, else from the filename.
+        """
+        found: Dict[str, Dict[str, object]] = {}
+        for relpath in sorted(self.store.list("metrics/*.json")):
+            payload = self._read_json(relpath)
+            if payload is None or "metrics" not in payload:
+                continue
+            worker = str(payload.get("worker") or Path(relpath).stem)
+            found[worker] = payload
+        return found
 
     def _read_json(self, relpath: str) -> Optional[Dict[str, object]]:
         text = self.store.read_text(relpath)
@@ -892,6 +1030,55 @@ class WorkQueue:
             logger.warning("queue entry %s is not valid JSON; ignoring", relpath)
             return None
         return payload if isinstance(payload, dict) else None
+
+
+def fleet_status(queue: WorkQueue) -> Dict[str, object]:
+    """The merged live view of a fleet: queue depth + worker snapshots.
+
+    Combines one (hardened) :meth:`WorkQueue.fleet_metrics` scan with
+    every deposited metric snapshot: per-worker flattened counters (with
+    snapshot age and derived cache hit ratio) plus fleet totals merged
+    across all shards.  This is what ``repro-ho status`` renders and
+    ``repro-ho status --json`` emits; corrupt shards are skipped, never
+    raised, so the view stays usable mid-chaos.
+    """
+    queue_metrics = queue.fleet_metrics()
+    now = time.time()
+    merged = fleet_registry()
+    workers: List[Dict[str, object]] = []
+    for worker_id, payload in sorted(queue.metric_snapshots().items()):
+        entry: Dict[str, object] = {"worker": worker_id}
+        try:
+            entry["age_seconds"] = round(max(0.0, now - float(payload["written_at"])), 2)
+        except Exception:
+            entry["age_seconds"] = None
+        counters: Dict[str, float] = {}
+        snap = payload.get("metrics")
+        if isinstance(snap, dict):
+            shard = MetricsRegistry()
+            try:
+                shard.merge_snapshot(snap)
+                merged.merge_snapshot(snap)
+                counters = shard.flat_values()
+            except Exception as exc:
+                logger.warning(
+                    "metric snapshot from worker %s is unusable (%s: %s); skipping",
+                    worker_id, type(exc).__name__, exc,
+                )
+                counters = {}
+        hits = counters.get('repro_runner_runs_total{counter="cache_hits"}', 0.0)
+        misses = counters.get('repro_runner_runs_total{counter="cache_misses"}', 0.0)
+        entry["units"] = counters.get("repro_worker_units_total", 0.0)
+        entry["cache_hit_ratio"] = (
+            round(hits / (hits + misses), 3) if hits + misses > 0 else None
+        )
+        entry["counters"] = counters
+        workers.append(entry)
+    return {
+        "queue": queue_metrics,
+        "workers": workers,
+        "totals": merged.flat_values(),
+    }
 
 
 class _LeaseHeartbeat(threading.Thread):
@@ -969,6 +1156,7 @@ class Worker:
         poll_interval: float = 0.5,
         steal: bool = True,
         min_steal: int = DEFAULT_MIN_STEAL,
+        snapshot_interval: Optional[float] = None,
     ) -> None:
         self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
@@ -981,16 +1169,66 @@ class Worker:
             timeout=timeout,
             cache=self.queue.cache,
             backend=_require_equivalent_backend(backend),
+            metrics=self.queue.metrics,
         )
         self.batches_executed = 0
         self.steals = 0
         self._retire = False
         self._load_failures: Dict[Tuple[str, int], int] = {}
+        # Observability: counters live in the queue's registry (shared
+        # with any supervisor in this process); snapshot deposits are
+        # throttled to roughly a quarter TTL so even short-lived leases
+        # leave a few monotone samples behind, and gated by REPRO_METRICS.
+        self.metrics = self.queue.metrics
+        self._metrics_on = metrics_enabled()
+        self._snapshot_interval = (
+            snapshot_interval
+            if snapshot_interval is not None
+            else max(0.5, min(5.0, ttl / 4.0))
+        )
+        self._last_snapshot_at = float("-inf")
+        self._m_units = self.metrics.counter("repro_worker_units_total")
+        self._m_steals = self.metrics.counter("repro_worker_steals_total")
+        self._m_unit_seconds = self.metrics.histogram(
+            "repro_runner_unit_seconds", buckets=UNIT_SECONDS_BUCKETS
+        )
+        self._m_runs = self.metrics.counter(
+            "repro_runner_runs_total", labelnames=("counter",)
+        )
 
     def _retire_pending(self) -> bool:
         if not self._retire and self.queue.retire_requested(self.worker_id):
             self._retire = True
         return self._retire
+
+    def _maybe_deposit_metrics(self, force: bool = False) -> None:
+        """Deposit a metric snapshot, throttled; failures never propagate.
+
+        Observability must not be able to take a worker down: a full
+        disk or flaky store only costs a stale snapshot, never a lost
+        interval.
+        """
+        if not self._metrics_on:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_snapshot_at < self._snapshot_interval:
+            return
+        self._last_snapshot_at = now
+        try:
+            self.queue.write_metric_snapshot(self.worker_id)
+        except Exception as exc:
+            logger.debug(
+                "metric snapshot deposit failed for %s (%s: %s)",
+                self.worker_id, type(exc).__name__, exc,
+            )
+
+    def _observe_unit(self, delta: RunnerStats, elapsed: float) -> None:
+        """Fold one executed unit's stats delta into the fleet registry."""
+        self._m_units.inc()
+        self._m_unit_seconds.observe(max(0.0, elapsed))
+        for name, value in delta.counter_items():
+            if value > 0:
+                self._m_runs.labels(counter=name).inc(value)
 
     def run_once(self) -> int:
         """One scan over the queue; returns how many intervals were executed."""
@@ -1016,6 +1254,7 @@ class Worker:
                 try:
                     if self._execute_unit(manifest, lease):
                         executed += 1
+                        self._maybe_deposit_metrics()
                 except Exception as exc:
                     # Infra failure (not a run failure: those become
                     # failure records).  Leave the interval for a retry.
@@ -1094,6 +1333,8 @@ class Worker:
         if executed:
             self.steals += 1
             self.batches_executed += 1
+            self._m_steals.inc()
+            self._maybe_deposit_metrics()
         return executed
 
     def _execute_unit(self, manifest: Dict[str, object], lease: Lease) -> bool:
@@ -1131,6 +1372,7 @@ class Worker:
         heartbeat = _LeaseHeartbeat(self.queue, lease)
         heartbeat.start()
         before = self.runner.stats.snapshot()
+        unit_began = time.perf_counter()
         chunk = max(1, self.runner.jobs)
         # Store I/O between chunks (cut re-reads, synchronous progress
         # publication) is throttled to this cadence: per-chunk scheduling
@@ -1172,6 +1414,8 @@ class Worker:
                 position = reserve
         finally:
             heartbeat.stop()
+        delta = self.runner.stats.since(before)
+        self._observe_unit(delta, time.perf_counter() - unit_began)
         if not records:
             return False
         deposited = self.queue.write_result(
@@ -1180,7 +1424,7 @@ class Worker:
             lease.start,
             records,
             self.worker_id,
-            self.runner.stats.since(before),
+            delta,
         )
         if not deposited:
             logger.info(
@@ -1210,6 +1454,7 @@ class Worker:
                 executed = self.run_once()
                 if not executed and self.steal and not self._retire_pending():
                     executed = self.steal_once()
+                self._maybe_deposit_metrics()
                 if executed:
                     idle_since = None
                     continue
@@ -1222,6 +1467,7 @@ class Worker:
                     return self.batches_executed
                 time.sleep(self.poll_interval)
         finally:
+            self._maybe_deposit_metrics(force=True)
             if self._retire:
                 self.queue.clear_retire(self.worker_id)
 
@@ -1333,6 +1579,9 @@ class Supervisor:
         steal: bool = True,
         spawn: Optional[Callable[[str], object]] = None,
         on_status: Optional[Callable[[Dict[str, object]], None]] = None,
+        scale_on_trend: bool = False,
+        trend_horizon: float = 30.0,
+        trend_alpha: float = 0.3,
     ) -> None:
         if min_workers < 0:
             raise ValueError(f"min_workers must be >= 0, got {min_workers}")
@@ -1372,6 +1621,20 @@ class Supervisor:
         self._drain_to_zero = False
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # Trend scaling (--scale-on-trend): EWMA of the fleet's deposit
+        # rate, observed over successive polls.  Off by default — the
+        # instantaneous-depth policy below stays byte-for-byte the old one.
+        self.scale_on_trend = scale_on_trend
+        self.trend_horizon = trend_horizon
+        self.trend_alpha = trend_alpha
+        self._deposit_rate_ewma: Optional[float] = None
+        self._last_deposits: Optional[int] = None
+        self._last_rate_at: Optional[float] = None
+        self._m_scale_events = self.queue.metrics.counter(
+            "repro_supervisor_scale_events_total", labelnames=("direction",)
+        )
+        self._m_target_workers = self.queue.metrics.gauge("repro_supervisor_target_workers")
+        self._m_live_workers = self.queue.metrics.gauge("repro_supervisor_live_workers")
 
     # -- process management ------------------------------------------------------
     def _spawn_process(self, worker_id: str) -> "subprocess.Popen[bytes]":
@@ -1457,6 +1720,8 @@ class Supervisor:
         idle_for = 0.0 if self._idle_since is None else now - self._idle_since
 
         demand = int(metrics["unclaimed_units"]) + busy
+        if self.scale_on_trend:
+            demand = self._trend_demand(metrics, busy, demand)
         target = min(self.max_workers, max(self.min_workers, demand))
         if drained and idle_for >= self.idle_grace:
             # In drain-and-exit mode the floor drops to zero, otherwise
@@ -1467,11 +1732,15 @@ class Supervisor:
         active = [managed for managed in self.workers if not managed.retiring]
         if len(active) < target:
             self._scale_up(target - len(active))
+            self._m_scale_events.labels(direction="up").inc()
         elif len(active) > target:
             self._scale_down(len(active) - target, busy_ids)
+            self._m_scale_events.labels(direction="down").inc()
 
         self.stats.polls += 1
         self.stats.peak_workers = max(self.stats.peak_workers, len(self.workers))
+        self._m_target_workers.set(target)
+        self._m_live_workers.set(len(self.workers))
         status = {
             **metrics,
             "busy": busy,
@@ -1483,6 +1752,50 @@ class Supervisor:
         if self._on_status is not None:
             self._on_status(status)
         return status
+
+    def _trend_demand(self, metrics: Dict[str, object], busy: int, fallback: int) -> int:
+        """Worker demand from the EWMA deposit-rate trend.
+
+        Each poll observes the deposit-count delta as a rate and folds
+        it into an exponentially weighted moving average; demand is then
+        the worker count that clears the claimable backlog within
+        ``trend_horizon`` seconds at the observed per-worker throughput.
+        Until a usable rate exists (first polls, idle fleet) the policy
+        degrades to ``fallback`` — the instantaneous-depth demand — so
+        enabling the flag can never stall a cold fleet.
+        """
+        now = time.monotonic()
+        deposits = int(metrics["deposited_parts"])
+        if (
+            self._last_rate_at is not None
+            and self._last_deposits is not None
+            and now > self._last_rate_at
+        ):
+            rate = max(0, deposits - self._last_deposits) / (now - self._last_rate_at)
+            if self._deposit_rate_ewma is None:
+                self._deposit_rate_ewma = rate
+            else:
+                self._deposit_rate_ewma = (
+                    self.trend_alpha * rate
+                    + (1.0 - self.trend_alpha) * self._deposit_rate_ewma
+                )
+        self._last_rate_at = now
+        self._last_deposits = deposits
+        backlog = int(metrics["claimable_units"])
+        if backlog <= 0:
+            # Nothing left to clear: keep the busy workers, let the
+            # drain/idle-grace machinery do any scale-down.
+            return busy
+        ewma = self._deposit_rate_ewma
+        if ewma is None or ewma <= 0.0 or busy <= 0:
+            return fallback
+        per_worker = ewma / busy
+        needed = math.ceil(backlog / max(per_worker * self.trend_horizon, 1e-9))
+        return max(busy, min(backlog, needed))
+
+    def fleet_metrics(self) -> Dict[str, object]:
+        """The merged live fleet view (see :func:`fleet_status`)."""
+        return fleet_status(self.queue)
 
     def run(
         self,

@@ -48,6 +48,7 @@ from repro.core.algorithm import HOAlgorithm
 from repro.core.predicates import CommunicationPredicate
 from repro.core.process import ProcessId, Value
 from repro.runner.cache import ResultCache
+from repro.runner.metrics import UNIT_SECONDS_BUCKETS, MetricsRegistry
 from repro.runner.factories import (
     build_adversary,
     build_algorithm,
@@ -447,6 +448,12 @@ class CampaignRunner:
         (:attr:`RunTask.backend`).  Backends are semantically invisible
         (see :mod:`repro.simulation.backends`), so cached records are
         shared across backends and ``backend="fast"`` is always safe.
+    metrics:
+        Optional :class:`~repro.runner.metrics.MetricsRegistry`; when
+        set, every ``run_tasks``/``run_reduced``/``run_simulations``
+        call observes its wall-clock seconds into
+        ``repro_runner_window_seconds``.  Pure observation — records,
+        stats and ordering are identical with and without it.
     """
 
     def __init__(
@@ -455,6 +462,7 @@ class CampaignRunner:
         timeout: Optional[float] = None,
         cache: Optional[Union[ResultCache, str]] = None,
         backend: Union[str, EngineBackend] = "reference",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -467,7 +475,22 @@ class CampaignRunner:
             get_backend(backend)  # fail fast on typos, before any run executes
         self.backend = backend
         self.stats = RunnerStats()
+        self.metrics = metrics
+        self._m_window = (
+            None
+            if metrics is None
+            else metrics.histogram(
+                "repro_runner_window_seconds", buckets=UNIT_SECONDS_BUCKETS
+            )
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _observe_window(self, started: float) -> float:
+        """Elapsed seconds since ``started``, observed when instrumented."""
+        elapsed = time.perf_counter() - started
+        if self._m_window is not None:
+            self._m_window.observe(max(0.0, elapsed))
+        return elapsed
 
     def _with_backend(self, tasks: Sequence[RunTask]) -> List[RunTask]:
         """Tasks with the runner's default backend filled in where unset.
@@ -598,7 +621,7 @@ class CampaignRunner:
         self.stats.executed += len(pending)
         self.stats.failures += sum(1 for r in records if r is not None and r.error and not r.timed_out)
         self.stats.timeouts += sum(1 for r in records if r is not None and r.timed_out)
-        self.stats.elapsed_seconds += time.perf_counter() - started
+        self.stats.elapsed_seconds += self._observe_window(started)
         return _require_complete(records, "run_tasks")
 
     def _run_payloads(self, worker, payloads: Sequence[tuple]):
@@ -722,7 +745,7 @@ class CampaignRunner:
         self.stats.executed += len(pending)
         self.stats.failures += sum(1 for r in records if r is not None and r.error and not r.timed_out)
         self.stats.timeouts += sum(1 for r in records if r is not None and r.timed_out)
-        self.stats.elapsed_seconds += time.perf_counter() - started
+        self.stats.elapsed_seconds += self._observe_window(started)
         return _require_complete(records, "run_reduced")
 
     # ------------------------------------------------------------------
@@ -767,7 +790,7 @@ class CampaignRunner:
                 raise
         self.stats.total += len(tasks)
         self.stats.executed += len(tasks)
-        self.stats.elapsed_seconds += time.perf_counter() - started
+        self.stats.elapsed_seconds += self._observe_window(started)
         return _require_complete(results, "run_simulations")
 
     # ------------------------------------------------------------------

@@ -229,6 +229,27 @@ class RunnerStats:
             "elapsed_seconds": round(self.elapsed_seconds, 3),
         }
 
+    def counter_items(self) -> List[tuple]:
+        """The integer counters as ``(name, value)`` pairs, in field order.
+
+        ``elapsed_seconds`` is deliberately excluded: it is a duration,
+        not a count, and the fleet observes durations through histograms
+        instead.  This is the seam the worker uses to fold a per-unit
+        stats delta into ``repro_runner_runs_total{counter=...}`` without
+        hard-coding the field list in two places.
+        """
+        return [
+            ("total", self.total),
+            ("executed", self.executed),
+            ("batched", self.batched),
+            ("batch_planned", self.batch_planned),
+            ("batch_chunks", self.batch_chunks),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("failures", self.failures),
+            ("timeouts", self.timeouts),
+        ]
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunnerStats":
         """Rebuild stats shipped as JSON (distributed batch results)."""

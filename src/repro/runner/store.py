@@ -30,6 +30,13 @@ Entries are content-addressed by their callers — cache keys are SHA-256
 config hashes and queue paths embed campaign/batch digests — so
 concurrent writers for the *same* path always carry byte-identical
 payloads and last-writer-wins replacement is safe.
+
+The one non-content-addressed namespace is the queue's ``metrics/``
+prefix (per-worker observability snapshots, see
+:meth:`repro.runner.distributed.WorkQueue.write_metric_snapshot`):
+there each path has a *single* writer that overwrites it in place, and
+the atomic-replace guarantee above is what makes every read a complete,
+monotone snapshot — readers may observe a stale file, never a torn one.
 """
 
 from __future__ import annotations

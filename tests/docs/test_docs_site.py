@@ -55,7 +55,16 @@ class TestDocsSite:
 
     def test_cli_reference_covers_every_subcommand(self):
         text = (DOCS_DIR / "reference" / "cli.md").read_text(encoding="utf-8")
-        for command in ("run", "experiment", "campaign", "worker", "supervise", "table", "lint"):
+        for command in (
+            "run",
+            "experiment",
+            "campaign",
+            "worker",
+            "supervise",
+            "status",
+            "table",
+            "lint",
+        ):
             assert f"## `repro-ho {command}`" in text
 
     def test_cli_lint_help_documents_exit_codes_and_baseline_flow(self):
@@ -84,6 +93,23 @@ class TestDocsSite:
         )
         for rule_id in available_rules():
             assert f"### `{rule_id}`" in region
+
+    def test_metric_catalogue_is_in_sync_with_fleet_specs(self):
+        """The docs metric catalogue is generated from FLEET_METRICS;
+        adding or rewording a metric must regenerate it."""
+        from repro.runner.metrics import FLEET_METRICS, metric_catalogue_markdown
+
+        page = (DOCS_DIR / "observability.md").read_text(encoding="utf-8")
+        catalogue = metric_catalogue_markdown()
+        begin = page.index("<!-- METRIC-CATALOGUE:BEGIN -->")
+        end = page.index("<!-- METRIC-CATALOGUE:END -->")
+        region = page[begin:end]
+        assert catalogue.rstrip() in region, (
+            "docs/observability.md metric catalogue is stale; regenerate with "
+            "'PYTHONPATH=src python docs/build.py --write-metric-catalogue'"
+        )
+        for spec in FLEET_METRICS:
+            assert f"`{spec.name}`" in region
 
 
 class TestReadmeRelocation:

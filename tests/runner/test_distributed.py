@@ -16,6 +16,9 @@ marker shutdown protocol, end-to-end drain).
 
 import json
 import multiprocessing
+import os
+import random
+import signal
 import threading
 import time
 
@@ -37,6 +40,7 @@ from repro.runner import (
     Worker,
     WorkQueue,
     campaign_report,
+    fleet_status,
     run_worker,
     task_from_spec,
 )
@@ -1094,3 +1098,113 @@ class TestObjectStoreFleet:
         assert [record.as_dict() for record in serial.records] == [
             record.as_dict() for record in result.records
         ]
+
+
+def _monotone_totals(totals):
+    """The additive subset of fleet totals: counters and histogram
+    count/sum samples (gauges may legitimately move both ways)."""
+    return {
+        key: value
+        for key, value in totals.items()
+        if "_total" in key or key.endswith("_count") or key.endswith("_sum")
+    }
+
+
+class TestChaosTier:
+    """Seeded kill schedules: the fleet (and its observability) under fire.
+
+    Four subprocess workers execute a latency-bound campaign while a
+    deterministic schedule (``random.Random(seed)``) SIGKILLs a random
+    live worker at a random poll boundary and respawns a replacement
+    under a fresh id.  The rescued report must be byte-identical to an
+    uninterrupted serial run, and every additive fleet counter sampled
+    through :func:`fleet_status` must be monotone across the whole
+    storm — stale-but-never-torn snapshot files are the claim under test.
+    """
+
+    @pytest.mark.chaos
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_kill_schedule_rescues_byte_identical_report(self, tmp_path, seed):
+        spec = slow_spec(runs=6, delay=0.05, campaign_id=f"dist-chaos-{seed}")
+        expected = CampaignRunner().run_campaign(spec)
+
+        queue_dir = tmp_path / "queue"
+        runner = DistributedCampaignRunner(queue_dir, batch_size=2, wait_timeout=WAIT)
+        campaign_id = runner.submit_campaign(spec)
+        assert campaign_id is not None
+        queue = WorkQueue(queue_dir)
+
+        rng = random.Random(seed)
+        workers = {}
+        spawned = 0
+
+        def spawn_one():
+            nonlocal spawned
+            worker_id = f"chaos{seed}-w{spawned}"
+            spawned += 1
+            process = mp.Process(
+                target=run_worker,
+                kwargs=dict(
+                    queue_dir=str(queue_dir),
+                    worker_id=worker_id,
+                    ttl=1.5,
+                    poll_interval=0.05,
+                    max_idle=20.0,
+                ),
+                daemon=True,
+            )
+            process.start()
+            workers[worker_id] = process
+
+        for _ in range(4):
+            spawn_one()
+
+        kills = 0
+        last_monotone = {}
+        samples = 0
+        deadline = time.monotonic() + WAIT
+        try:
+            while not queue.complete(campaign_id):
+                assert time.monotonic() < deadline, "chaos campaign never completed"
+                time.sleep(rng.uniform(0.1, 0.5))  # a seeded poll boundary
+
+                # Observability under fire: merged additive counters
+                # never regress, whatever is being killed mid-write.
+                totals = _monotone_totals(fleet_status(queue)["totals"])
+                for key, floor in last_monotone.items():
+                    assert totals.get(key, 0.0) >= floor, f"{key} regressed"
+                last_monotone = totals
+                samples += 1
+
+                if kills < 6:
+                    alive = sorted(
+                        worker_id
+                        for worker_id, process in workers.items()
+                        if process.is_alive()
+                    )
+                    if alive:
+                        victim_id = rng.choice(alive)
+                        victim = workers[victim_id]
+                        os.kill(victim.pid, signal.SIGKILL)
+                        victim.join(timeout=10)
+                        kills += 1
+                        spawn_one()  # a fresh id, never a reused one
+        finally:
+            reap(list(workers.values()))
+
+        assert kills >= 1, "the schedule never killed anyone"
+        assert samples >= 1
+
+        rescued = runner.run_campaign(spec)  # collects; all work deposited
+        assert json.dumps([r.as_dict() for r in expected.records]) == json.dumps(
+            [r.as_dict() for r in rescued.records]
+        )
+
+        # A final status sample still parses as strict JSON and its
+        # counters sit at-or-above every mid-storm floor.
+        final = fleet_status(queue)
+        json.dumps(final, allow_nan=False)
+        final_monotone = _monotone_totals(final["totals"])
+        for key, floor in last_monotone.items():
+            assert final_monotone.get(key, 0.0) >= floor
